@@ -1,0 +1,101 @@
+//! Hardware Keyhash-based sharding (HKH) — the nxM/G/1 design, as MICA.
+//!
+//! "Requests are redirected in hardware to the target core, according to
+//! the CREW policy" (§5.2). Each core busy-polls its own RX queue and
+//! executes everything it receives run-to-completion. No software
+//! dispatch, no stealing, no size awareness — a small request queued
+//! behind a large one on the same core simply waits (head-of-line
+//! blocking, the paper's Figure 2a/3).
+
+use crate::common::{spawn_cores, BaseShared, BaselineConfig};
+use minos_core::engine::KvEngine;
+use minos_kv::Store;
+use minos_nic::VirtualNic;
+use minos_stats::CoreStats;
+use minos_wire::frag::Reassembler;
+use minos_wire::packet::Packet;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// The running HKH server.
+pub struct HkhServer {
+    shared: Arc<BaseShared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl HkhServer {
+    /// Builds and starts the server threads.
+    pub fn start(config: BaselineConfig) -> Self {
+        let shared = BaseShared::new(&config);
+        let threads = {
+            let shared = Arc::clone(&shared);
+            spawn_cores(config.n_cores, "hkh-core", move |core| {
+                core_loop(&shared, core)
+            })
+        };
+        HkhServer { shared, threads }
+    }
+}
+
+fn core_loop(shared: &BaseShared, core: usize) {
+    let mut rx_buf: Vec<Packet> = Vec::with_capacity(shared.batch_size);
+    let mut reassembler = Reassembler::new(1024);
+    let mut idle_rounds = 0u32;
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        rx_buf.clear();
+        let n = shared.nic.rx_burst(core as u16, &mut rx_buf, shared.batch_size);
+        if n == 0 {
+            idle_rounds = idle_rounds.saturating_add(1);
+            if idle_rounds > 64 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+            continue;
+        }
+        idle_rounds = 0;
+        for pkt in rx_buf.drain(..) {
+            // Run-to-completion: a large request occupies this core for
+            // its full service time while later arrivals wait in the RX
+            // ring.
+            if let Some(req) = shared.packet_to_request(core, &mut reassembler, pkt) {
+                shared.execute_and_reply(core, req);
+            }
+        }
+    }
+}
+
+impl KvEngine for HkhServer {
+    fn name(&self) -> &'static str {
+        "HKH"
+    }
+
+    fn nic(&self) -> Arc<VirtualNic> {
+        Arc::clone(&self.shared.nic)
+    }
+
+    fn store(&self) -> Arc<Store> {
+        Arc::clone(&self.shared.store)
+    }
+
+    fn n_cores(&self) -> usize {
+        self.shared.n_cores
+    }
+
+    fn core_stats(&self) -> Vec<CoreStats> {
+        self.shared.stats_snapshot()
+    }
+
+    fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HkhServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,166 @@
+//! HKH + work stealing (HKH+WS) — the ZygOS-style design.
+//!
+//! "Each core has a software queue in which it places the requests taken
+//! from its own RX queue. When a core is idle, it steals requests from
+//! the software queues of other cores. If or when all software queues
+//! are empty, an idle core steals requests from another RX core's queue.
+//! Between stealing attempts, a core checks whether it has received any
+//! new request. If it has, it stops stealing and processes its own
+//! requests. Cores steal requests from the software queues of other
+//! cores one at the time. Batching could introduce head-of-line blocking
+//! ... However, packets are stolen from other RX queues in batches, to
+//! increase resource efficiency. Requests stolen from another core's RX
+//! queue are put in the stealing core's software queue, so they can be
+//! stolen in turn" (§5.2).
+
+use crate::common::{spawn_cores, BaseShared, BaselineConfig, QueueItem};
+use minos_core::engine::KvEngine;
+use minos_kv::Store;
+use minos_nic::VirtualNic;
+use minos_stats::CoreStats;
+use minos_wire::frag::Reassembler;
+use minos_wire::packet::Packet;
+use parking_lot::Mutex;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// The running HKH+WS server.
+pub struct HkhWsServer {
+    shared: Arc<BaseShared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl HkhWsServer {
+    /// Builds and starts the server threads.
+    pub fn start(config: BaselineConfig) -> Self {
+        let shared = BaseShared::new(&config);
+        // Fragment reassembly is engine-global under stealing (see
+        // `packet_to_request_shared`).
+        let reassembler = Arc::new(Mutex::new(Reassembler::new(4096)));
+        let threads = {
+            let shared = Arc::clone(&shared);
+            spawn_cores(config.n_cores, "hkhws-core", move |core| {
+                core_loop(&shared, &reassembler, core)
+            })
+        };
+        HkhWsServer { shared, threads }
+    }
+}
+
+fn core_loop(shared: &BaseShared, reassembler: &Mutex<Reassembler>, core: usize) {
+    let n = shared.n_cores;
+    let mut rx_buf: Vec<Packet> = Vec::with_capacity(shared.batch_size);
+    let mut idle_rounds = 0u32;
+
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        let mut did_work = false;
+
+        // 1. Move this core's RX arrivals into its software queue.
+        rx_buf.clear();
+        if shared.nic.rx_burst(core as u16, &mut rx_buf, shared.batch_size) > 0 {
+            for pkt in rx_buf.drain(..) {
+                if let Some(req) = shared.packet_to_request_shared(core, reassembler, pkt) {
+                    if shared.soft_queues[core].push(QueueItem::Request(req)).is_err() {
+                        shared.soft_drops.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+
+        // 2. Serve own software queue (run-to-completion, batched).
+        for _ in 0..shared.batch_size {
+            match shared.soft_queues[core].pop() {
+                Some(QueueItem::Request(req)) => {
+                    shared.execute_and_reply(core, req);
+                    did_work = true;
+                }
+                None => break,
+            }
+        }
+        if did_work {
+            idle_rounds = 0;
+            continue;
+        }
+
+        // 3. Idle: steal one queued request from another core.
+        let mut stole = false;
+        for d in 1..n {
+            let victim = (core + d) % n;
+            if let Some(QueueItem::Request(req)) = shared.soft_queues[victim].pop() {
+                shared.stats[core].record_steal();
+                shared.execute_and_reply(core, req);
+                stole = true;
+                break;
+            }
+        }
+        if stole {
+            idle_rounds = 0;
+            continue;
+        }
+
+        // 4. All software queues empty: steal a packet batch from
+        // another core's RX queue into our own software queue.
+        for d in 1..n {
+            let victim = (core + d) % n;
+            rx_buf.clear();
+            if shared.nic.rx_burst(victim as u16, &mut rx_buf, shared.batch_size) > 0 {
+                shared.stats[core].record_steal();
+                for pkt in rx_buf.drain(..) {
+                    if let Some(req) = shared.packet_to_request_shared(core, reassembler, pkt) {
+                        if shared.soft_queues[core].push(QueueItem::Request(req)).is_err() {
+                            shared.soft_drops.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                stole = true;
+                break;
+            }
+        }
+        if stole {
+            idle_rounds = 0;
+            continue;
+        }
+
+        idle_rounds = idle_rounds.saturating_add(1);
+        if idle_rounds > 64 {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+impl KvEngine for HkhWsServer {
+    fn name(&self) -> &'static str {
+        "HKH+WS"
+    }
+
+    fn nic(&self) -> Arc<VirtualNic> {
+        Arc::clone(&self.shared.nic)
+    }
+
+    fn store(&self) -> Arc<Store> {
+        Arc::clone(&self.shared.store)
+    }
+
+    fn n_cores(&self) -> usize {
+        self.shared.n_cores
+    }
+
+    fn core_stats(&self) -> Vec<CoreStats> {
+        self.shared.stats_snapshot()
+    }
+
+    fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HkhWsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

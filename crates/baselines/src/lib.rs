@@ -1,0 +1,27 @@
+//! The three size-unaware baseline engines the paper compares against
+//! (§5.2), sharing the same store, NIC, wire protocol and request
+//! execution code as Minos — "for a fair comparison, all the designs we
+//! consider are implemented in the same codebase".
+//!
+//! * [`hkh`] — **Hardware Keyhash-based sharding** (nxM/G/1, as MICA):
+//!   every core serves its own RX queue run-to-completion; steering is
+//!   purely in (virtual) hardware.
+//! * [`sho`] — **Software hand-off** (M/G/n, as RAMCloud): dedicated
+//!   handoff cores move requests from their RX queues into software
+//!   queues; worker cores pull one request at a time (late binding).
+//! * [`hkh_ws`] — **HKH + work stealing** (as ZygOS): HKH plus idle
+//!   cores stealing queued requests from other cores' software queues,
+//!   one at a time, and packets from other RX queues in batches.
+//!
+//! None of these engines looks at item sizes — that is the point.
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod hkh;
+pub mod hkh_ws;
+pub mod sho;
+
+pub use hkh::HkhServer;
+pub use hkh_ws::HkhWsServer;
+pub use sho::ShoServer;

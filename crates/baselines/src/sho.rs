@@ -1,0 +1,153 @@
+//! Software hand-off (SHO) — the M/G/n design, as RAMCloud.
+//!
+//! "SHO uses disjoint sets of handoff and worker cores. Each handoff
+//! core has a software queue, in which it deposits the requests taken
+//! from its RX queue. Worker cores pull one request at a time from the
+//! handoff queues (in round robin if there is more than one), process
+//! the corresponding KV request, and reply to the client. ... The
+//! throughput of SHO is bounded by the dispatch rate of handoff cores"
+//! (§5.2).
+//!
+//! Clients must only target the handoff cores' RX queues (use
+//! `Client::with_target_queues(0..n_handoff)`).
+
+use crate::common::{spawn_cores, BaseShared, BaselineConfig, QueueItem};
+use minos_core::engine::KvEngine;
+use minos_kv::Store;
+use minos_nic::VirtualNic;
+use minos_stats::CoreStats;
+use minos_wire::frag::Reassembler;
+use minos_wire::packet::Packet;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// The running SHO server.
+pub struct ShoServer {
+    shared: Arc<BaseShared>,
+    n_handoff: usize,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ShoServer {
+    /// Builds and starts the server with `n_handoff` dispatch cores
+    /// (the paper tried 1–3 and reports the best per workload).
+    pub fn start(config: BaselineConfig, n_handoff: usize) -> Self {
+        assert!(n_handoff >= 1 && n_handoff < config.n_cores,
+            "need at least one handoff core and one worker");
+        let shared = BaseShared::new(&config);
+        let threads = {
+            let shared = Arc::clone(&shared);
+            spawn_cores(config.n_cores, "sho-core", move |core| {
+                if core < n_handoff {
+                    handoff_loop(&shared, core, n_handoff)
+                } else {
+                    worker_loop(&shared, core, n_handoff)
+                }
+            })
+        };
+        ShoServer {
+            shared,
+            n_handoff,
+            threads,
+        }
+    }
+
+    /// Number of handoff (dispatch) cores.
+    pub fn n_handoff(&self) -> usize {
+        self.n_handoff
+    }
+}
+
+/// A handoff core: drains its RX queue, reassembles, deposits complete
+/// requests into its software queue for late binding.
+fn handoff_loop(shared: &BaseShared, core: usize, _n_handoff: usize) {
+    let mut rx_buf: Vec<Packet> = Vec::with_capacity(shared.batch_size);
+    let mut reassembler = Reassembler::new(1024);
+    let mut idle_rounds = 0u32;
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        rx_buf.clear();
+        let n = shared.nic.rx_burst(core as u16, &mut rx_buf, shared.batch_size);
+        if n == 0 {
+            idle_rounds = idle_rounds.saturating_add(1);
+            if idle_rounds > 64 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+            continue;
+        }
+        idle_rounds = 0;
+        for pkt in rx_buf.drain(..) {
+            if let Some(req) = shared.packet_to_request(core, &mut reassembler, pkt) {
+                shared.stats[core].record_handoff();
+                if shared.soft_queues[core].push(QueueItem::Request(req)).is_err() {
+                    shared.soft_drops.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+/// A worker core: late binding — pull one request at a time from the
+/// handoff queues, round-robin.
+fn worker_loop(shared: &BaseShared, core: usize, n_handoff: usize) {
+    let mut next = core % n_handoff; // stagger the starting queue
+    let mut idle_rounds = 0u32;
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        let mut served = false;
+        for i in 0..n_handoff {
+            let q = (next + i) % n_handoff;
+            if let Some(QueueItem::Request(req)) = shared.soft_queues[q].pop() {
+                shared.execute_and_reply(core, req);
+                next = (q + 1) % n_handoff;
+                served = true;
+                break;
+            }
+        }
+        if served {
+            idle_rounds = 0;
+        } else {
+            idle_rounds = idle_rounds.saturating_add(1);
+            if idle_rounds > 64 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+impl KvEngine for ShoServer {
+    fn name(&self) -> &'static str {
+        "SHO"
+    }
+
+    fn nic(&self) -> Arc<VirtualNic> {
+        Arc::clone(&self.shared.nic)
+    }
+
+    fn store(&self) -> Arc<Store> {
+        Arc::clone(&self.shared.store)
+    }
+
+    fn n_cores(&self) -> usize {
+        self.shared.n_cores
+    }
+
+    fn core_stats(&self) -> Vec<CoreStats> {
+        self.shared.stats_snapshot()
+    }
+
+    fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ShoServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,99 @@
+//! End-to-end tests: every baseline engine serves the same workload the
+//! Minos server does, through the same client.
+
+use minos_baselines::common::BaselineConfig;
+use minos_baselines::{HkhServer, HkhWsServer, ShoServer};
+use minos_core::client::Client;
+use minos_core::engine::KvEngine;
+use std::time::Duration;
+
+fn exercise(engine: &mut dyn KvEngine, client: &mut Client) {
+    // Small PUT/GET.
+    client.send_put(7, b"small value", false);
+    assert!(client.drain(Duration::from_secs(20)), "{} put", engine.name());
+    client.send_get(7, false);
+    assert!(client.drain(Duration::from_secs(20)), "{} get", engine.name());
+
+    // Large (fragmented) PUT/GET.
+    let value: Vec<u8> = (0..60_000).map(|i| (i % 251) as u8).collect();
+    client.send_put(42, &value, true);
+    assert!(client.drain(Duration::from_secs(30)), "{} large put", engine.name());
+    assert_eq!(engine.store().get(42).unwrap().len(), value.len());
+    client.send_get(42, true);
+    assert!(client.drain(Duration::from_secs(30)), "{} large get", engine.name());
+
+    // A burst of mixed operations.
+    for i in 0..100u64 {
+        client.send_put(100 + i, &vec![(i % 256) as u8; (i as usize % 1_000) + 1], false);
+    }
+    assert!(client.drain(Duration::from_secs(30)), "{} burst", engine.name());
+
+    let totals = client.totals();
+    assert_eq!(totals.errors, 0, "{}", engine.name());
+    assert_eq!(totals.outstanding(), 0, "{} zero loss", engine.name());
+    assert_eq!(totals.completed, 104);
+}
+
+#[test]
+fn hkh_serves_the_workload() {
+    let mut server = HkhServer::start(BaselineConfig::for_test(2, 10_000));
+    let mut client = Client::new(&server, 1, 1);
+    exercise(&mut server, &mut client);
+    // HKH never hands off or steals.
+    let stats = server.core_stats();
+    assert_eq!(stats.iter().map(|s| s.handoffs).sum::<u64>(), 0);
+    assert_eq!(stats.iter().map(|s| s.steals).sum::<u64>(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn sho_serves_the_workload() {
+    let mut server = ShoServer::start(BaselineConfig::for_test(3, 10_000), 1);
+    // Clients only target the handoff cores' queues.
+    let mut client = Client::new(&server, 1, 2).with_target_queues(0..1);
+    exercise(&mut server, &mut client);
+    // Every request went through a handoff queue.
+    let stats = server.core_stats();
+    assert!(stats[0].handoffs >= 104, "handoffs: {}", stats[0].handoffs);
+    // Workers executed them (handoff core executes none).
+    assert_eq!(stats[0].ops, 0, "handoff core does not execute");
+    assert!(stats[1].ops + stats[2].ops >= 104);
+    server.shutdown();
+}
+
+#[test]
+fn hkh_ws_serves_the_workload() {
+    let mut server = HkhWsServer::start(BaselineConfig::for_test(2, 10_000));
+    let mut client = Client::new(&server, 1, 3);
+    exercise(&mut server, &mut client);
+    server.shutdown();
+}
+
+#[test]
+fn hkh_ws_actually_steals() {
+    // Deliver bursts to a single RX queue of a 4-core server: the other
+    // cores' only way to work is stealing. On a single-CPU host the
+    // owning core can occasionally drain a whole burst within its own
+    // timeslice, so keep applying pressure until a steal is observed.
+    let mut server = HkhWsServer::start(BaselineConfig::for_test(4, 10_000));
+    let mut client = Client::new(&server, 1, 4).with_target_queues(0..1);
+    let mut steals = 0u64;
+    for round in 0..50u64 {
+        for i in 0..400u64 {
+            client.send_put(round * 400 + i, &vec![1u8; 200], false);
+        }
+        assert!(client.drain(Duration::from_secs(30)), "round {round}");
+        steals = server.core_stats().iter().map(|s| s.steals).sum();
+        if steals > 0 {
+            break;
+        }
+    }
+    assert!(steals > 0, "stealing must occur under sustained skewed delivery");
+    server.shutdown();
+}
+
+#[test]
+#[should_panic(expected = "handoff")]
+fn sho_rejects_all_handoff_configuration() {
+    let _ = ShoServer::start(BaselineConfig::for_test(2, 100), 2);
+}

@@ -1,0 +1,63 @@
+//! Figure 1: GET service time as a function of item size.
+//!
+//! The paper measures the interval from request reception to reply
+//! transmission on the server with a single closed-loop client, and
+//! finds ~4 orders of magnitude between tiny and megabyte items.
+//!
+//! We report two columns: the *threaded* measurement (one Minos core on
+//! this machine, closed loop — absolute numbers depend on the host) and
+//! the *simulator cost model* (the calibrated service law every sim
+//! experiment runs on), so the calibration is auditable.
+
+use minos_bench::{banner, by_effort, write_csv};
+use minos_core::client::Client;
+use minos_core::engine::KvEngine;
+use minos_core::server::{MinosServer, ServerConfig};
+use minos_sim::CostModel;
+use std::time::Duration;
+
+fn main() {
+    banner(
+        "Figure 1",
+        "GET service time vs item size",
+        "service time grows ~linearly with size; orders of magnitude \
+         between tiny (B) and large (MB) items",
+    );
+
+    let sizes: &[u64] = &[
+        8, 64, 512, 1_024, 4_096, 16_384, 65_536, 262_144, 524_288, 1_048_576,
+    ];
+    let reps_small = by_effort(20, 60, 200);
+    let model = CostModel::default();
+
+    let mut server = MinosServer::start(ServerConfig::for_test(1, 64));
+    let mut client = Client::new(&server, 1, 7);
+
+    println!(
+        "{:>10}  {:>14}  {:>16}",
+        "size (B)", "measured (us)", "cost model (us)"
+    );
+    let mut rows = Vec::new();
+    for &size in sizes {
+        let key = size; // one key per size class
+        let value = vec![0xA5u8; size as usize];
+        client.send_put(key, &value, size > 1_456);
+        assert!(client.drain(Duration::from_secs(60)), "preload {size}");
+
+        // Closed loop: one in-flight GET at a time, like the paper.
+        let reps = if size >= 262_144 { reps_small / 4 + 1 } else { reps_small };
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            client.send_get(key, size > 1_456);
+            assert!(client.drain(Duration::from_secs(60)), "get {size}");
+        }
+        let measured_us = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
+        let model_us = model.service_ns(size) / 1e3;
+        println!("{size:>10}  {measured_us:>14.1}  {model_us:>16.2}");
+        rows.push(format!("{size},{measured_us:.2},{model_us:.3}"));
+    }
+    server.shutdown();
+
+    write_csv("fig1_service_time", "size_bytes,measured_us,model_us", &rows);
+    println!("\nshape check: both columns must grow monotonically with size.");
+}

@@ -1,0 +1,111 @@
+//! Criterion microbenchmarks of the substrates on the datapath:
+//! KV GET/PUT, RSS hashing, zipfian sampling, histogram updates,
+//! fragmentation round trips and NIC ring bursts.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use minos_kv::{Store, StoreConfig};
+use minos_nic::{NicConfig, RssHasher, VirtualNic};
+use minos_stats::SizeHistogram;
+use minos_wire::frag::fragment_with_id;
+use minos_wire::packet::{build_frame, parse_frame, Endpoint};
+use minos_workload::{Rng, Zipf};
+use std::hint::black_box;
+
+fn bench_kv(c: &mut Criterion) {
+    let store = Store::new(StoreConfig::for_items(8, 100_000, 256 << 20));
+    for k in 0..50_000u64 {
+        store.put(k, &k.to_le_bytes()).unwrap();
+    }
+    let mut g = c.benchmark_group("kv");
+    let mut key = 0u64;
+    g.bench_function("get_hit", |b| {
+        b.iter(|| {
+            key = (key + 1) % 50_000;
+            black_box(store.get(black_box(key)))
+        })
+    });
+    g.bench_function("get_miss", |b| {
+        b.iter(|| black_box(store.get(black_box(999_999_999))))
+    });
+    let value = vec![0xAAu8; 100];
+    g.bench_function("put_replace_100b", |b| {
+        b.iter(|| {
+            key = (key + 1) % 50_000;
+            store.put(black_box(key), black_box(&value)).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_rss(c: &mut Criterion) {
+    let rss = RssHasher::new(8);
+    let t = minos_wire::packet::FiveTuple {
+        src_ip: 0x0A000001,
+        dst_ip: 0x0A000002,
+        src_port: 12345,
+        dst_port: 9003,
+        protocol: 17,
+    };
+    c.bench_function("rss/toeplitz", |b| b.iter(|| black_box(rss.queue_for(black_box(&t)))));
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let zipf = Zipf::new(16_000_000, 0.99);
+    let mut rng = Rng::new(1);
+    c.bench_function("workload/zipf_16M", |b| b.iter(|| black_box(zipf.sample(&mut rng))));
+}
+
+fn bench_hist(c: &mut Criterion) {
+    let mut h = SizeHistogram::new();
+    let mut x = 1u64;
+    c.bench_function("stats/size_hist_record", |b| {
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(black_box(x % 500_000));
+        })
+    });
+    for v in 0..100_000u64 {
+        h.record(v % 500_000);
+    }
+    c.bench_function("stats/size_hist_p99", |b| b.iter(|| black_box(h.percentile(99.0))));
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let src = Endpoint::host(1, 100);
+    let dst = Endpoint::host(2, 9000);
+    c.bench_function("wire/frame_roundtrip_small", |b| {
+        b.iter(|| {
+            let f = build_frame(black_box(src), black_box(dst), black_box(b"hello world!"));
+            black_box(parse_frame(f))
+        })
+    });
+    let big = vec![0u8; 100_000];
+    c.bench_function("wire/fragment_100kb", |b| {
+        b.iter(|| black_box(fragment_with_id(black_box(1), black_box(&big))))
+    });
+}
+
+fn bench_nic(c: &mut Criterion) {
+    let nic = VirtualNic::new(NicConfig::new(8));
+    let frame = build_frame(Endpoint::host(1, 100), Endpoint::host(2, 9003), &[0u8; 64]);
+    let pkt = parse_frame(frame).unwrap();
+    c.bench_function("nic/deliver_and_burst", |b| {
+        b.iter_batched(
+            || pkt.clone(),
+            |p| {
+                nic.deliver_packet(p);
+                let mut out = Vec::with_capacity(1);
+                nic.rx_burst(3, &mut out, 1);
+                black_box(out)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_kv, bench_rss, bench_zipf, bench_hist, bench_wire, bench_nic
+);
+criterion_main!(micro);

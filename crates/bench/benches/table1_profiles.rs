@@ -1,0 +1,66 @@
+//! Table 1: the item-size variability profiles and the share of bytes
+//! moved by large requests, analytically and empirically.
+
+use minos_bench::{banner, by_effort, write_csv};
+use minos_workload::{AccessGenerator, Dataset, Rng, TABLE1_PROFILES};
+
+fn main() {
+    banner(
+        "Table 1",
+        "item size variability profiles: % data from large requests",
+        "rows: (0.125%,250KB)=25, (0.125%,500KB)=40, (0.125%,1000KB)=60, \
+         (0.0625%)=25, (0.25%)=60, (0.5%)=75, (0.75%)=80",
+    );
+    let paper_pct = [25.0, 40.0, 60.0, 25.0, 60.0, 75.0, 80.0];
+    let samples = by_effort(200_000, 1_000_000, 5_000_000);
+
+    println!(
+        "{:>9} {:>9} {:>9} {:>10} {:>10}",
+        "pL (%)", "sL (KB)", "paper %", "model %", "sampled %"
+    );
+    let mut rows = Vec::new();
+    for (profile, paper) in TABLE1_PROFILES.iter().zip(paper_pct) {
+        let model_pct = profile.large_data_share() * 100.0;
+
+        // Empirical check by sampling the actual generator.
+        let dataset = Dataset::paper_scaled(16, profile.large_max);
+        let gen = AccessGenerator::new(dataset, profile.p_large, profile.get_ratio, profile.zipf_s);
+        let mut rng = Rng::new(7);
+        let mut large_bytes = 0u64;
+        let mut total_bytes = 0u64;
+        for _ in 0..samples {
+            let op = gen.next_op(&mut rng);
+            total_bytes += op.item_size;
+            if op.is_large {
+                large_bytes += op.item_size;
+            }
+        }
+        let sampled_pct = large_bytes as f64 / total_bytes as f64 * 100.0;
+
+        println!(
+            "{:>9.4} {:>9} {:>9.0} {:>10.1} {:>10.1}",
+            profile.p_large_pct(),
+            profile.large_max / 1_000,
+            paper,
+            model_pct,
+            sampled_pct
+        );
+        rows.push(format!(
+            "{},{},{},{:.2},{:.2}",
+            profile.p_large_pct(),
+            profile.large_max,
+            paper,
+            model_pct,
+            sampled_pct
+        ));
+        assert!(
+            (model_pct - paper).abs() < 4.0,
+            "model diverges from the paper's published column"
+        );
+    }
+    write_csv(
+        "table1_profiles",
+        "p_large_pct,s_large_bytes,paper_pct,model_pct,sampled_pct",
+        &rows,
+    );
+}

@@ -1,0 +1,91 @@
+//! Shared harness utilities for the per-figure benchmark binaries.
+//!
+//! Every table and figure of the paper's evaluation has a `[[bench]]`
+//! target in this crate (`harness = false`); running `cargo bench`
+//! regenerates the full evaluation. Each bench prints the paper's
+//! expected shape next to the measured rows and writes a CSV under
+//! `target/minos-results/`.
+//!
+//! Environment knobs:
+//! * `MINOS_BENCH_QUICK=1` — shrink sweeps for smoke runs.
+//! * `MINOS_BENCH_FULL=1` — paper-scale durations (slow).
+
+#![warn(missing_docs)]
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Effort level selected via the environment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Effort {
+    /// Smoke-test durations.
+    Quick,
+    /// Default: minutes for the full evaluation.
+    Normal,
+    /// Paper-scale durations.
+    Full,
+}
+
+/// Reads the effort level from the environment.
+pub fn effort() -> Effort {
+    if std::env::var("MINOS_BENCH_QUICK").is_ok() {
+        Effort::Quick
+    } else if std::env::var("MINOS_BENCH_FULL").is_ok() {
+        Effort::Full
+    } else {
+        Effort::Normal
+    }
+}
+
+/// Picks a value by effort level.
+pub fn by_effort<T>(quick: T, normal: T, full: T) -> T {
+    match effort() {
+        Effort::Quick => quick,
+        Effort::Normal => normal,
+        Effort::Full => full,
+    }
+}
+
+/// The directory result CSVs are written to: `target/minos-results/`
+/// at the *workspace* root (bench binaries run with the package dir as
+/// their working directory, so a relative path would land inside
+/// `crates/bench`).
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../target/minos-results"
+    ));
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Writes rows to `target/minos-results/<name>.csv`.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let path = out_dir().join(format!("{name}.csv"));
+    let mut f = std::fs::File::create(&path).expect("create csv");
+    writeln!(f, "{header}").expect("write");
+    for r in rows {
+        writeln!(f, "{r}").expect("write");
+    }
+    println!("  [csv] {}", path.display());
+}
+
+/// Prints the experiment banner: id, title and the paper's expected
+/// shape for easy visual comparison.
+pub fn banner(id: &str, title: &str, expectation: &str) {
+    println!("\n==============================================================");
+    println!("{id}: {title}");
+    println!("--------------------------------------------------------------");
+    println!("paper expectation: {expectation}");
+    println!("effort: {:?}", effort());
+    println!("==============================================================");
+}
+
+/// Formats a latency for tables: "   12.3" or "  inf".
+pub fn fmt_us(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:9.1}")
+    } else {
+        format!("{:>9}", "inf")
+    }
+}

@@ -1,0 +1,293 @@
+//! Load-generating client with the paper's measurement methodology
+//! (§5.4): open-loop request injection, send timestamps echoed on
+//! replies, end-to-end latency histograms (overall and large-only), and
+//! strict zero-loss accounting ("we only report performance values
+//! corresponding to scenarios in which the packet loss rate is equal
+//! to 0").
+//!
+//! Request addressing follows §3: "The target RX queue is chosen at
+//! random for GET operations, and depends on the keyhash for PUT
+//! operations."
+
+use crate::engine::KvEngine;
+use minos_stats::LatencyHistogram;
+use minos_wire::frag::{Fragmenter, Reassembler, Reassembly};
+use minos_wire::message::{Body, Message, OpKind, ReplyStatus};
+use minos_wire::packet::{build_frame, Endpoint};
+use minos_wire::udp::UdpHeader;
+use minos_workload::{OpSpec, Operation, Rng};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Outcome of one completed request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Completion {
+    /// The key operated on.
+    pub key: u64,
+    /// Kind of the reply received.
+    pub kind: OpKind,
+    /// Reply status.
+    pub status: ReplyStatus,
+    /// End-to-end latency in nanoseconds.
+    pub latency_ns: u64,
+    /// Whether the request targeted a large item.
+    pub large: bool,
+}
+
+struct Pending {
+    sent_ns: u64,
+    key: u64,
+    large: bool,
+}
+
+/// Client-side totals.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClientTotals {
+    /// Requests sent.
+    pub sent: u64,
+    /// Replies received and matched.
+    pub completed: u64,
+    /// Replies that could not be matched to a pending request.
+    pub unmatched: u64,
+    /// Non-Ok replies.
+    pub errors: u64,
+}
+
+impl ClientTotals {
+    /// Requests with no reply yet. Non-zero at the end of a run means
+    /// packet loss — the paper's methodology discards such runs.
+    pub fn outstanding(&self) -> u64 {
+        self.sent - self.completed
+    }
+}
+
+/// A synchronous client bound to one server engine.
+pub struct Client {
+    nic: Arc<minos_nic::VirtualNic>,
+    endpoint: Endpoint,
+    server_queues: u16,
+    /// Queues requests may target. Defaults to all; SHO restricts it to
+    /// the handoff cores' queues ("The number of handoff cores is fixed
+    /// and known a priori by the clients, which only send requests to
+    /// the corresponding RX queues", §5.2).
+    target_queues: std::ops::Range<u16>,
+    fragmenter: Fragmenter,
+    reassembler: Reassembler,
+    rng: Rng,
+    clock: Instant,
+    next_request_id: u64,
+    pending: HashMap<u64, Pending>,
+    latency: LatencyHistogram,
+    latency_large: LatencyHistogram,
+    totals: ClientTotals,
+    client_id: u16,
+}
+
+impl Client {
+    /// Creates a client with the given id talking to `engine`.
+    pub fn new(engine: &dyn KvEngine, client_id: u16, seed: u64) -> Self {
+        let nic = engine.nic();
+        let server_queues = nic.num_queues();
+        Client {
+            nic,
+            // Client host ids start at 100 to stay clear of the server.
+            endpoint: Endpoint::host(100 + u32::from(client_id), 20_000 + client_id),
+            server_queues,
+            target_queues: 0..server_queues,
+            fragmenter: Fragmenter::new(u64::from(client_id) << 32),
+            reassembler: Reassembler::new(1024),
+            rng: Rng::new(seed),
+            clock: Instant::now(),
+            next_request_id: 1,
+            pending: HashMap::new(),
+            latency: LatencyHistogram::new(),
+            latency_large: LatencyHistogram::new(),
+            totals: ClientTotals::default(),
+            client_id,
+        }
+    }
+
+    /// Restricts the RX queues this client targets (SHO's contract).
+    pub fn with_target_queues(mut self, queues: std::ops::Range<u16>) -> Self {
+        assert!(!queues.is_empty());
+        assert!(queues.end <= self.server_queues);
+        self.target_queues = queues;
+        self
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.clock.elapsed().as_nanos() as u64
+    }
+
+    fn pick_random_queue(&mut self) -> u16 {
+        let span = self.target_queues.len();
+        self.target_queues.start + self.rng.index(span) as u16
+    }
+
+    fn pick_keyhash_queue(&self, key: u64) -> u16 {
+        let span = u64::from(self.target_queues.end - self.target_queues.start);
+        self.target_queues.start + (minos_kv::keyhash(key) % span) as u16
+    }
+
+    /// Sends one operation from the workload generator. Values for PUTs
+    /// are synthesized at the spec's item size.
+    pub fn send(&mut self, spec: &OpSpec) {
+        match spec.op {
+            Operation::Get => self.send_get(spec.key, spec.is_large),
+            Operation::Put => {
+                let value = vec![(spec.key % 251) as u8; spec.item_size as usize];
+                self.send_put(spec.key, &value, spec.is_large);
+            }
+        }
+    }
+
+    /// Sends a GET for `key` to a uniformly random (permitted) RX queue.
+    pub fn send_get(&mut self, key: u64, large_hint: bool) {
+        let queue = self.pick_random_queue();
+        let body = Body::Get { key };
+        self.send_message(body, key, queue, large_hint);
+    }
+
+    /// Sends a PUT for `key`; the RX queue is derived from the keyhash
+    /// (so all fragments of one PUT land in the same queue and writes to
+    /// one key are CREW-routable).
+    pub fn send_put(&mut self, key: u64, value: &[u8], large_hint: bool) {
+        let queue = self.pick_keyhash_queue(key);
+        let body = Body::Put {
+            key,
+            value: bytes::Bytes::copy_from_slice(value),
+        };
+        self.send_message(body, key, queue, large_hint);
+    }
+
+    /// Sends a DELETE for `key` (keyhash-routed like PUTs).
+    pub fn send_delete(&mut self, key: u64) {
+        let queue = self.pick_keyhash_queue(key);
+        self.send_message(Body::Delete { key }, key, queue, false);
+    }
+
+    fn send_message(&mut self, body: Body, key: u64, queue: u16, large: bool) {
+        let request_id = self.next_request_id;
+        self.next_request_id += 1;
+        let now = self.now_ns();
+        let msg = Message {
+            client_id: self.client_id,
+            request_id,
+            client_ts_ns: now,
+            body,
+        };
+        let encoded = msg.encode();
+        let dst = Endpoint::host(
+            crate::server::SERVER_HOST_ID,
+            UdpHeader::port_for_queue(queue),
+        );
+        for frag in self.fragmenter.fragment(&encoded) {
+            let frame = build_frame(self.endpoint, dst, &frag);
+            let _ = self.nic.deliver_frame(frame);
+        }
+        self.pending.insert(
+            request_id,
+            Pending {
+                sent_ns: now,
+                key,
+                large,
+            },
+        );
+        self.totals.sent += 1;
+    }
+
+    /// Drains reply packets from every server TX queue, reassembles and
+    /// matches them; returns completions observed in this poll.
+    pub fn poll(&mut self) -> Vec<Completion> {
+        let mut out = Vec::new();
+        let mut pkts = Vec::new();
+        for q in 0..self.server_queues {
+            self.nic.tx_drain(q, &mut pkts, 256);
+        }
+        for pkt in pkts.drain(..) {
+            // Replies for other clients go back untouched? In-process
+            // harnesses attach one client per engine TX drain; with
+            // multiple clients use `MultiClient`. Filter by port.
+            if pkt.meta.udp.dst_port != self.endpoint.port {
+                continue;
+            }
+            let src = pkt.source_endpoint();
+            match self.reassembler.push(src, pkt.payload) {
+                Reassembly::Complete(bytes) => {
+                    if let Some(msg) = Message::decode(bytes) {
+                        if let Some(c) = self.complete(msg) {
+                            out.push(c);
+                        }
+                    } else {
+                        self.totals.unmatched += 1;
+                    }
+                }
+                Reassembly::Incomplete => {}
+                _ => self.totals.unmatched += 1,
+            }
+        }
+        out
+    }
+
+    fn complete(&mut self, msg: Message) -> Option<Completion> {
+        let Some(pending) = self.pending.remove(&msg.request_id) else {
+            self.totals.unmatched += 1;
+            return None;
+        };
+        let latency_ns = self.now_ns().saturating_sub(pending.sent_ns);
+        let status = match &msg.body {
+            Body::GetReply { status, .. }
+            | Body::PutReply { status, .. }
+            | Body::DeleteReply { status, .. } => *status,
+            _ => {
+                self.totals.unmatched += 1;
+                return None;
+            }
+        };
+        self.totals.completed += 1;
+        if status != ReplyStatus::Ok {
+            self.totals.errors += 1;
+        }
+        self.latency.record_ns(latency_ns);
+        if pending.large {
+            self.latency_large.record_ns(latency_ns);
+        }
+        Some(Completion {
+            key: pending.key,
+            kind: msg.body.kind(),
+            status,
+            latency_ns,
+            large: pending.large,
+        })
+    }
+
+    /// Busy-polls until all outstanding requests complete or `timeout`
+    /// elapses; returns true on full completion.
+    pub fn drain(&mut self, timeout: std::time::Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.totals.outstanding() > 0 {
+            self.poll();
+            if Instant::now() > deadline {
+                return false;
+            }
+            std::hint::spin_loop();
+        }
+        true
+    }
+
+    /// Latency histogram over all completed requests.
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+
+    /// Latency histogram over large requests only (Figure 4's metric).
+    pub fn latency_large(&self) -> &LatencyHistogram {
+        &self.latency_large
+    }
+
+    /// Totals snapshot.
+    pub fn totals(&self) -> ClientTotals {
+        self.totals
+    }
+}

@@ -1,0 +1,127 @@
+//! Configuration of the Minos engine.
+
+use crate::cost::CostFn;
+
+/// How the size threshold between small and large is chosen.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ThresholdMode {
+    /// The paper's control loop: every epoch, core 0 aggregates the
+    /// per-core size histograms, smooths them, and sets the threshold to
+    /// the configured percentile of request sizes.
+    Dynamic,
+    /// A fixed threshold, for workloads profiled off-line (the variant
+    /// §6.2 describes to reclaim the profiling overhead under
+    /// write-intensive workloads).
+    Static(u64),
+}
+
+/// How cores are allocated between small and large requests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocationPolicy {
+    /// The paper's default: `n_small = ceil(small-cost share × n)`;
+    /// remaining cores are large; if none remain, one standby large
+    /// core is designated.
+    Standard,
+    /// The §6.1 "alternative design": allocate one extra large core and
+    /// let large cores steal small requests one at a time from small
+    /// RX queues when their software queues are empty, reclaiming the
+    /// capacity the ceiling over-allocates to small cores.
+    LargeSteals,
+}
+
+/// Full engine configuration, defaults matching the paper (§5.2).
+#[derive(Clone, Debug)]
+pub struct MinosConfig {
+    /// Server cores (and NIC queue pairs). The paper's testbed has 8.
+    pub n_cores: usize,
+    /// RX batch size `B` (32 in the paper; also used by the baselines).
+    pub batch_size: usize,
+    /// Statistics epoch in nanoseconds (1 s in the paper).
+    pub epoch_ns: u64,
+    /// EWMA discount factor for epoch smoothing (0.9 in the paper).
+    pub alpha: f64,
+    /// The percentile of request sizes that defines the threshold
+    /// (99.0: "finds the size corresponding to the 99th percentile,
+    /// declares that size to be the threshold").
+    pub threshold_percentile: f64,
+    /// Threshold selection mode.
+    pub threshold_mode: ThresholdMode,
+    /// The per-request cost function.
+    pub cost_fn: CostFn,
+    /// Core allocation policy.
+    pub allocation_policy: AllocationPolicy,
+    /// Capacity of each large core's software queue, in requests.
+    pub soft_queue_capacity: usize,
+}
+
+impl Default for MinosConfig {
+    fn default() -> Self {
+        MinosConfig {
+            n_cores: 8,
+            batch_size: 32,
+            epoch_ns: 1_000_000_000,
+            alpha: 0.9,
+            threshold_percentile: 99.0,
+            threshold_mode: ThresholdMode::Dynamic,
+            cost_fn: CostFn::Packets,
+            allocation_policy: AllocationPolicy::Standard,
+            soft_queue_capacity: 4096,
+        }
+    }
+}
+
+impl MinosConfig {
+    /// Validates invariants; called by the server on startup.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_cores == 0 {
+            return Err("n_cores must be positive".into());
+        }
+        if self.batch_size == 0 {
+            return Err("batch_size must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.alpha) {
+            return Err("alpha must be in [0, 1]".into());
+        }
+        if !(0.0..=100.0).contains(&self.threshold_percentile) {
+            return Err("threshold_percentile must be in [0, 100]".into());
+        }
+        if self.epoch_ns == 0 {
+            return Err("epoch_ns must be positive".into());
+        }
+        if self.soft_queue_capacity == 0 {
+            return Err("soft_queue_capacity must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = MinosConfig::default();
+        assert_eq!(c.n_cores, 8);
+        assert_eq!(c.batch_size, 32);
+        assert_eq!(c.epoch_ns, 1_000_000_000);
+        assert_eq!(c.alpha, 0.9);
+        assert_eq!(c.threshold_percentile, 99.0);
+        assert_eq!(c.threshold_mode, ThresholdMode::Dynamic);
+        assert_eq!(c.cost_fn, CostFn::Packets);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = MinosConfig::default();
+        c.n_cores = 0;
+        assert!(c.validate().is_err());
+        let mut c = MinosConfig::default();
+        c.alpha = 2.0;
+        assert!(c.validate().is_err());
+        let mut c = MinosConfig::default();
+        c.batch_size = 0;
+        assert!(c.validate().is_err());
+    }
+}

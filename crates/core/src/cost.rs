@@ -1,0 +1,112 @@
+//! The per-request cost function (paper §3).
+//!
+//! "We maintain a cost function that gives us for a request of a given
+//! size a certain processing cost. Minos can use various cost functions,
+//! but currently uses the number of network packets handled to serve the
+//! request ... Alternatives would be the number of bytes or a constant
+//! plus the number of bytes."
+//!
+//! All three are implemented; [`CostFn::Packets`] is the default and the
+//! one every experiment uses unless the ablation bench says otherwise.
+
+use minos_wire::message::MSG_HEADER_LEN;
+
+/// A per-request processing-cost model, keyed by item size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CostFn {
+    /// Number of network packets carrying the item (PUT request payload
+    /// or GET reply payload) — the paper's choice.
+    Packets,
+    /// Raw item bytes.
+    Bytes,
+    /// A fixed per-request overhead plus the item bytes; models
+    /// per-request CPU cost more faithfully for tiny items.
+    ConstantPlusBytes {
+        /// The fixed per-request cost, in byte-equivalents.
+        constant: u64,
+    },
+}
+
+impl CostFn {
+    /// The cost of serving a request for an item of `item_size` bytes.
+    ///
+    /// Never returns zero: every request costs at least one unit, so
+    /// cost shares stay well-defined for all-tiny workloads.
+    #[inline]
+    pub fn cost(&self, item_size: u64) -> u64 {
+        match self {
+            CostFn::Packets => {
+                u64::from(minos_wire::packets_for_payload(
+                    item_size as usize + MSG_HEADER_LEN,
+                ))
+            }
+            CostFn::Bytes => item_size.max(1),
+            CostFn::ConstantPlusBytes { constant } => constant.saturating_add(item_size).max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packets_cost_boundaries() {
+        let f = CostFn::Packets;
+        assert_eq!(f.cost(0), 1);
+        assert_eq!(f.cost(13), 1); // tiny item: one packet
+        assert_eq!(f.cost(1400), 1); // small item: one packet
+        assert!(f.cost(1500) >= 2, "large items span packets");
+        // A 500 KB reply spans hundreds of packets.
+        let c = f.cost(500_000);
+        assert!((300..400).contains(&c), "500 KB costs {c} packets");
+    }
+
+    #[test]
+    fn bytes_cost() {
+        assert_eq!(CostFn::Bytes.cost(1234), 1234);
+        assert_eq!(CostFn::Bytes.cost(0), 1, "never zero");
+    }
+
+    #[test]
+    fn constant_plus_bytes() {
+        let f = CostFn::ConstantPlusBytes { constant: 100 };
+        assert_eq!(f.cost(0), 100);
+        assert_eq!(f.cost(50), 150);
+    }
+
+    #[test]
+    fn packets_cost_is_monotonic() {
+        let f = CostFn::Packets;
+        let mut prev = 0;
+        for size in (0..1_000_000u64).step_by(10_000) {
+            let c = f.cost(size);
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn cost_matches_wire_fragmentation() {
+        // The controller's cost model and the actual datapath must agree
+        // on packet counts — they share packets_for_payload.
+        use bytes::Bytes;
+        use minos_wire::message::{Body, Message};
+        for size in [0usize, 100, 1456, 1457, 10_000, 500_000] {
+            let m = Message {
+                client_id: 0,
+                request_id: 0,
+                client_ts_ns: 0,
+                body: Body::Put {
+                    key: 1,
+                    value: Bytes::from(vec![0u8; size]),
+                },
+            };
+            assert_eq!(
+                CostFn::Packets.cost(size as u64),
+                u64::from(m.wire_packets()),
+                "size {size}"
+            );
+        }
+    }
+}

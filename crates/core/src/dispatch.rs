@@ -1,0 +1,92 @@
+//! Batch-draining quotas (paper §3).
+//!
+//! "Each small core repeats the following sequence of actions w.r.t. the
+//! RX queues: First, it reads a batch of B requests from its own RX
+//! queue. Then it reads a batch of B/ns requests from the RX queue of
+//! the large core. In this way, all RX queues are drained at
+//! approximately the same rate. The reason a large core never reads
+//! incoming requests from its RX queue is that, if it were to receive a
+//! small request, this request could experience head-of-line blocking
+//! behind large requests."
+
+/// How many packets one small core takes from one large core's RX queue
+/// per polling round, given batch size `B` and `n_small` small cores.
+///
+/// Rounded up so the aggregate across small cores is ≥ `B`: large-core
+/// RX queues are drained at least as fast as small ones, never slower.
+#[inline]
+pub fn large_rx_quota(batch: usize, n_small: usize) -> usize {
+    debug_assert!(n_small > 0);
+    batch.div_ceil(n_small)
+}
+
+/// The per-round RX draining schedule of one small core: its own queue
+/// at full batch, then every handoff core's queue at the shared quota.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DrainSchedule {
+    /// The core's own RX queue and its batch size.
+    pub own: (usize, usize),
+    /// `(queue, quota)` for each large/standby core's RX queue.
+    pub others: Vec<(usize, usize)>,
+}
+
+/// Builds the drain schedule for small core `core` under the allocation
+/// described by `n_small`, `handoff_cores` and batch size `batch`.
+pub fn drain_schedule(
+    core: usize,
+    batch: usize,
+    n_small: usize,
+    handoff_cores: std::ops::Range<usize>,
+) -> DrainSchedule {
+    let quota = large_rx_quota(batch, n_small);
+    DrainSchedule {
+        own: (core, batch),
+        others: handoff_cores
+            .filter(|&q| q != core) // standby core doesn't re-drain itself
+            .map(|q| (q, quota))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quota_rounds_up() {
+        assert_eq!(large_rx_quota(32, 7), 5); // 32/7 = 4.57 -> 5
+        assert_eq!(large_rx_quota(32, 8), 4);
+        assert_eq!(large_rx_quota(32, 1), 32);
+        assert_eq!(large_rx_quota(1, 8), 1);
+    }
+
+    #[test]
+    fn aggregate_drain_rate_covers_large_queues() {
+        // n_small small cores together must drain a large queue at >= B
+        // per round.
+        for n_small in 1..=16 {
+            let q = large_rx_quota(32, n_small);
+            assert!(q * n_small >= 32, "n_small {n_small}");
+        }
+    }
+
+    #[test]
+    fn schedule_for_dedicated_large_cores() {
+        // 6 small cores, large cores 6 and 7.
+        let s = drain_schedule(2, 32, 6, 6..8);
+        assert_eq!(s.own, (2, 32));
+        assert_eq!(s.others, vec![(6, 6), (7, 6)]);
+    }
+
+    #[test]
+    fn standby_core_does_not_drain_itself_twice() {
+        // Standby mode: 8 small cores, handoff core is 7. Core 7's
+        // schedule must not list queue 7 twice.
+        let s = drain_schedule(7, 32, 8, 7..8);
+        assert_eq!(s.own, (7, 32));
+        assert!(s.others.is_empty());
+        // Other small cores do help drain queue 7.
+        let s0 = drain_schedule(0, 32, 8, 7..8);
+        assert_eq!(s0.others, vec![(7, 4)]);
+    }
+}

@@ -1,0 +1,36 @@
+//! The engine abstraction shared by Minos and the baseline designs.
+//!
+//! The paper's comparison is apples-to-apples: "all the designs we
+//! consider are implemented in the same codebase. In particular, they
+//! all use the same KV data structure and lightweight network stack"
+//! (§5.2). [`KvEngine`] is how the harness code (examples, integration
+//! tests, benches) holds that promise: every engine exposes the same
+//! NIC, the same store type, and per-core statistics in the same shape.
+
+use minos_kv::Store;
+use minos_nic::VirtualNic;
+use minos_stats::CoreStats;
+use std::sync::Arc;
+
+/// A running KV server engine.
+pub trait KvEngine: Send {
+    /// Engine name as the paper labels it ("Minos", "HKH", "SHO",
+    /// "HKH+WS").
+    fn name(&self) -> &'static str;
+
+    /// The engine's NIC: clients deliver request frames here and drain
+    /// reply packets from its TX queues.
+    fn nic(&self) -> Arc<VirtualNic>;
+
+    /// The underlying store (for pre-loading datasets).
+    fn store(&self) -> Arc<Store>;
+
+    /// Number of server cores.
+    fn n_cores(&self) -> usize;
+
+    /// Per-core statistics snapshot (ops, packets, handoffs, steals).
+    fn core_stats(&self) -> Vec<CoreStats>;
+
+    /// Stops the polling threads and joins them. Idempotent.
+    fn shutdown(&mut self);
+}

@@ -1,0 +1,158 @@
+//! The published sharding plan: the atomically-swapped combination of
+//! threshold, core allocation and large-core size ranges.
+//!
+//! Core 0 recomputes the plan once per epoch and publishes it; every
+//! core re-reads it at the top of its polling loop. The plan is
+//! immutable once published (an `Arc` swap), so cores never observe a
+//! half-updated decision.
+
+use crate::allocation::{allocate, CoreAllocation};
+use crate::cost::CostFn;
+use crate::ranges::LargeRanges;
+use crate::threshold::ThresholdDecision;
+
+/// Where a classified request should be executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Destination {
+    /// Small request: execute on the receiving (small) core.
+    Local,
+    /// Large request: hand off to the software queue of this core id.
+    Handoff(usize),
+}
+
+/// An immutable sharding decision for one epoch.
+#[derive(Clone, Debug)]
+pub struct ShardingPlan {
+    /// Monotonic epoch counter.
+    pub epoch_id: u64,
+    /// The threshold decision in force.
+    pub decision: ThresholdDecision,
+    /// The core split.
+    pub allocation: CoreAllocation,
+    /// Equal-cost size ranges over the handoff cores.
+    pub ranges: LargeRanges,
+}
+
+impl ShardingPlan {
+    /// The bootstrap plan before any statistics: all cores small, the
+    /// last core on standby for large requests.
+    pub fn bootstrap(n_cores: usize) -> Self {
+        let decision = ThresholdDecision::bootstrap();
+        ShardingPlan {
+            epoch_id: 0,
+            decision,
+            allocation: allocate(n_cores, decision.small_cost_share),
+            ranges: LargeRanges::single(),
+        }
+    }
+
+    /// Builds the plan for a fresh decision using histogram `buckets`
+    /// (pairs of size upper bound and smoothed weight).
+    pub fn from_decision<I>(
+        epoch_id: u64,
+        n_cores: usize,
+        decision: ThresholdDecision,
+        buckets: I,
+        cost_fn: CostFn,
+    ) -> Self
+    where
+        I: IntoIterator<Item = (u64, f64)> + Clone,
+    {
+        let allocation = allocate(n_cores, decision.small_cost_share);
+        let ranges = LargeRanges::build(
+            buckets,
+            decision.threshold,
+            allocation.n_handoff(),
+            cost_fn,
+        );
+        ShardingPlan {
+            epoch_id,
+            decision,
+            allocation,
+            ranges,
+        }
+    }
+
+    /// Classifies a request for an item of `size` bytes.
+    #[inline]
+    pub fn classify(&self, size: u64) -> Destination {
+        if self.decision.is_small(size) {
+            Destination::Local
+        } else {
+            let idx = self.ranges.core_for_size(size);
+            let base = self.allocation.handoff_cores().start;
+            Destination::Handoff(base + idx.min(self.allocation.n_handoff() - 1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bootstrap_plan_is_standby() {
+        let p = ShardingPlan::bootstrap(8);
+        assert!(p.allocation.standby);
+        assert_eq!(p.classify(100), Destination::Local);
+        assert_eq!(p.classify(500_000), Destination::Handoff(7));
+    }
+
+    fn bimodal_buckets() -> Vec<(u64, f64)> {
+        let mut v = vec![(100u64, 99_875.0)];
+        for i in 0..50 {
+            v.push((1_500 + i * 10_000, 125.0 / 50.0));
+        }
+        v
+    }
+
+    #[test]
+    fn plan_routes_by_size_ranges() {
+        let decision = ThresholdDecision {
+            threshold: 1_400,
+            small_cost_share: 0.5, // forces several large cores
+            epoch_requests: 100_000,
+        };
+        let p = ShardingPlan::from_decision(3, 8, decision, bimodal_buckets(), CostFn::Packets);
+        assert_eq!(p.allocation.n_small, 4);
+        assert_eq!(p.allocation.n_large, 4);
+        assert_eq!(p.classify(100), Destination::Local);
+        // Small large items to the first large core, big ones later.
+        let Destination::Handoff(first) = p.classify(2_000) else {
+            panic!("2 KB must be handed off")
+        };
+        let Destination::Handoff(last) = p.classify(490_000) else {
+            panic!("490 KB must be handed off")
+        };
+        assert_eq!(first, 4, "smallest large sizes go to the first large core");
+        assert!(last > first);
+        assert!(last < 8);
+    }
+
+    #[test]
+    fn single_large_core_takes_all_large() {
+        let decision = ThresholdDecision {
+            threshold: 1_400,
+            small_cost_share: 0.875,
+            epoch_requests: 1,
+        };
+        let p = ShardingPlan::from_decision(1, 8, decision, bimodal_buckets(), CostFn::Packets);
+        assert_eq!(p.allocation.n_large, 1);
+        assert_eq!(p.classify(2_000), Destination::Handoff(7));
+        assert_eq!(p.classify(999_999), Destination::Handoff(7));
+    }
+
+    #[test]
+    fn classification_is_total() {
+        let p = ShardingPlan::bootstrap(4);
+        for size in [0u64, 1, 13, 14, 1_400, 1_456, 1_500, 250_000, u64::MAX] {
+            match p.classify(size) {
+                Destination::Local => assert!(p.decision.is_small(size)),
+                Destination::Handoff(c) => {
+                    assert!(!p.decision.is_small(size));
+                    assert!(c < 4);
+                }
+            }
+        }
+    }
+}

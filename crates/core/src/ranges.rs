@@ -1,0 +1,221 @@
+//! Size-aware sharding *within* the large class (paper §3).
+//!
+//! "Minos distributes the large requests over the large cores such that
+//! each large core handles a non-overlapping contiguous size range of
+//! requests, and such that the processing cost of requests assigned to
+//! each large core is the same. ... the smallest among the large
+//! requests are assigned to the first large core, and larger requests
+//! are progressively assigned to other cores."
+
+use crate::cost::CostFn;
+
+/// The size-range partition over the large cores.
+///
+/// `bounds[i]` is the inclusive upper size bound of large core `i`; the
+/// last bound is always `u64::MAX`, so every large size maps somewhere.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LargeRanges {
+    bounds: Vec<u64>,
+}
+
+impl LargeRanges {
+    /// A single range covering all large sizes (used when there is one
+    /// large core, the common case on the default workload).
+    pub fn single() -> Self {
+        LargeRanges {
+            bounds: vec![u64::MAX],
+        }
+    }
+
+    /// Builds an equal-cost partition into `n_large` contiguous ranges
+    /// from `(size_upper_bound, weight)` histogram buckets. Only buckets
+    /// strictly above `threshold` participate (smaller requests never
+    /// reach large cores).
+    ///
+    /// With no mass above the threshold the partition degenerates to
+    /// even log-spaced bounds so a fresh plan is still well-formed.
+    pub fn build<I>(buckets: I, threshold: u64, n_large: usize, cost_fn: CostFn) -> Self
+    where
+        I: IntoIterator<Item = (u64, f64)> + Clone,
+    {
+        assert!(n_large > 0);
+        if n_large == 1 {
+            return Self::single();
+        }
+        let large_buckets = || {
+            buckets
+                .clone()
+                .into_iter()
+                .filter(move |&(ub, w)| ub > threshold && w > 0.0)
+        };
+        let total_cost: f64 = large_buckets()
+            .map(|(ub, w)| cost_fn.cost(ub) as f64 * w)
+            .sum();
+        if total_cost <= 0.0 {
+            // No observed large mass: split the space evenly in log
+            // scale between the threshold and 1 GiB.
+            let mut bounds = Vec::with_capacity(n_large);
+            let lo = (threshold.max(1) as f64).ln();
+            let hi = (1u64 << 30) as f64;
+            let hi = hi.ln();
+            for i in 1..n_large {
+                let b = (lo + (hi - lo) * i as f64 / n_large as f64).exp() as u64;
+                bounds.push(b);
+            }
+            bounds.push(u64::MAX);
+            return LargeRanges { bounds };
+        }
+
+        let per_core = total_cost / n_large as f64;
+        let mut bounds = Vec::with_capacity(n_large);
+        let mut acc = 0.0f64;
+        let mut next_cut = per_core;
+        for (ub, w) in large_buckets() {
+            acc += cost_fn.cost(ub) as f64 * w;
+            while acc >= next_cut && bounds.len() < n_large - 1 {
+                bounds.push(ub);
+                next_cut += per_core;
+            }
+        }
+        while bounds.len() < n_large - 1 {
+            // Degenerate mass concentration: pad with the largest bound.
+            let last = bounds.last().copied().unwrap_or(threshold);
+            bounds.push(last);
+        }
+        bounds.push(u64::MAX);
+        LargeRanges { bounds }
+    }
+
+    /// Number of ranges (= large cores).
+    pub fn len(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// True if there is a single range.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The index (among large cores, `0..n_large`) that serves an item
+    /// of `size` bytes: the first range whose upper bound admits it.
+    pub fn core_for_size(&self, size: u64) -> usize {
+        match self.bounds.binary_search(&size) {
+            // On an exact bound match, sizes equal to the bound belong
+            // to that range (bounds are inclusive); binary_search may
+            // land on any equal element, so scan back to the first.
+            Ok(mut i) => {
+                while i > 0 && self.bounds[i - 1] >= size {
+                    i -= 1;
+                }
+                i
+            }
+            Err(i) => i,
+        }
+    }
+
+    /// The inclusive upper bounds of each range.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_range_maps_everything_to_core_zero() {
+        let r = LargeRanges::single();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.core_for_size(2_000), 0);
+        assert_eq!(r.core_for_size(u64::MAX), 0);
+    }
+
+    /// A uniform large-size histogram between 1500 and 500 000 bytes.
+    fn uniform_large_buckets() -> Vec<(u64, f64)> {
+        (0..500)
+            .map(|i| (1_500 + i * 1_000, 1.0))
+            .collect()
+    }
+
+    #[test]
+    fn equal_cost_split_is_balanced() {
+        let buckets = uniform_large_buckets();
+        let r = LargeRanges::build(buckets.clone(), 1_400, 4, CostFn::Packets);
+        assert_eq!(r.len(), 4);
+        // Cost within each range should be ~25 % of the total.
+        let cost = |lo: u64, hi: u64| -> f64 {
+            buckets
+                .iter()
+                .filter(|&&(ub, _)| ub > lo && ub <= hi)
+                .map(|&(ub, w)| CostFn::Packets.cost(ub) as f64 * w)
+                .sum()
+        };
+        let total: f64 = cost(1_400, u64::MAX);
+        let mut lo = 1_400u64;
+        for &b in r.bounds() {
+            let share = cost(lo, b) / total;
+            assert!(
+                (share - 0.25).abs() < 0.05,
+                "range up to {b}: share {share}"
+            );
+            lo = b;
+            if b == u64::MAX {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_are_ordered_smallest_first() {
+        let r = LargeRanges::build(uniform_large_buckets(), 1_400, 3, CostFn::Packets);
+        let b = r.bounds();
+        assert!(b.windows(2).all(|w| w[0] <= w[1]), "sorted bounds: {b:?}");
+        assert_eq!(*b.last().unwrap(), u64::MAX);
+        // Smaller sizes map to earlier cores.
+        assert_eq!(r.core_for_size(2_000), 0);
+        assert!(r.core_for_size(490_000) > r.core_for_size(2_000));
+    }
+
+    #[test]
+    fn every_size_maps_to_exactly_one_range() {
+        let r = LargeRanges::build(uniform_large_buckets(), 1_400, 4, CostFn::Packets);
+        let mut prev_core = 0;
+        for size in (1_500..=500_000u64).step_by(777) {
+            let c = r.core_for_size(size);
+            assert!(c < 4);
+            assert!(c >= prev_core, "monotone in size");
+            prev_core = c;
+        }
+    }
+
+    #[test]
+    fn boundary_sizes_belong_to_lower_range() {
+        let r = LargeRanges::build(uniform_large_buckets(), 1_400, 2, CostFn::Packets);
+        let cut = r.bounds()[0];
+        assert_eq!(r.core_for_size(cut), 0, "inclusive upper bound");
+        assert_eq!(r.core_for_size(cut + 1), 1);
+    }
+
+    #[test]
+    fn no_large_mass_falls_back_to_log_split() {
+        let r = LargeRanges::build(Vec::<(u64, f64)>::new(), 1_400, 3, CostFn::Packets);
+        assert_eq!(r.len(), 3);
+        assert_eq!(*r.bounds().last().unwrap(), u64::MAX);
+        let b = r.bounds();
+        assert!(b[0] > 1_400 && b[0] < b[1]);
+    }
+
+    #[test]
+    fn skewed_mass_still_produces_full_partition() {
+        // All the cost in one bucket: ranges degenerate but remain valid.
+        let buckets = vec![(250_000u64, 1_000.0)];
+        let r = LargeRanges::build(buckets, 1_400, 4, CostFn::Packets);
+        assert_eq!(r.len(), 4);
+        assert_eq!(*r.bounds().last().unwrap(), u64::MAX);
+        // Every size still maps somewhere valid.
+        for size in [1_500u64, 250_000, 900_000] {
+            assert!(r.core_for_size(size) < 4);
+        }
+    }
+}

@@ -1,0 +1,643 @@
+//! The threaded Minos server runtime.
+//!
+//! One busy-polling OS thread per simulated core, run-to-completion, no
+//! async runtime (DPDK style — the Rust networking guides' advice is
+//! that cooperative async schedulers and CPU-bound polling loops don't
+//! mix). Responsibilities per the paper (§3):
+//!
+//! * **Small cores** drain their own RX queue in batches of `B`, then
+//!   `B/n_s` from each large core's RX queue; they execute small
+//!   requests to completion and hand large ones to the software queue of
+//!   the large core whose size range matches.
+//! * **Large cores** never touch RX queues; they poll their lock-free
+//!   software queue, reassemble large PUTs, execute, and reply on their
+//!   own TX queue.
+//! * **Core 0** additionally runs the epoch control loop: aggregate the
+//!   per-core size histograms, update the threshold, re-allocate cores,
+//!   rebuild the size ranges, publish the new [`ShardingPlan`].
+
+use crate::config::{MinosConfig, ThresholdMode};
+use crate::dispatch::drain_schedule;
+use crate::engine::KvEngine;
+use crate::plan::{Destination, ShardingPlan};
+use crate::threshold::ThresholdController;
+use crossbeam::queue::ArrayQueue;
+use minos_kv::{PutError, Store, StoreConfig};
+use minos_nic::{NicConfig, VirtualNic};
+use minos_stats::{CoreStats, SharedCoreStats, SizeHistogram};
+use minos_wire::frag::{fragment_with_id, FragHeader, Reassembler, Reassembly};
+use minos_wire::message::{Body, Message, ReplyStatus, MSG_HEADER_LEN};
+use minos_wire::packet::{synthesize, Endpoint, Packet};
+use minos_wire::udp::UdpHeader;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Host id the server's endpoints use (clients must differ).
+pub const SERVER_HOST_ID: u32 = 1;
+
+/// Server configuration: engine policy plus store sizing.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Engine policy knobs.
+    pub minos: MinosConfig,
+    /// Store geometry.
+    pub store: StoreConfig,
+    /// NIC ring capacity per queue.
+    pub nic_queue_capacity: usize,
+}
+
+impl ServerConfig {
+    /// A config sized for functional tests: `n_cores` cores and room
+    /// for `n_items` items.
+    pub fn for_test(n_cores: usize, n_items: usize) -> Self {
+        let mut minos = MinosConfig::default();
+        minos.n_cores = n_cores;
+        minos.epoch_ns = 50_000_000; // 50 ms epochs so tests adapt fast
+        minos.soft_queue_capacity = 65_536; // bursty unpaced test clients
+        ServerConfig {
+            minos,
+            store: StoreConfig::for_items(n_cores * 4, n_items, 1 << 30),
+            nic_queue_capacity: 65_536,
+        }
+    }
+}
+
+/// A request extracted from the wire, ready to execute.
+#[derive(Debug)]
+pub struct ServerRequest {
+    /// The decoded message.
+    pub msg: Message,
+    /// Where the reply goes.
+    pub reply_to: Endpoint,
+}
+
+/// Items travelling through a large core's software queue.
+#[derive(Debug)]
+pub enum Handoff {
+    /// A complete request classified as large.
+    Request(ServerRequest),
+    /// One fragment of a multi-packet (large PUT) message; the large
+    /// core owns reassembly so small cores never buffer large payloads.
+    Fragment(Packet),
+}
+
+/// Counters specific to the Minos engine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineCounters {
+    /// Requests dropped because a software queue was full.
+    pub soft_queue_drops: u64,
+    /// Epochs the controller has published.
+    pub epochs: u64,
+    /// Malformed payloads dropped.
+    pub malformed: u64,
+}
+
+/// Pins every fragment of one in-flight multi-packet message to the core
+/// chosen for its first-seen fragment.
+///
+/// Without this, an epoch plan change landing between two fragments of a
+/// large PUT could split the message across two large cores' reassembly
+/// state and the request would never complete. Entries are removed when
+/// all fragments have been seen and are evicted oldest-first on overflow
+/// (a lost fragment means a lost request, which is the client's
+/// retransmission problem — §4.1).
+struct FlowPins {
+    inner: Mutex<std::collections::HashMap<(u64, u64), PinEntry>>,
+    cap: usize,
+}
+
+struct PinEntry {
+    target: usize,
+    seen: u16,
+    count: u16,
+    seq: u64,
+}
+
+impl FlowPins {
+    fn new(cap: usize) -> Self {
+        FlowPins {
+            inner: Mutex::new(std::collections::HashMap::new()),
+            cap,
+        }
+    }
+
+    /// Returns the pinned target core for fragment `(src, msg_id)`,
+    /// establishing `fresh_target` on first sight. `count` is the
+    /// message's total fragment count.
+    fn pin(&self, src: u64, msg_id: u64, count: u16, fresh_target: impl FnOnce() -> usize) -> usize {
+        let mut map = self.inner.lock();
+        let next_seq = map.len() as u64; // strictly for eviction ordering
+        let entry = map.entry((src, msg_id)).or_insert_with(|| PinEntry {
+            target: fresh_target(),
+            seen: 0,
+            count,
+            seq: next_seq,
+        });
+        entry.seen += 1;
+        let target = entry.target;
+        let done = entry.seen >= entry.count;
+        if done {
+            map.remove(&(src, msg_id));
+        } else if map.len() > self.cap {
+            if let Some(oldest) = map.iter().min_by_key(|(_, e)| e.seq).map(|(k, _)| *k) {
+                map.remove(&oldest);
+            }
+        }
+        target
+    }
+}
+
+struct Shared {
+    config: MinosConfig,
+    nic: Arc<VirtualNic>,
+    store: Arc<Store>,
+    plan: RwLock<Arc<ShardingPlan>>,
+    soft_queues: Vec<ArrayQueue<Handoff>>,
+    stats: Vec<SharedCoreStats>,
+    size_hists: Vec<Mutex<SizeHistogram>>,
+    controller: Mutex<ThresholdController>,
+    shutdown: AtomicBool,
+    start: Instant,
+    soft_drops: AtomicU64,
+    epochs: AtomicU64,
+    malformed: AtomicU64,
+    epoch_deadline_ns: AtomicU64,
+    /// Per-core reply message-id counters (fragment reassembly keys).
+    msg_ids: Vec<AtomicU64>,
+    /// Fragment-to-core pinning for in-flight multi-packet messages.
+    flow_pins: FlowPins,
+}
+
+impl Shared {
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    fn endpoint(&self, core: usize) -> Endpoint {
+        Endpoint::host(SERVER_HOST_ID, UdpHeader::port_for_queue(core as u16))
+    }
+}
+
+/// The running Minos server.
+pub struct MinosServer {
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl MinosServer {
+    /// Builds and starts the server threads.
+    pub fn start(config: ServerConfig) -> Self {
+        config.minos.validate().expect("invalid Minos config");
+        let n = config.minos.n_cores;
+        let controller = ThresholdController::new(
+            config.minos.threshold_mode,
+            config.minos.threshold_percentile,
+            config.minos.alpha,
+            config.minos.cost_fn,
+        );
+        let shared = Arc::new(Shared {
+            nic: Arc::new(VirtualNic::new(
+                NicConfig::new(n as u16).with_queue_capacity(config.nic_queue_capacity),
+            )),
+            store: Arc::new(Store::new(config.store.clone())),
+            plan: RwLock::new(Arc::new(ShardingPlan::bootstrap(n))),
+            soft_queues: (0..n)
+                .map(|_| ArrayQueue::new(config.minos.soft_queue_capacity))
+                .collect(),
+            stats: (0..n).map(|_| SharedCoreStats::new()).collect(),
+            size_hists: (0..n).map(|_| Mutex::new(SizeHistogram::new())).collect(),
+            controller: Mutex::new(controller),
+            shutdown: AtomicBool::new(false),
+            start: Instant::now(),
+            soft_drops: AtomicU64::new(0),
+            epochs: AtomicU64::new(0),
+            malformed: AtomicU64::new(0),
+            epoch_deadline_ns: AtomicU64::new(config.minos.epoch_ns),
+            msg_ids: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            flow_pins: FlowPins::new(4096),
+            config: config.minos,
+        });
+        let threads = (0..n)
+            .map(|core| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("minos-core-{core}"))
+                    .spawn(move || core_loop(&shared, core))
+                    .expect("spawn core thread")
+            })
+            .collect();
+        MinosServer { shared, threads }
+    }
+
+    /// The plan currently in force (inspection/testing).
+    pub fn plan(&self) -> Arc<ShardingPlan> {
+        self.shared.plan.read().clone()
+    }
+
+    /// Engine-specific counters.
+    pub fn counters(&self) -> EngineCounters {
+        EngineCounters {
+            soft_queue_drops: self.shared.soft_drops.load(Ordering::Relaxed),
+            epochs: self.shared.epochs.load(Ordering::Relaxed),
+            malformed: self.shared.malformed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Forces an epoch update immediately (testing hook: the same code
+    /// path core 0 runs on the epoch timer).
+    pub fn force_epoch(&self) {
+        run_epoch(&self.shared);
+    }
+}
+
+impl KvEngine for MinosServer {
+    fn name(&self) -> &'static str {
+        "Minos"
+    }
+
+    fn nic(&self) -> Arc<VirtualNic> {
+        Arc::clone(&self.shared.nic)
+    }
+
+    fn store(&self) -> Arc<Store> {
+        Arc::clone(&self.shared.store)
+    }
+
+    fn n_cores(&self) -> usize {
+        self.shared.config.n_cores
+    }
+
+    fn core_stats(&self) -> Vec<CoreStats> {
+        self.shared.stats.iter().map(|s| s.snapshot()).collect()
+    }
+
+    fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MinosServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn core_loop(shared: &Shared, core: usize) {
+    let mut rx_buf: Vec<Packet> = Vec::with_capacity(shared.config.batch_size * 2);
+    let mut reassembler = Reassembler::new(1024);
+    let mut idle_rounds = 0u32;
+
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        let plan = shared.plan.read().clone();
+        let mut did_work = false;
+
+        // Core 0 drives the epoch control loop.
+        if core == 0 && matches!(shared.config.threshold_mode, ThresholdMode::Dynamic) {
+            let now = shared.now_ns();
+            let deadline = shared.epoch_deadline_ns.load(Ordering::Relaxed);
+            if now >= deadline
+                && shared
+                    .epoch_deadline_ns
+                    .compare_exchange(deadline, now + shared.config.epoch_ns, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+            {
+                run_epoch(shared);
+            }
+        }
+
+        // Small cores drain RX queues (their own plus the large cores').
+        if plan.allocation.is_small_core(core) {
+            let schedule = drain_schedule(
+                core,
+                shared.config.batch_size,
+                plan.allocation.n_small,
+                plan.allocation.handoff_cores(),
+            );
+            rx_buf.clear();
+            let own = shared
+                .nic
+                .rx_burst(schedule.own.0 as u16, &mut rx_buf, schedule.own.1);
+            let mut total = own;
+            for &(q, quota) in &schedule.others {
+                total += shared.nic.rx_burst(q as u16, &mut rx_buf, quota);
+            }
+            if total > 0 {
+                did_work = true;
+                for pkt in rx_buf.drain(..) {
+                    process_rx_packet(shared, core, &plan, &mut reassembler, pkt);
+                }
+            }
+        }
+
+        // Every core drains its own software queue: dedicated large
+        // cores live off it, the standby core serves it alongside small
+        // work, and a core that just flipped large -> small still
+        // flushes stragglers.
+        for _ in 0..shared.config.batch_size {
+            match shared.soft_queues[core].pop() {
+                Some(Handoff::Request(req)) => {
+                    did_work = true;
+                    execute_and_reply(shared, core, req);
+                }
+                Some(Handoff::Fragment(pkt)) => {
+                    did_work = true;
+                    let src = pkt.source_endpoint();
+                    let reply_to = endpoint_of(&pkt);
+                    match reassembler.push(src, pkt.payload) {
+                        Reassembly::Complete(bytes) => match Message::decode(bytes) {
+                            Some(msg) => execute_and_reply(shared, core, ServerRequest { msg, reply_to }),
+                            None => {
+                                shared.malformed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        },
+                        Reassembly::Incomplete => {}
+                        _ => {
+                            shared.malformed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                None => break,
+            }
+        }
+
+        if did_work {
+            idle_rounds = 0;
+        } else {
+            idle_rounds = idle_rounds.saturating_add(1);
+            if idle_rounds > 64 {
+                // Be a polite busy-poller on shared test machines: the
+                // real deployment would pin cores and spin.
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+/// The epoch control step (paper §3, "How to find the threshold" +
+/// "How to choose the number of small cores").
+fn run_epoch(shared: &Shared) {
+    let mut aggregate = SizeHistogram::new();
+    for hist in &shared.size_hists {
+        let taken = hist.lock().take();
+        aggregate.merge(&taken);
+    }
+    let mut controller = shared.controller.lock();
+    let decision = controller.epoch_update(&aggregate);
+    let epoch_id = controller.epochs();
+    let plan = ShardingPlan::from_decision(
+        epoch_id,
+        shared.config.n_cores,
+        decision,
+        controller.smoothed_buckets(),
+        shared.config.cost_fn,
+    );
+    *shared.plan.write() = Arc::new(plan);
+    shared.epochs.store(epoch_id, Ordering::Relaxed);
+}
+
+fn endpoint_of(pkt: &Packet) -> Endpoint {
+    Endpoint {
+        mac: pkt.meta.eth.src,
+        ip: pkt.meta.ip.src,
+        port: pkt.meta.udp.src_port,
+    }
+}
+
+/// Handles one packet drained from an RX queue by a small core.
+fn process_rx_packet(
+    shared: &Shared,
+    core: usize,
+    plan: &ShardingPlan,
+    reassembler: &mut Reassembler,
+    pkt: Packet,
+) {
+    shared.stats[core].record_rx(1, pkt.wire_len() as u64);
+    let mut rd = pkt.payload.clone();
+    let Some(fh) = FragHeader::decode(&mut rd) else {
+        shared.malformed.fetch_add(1, Ordering::Relaxed);
+        return;
+    };
+
+    if fh.count > 1 {
+        // A multi-fragment message: necessarily a large PUT request.
+        // The item size is knowable from the fragment header alone, so
+        // classify without reassembling ("the size is known to the
+        // client and present in the request. There is therefore no need
+        // to do a lookup").
+        let item_size = u64::from(fh.msg_len).saturating_sub(MSG_HEADER_LEN as u64);
+        if fh.index == 0 {
+            shared.size_hists[core].lock().record(item_size);
+        }
+        // All fragments of one message must reach the same reassembler,
+        // across plan changes and across the multiple small cores that
+        // drain one RX queue — so the target core is pinned on the
+        // message's first-seen fragment.
+        let target = shared
+            .flow_pins
+            .pin(pkt.source_endpoint(), fh.msg_id, fh.count, || {
+                match plan.classify(item_size) {
+                    Destination::Handoff(t) => t,
+                    // Threshold above this size (heavily large-skewed
+                    // workload): this core keeps the message.
+                    Destination::Local => core,
+                }
+            });
+        if target == core {
+            let reply_to = endpoint_of(&pkt);
+            match reassembler.push(pkt.source_endpoint(), pkt.payload) {
+                Reassembly::Complete(bytes) => match Message::decode(bytes) {
+                    Some(msg) => execute_and_reply(shared, core, ServerRequest { msg, reply_to }),
+                    None => {
+                        shared.malformed.fetch_add(1, Ordering::Relaxed);
+                    }
+                },
+                Reassembly::Incomplete => {}
+                _ => {
+                    shared.malformed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        } else if shared.soft_queues[target].push(Handoff::Fragment(pkt)).is_err() {
+            shared.soft_drops.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shared.stats[core].record_handoff();
+        }
+        return;
+    }
+
+    // Single-fragment packet: a complete (small-sized) message.
+    let Some(msg) = Message::decode(rd) else {
+        shared.malformed.fetch_add(1, Ordering::Relaxed);
+        return;
+    };
+    let reply_to = endpoint_of(&pkt);
+    handle_message(shared, core, plan, ServerRequest { msg, reply_to });
+}
+
+/// Classifies a complete request on a small core and either executes it
+/// or hands it off.
+fn handle_message(shared: &Shared, core: usize, plan: &ShardingPlan, req: ServerRequest) {
+    match &req.msg.body {
+        Body::Get { key } => {
+            // One lookup decides: reply directly if the item is small,
+            // hand the *request* off if large (the large core re-reads).
+            match shared.store.get(*key) {
+                None => {
+                    shared.size_hists[core].lock().record(0);
+                    shared.stats[core].record_get(false);
+                    reply_direct(shared, core, &req, ReplyStatus::NotFound, None);
+                }
+                Some(value) => {
+                    let size = value.len() as u64;
+                    shared.size_hists[core].lock().record(size);
+                    match plan.classify(size) {
+                        Destination::Local => {
+                            shared.stats[core].record_get(false);
+                            reply_direct(shared, core, &req, ReplyStatus::Ok, Some(value));
+                        }
+                        Destination::Handoff(target) => {
+                            drop(value);
+                            if shared.soft_queues[target].push(Handoff::Request(req)).is_err() {
+                                shared.soft_drops.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                shared.stats[core].record_handoff();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Body::Put { value, .. } => {
+            let size = value.len() as u64;
+            shared.size_hists[core].lock().record(size);
+            match plan.classify(size) {
+                Destination::Local => execute_and_reply(shared, core, req),
+                Destination::Handoff(target) => {
+                    if shared.soft_queues[target].push(Handoff::Request(req)).is_err() {
+                        shared.soft_drops.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        shared.stats[core].record_handoff();
+                    }
+                }
+            }
+        }
+        Body::Delete { .. } => {
+            // Deletes carry no payload and free memory; they execute
+            // locally (create/delete are PUT variants in the paper and
+            // are not discussed further — this is the obvious policy).
+            execute_and_reply(shared, core, req);
+        }
+        _ => {
+            // Replies arriving at a server are protocol violations.
+            shared.malformed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Transmits a reply for a request whose outcome is already known
+/// (small-core fast path: the lookup already happened during
+/// classification).
+fn reply_direct(
+    shared: &Shared,
+    core: usize,
+    req: &ServerRequest,
+    status: ReplyStatus,
+    value: Option<minos_kv::PoolBytes>,
+) {
+    let msg_id = ((core as u64) << 48)
+        | (shared.msg_ids[core].fetch_add(1, Ordering::Relaxed) & 0xFFFF_FFFF_FFFF);
+    let (packets, bytes_out) =
+        transmit_reply(&shared.nic, core as u16, shared.endpoint(core), req, status, value, msg_id);
+    shared.stats[core].record_tx(packets, bytes_out);
+}
+
+/// Executes a request on this core (small or large) and transmits the
+/// reply on this core's TX queue.
+fn execute_and_reply(shared: &Shared, core: usize, req: ServerRequest) {
+    let Some((status, value, was_get, large)) = execute(&shared.store, &req.msg) else {
+        shared.malformed.fetch_add(1, Ordering::Relaxed);
+        return;
+    };
+    if was_get {
+        shared.stats[core].record_get(large);
+    } else {
+        shared.stats[core].record_put(large);
+    }
+    let msg_id = ((core as u64) << 48)
+        | (shared.msg_ids[core].fetch_add(1, Ordering::Relaxed) & 0xFFFF_FFFF_FFFF);
+    let (packets, bytes_out) =
+        transmit_reply(&shared.nic, core as u16, shared.endpoint(core), &req, status, value, msg_id);
+    shared.stats[core].record_tx(packets, bytes_out);
+}
+
+/// Executes `msg` against `store`, returning `(status, reply value,
+/// was_get, item_was_large)`; `None` for protocol violations (a reply
+/// arriving at the server). Shared by every engine — Minos and the
+/// baselines execute requests identically (§5.2's fairness requirement).
+pub fn execute(
+    store: &Store,
+    msg: &Message,
+) -> Option<(ReplyStatus, Option<minos_kv::PoolBytes>, bool, bool)> {
+    match &msg.body {
+        Body::Get { key } => match store.get(*key) {
+            Some(value) => {
+                let large = value.len() > minos_wire::MAX_FRAG_CHUNK;
+                Some((ReplyStatus::Ok, Some(value), true, large))
+            }
+            None => Some((ReplyStatus::NotFound, None, true, false)),
+        },
+        Body::Put { key, value } => {
+            let large = value.len() > minos_wire::MAX_FRAG_CHUNK;
+            let status = match store.put(*key, value) {
+                Ok(()) => ReplyStatus::Ok,
+                Err(PutError::OutOfMemory) | Err(PutError::TableFull) => ReplyStatus::OutOfMemory,
+            };
+            Some((status, None, false, large))
+        }
+        Body::Delete { key } => {
+            let found = store.delete(*key);
+            Some((
+                if found { ReplyStatus::Ok } else { ReplyStatus::NotFound },
+                None,
+                false,
+                false,
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// Encodes, fragments and transmits a reply on `tx_queue`. Returns the
+/// `(packets, bytes)` transmitted. Shared by every engine.
+pub fn transmit_reply(
+    nic: &VirtualNic,
+    tx_queue: u16,
+    src: Endpoint,
+    req: &ServerRequest,
+    status: ReplyStatus,
+    value: Option<minos_kv::PoolBytes>,
+    msg_id: u64,
+) -> (u64, u64) {
+    let value_bytes = value.map(|v| bytes::Bytes::copy_from_slice(&v));
+    let reply = req.msg.reply(status, value_bytes);
+    let encoded = reply.encode();
+    let mut packets = 0u64;
+    let mut bytes_out = 0u64;
+    for frag in fragment_with_id(msg_id, &encoded) {
+        let pkt = synthesize(src, req.reply_to, frag);
+        packets += 1;
+        bytes_out += pkt.wire_len() as u64;
+        if !nic.tx_push(tx_queue, pkt) {
+            // TX ring full: tail-drop, like hardware. The client's loss
+            // accounting notices.
+            break;
+        }
+    }
+    (packets, bytes_out)
+}

@@ -1,0 +1,191 @@
+//! The cache-line bucket with its 64-bit epoch and overflow link.
+//!
+//! Paper §4.2: "Each partition is a hash table, each entry of which
+//! points to a bucket, equal in size to a cache line. Each bucket
+//! contains a number of slots, each of which contains a tag and a pointer
+//! to a key-value item. ... Each bucket has a 64-bit epoch, which is
+//! incremented when starting and ending a write on a key stored in that
+//! bucket."
+//!
+//! Slot encoding (one `AtomicU64` per slot):
+//!
+//! ```text
+//!   63          48 47           32 31                    0
+//!  +--------------+---------------+-----------------------+
+//!  |   tag (16)   |  unused (16)  |   item index + 1 (32) |
+//!  +--------------+---------------+-----------------------+
+//! ```
+//!
+//! A raw value of `0` is an empty slot; the item index is stored
+//! offset by one so that index 0 is representable.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Slots per bucket: 7 slot words + epoch + link ≈ one cache line pair,
+/// matching MICA's layout spirit (MICA uses 8-way buckets; we reserve one
+/// word for the overflow link).
+pub const SLOTS_PER_BUCKET: usize = 7;
+
+/// Sentinel for "no overflow bucket chained".
+pub const NO_OVERFLOW: u32 = u32::MAX;
+
+/// A packed slot value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Slot {
+    /// The 15-bit non-zero tag from the keyhash.
+    pub tag: u16,
+    /// Index of the item in the partition's item table.
+    pub item: u32,
+}
+
+impl Slot {
+    /// Packs the slot into its atomic representation.
+    #[inline]
+    pub fn pack(self) -> u64 {
+        debug_assert_ne!(self.tag, 0, "tag 0 is the empty marker");
+        (u64::from(self.tag) << 48) | u64::from(self.item + 1)
+    }
+
+    /// Unpacks a raw slot word; `None` for an empty slot.
+    #[inline]
+    pub fn unpack(raw: u64) -> Option<Slot> {
+        if raw == 0 {
+            return None;
+        }
+        Some(Slot {
+            tag: (raw >> 48) as u16,
+            item: (raw as u32) - 1,
+        })
+    }
+}
+
+/// A bucket: epoch, slots, overflow link.
+#[derive(Debug)]
+pub struct Bucket {
+    /// The optimistic-concurrency epoch: odd while a write is in
+    /// progress, even otherwise.
+    pub epoch: AtomicU64,
+    slots: [AtomicU64; SLOTS_PER_BUCKET],
+    /// Index of the chained overflow bucket in the partition's overflow
+    /// pool, or [`NO_OVERFLOW`].
+    pub next: AtomicU32,
+}
+
+impl Default for Bucket {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bucket {
+    /// An empty bucket.
+    pub fn new() -> Self {
+        Bucket {
+            epoch: AtomicU64::new(0),
+            slots: Default::default(),
+            next: AtomicU32::new(NO_OVERFLOW),
+        }
+    }
+
+    /// Reads slot `i` (atomic, tear-free).
+    #[inline]
+    pub fn slot(&self, i: usize) -> Option<Slot> {
+        Slot::unpack(self.slots[i].load(Ordering::Acquire))
+    }
+
+    /// Writes slot `i`. Must only be called by the bucket's writer while
+    /// the epoch is odd.
+    #[inline]
+    pub fn set_slot(&self, i: usize, slot: Option<Slot>) {
+        let raw = slot.map_or(0, Slot::pack);
+        self.slots[i].store(raw, Ordering::Release);
+    }
+
+    /// Iterates over occupied slots as `(slot_index, Slot)`.
+    pub fn occupied(&self) -> impl Iterator<Item = (usize, Slot)> + '_ {
+        (0..SLOTS_PER_BUCKET).filter_map(|i| self.slot(i).map(|s| (i, s)))
+    }
+
+    /// Finds the first empty slot index, if any.
+    pub fn first_empty(&self) -> Option<usize> {
+        (0..SLOTS_PER_BUCKET).find(|&i| self.slot(i).is_none())
+    }
+
+    /// Begins a write: bumps the epoch to odd. Callers must hold the
+    /// partition/bucket write lock.
+    #[inline]
+    pub fn write_begin(&self) {
+        let e = self.epoch.fetch_add(1, Ordering::AcqRel);
+        debug_assert_eq!(e % 2, 0, "nested write_begin");
+    }
+
+    /// Ends a write: bumps the epoch back to even.
+    #[inline]
+    pub fn write_end(&self) {
+        let e = self.epoch.fetch_add(1, Ordering::AcqRel);
+        debug_assert_eq!(e % 2, 1, "write_end without write_begin");
+    }
+
+    /// Snapshot of the epoch for optimistic readers.
+    #[inline]
+    pub fn epoch_snapshot(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for tag in [1u16, 2, 0x7FFF] {
+            for item in [0u32, 1, 12345, u32::MAX - 1] {
+                let s = Slot { tag, item };
+                assert_eq!(Slot::unpack(s.pack()), Some(s));
+            }
+        }
+        assert_eq!(Slot::unpack(0), None);
+    }
+
+    #[test]
+    fn empty_bucket() {
+        let b = Bucket::new();
+        assert_eq!(b.occupied().count(), 0);
+        assert_eq!(b.first_empty(), Some(0));
+        assert_eq!(b.next.load(Ordering::Relaxed), NO_OVERFLOW);
+    }
+
+    #[test]
+    fn slot_set_get() {
+        let b = Bucket::new();
+        let s = Slot { tag: 7, item: 99 };
+        b.set_slot(3, Some(s));
+        assert_eq!(b.slot(3), Some(s));
+        assert_eq!(b.occupied().count(), 1);
+        assert_eq!(b.first_empty(), Some(0));
+        b.set_slot(3, None);
+        assert_eq!(b.slot(3), None);
+    }
+
+    #[test]
+    fn epoch_protocol() {
+        let b = Bucket::new();
+        assert_eq!(b.epoch_snapshot() % 2, 0);
+        b.write_begin();
+        assert_eq!(b.epoch_snapshot() % 2, 1, "odd during write");
+        b.write_end();
+        assert_eq!(b.epoch_snapshot(), 2, "even after write");
+    }
+
+    #[test]
+    fn fills_all_slots() {
+        let b = Bucket::new();
+        for i in 0..SLOTS_PER_BUCKET {
+            assert_eq!(b.first_empty(), Some(i));
+            b.set_slot(i, Some(Slot { tag: 1, item: i as u32 }));
+        }
+        assert_eq!(b.first_empty(), None);
+        assert_eq!(b.occupied().count(), SLOTS_PER_BUCKET);
+    }
+}

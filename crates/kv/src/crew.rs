@@ -1,0 +1,76 @@
+//! CREW (Concurrent Read Exclusive Write) core-ownership helpers.
+//!
+//! Under CREW (paper §4.2), "each core is the master of one partition,
+//! and a given key can be written only by the master core of the
+//! corresponding partition", which serializes writes per key without a
+//! lock. Minos deviates slightly: keys mastered by *large* cores may be
+//! written by any core (the request may be dispatched), so those PUTs
+//! take the bucket spinlock — which the [`crate::Store`] always does
+//! anyway; under CREW routing the lock is simply never contended.
+//!
+//! This module provides the routing arithmetic shared by all engines.
+
+/// The master core of `partition` on a server with `n_cores` cores.
+///
+/// Partitions are striped over cores round-robin, the standard MICA
+/// assignment. With `partitions % n_cores == 0` every core masters the
+/// same number of partitions.
+#[inline]
+pub fn master_core(partition: usize, n_cores: usize) -> usize {
+    debug_assert!(n_cores > 0);
+    partition % n_cores
+}
+
+/// The partitions mastered by `core` given `partitions` total partitions
+/// and `n_cores` cores.
+pub fn partitions_of_core(core: usize, partitions: usize, n_cores: usize) -> Vec<usize> {
+    (0..partitions).filter(|&p| master_core(p, n_cores) == core).collect()
+}
+
+/// Validates a CREW-friendly configuration: every core masters at least
+/// one partition, and mastering is balanced (max - min <= 1).
+pub fn is_balanced(partitions: usize, n_cores: usize) -> bool {
+    if partitions < n_cores {
+        return false;
+    }
+    let per = partitions / n_cores;
+    let rem = partitions % n_cores;
+    // Round-robin striping gives `per + 1` to the first `rem` cores.
+    (0..n_cores).all(|c| {
+        let owned = per + usize::from(c < rem);
+        partitions_of_core(c, partitions, n_cores).len() == owned
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_assignment() {
+        assert_eq!(master_core(0, 8), 0);
+        assert_eq!(master_core(7, 8), 7);
+        assert_eq!(master_core(8, 8), 0);
+        assert_eq!(master_core(13, 8), 5);
+    }
+
+    #[test]
+    fn partitions_of_core_inverts_master() {
+        let n_cores = 8;
+        let partitions = 32;
+        for core in 0..n_cores {
+            let owned = partitions_of_core(core, partitions, n_cores);
+            assert_eq!(owned.len(), 4);
+            for p in owned {
+                assert_eq!(master_core(p, n_cores), core);
+            }
+        }
+    }
+
+    #[test]
+    fn balance_check() {
+        assert!(is_balanced(32, 8));
+        assert!(is_balanced(9, 8)); // one core gets 2, others 1
+        assert!(!is_balanced(4, 8)); // some cores master nothing
+    }
+}

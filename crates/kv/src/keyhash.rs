@@ -1,0 +1,126 @@
+//! The keyhash and its three-way split.
+//!
+//! MICA (and Minos, §4.2) derive three things from one hash of the key:
+//! "A first portion of the keyhash is used to determine the partition, a
+//! second portion to map a key to a bucket within a partition, and a
+//! third portion forms the tag" used to filter slot candidates without
+//! touching item memory.
+//!
+//! Keys are fixed 8-byte values in this reproduction (paper §5.3), so the
+//! hash is a 64-bit finalizer (the SplitMix64 mixer, which passes full
+//! avalanche tests) rather than a byte-stream hash.
+
+/// Hashes an 8-byte key.
+#[inline]
+pub fn keyhash(key: u64) -> u64 {
+    // SplitMix64 finalizer: full-avalanche 64-bit mixing.
+    let mut z = key.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// The three portions of a keyhash.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KeyhashParts {
+    /// Partition index in `[0, num_partitions)` — from the high bits.
+    pub partition: usize,
+    /// Bucket index within the partition — from the middle bits.
+    pub bucket: usize,
+    /// 15-bit non-zero tag — from the low bits (`0` means "empty slot"
+    /// in the bucket encoding, so tag 0 is remapped to 1).
+    pub tag: u16,
+}
+
+/// Splits `hash` for a table with `num_partitions` partitions of
+/// `num_buckets` buckets each. `num_buckets` must be a power of two
+/// (MICA sizes tables this way to make the mask cheap).
+#[inline]
+pub fn split(hash: u64, num_partitions: usize, num_buckets: usize) -> KeyhashParts {
+    debug_assert!(num_buckets.is_power_of_two());
+    debug_assert!(num_partitions > 0);
+    let partition = ((hash >> 48) as usize) % num_partitions;
+    let bucket = ((hash >> 16) as usize) & (num_buckets - 1);
+    let mut tag = (hash & 0x7FFF) as u16;
+    if tag == 0 {
+        tag = 1;
+    }
+    KeyhashParts {
+        partition,
+        bucket,
+        tag,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(keyhash(42), keyhash(42));
+        assert_ne!(keyhash(42), keyhash(43));
+    }
+
+    #[test]
+    fn avalanche_smoke() {
+        // Flipping one input bit should flip ~32 output bits on average.
+        let mut total = 0u32;
+        let samples = 1000;
+        for i in 0..samples {
+            let a = keyhash(i);
+            let b = keyhash(i ^ 1);
+            total += (a ^ b).count_ones();
+        }
+        let avg = total as f64 / samples as f64;
+        assert!((avg - 32.0).abs() < 2.0, "avalanche average {avg}");
+    }
+
+    #[test]
+    fn tag_never_zero() {
+        for key in 0..100_000u64 {
+            let parts = split(keyhash(key), 16, 1 << 10);
+            assert_ne!(parts.tag, 0);
+            assert!(parts.partition < 16);
+            assert!(parts.bucket < 1 << 10);
+        }
+    }
+
+    #[test]
+    fn partitions_are_balanced() {
+        let parts = 8;
+        let mut counts = vec![0u32; parts];
+        for key in 0..80_000u64 {
+            counts[split(keyhash(key), parts, 1 << 10).partition] += 1;
+        }
+        for (p, &c) in counts.iter().enumerate() {
+            let share = c as f64 / 80_000.0;
+            assert!(
+                (share - 1.0 / parts as f64).abs() < 0.01,
+                "partition {p} share {share}"
+            );
+        }
+    }
+
+    #[test]
+    fn portions_are_independent() {
+        // Keys in the same partition must still spread over buckets.
+        let mut bucket_counts = std::collections::HashMap::new();
+        let mut n = 0;
+        for key in 0..200_000u64 {
+            let parts = split(keyhash(key), 8, 1 << 8);
+            if parts.partition == 3 {
+                *bucket_counts.entry(parts.bucket).or_insert(0u32) += 1;
+                n += 1;
+            }
+        }
+        assert!(bucket_counts.len() == 256, "all buckets hit");
+        let expect = n as f64 / 256.0;
+        for (&b, &c) in &bucket_counts {
+            assert!(
+                (c as f64) < expect * 2.0 && (c as f64) > expect * 0.4,
+                "bucket {b} count {c} vs expected {expect}"
+            );
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! A DPDK-`rte_mempool`-style memory manager.
+//!
+//! "The current prototype of Minos employs the memory manager of the DPDK
+//! library to handle allocation of memory regions for key-value entries"
+//! (paper §4.2). The essential properties of that allocator, reproduced
+//! here, are:
+//!
+//! * **fixed capacity**: the pool owns a budget of bytes decided up
+//!   front (DPDK pre-allocates hugepages); allocation beyond it fails
+//!   rather than growing;
+//! * **size-class freelists**: freed blocks of a class are recycled
+//!   without touching the system allocator (segregated fits, the
+//!   MICA-style extension the paper mentions);
+//! * **O(1) alloc/free** on the hot path once a class is warm.
+//!
+//! Values are handed out as [`PoolBytes`]: cheaply clonable,
+//! reference-counted, read-only buffers that return their block to the
+//! pool when the last reference drops. This is what makes MICA-style
+//! optimistic GETs safe in Rust: a reader that won the epoch validation
+//! holds a reference, so a concurrent PUT replacing the item can never
+//! free the bytes under the reader.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Smallest block class, bytes.
+const MIN_CLASS: usize = 64;
+
+/// Statistics for a [`Mempool`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MempoolStats {
+    /// Successful allocations.
+    pub allocs: u64,
+    /// Allocations satisfied from a freelist (no system allocation).
+    pub reuses: u64,
+    /// Failed allocations (capacity exhausted or oversized).
+    pub failures: u64,
+    /// Blocks returned to freelists.
+    pub frees: u64,
+    /// Bytes currently charged against the capacity.
+    pub used_bytes: usize,
+    /// Configured capacity in bytes.
+    pub capacity_bytes: usize,
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// Freelists per size class; class `i` holds blocks of
+    /// `MIN_CLASS << i` bytes.
+    classes: Vec<Mutex<Vec<Box<[u8]>>>>,
+    max_class_bytes: usize,
+    capacity: usize,
+    used: AtomicUsize,
+    allocs: AtomicU64,
+    reuses: AtomicU64,
+    failures: AtomicU64,
+    frees: AtomicU64,
+}
+
+impl Inner {
+    fn class_of(&self, len: usize) -> Option<usize> {
+        let block = len.max(1).next_power_of_two().max(MIN_CLASS);
+        if block > self.max_class_bytes {
+            return None;
+        }
+        Some(block.trailing_zeros() as usize - MIN_CLASS.trailing_zeros() as usize)
+    }
+
+    fn class_bytes(class: usize) -> usize {
+        MIN_CLASS << class
+    }
+
+    fn release(&self, block: Box<[u8]>, class: usize) {
+        self.frees.fetch_add(1, Ordering::Relaxed);
+        self.used
+            .fetch_sub(Self::class_bytes(class), Ordering::Relaxed);
+        let mut freelist = self.classes[class].lock();
+        freelist.push(block);
+    }
+}
+
+/// A fixed-capacity size-class memory pool for item values.
+#[derive(Clone, Debug)]
+pub struct Mempool {
+    inner: Arc<Inner>,
+}
+
+impl Mempool {
+    /// Creates a pool with a budget of `capacity_bytes` and a maximum
+    /// block size of `max_item_bytes` (rounded up to a power of two).
+    pub fn new(capacity_bytes: usize, max_item_bytes: usize) -> Self {
+        let max_class_bytes = max_item_bytes.max(MIN_CLASS).next_power_of_two();
+        let num_classes = (max_class_bytes / MIN_CLASS).trailing_zeros() as usize + 1;
+        Mempool {
+            inner: Arc::new(Inner {
+                classes: (0..num_classes).map(|_| Mutex::new(Vec::new())).collect(),
+                max_class_bytes,
+                capacity: capacity_bytes,
+                used: AtomicUsize::new(0),
+                allocs: AtomicU64::new(0),
+                reuses: AtomicU64::new(0),
+                failures: AtomicU64::new(0),
+                frees: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Allocates a buffer holding a copy of `data`. Returns `None` if the
+    /// pool is out of capacity or `data` exceeds the maximum block size.
+    pub fn alloc_from(&self, data: &[u8]) -> Option<PoolBytes> {
+        let inner = &self.inner;
+        let Some(class) = inner.class_of(data.len()) else {
+            inner.failures.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        let class_bytes = Inner::class_bytes(class);
+
+        // Charge capacity first (optimistically), back out on failure.
+        let prev = inner.used.fetch_add(class_bytes, Ordering::Relaxed);
+        if prev + class_bytes > inner.capacity {
+            inner.used.fetch_sub(class_bytes, Ordering::Relaxed);
+            inner.failures.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+
+        let recycled = inner.classes[class].lock().pop();
+        let mut block = match recycled {
+            Some(b) => {
+                inner.reuses.fetch_add(1, Ordering::Relaxed);
+                b
+            }
+            None => vec![0u8; class_bytes].into_boxed_slice(),
+        };
+        block[..data.len()].copy_from_slice(data);
+        inner.allocs.fetch_add(1, Ordering::Relaxed);
+        Some(PoolBytes(Arc::new(PoolBuf {
+            block: Some(block),
+            len: data.len(),
+            class,
+            pool: Arc::downgrade(inner),
+        })))
+    }
+
+    /// Bytes currently charged against the capacity.
+    pub fn used_bytes(&self) -> usize {
+        self.inner.used.load(Ordering::Relaxed)
+    }
+
+    /// Configured capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> MempoolStats {
+        let i = &self.inner;
+        MempoolStats {
+            allocs: i.allocs.load(Ordering::Relaxed),
+            reuses: i.reuses.load(Ordering::Relaxed),
+            failures: i.failures.load(Ordering::Relaxed),
+            frees: i.frees.load(Ordering::Relaxed),
+            used_bytes: i.used.load(Ordering::Relaxed),
+            capacity_bytes: i.capacity,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PoolBuf {
+    /// `Some` until dropped; taken in `Drop` to return to the pool.
+    block: Option<Box<[u8]>>,
+    len: usize,
+    class: usize,
+    pool: std::sync::Weak<Inner>,
+}
+
+impl Drop for PoolBuf {
+    fn drop(&mut self) {
+        if let Some(block) = self.block.take() {
+            if let Some(pool) = self.pool.upgrade() {
+                pool.release(block, self.class);
+            }
+            // If the pool is gone the block just drops normally.
+        }
+    }
+}
+
+/// A reference-counted, read-only value buffer backed by a [`Mempool`]
+/// block. Cloning is O(1); the block returns to the pool when the last
+/// clone drops.
+#[derive(Clone, Debug)]
+pub struct PoolBytes(Arc<PoolBuf>);
+
+impl PoolBytes {
+    /// Length of the value in bytes (not the block size).
+    pub fn len(&self) -> usize {
+        self.0.len
+    }
+
+    /// True if the value is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.len == 0
+    }
+}
+
+impl std::ops::Deref for PoolBytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0.block.as_ref().expect("live buffer")[..self.0.len]
+    }
+}
+
+impl AsRef<[u8]> for PoolBytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl PartialEq for PoolBytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+impl Eq for PoolBytes {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_copies_data() {
+        let pool = Mempool::new(1 << 20, 1 << 16);
+        let v = pool.alloc_from(b"hello world").unwrap();
+        assert_eq!(&v[..], b"hello world");
+        assert_eq!(v.len(), 11);
+    }
+
+    #[test]
+    fn capacity_is_enforced_and_freed_on_drop() {
+        let pool = Mempool::new(256, 256);
+        let a = pool.alloc_from(&[0u8; 100]).unwrap(); // 128-byte class
+        let b = pool.alloc_from(&[0u8; 100]).unwrap(); // 128-byte class
+        assert_eq!(pool.used_bytes(), 256);
+        assert!(pool.alloc_from(&[0u8; 10]).is_none(), "over capacity");
+        drop(a);
+        assert_eq!(pool.used_bytes(), 128);
+        let c = pool.alloc_from(&[0u8; 10]).unwrap();
+        drop(b);
+        drop(c);
+        assert_eq!(pool.used_bytes(), 0);
+    }
+
+    #[test]
+    fn freelist_reuse() {
+        let pool = Mempool::new(1 << 20, 1 << 16);
+        let a = pool.alloc_from(&[1u8; 1000]).unwrap();
+        drop(a);
+        let _b = pool.alloc_from(&[2u8; 1000]).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.allocs, 2);
+        assert_eq!(s.reuses, 1);
+        assert_eq!(s.frees, 1);
+    }
+
+    #[test]
+    fn oversized_allocation_fails() {
+        let pool = Mempool::new(1 << 30, 1 << 10);
+        assert!(pool.alloc_from(&vec![0u8; 4096]).is_none());
+        assert_eq!(pool.stats().failures, 1);
+    }
+
+    #[test]
+    fn clone_shares_block() {
+        let pool = Mempool::new(1 << 20, 1 << 16);
+        let a = pool.alloc_from(b"shared").unwrap();
+        let used = pool.used_bytes();
+        let b = a.clone();
+        assert_eq!(pool.used_bytes(), used, "clone allocates nothing");
+        drop(a);
+        assert_eq!(&b[..], b"shared");
+        assert_eq!(pool.used_bytes(), used, "block alive while a clone lives");
+        drop(b);
+        assert_eq!(pool.used_bytes(), 0);
+    }
+
+    #[test]
+    fn survives_pool_drop() {
+        let pool = Mempool::new(1 << 20, 1 << 16);
+        let v = pool.alloc_from(b"orphan").unwrap();
+        drop(pool);
+        assert_eq!(&v[..], b"orphan"); // block outlives the pool
+    }
+
+    #[test]
+    fn zero_length_values() {
+        let pool = Mempool::new(1 << 20, 1 << 16);
+        let v = pool.alloc_from(b"").unwrap();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+    }
+
+    #[test]
+    fn concurrent_alloc_free() {
+        let pool = Mempool::new(64 << 20, 1 << 20);
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let pool = pool.clone();
+                std::thread::spawn(move || {
+                    for i in 0..2000usize {
+                        let data = vec![(t ^ i) as u8; (i % 2000) + 1];
+                        let v = pool.alloc_from(&data).unwrap();
+                        assert_eq!(&v[..], &data[..]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(pool.used_bytes(), 0);
+        let s = pool.stats();
+        assert_eq!(s.allocs, 8000);
+        assert_eq!(s.frees, 8000);
+    }
+}

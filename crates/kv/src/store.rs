@@ -1,0 +1,674 @@
+//! The partitioned store: optimistic GETs, locked PUTs, overflow chains.
+//!
+//! Protocol summary (paper §4.2):
+//!
+//! * **GET** (any core): read the bucket epoch; if odd, a write is in
+//!   progress — wait. Once even, remember the epoch, scan the bucket
+//!   chain for slots whose tag matches, fetch the candidate item, then
+//!   re-read the epoch. If unchanged the read is consistent; otherwise
+//!   retry. Item bytes are reference-counted pool buffers, so a
+//!   concurrent replacement can never free memory under a reader.
+//! * **PUT/DELETE**: serialized per bucket by a spinlock (Minos' scheme —
+//!   under CREW ownership of partitions the lock is uncontended, and the
+//!   store exposes [`Store::partition_of_key`] so engines can route
+//!   writes to the master core). Writers bump the epoch to odd, mutate
+//!   slots, bump back to even.
+
+use crate::bucket::{Bucket, Slot, NO_OVERFLOW, SLOTS_PER_BUCKET};
+use crate::keyhash::{keyhash, split};
+use crate::mem::{Mempool, PoolBytes};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Configuration for a [`Store`].
+#[derive(Clone, Debug)]
+pub struct StoreConfig {
+    /// Number of partitions; the paper assigns one master core per
+    /// partition (CREW), so this is typically a multiple of the core
+    /// count.
+    pub partitions: usize,
+    /// Buckets per partition (rounded up to a power of two).
+    pub buckets_per_partition: usize,
+    /// Overflow buckets per partition.
+    pub overflow_per_partition: usize,
+    /// Item capacity per partition.
+    pub items_per_partition: usize,
+    /// Value-memory budget for the whole store, in bytes.
+    pub mempool_bytes: usize,
+    /// Largest storable value, in bytes.
+    pub max_value_bytes: usize,
+}
+
+impl StoreConfig {
+    /// A configuration sized for roughly `n_items` items of mixed sizes,
+    /// with `partitions` partitions.
+    pub fn for_items(partitions: usize, n_items: usize, mempool_bytes: usize) -> Self {
+        let per_part = n_items.div_ceil(partitions);
+        // Aim for ~50 % bucket occupancy.
+        let buckets = (per_part * 2 / SLOTS_PER_BUCKET).next_power_of_two().max(8);
+        StoreConfig {
+            partitions,
+            buckets_per_partition: buckets,
+            overflow_per_partition: (buckets / 4).max(8),
+            items_per_partition: per_part * 2,
+            mempool_bytes,
+            max_value_bytes: 1 << 20, // 1 MiB, the paper's largest item
+        }
+    }
+}
+
+/// Why a PUT failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PutError {
+    /// The value memory pool is exhausted (or the value exceeds the
+    /// maximum block size).
+    OutOfMemory,
+    /// The bucket chain and overflow pool are full.
+    TableFull,
+}
+
+/// Store-wide statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StoreStats {
+    /// Completed GETs that found the key.
+    pub get_hits: u64,
+    /// Completed GETs that missed.
+    pub get_misses: u64,
+    /// Optimistic-read retries (epoch changed during the read).
+    pub get_retries: u64,
+    /// Successful PUTs.
+    pub puts: u64,
+    /// Failed PUTs.
+    pub put_failures: u64,
+    /// Successful DELETEs.
+    pub deletes: u64,
+    /// Overflow buckets currently in use across all partitions.
+    pub overflow_in_use: u64,
+    /// Items currently stored.
+    pub items: u64,
+}
+
+#[derive(Debug)]
+struct ItemEntry {
+    key: u64,
+    value: PoolBytes,
+}
+
+#[derive(Debug)]
+struct ItemTable {
+    slots: Vec<Mutex<Option<ItemEntry>>>,
+    freelist: Mutex<Vec<u32>>,
+}
+
+impl ItemTable {
+    fn new(capacity: usize) -> Self {
+        ItemTable {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            freelist: Mutex::new((0..capacity as u32).rev().collect()),
+        }
+    }
+
+    fn alloc(&self, key: u64, value: PoolBytes) -> Option<u32> {
+        let idx = self.freelist.lock().pop()?;
+        *self.slots[idx as usize].lock() = Some(ItemEntry { key, value });
+        Some(idx)
+    }
+
+    fn replace(&self, idx: u32, value: PoolBytes) {
+        let mut slot = self.slots[idx as usize].lock();
+        let entry = slot.as_mut().expect("replace of a live item");
+        entry.value = value;
+    }
+
+    fn free(&self, idx: u32) {
+        *self.slots[idx as usize].lock() = None;
+        self.freelist.lock().push(idx);
+    }
+
+    /// Reads the item at `idx` if it currently holds `key`.
+    fn read(&self, idx: u32, key: u64) -> Option<PoolBytes> {
+        let slot = self.slots[idx as usize].lock();
+        match &*slot {
+            Some(e) if e.key == key => Some(e.value.clone()),
+            _ => None,
+        }
+    }
+
+    /// The key stored at `idx`, if any (writer-side use only).
+    fn key_at(&self, idx: u32) -> Option<u64> {
+        self.slots[idx as usize].lock().as_ref().map(|e| e.key)
+    }
+}
+
+#[derive(Debug)]
+struct Partition {
+    buckets: Box<[Bucket]>,
+    /// Per-primary-bucket writer locks. One lock guards a primary bucket
+    /// and its entire overflow chain.
+    locks: Box<[Mutex<()>]>,
+    overflow: Box<[Bucket]>,
+    overflow_freelist: Mutex<Vec<u32>>,
+    items: ItemTable,
+}
+
+impl Partition {
+    fn new(config: &StoreConfig) -> Self {
+        let buckets = config.buckets_per_partition.next_power_of_two();
+        Partition {
+            buckets: (0..buckets).map(|_| Bucket::new()).collect(),
+            locks: (0..buckets).map(|_| Mutex::new(())).collect(),
+            overflow: (0..config.overflow_per_partition)
+                .map(|_| Bucket::new())
+                .collect(),
+            overflow_freelist: Mutex::new((0..config.overflow_per_partition as u32).rev().collect()),
+            items: ItemTable::new(config.items_per_partition),
+        }
+    }
+
+    /// Walks the bucket chain starting at primary `b`, yielding bucket
+    /// references (primary first).
+    fn chain(&self, b: usize) -> ChainIter<'_> {
+        ChainIter {
+            part: self,
+            next: ChainPos::Primary(b),
+        }
+    }
+}
+
+enum ChainPos {
+    Primary(usize),
+    Overflow(u32),
+    End,
+}
+
+struct ChainIter<'a> {
+    part: &'a Partition,
+    next: ChainPos,
+}
+
+impl<'a> Iterator for ChainIter<'a> {
+    type Item = &'a Bucket;
+
+    fn next(&mut self) -> Option<&'a Bucket> {
+        let bucket = match self.next {
+            ChainPos::Primary(b) => &self.part.buckets[b],
+            ChainPos::Overflow(i) => &self.part.overflow[i as usize],
+            ChainPos::End => return None,
+        };
+        let link = bucket.next.load(Ordering::Acquire);
+        self.next = if link == NO_OVERFLOW {
+            ChainPos::End
+        } else {
+            ChainPos::Overflow(link)
+        };
+        Some(bucket)
+    }
+}
+
+/// The partitioned MICA-style store.
+#[derive(Debug)]
+pub struct Store {
+    partitions: Vec<Partition>,
+    mempool: Mempool,
+    num_buckets: usize,
+    get_hits: AtomicU64,
+    get_misses: AtomicU64,
+    get_retries: AtomicU64,
+    puts: AtomicU64,
+    put_failures: AtomicU64,
+    deletes: AtomicU64,
+    overflow_in_use: AtomicU64,
+    items: AtomicU64,
+}
+
+impl Store {
+    /// Builds an empty store.
+    pub fn new(config: StoreConfig) -> Self {
+        assert!(config.partitions > 0);
+        let num_buckets = config.buckets_per_partition.next_power_of_two();
+        Store {
+            partitions: (0..config.partitions).map(|_| Partition::new(&config)).collect(),
+            mempool: Mempool::new(config.mempool_bytes, config.max_value_bytes),
+            num_buckets,
+            get_hits: AtomicU64::new(0),
+            get_misses: AtomicU64::new(0),
+            get_retries: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+            put_failures: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
+            overflow_in_use: AtomicU64::new(0),
+            items: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// The partition `key` lives in — the CREW routing input.
+    pub fn partition_of_key(&self, key: u64) -> usize {
+        split(keyhash(key), self.partitions.len(), self.num_buckets).partition
+    }
+
+    /// Optimistic GET: returns the value if present.
+    pub fn get(&self, key: u64) -> Option<PoolBytes> {
+        let h = keyhash(key);
+        let parts = split(h, self.partitions.len(), self.num_buckets);
+        let partition = &self.partitions[parts.partition];
+        let primary = &partition.buckets[parts.bucket];
+
+        loop {
+            let e1 = primary.epoch_snapshot();
+            if e1 % 2 == 1 {
+                // A write is in progress; spin until it completes.
+                std::hint::spin_loop();
+                continue;
+            }
+            let mut found: Option<PoolBytes> = None;
+            'scan: for bucket in partition.chain(parts.bucket) {
+                for (_, slot) in bucket.occupied() {
+                    if slot.tag == parts.tag {
+                        if let Some(v) = partition.items.read(slot.item, key) {
+                            found = Some(v);
+                            break 'scan;
+                        }
+                    }
+                }
+            }
+            let e2 = primary.epoch_snapshot();
+            if e1 == e2 {
+                match found {
+                    Some(v) => {
+                        self.get_hits.fetch_add(1, Ordering::Relaxed);
+                        return Some(v);
+                    }
+                    None => {
+                        self.get_misses.fetch_add(1, Ordering::Relaxed);
+                        return None;
+                    }
+                }
+            }
+            self.get_retries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The stored size of `key`'s value in bytes, if present. This is the
+    /// lookup a small core performs to classify a GET as small or large
+    /// (paper §3: "a small core looks up the item associated with the
+    /// requested key; if its size is below the threshold ...").
+    pub fn value_len(&self, key: u64) -> Option<usize> {
+        self.get(key).map(|v| v.len())
+    }
+
+    /// PUT: stores `value` under `key`, replacing any existing value.
+    pub fn put(&self, key: u64, value: &[u8]) -> Result<(), PutError> {
+        // Copy the value into pool memory *before* taking the bucket
+        // lock: the critical section stays O(1) regardless of item size.
+        let Some(pooled) = self.mempool.alloc_from(value) else {
+            self.put_failures.fetch_add(1, Ordering::Relaxed);
+            return Err(PutError::OutOfMemory);
+        };
+
+        let h = keyhash(key);
+        let parts = split(h, self.partitions.len(), self.num_buckets);
+        let partition = &self.partitions[parts.partition];
+        let primary = &partition.buckets[parts.bucket];
+        let _guard = partition.locks[parts.bucket].lock();
+
+        // Find an existing slot for this key (outside the epoch-odd
+        // window: we hold the lock, so slots cannot change under us).
+        let existing = self.find_slot_locked(partition, parts.bucket, parts.tag, key);
+        match existing {
+            Some((_, slot)) => {
+                primary.write_begin();
+                partition.items.replace(slot.item, pooled);
+                primary.write_end();
+            }
+            None => {
+                // Need a free slot somewhere in the chain.
+                let Some(item_idx) = partition.items.alloc(key, pooled) else {
+                    self.put_failures.fetch_add(1, Ordering::Relaxed);
+                    return Err(PutError::TableFull);
+                };
+                match self.claim_empty_slot(partition, parts.bucket) {
+                    Some(target) => {
+                        primary.write_begin();
+                        target.0.set_slot(target.1, Some(Slot { tag: parts.tag, item: item_idx }));
+                        primary.write_end();
+                        self.items.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => {
+                        partition.items.free(item_idx);
+                        self.put_failures.fetch_add(1, Ordering::Relaxed);
+                        return Err(PutError::TableFull);
+                    }
+                }
+            }
+        }
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// DELETE: removes `key`, returning whether it was present.
+    pub fn delete(&self, key: u64) -> bool {
+        let h = keyhash(key);
+        let parts = split(h, self.partitions.len(), self.num_buckets);
+        let partition = &self.partitions[parts.partition];
+        let primary = &partition.buckets[parts.bucket];
+        let _guard = partition.locks[parts.bucket].lock();
+
+        match self.find_slot_locked(partition, parts.bucket, parts.tag, key) {
+            Some((bucket_ref, slot)) => {
+                primary.write_begin();
+                bucket_ref.0.set_slot(bucket_ref.1, None);
+                primary.write_end();
+                partition.items.free(slot.item);
+                self.items.fetch_sub(1, Ordering::Relaxed);
+                self.deletes.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Scans the chain under the writer lock for the slot holding `key`.
+    /// Returns the bucket + slot index and the decoded slot.
+    #[allow(clippy::type_complexity)]
+    fn find_slot_locked<'p>(
+        &self,
+        partition: &'p Partition,
+        primary: usize,
+        tag: u16,
+        key: u64,
+    ) -> Option<((&'p Bucket, usize), Slot)> {
+        for bucket in partition.chain(primary) {
+            for (i, slot) in bucket.occupied() {
+                if slot.tag == tag && partition.items.key_at(slot.item) == Some(key) {
+                    return Some(((bucket, i), slot));
+                }
+            }
+        }
+        None
+    }
+
+    /// Finds (or creates, by chaining an overflow bucket) an empty slot
+    /// in the chain of `primary`. Caller holds the writer lock.
+    fn claim_empty_slot<'p>(
+        &self,
+        partition: &'p Partition,
+        primary: usize,
+    ) -> Option<(&'p Bucket, usize)> {
+        let mut last: &Bucket = &partition.buckets[primary];
+        for bucket in partition.chain(primary) {
+            if let Some(i) = bucket.first_empty() {
+                return Some((bucket, i));
+            }
+            last = bucket;
+        }
+        // Chain full: dynamically assign an overflow bucket (§4.2).
+        let idx = partition.overflow_freelist.lock().pop()?;
+        self.overflow_in_use.fetch_add(1, Ordering::Relaxed);
+        let fresh = &partition.overflow[idx as usize];
+        debug_assert_eq!(fresh.occupied().count(), 0);
+        last.next.store(idx, Ordering::Release);
+        Some((fresh, 0))
+    }
+
+    /// Access to the value memory pool (capacity/usage reporting).
+    pub fn mempool(&self) -> &Mempool {
+        &self.mempool
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            get_hits: self.get_hits.load(Ordering::Relaxed),
+            get_misses: self.get_misses.load(Ordering::Relaxed),
+            get_retries: self.get_retries.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            put_failures: self.put_failures.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            overflow_in_use: self.overflow_in_use.load(Ordering::Relaxed),
+            items: self.items.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of items currently stored.
+    pub fn len(&self) -> u64 {
+        self.items.load(Ordering::Relaxed)
+    }
+
+    /// True if the store holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_store() -> Store {
+        // 4 partitions x (16 buckets x 7 slots + 32 overflow x 7 slots):
+        // enough for the 1000-key test below (~250 keys per partition)
+        // while still forcing overflow chains.
+        Store::new(StoreConfig {
+            partitions: 4,
+            buckets_per_partition: 16,
+            overflow_per_partition: 32,
+            items_per_partition: 512,
+            mempool_bytes: 16 << 20,
+            max_value_bytes: 1 << 20,
+        })
+    }
+
+    #[test]
+    fn get_missing_returns_none() {
+        let s = small_store();
+        assert_eq!(s.get(42), None);
+        assert_eq!(s.stats().get_misses, 1);
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let s = small_store();
+        s.put(42, b"value-42").unwrap();
+        assert_eq!(&s.get(42).unwrap()[..], b"value-42");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.value_len(42), Some(8));
+    }
+
+    #[test]
+    fn put_replaces_value() {
+        let s = small_store();
+        s.put(1, b"old").unwrap();
+        s.put(1, b"the new, longer value").unwrap();
+        assert_eq!(&s.get(1).unwrap()[..], b"the new, longer value");
+        assert_eq!(s.len(), 1, "replacement does not grow the store");
+    }
+
+    #[test]
+    fn delete_removes() {
+        let s = small_store();
+        s.put(7, b"x").unwrap();
+        assert!(s.delete(7));
+        assert!(!s.delete(7));
+        assert_eq!(s.get(7), None);
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn delete_frees_pool_memory() {
+        let s = small_store();
+        s.put(7, &[0u8; 4096]).unwrap();
+        let used = s.mempool().used_bytes();
+        assert!(used >= 4096);
+        assert!(s.delete(7));
+        assert_eq!(s.mempool().used_bytes(), 0);
+    }
+
+    #[test]
+    fn many_keys_roundtrip_through_overflow() {
+        // 4 partitions * 16 buckets * 7 slots = 448 primary slots; 1000
+        // keys force overflow chaining.
+        let s = small_store();
+        for k in 0..1000u64 {
+            s.put(k, format!("value-{k}").as_bytes()).unwrap();
+        }
+        assert!(s.stats().overflow_in_use > 0, "overflow exercised");
+        for k in 0..1000u64 {
+            assert_eq!(
+                &s.get(k).unwrap()[..],
+                format!("value-{k}").as_bytes(),
+                "key {k}"
+            );
+        }
+        assert_eq!(s.len(), 1000);
+        // And delete them all again.
+        for k in 0..1000u64 {
+            assert!(s.delete(k), "key {k}");
+        }
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.mempool().used_bytes(), 0);
+    }
+
+    #[test]
+    fn table_full_reported() {
+        let s = Store::new(StoreConfig {
+            partitions: 1,
+            buckets_per_partition: 1,
+            overflow_per_partition: 0,
+            items_per_partition: 100,
+            mempool_bytes: 1 << 20,
+            max_value_bytes: 1 << 16,
+        });
+        let mut stored = 0;
+        let mut failed = false;
+        for k in 0..100u64 {
+            match s.put(k, b"v") {
+                Ok(()) => stored += 1,
+                Err(PutError::TableFull) => {
+                    failed = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert!(failed, "tiny table must fill up");
+        assert_eq!(stored as u64, s.len());
+    }
+
+    #[test]
+    fn out_of_memory_reported() {
+        let s = Store::new(StoreConfig {
+            partitions: 1,
+            buckets_per_partition: 16,
+            overflow_per_partition: 4,
+            items_per_partition: 64,
+            mempool_bytes: 1024,
+            max_value_bytes: 1 << 16,
+        });
+        assert_eq!(s.put(1, &[0u8; 2048]), Err(PutError::OutOfMemory));
+        assert_eq!(s.stats().put_failures, 1);
+    }
+
+    #[test]
+    fn large_values() {
+        let s = small_store();
+        let big = vec![0xAB; 1 << 20];
+        s.put(5, &big).unwrap();
+        let got = s.get(5).unwrap();
+        assert_eq!(got.len(), big.len());
+        assert_eq!(&got[..], &big[..]);
+    }
+
+    #[test]
+    fn reader_holds_value_across_replacement() {
+        let s = small_store();
+        s.put(1, b"first").unwrap();
+        let held = s.get(1).unwrap();
+        s.put(1, b"second").unwrap();
+        // The old buffer is still alive and unchanged for the reader.
+        assert_eq!(&held[..], b"first");
+        assert_eq!(&s.get(1).unwrap()[..], b"second");
+    }
+
+    #[test]
+    fn concurrent_readers_writers_consistency() {
+        use std::sync::Arc;
+        // Writers store self-describing values; readers must never see a
+        // value inconsistent with its key (torn or mismatched).
+        let s = Arc::new(small_store());
+        let keys = 64u64;
+        for k in 0..keys {
+            s.put(k, &pattern(k, 0)).unwrap();
+        }
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        let writers: Vec<_> = (0..2)
+            .map(|w| {
+                let s = Arc::clone(&s);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut round = 1u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        for k in (w..keys).step_by(2) {
+                            s.put(k, &pattern(k, round)).unwrap();
+                        }
+                        round += 1;
+                    }
+                })
+            })
+            .collect();
+
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut checked = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        for k in 0..keys {
+                            if let Some(v) = s.get(k) {
+                                assert_valid_pattern(k, &v);
+                                checked += 1;
+                            }
+                        }
+                    }
+                    checked
+                })
+            })
+            .collect();
+
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
+        let total: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+        assert!(total > 0, "readers made progress");
+    }
+
+    fn pattern(key: u64, round: u64) -> Vec<u8> {
+        let mut v = Vec::with_capacity(64);
+        v.extend_from_slice(&key.to_le_bytes());
+        v.extend_from_slice(&round.to_le_bytes());
+        let check = key.wrapping_mul(31).wrapping_add(round);
+        v.extend_from_slice(&check.to_le_bytes());
+        v
+    }
+
+    fn assert_valid_pattern(key: u64, v: &[u8]) {
+        assert_eq!(v.len(), 24);
+        let k = u64::from_le_bytes(v[0..8].try_into().unwrap());
+        let round = u64::from_le_bytes(v[8..16].try_into().unwrap());
+        let check = u64::from_le_bytes(v[16..24].try_into().unwrap());
+        assert_eq!(k, key, "value belongs to a different key");
+        assert_eq!(
+            check,
+            key.wrapping_mul(31).wrapping_add(round),
+            "torn value"
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Model-based property test: any sequence of PUT/GET/DELETE on the
+//! MICA-style store must agree with a plain `HashMap` executed
+//! sequentially, and pool accounting must balance when the store drains.
+
+use minos_kv::{Store, StoreConfig};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Put(u64, Vec<u8>),
+    Get(u64),
+    Delete(u64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // A small key space maximizes collisions, replacements and deletes.
+    let key = 0u64..32;
+    prop_oneof![
+        (key.clone(), prop::collection::vec(any::<u8>(), 0..512)).prop_map(|(k, v)| Op::Put(k, v)),
+        key.clone().prop_map(Op::Get),
+        key.prop_map(Op::Delete),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn store_matches_hashmap_model(ops in prop::collection::vec(arb_op(), 1..200)) {
+        let store = Store::new(StoreConfig {
+            partitions: 4,
+            buckets_per_partition: 8,
+            overflow_per_partition: 16,
+            items_per_partition: 128,
+            mempool_bytes: 4 << 20,
+            max_value_bytes: 1 << 16,
+        });
+        let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    store.put(*k, v).expect("capacity is ample for 32 keys");
+                    model.insert(*k, v.clone());
+                }
+                Op::Get(k) => {
+                    let got = store.get(*k);
+                    let want = model.get(k);
+                    match (got, want) {
+                        (None, None) => {}
+                        (Some(g), Some(w)) => prop_assert_eq!(&g[..], &w[..]),
+                        (g, w) => prop_assert!(
+                            false,
+                            "mismatch on key {}: store={:?} model={:?}",
+                            k, g.map(|x| x.len()), w.map(|x| x.len())
+                        ),
+                    }
+                }
+                Op::Delete(k) => {
+                    let got = store.delete(*k);
+                    let want = model.remove(k).is_some();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+
+        prop_assert_eq!(store.len() as usize, model.len());
+
+        // Drain the store: all pool memory must come back.
+        for (&k, v) in &model {
+            prop_assert_eq!(&store.get(k).unwrap()[..], &v[..]);
+            prop_assert!(store.delete(k));
+        }
+        prop_assert_eq!(store.len(), 0);
+        prop_assert_eq!(store.mempool().used_bytes(), 0);
+    }
+
+    /// partition_of_key is stable and within range — engines rely on it
+    /// for CREW routing.
+    #[test]
+    fn partitioning_is_stable(keys in prop::collection::vec(any::<u64>(), 1..100)) {
+        let store = Store::new(StoreConfig::for_items(8, 1024, 1 << 20));
+        for &k in &keys {
+            let p = store.partition_of_key(k);
+            prop_assert!(p < 8);
+            prop_assert_eq!(p, store.partition_of_key(k));
+        }
+    }
+}

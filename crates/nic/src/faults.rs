@@ -1,0 +1,157 @@
+//! Probabilistic fault injection on the receive path.
+//!
+//! Borrowed straight from the smoltcp examples' philosophy: adverse
+//! network conditions (random drop, random single-byte corruption) are a
+//! first-class configuration knob so tests can exercise the loss paths —
+//! e.g. that a dropped fragment leaves the reassembler pending rather
+//! than delivering a corrupt message, and that the client's zero-loss
+//! accounting (paper §5.4 only reports runs with 0 packet loss) notices.
+//!
+//! The injector uses its own tiny deterministic RNG (xorshift64*) so a
+//! seeded run replays exactly.
+
+/// Deterministic fault injector.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    /// Probability in [0, 1] that a frame is silently dropped.
+    drop_chance: f64,
+    /// Probability in [0, 1] that one byte of a frame is flipped.
+    corrupt_chance: f64,
+    state: u64,
+    /// Number of frames dropped so far.
+    pub dropped: u64,
+    /// Number of frames corrupted so far.
+    pub corrupted: u64,
+}
+
+/// What the injector decided for one frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Deliver the frame untouched.
+    Deliver,
+    /// Drop the frame.
+    Drop,
+    /// Deliver a corrupted copy (byte at `offset` XORed with `mask`).
+    Corrupt {
+        /// Byte offset to corrupt (modulo frame length).
+        offset: usize,
+        /// Non-zero XOR mask.
+        mask: u8,
+    },
+}
+
+impl FaultInjector {
+    /// A fault-free injector.
+    pub fn none() -> Self {
+        Self::new(0.0, 0.0, 1)
+    }
+
+    /// Creates an injector with the given probabilities and RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probability is outside `[0, 1]`.
+    pub fn new(drop_chance: f64, corrupt_chance: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&drop_chance));
+        assert!((0.0..=1.0).contains(&corrupt_chance));
+        Self {
+            drop_chance,
+            corrupt_chance,
+            state: seed.max(1),
+            dropped: 0,
+            corrupted: 0,
+        }
+    }
+
+    /// True if no faults can ever be injected.
+    pub fn is_noop(&self) -> bool {
+        self.drop_chance == 0.0 && self.corrupt_chance == 0.0
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64* — adequate and fully deterministic.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Decides the fate of one frame of `frame_len` bytes.
+    pub fn decide(&mut self, frame_len: usize) -> FaultDecision {
+        if self.drop_chance > 0.0 && self.next_f64() < self.drop_chance {
+            self.dropped += 1;
+            return FaultDecision::Drop;
+        }
+        if self.corrupt_chance > 0.0 && frame_len > 0 && self.next_f64() < self.corrupt_chance {
+            self.corrupted += 1;
+            let offset = (self.next_u64() as usize) % frame_len;
+            let mask = ((self.next_u64() as u8) | 1).max(1);
+            return FaultDecision::Corrupt { offset, mask };
+        }
+        FaultDecision::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_always_delivers() {
+        let mut f = FaultInjector::none();
+        assert!(f.is_noop());
+        for _ in 0..1000 {
+            assert_eq!(f.decide(100), FaultDecision::Deliver);
+        }
+        assert_eq!(f.dropped, 0);
+    }
+
+    #[test]
+    fn drop_rate_is_respected() {
+        let mut f = FaultInjector::new(0.3, 0.0, 42);
+        let mut drops = 0;
+        for _ in 0..10_000 {
+            if f.decide(100) == FaultDecision::Drop {
+                drops += 1;
+            }
+        }
+        let rate = drops as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "rate {rate}");
+        assert_eq!(f.dropped, drops);
+    }
+
+    #[test]
+    fn corruption_offset_in_bounds_and_mask_nonzero() {
+        let mut f = FaultInjector::new(0.0, 1.0, 7);
+        for len in 1..50usize {
+            match f.decide(len) {
+                FaultDecision::Corrupt { offset, mask } => {
+                    assert!(offset < len);
+                    assert_ne!(mask, 0);
+                }
+                other => panic!("expected corruption, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let mut a = FaultInjector::new(0.5, 0.2, 99);
+        let mut b = FaultInjector::new(0.5, 0.2, 99);
+        for _ in 0..1000 {
+            assert_eq!(a.decide(64), b.decide(64));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_probability_panics() {
+        let _ = FaultInjector::new(1.5, 0.0, 1);
+    }
+}

@@ -1,0 +1,83 @@
+//! Flow-Director-style exact-match steering.
+//!
+//! Intel's Flow Director lets software install exact-match filters that
+//! override RSS: "Minos can use Flow Director to set the target RX queue
+//! as UDP destination port of a packet" (paper §5.1). This module
+//! implements that: a rule table from UDP destination port to RX queue,
+//! consulted before RSS.
+
+/// Exact-match rules from UDP destination port to RX queue.
+#[derive(Clone, Debug, Default)]
+pub struct FlowDirector {
+    rules: std::collections::HashMap<u16, u16>,
+}
+
+impl FlowDirector {
+    /// An empty rule table (everything falls through to RSS).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A table with the Minos convention pre-installed: port
+    /// `QUEUE_PORT_BASE + q` steers to queue `q`, for `q < num_queues`.
+    pub fn with_queue_ports(num_queues: u16) -> Self {
+        let mut fd = Self::new();
+        for q in 0..num_queues {
+            fd.add_rule(minos_wire::udp::UdpHeader::port_for_queue(q), q);
+        }
+        fd
+    }
+
+    /// Installs (or replaces) a rule steering `dst_port` to `queue`.
+    pub fn add_rule(&mut self, dst_port: u16, queue: u16) {
+        self.rules.insert(dst_port, queue);
+    }
+
+    /// Removes the rule for `dst_port`, returning the queue it pointed to.
+    pub fn remove_rule(&mut self, dst_port: u16) -> Option<u16> {
+        self.rules.remove(&dst_port)
+    }
+
+    /// The queue for `dst_port`, or `None` to fall through to RSS.
+    pub fn lookup(&self, dst_port: u16) -> Option<u16> {
+        self.rules.get(&dst_port).copied()
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_port_convention() {
+        let fd = FlowDirector::with_queue_ports(8);
+        assert_eq!(fd.len(), 8);
+        for q in 0..8u16 {
+            assert_eq!(fd.lookup(9000 + q), Some(q));
+        }
+        assert_eq!(fd.lookup(8999), None);
+        assert_eq!(fd.lookup(9008), None);
+    }
+
+    #[test]
+    fn add_replace_remove() {
+        let mut fd = FlowDirector::new();
+        assert!(fd.is_empty());
+        fd.add_rule(1234, 3);
+        assert_eq!(fd.lookup(1234), Some(3));
+        fd.add_rule(1234, 5);
+        assert_eq!(fd.lookup(1234), Some(5));
+        assert_eq!(fd.remove_rule(1234), Some(5));
+        assert_eq!(fd.lookup(1234), None);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests on the NIC: steering must be deterministic, total
+//! and respectful of Flow-Director rules; fault-free delivery must
+//! conserve packets.
+
+use minos_nic::{Delivery, NicConfig, VirtualNic};
+use minos_wire::packet::{build_frame, Endpoint};
+use minos_wire::udp::UdpHeader;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any well-formed frame is delivered to a valid queue, and the same
+    /// frame always lands in the same queue.
+    #[test]
+    fn steering_is_total_and_deterministic(
+        n_queues in 1u16..16,
+        host in 1u32..1000,
+        src_port in 1u16..u16::MAX,
+        dst_port in 1u16..u16::MAX,
+        payload in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let nic = VirtualNic::new(NicConfig::new(n_queues));
+        let src = Endpoint::host(100 + host, src_port);
+        let dst = Endpoint::host(1, dst_port);
+        let frame = build_frame(src, dst, &payload);
+        let d1 = nic.deliver_frame(frame.clone());
+        match d1 {
+            Delivery::Queued(q) => {
+                prop_assert!(q < n_queues);
+                // Again: same queue.
+                match nic.deliver_frame(frame) {
+                    Delivery::Queued(q2) => prop_assert_eq!(q, q2),
+                    other => prop_assert!(false, "second delivery {:?}", other),
+                }
+                // Flow-Director contract: ports in the queue range map
+                // to exactly that queue.
+                if let Some(expected) = dst_port.checked_sub(UdpHeader::port_for_queue(0)) {
+                    if expected < n_queues {
+                        prop_assert_eq!(q, expected);
+                    }
+                }
+            }
+            other => prop_assert!(false, "delivery {:?}", other),
+        }
+    }
+
+    /// Fault-free delivery conserves packets: delivered + ring-full
+    /// drops == sent; bursts drain exactly what was queued, in order
+    /// per queue.
+    #[test]
+    fn conservation_under_bursts(
+        frames in prop::collection::vec((0u16..4, 0u8..255), 1..100),
+    ) {
+        let nic = VirtualNic::new(NicConfig::new(4).with_queue_capacity(64));
+        let mut sent_per_queue = vec![0usize; 4];
+        for &(q, tag) in &frames {
+            let src = Endpoint::host(100, 5000 + tag as u16);
+            let dst = Endpoint::host(1, UdpHeader::port_for_queue(q));
+            match nic.deliver_frame(build_frame(src, dst, &[tag])) {
+                Delivery::Queued(qq) => {
+                    prop_assert_eq!(qq, q);
+                    sent_per_queue[q as usize] += 1;
+                }
+                Delivery::DroppedFull(_) => {}
+                other => prop_assert!(false, "{:?}", other),
+            }
+        }
+        let stats = nic.stats();
+        prop_assert_eq!(
+            stats.rx_delivered + stats.rx_ring_full,
+            frames.len() as u64
+        );
+        for q in 0..4u16 {
+            let mut out = Vec::new();
+            let n = nic.rx_burst(q, &mut out, 1000);
+            prop_assert_eq!(n, sent_per_queue[q as usize]);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! The bimodal service-time law of Section 2.2.
+//!
+//! "Small requests form 99.875 % of the workload, and have a service
+//! time of 1 time unit. Large requests form the remaining 0.125 %. ...
+//! the service time of these large requests is, respectively, K = 10,
+//! 100 and 1,000 time units."
+
+use crate::TICKS_PER_UNIT;
+use minos_workload::Rng;
+
+/// A bimodal service-time distribution.
+#[derive(Clone, Copy, Debug)]
+pub struct Bimodal {
+    /// Fraction of large requests (0.00125 in the paper).
+    pub p_large: f64,
+    /// Large-to-small service-time ratio `K`.
+    pub k: u64,
+}
+
+impl Bimodal {
+    /// The paper's configuration for a given `K`.
+    pub fn paper(k: u64) -> Self {
+        Bimodal {
+            p_large: 0.00125,
+            k,
+        }
+    }
+
+    /// Draws one service time in ticks, tagged with whether it was a
+    /// large request.
+    pub fn sample(&self, rng: &mut Rng) -> (u64, bool) {
+        if rng.chance(self.p_large) {
+            (self.k * TICKS_PER_UNIT, true)
+        } else {
+            (TICKS_PER_UNIT, false)
+        }
+    }
+
+    /// Mean service time in ticks.
+    pub fn mean_ticks(&self) -> f64 {
+        (1.0 - self.p_large) * TICKS_PER_UNIT as f64
+            + self.p_large * (self.k * TICKS_PER_UNIT) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_matches_mixture() {
+        let b = Bimodal::paper(1000);
+        // 0.99875 * 1 + 0.00125 * 1000 = 2.24875 units.
+        assert!((b.mean_ticks() - 2_248.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_frequencies() {
+        let b = Bimodal::paper(100);
+        let mut rng = Rng::new(1);
+        let n = 1_000_000;
+        let large = (0..n).filter(|_| b.sample(&mut rng).1).count();
+        let frac = large as f64 / n as f64;
+        assert!((frac - 0.00125).abs() < 0.0002, "large fraction {frac}");
+    }
+
+    #[test]
+    fn sample_values() {
+        let b = Bimodal::paper(10);
+        let mut rng = Rng::new(2);
+        for _ in 0..10_000 {
+            let (s, large) = b.sample(&mut rng);
+            if large {
+                assert_eq!(s, 10 * TICKS_PER_UNIT);
+            } else {
+                assert_eq!(s, TICKS_PER_UNIT);
+            }
+        }
+    }
+
+    #[test]
+    fn k_equals_one_is_deterministic_service() {
+        let b = Bimodal::paper(1);
+        let mut rng = Rng::new(3);
+        for _ in 0..1000 {
+            assert_eq!(b.sample(&mut rng).0, TICKS_PER_UNIT);
+        }
+    }
+}

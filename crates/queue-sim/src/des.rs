@@ -1,0 +1,115 @@
+//! A minimal discrete-event core: a time-ordered event queue.
+//!
+//! Ties are broken by insertion order (FIFO among simultaneous events),
+//! which keeps runs deterministic under a seed.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A deterministic time-ordered event queue.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(u64, u64, EventBox<E>)>>,
+    seq: u64,
+}
+
+/// Wrapper so the payload never participates in the ordering.
+#[derive(Debug)]
+struct EventBox<E>(E);
+
+impl<E> PartialEq for EventBox<E> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<E> Eq for EventBox<E> {}
+impl<E> PartialOrd for EventBox<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for EventBox<E> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    pub fn push(&mut self, time: u64, event: E) {
+        self.heap.push(Reverse((time, self.seq, EventBox(event))));
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event as `(time, event)`.
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        self.heap.pop().map(|Reverse((t, _, e))| (t, e.0))
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, "c");
+        q.push(10, "a");
+        q.push(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_among_ties() {
+        let mut q = EventQueue::new();
+        q.push(5, 1);
+        q.push(5, 2);
+        q.push(5, 3);
+        assert_eq!(q.pop(), Some((5, 1)));
+        assert_eq!(q.pop(), Some((5, 2)));
+        assert_eq!(q.pop(), Some((5, 3)));
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(7, ());
+        assert_eq!(q.peek_time(), Some(7));
+        assert_eq!(q.len(), 1);
+    }
+}

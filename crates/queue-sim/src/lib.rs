@@ -1,0 +1,34 @@
+//! Queueing-model simulation behind the paper's Section 2.2 (Figure 2).
+//!
+//! The paper motivates size-aware sharding with an idealized simulation
+//! of three size-unaware dispatching strategies on an `n`-core server:
+//!
+//! * **nxM/G/1** — every request is bound to a random core's queue on
+//!   arrival (early binding, like keyhash sharding in MICA's EREW/CREW).
+//! * **M/G/n** — a single queue; cores take the next request when they
+//!   go idle (late binding, like RAMCloud's dispatch).
+//! * **nxM/G/1 + work stealing** — early binding, but idle cores steal
+//!   queued requests from other cores (like ZygOS).
+//!
+//! The workload is bimodal: a fraction `p_L = 0.125 %` of requests costs
+//! `K` time units (`K ∈ {1, 10, 100, 1000}`), the rest cost 1 unit.
+//! Arrivals are Poisson. Dispatching, synchronization and locality are
+//! free — the *only* effect measured is queueing, which is exactly the
+//! paper's point: even under ideal assumptions, a tiny fraction of large
+//! requests wrecks the 99th percentile of all three strategies.
+//!
+//! [`models::run_model`] reproduces one curve point; the Figure 2 bench
+//! sweeps load and `K` for all three models.
+
+#![warn(missing_docs)]
+
+pub mod bimodal;
+pub mod des;
+pub mod models;
+
+pub use bimodal::Bimodal;
+pub use des::EventQueue;
+pub use models::{run_model, Model, SimResult};
+
+/// Ticks per small-request service time: internal integer time base.
+pub const TICKS_PER_UNIT: u64 = 1_000;

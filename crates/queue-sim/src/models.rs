@@ -1,0 +1,333 @@
+//! The three size-unaware dispatching models and their event loops.
+
+use crate::bimodal::Bimodal;
+use crate::des::EventQueue;
+use crate::TICKS_PER_UNIT;
+use minos_stats::LatencyHistogram;
+use minos_workload::Rng;
+use std::collections::VecDeque;
+
+/// Which dispatching strategy to simulate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Model {
+    /// Early binding to a random per-core queue (keyhash sharding).
+    MultiQueue,
+    /// A single shared queue, late binding (software handoff).
+    SingleQueue,
+    /// Early binding plus work stealing by idle cores.
+    MultiQueueStealing,
+}
+
+impl Model {
+    /// All three models, in the paper's Figure 2 order.
+    pub const ALL: [Model; 3] = [
+        Model::MultiQueue,
+        Model::SingleQueue,
+        Model::MultiQueueStealing,
+    ];
+
+    /// The paper's label for the model.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Model::MultiQueue => "nxM/G/1",
+            Model::SingleQueue => "M/G/n",
+            Model::MultiQueueStealing => "nxM/G/1+WS",
+        }
+    }
+}
+
+/// Results of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// The model simulated.
+    pub model: Model,
+    /// Offered load, normalized to the all-small capacity (`n` requests
+    /// per time unit).
+    pub offered_load: f64,
+    /// Completed requests in the measurement window.
+    pub completed: u64,
+    /// Achieved throughput in requests per time unit.
+    pub throughput: f64,
+    /// Mean response (sojourn) time in time units.
+    pub mean_units: f64,
+    /// Median response time in time units.
+    pub p50_units: f64,
+    /// 99th percentile response time in time units — Figure 2's y-axis.
+    pub p99_units: f64,
+    /// Fraction of measured requests that were large.
+    pub large_frac: f64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Request {
+    arrival: u64,
+    service: u64,
+    large: bool,
+}
+
+enum Event {
+    Arrival(Request),
+    Departure { core: usize },
+}
+
+/// Simulates `model` on `n` cores under the bimodal law.
+///
+/// * `offered_load` — arrival rate normalized so `1.0` equals the
+///   capacity of an all-small workload (`n` requests per unit time),
+///   matching Figure 2's x-axis ("throughput norm. w.r.t. max with
+///   K = 1").
+/// * `measured_ops` — completed requests to measure after `warmup_ops`
+///   completions are discarded.
+///
+/// Returns the response-time statistics of the measurement window.
+pub fn run_model(
+    model: Model,
+    n: usize,
+    law: Bimodal,
+    offered_load: f64,
+    warmup_ops: u64,
+    measured_ops: u64,
+    seed: u64,
+) -> SimResult {
+    assert!(n > 0);
+    assert!(offered_load > 0.0);
+    let mut rng = Rng::new(seed);
+    // Arrival rate in requests per tick.
+    let rate = offered_load * n as f64 / TICKS_PER_UNIT as f64;
+    let mean_gap = 1.0 / rate;
+
+    let mut events: EventQueue<Event> = EventQueue::new();
+    // Per-core FIFO queues (MultiQueue variants) or one shared queue.
+    let queues = if model == Model::SingleQueue { 1 } else { n };
+    let mut queue: Vec<VecDeque<Request>> = vec![VecDeque::new(); queues];
+    let mut busy: Vec<bool> = vec![false; n];
+    let mut in_service: Vec<Option<Request>> = vec![None; n];
+
+    let mut hist = LatencyHistogram::new();
+    let mut completed_total = 0u64;
+    let mut measured = 0u64;
+    let mut large_measured = 0u64;
+    let mut measure_start_tick = 0u64;
+    let mut last_tick = 0u64;
+    let mut sum_units = 0.0f64;
+
+    // Prime the first arrival.
+    let mut next_arrival = rng.exponential(mean_gap) as u64;
+    events.push(next_arrival, Event::Arrival(draw(&law, next_arrival, &mut rng)));
+
+    let target = warmup_ops + measured_ops;
+    while completed_total < target {
+        let Some((now, event)) = events.pop() else {
+            unreachable!("arrivals never stop");
+        };
+        last_tick = now;
+        match event {
+            Event::Arrival(req) => {
+                // Schedule the subsequent arrival.
+                next_arrival = now + rng.exponential(mean_gap).max(1.0) as u64;
+                events.push(next_arrival, Event::Arrival(draw(&law, next_arrival, &mut rng)));
+
+                match model {
+                    Model::SingleQueue => {
+                        // Late binding: any idle core takes it.
+                        if let Some(core) = busy.iter().position(|&b| !b) {
+                            start(core, req, now, &mut busy, &mut in_service, &mut events);
+                        } else {
+                            queue[0].push_back(req);
+                        }
+                    }
+                    Model::MultiQueue | Model::MultiQueueStealing => {
+                        // Early binding to a uniformly random core — the
+                        // keyhash of a random key.
+                        let core = rng.index(n);
+                        if !busy[core] {
+                            start(core, req, now, &mut busy, &mut in_service, &mut events);
+                        } else {
+                            queue[core].push_back(req);
+                        }
+                    }
+                }
+            }
+            Event::Departure { core } => {
+                let req = in_service[core].take().expect("departing core was busy");
+                busy[core] = false;
+                completed_total += 1;
+                if completed_total == warmup_ops {
+                    measure_start_tick = now;
+                }
+                if completed_total > warmup_ops {
+                    let sojourn = now - req.arrival;
+                    hist.record_ns(sojourn);
+                    sum_units += sojourn as f64 / TICKS_PER_UNIT as f64;
+                    measured += 1;
+                    if req.large {
+                        large_measured += 1;
+                    }
+                }
+
+                // Pick the next request for this core.
+                let next = match model {
+                    Model::SingleQueue => queue[0].pop_front(),
+                    Model::MultiQueue => queue[core].pop_front(),
+                    Model::MultiQueueStealing => queue[core].pop_front().or_else(|| {
+                        // Idle core steals the head of the first
+                        // non-empty victim queue (one request at a time;
+                        // batched stealing would re-introduce
+                        // head-of-line blocking).
+                        (1..n)
+                            .map(|d| (core + d) % n)
+                            .find_map(|v| queue[v].pop_front())
+                    }),
+                };
+                if let Some(req) = next {
+                    start(core, req, now, &mut busy, &mut in_service, &mut events);
+                }
+            }
+        }
+    }
+
+    let measured_span_ticks = (last_tick - measure_start_tick).max(1);
+    SimResult {
+        model,
+        offered_load,
+        completed: measured,
+        throughput: measured as f64 / (measured_span_ticks as f64 / TICKS_PER_UNIT as f64),
+        mean_units: sum_units / measured.max(1) as f64,
+        p50_units: hist.percentile_ns(50.0).unwrap_or(0) as f64 / TICKS_PER_UNIT as f64,
+        p99_units: hist.percentile_ns(99.0).unwrap_or(0) as f64 / TICKS_PER_UNIT as f64,
+        large_frac: large_measured as f64 / measured.max(1) as f64,
+    }
+}
+
+fn draw(law: &Bimodal, arrival: u64, rng: &mut Rng) -> Request {
+    let (service, large) = law.sample(rng);
+    Request {
+        arrival,
+        service,
+        large,
+    }
+}
+
+fn start(
+    core: usize,
+    req: Request,
+    now: u64,
+    busy: &mut [bool],
+    in_service: &mut [Option<Request>],
+    events: &mut EventQueue<Event>,
+) {
+    busy[core] = true;
+    in_service[core] = Some(req);
+    events.push(now + req.service, Event::Departure { core });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OPS: u64 = 150_000;
+    const WARMUP: u64 = 20_000;
+
+    fn run(model: Model, k: u64, load: f64) -> SimResult {
+        run_model(model, 8, Bimodal::paper(k), load, WARMUP, OPS, 42)
+    }
+
+    #[test]
+    fn md1_mean_wait_matches_theory() {
+        // With K = 1 the MultiQueue model is n independent M/D/1 queues.
+        // Pollaczek–Khinchine for M/D/1: E[W] = rho / (2 (1 - rho)) * S,
+        // so at rho = 0.5 the mean sojourn is 1.5 service units.
+        let r = run(Model::MultiQueue, 1, 0.5);
+        assert!(
+            (r.mean_units - 1.5).abs() < 0.1,
+            "mean sojourn {} vs theory 1.5",
+            r.mean_units
+        );
+    }
+
+    #[test]
+    fn mgn_beats_multiqueue_at_same_load() {
+        // Late binding dominates early binding — a classic result the
+        // paper cites from queueing theory.
+        let mq = run(Model::MultiQueue, 100, 0.5);
+        let sq = run(Model::SingleQueue, 100, 0.5);
+        assert!(
+            sq.p99_units < mq.p99_units,
+            "M/G/n p99 {} should beat nxM/G/1 p99 {}",
+            sq.p99_units,
+            mq.p99_units
+        );
+    }
+
+    #[test]
+    fn stealing_beats_plain_multiqueue() {
+        let mq = run(Model::MultiQueue, 100, 0.5);
+        let ws = run(Model::MultiQueueStealing, 100, 0.5);
+        assert!(
+            ws.p99_units < mq.p99_units,
+            "WS p99 {} should beat plain p99 {}",
+            ws.p99_units,
+            mq.p99_units
+        );
+    }
+
+    #[test]
+    fn large_requests_inflate_p99_by_orders_of_magnitude() {
+        // The paper's core claim (Figure 2): 0.125 % of K = 1000
+        // requests push the p99 up by orders of magnitude even at
+        // moderate load.
+        for model in Model::ALL {
+            let small_only = run_model(model, 8, Bimodal::paper(1), 0.4, WARMUP, OPS, 7);
+            let with_large = run_model(model, 8, Bimodal::paper(1000), 0.4, WARMUP, OPS, 7);
+            assert!(
+                with_large.p99_units > small_only.p99_units * 10.0,
+                "{}: p99 {} vs small-only {}",
+                model.label(),
+                with_large.p99_units,
+                small_only.p99_units
+            );
+        }
+    }
+
+    #[test]
+    fn k1_p99_is_small_at_low_load() {
+        for model in Model::ALL {
+            let r = run(model, 1, 0.2);
+            assert!(
+                r.p99_units < 3.0,
+                "{}: uncongested p99 {}",
+                model.label(),
+                r.p99_units
+            );
+        }
+    }
+
+    #[test]
+    fn throughput_tracks_offered_load_below_saturation() {
+        let r = run(Model::MultiQueue, 10, 0.4);
+        // Offered: 0.4 * 8 = 3.2 requests per unit.
+        assert!(
+            (r.throughput - 3.2).abs() / 3.2 < 0.05,
+            "throughput {}",
+            r.throughput
+        );
+    }
+
+    #[test]
+    fn large_fraction_observed() {
+        let r = run(Model::SingleQueue, 100, 0.5);
+        assert!(
+            (r.large_frac - 0.00125).abs() < 0.001,
+            "large frac {}",
+            r.large_frac
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = run_model(Model::MultiQueueStealing, 8, Bimodal::paper(100), 0.6, 1000, 20_000, 9);
+        let b = run_model(Model::MultiQueueStealing, 8, Bimodal::paper(100), 0.6, 1000, 20_000, 9);
+        assert_eq!(a.p99_units, b.p99_units);
+        assert_eq!(a.completed, b.completed);
+    }
+}

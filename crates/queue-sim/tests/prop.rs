@@ -1,0 +1,63 @@
+//! Property tests on the queueing models: conservation, stability and
+//! dominance relations that must hold for any parameter choice.
+
+use minos_queue_sim::{run_model, Bimodal, Model};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// At sub-saturation loads every model completes the requested
+    /// number of measured operations with finite latencies, and p50 <=
+    /// p99 <= max plausible bound.
+    #[test]
+    fn stable_runs_complete_and_order_quantiles(
+        k in prop::sample::select(vec![1u64, 10, 100]),
+        load in 0.1f64..0.6,
+        seed in any::<u64>(),
+    ) {
+        for model in Model::ALL {
+            let r = run_model(model, 8, Bimodal::paper(k), load, 2_000, 20_000, seed);
+            prop_assert_eq!(r.completed, 20_000);
+            prop_assert!(r.p50_units >= 1.0, "{}: sojourn >= service", model.label());
+            prop_assert!(r.p99_units >= r.p50_units);
+            prop_assert!(r.mean_units.is_finite());
+        }
+    }
+
+    /// Throughput below saturation tracks the offered load for every
+    /// model (within simulation noise).
+    #[test]
+    fn throughput_tracks_offered_load(
+        load in 0.1f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        for model in Model::ALL {
+            let r = run_model(model, 8, Bimodal::paper(10), load, 2_000, 30_000, seed);
+            let offered = load * 8.0;
+            prop_assert!(
+                (r.throughput - offered).abs() / offered < 0.15,
+                "{}: throughput {} vs offered {}",
+                model.label(),
+                r.throughput,
+                offered
+            );
+        }
+    }
+
+    /// Higher K never improves the p99 (at fixed seed and load).
+    #[test]
+    fn p99_monotone_in_k(load in 0.2f64..0.7) {
+        for model in Model::ALL {
+            let p99_small = run_model(model, 8, Bimodal::paper(1), load, 2_000, 30_000, 7).p99_units;
+            let p99_large = run_model(model, 8, Bimodal::paper(1000), load, 2_000, 30_000, 7).p99_units;
+            prop_assert!(
+                p99_large >= p99_small * 0.95,
+                "{}: K=1000 p99 {} < K=1 p99 {}",
+                model.label(),
+                p99_large,
+                p99_small
+            );
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! The calibrated service-time and wire-cost model.
+//!
+//! Calibration targets, all taken from the paper:
+//!
+//! 1. **Figure 1 shape**: GET service time grows from under a
+//!    microsecond for tiny items to hundreds of microseconds for
+//!    megabyte items (orders of magnitude, roughly linear in size).
+//! 2. **Figure 3 peak**: the default workload (95:5, p_L = 0.125 %,
+//!    s_L = 500 KB) peaks at ≈ 6.2 Mops with the NIC ≈ 93 % utilized —
+//!    i.e. the NIC binds just before the CPU does.
+//! 3. **§6.2**: under 50:50 the bottleneck shifts to the CPU and Minos
+//!    pays its profiling overhead (~10 % lower peak than HKH).
+//! 4. **§5.2/§6.1**: SHO's peak is bounded by its handoff cores'
+//!    dispatch rate, ~10 % below the others on the default workload.
+//!
+//! With `CPU_BASE_NS = 600`, `CPU_PER_PACKET_NS = 250` and
+//! `CPU_PER_BYTE_NS = 0.3`:
+//! * small GET (427 B mean): ≈ 0.98 µs → CPU capacity ≈ 7.1 Mops on 8
+//!   cores;
+//! * mean TX bytes/op on the default workload ≈ 810 B → 40 Gbit/s caps
+//!   at ≈ 6.2 Mops (matches the paper's peak);
+//! * a 250 KB item costs ≈ 119 µs of core time and a 1 MB item
+//!   ≈ 470 µs (Figure 1's orders of magnitude).
+
+use minos_wire::message::MSG_HEADER_LEN;
+use minos_wire::{packets_for_payload, ETH_FCS_LEN, ETH_HEADER_LEN, IP_HEADER_LEN, UDP_HEADER_LEN};
+
+/// Per-packet wire overhead: Ethernet + IP + UDP + FCS + fragment header.
+pub const PACKET_OVERHEAD: u64 =
+    (ETH_HEADER_LEN + IP_HEADER_LEN + UDP_HEADER_LEN + ETH_FCS_LEN + 16) as u64;
+
+/// The service-time model.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Fixed per-request CPU cost, ns.
+    pub base_ns: f64,
+    /// CPU cost per network packet handled, ns.
+    pub per_packet_ns: f64,
+    /// CPU cost per payload byte copied, ns.
+    pub per_byte_ns: f64,
+    /// Extra per-request cost on Minos small cores in dynamic-threshold
+    /// mode (histogram update + plan read) — the profiling overhead
+    /// §6.2 blames for Minos' lower 50:50 peak.
+    pub minos_profile_ns: f64,
+    /// Cost for a small core to classify and enqueue one large request
+    /// onto a software queue (Minos' only software dispatch).
+    pub handoff_ns: f64,
+    /// SHO handoff-core cost per request: fixed part.
+    pub sho_dispatch_base_ns: f64,
+    /// SHO handoff-core cost per inbound packet.
+    pub sho_dispatch_per_packet_ns: f64,
+    /// Extra cost charged to a stolen request (HKH+WS).
+    pub steal_ns: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            base_ns: 600.0,
+            per_packet_ns: 250.0,
+            per_byte_ns: 0.3,
+            minos_profile_ns: 100.0,
+            handoff_ns: 250.0,
+            sho_dispatch_base_ns: 500.0,
+            sho_dispatch_per_packet_ns: 40.0,
+            steal_ns: 200.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Packets needed to carry an item of `size` bytes (plus the message
+    /// header) — identical arithmetic to the real wire layer.
+    pub fn packets(&self, size: u64) -> u64 {
+        u64::from(packets_for_payload(size as usize + MSG_HEADER_LEN))
+    }
+
+    /// Total core occupancy (ns) to serve a request for an item of
+    /// `size` bytes, run-to-completion.
+    pub fn service_ns(&self, size: u64) -> f64 {
+        self.base_ns + self.per_packet_ns * self.packets(size) as f64 + self.per_byte_ns * size as f64
+    }
+
+    /// SHO: handoff-core occupancy for one request of `size` bytes
+    /// (packet RX + enqueue; the handoff core never touches the value).
+    pub fn sho_dispatch_ns(&self, inbound_size: u64) -> f64 {
+        self.sho_dispatch_base_ns
+            + self.sho_dispatch_per_packet_ns * self.packets(inbound_size) as f64
+    }
+
+    /// SHO: worker occupancy (the remainder of the service).
+    pub fn sho_worker_ns(&self, size: u64, inbound_size: u64) -> f64 {
+        (self.service_ns(size) - self.sho_dispatch_ns(inbound_size)).max(150.0)
+    }
+
+    /// Wire bytes for a message carrying `payload` application bytes
+    /// (headers + FCS + fragment headers included).
+    pub fn wire_bytes(&self, payload: u64) -> u64 {
+        let pkts = u64::from(packets_for_payload(payload as usize));
+        payload + pkts * PACKET_OVERHEAD
+    }
+
+    /// Wire bytes of a request: GETs carry only the message header;
+    /// PUTs carry the value.
+    pub fn request_wire_bytes(&self, is_get: bool, size: u64) -> u64 {
+        if is_get {
+            self.wire_bytes(MSG_HEADER_LEN as u64)
+        } else {
+            self.wire_bytes(MSG_HEADER_LEN as u64 + size)
+        }
+    }
+
+    /// Wire bytes of a reply: GET replies carry the value; PUT replies
+    /// are bare headers.
+    pub fn reply_wire_bytes(&self, is_get: bool, size: u64) -> u64 {
+        if is_get {
+            self.wire_bytes(MSG_HEADER_LEN as u64 + size)
+        } else {
+            self.wire_bytes(MSG_HEADER_LEN as u64)
+        }
+    }
+
+    /// Inbound item size as seen by the server for cost purposes: the
+    /// value for PUTs, nothing for GETs.
+    pub fn inbound_size(&self, is_get: bool, size: u64) -> u64 {
+        if is_get {
+            0
+        } else {
+            size
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GBIT40_BYTES_PER_SEC: f64 = 5e9;
+
+    #[test]
+    fn figure1_shape_orders_of_magnitude() {
+        let m = CostModel::default();
+        let tiny = m.service_ns(7);
+        let small = m.service_ns(707);
+        let quarter_mb = m.service_ns(250_000);
+        let megabyte = m.service_ns(1_000_000);
+        assert!(tiny < 1_000.0, "tiny {tiny}");
+        assert!(small < 1_500.0, "small {small}");
+        assert!(quarter_mb > 50_000.0, "250KB {quarter_mb}");
+        assert!(megabyte > 300_000.0, "1MB {megabyte}");
+        assert!(
+            megabyte / tiny > 300.0,
+            "orders of magnitude spread: {}",
+            megabyte / tiny
+        );
+    }
+
+    #[test]
+    fn service_monotonic_in_size() {
+        let m = CostModel::default();
+        let mut prev = 0.0;
+        for size in (0..1_000_000u64).step_by(25_000) {
+            let s = m.service_ns(size);
+            assert!(s >= prev);
+            prev = s;
+        }
+    }
+
+    /// The calibration target behind Figure 3: the default workload
+    /// saturates the 40 GbE NIC at ≈ 6.2 Mops, slightly before the CPU
+    /// would bind (≈ 7 Mops).
+    #[test]
+    fn default_workload_is_nic_bound_near_paper_peak() {
+        let m = CostModel::default();
+        let p_large = 0.00125;
+        let get_ratio = 0.95;
+        let small_mean = 427.0; // 0.4*7 + 0.6*707
+        let large_mean = 250_750.0;
+
+        // CPU capacity.
+        let occ = |size: u64| m.service_ns(size);
+        let mean_occ = (1.0 - p_large) * occ(427) + p_large * occ(250_750);
+        let cpu_cap = 8.0 / (mean_occ * 1e-9) / 1e6;
+
+        // NIC TX capacity.
+        let reply =
+            |size: u64, is_get: bool| m.reply_wire_bytes(is_get, size) as f64;
+        let mean_tx = get_ratio
+            * ((1.0 - p_large) * reply(small_mean as u64, true) + p_large * reply(large_mean as u64, true))
+            + (1.0 - get_ratio) * reply(0, false);
+        let nic_cap = GBIT40_BYTES_PER_SEC / mean_tx / 1e6;
+
+        assert!(
+            (5.5..7.0).contains(&nic_cap),
+            "NIC-bound peak {nic_cap:.2} Mops should be near the paper's 6.2"
+        );
+        assert!(
+            cpu_cap > nic_cap,
+            "CPU cap {cpu_cap:.2} must exceed NIC cap {nic_cap:.2} (the paper's NIC is 93% utilized at peak)"
+        );
+        assert!(
+            cpu_cap < nic_cap * 1.3,
+            "CPU cap {cpu_cap:.2} must be close above NIC cap {nic_cap:.2}"
+        );
+    }
+
+    /// §6.2: at 50:50 the bottleneck shifts to the CPU, and Minos'
+    /// profiling overhead costs ~10 %.
+    #[test]
+    fn write_intensive_is_cpu_bound_and_profiling_costs_ten_percent() {
+        let m = CostModel::default();
+        let mean_occ = 0.99875 * m.service_ns(427) + 0.00125 * m.service_ns(250_750);
+        let cpu_cap_hkh = 8.0 / (mean_occ * 1e-9) / 1e6;
+        let mean_occ_minos = mean_occ + m.minos_profile_ns;
+        let cpu_cap_minos = 8.0 / (mean_occ_minos * 1e-9) / 1e6;
+
+        let mean_tx_5050 = 0.5 * m.reply_wire_bytes(true, 427) as f64
+            + 0.5 * m.reply_wire_bytes(false, 0) as f64;
+        let nic_cap_5050 = GBIT40_BYTES_PER_SEC / mean_tx_5050 / 1e6;
+
+        assert!(nic_cap_5050 > cpu_cap_hkh, "50:50 must be CPU-bound");
+        let ratio = cpu_cap_minos / cpu_cap_hkh;
+        assert!(
+            (0.85..0.97).contains(&ratio),
+            "Minos/HKH CPU-cap ratio {ratio:.3}, paper reports ~0.9"
+        );
+    }
+
+    /// §5.2: SHO's dispatch rate with its best handoff-core count is
+    /// ~10 % below the NIC-bound peak.
+    #[test]
+    fn sho_dispatch_binds_below_nic() {
+        let m = CostModel::default();
+        let dispatch = m.sho_dispatch_ns(0); // GETs dominate
+        let best_cap = (1..=3)
+            .map(|h| h as f64 / (dispatch * 1e-9) / 1e6)
+            .fold(f64::MIN, f64::max);
+        assert!(
+            (5.0..6.1).contains(&best_cap),
+            "SHO dispatch cap {best_cap:.2} Mops should sit ~10% under 6.2"
+        );
+    }
+
+    #[test]
+    fn wire_bytes_accounting() {
+        let m = CostModel::default();
+        // One-packet message: payload + one overhead.
+        assert_eq!(m.wire_bytes(100), 100 + PACKET_OVERHEAD);
+        // 500 KB: ceil(500032/1456) packets.
+        let pkts = u64::from(packets_for_payload(500_032));
+        assert_eq!(
+            m.request_wire_bytes(false, 500_000),
+            500_032 + pkts * PACKET_OVERHEAD
+        );
+        // GET requests are header-only regardless of item size.
+        assert_eq!(
+            m.request_wire_bytes(true, 500_000),
+            32 + PACKET_OVERHEAD
+        );
+        // PUT replies are header-only.
+        assert_eq!(m.reply_wire_bytes(false, 500_000), 32 + PACKET_OVERHEAD);
+    }
+
+    #[test]
+    fn sho_split_conserves_total() {
+        let m = CostModel::default();
+        for &(size, inbound) in &[(427u64, 0u64), (250_000, 0), (250_000, 250_000)] {
+            let total = m.sho_dispatch_ns(inbound) + m.sho_worker_ns(size, inbound);
+            assert!(
+                total >= m.service_ns(size) * 0.99,
+                "split {total} below service {}",
+                m.service_ns(size)
+            );
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! The NIC as a pair of serialization channels.
+//!
+//! Each direction of the 40 GbE link is a FIFO resource: a message of
+//! `b` bytes occupies the channel for `b / bandwidth` seconds starting
+//! no earlier than the previous message finished. Queueing on the TX
+//! channel is how NIC saturation turns into latency in the simulation —
+//! exactly the mechanism that caps the paper's Figure 3 curves at
+//! ≈ 6.2 Mops.
+
+/// A unidirectional serialization channel.
+#[derive(Clone, Debug)]
+pub struct Wire {
+    bytes_per_ns: f64,
+    busy_until_ns: f64,
+    /// Total bytes ever transmitted.
+    pub bytes_total: u64,
+    /// Busy time accumulated, ns (for utilization accounting).
+    pub busy_ns: f64,
+}
+
+impl Wire {
+    /// A channel of `gbit_per_sec` gigabits per second.
+    pub fn new_gbit(gbit_per_sec: f64) -> Self {
+        assert!(gbit_per_sec > 0.0);
+        Wire {
+            bytes_per_ns: gbit_per_sec / 8.0, // Gbit/s == bytes/ns / 8
+            busy_until_ns: 0.0,
+            bytes_total: 0,
+            busy_ns: 0.0,
+        }
+    }
+
+    /// Serializes `bytes` starting no earlier than `now_ns`; returns the
+    /// time the last bit leaves the wire.
+    pub fn transmit(&mut self, now_ns: f64, bytes: u64) -> f64 {
+        let start = now_ns.max(self.busy_until_ns);
+        let dur = bytes as f64 / self.bytes_per_ns;
+        self.busy_until_ns = start + dur;
+        self.bytes_total += bytes;
+        self.busy_ns += dur;
+        self.busy_until_ns
+    }
+
+    /// Utilization over a window of `span_ns`.
+    pub fn utilization(&self, span_ns: f64) -> f64 {
+        if span_ns <= 0.0 {
+            return 0.0;
+        }
+        (self.busy_ns / span_ns).min(1.0)
+    }
+
+    /// Current backlog: how far `busy_until` extends past `now_ns`.
+    pub fn backlog_ns(&self, now_ns: f64) -> f64 {
+        (self.busy_until_ns - now_ns).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_time_matches_bandwidth() {
+        let mut w = Wire::new_gbit(40.0); // 5 bytes per ns
+        let done = w.transmit(0.0, 5_000);
+        assert!((done - 1_000.0).abs() < 1e-9, "5000 B at 5 B/ns = 1 us");
+    }
+
+    #[test]
+    fn fifo_backlog_accumulates() {
+        let mut w = Wire::new_gbit(40.0);
+        let first = w.transmit(0.0, 5_000);
+        let second = w.transmit(0.0, 5_000); // queued behind the first
+        assert!((second - first - 1_000.0).abs() < 1e-9);
+        assert!((w.backlog_ns(0.0) - 2_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_gaps_are_not_busy() {
+        let mut w = Wire::new_gbit(40.0);
+        w.transmit(0.0, 5_000);
+        w.transmit(10_000.0, 5_000); // idle gap between the two
+        assert!((w.busy_ns - 2_000.0).abs() < 1e-9);
+        assert!((w.utilization(20_000.0) - 0.1).abs() < 1e-9);
+        assert_eq!(w.bytes_total, 10_000);
+    }
+
+    #[test]
+    fn utilization_clamps_at_one() {
+        let mut w = Wire::new_gbit(1.0);
+        w.transmit(0.0, 1_000_000);
+        assert_eq!(w.utilization(1.0), 1.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Per-core operation/packet counters.
+//!
+//! The paper's Figure 9 breaks server load down per core in two ways —
+//! operations per second and packets per second. [`SharedCoreStats`] is
+//! the datapath-friendly accumulator (relaxed atomics, written by the
+//! owning core, snapshotted by the harness) and [`CoreStats`] the plain
+//! snapshot the harness consumes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A plain snapshot of one core's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// KV operations completed (GET + PUT).
+    pub ops: u64,
+    /// GET operations completed.
+    pub get_ops: u64,
+    /// PUT operations completed.
+    pub put_ops: u64,
+    /// Operations on large items completed.
+    pub large_ops: u64,
+    /// Network packets received by this core (from any RX queue).
+    pub packets_rx: u64,
+    /// Network packets transmitted by this core.
+    pub packets_tx: u64,
+    /// Payload bytes received.
+    pub bytes_rx: u64,
+    /// Payload bytes transmitted.
+    pub bytes_tx: u64,
+    /// Requests this core handed off to a large core's software queue.
+    pub handoffs: u64,
+    /// Requests this core stole from another core (HKH+WS only).
+    pub steals: u64,
+}
+
+impl CoreStats {
+    /// Packets processed in total (rx + tx), the cost measure used by the
+    /// paper's load-balance analysis.
+    pub fn packets(&self) -> u64 {
+        self.packets_rx + self.packets_tx
+    }
+
+    /// Element-wise sum.
+    pub fn merged(mut self, other: &CoreStats) -> CoreStats {
+        self.ops += other.ops;
+        self.get_ops += other.get_ops;
+        self.put_ops += other.put_ops;
+        self.large_ops += other.large_ops;
+        self.packets_rx += other.packets_rx;
+        self.packets_tx += other.packets_tx;
+        self.bytes_rx += other.bytes_rx;
+        self.bytes_tx += other.bytes_tx;
+        self.handoffs += other.handoffs;
+        self.steals += other.steals;
+        self
+    }
+
+    /// Element-wise difference (`self - earlier`), for windowed rates.
+    pub fn delta(&self, earlier: &CoreStats) -> CoreStats {
+        CoreStats {
+            ops: self.ops - earlier.ops,
+            get_ops: self.get_ops - earlier.get_ops,
+            put_ops: self.put_ops - earlier.put_ops,
+            large_ops: self.large_ops - earlier.large_ops,
+            packets_rx: self.packets_rx - earlier.packets_rx,
+            packets_tx: self.packets_tx - earlier.packets_tx,
+            bytes_rx: self.bytes_rx - earlier.bytes_rx,
+            bytes_tx: self.bytes_tx - earlier.bytes_tx,
+            handoffs: self.handoffs - earlier.handoffs,
+            steals: self.steals - earlier.steals,
+        }
+    }
+}
+
+/// Atomic counters owned by one core, snapshot-readable by the harness.
+///
+/// All updates use `Ordering::Relaxed`: the counters are monotonic and
+/// only read for statistics, never for synchronization.
+#[derive(Debug, Default)]
+pub struct SharedCoreStats {
+    ops: AtomicU64,
+    get_ops: AtomicU64,
+    put_ops: AtomicU64,
+    large_ops: AtomicU64,
+    packets_rx: AtomicU64,
+    packets_tx: AtomicU64,
+    bytes_rx: AtomicU64,
+    bytes_tx: AtomicU64,
+    handoffs: AtomicU64,
+    steals: AtomicU64,
+}
+
+impl SharedCoreStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed GET (`large` marks a large item).
+    #[inline]
+    pub fn record_get(&self, large: bool) {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        self.get_ops.fetch_add(1, Ordering::Relaxed);
+        if large {
+            self.large_ops.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one completed PUT (`large` marks a large item).
+    #[inline]
+    pub fn record_put(&self, large: bool) {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        self.put_ops.fetch_add(1, Ordering::Relaxed);
+        if large {
+            self.large_ops.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records packets/bytes received.
+    #[inline]
+    pub fn record_rx(&self, packets: u64, bytes: u64) {
+        self.packets_rx.fetch_add(packets, Ordering::Relaxed);
+        self.bytes_rx.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records packets/bytes transmitted.
+    #[inline]
+    pub fn record_tx(&self, packets: u64, bytes: u64) {
+        self.packets_tx.fetch_add(packets, Ordering::Relaxed);
+        self.bytes_tx.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records a handoff to a large core's software queue.
+    #[inline]
+    pub fn record_handoff(&self) {
+        self.handoffs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a successful steal.
+    #[inline]
+    pub fn record_steal(&self) {
+        self.steals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot for statistics purposes.
+    pub fn snapshot(&self) -> CoreStats {
+        CoreStats {
+            ops: self.ops.load(Ordering::Relaxed),
+            get_ops: self.get_ops.load(Ordering::Relaxed),
+            put_ops: self.put_ops.load(Ordering::Relaxed),
+            large_ops: self.large_ops.load(Ordering::Relaxed),
+            packets_rx: self.packets_rx.load(Ordering::Relaxed),
+            packets_tx: self.packets_tx.load(Ordering::Relaxed),
+            bytes_rx: self.bytes_rx.load(Ordering::Relaxed),
+            bytes_tx: self.bytes_tx.load(Ordering::Relaxed),
+            handoffs: self.handoffs.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_records() {
+        let s = SharedCoreStats::new();
+        s.record_get(false);
+        s.record_get(true);
+        s.record_put(false);
+        s.record_rx(3, 4096);
+        s.record_tx(2, 1500);
+        s.record_handoff();
+        s.record_steal();
+        let snap = s.snapshot();
+        assert_eq!(snap.ops, 3);
+        assert_eq!(snap.get_ops, 2);
+        assert_eq!(snap.put_ops, 1);
+        assert_eq!(snap.large_ops, 1);
+        assert_eq!(snap.packets_rx, 3);
+        assert_eq!(snap.packets_tx, 2);
+        assert_eq!(snap.bytes_rx, 4096);
+        assert_eq!(snap.bytes_tx, 1500);
+        assert_eq!(snap.handoffs, 1);
+        assert_eq!(snap.steals, 1);
+        assert_eq!(snap.packets(), 5);
+    }
+
+    #[test]
+    fn delta_and_merge() {
+        let a = CoreStats {
+            ops: 10,
+            packets_rx: 5,
+            ..Default::default()
+        };
+        let b = CoreStats {
+            ops: 4,
+            packets_rx: 2,
+            ..Default::default()
+        };
+        let d = a.delta(&b);
+        assert_eq!(d.ops, 6);
+        assert_eq!(d.packets_rx, 3);
+        let m = b.merged(&d);
+        assert_eq!(m.ops, a.ops);
+        assert_eq!(m.packets_rx, a.packets_rx);
+    }
+
+    #[test]
+    fn concurrent_updates_accumulate() {
+        use std::sync::Arc;
+        let s = Arc::new(SharedCoreStats::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    s.record_get(false);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.snapshot().ops, 4000);
+    }
+}

@@ -1,0 +1,105 @@
+//! Scalar exponentially-weighted moving average.
+
+/// An exponentially-weighted moving average over scalar observations.
+///
+/// `update` folds a new observation `x` in as
+/// `v = (1 - alpha) * v + alpha * x`; the first observation bootstraps the
+/// average. This mirrors the per-bucket smoothing the Minos controller
+/// applies to epoch histograms (see
+/// [`crate::SmoothedHistogram`]), and is used on its own for smoothing
+/// scalar load statistics.
+#[derive(Clone, Copy, Debug)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with discount factor `alpha` in `[0, 1]`.
+    /// Higher `alpha` weighs fresh observations more.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `[0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+        Self { alpha, value: None }
+    }
+
+    /// Folds a new observation into the average and returns the updated
+    /// value.
+    pub fn update(&mut self, x: f64) -> f64 {
+        let v = match self.value {
+            None => x,
+            Some(v) => (1.0 - self.alpha) * v + self.alpha * x,
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// The current average, or `None` before the first observation.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Discards history.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+
+    /// The discount factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bootstrap_takes_first_value() {
+        let mut e = Ewma::new(0.9);
+        assert_eq!(e.value(), None);
+        assert_eq!(e.update(10.0), 10.0);
+    }
+
+    #[test]
+    fn high_alpha_tracks_fast() {
+        let mut e = Ewma::new(0.9);
+        e.update(0.0);
+        let v = e.update(100.0);
+        assert!((v - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn low_alpha_tracks_slow() {
+        let mut e = Ewma::new(0.1);
+        e.update(0.0);
+        let v = e.update(100.0);
+        assert!((v - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = Ewma::new(0.5);
+        for _ in 0..64 {
+            e.update(42.0);
+        }
+        assert!((e.value().unwrap() - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut e = Ewma::new(0.5);
+        e.update(1.0);
+        e.reset();
+        assert_eq!(e.value(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_alpha_panics() {
+        let _ = Ewma::new(1.5);
+    }
+}

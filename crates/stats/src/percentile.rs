@@ -1,0 +1,129 @@
+//! Exact percentile computation (nearest-rank) and a quantile summary.
+//!
+//! The histograms in [`crate::hist`] answer percentile queries with
+//! bounded relative error; these exact helpers are the reference
+//! implementation used in tests and in harness code paths where the full
+//! sample is available anyway.
+
+/// The nearest-rank percentile of a **sorted** slice of `u64` values.
+///
+/// `p` is in `[0, 100]`. For `p = 0` the minimum is returned; otherwise the
+/// `ceil(p/100 * n)`-th smallest element. Returns `None` on an empty slice.
+///
+/// # Panics
+///
+/// Debug-asserts that the slice is sorted.
+pub fn exact_percentile(sorted: &[u64], p: f64) -> Option<u64> {
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
+    if sorted.is_empty() {
+        return None;
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    Some(sorted[rank.min(sorted.len()) - 1])
+}
+
+/// The nearest-rank percentile of a **sorted** slice of `f64` values.
+///
+/// Same semantics as [`exact_percentile`].
+pub fn exact_percentile_f64(sorted: &[f64], p: f64) -> Option<f64> {
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
+    if sorted.is_empty() {
+        return None;
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    Some(sorted[rank.min(sorted.len()) - 1])
+}
+
+/// A summary of a latency distribution in microseconds.
+///
+/// Produced by [`crate::LatencyHistogram::quantiles`] and printed by the
+/// benchmark harness.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Quantiles {
+    /// Number of observations.
+    pub count: u64,
+    /// Mean, µs.
+    pub mean_us: f64,
+    /// Median, µs.
+    pub p50_us: f64,
+    /// 90th percentile, µs.
+    pub p90_us: f64,
+    /// 95th percentile, µs.
+    pub p95_us: f64,
+    /// 99th percentile, µs (the paper's headline metric).
+    pub p99_us: f64,
+    /// 99.9th percentile, µs.
+    pub p999_us: f64,
+    /// Maximum, µs.
+    pub max_us: f64,
+}
+
+impl std::fmt::Display for Quantiles {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1}us p50={:.1}us p95={:.1}us p99={:.1}us p99.9={:.1}us max={:.1}us",
+            self.count, self.mean_us, self.p50_us, self.p95_us, self.p99_us, self.p999_us, self.max_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(exact_percentile(&[], 50.0), None);
+        assert_eq!(exact_percentile_f64(&[], 50.0), None);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(exact_percentile(&[7], 0.0), Some(7));
+        assert_eq!(exact_percentile(&[7], 50.0), Some(7));
+        assert_eq!(exact_percentile(&[7], 100.0), Some(7));
+    }
+
+    #[test]
+    fn nearest_rank_matches_definition() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(exact_percentile(&v, 99.0), Some(99));
+        assert_eq!(exact_percentile(&v, 99.1), Some(100));
+        assert_eq!(exact_percentile(&v, 50.0), Some(50));
+        assert_eq!(exact_percentile(&v, 1.0), Some(1));
+        assert_eq!(exact_percentile(&v, 100.0), Some(100));
+    }
+
+    #[test]
+    fn f64_variant_agrees() {
+        let v: Vec<f64> = (1..=10).map(|x| x as f64).collect();
+        assert_eq!(exact_percentile_f64(&v, 90.0), Some(9.0));
+        assert_eq!(exact_percentile_f64(&v, 91.0), Some(10.0));
+    }
+
+    #[test]
+    fn clamps_out_of_range_p() {
+        let v: Vec<u64> = (1..=10).collect();
+        assert_eq!(exact_percentile(&v, -5.0), Some(1));
+        assert_eq!(exact_percentile(&v, 500.0), Some(10));
+    }
+
+    #[test]
+    fn display_formats() {
+        let q = Quantiles {
+            count: 10,
+            mean_us: 1.0,
+            p50_us: 1.0,
+            p90_us: 2.0,
+            p95_us: 2.5,
+            p99_us: 3.0,
+            p999_us: 4.0,
+            max_us: 5.0,
+        };
+        let s = q.to_string();
+        assert!(s.contains("p99=3.0us"), "{s}");
+    }
+}

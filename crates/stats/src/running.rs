@@ -1,0 +1,147 @@
+//! Streaming mean/variance (Welford) with min/max tracking.
+
+/// Online mean, variance, min and max over a stream of `f64` observations
+/// using Welford's numerically-stable recurrence.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Running {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Population variance, or `None` if empty.
+    pub fn variance(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.m2 / self.n as f64)
+    }
+
+    /// Population standard deviation, or `None` if empty.
+    pub fn stddev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Smallest observation, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (Chan et al. parallel
+    /// variance combination).
+    pub fn merge(&mut self, other: &Running) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let d = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += d * n2 / n;
+        self.m2 += other.m2 + d * d * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_reports_none() {
+        let r = Running::new();
+        assert_eq!(r.mean(), None);
+        assert_eq!(r.variance(), None);
+        assert_eq!(r.min(), None);
+    }
+
+    #[test]
+    fn matches_naive_mean_and_variance() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut r = Running::new();
+        for &x in &data {
+            r.push(x);
+        }
+        assert_eq!(r.count(), 8);
+        assert!((r.mean().unwrap() - 5.0).abs() < 1e-12);
+        assert!((r.stddev().unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(r.min(), Some(2.0));
+        assert_eq!(r.max(), Some(9.0));
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let a_data = [1.0, 2.0, 3.0];
+        let b_data = [10.0, 20.0, 30.0, 40.0];
+        let mut a = Running::new();
+        let mut b = Running::new();
+        let mut all = Running::new();
+        for &x in &a_data {
+            a.push(x);
+            all.push(x);
+        }
+        for &x in &b_data {
+            b.push(x);
+            all.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean().unwrap() - all.mean().unwrap()).abs() < 1e-12);
+        assert!((a.variance().unwrap() - all.variance().unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Running::new();
+        a.push(5.0);
+        let before = a.mean();
+        a.merge(&Running::new());
+        assert_eq!(a.mean(), before);
+
+        let mut e = Running::new();
+        e.merge(&a);
+        assert_eq!(e.mean(), a.mean());
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests: the log-linear histogram must agree with exact
+//! (nearest-rank) percentiles up to its documented relative error, and
+//! merging must be equivalent to concatenated recording.
+
+use minos_stats::{exact_percentile, LogHistogram, SizeHistogram};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Histogram percentile is always >= the exact percentile and within
+    /// the documented relative error (1/32 for SizeHistogram geometry).
+    #[test]
+    fn percentile_bounds_exact(
+        mut values in prop::collection::vec(0u64..2_000_000, 1..400),
+        p in 0.0f64..100.0,
+    ) {
+        let mut h = SizeHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let exact = exact_percentile(&values, p).unwrap();
+        let approx = h.percentile(p).unwrap();
+        prop_assert!(approx >= exact, "approx {approx} < exact {exact}");
+        // Upper bound: at most one bucket above the exact value.
+        let bound = exact as f64 * (1.0 + 1.0 / 32.0) + 1.0;
+        prop_assert!(
+            (approx as f64) <= bound,
+            "approx {approx} > bound {bound} (exact {exact})"
+        );
+    }
+
+    /// merge(a, b) has the same counts as recording all values into one
+    /// histogram.
+    #[test]
+    fn merge_is_concat(
+        a in prop::collection::vec(0u64..10_000_000, 0..200),
+        b in prop::collection::vec(0u64..10_000_000, 0..200),
+    ) {
+        let mut ha = LogHistogram::new(5, 30);
+        let mut hb = LogHistogram::new(5, 30);
+        let mut hc = LogHistogram::new(5, 30);
+        for &v in &a {
+            ha.record(v);
+            hc.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hc.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.counts(), hc.counts());
+        prop_assert_eq!(ha.total(), hc.total());
+        prop_assert_eq!(ha.min(), hc.min());
+        prop_assert_eq!(ha.max(), hc.max());
+    }
+
+    /// Percentile is monotonic in p.
+    #[test]
+    fn percentile_monotonic(
+        values in prop::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let mut h = LogHistogram::new(5, 30);
+        for &v in &values {
+            h.record(v);
+        }
+        let mut prev = 0u64;
+        for i in 0..=100 {
+            let p = i as f64;
+            let v = h.percentile(p).unwrap();
+            prop_assert!(v >= prev, "p{p}: {v} < {prev}");
+            prev = v;
+        }
+    }
+
+    /// count_at_or_below is consistent with the recorded multiset up to
+    /// bucket granularity: it never undercounts values <= bound.
+    #[test]
+    fn count_at_or_below_never_undercounts(
+        values in prop::collection::vec(0u64..1_000_000, 0..200),
+        bound in 0u64..1_000_000,
+    ) {
+        let mut h = LogHistogram::new(5, 30);
+        for &v in &values {
+            h.record(v);
+        }
+        let exact = values.iter().filter(|&&v| v <= bound).count() as u64;
+        prop_assert!(h.count_at_or_below(bound) >= exact);
+    }
+
+    /// The histogram mean is exact (it is tracked outside the buckets).
+    #[test]
+    fn mean_is_exact(values in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut h = LogHistogram::new(5, 30);
+        let mut sum = 0u128;
+        for &v in &values {
+            h.record(v);
+            sum += v as u128;
+        }
+        let exact = sum as f64 / values.len() as f64;
+        let got = h.mean().unwrap();
+        prop_assert!((got - exact).abs() < 1e-6 * exact.max(1.0));
+    }
+}

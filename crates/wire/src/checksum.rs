@@ -1,0 +1,107 @@
+//! The internet checksum (RFC 1071), used by the IPv4 and UDP headers.
+
+/// Computes the 16-bit one's-complement internet checksum of `data`.
+///
+/// The returned value is ready to be stored in a header checksum field
+/// (i.e. it is the complement of the one's-complement sum). Verifying a
+/// buffer that *includes* its checksum field must yield `0`.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    !ones_complement_sum(data)
+}
+
+/// The one's-complement 16-bit sum of `data` (without final inversion).
+pub fn ones_complement_sum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    sum as u16
+}
+
+/// Verifies a buffer whose checksum field is already filled in: the
+/// one's-complement sum over the whole buffer must be `0xFFFF`
+/// (equivalently, the complement is zero).
+pub fn verify(data: &[u8]) -> bool {
+    ones_complement_sum(data) == 0xFFFF
+}
+
+/// The IEEE 802.3 CRC-32 (reflected, polynomial `0xEDB88320`) used as the
+/// Ethernet frame check sequence. NIC hardware verifies the FCS and drops
+/// frames that fail it — which is how corruption anywhere in the frame
+/// (including the MAC header, which no IP/UDP checksum covers) is caught.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // Example from RFC 1071 §3: 00 01 f2 03 f4 f5 f6 f7.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(ones_complement_sum(&data), 0xddf2);
+        assert_eq!(internet_checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        let even = [0xab, 0x00];
+        let odd = [0xab];
+        assert_eq!(ones_complement_sum(&even), ones_complement_sum(&odd));
+    }
+
+    #[test]
+    fn roundtrip_verifies() {
+        let mut data = vec![0x45, 0x00, 0x00, 0x54, 0xa6, 0xf2, 0x40, 0x00, 0x40, 0x01];
+        let ck = internet_checksum(&data);
+        data.extend_from_slice(&ck.to_be_bytes());
+        assert!(verify(&data));
+        // Flipping any byte breaks verification.
+        data[3] ^= 0xFF;
+        assert!(!verify(&data));
+    }
+
+    #[test]
+    fn empty_buffer() {
+        assert_eq!(ones_complement_sum(&[]), 0);
+        assert_eq!(internet_checksum(&[]), 0xFFFF);
+    }
+
+    #[test]
+    fn crc32_known_answer() {
+        // The canonical check value: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let data = b"the quick brown fox";
+        let good = crc32(data);
+        let mut copy = data.to_vec();
+        for i in 0..copy.len() {
+            for bit in 0..8 {
+                copy[i] ^= 1 << bit;
+                assert_ne!(crc32(&copy), good, "flip at {i}.{bit} undetected");
+                copy[i] ^= 1 << bit;
+            }
+        }
+    }
+}

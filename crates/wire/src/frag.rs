@@ -1,0 +1,385 @@
+//! UDP-level fragmentation and reassembly.
+//!
+//! "Requests that span multiple frames (large PUT requests and large GET
+//! replies) are fragmented and defragmented at the UDP level" (paper
+//! §4.1). Every UDP payload in this stack starts with a 16-byte
+//! [`FragHeader`]; messages that fit one MTU are sent as a single
+//! fragment (`count == 1`), larger messages are split into
+//! [`crate::MAX_FRAG_CHUNK`]-byte chunks.
+//!
+//! The [`Reassembler`] tolerates out-of-order and duplicated fragments and
+//! bounds its memory: at most `max_partial` in-flight messages are kept,
+//! evicting the stalest entry when full (datagram loss is the client's
+//! problem — §4.1: "Retransmission is handled by the client").
+
+use crate::{MAX_FRAG_CHUNK, MTU};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::HashMap;
+
+/// Encoded size of [`FragHeader`].
+pub const FRAG_HEADER_LEN: usize = 16;
+
+/// Per-fragment header prefixed to every UDP payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FragHeader {
+    /// Message identifier, unique per sender.
+    pub msg_id: u64,
+    /// Fragment index in `[0, count)`.
+    pub index: u16,
+    /// Total number of fragments of the message.
+    pub count: u16,
+    /// Total message length in bytes (all chunks concatenated).
+    pub msg_len: u32,
+}
+
+impl FragHeader {
+    /// Appends the encoded header to `buf`.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u64(self.msg_id);
+        buf.put_u16(self.index);
+        buf.put_u16(self.count);
+        buf.put_u32(self.msg_len);
+    }
+
+    /// Decodes a header from the front of `buf`.
+    pub fn decode<B: Buf>(buf: &mut B) -> Option<Self> {
+        if buf.remaining() < FRAG_HEADER_LEN {
+            return None;
+        }
+        let h = FragHeader {
+            msg_id: buf.get_u64(),
+            index: buf.get_u16(),
+            count: buf.get_u16(),
+            msg_len: buf.get_u32(),
+        };
+        (h.count > 0 && h.index < h.count).then_some(h)
+    }
+}
+
+/// Splits messages into MTU-sized fragments, assigning message ids.
+#[derive(Debug)]
+pub struct Fragmenter {
+    next_msg_id: u64,
+}
+
+impl Fragmenter {
+    /// Creates a fragmenter whose message ids start at `seed` (use a
+    /// distinct seed space per sender if ids must be globally unique —
+    /// the reassembler keys on (source, msg_id), so per-sender uniqueness
+    /// suffices).
+    pub fn new(seed: u64) -> Self {
+        Self { next_msg_id: seed }
+    }
+
+    /// Splits `message` into UDP payloads (frag header + chunk), each at
+    /// most [`crate::MAX_UDP_PAYLOAD`] bytes.
+    pub fn fragment(&mut self, message: &[u8]) -> Vec<Bytes> {
+        let msg_id = self.next_msg_id;
+        self.next_msg_id = self.next_msg_id.wrapping_add(1);
+        fragment_with_id(msg_id, message)
+    }
+
+    /// Number of fragments `len` message bytes will produce.
+    pub fn fragment_count(len: usize) -> u32 {
+        crate::packets_for_payload(len)
+    }
+}
+
+/// Splits `message` into fragments with an explicit message id.
+pub fn fragment_with_id(msg_id: u64, message: &[u8]) -> Vec<Bytes> {
+    let count = crate::packets_for_payload(message.len()) as usize;
+    assert!(count <= u16::MAX as usize, "message too large to fragment");
+    let mut out = Vec::with_capacity(count);
+    for index in 0..count {
+        let start = index * MAX_FRAG_CHUNK;
+        let end = ((index + 1) * MAX_FRAG_CHUNK).min(message.len());
+        let chunk = &message[start..end];
+        let mut buf = BytesMut::with_capacity(FRAG_HEADER_LEN + chunk.len());
+        FragHeader {
+            msg_id,
+            index: index as u16,
+            count: count as u16,
+            msg_len: message.len() as u32,
+        }
+        .encode(&mut buf);
+        buf.put_slice(chunk);
+        debug_assert!(buf.len() <= MTU);
+        out.push(buf.freeze());
+    }
+    out
+}
+
+/// A partially reassembled message.
+#[derive(Debug)]
+struct Partial {
+    chunks: Vec<Option<Bytes>>,
+    received: usize,
+    msg_len: u32,
+    last_touch: u64,
+}
+
+/// Outcome of feeding one fragment to the [`Reassembler`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Reassembly {
+    /// The fragment completed a message; here it is.
+    Complete(Bytes),
+    /// More fragments are needed.
+    Incomplete,
+    /// The fragment was malformed or inconsistent and was dropped.
+    Rejected,
+    /// The fragment duplicated one already received and was ignored.
+    Duplicate,
+}
+
+/// Reassembles fragmented messages, keyed by `(source, msg_id)`.
+#[derive(Debug)]
+pub struct Reassembler {
+    partials: HashMap<(u64, u64), Partial>,
+    max_partial: usize,
+    clock: u64,
+    /// Completed-message count (observability).
+    pub completed: u64,
+    /// Evicted-partial count (observability).
+    pub evicted: u64,
+}
+
+impl Reassembler {
+    /// Creates a reassembler holding at most `max_partial` in-flight
+    /// messages.
+    pub fn new(max_partial: usize) -> Self {
+        assert!(max_partial > 0);
+        Self {
+            partials: HashMap::new(),
+            max_partial,
+            clock: 0,
+            completed: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Feeds one UDP payload (frag header + chunk) from `source`.
+    pub fn push(&mut self, source: u64, payload: Bytes) -> Reassembly {
+        self.clock += 1;
+        let mut rd = payload;
+        let Some(header) = FragHeader::decode(&mut rd) else {
+            return Reassembly::Rejected;
+        };
+        let chunk = rd;
+
+        // Validate chunk length against its position.
+        let expected = expected_chunk_len(&header);
+        if chunk.len() != expected {
+            return Reassembly::Rejected;
+        }
+
+        if header.count == 1 {
+            self.completed += 1;
+            return Reassembly::Complete(chunk);
+        }
+
+        let key = (source, header.msg_id);
+        if !self.partials.contains_key(&key) && self.partials.len() >= self.max_partial {
+            self.evict_stalest();
+        }
+        let partial = self.partials.entry(key).or_insert_with(|| Partial {
+            chunks: vec![None; header.count as usize],
+            received: 0,
+            msg_len: header.msg_len,
+            last_touch: 0,
+        });
+        if partial.chunks.len() != header.count as usize || partial.msg_len != header.msg_len {
+            // Inconsistent with earlier fragments of the same id: drop
+            // the whole partial, it cannot complete correctly.
+            self.partials.remove(&key);
+            return Reassembly::Rejected;
+        }
+        partial.last_touch = self.clock;
+        let slot = &mut partial.chunks[header.index as usize];
+        if slot.is_some() {
+            return Reassembly::Duplicate;
+        }
+        *slot = Some(chunk);
+        partial.received += 1;
+        if partial.received == partial.chunks.len() {
+            let partial = self.partials.remove(&key).expect("present");
+            let mut out = BytesMut::with_capacity(partial.msg_len as usize);
+            for c in partial.chunks {
+                out.put_slice(&c.expect("all chunks received"));
+            }
+            self.completed += 1;
+            return Reassembly::Complete(out.freeze());
+        }
+        Reassembly::Incomplete
+    }
+
+    /// Number of in-flight partial messages.
+    pub fn pending(&self) -> usize {
+        self.partials.len()
+    }
+
+    fn evict_stalest(&mut self) {
+        if let Some(key) = self
+            .partials
+            .iter()
+            .min_by_key(|(_, p)| p.last_touch)
+            .map(|(k, _)| *k)
+        {
+            self.partials.remove(&key);
+            self.evicted += 1;
+        }
+    }
+}
+
+fn expected_chunk_len(h: &FragHeader) -> usize {
+    let len = h.msg_len as usize;
+    let start = h.index as usize * MAX_FRAG_CHUNK;
+    if h.index + 1 == h.count {
+        len.saturating_sub(start)
+    } else {
+        MAX_FRAG_CHUNK
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn message(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i % 251) as u8).collect()
+    }
+
+    #[test]
+    fn single_fragment_roundtrip() {
+        let msg = message(100);
+        let frags = fragment_with_id(1, &msg);
+        assert_eq!(frags.len(), 1);
+        let mut r = Reassembler::new(8);
+        match r.push(0, frags[0].clone()) {
+            Reassembly::Complete(b) => assert_eq!(&b[..], &msg[..]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_fragment_roundtrip_in_order() {
+        let msg = message(MAX_FRAG_CHUNK * 3 + 17);
+        let frags = fragment_with_id(9, &msg);
+        assert_eq!(frags.len(), 4);
+        let mut r = Reassembler::new(8);
+        for (i, f) in frags.iter().enumerate() {
+            match r.push(0, f.clone()) {
+                Reassembly::Complete(b) => {
+                    assert_eq!(i, frags.len() - 1);
+                    assert_eq!(&b[..], &msg[..]);
+                }
+                Reassembly::Incomplete => assert!(i < frags.len() - 1),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn out_of_order_and_interleaved_sources() {
+        let msg_a = message(MAX_FRAG_CHUNK * 2);
+        let msg_b = message(MAX_FRAG_CHUNK + 5);
+        let fa = fragment_with_id(1, &msg_a);
+        let fb = fragment_with_id(1, &msg_b); // same id, different source
+        let mut r = Reassembler::new(8);
+        assert_eq!(r.push(10, fa[1].clone()), Reassembly::Incomplete);
+        assert_eq!(r.push(20, fb[1].clone()), Reassembly::Incomplete);
+        match r.push(20, fb[0].clone()) {
+            Reassembly::Complete(b) => assert_eq!(&b[..], &msg_b[..]),
+            other => panic!("unexpected {other:?}"),
+        }
+        match r.push(10, fa[0].clone()) {
+            Reassembly::Complete(b) => assert_eq!(&b[..], &msg_a[..]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let msg = message(MAX_FRAG_CHUNK * 2);
+        let frags = fragment_with_id(3, &msg);
+        let mut r = Reassembler::new(8);
+        assert_eq!(r.push(0, frags[0].clone()), Reassembly::Incomplete);
+        assert_eq!(r.push(0, frags[0].clone()), Reassembly::Duplicate);
+        assert!(matches!(r.push(0, frags[1].clone()), Reassembly::Complete(_)));
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        let mut r = Reassembler::new(8);
+        // Too short for a header.
+        assert_eq!(r.push(0, Bytes::from_static(&[1, 2, 3])), Reassembly::Rejected);
+        // index >= count.
+        let mut buf = BytesMut::new();
+        FragHeader {
+            msg_id: 1,
+            index: 0,
+            count: 1,
+            msg_len: 4,
+        }
+        .encode(&mut buf);
+        buf.put_slice(b"toolong!");
+        assert_eq!(r.push(0, buf.freeze()), Reassembly::Rejected);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_stalest() {
+        let mut r = Reassembler::new(2);
+        let m = message(MAX_FRAG_CHUNK * 2);
+        // Three concurrent partials from three sources; capacity 2.
+        for src in 0..3u64 {
+            let frags = fragment_with_id(src, &m);
+            assert_eq!(r.push(src, frags[0].clone()), Reassembly::Incomplete);
+        }
+        assert_eq!(r.pending(), 2);
+        assert_eq!(r.evicted, 1);
+        // Source 0 was stalest and got evicted: completing it now fails
+        // (fragment 1 alone re-opens a partial).
+        let frags = fragment_with_id(0, &m);
+        assert_eq!(r.push(0, frags[1].clone()), Reassembly::Incomplete);
+    }
+
+    #[test]
+    fn fragment_sizes_respect_mtu() {
+        let msg = message(500_000);
+        for f in fragment_with_id(0, &msg) {
+            assert!(f.len() <= crate::MAX_UDP_PAYLOAD);
+        }
+    }
+
+    #[test]
+    fn inconsistent_geometry_rejected() {
+        let msg = message(MAX_FRAG_CHUNK * 3);
+        let frags = fragment_with_id(5, &msg);
+        let mut r = Reassembler::new(8);
+        assert_eq!(r.push(0, frags[0].clone()), Reassembly::Incomplete);
+        // Forge a fragment with the same msg_id but a different count.
+        let mut buf = BytesMut::new();
+        FragHeader {
+            msg_id: 5,
+            index: 1,
+            count: 2,
+            msg_len: (MAX_FRAG_CHUNK * 2) as u32,
+        }
+        .encode(&mut buf);
+        buf.put_slice(&msg[MAX_FRAG_CHUNK..2 * MAX_FRAG_CHUNK]);
+        assert_eq!(r.push(0, buf.freeze()), Reassembly::Rejected);
+    }
+
+    #[test]
+    fn fragmenter_assigns_unique_ids() {
+        let mut f = Fragmenter::new(100);
+        let a = f.fragment(&message(10));
+        let b = f.fragment(&message(10));
+        let mut ra = a[0].clone();
+        let mut rb = b[0].clone();
+        let ha = FragHeader::decode(&mut ra).unwrap();
+        let hb = FragHeader::decode(&mut rb).unwrap();
+        assert_eq!(ha.msg_id, 100);
+        assert_eq!(hb.msg_id, 101);
+    }
+}

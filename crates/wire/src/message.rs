@@ -1,0 +1,385 @@
+//! The KV application protocol.
+//!
+//! The store exposes the usual CRUD semantics (paper §3): `GET(key)` and
+//! `PUT(key, value)`, with create/delete treated as PUT variants. Keys are
+//! fixed 8-byte values (§5.3: "we keep the size of the keys constant to 8
+//! bytes"), so they are carried as `u64`.
+//!
+//! Every request carries the client's send timestamp; the server echoes it
+//! on the reply so the client can compute end-to-end latency without
+//! synchronized clocks — exactly the measurement scheme of §5.4.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Operation kinds on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum OpKind {
+    /// GET request.
+    GetRequest = 1,
+    /// PUT request (also covers create).
+    PutRequest = 2,
+    /// DELETE request.
+    DeleteRequest = 3,
+    /// GET reply.
+    GetReply = 4,
+    /// PUT reply.
+    PutReply = 5,
+    /// DELETE reply.
+    DeleteReply = 6,
+}
+
+impl OpKind {
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => OpKind::GetRequest,
+            2 => OpKind::PutRequest,
+            3 => OpKind::DeleteRequest,
+            4 => OpKind::GetReply,
+            5 => OpKind::PutReply,
+            6 => OpKind::DeleteReply,
+            _ => return None,
+        })
+    }
+
+    /// True for the request kinds.
+    pub fn is_request(self) -> bool {
+        matches!(
+            self,
+            OpKind::GetRequest | OpKind::PutRequest | OpKind::DeleteRequest
+        )
+    }
+}
+
+/// Status code on replies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ReplyStatus {
+    /// The operation succeeded.
+    Ok = 0,
+    /// GET/DELETE on a key that is not stored.
+    NotFound = 1,
+    /// PUT failed because the store is out of memory.
+    OutOfMemory = 2,
+}
+
+impl ReplyStatus {
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            0 => ReplyStatus::Ok,
+            1 => ReplyStatus::NotFound,
+            2 => ReplyStatus::OutOfMemory,
+            _ => return None,
+        })
+    }
+}
+
+/// Message body variants.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Body {
+    /// GET request for `key`.
+    Get {
+        /// The requested key.
+        key: u64,
+    },
+    /// PUT request storing `value` under `key`. The value length on the
+    /// wire is the "size of the item that is being written" the paper
+    /// says PUT requests carry, letting the receiving core classify the
+    /// request as small or large without a lookup.
+    Put {
+        /// The key to write.
+        key: u64,
+        /// The value to store.
+        value: Bytes,
+    },
+    /// DELETE request for `key`.
+    Delete {
+        /// The key to delete.
+        key: u64,
+    },
+    /// Reply to a GET.
+    GetReply {
+        /// Outcome.
+        status: ReplyStatus,
+        /// Echoed key.
+        key: u64,
+        /// The value, empty unless `status == Ok`.
+        value: Bytes,
+    },
+    /// Reply to a PUT.
+    PutReply {
+        /// Outcome.
+        status: ReplyStatus,
+        /// Echoed key.
+        key: u64,
+    },
+    /// Reply to a DELETE.
+    DeleteReply {
+        /// Outcome.
+        status: ReplyStatus,
+        /// Echoed key.
+        key: u64,
+    },
+}
+
+impl Body {
+    /// The wire kind of this body.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Body::Get { .. } => OpKind::GetRequest,
+            Body::Put { .. } => OpKind::PutRequest,
+            Body::Delete { .. } => OpKind::DeleteRequest,
+            Body::GetReply { .. } => OpKind::GetReply,
+            Body::PutReply { .. } => OpKind::PutReply,
+            Body::DeleteReply { .. } => OpKind::DeleteReply,
+        }
+    }
+
+    /// The key this message refers to.
+    pub fn key(&self) -> u64 {
+        match self {
+            Body::Get { key }
+            | Body::Put { key, .. }
+            | Body::Delete { key }
+            | Body::GetReply { key, .. }
+            | Body::PutReply { key, .. }
+            | Body::DeleteReply { key, .. } => *key,
+        }
+    }
+}
+
+/// A complete application message: addressing/timing header plus body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Message {
+    /// Client identifier (maps to a client thread; also used as the
+    /// reply destination).
+    pub client_id: u16,
+    /// Client-assigned request identifier, echoed on the reply.
+    pub request_id: u64,
+    /// Client send timestamp (ns), echoed on the reply for end-to-end
+    /// latency measurement.
+    pub client_ts_ns: u64,
+    /// The operation.
+    pub body: Body,
+}
+
+/// Fixed part of the encoded message: kind(1) + status(1) + client_id(2)
+/// + request_id(8) + client_ts(8) + key(8) + value_len(4).
+pub const MSG_HEADER_LEN: usize = 32;
+
+impl Message {
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        MSG_HEADER_LEN + self.value_len()
+    }
+
+    /// Length of the value payload carried (0 for value-less messages).
+    pub fn value_len(&self) -> usize {
+        match &self.body {
+            Body::Put { value, .. } | Body::GetReply { value, .. } => value.len(),
+            _ => 0,
+        }
+    }
+
+    /// Serializes the message to bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        let (status, key, value): (u8, u64, Option<&Bytes>) = match &self.body {
+            Body::Get { key } => (0, *key, None),
+            Body::Put { key, value } => (0, *key, Some(value)),
+            Body::Delete { key } => (0, *key, None),
+            Body::GetReply { status, key, value } => (*status as u8, *key, Some(value)),
+            Body::PutReply { status, key } => (*status as u8, *key, None),
+            Body::DeleteReply { status, key } => (*status as u8, *key, None),
+        };
+        buf.put_u8(self.body.kind() as u8);
+        buf.put_u8(status);
+        buf.put_u16(self.client_id);
+        buf.put_u64(self.request_id);
+        buf.put_u64(self.client_ts_ns);
+        buf.put_u64(key);
+        buf.put_u32(value.map_or(0, |v| v.len() as u32));
+        if let Some(v) = value {
+            buf.put_slice(v);
+        }
+        buf.freeze()
+    }
+
+    /// Parses a message from `data`. Fails on truncation, unknown kinds
+    /// or inconsistent lengths.
+    pub fn decode(mut data: Bytes) -> Option<Message> {
+        if data.len() < MSG_HEADER_LEN {
+            return None;
+        }
+        let kind = OpKind::from_u8(data.get_u8())?;
+        let status_raw = data.get_u8();
+        let client_id = data.get_u16();
+        let request_id = data.get_u64();
+        let client_ts_ns = data.get_u64();
+        let key = data.get_u64();
+        let value_len = data.get_u32() as usize;
+        if data.remaining() != value_len {
+            return None;
+        }
+        let value = data;
+        let body = match kind {
+            OpKind::GetRequest => Body::Get { key },
+            OpKind::PutRequest => Body::Put { key, value },
+            OpKind::DeleteRequest => Body::Delete { key },
+            OpKind::GetReply => Body::GetReply {
+                status: ReplyStatus::from_u8(status_raw)?,
+                key,
+                value,
+            },
+            OpKind::PutReply => Body::PutReply {
+                status: ReplyStatus::from_u8(status_raw)?,
+                key,
+            },
+            OpKind::DeleteReply => Body::DeleteReply {
+                status: ReplyStatus::from_u8(status_raw)?,
+                key,
+            },
+        };
+        Some(Message {
+            client_id,
+            request_id,
+            client_ts_ns,
+            body,
+        })
+    }
+
+    /// Builds the reply message for this request with the echoed
+    /// identifiers and timestamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a reply.
+    pub fn reply(&self, status: ReplyStatus, value: Option<Bytes>) -> Message {
+        let body = match &self.body {
+            Body::Get { key } => Body::GetReply {
+                status,
+                key: *key,
+                value: value.unwrap_or_default(),
+            },
+            Body::Put { key, .. } => Body::PutReply { status, key: *key },
+            Body::Delete { key } => Body::DeleteReply { status, key: *key },
+            _ => panic!("reply() called on a reply message"),
+        };
+        Message {
+            client_id: self.client_id,
+            request_id: self.request_id,
+            client_ts_ns: self.client_ts_ns,
+            body,
+        }
+    }
+
+    /// Number of network packets this message occupies on the wire
+    /// (the paper's cost function; see [`crate::packets_for_payload`]).
+    pub fn wire_packets(&self) -> u32 {
+        crate::packets_for_payload(self.encoded_len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_put(len: usize) -> Message {
+        Message {
+            client_id: 7,
+            request_id: 42,
+            client_ts_ns: 123_456_789,
+            body: Body::Put {
+                key: 0xDEADBEEF,
+                value: Bytes::from(vec![0xAB; len]),
+            },
+        }
+    }
+
+    #[test]
+    fn get_roundtrip() {
+        let m = Message {
+            client_id: 1,
+            request_id: 2,
+            client_ts_ns: 3,
+            body: Body::Get { key: 99 },
+        };
+        let enc = m.encode();
+        assert_eq!(enc.len(), MSG_HEADER_LEN);
+        assert_eq!(Message::decode(enc).unwrap(), m);
+    }
+
+    #[test]
+    fn put_roundtrip_with_value() {
+        let m = sample_put(1000);
+        let enc = m.encode();
+        assert_eq!(enc.len(), MSG_HEADER_LEN + 1000);
+        assert_eq!(Message::decode(enc).unwrap(), m);
+    }
+
+    #[test]
+    fn reply_echoes_identifiers() {
+        let req = sample_put(10);
+        let rep = req.reply(ReplyStatus::Ok, None);
+        assert_eq!(rep.client_id, req.client_id);
+        assert_eq!(rep.request_id, req.request_id);
+        assert_eq!(rep.client_ts_ns, req.client_ts_ns);
+        assert_eq!(rep.body.kind(), OpKind::PutReply);
+        assert_eq!(rep.body.key(), req.body.key());
+    }
+
+    #[test]
+    fn get_reply_carries_value() {
+        let req = Message {
+            client_id: 1,
+            request_id: 2,
+            client_ts_ns: 3,
+            body: Body::Get { key: 5 },
+        };
+        let rep = req.reply(ReplyStatus::Ok, Some(Bytes::from_static(b"hello")));
+        let enc = rep.encode();
+        let dec = Message::decode(enc).unwrap();
+        match dec.body {
+            Body::GetReply { status, key, value } => {
+                assert_eq!(status, ReplyStatus::Ok);
+                assert_eq!(key, 5);
+                assert_eq!(&value[..], b"hello");
+            }
+            other => panic!("unexpected body {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let enc = sample_put(100).encode();
+        let truncated = enc.slice(0..enc.len() - 1);
+        assert!(Message::decode(truncated).is_none());
+        assert!(Message::decode(enc.slice(0..10)).is_none());
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let mut raw = sample_put(0).encode().to_vec();
+        raw[0] = 200;
+        assert!(Message::decode(Bytes::from(raw)).is_none());
+    }
+
+    #[test]
+    fn wire_packets_matches_cost_function() {
+        assert_eq!(sample_put(100).wire_packets(), 1);
+        let large = sample_put(500_000);
+        assert_eq!(
+            large.wire_packets(),
+            crate::packets_for_payload(MSG_HEADER_LEN + 500_000)
+        );
+        assert!(large.wire_packets() > 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "reply() called on a reply")]
+    fn reply_to_reply_panics() {
+        let req = sample_put(0);
+        let rep = req.reply(ReplyStatus::Ok, None);
+        let _ = rep.reply(ReplyStatus::Ok, None);
+    }
+}

@@ -1,0 +1,209 @@
+//! The per-request access generator: key choice, op mix, sizes.
+//!
+//! Paper §5.3: a request targets a large item with probability `p_L`;
+//! large keys are drawn uniformly (to avoid the hottest large key
+//! skewing results), regular keys are drawn zipfian(0.99) by popularity
+//! rank; GET vs PUT follows the configured ratio.
+
+use crate::dataset::Dataset;
+use crate::rng::Rng;
+use crate::zipf::Zipf;
+
+/// The operation of one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Operation {
+    /// Read the item.
+    Get,
+    /// Overwrite the item (same size: item sizes are a property of the
+    /// key in this workload model).
+    Put,
+}
+
+/// One generated request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpSpec {
+    /// The target key id.
+    pub key: u64,
+    /// GET or PUT.
+    pub op: Operation,
+    /// The item's size in bytes (the stored size for GETs; the written
+    /// size for PUTs).
+    pub item_size: u64,
+    /// Whether the key is in the large class.
+    pub is_large: bool,
+}
+
+/// Generates requests against a [`Dataset`].
+#[derive(Clone, Debug)]
+pub struct AccessGenerator {
+    dataset: Dataset,
+    zipf: Zipf,
+    /// Probability that a request targets a large item.
+    p_large: f64,
+    /// Probability that a request is a GET.
+    get_ratio: f64,
+}
+
+impl AccessGenerator {
+    /// Creates a generator.
+    ///
+    /// * `p_large` — fraction of requests targeting large items (the
+    ///   paper's `p_L`, e.g. 0.00125 for 0.125 %).
+    /// * `get_ratio` — fraction of GETs (0.95 or 0.5 in the paper).
+    /// * `zipf_s` — popularity skew over regular keys (0.99 default).
+    pub fn new(dataset: Dataset, p_large: f64, get_ratio: f64, zipf_s: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_large));
+        assert!((0.0..=1.0).contains(&get_ratio));
+        let zipf = Zipf::new(dataset.num_regular(), zipf_s);
+        AccessGenerator {
+            dataset,
+            zipf,
+            p_large,
+            get_ratio,
+        }
+    }
+
+    /// The dataset this generator draws from.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Current probability of targeting a large item.
+    pub fn p_large(&self) -> f64 {
+        self.p_large
+    }
+
+    /// Updates `p_L` (used by the dynamic workload of Figure 10).
+    pub fn set_p_large(&mut self, p_large: f64) {
+        assert!((0.0..=1.0).contains(&p_large));
+        self.p_large = p_large;
+    }
+
+    /// Draws the next request.
+    pub fn next_op(&self, rng: &mut Rng) -> OpSpec {
+        let (key, is_large) = if rng.chance(self.p_large) {
+            (self.dataset.sample_large(rng), true)
+        } else {
+            let rank = self.zipf.sample(rng) - 1; // ranks are 1-based
+            (self.dataset.regular_key(rank), false)
+        };
+        let op = if rng.chance(self.get_ratio) {
+            Operation::Get
+        } else {
+            Operation::Put
+        };
+        OpSpec {
+            key,
+            op,
+            item_size: self.dataset.size_of(key),
+            is_large,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generator(p_large: f64, get_ratio: f64) -> AccessGenerator {
+        let dataset = Dataset::new(100_000, 100, 0.4, 500_000, 0);
+        AccessGenerator::new(dataset, p_large, get_ratio, 0.99)
+    }
+
+    #[test]
+    fn large_fraction_matches_p_large() {
+        let g = generator(0.00125, 0.95);
+        let mut rng = Rng::new(1);
+        let n = 1_000_000;
+        let large = (0..n).filter(|_| g.next_op(&mut rng).is_large).count();
+        let frac = large as f64 / n as f64;
+        assert!(
+            (frac - 0.00125).abs() < 0.0003,
+            "large fraction {frac}"
+        );
+    }
+
+    #[test]
+    fn get_ratio_matches() {
+        let g = generator(0.00125, 0.95);
+        let mut rng = Rng::new(2);
+        let n = 200_000;
+        let gets = (0..n)
+            .filter(|_| g.next_op(&mut rng).op == Operation::Get)
+            .count();
+        let ratio = gets as f64 / n as f64;
+        assert!((ratio - 0.95).abs() < 0.005, "get ratio {ratio}");
+    }
+
+    #[test]
+    fn large_ops_have_large_sizes() {
+        let g = generator(0.5, 0.95);
+        let mut rng = Rng::new(3);
+        for _ in 0..10_000 {
+            let op = g.next_op(&mut rng);
+            if op.is_large {
+                assert!(op.item_size >= 1500);
+                assert!(g.dataset().is_large_key(op.key));
+            } else {
+                assert!(op.item_size <= 1400);
+            }
+        }
+    }
+
+    #[test]
+    fn regular_keys_are_skewed() {
+        // The most popular regular key should appear far more often than
+        // a uniform draw would allow.
+        let g = generator(0.0, 1.0);
+        let mut rng = Rng::new(4);
+        let mut counts = std::collections::HashMap::new();
+        let n = 200_000;
+        for _ in 0..n {
+            *counts.entry(g.next_op(&mut rng).key).or_insert(0u64) += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        let uniform_expect = n as f64 / g.dataset().num_regular() as f64;
+        assert!(
+            max as f64 > uniform_expect * 100.0,
+            "max count {max} vs uniform {uniform_expect}"
+        );
+    }
+
+    #[test]
+    fn large_keys_are_uniform() {
+        let g = generator(1.0, 1.0); // all large
+        let mut rng = Rng::new(5);
+        let mut counts = std::collections::HashMap::new();
+        let n = 100_000;
+        for _ in 0..n {
+            *counts.entry(g.next_op(&mut rng).key).or_insert(0u64) += 1;
+        }
+        assert_eq!(counts.len(), 100, "all large keys hit");
+        let expect = n as f64 / 100.0;
+        for (&k, &c) in &counts {
+            assert!(
+                (c as f64) > expect * 0.7 && (c as f64) < expect * 1.3,
+                "key {k} count {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn set_p_large_shifts_mix() {
+        let mut g = generator(0.0, 0.95);
+        let mut rng = Rng::new(6);
+        assert!(!g.next_op(&mut rng).is_large);
+        g.set_p_large(1.0);
+        assert!(g.next_op(&mut rng).is_large);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = generator(0.1, 0.9);
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(g.next_op(&mut a), g.next_op(&mut b));
+        }
+    }
+}

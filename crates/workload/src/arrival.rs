@@ -1,0 +1,123 @@
+//! Open-loop arrival process.
+//!
+//! Paper §5.4: "Client threads simulate an open system by generating
+//! requests at a given rate ... The time between two consecutive requests
+//! of a thread is exponentially distributed." An open loop is essential
+//! for tail-latency measurement: a closed loop would throttle offered
+//! load exactly when the server slows down, hiding queueing.
+
+use crate::rng::Rng;
+
+/// An open-loop (Poisson) arrival process in nanoseconds.
+#[derive(Clone, Debug)]
+pub struct OpenLoop {
+    mean_gap_ns: f64,
+    next_ns: u64,
+}
+
+impl OpenLoop {
+    /// A process generating `rate` requests per second starting at time
+    /// `start_ns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive.
+    pub fn new(rate: f64, start_ns: u64) -> Self {
+        assert!(rate > 0.0, "rate must be positive");
+        OpenLoop {
+            mean_gap_ns: 1e9 / rate,
+            next_ns: start_ns,
+        }
+    }
+
+    /// The timestamp of the next arrival, advancing the process.
+    pub fn next_arrival(&mut self, rng: &mut Rng) -> u64 {
+        let t = self.next_ns;
+        let gap = rng.exponential(self.mean_gap_ns);
+        self.next_ns = t + gap.max(0.0) as u64;
+        t
+    }
+
+    /// The timestamp the next call to [`Self::next_arrival`] will return.
+    pub fn peek(&self) -> u64 {
+        self.next_ns
+    }
+
+    /// Changes the rate from now on (used by load sweeps).
+    pub fn set_rate(&mut self, rate: f64) {
+        assert!(rate > 0.0);
+        self.mean_gap_ns = 1e9 / rate;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_arrival_at_start() {
+        let mut a = OpenLoop::new(1000.0, 5000);
+        let mut rng = Rng::new(1);
+        assert_eq!(a.next_arrival(&mut rng), 5000);
+    }
+
+    #[test]
+    fn arrivals_are_monotonic() {
+        let mut a = OpenLoop::new(1_000_000.0, 0);
+        let mut rng = Rng::new(2);
+        let mut prev = 0;
+        for _ in 0..10_000 {
+            let t = a.next_arrival(&mut rng);
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn rate_is_respected() {
+        let rate = 2_000_000.0; // 2 Mops
+        let mut a = OpenLoop::new(rate, 0);
+        let mut rng = Rng::new(3);
+        let n = 200_000;
+        let mut last = 0;
+        for _ in 0..n {
+            last = a.next_arrival(&mut rng);
+        }
+        let measured = n as f64 / (last as f64 / 1e9);
+        assert!(
+            (measured - rate).abs() / rate < 0.02,
+            "measured rate {measured}"
+        );
+    }
+
+    #[test]
+    fn gaps_look_exponential() {
+        // Coefficient of variation of exponential gaps is 1.
+        let mut a = OpenLoop::new(1_000_000.0, 0);
+        let mut rng = Rng::new(4);
+        let mut gaps = Vec::new();
+        let mut prev = a.next_arrival(&mut rng);
+        for _ in 0..100_000 {
+            let t = a.next_arrival(&mut rng);
+            gaps.push((t - prev) as f64);
+            prev = t;
+        }
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.05, "cv {cv}");
+    }
+
+    #[test]
+    fn set_rate_changes_future_gaps() {
+        let mut a = OpenLoop::new(1000.0, 0);
+        let mut rng = Rng::new(5);
+        a.set_rate(1_000_000_000.0); // 1 ns mean gap
+        let t0 = a.next_arrival(&mut rng);
+        let mut last = t0;
+        for _ in 0..1000 {
+            last = a.next_arrival(&mut rng);
+        }
+        assert!(last - t0 < 100_000, "gaps shrank after set_rate");
+    }
+}

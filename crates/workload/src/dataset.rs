@@ -1,0 +1,262 @@
+//! The dataset: which keys exist and how big each item is.
+//!
+//! Paper §5.3: "We consider a dataset of 16M key-value pairs, out of
+//! which 10K are large elements. Of the remaining key-value pairs, 40%
+//! correspond to tiny items, and 60% to small ones."
+//!
+//! Item sizes are *deterministic functions of the key id* (a per-key hash
+//! picks the class and the uniform draw within the class), so the dataset
+//! occupies O(1) memory at any scale — the full 16M-key dataset and a
+//! scaled-down 100K-key dataset for threaded runs use the same code.
+
+use crate::rng::Rng;
+use crate::sizes::{Class, SizeClasses, LARGE_MIN, SMALL, TINY};
+
+/// A dataset description: key population and per-key sizes.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Total number of keys. Key ids are `0..num_keys`.
+    num_keys: u64,
+    /// Number of large keys; these are the ids `num_keys - num_large ..
+    /// num_keys`.
+    num_large: u64,
+    /// Fraction of the regular (non-large) keys that are tiny.
+    tiny_frac: f64,
+    /// Size classes (carries `s_L`).
+    classes: SizeClasses,
+    /// Salt mixed into the per-key hashes so different datasets assign
+    /// different sizes.
+    salt: u64,
+}
+
+/// The paper's dataset population.
+pub const PAPER_KEYS: u64 = 16_000_000;
+/// The paper's large-key population.
+pub const PAPER_LARGE_KEYS: u64 = 10_000;
+/// The paper's tiny fraction of regular keys.
+pub const PAPER_TINY_FRAC: f64 = 0.4;
+
+impl Dataset {
+    /// The paper's dataset at full scale with the given `s_L`.
+    pub fn paper(large_max: u64) -> Self {
+        Self::new(PAPER_KEYS, PAPER_LARGE_KEYS, PAPER_TINY_FRAC, large_max, 0)
+    }
+
+    /// The paper's dataset scaled by `1/scale` (population and large
+    /// count divided), for memory-constrained threaded runs. Ratios are
+    /// preserved.
+    pub fn paper_scaled(scale: u64, large_max: u64) -> Self {
+        assert!(scale > 0);
+        Self::new(
+            (PAPER_KEYS / scale).max(1000),
+            (PAPER_LARGE_KEYS / scale).max(10),
+            PAPER_TINY_FRAC,
+            large_max,
+            0,
+        )
+    }
+
+    /// Fully custom dataset.
+    pub fn new(num_keys: u64, num_large: u64, tiny_frac: f64, large_max: u64, salt: u64) -> Self {
+        assert!(num_large < num_keys, "large keys must be a strict subset");
+        assert!((0.0..=1.0).contains(&tiny_frac));
+        Dataset {
+            num_keys,
+            num_large,
+            tiny_frac,
+            classes: SizeClasses::new(large_max),
+            salt,
+        }
+    }
+
+    /// Total key population.
+    pub fn num_keys(&self) -> u64 {
+        self.num_keys
+    }
+
+    /// Number of large keys.
+    pub fn num_large(&self) -> u64 {
+        self.num_large
+    }
+
+    /// Number of regular (tiny or small) keys.
+    pub fn num_regular(&self) -> u64 {
+        self.num_keys - self.num_large
+    }
+
+    /// The size classes in force.
+    pub fn classes(&self) -> &SizeClasses {
+        &self.classes
+    }
+
+    /// True if `key` is one of the large keys.
+    pub fn is_large_key(&self, key: u64) -> bool {
+        key >= self.num_regular() && key < self.num_keys
+    }
+
+    /// The id of the `rank`-th regular key (`rank` in `[0,
+    /// num_regular)`); regular key ids are scattered over the id space by
+    /// a bijective mix so that key id and popularity rank are
+    /// uncorrelated — popular keys land in different partitions.
+    pub fn regular_key(&self, rank: u64) -> u64 {
+        debug_assert!(rank < self.num_regular());
+        // Multiplication by an odd constant is a bijection modulo a
+        // power of two >= num_regular; cycle-walk values that land
+        // outside the span back through the permutation. The composition
+        // stays bijective on [0, num_regular).
+        let span = self.num_regular();
+        let m = span.next_power_of_two();
+        let mut x = rank;
+        loop {
+            x = x.wrapping_mul(0x9E3779B97F4A7C15) & (m - 1);
+            if x < span {
+                return x;
+            }
+        }
+    }
+
+    /// The id of the `idx`-th large key (`idx` in `[0, num_large)`).
+    pub fn large_key(&self, idx: u64) -> u64 {
+        debug_assert!(idx < self.num_large);
+        self.num_regular() + idx
+    }
+
+    fn key_mix(&self, key: u64, stream: u64) -> u64 {
+        // SplitMix64 over (key, salt, stream).
+        let mut z = key
+            .wrapping_mul(0xA24BAED4963EE407)
+            .wrapping_add(self.salt)
+            .wrapping_add(stream.wrapping_mul(0x9FB21C651E98DF25));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit(&self, key: u64, stream: u64) -> f64 {
+        (self.key_mix(key, stream) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// The class of `key`'s item.
+    pub fn class_of(&self, key: u64) -> Class {
+        if self.is_large_key(key) {
+            Class::Large
+        } else if self.unit(key, 1) < self.tiny_frac {
+            Class::Tiny
+        } else {
+            Class::Small
+        }
+    }
+
+    /// The fixed size in bytes of `key`'s item (uniform within its
+    /// class, deterministic per key).
+    pub fn size_of(&self, key: u64) -> u64 {
+        let (lo, hi) = match self.class_of(key) {
+            Class::Tiny => TINY,
+            Class::Small => SMALL,
+            Class::Large => (LARGE_MIN, self.classes.large_max),
+        };
+        lo + (self.unit(key, 2) * (hi - lo + 1) as f64) as u64
+    }
+
+    /// Draws a uniformly random large key.
+    pub fn sample_large(&self, rng: &mut Rng) -> u64 {
+        self.large_key(rng.range_u64(0, self.num_large - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_dataset() -> Dataset {
+        Dataset::new(10_000, 100, 0.4, 500_000, 7)
+    }
+
+    #[test]
+    fn paper_dataset_population() {
+        let d = Dataset::paper(500_000);
+        assert_eq!(d.num_keys(), 16_000_000);
+        assert_eq!(d.num_large(), 10_000);
+        assert_eq!(d.num_regular(), 15_990_000);
+    }
+
+    #[test]
+    fn scaled_preserves_ratio() {
+        let d = Dataset::paper_scaled(100, 500_000);
+        assert_eq!(d.num_keys(), 160_000);
+        assert_eq!(d.num_large(), 100);
+    }
+
+    #[test]
+    fn large_keys_are_the_tail_ids() {
+        let d = tiny_dataset();
+        assert!(!d.is_large_key(0));
+        assert!(!d.is_large_key(9_899));
+        assert!(d.is_large_key(9_900));
+        assert!(d.is_large_key(9_999));
+        assert!(!d.is_large_key(10_000), "out of population");
+    }
+
+    #[test]
+    fn sizes_respect_class_bounds_and_are_deterministic() {
+        let d = tiny_dataset();
+        for key in 0..10_000u64 {
+            let size = d.size_of(key);
+            assert_eq!(size, d.size_of(key), "deterministic");
+            match d.class_of(key) {
+                Class::Tiny => assert!((1..=13).contains(&size)),
+                Class::Small => assert!((14..=1400).contains(&size)),
+                Class::Large => assert!((1500..=500_000).contains(&size)),
+            }
+            if d.is_large_key(key) {
+                assert_eq!(d.class_of(key), Class::Large);
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_fraction_matches() {
+        let d = Dataset::new(100_000, 100, 0.4, 500_000, 3);
+        let tiny = (0..d.num_regular())
+            .filter(|&k| d.class_of(k) == Class::Tiny)
+            .count() as f64;
+        let frac = tiny / d.num_regular() as f64;
+        assert!((frac - 0.4).abs() < 0.01, "tiny fraction {frac}");
+    }
+
+    #[test]
+    fn within_class_sizes_are_uniform() {
+        let d = Dataset::new(200_000, 100, 0.0, 500_000, 11); // all small
+        let mean: f64 = (0..50_000u64).map(|k| d.size_of(k) as f64).sum::<f64>() / 50_000.0;
+        assert!((mean - 707.0).abs() < 10.0, "small mean {mean}");
+    }
+
+    #[test]
+    fn regular_key_is_bijective_prefix() {
+        let d = tiny_dataset();
+        let mut seen = std::collections::HashSet::new();
+        for rank in 0..d.num_regular() {
+            let k = d.regular_key(rank);
+            assert!(k < d.num_regular(), "regular keys stay regular");
+            assert!(seen.insert(k), "rank {rank} collided");
+        }
+    }
+
+    #[test]
+    fn sample_large_returns_large_keys() {
+        let d = tiny_dataset();
+        let mut rng = Rng::new(1);
+        for _ in 0..1000 {
+            let k = d.sample_large(&mut rng);
+            assert!(d.is_large_key(k));
+        }
+    }
+
+    #[test]
+    fn salt_changes_assignment() {
+        let a = Dataset::new(10_000, 10, 0.4, 500_000, 1);
+        let b = Dataset::new(10_000, 10, 0.4, 500_000, 2);
+        let differing = (0..1000u64).filter(|&k| a.size_of(k) != b.size_of(k)).count();
+        assert!(differing > 900, "salt must reshuffle sizes: {differing}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Time-varying workload schedules (Figure 10).
+//!
+//! The paper's dynamic experiment changes `p_L` every 20 seconds: it
+//! "first grows gradually from 0.125 to 0.75, and then shrinks back to
+//! 0.125" while the arrival rate stays fixed at 2.25 Mops.
+
+/// A piecewise-constant schedule of a workload parameter over time.
+#[derive(Clone, Debug)]
+pub struct PhaseSchedule {
+    /// `(phase_duration_ns, value)` entries, in order.
+    phases: Vec<(u64, f64)>,
+    total_ns: u64,
+}
+
+impl PhaseSchedule {
+    /// Builds a schedule from `(duration_ns, value)` phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty phase list or zero-length phase.
+    pub fn new(phases: Vec<(u64, f64)>) -> Self {
+        assert!(!phases.is_empty());
+        assert!(phases.iter().all(|&(d, _)| d > 0), "zero-length phase");
+        let total_ns = phases.iter().map(|&(d, _)| d).sum();
+        PhaseSchedule { phases, total_ns }
+    }
+
+    /// The paper's Figure 10 schedule: `p_L` stepping
+    /// 0.125 → 0.25 → 0.5 → 0.75 → 0.5 → 0.25 → 0.125 (percent),
+    /// 20 seconds per phase, 140 seconds total.
+    pub fn figure10() -> Self {
+        const PHASE_NS: u64 = 20_000_000_000;
+        let steps_pct = [0.125, 0.25, 0.5, 0.75, 0.5, 0.25, 0.125];
+        Self::new(
+            steps_pct
+                .iter()
+                .map(|&p| (PHASE_NS, p / 100.0))
+                .collect(),
+        )
+    }
+
+    /// The value in force at time `t_ns`. Times beyond the schedule
+    /// return the last phase's value.
+    pub fn value_at(&self, t_ns: u64) -> f64 {
+        let mut acc = 0u64;
+        for &(d, v) in &self.phases {
+            acc += d;
+            if t_ns < acc {
+                return v;
+            }
+        }
+        self.phases.last().expect("non-empty").1
+    }
+
+    /// Total schedule duration in nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns
+    }
+
+    /// The phase index at time `t_ns`.
+    pub fn phase_at(&self, t_ns: u64) -> usize {
+        let mut acc = 0u64;
+        for (i, &(d, _)) in self.phases.iter().enumerate() {
+            acc += d;
+            if t_ns < acc {
+                return i;
+            }
+        }
+        self.phases.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure10_shape() {
+        let s = PhaseSchedule::figure10();
+        assert_eq!(s.total_ns(), 140_000_000_000);
+        assert_eq!(s.value_at(0), 0.00125);
+        assert_eq!(s.value_at(30_000_000_000), 0.0025);
+        assert_eq!(s.value_at(70_000_000_000), 0.0075); // peak
+        assert_eq!(s.value_at(139_000_000_000), 0.00125); // back down
+        assert_eq!(s.value_at(999_000_000_000), 0.00125); // clamped
+    }
+
+    #[test]
+    fn phase_boundaries() {
+        let s = PhaseSchedule::new(vec![(10, 1.0), (20, 2.0)]);
+        assert_eq!(s.value_at(0), 1.0);
+        assert_eq!(s.value_at(9), 1.0);
+        assert_eq!(s.value_at(10), 2.0);
+        assert_eq!(s.value_at(29), 2.0);
+        assert_eq!(s.value_at(30), 2.0, "clamped to last");
+        assert_eq!(s.phase_at(0), 0);
+        assert_eq!(s.phase_at(10), 1);
+        assert_eq!(s.phase_at(1000), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn zero_phase_panics() {
+        let _ = PhaseSchedule::new(vec![(0, 1.0)]);
+    }
+}

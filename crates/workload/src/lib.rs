@@ -1,0 +1,43 @@
+//! Workload generation for the Minos evaluation (paper §5.3–5.4).
+//!
+//! The paper's workloads combine four stochastic processes, each
+//! implemented here from scratch and fully deterministic under a seed:
+//!
+//! * **Key popularity** ([`zipf`]): a zipfian distribution with
+//!   parameter 0.99 over the tiny+small keys (YCSB's default skew), and a
+//!   *uniform* distribution over the few large keys — the paper does this
+//!   to avoid pathological cases where the hottest large key happens to
+//!   be the biggest one.
+//! * **Item sizes** ([`sizes`], [`dataset`]): the trimodal ETC-like
+//!   distribution — tiny (1–13 B), small (14–1400 B), large
+//!   (1500 B–`s_L`), uniform within each class; 16 M keys of which 10 K
+//!   are large, and 40 % / 60 % of the rest tiny / small.
+//! * **Operation mix** ([`access`]): GET:PUT ratios of 95:5
+//!   (read-dominated) and 50:50 (write-intensive).
+//! * **Arrivals** ([`arrival`]): an open system with exponential
+//!   inter-arrival times at a configurable rate.
+//!
+//! [`profiles`] pins the paper's parameter grid (Table 1 and the default
+//! workload); [`dynamic`] builds the time-varying `p_L` schedule of
+//! Figure 10. [`rng`] provides the deterministic generator (xoshiro256++
+//! seeded via SplitMix64) everything runs on.
+
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod arrival;
+pub mod dataset;
+pub mod dynamic;
+pub mod profiles;
+pub mod rng;
+pub mod sizes;
+pub mod zipf;
+
+pub use access::{AccessGenerator, OpSpec, Operation};
+pub use arrival::OpenLoop;
+pub use dataset::Dataset;
+pub use dynamic::PhaseSchedule;
+pub use profiles::{Profile, DEFAULT_PROFILE, TABLE1_PROFILES};
+pub use rng::Rng;
+pub use sizes::SizeClasses;
+pub use zipf::Zipf;

@@ -1,0 +1,96 @@
+//! The paper's parameter grid: the default workload and Table 1.
+
+/// One workload profile: the knobs Section 5.3 varies.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Profile {
+    /// Fraction of requests targeting large items (`p_L`), e.g. 0.00125
+    /// for the default 0.125 %.
+    pub p_large: f64,
+    /// Maximum large item size (`s_L`), bytes.
+    pub large_max: u64,
+    /// GET fraction of the operation mix.
+    pub get_ratio: f64,
+    /// Zipfian skew over regular keys.
+    pub zipf_s: f64,
+}
+
+impl Profile {
+    /// The paper's expected share of bytes moved by large requests
+    /// (Table 1's right column) under this profile.
+    pub fn large_data_share(&self) -> f64 {
+        crate::sizes::SizeClasses::new(self.large_max)
+            .large_data_share(self.p_large, crate::dataset::PAPER_TINY_FRAC)
+    }
+
+    /// `p_L` as the percentage the paper quotes.
+    pub fn p_large_pct(&self) -> f64 {
+        self.p_large * 100.0
+    }
+}
+
+/// The default workload: skewed, 95:5 GET:PUT, `p_L` = 0.125 %,
+/// `s_L` = 500 KB.
+pub const DEFAULT_PROFILE: Profile = Profile {
+    p_large: 0.00125,
+    large_max: 500_000,
+    get_ratio: 0.95,
+    zipf_s: 0.99,
+};
+
+/// The write-intensive variant (§6.2): 50:50 GET:PUT.
+pub const WRITE_INTENSIVE_PROFILE: Profile = Profile {
+    get_ratio: 0.5,
+    ..DEFAULT_PROFILE
+};
+
+/// Table 1's seven size-variability profiles, in row order:
+/// `(p_L %, s_L)` = (0.125, 250 KB), (0.125, 500 KB), (0.125, 1000 KB),
+/// (0.0625, 500 KB), (0.25, 500 KB), (0.5, 500 KB), (0.75, 500 KB).
+pub const TABLE1_PROFILES: [Profile; 7] = [
+    Profile { p_large: 0.00125, large_max: 250_000, ..DEFAULT_PROFILE },
+    Profile { p_large: 0.00125, large_max: 500_000, ..DEFAULT_PROFILE },
+    Profile { p_large: 0.00125, large_max: 1_000_000, ..DEFAULT_PROFILE },
+    Profile { p_large: 0.000625, large_max: 500_000, ..DEFAULT_PROFILE },
+    Profile { p_large: 0.0025, large_max: 500_000, ..DEFAULT_PROFILE },
+    Profile { p_large: 0.005, large_max: 500_000, ..DEFAULT_PROFILE },
+    Profile { p_large: 0.0075, large_max: 500_000, ..DEFAULT_PROFILE },
+];
+
+/// The `p_L` sweep of Figure 6 (percent values as the paper labels them).
+pub const FIG6_PL_PCT: [f64; 5] = [0.0625, 0.125, 0.25, 0.5, 0.75];
+
+/// The `s_L` sweep of Figure 7, bytes.
+pub const FIG7_SL: [u64; 3] = [250_000, 500_000, 1_000_000];
+
+/// Table 1's published "% data for large reqs" column, matching
+/// [`TABLE1_PROFILES`] row for row.
+pub const TABLE1_EXPECTED_DATA_PCT: [f64; 7] = [25.0, 40.0, 60.0, 25.0, 60.0, 75.0, 80.0];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_profile_values() {
+        assert_eq!(DEFAULT_PROFILE.p_large_pct(), 0.125);
+        assert_eq!(DEFAULT_PROFILE.large_max, 500_000);
+        assert_eq!(DEFAULT_PROFILE.get_ratio, 0.95);
+    }
+
+    #[test]
+    fn table1_matches_published_column() {
+        for (p, &expect) in TABLE1_PROFILES.iter().zip(&TABLE1_EXPECTED_DATA_PCT) {
+            let got = p.large_data_share() * 100.0;
+            assert!(
+                (got - expect).abs() < 3.0,
+                "profile {p:?}: got {got:.1}%, expected {expect}%"
+            );
+        }
+    }
+
+    #[test]
+    fn write_intensive_only_changes_mix() {
+        assert_eq!(WRITE_INTENSIVE_PROFILE.get_ratio, 0.5);
+        assert_eq!(WRITE_INTENSIVE_PROFILE.p_large, DEFAULT_PROFILE.p_large);
+    }
+}

@@ -1,0 +1,138 @@
+//! The trimodal item-size model (paper §5.3).
+//!
+//! "We consider a trimodal item size distribution, according to which an
+//! item can be tiny (1–13 bytes), small (14–1400 bytes) or large
+//! (1500–maximum size). The size of a specific item within each class is
+//! drawn uniformly at random."
+
+/// Item size classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Class {
+    /// 1–13 bytes.
+    Tiny,
+    /// 14–1400 bytes.
+    Small,
+    /// 1500–`s_L` bytes.
+    Large,
+}
+
+/// Class boundaries plus the configurable maximum large size `s_L`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SizeClasses {
+    /// Maximum size of a large item (`s_L`), bytes. The paper sweeps
+    /// this over 250 KB, 500 KB (default) and 1000 KB.
+    pub large_max: u64,
+}
+
+/// Tiny class bounds (inclusive), bytes.
+pub const TINY: (u64, u64) = (1, 13);
+/// Small class bounds (inclusive), bytes.
+pub const SMALL: (u64, u64) = (14, 1400);
+/// Lower bound of the large class, bytes.
+pub const LARGE_MIN: u64 = 1500;
+
+impl SizeClasses {
+    /// Classes with the given `s_L`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `large_max < LARGE_MIN`.
+    pub fn new(large_max: u64) -> Self {
+        assert!(large_max >= LARGE_MIN, "s_L below the large-class floor");
+        SizeClasses { large_max }
+    }
+
+    /// Bounds (inclusive) of `class`.
+    pub fn bounds(&self, class: Class) -> (u64, u64) {
+        match class {
+            Class::Tiny => TINY,
+            Class::Small => SMALL,
+            Class::Large => (LARGE_MIN, self.large_max),
+        }
+    }
+
+    /// Mean size of `class` under the uniform within-class draw.
+    pub fn mean(&self, class: Class) -> f64 {
+        let (lo, hi) = self.bounds(class);
+        (lo + hi) as f64 / 2.0
+    }
+
+    /// Classifies a size.
+    pub fn classify(&self, size: u64) -> Class {
+        if size <= TINY.1 {
+            Class::Tiny
+        } else if size <= SMALL.1 {
+            Class::Small
+        } else {
+            Class::Large
+        }
+    }
+
+    /// Expected size of a *regular* (non-large) item given the dataset's
+    /// tiny fraction (the paper's 40 % tiny / 60 % small split).
+    pub fn regular_mean(&self, tiny_frac: f64) -> f64 {
+        tiny_frac * self.mean(Class::Tiny) + (1.0 - tiny_frac) * self.mean(Class::Small)
+    }
+
+    /// The fraction of transferred bytes attributable to large requests
+    /// when a fraction `p_large` of requests targets large items — the
+    /// quantity reported in the paper's Table 1 ("% data for large
+    /// reqs").
+    pub fn large_data_share(&self, p_large: f64, tiny_frac: f64) -> f64 {
+        let large = p_large * self.mean(Class::Large);
+        let regular = (1.0 - p_large) * self.regular_mean(tiny_frac);
+        large / (large + regular)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_boundaries() {
+        let c = SizeClasses::new(500_000);
+        assert_eq!(c.classify(1), Class::Tiny);
+        assert_eq!(c.classify(13), Class::Tiny);
+        assert_eq!(c.classify(14), Class::Small);
+        assert_eq!(c.classify(1400), Class::Small);
+        assert_eq!(c.classify(1500), Class::Large);
+        assert_eq!(c.classify(500_000), Class::Large);
+    }
+
+    #[test]
+    fn means() {
+        let c = SizeClasses::new(500_000);
+        assert_eq!(c.mean(Class::Tiny), 7.0);
+        assert_eq!(c.mean(Class::Small), 707.0);
+        assert_eq!(c.mean(Class::Large), 250_750.0);
+    }
+
+    #[test]
+    fn table1_data_shares_reproduced() {
+        // The paper's Table 1 rows: (p_L %, s_L KB, expected % data).
+        let rows = [
+            (0.125, 250_000u64, 25.0),
+            (0.125, 500_000, 40.0),
+            (0.125, 1_000_000, 60.0),
+            (0.0625, 500_000, 25.0),
+            (0.25, 500_000, 60.0),
+            (0.5, 500_000, 75.0),
+            (0.75, 500_000, 80.0),
+        ];
+        for (pl_pct, sl, expect_pct) in rows {
+            let c = SizeClasses::new(sl);
+            let got = c.large_data_share(pl_pct / 100.0, 0.4) * 100.0;
+            assert!(
+                (got - expect_pct).abs() < 3.0,
+                "pL={pl_pct}% sL={sl}: got {got:.1}%, table says {expect_pct}%"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "floor")]
+    fn too_small_large_max_panics() {
+        let _ = SizeClasses::new(1000);
+    }
+}

@@ -1,0 +1,204 @@
+//! Zipfian sampling by rejection inversion (Hörmann & Derflinger 1996).
+//!
+//! The paper's key-popularity skew is "a zipfian distribution with
+//! parameter 0.99 ... the default value in YCSB" over the tiny+small
+//! portion of the dataset — ~16 M keys, far too many for alias tables or
+//! per-rank CDFs. Rejection inversion samples in O(1) time and O(1)
+//! memory at any population size: invert the integral of the smooth
+//! majorizing function, round to the nearest rank, and accept/reject to
+//! correct for the discretization.
+
+use crate::rng::Rng;
+
+/// A Zipf(N, s) sampler over ranks `1..=N` with `P(k) ∝ k^-s`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    n: u64,
+    exponent: f64,
+    h_integral_x1: f64,
+    h_integral_n: f64,
+    threshold: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` ranks with the given exponent
+    /// (`s > 0`; `s = 0.99` is the YCSB default used by the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or the exponent is not positive and finite.
+    pub fn new(n: u64, exponent: f64) -> Self {
+        assert!(n > 0, "population must be non-empty");
+        assert!(
+            exponent > 0.0 && exponent.is_finite(),
+            "exponent must be positive"
+        );
+        let h_integral_x1 = h_integral(1.5, exponent) - 1.0;
+        let h_integral_n = h_integral(n as f64 + 0.5, exponent);
+        let threshold = 2.0 - h_integral_inverse(h_integral(2.5, exponent) - h(2.0, exponent), exponent);
+        Zipf {
+            n,
+            exponent,
+            h_integral_x1,
+            h_integral_n,
+            threshold,
+        }
+    }
+
+    /// Population size.
+    pub fn population(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws a rank in `1..=n`.
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        loop {
+            let u = self.h_integral_n
+                + rng.f64() * (self.h_integral_x1 - self.h_integral_n);
+            // u is uniform in (h_integral_x1, h_integral_n].
+            let x = h_integral_inverse(u, self.exponent);
+            let k = (x + 0.5) as u64;
+            let k = k.clamp(1, self.n);
+            if (k as f64 - x) <= self.threshold
+                || u >= h_integral(k as f64 + 0.5, self.exponent) - h(k as f64, self.exponent)
+            {
+                return k;
+            }
+        }
+    }
+}
+
+/// The integral of the majorizing function:
+/// `∫ t^-s dt = log(x)` for `s == 1`, `(x^(1-s) - 1)/(1-s)` otherwise,
+/// computed via `expm1`/`log1p` helpers for stability near `s = 1`
+/// (precisely the regime of the YCSB exponent 0.99).
+fn h_integral(x: f64, exponent: f64) -> f64 {
+    let log_x = x.ln();
+    helper2((1.0 - exponent) * log_x) * log_x
+}
+
+/// The majorizing function `x^-s`.
+fn h(x: f64, exponent: f64) -> f64 {
+    (-exponent * x.ln()).exp()
+}
+
+/// Inverse of [`h_integral`].
+fn h_integral_inverse(x: f64, exponent: f64) -> f64 {
+    let mut t = x * (1.0 - exponent);
+    if t < -1.0 {
+        // Numerical round-off: clamp to the domain boundary.
+        t = -1.0;
+    }
+    (helper1(t) * x).exp()
+}
+
+/// `log1p(x) / x`, continuous at 0.
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+    }
+}
+
+/// `expm1(x) / x`, continuous at 0.
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + 0.5 * x * (1.0 + x / 3.0 * (1.0 + 0.25 * x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = Rng::new(1);
+        for _ in 0..10_000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=1000).contains(&k));
+        }
+    }
+
+    #[test]
+    fn rank_one_dominates_with_correct_ratio() {
+        // P(1)/P(2) must be 2^s.
+        let s = 0.99;
+        let z = Zipf::new(10_000, s);
+        let mut rng = Rng::new(2);
+        let (mut c1, mut c2) = (0u64, 0u64);
+        for _ in 0..2_000_000 {
+            match z.sample(&mut rng) {
+                1 => c1 += 1,
+                2 => c2 += 1,
+                _ => {}
+            }
+        }
+        let ratio = c1 as f64 / c2 as f64;
+        let expect = 2f64.powf(s);
+        assert!(
+            (ratio - expect).abs() / expect < 0.05,
+            "ratio {ratio}, expected {expect}"
+        );
+    }
+
+    #[test]
+    fn matches_exact_pmf_for_small_population() {
+        // Exact check against the normalized PMF for N = 8.
+        let n = 8u64;
+        let s = 0.99;
+        let z = Zipf::new(n, s);
+        let mut rng = Rng::new(3);
+        let draws = 800_000;
+        let mut counts = vec![0u64; n as usize + 1];
+        for _ in 0..draws {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let norm: f64 = (1..=n).map(|k| (k as f64).powf(-s)).sum();
+        for k in 1..=n {
+            let want = (k as f64).powf(-s) / norm;
+            let got = counts[k as usize] as f64 / draws as f64;
+            assert!(
+                (got - want).abs() / want < 0.03,
+                "rank {k}: got {got:.4}, want {want:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn head_concentration_at_ycsb_skew() {
+        // At s = 0.99 over 16 M keys the head is heavy: the top 1 % of
+        // ranks should capture well over a third of the mass.
+        let z = Zipf::new(16_000_000, 0.99);
+        let mut rng = Rng::new(4);
+        let draws = 200_000;
+        let head = (0..draws)
+            .filter(|_| z.sample(&mut rng) <= 160_000)
+            .count();
+        let share = head as f64 / draws as f64;
+        assert!(share > 0.35, "head share {share}");
+    }
+
+    #[test]
+    fn works_at_exponent_one() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = Rng::new(5);
+        for _ in 0..10_000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=100).contains(&k));
+        }
+    }
+
+    #[test]
+    fn population_of_one() {
+        let z = Zipf::new(1, 0.99);
+        let mut rng = Rng::new(6);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 1);
+        }
+    }
+}

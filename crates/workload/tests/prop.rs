@@ -1,0 +1,79 @@
+//! Property tests on the workload generators: distributions must stay
+//! inside their documented supports for arbitrary parameters, and the
+//! dataset's deterministic size assignment must respect its class
+//! boundaries at any scale.
+
+use minos_workload::{AccessGenerator, Dataset, OpenLoop, Rng, Zipf};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn zipf_support(n in 1u64..1_000_000, s in 0.2f64..2.0, seed in any::<u64>()) {
+        let z = Zipf::new(n, s);
+        let mut rng = Rng::new(seed);
+        for _ in 0..200 {
+            let k = z.sample(&mut rng);
+            prop_assert!((1..=n).contains(&k));
+        }
+    }
+
+    #[test]
+    fn dataset_sizes_in_class_bounds(
+        num_keys in 100u64..50_000,
+        large_frac in 0.001f64..0.2,
+        tiny_frac in 0.0f64..1.0,
+        large_max in 1_500u64..1_000_000,
+        salt in any::<u64>(),
+    ) {
+        let num_large = ((num_keys as f64 * large_frac) as u64).clamp(1, num_keys - 1);
+        let d = Dataset::new(num_keys, num_large, tiny_frac, large_max, salt);
+        let mut rng = Rng::new(salt);
+        for _ in 0..200 {
+            let key = rng.range_u64(0, num_keys - 1);
+            let size = d.size_of(key);
+            if d.is_large_key(key) {
+                prop_assert!((1_500..=large_max).contains(&size), "key {key} size {size}");
+            } else {
+                prop_assert!((1..=1_400).contains(&size), "key {key} size {size}");
+            }
+        }
+    }
+
+    #[test]
+    fn generator_respects_parameters(
+        p_large in 0.0f64..0.05,
+        get_ratio in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let d = Dataset::new(10_000, 50, 0.4, 500_000, 1);
+        let gen = AccessGenerator::new(d, p_large, get_ratio, 0.99);
+        let mut rng = Rng::new(seed);
+        for _ in 0..300 {
+            let op = gen.next_op(&mut rng);
+            prop_assert!(op.key < 10_000);
+            prop_assert_eq!(op.is_large, gen.dataset().is_large_key(op.key));
+            prop_assert_eq!(op.item_size, gen.dataset().size_of(op.key));
+        }
+    }
+
+    #[test]
+    fn open_loop_is_monotone_for_any_rate(
+        rate in 1.0f64..1e8,
+        start in 0u64..1_000_000,
+        seed in any::<u64>(),
+    ) {
+        let mut arr = OpenLoop::new(rate, start);
+        let mut rng = Rng::new(seed);
+        let mut prev = 0u64;
+        for i in 0..500 {
+            let t = arr.next_arrival(&mut rng);
+            if i == 0 {
+                prop_assert_eq!(t, start);
+            }
+            prop_assert!(t >= prev);
+            prev = t;
+        }
+    }
+}

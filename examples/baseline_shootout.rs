@@ -1,0 +1,82 @@
+//! All four threaded engines serve the same mixed-size burst through
+//! the same client code — the functional counterpart of the paper's
+//! "same codebase" comparison (absolute timing on a laptop is not the
+//! point; identical behaviour is).
+//!
+//! Run with: `cargo run --release --example baseline_shootout`
+
+use minos::baselines::common::BaselineConfig;
+use minos::baselines::{HkhServer, HkhWsServer, ShoServer};
+use minos::core::client::Client;
+use minos::core::engine::KvEngine;
+use minos::core::server::{MinosServer, ServerConfig};
+use std::time::Duration;
+
+fn exercise(engine: &mut dyn KvEngine, queue_limit: Option<u16>) {
+    let mut client = Client::new(engine, 1, 1234);
+    if let Some(limit) = queue_limit {
+        client = client.with_target_queues(0..limit);
+    }
+
+    let t0 = std::time::Instant::now();
+    // A burst of small writes, a few large ones, then reads of all.
+    for i in 0..200u64 {
+        client.send_put(i, &vec![(i % 251) as u8; 64 + (i as usize * 7) % 1_300], false);
+        if i % 32 == 31 {
+            assert!(client.drain(Duration::from_secs(60)));
+        }
+    }
+    for i in 0..4u64 {
+        client.send_put(1_000 + i, &vec![b'X'; 40_000], true);
+        assert!(client.drain(Duration::from_secs(60)));
+    }
+    for i in 0..200u64 {
+        client.send_get(i, false);
+        if i % 32 == 31 {
+            assert!(client.drain(Duration::from_secs(60)));
+        }
+    }
+    for i in 0..4u64 {
+        client.send_get(1_000 + i, true);
+    }
+    assert!(client.drain(Duration::from_secs(60)));
+
+    let totals = client.totals();
+    let stats = engine.core_stats();
+    let handoffs: u64 = stats.iter().map(|s| s.handoffs).sum();
+    let steals: u64 = stats.iter().map(|s| s.steals).sum();
+    println!(
+        "{:>7}: {} ops ok, errors={}, handoffs={handoffs}, steals={steals}, wall={:?}",
+        engine.name(),
+        totals.completed,
+        totals.errors,
+        t0.elapsed()
+    );
+    println!("         latency {}", client.latency().quantiles().unwrap());
+}
+
+fn main() {
+    println!("== the four engines, one workload ==\n");
+
+    let mut minos = MinosServer::start(ServerConfig::for_test(3, 10_000));
+    exercise(&mut minos, None);
+    minos.shutdown();
+
+    let mut hkh = HkhServer::start(BaselineConfig::for_test(3, 10_000));
+    exercise(&mut hkh, None);
+    hkh.shutdown();
+
+    let mut ws = HkhWsServer::start(BaselineConfig::for_test(3, 10_000));
+    exercise(&mut ws, None);
+    ws.shutdown();
+
+    // SHO clients may only target the handoff core's queue.
+    let mut sho = ShoServer::start(BaselineConfig::for_test(3, 10_000), 1);
+    exercise(&mut sho, Some(1));
+    sho.shutdown();
+
+    println!(
+        "\nAll four engines served the identical workload through the \
+         identical client, store and wire stack."
+    );
+}

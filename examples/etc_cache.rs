@@ -1,0 +1,103 @@
+//! An ETC-like cache workload (the paper's motivating scenario): a
+//! Facebook-style trimodal size distribution with zipfian popularity,
+//! served by the threaded Minos engine.
+//!
+//! Run with: `cargo run --release --example etc_cache`
+
+use minos::core::client::Client;
+use minos::core::engine::KvEngine;
+use minos::core::server::{MinosServer, ServerConfig};
+use minos::workload::{AccessGenerator, Dataset, Operation, Rng, DEFAULT_PROFILE};
+use std::time::Duration;
+
+fn main() {
+    println!("== ETC-like cache on Minos ==\n");
+
+    // The paper's dataset scaled 1:4000 so the threaded store fits a
+    // laptop: ~4000 keys, 10 large, 40% tiny / 60% small, s_L = 500 KB.
+    let dataset = Dataset::paper_scaled(4_000, DEFAULT_PROFILE.large_max);
+    println!(
+        "dataset: {} keys ({} large), sizes 1B..{}KB",
+        dataset.num_keys(),
+        dataset.num_large(),
+        DEFAULT_PROFILE.large_max / 1_000
+    );
+
+    let mut server = MinosServer::start(ServerConfig::for_test(4, dataset.num_keys() as usize * 2));
+    let mut client = Client::new(&server, 1, 7);
+
+    // Preload every key at its dataset-assigned size.
+    let t0 = std::time::Instant::now();
+    for key in 0..dataset.num_keys() {
+        let size = dataset.size_of(key) as usize;
+        let value = vec![(key % 251) as u8; size];
+        client.send_put(key, &value, dataset.is_large_key(key));
+        if key % 64 == 63 {
+            assert!(client.drain(Duration::from_secs(60)), "preload");
+        }
+    }
+    assert!(client.drain(Duration::from_secs(120)), "preload done");
+    println!(
+        "preloaded {} items in {:.1}s ({} bytes pooled)\n",
+        dataset.num_keys(),
+        t0.elapsed().as_secs_f64(),
+        server.store().mempool().used_bytes()
+    );
+
+    // Run the paper's default mix: 95:5 GET:PUT, zipf(0.99) keys,
+    // p_L = 0.125 %.
+    let gen = AccessGenerator::new(
+        dataset,
+        DEFAULT_PROFILE.p_large,
+        DEFAULT_PROFILE.get_ratio,
+        DEFAULT_PROFILE.zipf_s,
+    );
+    let mut rng = Rng::new(99);
+    let ops = 3_000;
+    let mut gets = 0u64;
+    let mut puts = 0u64;
+    let mut large = 0u64;
+    for i in 0..ops {
+        let spec = gen.next_op(&mut rng);
+        match spec.op {
+            Operation::Get => gets += 1,
+            Operation::Put => puts += 1,
+        }
+        if spec.is_large {
+            large += 1;
+        }
+        client.send(&spec);
+        if i % 32 == 31 {
+            assert!(client.drain(Duration::from_secs(60)), "batch");
+        }
+    }
+    assert!(client.drain(Duration::from_secs(120)), "drain");
+
+    let totals = client.totals();
+    println!("ran {ops} ops: {gets} GETs, {puts} PUTs, {large} on large items");
+    println!(
+        "completed={} errors={} outstanding={}",
+        totals.completed, totals.errors, totals.outstanding()
+    );
+    println!("latency: {}", client.latency().quantiles().unwrap());
+
+    server.force_epoch();
+    let plan = server.plan();
+    println!(
+        "\nplan: threshold={}B, {} small / {} large cores (standby: {})",
+        plan.decision.threshold,
+        plan.allocation.n_small,
+        plan.allocation.n_large,
+        plan.allocation.standby
+    );
+    println!("\nper-core load (ops | packets | handoffs):");
+    for (i, s) in server.core_stats().iter().enumerate() {
+        println!(
+            "  core {i}: {:>6} | {:>7} | {:>5}",
+            s.ops,
+            s.packets(),
+            s.handoffs
+        );
+    }
+    server.shutdown();
+}

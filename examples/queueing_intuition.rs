@@ -1,0 +1,41 @@
+//! The Section 2.2 intuition, live: even a 0.125 % sliver of requests
+//! that are 1000x slower wrecks the 99th percentile of every
+//! size-unaware dispatching strategy.
+//!
+//! Run with: `cargo run --release --example queueing_intuition`
+
+use minos::queue_sim::{run_model, Bimodal, Model};
+
+fn main() {
+    println!("== why size-unaware sharding fails (Figure 2 intuition) ==\n");
+    println!(
+        "workload: 99.875% of requests cost 1 unit, 0.125% cost K units;\n\
+         8 cores; p99 response time in units of the small service time.\n"
+    );
+
+    let measured = 120_000;
+    let warmup = 20_000;
+
+    for model in Model::ALL {
+        println!("--- {} ---", model.label());
+        println!("{:>6}  {:>8}  {:>8}  {:>8}", "load", "K=1", "K=100", "K=1000");
+        for load in [0.2, 0.4, 0.6, 0.8] {
+            print!("{load:>6.1}");
+            for k in [1u64, 100, 1000] {
+                let r = run_model(model, 8, Bimodal::paper(k), load, warmup, measured, 7);
+                print!("  {:>8.1}", r.p99_units);
+            }
+            println!();
+        }
+        println!();
+    }
+
+    println!(
+        "Reading: with K=1 every strategy keeps p99 at a few service\n\
+         times. Add 0.125% of K=1000 requests and p99 inflates by one to\n\
+         two orders of magnitude — head-of-line blocking that late\n\
+         binding and stealing reduce but cannot eliminate. Minos avoids\n\
+         it by construction: small requests never share a core with\n\
+         large ones (see `cargo bench --bench fig3_default`)."
+    );
+}

@@ -1,0 +1,63 @@
+//! # Minos: size-aware sharding for in-memory key-value stores
+//!
+//! A from-scratch Rust reproduction of *"Size-aware Sharding For
+//! Improving Tail Latencies in In-memory Key-value Stores"* (Didona &
+//! Zwaenepoel, NSDI 2019).
+//!
+//! Variable item sizes wreck tail latency: a request for a tiny item
+//! queued behind a megabyte item waits orders of magnitude longer than
+//! its own service time. Minos fixes this by serving small and large
+//! items on **disjoint sets of cores** — small requests keep pure
+//! hardware dispatch (the NIC steers them straight to a core), while the
+//! rare large requests are handed off through lock-free software queues
+//! to dedicated large cores, partitioned by size range. A control loop
+//! re-derives the small/large threshold (the 99th percentile of request
+//! sizes) and the core split every second.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | Crate | What it provides |
+//! |---|---|
+//! | [`core`] (`minos-core`) | the size-aware sharding engine: controller, allocation, size ranges, threaded server, client |
+//! | [`baselines`] | the size-unaware comparison engines: HKH, SHO, HKH+WS |
+//! | [`kv`] | MICA-style partitioned store (optimistic reads, CREW writes, mempool) |
+//! | [`nic`] | virtual multi-queue NIC (Toeplitz RSS, Flow Director, lock-free rings) |
+//! | [`wire`] | Ethernet/IP/UDP framing, KV message protocol, fragmentation |
+//! | [`workload`] | the paper's workloads: zipfian keys, trimodal ETC sizes, Poisson arrivals |
+//! | [`queue_sim`] | the Section 2.2 queueing models (Figure 2) |
+//! | [`sim`] | full-system discrete-event simulator (Figures 3–10) |
+//! | [`stats`] | histograms, percentiles, EWMA smoothing |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use minos::core::client::Client;
+//! use minos::core::engine::KvEngine;
+//! use minos::core::server::{MinosServer, ServerConfig};
+//! use std::time::Duration;
+//!
+//! // An 8-queue Minos server with room for 10k items.
+//! let mut server = MinosServer::start(ServerConfig::for_test(2, 10_000));
+//! let mut client = Client::new(&server, 1, 42);
+//!
+//! client.send_put(7, b"hello, sharded world", false);
+//! assert!(client.drain(Duration::from_secs(10)));
+//! client.send_get(7, false);
+//! assert!(client.drain(Duration::from_secs(10)));
+//!
+//! assert_eq!(client.totals().completed, 2);
+//! server.shutdown();
+//! ```
+//!
+//! See `examples/` for the paper's scenarios and `crates/bench` for the
+//! harnesses that regenerate every table and figure of the evaluation.
+
+pub use minos_baselines as baselines;
+pub use minos_core as core;
+pub use minos_kv as kv;
+pub use minos_nic as nic;
+pub use minos_queue_sim as queue_sim;
+pub use minos_sim as sim;
+pub use minos_stats as stats;
+pub use minos_wire as wire;
+pub use minos_workload as workload;

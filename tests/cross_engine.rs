@@ -1,0 +1,107 @@
+//! Cross-crate integration tests: every engine, one workload generator,
+//! one client, one store substrate.
+
+use minos::baselines::common::BaselineConfig;
+use minos::baselines::{HkhServer, HkhWsServer, ShoServer};
+use minos::core::client::Client;
+use minos::core::engine::KvEngine;
+use minos::core::server::{MinosServer, ServerConfig};
+use minos::workload::{AccessGenerator, Dataset, Operation, Rng};
+use std::time::Duration;
+
+/// Runs a small generated workload against an engine; returns
+/// (completed, errors).
+fn run_workload(engine: &mut dyn KvEngine, queue_limit: Option<u16>, seed: u64) -> (u64, u64) {
+    let mut client = Client::new(engine, 1, seed);
+    if let Some(limit) = queue_limit {
+        client = client.with_target_queues(0..limit);
+    }
+    // A scaled dataset with small s_L so the test is quick but still
+    // exercises fragmentation.
+    let dataset = Dataset::new(500, 5, 0.4, 20_000, seed);
+    let gen = AccessGenerator::new(dataset.clone(), 0.01, 0.5, 0.99);
+    let mut rng = Rng::new(seed);
+
+    // Preload everything the generator can touch.
+    for key in 0..dataset.num_keys() {
+        let value = vec![(key % 256) as u8; dataset.size_of(key) as usize];
+        client.send_put(key, &value, dataset.is_large_key(key));
+        if key % 32 == 31 {
+            assert!(client.drain(Duration::from_secs(60)), "preload");
+        }
+    }
+    assert!(client.drain(Duration::from_secs(60)), "preload drain");
+
+    for i in 0..400u64 {
+        let spec = gen.next_op(&mut rng);
+        match spec.op {
+            Operation::Get => client.send_get(spec.key, spec.is_large),
+            Operation::Put => {
+                let value = vec![(spec.key % 256) as u8; spec.item_size as usize];
+                client.send_put(spec.key, &value, spec.is_large);
+            }
+        }
+        if i % 32 == 31 {
+            assert!(client.drain(Duration::from_secs(60)), "batch {i}");
+        }
+    }
+    assert!(client.drain(Duration::from_secs(60)), "final drain");
+    let t = client.totals();
+    assert_eq!(t.outstanding(), 0, "zero loss required");
+    (t.completed, t.errors)
+}
+
+#[test]
+fn minos_serves_generated_workload() {
+    let mut server = MinosServer::start(ServerConfig::for_test(4, 2_000));
+    let (completed, errors) = run_workload(&mut server, None, 11);
+    assert_eq!(completed, 900);
+    assert_eq!(errors, 0);
+    server.shutdown();
+}
+
+#[test]
+fn hkh_serves_generated_workload() {
+    let mut server = HkhServer::start(BaselineConfig::for_test(4, 2_000));
+    let (completed, errors) = run_workload(&mut server, None, 12);
+    assert_eq!(completed, 900);
+    assert_eq!(errors, 0);
+    server.shutdown();
+}
+
+#[test]
+fn hkh_ws_serves_generated_workload() {
+    let mut server = HkhWsServer::start(BaselineConfig::for_test(4, 2_000));
+    let (completed, errors) = run_workload(&mut server, None, 13);
+    assert_eq!(completed, 900);
+    assert_eq!(errors, 0);
+    server.shutdown();
+}
+
+#[test]
+fn sho_serves_generated_workload() {
+    let mut server = ShoServer::start(BaselineConfig::for_test(4, 2_000), 2);
+    let (completed, errors) = run_workload(&mut server, Some(2), 14);
+    assert_eq!(completed, 900);
+    assert_eq!(errors, 0);
+    server.shutdown();
+}
+
+#[test]
+fn engines_agree_on_final_store_state() {
+    // The same deterministic op sequence must leave identical KV state
+    // in Minos and HKH (engine choice must not affect semantics).
+    let mut minos = MinosServer::start(ServerConfig::for_test(2, 2_000));
+    let mut hkh = HkhServer::start(BaselineConfig::for_test(2, 2_000));
+    run_workload(&mut minos, None, 77);
+    run_workload(&mut hkh, None, 77);
+
+    let dataset = Dataset::new(500, 5, 0.4, 20_000, 77);
+    for key in 0..dataset.num_keys() {
+        let a = minos.store().get(key).map(|v| v.len());
+        let b = hkh.store().get(key).map(|v| v.len());
+        assert_eq!(a, b, "key {key} differs between engines");
+    }
+    minos.shutdown();
+    hkh.shutdown();
+}
