@@ -78,7 +78,9 @@ impl BaseShared {
                     .with_queue_capacity(config.nic_queue_capacity),
             )),
             store: Arc::new(Store::new(config.store.clone())),
-            stats: (0..config.n_cores).map(|_| SharedCoreStats::new()).collect(),
+            stats: (0..config.n_cores)
+                .map(|_| SharedCoreStats::new())
+                .collect(),
             soft_queues: (0..config.n_cores)
                 .map(|_| ArrayQueue::new(config.soft_queue_capacity))
                 .collect(),
@@ -120,7 +122,7 @@ impl BaseShared {
         let msg_id = ((core as u64) << 48)
             | (self.msg_ids[core].fetch_add(1, Ordering::Relaxed) & 0xFFFF_FFFF_FFFF);
         let (packets, bytes) = transmit_reply(
-            &self.nic,
+            &*self.nic,
             core as u16,
             self.endpoint(core),
             &req,

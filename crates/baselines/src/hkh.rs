@@ -43,7 +43,9 @@ fn core_loop(shared: &BaseShared, core: usize) {
     let mut idle_rounds = 0u32;
     while !shared.shutdown.load(Ordering::Relaxed) {
         rx_buf.clear();
-        let n = shared.nic.rx_burst(core as u16, &mut rx_buf, shared.batch_size);
+        let n = shared
+            .nic
+            .rx_burst(core as u16, &mut rx_buf, shared.batch_size);
         if n == 0 {
             idle_rounds = idle_rounds.saturating_add(1);
             if idle_rounds > 64 {

@@ -57,10 +57,17 @@ fn core_loop(shared: &BaseShared, reassembler: &Mutex<Reassembler>, core: usize)
 
         // 1. Move this core's RX arrivals into its software queue.
         rx_buf.clear();
-        if shared.nic.rx_burst(core as u16, &mut rx_buf, shared.batch_size) > 0 {
+        if shared
+            .nic
+            .rx_burst(core as u16, &mut rx_buf, shared.batch_size)
+            > 0
+        {
             for pkt in rx_buf.drain(..) {
                 if let Some(req) = shared.packet_to_request_shared(core, reassembler, pkt) {
-                    if shared.soft_queues[core].push(QueueItem::Request(req)).is_err() {
+                    if shared.soft_queues[core]
+                        .push(QueueItem::Request(req))
+                        .is_err()
+                    {
                         shared.soft_drops.fetch_add(1, Ordering::Relaxed);
                     }
                 }
@@ -103,11 +110,18 @@ fn core_loop(shared: &BaseShared, reassembler: &Mutex<Reassembler>, core: usize)
         for d in 1..n {
             let victim = (core + d) % n;
             rx_buf.clear();
-            if shared.nic.rx_burst(victim as u16, &mut rx_buf, shared.batch_size) > 0 {
+            if shared
+                .nic
+                .rx_burst(victim as u16, &mut rx_buf, shared.batch_size)
+                > 0
+            {
                 shared.stats[core].record_steal();
                 for pkt in rx_buf.drain(..) {
                     if let Some(req) = shared.packet_to_request_shared(core, reassembler, pkt) {
-                        if shared.soft_queues[core].push(QueueItem::Request(req)).is_err() {
+                        if shared.soft_queues[core]
+                            .push(QueueItem::Request(req))
+                            .is_err()
+                        {
                             shared.soft_drops.fetch_add(1, Ordering::Relaxed);
                         }
                     }

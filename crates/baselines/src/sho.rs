@@ -32,8 +32,10 @@ impl ShoServer {
     /// Builds and starts the server with `n_handoff` dispatch cores
     /// (the paper tried 1–3 and reports the best per workload).
     pub fn start(config: BaselineConfig, n_handoff: usize) -> Self {
-        assert!(n_handoff >= 1 && n_handoff < config.n_cores,
-            "need at least one handoff core and one worker");
+        assert!(
+            n_handoff >= 1 && n_handoff < config.n_cores,
+            "need at least one handoff core and one worker"
+        );
         let shared = BaseShared::new(&config);
         let threads = {
             let shared = Arc::clone(&shared);
@@ -66,7 +68,9 @@ fn handoff_loop(shared: &BaseShared, core: usize, _n_handoff: usize) {
     let mut idle_rounds = 0u32;
     while !shared.shutdown.load(Ordering::Relaxed) {
         rx_buf.clear();
-        let n = shared.nic.rx_burst(core as u16, &mut rx_buf, shared.batch_size);
+        let n = shared
+            .nic
+            .rx_burst(core as u16, &mut rx_buf, shared.batch_size);
         if n == 0 {
             idle_rounds = idle_rounds.saturating_add(1);
             if idle_rounds > 64 {
@@ -80,7 +84,10 @@ fn handoff_loop(shared: &BaseShared, core: usize, _n_handoff: usize) {
         for pkt in rx_buf.drain(..) {
             if let Some(req) = shared.packet_to_request(core, &mut reassembler, pkt) {
                 shared.stats[core].record_handoff();
-                if shared.soft_queues[core].push(QueueItem::Request(req)).is_err() {
+                if shared.soft_queues[core]
+                    .push(QueueItem::Request(req))
+                    .is_err()
+                {
                     shared.soft_drops.fetch_add(1, Ordering::Relaxed);
                 }
             }

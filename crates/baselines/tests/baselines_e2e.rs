@@ -10,23 +10,47 @@ use std::time::Duration;
 fn exercise(engine: &mut dyn KvEngine, client: &mut Client) {
     // Small PUT/GET.
     client.send_put(7, b"small value", false);
-    assert!(client.drain(Duration::from_secs(20)), "{} put", engine.name());
+    assert!(
+        client.drain(Duration::from_secs(20)),
+        "{} put",
+        engine.name()
+    );
     client.send_get(7, false);
-    assert!(client.drain(Duration::from_secs(20)), "{} get", engine.name());
+    assert!(
+        client.drain(Duration::from_secs(20)),
+        "{} get",
+        engine.name()
+    );
 
     // Large (fragmented) PUT/GET.
     let value: Vec<u8> = (0..60_000).map(|i| (i % 251) as u8).collect();
     client.send_put(42, &value, true);
-    assert!(client.drain(Duration::from_secs(30)), "{} large put", engine.name());
+    assert!(
+        client.drain(Duration::from_secs(30)),
+        "{} large put",
+        engine.name()
+    );
     assert_eq!(engine.store().get(42).unwrap().len(), value.len());
     client.send_get(42, true);
-    assert!(client.drain(Duration::from_secs(30)), "{} large get", engine.name());
+    assert!(
+        client.drain(Duration::from_secs(30)),
+        "{} large get",
+        engine.name()
+    );
 
     // A burst of mixed operations.
     for i in 0..100u64 {
-        client.send_put(100 + i, &vec![(i % 256) as u8; (i as usize % 1_000) + 1], false);
+        client.send_put(
+            100 + i,
+            &vec![(i % 256) as u8; (i as usize % 1_000) + 1],
+            false,
+        );
     }
-    assert!(client.drain(Duration::from_secs(30)), "{} burst", engine.name());
+    assert!(
+        client.drain(Duration::from_secs(30)),
+        "{} burst",
+        engine.name()
+    );
 
     let totals = client.totals();
     assert_eq!(totals.errors, 0, "{}", engine.name());
@@ -80,7 +104,7 @@ fn hkh_ws_actually_steals() {
     let mut steals = 0u64;
     for round in 0..50u64 {
         for i in 0..400u64 {
-            client.send_put(round * 400 + i, &vec![1u8; 200], false);
+            client.send_put(round * 400 + i, &[1u8; 200], false);
         }
         assert!(client.drain(Duration::from_secs(30)), "round {round}");
         steals = server.core_stats().iter().map(|s| s.steals).sum();
@@ -88,7 +112,10 @@ fn hkh_ws_actually_steals() {
             break;
         }
     }
-    assert!(steals > 0, "stealing must occur under sustained skewed delivery");
+    assert!(
+        steals > 0,
+        "stealing must occur under sustained skewed delivery"
+    );
     server.shutdown();
 }
 

@@ -36,7 +36,11 @@ fn main() {
         "policy", "Mops", "p99 (us)", "p99 large"
     );
     let mut rows = Vec::new();
-    for rate in by_effort(vec![3.0], vec![2.0, 3.5, 4.5], vec![1.0, 2.0, 3.0, 4.0, 5.0]) {
+    for rate in by_effort(
+        vec![3.0],
+        vec![2.0, 3.5, 4.5],
+        vec![1.0, 2.0, 3.0, 4.0, 5.0],
+    ) {
         for (label, policy) in [
             ("standard", AllocationPolicy::Standard),
             ("large-steals", AllocationPolicy::LargeSteals),
@@ -58,8 +62,15 @@ fn main() {
 
     // --- 2. Static vs dynamic threshold at 50:50 -----------------------
     println!("\n[2] ThresholdMode: Dynamic vs Static (50:50 mix, CPU-bound)");
-    println!("{:>10} {:>7} | {:>12} {:>10}", "mode", "Mops", "tput (Mops)", "p99 (us)");
-    for rate in by_effort(vec![6.5], vec![6.0, 6.5, 7.0], vec![5.5, 6.0, 6.5, 7.0, 7.5]) {
+    println!(
+        "{:>10} {:>7} | {:>12} {:>10}",
+        "mode", "Mops", "tput (Mops)", "p99 (us)"
+    );
+    for rate in by_effort(
+        vec![6.5],
+        vec![6.0, 6.5, 7.0],
+        vec![5.5, 6.0, 6.5, 7.0, 7.5],
+    ) {
         for (label, mode) in [
             ("dynamic", ThresholdMode::Dynamic),
             ("static", ThresholdMode::Static(1_456)),
@@ -91,7 +102,10 @@ fn main() {
     for _ in 0..125 {
         hist.record(250_750);
     }
-    println!("{:>20} {:>12} {:>9} {:>9}", "cost fn", "small share", "n_small", "n_large");
+    println!(
+        "{:>20} {:>12} {:>9} {:>9}",
+        "cost fn", "small share", "n_small", "n_large"
+    );
     for (label, cost_fn) in [
         ("packets", CostFn::Packets),
         ("bytes", CostFn::Bytes),
@@ -109,5 +123,9 @@ fn main() {
             d.small_cost_share, a.n_large
         ));
     }
-    write_csv("ablations", "ablation,variant,rate_mops,metric_a,metric_b", &rows);
+    write_csv(
+        "ablations",
+        "ablation,variant,rate_mops,metric_a,metric_b",
+        &rows,
+    );
 }

@@ -11,7 +11,6 @@
 
 use minos_bench::{banner, by_effort, write_csv};
 use minos_core::client::Client;
-use minos_core::engine::KvEngine;
 use minos_core::server::{MinosServer, ServerConfig};
 use minos_sim::CostModel;
 use std::time::Duration;
@@ -45,7 +44,11 @@ fn main() {
         assert!(client.drain(Duration::from_secs(60)), "preload {size}");
 
         // Closed loop: one in-flight GET at a time, like the paper.
-        let reps = if size >= 262_144 { reps_small / 4 + 1 } else { reps_small };
+        let reps = if size >= 262_144 {
+            reps_small / 4 + 1
+        } else {
+            reps_small
+        };
         let t0 = std::time::Instant::now();
         for _ in 0..reps {
             client.send_get(key, size > 1_456);
@@ -58,6 +61,10 @@ fn main() {
     }
     server.shutdown();
 
-    write_csv("fig1_service_time", "size_bytes,measured_us,model_us", &rows);
+    write_csv(
+        "fig1_service_time",
+        "size_bytes,measured_us,model_us",
+        &rows,
+    );
     println!("\nshape check: both columns must grow monotonically with size.");
 }

@@ -20,7 +20,9 @@ fn main() {
     let loads: Vec<f64> = by_effort(
         vec![0.5, 1.5, 3.0, 4.5, 5.5, 6.0],
         vec![0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 4.5, 5.0, 5.5, 6.0, 6.3],
-        vec![0.25, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0, 5.25, 5.5, 5.75, 6.0, 6.25, 6.5],
+        vec![
+            0.25, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0, 5.25, 5.5, 5.75, 6.0, 6.25, 6.5,
+        ],
     );
     let systems = [
         System::Minos,
@@ -41,7 +43,11 @@ fn main() {
             cfg.duration_s = duration;
             cfg.warmup_s = duration / 4.0;
             let r = runner::run(&cfg);
-            let p99 = if r.kept_up() { r.p99_us() } else { f64::INFINITY };
+            let p99 = if r.kept_up() {
+                r.p99_us()
+            } else {
+                f64::INFINITY
+            };
             print!(" {}", fmt_us(p99));
             rows.push(format!(
                 "{},{:.2},{:.3},{:.2},{}",

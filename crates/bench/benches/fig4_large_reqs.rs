@@ -36,9 +36,7 @@ fn main() {
             cfg.duration_s = duration;
             cfg.warmup_s = duration / 4.0;
             let r = runner::run(&cfg);
-            let p99l = r
-                .latency_large
-                .map_or(f64::INFINITY, |q| q.p99_us);
+            let p99l = r.latency_large.map_or(f64::INFINITY, |q| q.p99_us);
             let p99l = if r.kept_up() { p99l } else { f64::INFINITY };
             print!("   {}", fmt_us(p99l));
             rows.push(format!("{},{:.2},{:.2}", r.system, rate, p99l));

@@ -43,7 +43,11 @@ fn main() {
             cfg.duration_s = duration;
             cfg.warmup_s = duration / 4.0;
             let r = runner::run(&cfg);
-            let p99 = if r.kept_up() { r.p99_us() } else { f64::INFINITY };
+            let p99 = if r.kept_up() {
+                r.p99_us()
+            } else {
+                f64::INFINITY
+            };
             print!(" {}", fmt_us(p99));
             rows.push(format!(
                 "{},{:.2},{:.3},{:.2},{}",

@@ -6,7 +6,7 @@
 use minos_bench::{banner, by_effort, write_csv};
 use minos_sim::sweep::{max_throughput_under_slo, sho_best_under_slo, SloSearch};
 use minos_sim::System;
-use minos_workload::profiles::{FIG6_PL_PCT, DEFAULT_PROFILE};
+use minos_workload::profiles::{DEFAULT_PROFILE, FIG6_PL_PCT};
 use minos_workload::Profile;
 
 fn main() {

@@ -27,7 +27,9 @@ fn main() {
     let loads: Vec<f64> = by_effort(
         vec![0.5, 1.5, 2.5, 3.5, 4.5],
         vec![0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0],
-        vec![0.25, 0.75, 1.25, 1.75, 2.25, 2.75, 3.25, 3.75, 4.25, 4.75, 5.25],
+        vec![
+            0.25, 0.75, 1.25, 1.75, 2.25, 2.75, 3.25, 3.75, 4.25, 4.75, 5.25,
+        ],
     );
 
     let mut rows = Vec::new();

@@ -47,12 +47,14 @@ fn main() {
             let ops_pct = load.ops as f64 / total_ops.max(1) as f64 * 100.0;
             let pkt_pct = load.packets as f64 / total_pkts.max(1) as f64 * 100.0;
             println!("{core:>6} {ops_pct:>10.3} {pkt_pct:>12.3}");
-            rows.push(format!(
-                "{pl_pct},{core},{ops_pct:.4},{pkt_pct:.4}"
-            ));
+            rows.push(format!("{pl_pct},{core},{ops_pct:.4},{pkt_pct:.4}"));
         }
     }
-    write_csv("fig9_load_balance", "p_large_pct,core,ops_pct,packets_pct", &rows);
+    write_csv(
+        "fig9_load_balance",
+        "p_large_pct,core,ops_pct,packets_pct",
+        &rows,
+    );
     println!(
         "\nshape check: within each block the last core(s) — the large \
          cores — have tiny ops shares but packet shares comparable to \

@@ -46,13 +46,17 @@ fn bench_rss(c: &mut Criterion) {
         dst_port: 9003,
         protocol: 17,
     };
-    c.bench_function("rss/toeplitz", |b| b.iter(|| black_box(rss.queue_for(black_box(&t)))));
+    c.bench_function("rss/toeplitz", |b| {
+        b.iter(|| black_box(rss.queue_for(black_box(&t))))
+    });
 }
 
 fn bench_zipf(c: &mut Criterion) {
     let zipf = Zipf::new(16_000_000, 0.99);
     let mut rng = Rng::new(1);
-    c.bench_function("workload/zipf_16M", |b| b.iter(|| black_box(zipf.sample(&mut rng))));
+    c.bench_function("workload/zipf_16M", |b| {
+        b.iter(|| black_box(zipf.sample(&mut rng)))
+    });
 }
 
 fn bench_hist(c: &mut Criterion) {
@@ -67,7 +71,9 @@ fn bench_hist(c: &mut Criterion) {
     for v in 0..100_000u64 {
         h.record(v % 500_000);
     }
-    c.bench_function("stats/size_hist_p99", |b| b.iter(|| black_box(h.percentile(99.0))));
+    c.bench_function("stats/size_hist_p99", |b| {
+        b.iter(|| black_box(h.percentile(99.0)))
+    });
 }
 
 fn bench_wire(c: &mut Criterion) {

@@ -1,0 +1,259 @@
+//! Offline-vendored subset of `crossbeam`.
+//!
+//! The build environment has no crates.io access; the only crossbeam
+//! type this workspace uses is `crossbeam::queue::ArrayQueue`, so that
+//! is what this shim provides — a lock-free bounded MPMC queue using
+//! the classic Vyukov sequence-counter algorithm (the same design the
+//! real `ArrayQueue` implements).
+
+pub mod queue {
+    use std::cell::UnsafeCell;
+    use std::mem::MaybeUninit;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct Slot<T> {
+        /// Sequence counter: equals the enqueue position when the slot
+        /// is free, position + 1 when it holds a value for that lap.
+        seq: AtomicUsize,
+        value: UnsafeCell<MaybeUninit<T>>,
+    }
+
+    /// A bounded lock-free multi-producer multi-consumer queue.
+    ///
+    /// API-compatible with `crossbeam::queue::ArrayQueue` for the
+    /// operations this workspace uses: `new`, `push`, `pop`, `len`,
+    /// `is_empty`, `is_full`, `capacity`.
+    pub struct ArrayQueue<T> {
+        buffer: Box<[Slot<T>]>,
+        cap: usize,
+        /// Monotonic enqueue position (slot = pos % cap).
+        tail: AtomicUsize,
+        /// Monotonic dequeue position.
+        head: AtomicUsize,
+    }
+
+    unsafe impl<T: Send> Send for ArrayQueue<T> {}
+    unsafe impl<T: Send> Sync for ArrayQueue<T> {}
+
+    impl<T> ArrayQueue<T> {
+        /// Creates a queue holding at most `cap` elements.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `cap` is zero.
+        pub fn new(cap: usize) -> Self {
+            assert!(cap > 0, "capacity must be non-zero");
+            let buffer = (0..cap)
+                .map(|i| Slot {
+                    seq: AtomicUsize::new(i),
+                    value: UnsafeCell::new(MaybeUninit::uninit()),
+                })
+                .collect::<Vec<_>>()
+                .into_boxed_slice();
+            ArrayQueue {
+                buffer,
+                cap,
+                tail: AtomicUsize::new(0),
+                head: AtomicUsize::new(0),
+            }
+        }
+
+        /// Attempts to enqueue; on a full queue the element is handed
+        /// back in `Err`.
+        pub fn push(&self, value: T) -> Result<(), T> {
+            let mut pos = self.tail.load(Ordering::Relaxed);
+            loop {
+                let slot = &self.buffer[pos % self.cap];
+                let seq = slot.seq.load(Ordering::Acquire);
+                let diff = seq as isize - pos as isize;
+                if diff == 0 {
+                    match self.tail.compare_exchange_weak(
+                        pos,
+                        pos.wrapping_add(1),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            unsafe { (*slot.value.get()).write(value) };
+                            slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                            return Ok(());
+                        }
+                        Err(actual) => pos = actual,
+                    }
+                } else if diff < 0 {
+                    // The slot still holds a value from the previous
+                    // lap: the queue is full.
+                    return Err(value);
+                } else {
+                    pos = self.tail.load(Ordering::Relaxed);
+                }
+            }
+        }
+
+        /// Attempts to dequeue the oldest element.
+        pub fn pop(&self) -> Option<T> {
+            let mut pos = self.head.load(Ordering::Relaxed);
+            loop {
+                let slot = &self.buffer[pos % self.cap];
+                let seq = slot.seq.load(Ordering::Acquire);
+                let diff = seq as isize - pos.wrapping_add(1) as isize;
+                if diff == 0 {
+                    match self.head.compare_exchange_weak(
+                        pos,
+                        pos.wrapping_add(1),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            let value = unsafe { (*slot.value.get()).assume_init_read() };
+                            slot.seq
+                                .store(pos.wrapping_add(self.cap), Ordering::Release);
+                            return Some(value);
+                        }
+                        Err(actual) => pos = actual,
+                    }
+                } else if diff < 0 {
+                    return None;
+                } else {
+                    pos = self.head.load(Ordering::Relaxed);
+                }
+            }
+        }
+
+        /// Approximate number of elements (exact when quiescent).
+        pub fn len(&self) -> usize {
+            let tail = self.tail.load(Ordering::SeqCst);
+            let head = self.head.load(Ordering::SeqCst);
+            // `head` may have raced past the `tail` we read; clamp to a
+            // sane range rather than underflow.
+            (tail.wrapping_sub(head) as isize)
+                .max(0)
+                .min(self.cap as isize) as usize
+        }
+
+        /// True if the queue currently holds no elements.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// True if the queue is at capacity.
+        pub fn is_full(&self) -> bool {
+            self.len() == self.cap
+        }
+
+        /// Maximum number of elements the queue can hold.
+        pub fn capacity(&self) -> usize {
+            self.cap
+        }
+    }
+
+    impl<T> Drop for ArrayQueue<T> {
+        fn drop(&mut self) {
+            while self.pop().is_some() {}
+        }
+    }
+
+    impl<T> std::fmt::Debug for ArrayQueue<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "ArrayQueue {{ .. }}")
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::Arc;
+
+        #[test]
+        fn fifo_and_capacity() {
+            let q = ArrayQueue::new(3);
+            assert!(q.is_empty());
+            assert_eq!(q.push(1), Ok(()));
+            assert_eq!(q.push(2), Ok(()));
+            assert_eq!(q.push(3), Ok(()));
+            assert!(q.is_full());
+            assert_eq!(q.push(4), Err(4));
+            assert_eq!(q.pop(), Some(1));
+            assert_eq!(q.push(4), Ok(()));
+            assert_eq!(q.pop(), Some(2));
+            assert_eq!(q.pop(), Some(3));
+            assert_eq!(q.pop(), Some(4));
+            assert_eq!(q.pop(), None);
+            assert_eq!(q.capacity(), 3);
+        }
+
+        #[test]
+        fn wraps_many_laps() {
+            let q = ArrayQueue::new(2);
+            for i in 0..1000 {
+                q.push(i).unwrap();
+                assert_eq!(q.pop(), Some(i));
+            }
+            assert!(q.is_empty());
+        }
+
+        #[test]
+        fn drops_remaining_elements() {
+            let q = ArrayQueue::new(8);
+            let item = Arc::new(());
+            for _ in 0..5 {
+                q.push(Arc::clone(&item)).unwrap();
+            }
+            drop(q);
+            assert_eq!(Arc::strong_count(&item), 1);
+        }
+
+        #[test]
+        fn mpmc_stress_conserves_elements() {
+            let q = Arc::new(ArrayQueue::new(64));
+            let total = Arc::new(AtomicUsize::new(0));
+            let producers: Vec<_> = (0..4)
+                .map(|p| {
+                    let q = Arc::clone(&q);
+                    std::thread::spawn(move || {
+                        for i in 0..10_000usize {
+                            let mut v = p * 10_000 + i;
+                            loop {
+                                match q.push(v) {
+                                    Ok(()) => break,
+                                    Err(back) => {
+                                        v = back;
+                                        std::hint::spin_loop();
+                                    }
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            let consumers: Vec<_> = (0..4)
+                .map(|_| {
+                    let q = Arc::clone(&q);
+                    let total = Arc::clone(&total);
+                    std::thread::spawn(move || {
+                        let mut sum = 0usize;
+                        let mut got = 0usize;
+                        while got < 10_000 {
+                            if let Some(v) = q.pop() {
+                                sum += v;
+                                got += 1;
+                            } else {
+                                std::hint::spin_loop();
+                            }
+                        }
+                        total.fetch_add(sum, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for t in producers {
+                t.join().unwrap();
+            }
+            for t in consumers {
+                t.join().unwrap();
+            }
+            let expect: usize = (0..40_000usize).sum();
+            assert_eq!(total.load(Ordering::Relaxed), expect);
+            assert!(q.is_empty());
+        }
+    }
+}

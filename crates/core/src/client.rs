@@ -8,13 +8,18 @@
 //! Request addressing follows §3: "The target RX queue is chosen at
 //! random for GET operations, and depends on the keyhash for PUT
 //! operations."
+//!
+//! The client speaks through a [`Transport`], so the same code drives
+//! the in-process virtual NIC (via [`VirtualClientTransport`], the
+//! default [`Client::new`] wires up) or real UDP sockets (the
+//! `minos-loadgen` binary passes a `UdpTransport`).
 
 use crate::engine::KvEngine;
+use minos_net::{Transport, VirtualClientTransport};
 use minos_stats::LatencyHistogram;
 use minos_wire::frag::{Fragmenter, Reassembler, Reassembly};
 use minos_wire::message::{Body, Message, OpKind, ReplyStatus};
-use minos_wire::packet::{build_frame, Endpoint};
-use minos_wire::udp::UdpHeader;
+use minos_wire::packet::{synthesize, Endpoint};
 use minos_workload::{OpSpec, Operation, Rng};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -62,10 +67,13 @@ impl ClientTotals {
     }
 }
 
-/// A synchronous client bound to one server engine.
+/// A synchronous client bound to one server over some transport.
 pub struct Client {
-    nic: Arc<minos_nic::VirtualNic>,
+    transport: Arc<dyn Transport>,
     endpoint: Endpoint,
+    /// Queue-0 endpoint of the server; queue `q` is the same address
+    /// at `port + q` (the paper's port-addresses-queue convention).
+    server: Endpoint,
     server_queues: u16,
     /// Queues requests may target. Defaults to all; SHO restricts it to
     /// the handoff cores' queues ("The number of handoff cores is fixed
@@ -85,14 +93,44 @@ pub struct Client {
 }
 
 impl Client {
-    /// Creates a client with the given id talking to `engine`.
+    /// Creates a client with the given id talking to `engine` through
+    /// its virtual NIC.
     pub fn new(engine: &dyn KvEngine, client_id: u16, seed: u64) -> Self {
         let nic = engine.nic();
-        let server_queues = nic.num_queues();
+        // Client host ids start at 100 to stay clear of the server.
+        let endpoint = Endpoint::host(100 + u32::from(client_id), 20_000 + client_id);
+        let server = Transport::local_endpoint(&*nic, 0);
+        let server_queues = Transport::num_queues(&*nic);
+        let transport = Arc::new(VirtualClientTransport::new(nic, endpoint));
+        Self::with_transport(transport, endpoint, server, server_queues, client_id, seed)
+    }
+
+    /// Creates a client over an arbitrary transport.
+    ///
+    /// * `endpoint` — the client's own address (replies must be
+    ///   addressed to it).
+    /// * `server` — the server's queue-0 endpoint; queue `q` is reached
+    ///   at `server.port + q`.
+    /// * `server_queues` — number of server RX queues.
+    pub fn with_transport(
+        transport: Arc<dyn Transport>,
+        endpoint: Endpoint,
+        server: Endpoint,
+        server_queues: u16,
+        client_id: u16,
+        seed: u64,
+    ) -> Self {
+        assert!(server_queues > 0);
+        assert!(
+            server.port.checked_add(server_queues - 1).is_some(),
+            "server port {} + {} queues exceeds the u16 port space",
+            server.port,
+            server_queues
+        );
         Client {
-            nic,
-            // Client host ids start at 100 to stay clear of the server.
-            endpoint: Endpoint::host(100 + u32::from(client_id), 20_000 + client_id),
+            transport,
+            endpoint,
+            server,
             server_queues,
             target_queues: 0..server_queues,
             fragmenter: Fragmenter::new(u64::from(client_id) << 32),
@@ -178,13 +216,14 @@ impl Client {
             body,
         };
         let encoded = msg.encode();
-        let dst = Endpoint::host(
-            crate::server::SERVER_HOST_ID,
-            UdpHeader::port_for_queue(queue),
-        );
+        let dst = Endpoint {
+            mac: self.server.mac,
+            ip: self.server.ip,
+            port: self.server.port + queue,
+        };
         for frag in self.fragmenter.fragment(&encoded) {
-            let frame = build_frame(self.endpoint, dst, &frag);
-            let _ = self.nic.deliver_frame(frame);
+            let pkt = synthesize(self.endpoint, dst, frag);
+            let _ = self.transport.tx_push(0, pkt);
         }
         self.pending.insert(
             request_id,
@@ -197,18 +236,19 @@ impl Client {
         self.totals.sent += 1;
     }
 
-    /// Drains reply packets from every server TX queue, reassembles and
-    /// matches them; returns completions observed in this poll.
+    /// Drains reply packets from the transport, reassembles and matches
+    /// them; returns completions observed in this poll.
     pub fn poll(&mut self) -> Vec<Completion> {
         let mut out = Vec::new();
         let mut pkts = Vec::new();
-        for q in 0..self.server_queues {
-            self.nic.tx_drain(q, &mut pkts, 256);
-        }
+        self.transport.rx_burst(0, &mut pkts, 4096);
         for pkt in pkts.drain(..) {
-            // Replies for other clients go back untouched? In-process
-            // harnesses attach one client per engine TX drain; with
-            // multiple clients use `MultiClient`. Filter by port.
+            // Filter by destination port: over UDP the kernel already
+            // isolates sockets, but the virtual adapter drains the
+            // server's shared TX rings, where a reply addressed to a
+            // different client can surface. Such a reply is dropped
+            // here — each engine supports ONE virtual client; loss
+            // accounting flags any misuse.
             if pkt.meta.udp.dst_port != self.endpoint.port {
                 continue;
             }

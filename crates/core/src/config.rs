@@ -114,14 +114,20 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_configs() {
-        let mut c = MinosConfig::default();
-        c.n_cores = 0;
+        let c = MinosConfig {
+            n_cores: 0,
+            ..MinosConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = MinosConfig::default();
-        c.alpha = 2.0;
+        let c = MinosConfig {
+            alpha: 2.0,
+            ..MinosConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = MinosConfig::default();
-        c.batch_size = 0;
+        let c = MinosConfig {
+            batch_size: 0,
+            ..MinosConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

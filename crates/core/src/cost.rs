@@ -35,11 +35,9 @@ impl CostFn {
     #[inline]
     pub fn cost(&self, item_size: u64) -> u64 {
         match self {
-            CostFn::Packets => {
-                u64::from(minos_wire::packets_for_payload(
-                    item_size as usize + MSG_HEADER_LEN,
-                ))
-            }
+            CostFn::Packets => u64::from(minos_wire::packets_for_payload(
+                item_size as usize + MSG_HEADER_LEN,
+            )),
             CostFn::Bytes => item_size.max(1),
             CostFn::ConstantPlusBytes { constant } => constant.saturating_add(item_size).max(1),
         }

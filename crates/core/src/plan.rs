@@ -59,12 +59,8 @@ impl ShardingPlan {
         I: IntoIterator<Item = (u64, f64)> + Clone,
     {
         let allocation = allocate(n_cores, decision.small_cost_share);
-        let ranges = LargeRanges::build(
-            buckets,
-            decision.threshold,
-            allocation.n_handoff(),
-            cost_fn,
-        );
+        let ranges =
+            LargeRanges::build(buckets, decision.threshold, allocation.n_handoff(), cost_fn);
         ShardingPlan {
             epoch_id,
             decision,

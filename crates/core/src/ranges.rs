@@ -133,9 +133,7 @@ mod tests {
 
     /// A uniform large-size histogram between 1500 and 500 000 bytes.
     fn uniform_large_buckets() -> Vec<(u64, f64)> {
-        (0..500)
-            .map(|i| (1_500 + i * 1_000, 1.0))
-            .collect()
+        (0..500).map(|i| (1_500 + i * 1_000, 1.0)).collect()
     }
 
     #[test]

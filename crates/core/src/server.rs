@@ -15,6 +15,11 @@
 //! * **Core 0** additionally runs the epoch control loop: aggregate the
 //!   per-core size histograms, update the threshold, re-allocate cores,
 //!   rebuild the size ranges, publish the new [`ShardingPlan`].
+//!
+//! The server is generic over [`Transport`]: the same engine code runs
+//! over the in-process [`VirtualNic`] (the default, used by tests and
+//! the simulator harnesses) or over real `SO_REUSEPORT` UDP sockets
+//! (`minos_net::UdpTransport`, used by the `minos-server` binary).
 
 use crate::config::{MinosConfig, ThresholdMode};
 use crate::dispatch::drain_schedule;
@@ -23,18 +28,19 @@ use crate::plan::{Destination, ShardingPlan};
 use crate::threshold::ThresholdController;
 use crossbeam::queue::ArrayQueue;
 use minos_kv::{PutError, Store, StoreConfig};
+use minos_net::Transport;
 use minos_nic::{NicConfig, VirtualNic};
 use minos_stats::{CoreStats, SharedCoreStats, SizeHistogram};
 use minos_wire::frag::{fragment_with_id, FragHeader, Reassembler, Reassembly};
 use minos_wire::message::{Body, Message, ReplyStatus, MSG_HEADER_LEN};
 use minos_wire::packet::{synthesize, Endpoint, Packet};
-use minos_wire::udp::UdpHeader;
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Host id the server's endpoints use (clients must differ).
+/// Host id the server's endpoints use in the virtual world (clients
+/// must differ).
 pub const SERVER_HOST_ID: u32 = 1;
 
 /// Server configuration: engine policy plus store sizing.
@@ -52,10 +58,12 @@ impl ServerConfig {
     /// A config sized for functional tests: `n_cores` cores and room
     /// for `n_items` items.
     pub fn for_test(n_cores: usize, n_items: usize) -> Self {
-        let mut minos = MinosConfig::default();
-        minos.n_cores = n_cores;
-        minos.epoch_ns = 50_000_000; // 50 ms epochs so tests adapt fast
-        minos.soft_queue_capacity = 65_536; // bursty unpaced test clients
+        let minos = MinosConfig {
+            n_cores,
+            epoch_ns: 50_000_000,        // 50 ms epochs so tests adapt fast
+            soft_queue_capacity: 65_536, // bursty unpaced test clients
+            ..MinosConfig::default()
+        };
         ServerConfig {
             minos,
             store: StoreConfig::for_items(n_cores * 4, n_items, 1 << 30),
@@ -126,7 +134,13 @@ impl FlowPins {
     /// Returns the pinned target core for fragment `(src, msg_id)`,
     /// establishing `fresh_target` on first sight. `count` is the
     /// message's total fragment count.
-    fn pin(&self, src: u64, msg_id: u64, count: u16, fresh_target: impl FnOnce() -> usize) -> usize {
+    fn pin(
+        &self,
+        src: u64,
+        msg_id: u64,
+        count: u16,
+        fresh_target: impl FnOnce() -> usize,
+    ) -> usize {
         let mut map = self.inner.lock();
         let next_seq = map.len() as u64; // strictly for eviction ordering
         let entry = map.entry((src, msg_id)).or_insert_with(|| PinEntry {
@@ -149,9 +163,9 @@ impl FlowPins {
     }
 }
 
-struct Shared {
+struct Shared<T: Transport> {
     config: MinosConfig,
-    nic: Arc<VirtualNic>,
+    transport: Arc<T>,
     store: Arc<Store>,
     plan: RwLock<Arc<ShardingPlan>>,
     soft_queues: Vec<ArrayQueue<Handoff>>,
@@ -170,27 +184,47 @@ struct Shared {
     flow_pins: FlowPins,
 }
 
-impl Shared {
+impl<T: Transport> Shared<T> {
     fn now_ns(&self) -> u64 {
         self.start.elapsed().as_nanos() as u64
     }
 
     fn endpoint(&self, core: usize) -> Endpoint {
-        Endpoint::host(SERVER_HOST_ID, UdpHeader::port_for_queue(core as u16))
+        self.transport.local_endpoint(core as u16)
     }
 }
 
-/// The running Minos server.
-pub struct MinosServer {
-    shared: Arc<Shared>,
+/// The running Minos server, generic over its packet [`Transport`]
+/// (defaulting to the in-process virtual NIC).
+pub struct MinosServer<T: Transport = VirtualNic> {
+    shared: Arc<Shared<T>>,
     threads: Vec<std::thread::JoinHandle<()>>,
 }
 
-impl MinosServer {
-    /// Builds and starts the server threads.
+impl MinosServer<VirtualNic> {
+    /// Builds a virtual NIC sized by `config` and starts the server
+    /// threads over it.
     pub fn start(config: ServerConfig) -> Self {
+        let nic = Arc::new(VirtualNic::new(
+            NicConfig::new(config.minos.n_cores as u16)
+                .with_queue_capacity(config.nic_queue_capacity),
+        ));
+        Self::start_with_transport(config, nic)
+    }
+}
+
+impl<T: Transport + 'static> MinosServer<T> {
+    /// Starts the server threads over an externally constructed
+    /// transport. The transport must expose exactly one RX/TX queue
+    /// pair per configured core.
+    pub fn start_with_transport(config: ServerConfig, transport: Arc<T>) -> Self {
         config.minos.validate().expect("invalid Minos config");
         let n = config.minos.n_cores;
+        assert_eq!(
+            transport.num_queues(),
+            n as u16,
+            "transport must have one queue per core"
+        );
         let controller = ThresholdController::new(
             config.minos.threshold_mode,
             config.minos.threshold_percentile,
@@ -198,9 +232,7 @@ impl MinosServer {
             config.minos.cost_fn,
         );
         let shared = Arc::new(Shared {
-            nic: Arc::new(VirtualNic::new(
-                NicConfig::new(n as u16).with_queue_capacity(config.nic_queue_capacity),
-            )),
+            transport,
             store: Arc::new(Store::new(config.store.clone())),
             plan: RwLock::new(Arc::new(ShardingPlan::bootstrap(n))),
             soft_queues: (0..n)
@@ -231,9 +263,29 @@ impl MinosServer {
         MinosServer { shared, threads }
     }
 
+    /// The transport the server polls.
+    pub fn transport(&self) -> Arc<T> {
+        Arc::clone(&self.shared.transport)
+    }
+
     /// The plan currently in force (inspection/testing).
     pub fn plan(&self) -> Arc<ShardingPlan> {
         self.shared.plan.read().clone()
+    }
+
+    /// The underlying store (preloading, inspection).
+    pub fn store(&self) -> Arc<Store> {
+        Arc::clone(&self.shared.store)
+    }
+
+    /// Number of server cores.
+    pub fn n_cores(&self) -> usize {
+        self.shared.config.n_cores
+    }
+
+    /// Per-core statistics snapshot.
+    pub fn core_stats(&self) -> Vec<CoreStats> {
+        self.shared.stats.iter().map(|s| s.snapshot()).collect()
     }
 
     /// Engine-specific counters.
@@ -250,30 +302,38 @@ impl MinosServer {
     pub fn force_epoch(&self) {
         run_epoch(&self.shared);
     }
+
+    /// Requests still queued in software queues (handoffs not yet
+    /// executed). Zero means every accepted request has been replied to.
+    pub fn pending_handoffs(&self) -> usize {
+        self.shared.soft_queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// Waits for in-flight work to drain: returns `true` once the
+    /// software queues have stayed empty for a short quiet period, or
+    /// `false` on timeout. Used for graceful shutdown — the cores keep
+    /// polling (and replying) while this waits.
+    pub fn drain(&self, timeout: std::time::Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut quiet = 0u32;
+        while quiet < 10 {
+            if Instant::now() > deadline {
+                return false;
+            }
+            if self.pending_handoffs() == 0 {
+                quiet += 1;
+            } else {
+                quiet = 0;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        true
+    }
 }
 
-impl KvEngine for MinosServer {
-    fn name(&self) -> &'static str {
-        "Minos"
-    }
-
-    fn nic(&self) -> Arc<VirtualNic> {
-        Arc::clone(&self.shared.nic)
-    }
-
-    fn store(&self) -> Arc<Store> {
-        Arc::clone(&self.shared.store)
-    }
-
-    fn n_cores(&self) -> usize {
-        self.shared.config.n_cores
-    }
-
-    fn core_stats(&self) -> Vec<CoreStats> {
-        self.shared.stats.iter().map(|s| s.snapshot()).collect()
-    }
-
-    fn shutdown(&mut self) {
+impl<T: Transport> MinosServer<T> {
+    /// Stops the polling threads and joins them. Idempotent.
+    pub fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         for t in self.threads.drain(..) {
             let _ = t.join();
@@ -281,13 +341,39 @@ impl KvEngine for MinosServer {
     }
 }
 
-impl Drop for MinosServer {
+impl KvEngine for MinosServer<VirtualNic> {
+    fn name(&self) -> &'static str {
+        "Minos"
+    }
+
+    fn nic(&self) -> Arc<VirtualNic> {
+        Arc::clone(&self.shared.transport)
+    }
+
+    fn store(&self) -> Arc<Store> {
+        MinosServer::store(self)
+    }
+
+    fn n_cores(&self) -> usize {
+        MinosServer::n_cores(self)
+    }
+
+    fn core_stats(&self) -> Vec<CoreStats> {
+        MinosServer::core_stats(self)
+    }
+
+    fn shutdown(&mut self) {
+        MinosServer::shutdown(self);
+    }
+}
+
+impl<T: Transport> Drop for MinosServer<T> {
     fn drop(&mut self) {
         self.shutdown();
     }
 }
 
-fn core_loop(shared: &Shared, core: usize) {
+fn core_loop<T: Transport>(shared: &Shared<T>, core: usize) {
     let mut rx_buf: Vec<Packet> = Vec::with_capacity(shared.config.batch_size * 2);
     let mut reassembler = Reassembler::new(1024);
     let mut idle_rounds = 0u32;
@@ -303,7 +389,12 @@ fn core_loop(shared: &Shared, core: usize) {
             if now >= deadline
                 && shared
                     .epoch_deadline_ns
-                    .compare_exchange(deadline, now + shared.config.epoch_ns, Ordering::Relaxed, Ordering::Relaxed)
+                    .compare_exchange(
+                        deadline,
+                        now + shared.config.epoch_ns,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    )
                     .is_ok()
             {
                 run_epoch(shared);
@@ -320,11 +411,11 @@ fn core_loop(shared: &Shared, core: usize) {
             );
             rx_buf.clear();
             let own = shared
-                .nic
+                .transport
                 .rx_burst(schedule.own.0 as u16, &mut rx_buf, schedule.own.1);
             let mut total = own;
             for &(q, quota) in &schedule.others {
-                total += shared.nic.rx_burst(q as u16, &mut rx_buf, quota);
+                total += shared.transport.rx_burst(q as u16, &mut rx_buf, quota);
             }
             if total > 0 {
                 did_work = true;
@@ -350,7 +441,9 @@ fn core_loop(shared: &Shared, core: usize) {
                     let reply_to = endpoint_of(&pkt);
                     match reassembler.push(src, pkt.payload) {
                         Reassembly::Complete(bytes) => match Message::decode(bytes) {
-                            Some(msg) => execute_and_reply(shared, core, ServerRequest { msg, reply_to }),
+                            Some(msg) => {
+                                execute_and_reply(shared, core, ServerRequest { msg, reply_to })
+                            }
                             None => {
                                 shared.malformed.fetch_add(1, Ordering::Relaxed);
                             }
@@ -382,7 +475,7 @@ fn core_loop(shared: &Shared, core: usize) {
 
 /// The epoch control step (paper §3, "How to find the threshold" +
 /// "How to choose the number of small cores").
-fn run_epoch(shared: &Shared) {
+fn run_epoch<T: Transport>(shared: &Shared<T>) {
     let mut aggregate = SizeHistogram::new();
     for hist in &shared.size_hists {
         let taken = hist.lock().take();
@@ -411,8 +504,8 @@ fn endpoint_of(pkt: &Packet) -> Endpoint {
 }
 
 /// Handles one packet drained from an RX queue by a small core.
-fn process_rx_packet(
-    shared: &Shared,
+fn process_rx_packet<T: Transport>(
+    shared: &Shared<T>,
     core: usize,
     plan: &ShardingPlan,
     reassembler: &mut Reassembler,
@@ -463,7 +556,10 @@ fn process_rx_packet(
                     shared.malformed.fetch_add(1, Ordering::Relaxed);
                 }
             }
-        } else if shared.soft_queues[target].push(Handoff::Fragment(pkt)).is_err() {
+        } else if shared.soft_queues[target]
+            .push(Handoff::Fragment(pkt))
+            .is_err()
+        {
             shared.soft_drops.fetch_add(1, Ordering::Relaxed);
         } else {
             shared.stats[core].record_handoff();
@@ -482,7 +578,12 @@ fn process_rx_packet(
 
 /// Classifies a complete request on a small core and either executes it
 /// or hands it off.
-fn handle_message(shared: &Shared, core: usize, plan: &ShardingPlan, req: ServerRequest) {
+fn handle_message<T: Transport>(
+    shared: &Shared<T>,
+    core: usize,
+    plan: &ShardingPlan,
+    req: ServerRequest,
+) {
     match &req.msg.body {
         Body::Get { key } => {
             // One lookup decides: reply directly if the item is small,
@@ -503,7 +604,10 @@ fn handle_message(shared: &Shared, core: usize, plan: &ShardingPlan, req: Server
                         }
                         Destination::Handoff(target) => {
                             drop(value);
-                            if shared.soft_queues[target].push(Handoff::Request(req)).is_err() {
+                            if shared.soft_queues[target]
+                                .push(Handoff::Request(req))
+                                .is_err()
+                            {
                                 shared.soft_drops.fetch_add(1, Ordering::Relaxed);
                             } else {
                                 shared.stats[core].record_handoff();
@@ -519,7 +623,10 @@ fn handle_message(shared: &Shared, core: usize, plan: &ShardingPlan, req: Server
             match plan.classify(size) {
                 Destination::Local => execute_and_reply(shared, core, req),
                 Destination::Handoff(target) => {
-                    if shared.soft_queues[target].push(Handoff::Request(req)).is_err() {
+                    if shared.soft_queues[target]
+                        .push(Handoff::Request(req))
+                        .is_err()
+                    {
                         shared.soft_drops.fetch_add(1, Ordering::Relaxed);
                     } else {
                         shared.stats[core].record_handoff();
@@ -543,8 +650,8 @@ fn handle_message(shared: &Shared, core: usize, plan: &ShardingPlan, req: Server
 /// Transmits a reply for a request whose outcome is already known
 /// (small-core fast path: the lookup already happened during
 /// classification).
-fn reply_direct(
-    shared: &Shared,
+fn reply_direct<T: Transport>(
+    shared: &Shared<T>,
     core: usize,
     req: &ServerRequest,
     status: ReplyStatus,
@@ -552,14 +659,21 @@ fn reply_direct(
 ) {
     let msg_id = ((core as u64) << 48)
         | (shared.msg_ids[core].fetch_add(1, Ordering::Relaxed) & 0xFFFF_FFFF_FFFF);
-    let (packets, bytes_out) =
-        transmit_reply(&shared.nic, core as u16, shared.endpoint(core), req, status, value, msg_id);
+    let (packets, bytes_out) = transmit_reply(
+        &*shared.transport,
+        core as u16,
+        shared.endpoint(core),
+        req,
+        status,
+        value,
+        msg_id,
+    );
     shared.stats[core].record_tx(packets, bytes_out);
 }
 
 /// Executes a request on this core (small or large) and transmits the
 /// reply on this core's TX queue.
-fn execute_and_reply(shared: &Shared, core: usize, req: ServerRequest) {
+fn execute_and_reply<T: Transport>(shared: &Shared<T>, core: usize, req: ServerRequest) {
     let Some((status, value, was_get, large)) = execute(&shared.store, &req.msg) else {
         shared.malformed.fetch_add(1, Ordering::Relaxed);
         return;
@@ -571,8 +685,15 @@ fn execute_and_reply(shared: &Shared, core: usize, req: ServerRequest) {
     }
     let msg_id = ((core as u64) << 48)
         | (shared.msg_ids[core].fetch_add(1, Ordering::Relaxed) & 0xFFFF_FFFF_FFFF);
-    let (packets, bytes_out) =
-        transmit_reply(&shared.nic, core as u16, shared.endpoint(core), &req, status, value, msg_id);
+    let (packets, bytes_out) = transmit_reply(
+        &*shared.transport,
+        core as u16,
+        shared.endpoint(core),
+        &req,
+        status,
+        value,
+        msg_id,
+    );
     shared.stats[core].record_tx(packets, bytes_out);
 }
 
@@ -603,7 +724,11 @@ pub fn execute(
         Body::Delete { key } => {
             let found = store.delete(*key);
             Some((
-                if found { ReplyStatus::Ok } else { ReplyStatus::NotFound },
+                if found {
+                    ReplyStatus::Ok
+                } else {
+                    ReplyStatus::NotFound
+                },
                 None,
                 false,
                 false,
@@ -613,10 +738,11 @@ pub fn execute(
     }
 }
 
-/// Encodes, fragments and transmits a reply on `tx_queue`. Returns the
-/// `(packets, bytes)` transmitted. Shared by every engine.
-pub fn transmit_reply(
-    nic: &VirtualNic,
+/// Encodes, fragments and transmits a reply on `tx_queue` of
+/// `transport`. Returns the `(packets, bytes)` transmitted. Shared by
+/// every engine.
+pub fn transmit_reply<T: Transport + ?Sized>(
+    transport: &T,
     tx_queue: u16,
     src: Endpoint,
     req: &ServerRequest,
@@ -633,7 +759,7 @@ pub fn transmit_reply(
         let pkt = synthesize(src, req.reply_to, frag);
         packets += 1;
         bytes_out += pkt.wire_len() as u64;
-        if !nic.tx_push(tx_queue, pkt) {
+        if !transport.tx_push(tx_queue, pkt) {
             // TX ring full: tail-drop, like hardware. The client's loss
             // accounting notices.
             break;

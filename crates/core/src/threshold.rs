@@ -71,7 +71,7 @@ impl ThresholdController {
             cost_fn,
             smoothed: SmoothedHistogram::new(alpha),
             current,
-        epochs: 0,
+            epochs: 0,
         }
     }
 
@@ -201,12 +201,8 @@ mod tests {
 
     #[test]
     fn static_mode_pins_threshold_but_tracks_share() {
-        let mut c = ThresholdController::new(
-            ThresholdMode::Static(1_400),
-            99.0,
-            0.9,
-            CostFn::Packets,
-        );
+        let mut c =
+            ThresholdController::new(ThresholdMode::Static(1_400), 99.0, 0.9, CostFn::Packets);
         let d1 = c.epoch_update(&epoch_hist(10_000, 100, 0, 0));
         assert_eq!(d1.threshold, 1_400);
         assert_eq!(d1.small_cost_share, 1.0);
@@ -259,9 +255,6 @@ mod tests {
             c.epoch_update(&epoch_hist(99_250, 100, 750, 500_000));
         }
         let high = c.current().small_cost_share;
-        assert!(
-            high < low,
-            "share must drop as p_L grows: {low} -> {high}"
-        );
+        assert!(high < low, "share must drop as p_L grows: {low} -> {high}");
     }
 }

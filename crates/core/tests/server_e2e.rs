@@ -2,7 +2,6 @@
 //! NIC rings, real wire encoding, real store.
 
 use minos_core::client::Client;
-use minos_core::engine::KvEngine;
 use minos_core::plan::Destination;
 use minos_core::server::{MinosServer, ServerConfig};
 use minos_wire::message::{OpKind, ReplyStatus};
@@ -131,7 +130,7 @@ fn epoch_adapts_plan_to_workload() {
     // dominate the packet cost (10 x ~70 packets vs 2000 x 1).
     for batch in 0..10u64 {
         for i in 0..200u64 {
-            client.send_put(batch * 200 + i, &vec![1u8; 100], false);
+            client.send_put(batch * 200 + i, &[1u8; 100], false);
         }
         client.send_put(10_000 + batch, &vec![2u8; 100_000], true);
         assert!(client.drain(Duration::from_secs(60)), "batch {batch}");

@@ -183,7 +183,13 @@ mod tests {
         let b = Bucket::new();
         for i in 0..SLOTS_PER_BUCKET {
             assert_eq!(b.first_empty(), Some(i));
-            b.set_slot(i, Some(Slot { tag: 1, item: i as u32 }));
+            b.set_slot(
+                i,
+                Some(Slot {
+                    tag: 1,
+                    item: i as u32,
+                }),
+            );
         }
         assert_eq!(b.first_empty(), None);
         assert_eq!(b.occupied().count(), SLOTS_PER_BUCKET);

@@ -24,7 +24,9 @@ pub fn master_core(partition: usize, n_cores: usize) -> usize {
 /// The partitions mastered by `core` given `partitions` total partitions
 /// and `n_cores` cores.
 pub fn partitions_of_core(core: usize, partitions: usize, n_cores: usize) -> Vec<usize> {
-    (0..partitions).filter(|&p| master_core(p, n_cores) == core).collect()
+    (0..partitions)
+        .filter(|&p| master_core(p, n_cores) == core)
+        .collect()
 }
 
 /// Validates a CREW-friendly configuration: every core masters at least

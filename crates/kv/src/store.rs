@@ -160,7 +160,9 @@ impl Partition {
             overflow: (0..config.overflow_per_partition)
                 .map(|_| Bucket::new())
                 .collect(),
-            overflow_freelist: Mutex::new((0..config.overflow_per_partition as u32).rev().collect()),
+            overflow_freelist: Mutex::new(
+                (0..config.overflow_per_partition as u32).rev().collect(),
+            ),
             items: ItemTable::new(config.items_per_partition),
         }
     }
@@ -227,7 +229,9 @@ impl Store {
         assert!(config.partitions > 0);
         let num_buckets = config.buckets_per_partition.next_power_of_two();
         Store {
-            partitions: (0..config.partitions).map(|_| Partition::new(&config)).collect(),
+            partitions: (0..config.partitions)
+                .map(|_| Partition::new(&config))
+                .collect(),
             mempool: Mempool::new(config.mempool_bytes, config.max_value_bytes),
             num_buckets,
             get_hits: AtomicU64::new(0),
@@ -334,7 +338,13 @@ impl Store {
                 match self.claim_empty_slot(partition, parts.bucket) {
                     Some(target) => {
                         primary.write_begin();
-                        target.0.set_slot(target.1, Some(Slot { tag: parts.tag, item: item_idx }));
+                        target.0.set_slot(
+                            target.1,
+                            Some(Slot {
+                                tag: parts.tag,
+                                item: item_idx,
+                            }),
+                        );
                         primary.write_end();
                         self.items.fetch_add(1, Ordering::Relaxed);
                     }

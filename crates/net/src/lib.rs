@@ -1,0 +1,30 @@
+//! # minos-net: packet I/O behind a multi-queue [`Transport`] trait
+//!
+//! The Minos datapath (paper §3) is built around *hardware dispatch*: a
+//! multi-queue NIC steers each request packet to the RX queue named by
+//! its UDP destination port, and each core owns one RX/TX queue pair.
+//! The seed reproduction hard-coded that contract to the in-process
+//! [`minos_nic::VirtualNic`]; this crate abstracts it so the same engine
+//! code drives either simulated or real packets:
+//!
+//! * [`Transport`] — the queue-pair contract: batch [`Transport::rx_burst`]
+//!   / [`Transport::tx_burst`], one primary consumer per RX queue,
+//!   mirroring the DPDK-style ring API of the virtual NIC.
+//! * [`VirtualTransport`] / [`VirtualClientTransport`] — adapters over
+//!   [`minos_nic::VirtualNic`] (the trait is also implemented directly
+//!   for [`minos_nic::VirtualNic`], which the server uses by default).
+//! * [`UdpTransport`] — real `SO_REUSEPORT` UDP sockets, one per RX
+//!   queue: queue `q` listens on `base_port + q`, so the kernel's port
+//!   demultiplexing plays the role of the NIC's Flow Director and
+//!   clients still address a specific RX queue by destination port,
+//!   preserving the paper's client-addresses-queue model.
+
+#![warn(missing_docs)]
+
+mod transport;
+mod udp;
+mod virt;
+
+pub use transport::{Transport, TransportStats};
+pub use udp::{endpoint_for, UdpConfig, UdpTransport};
+pub use virt::{VirtualClientTransport, VirtualTransport};

@@ -1,0 +1,96 @@
+//! The [`Transport`] trait: the multi-queue packet I/O contract.
+
+use minos_wire::packet::{Endpoint, Packet};
+
+/// Aggregate transport statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Packets received across all queues.
+    pub rx_packets: u64,
+    /// Payload + header bytes received.
+    pub rx_bytes: u64,
+    /// Packets transmitted across all queues.
+    pub tx_packets: u64,
+    /// Payload + header bytes transmitted.
+    pub tx_bytes: u64,
+    /// Packets dropped on transmit (full ring / full socket buffer).
+    pub tx_dropped: u64,
+}
+
+/// Multi-queue packet I/O.
+///
+/// The contract mirrors the paper's NIC model and the DPDK ring API the
+/// virtual NIC exposes:
+///
+/// * A transport owns `num_queues` RX/TX queue pairs. Queue `q` is the
+///   target clients select by sending to destination port
+///   `base_port + q`.
+/// * Each RX queue has one *primary* consumer (its owning core), but
+///   concurrent readers must be safe — Minos small cores also drain the
+///   RX queues of large cores (§3).
+/// * Packets move in batches ([`Transport::rx_burst`] /
+///   [`Transport::tx_burst`], §4.1: "Requests are moved in batches to
+///   further limit overhead").
+/// * [`Transport::tx_push`] routes by the packet's *destination*
+///   metadata ([`Packet::meta`]); `queue` names the local TX queue the
+///   send is charged to.
+///
+/// The trait is object-safe: engines that don't want a generic
+/// parameter can hold an `Arc<dyn Transport>`.
+pub trait Transport: Send + Sync {
+    /// Number of RX/TX queue pairs.
+    fn num_queues(&self) -> u16;
+
+    /// Dequeues up to `max` packets from RX queue `queue` into `out`,
+    /// returning how many were moved.
+    fn rx_burst(&self, queue: u16, out: &mut Vec<Packet>, max: usize) -> usize;
+
+    /// Dequeues a single packet from RX queue `queue` (the one-at-a-time
+    /// steal path, where batching would re-introduce head-of-line
+    /// blocking — paper §5.2).
+    fn rx_pop_one(&self, queue: u16) -> Option<Packet> {
+        let mut out = Vec::with_capacity(1);
+        if self.rx_burst(queue, &mut out, 1) == 1 {
+            out.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Current depth of RX queue `queue`, or 0 where unknowable (kernel
+    /// sockets don't expose their backlog).
+    fn rx_len(&self, queue: u16) -> usize {
+        let _ = queue;
+        0
+    }
+
+    /// Enqueues one packet for transmission on TX queue `queue`,
+    /// addressed by the packet's destination metadata. Returns `false`
+    /// on tail drop (full ring, full socket buffer), as NIC hardware
+    /// drops on a full TX ring.
+    fn tx_push(&self, queue: u16, packet: Packet) -> bool;
+
+    /// Transmits a batch, draining `packets`; returns how many were
+    /// accepted. Stops at the first tail drop (the remaining packets
+    /// are dropped too, preserving per-queue FIFO order on the wire).
+    fn tx_burst(&self, queue: u16, packets: &mut Vec<Packet>) -> usize {
+        let mut sent = 0;
+        for pkt in packets.drain(..) {
+            if !self.tx_push(queue, pkt) {
+                break;
+            }
+            sent += 1;
+        }
+        sent
+    }
+
+    /// The endpoint identity of local queue `queue` — what the transport
+    /// writes as the source of packets it synthesizes, and what peers
+    /// should address to reach this queue.
+    fn local_endpoint(&self, queue: u16) -> Endpoint;
+
+    /// Statistics snapshot.
+    fn stats(&self) -> TransportStats {
+        TransportStats::default()
+    }
+}

@@ -1,0 +1,212 @@
+//! [`Transport`] adapters over the in-process [`VirtualNic`].
+
+use crate::transport::{Transport, TransportStats};
+use minos_nic::{Delivery, VirtualNic};
+use minos_wire::packet::{build_frame, Endpoint, Packet};
+use minos_wire::udp::UdpHeader;
+use std::sync::Arc;
+
+/// Host id servers use in the virtual world (clients must differ).
+pub(crate) const VIRTUAL_SERVER_HOST: u32 = 1;
+
+impl Transport for VirtualNic {
+    fn num_queues(&self) -> u16 {
+        VirtualNic::num_queues(self)
+    }
+
+    fn rx_burst(&self, queue: u16, out: &mut Vec<Packet>, max: usize) -> usize {
+        VirtualNic::rx_burst(self, queue, out, max)
+    }
+
+    fn rx_pop_one(&self, queue: u16) -> Option<Packet> {
+        VirtualNic::rx_pop_one(self, queue)
+    }
+
+    fn rx_len(&self, queue: u16) -> usize {
+        VirtualNic::rx_len(self, queue)
+    }
+
+    fn tx_push(&self, queue: u16, packet: Packet) -> bool {
+        VirtualNic::tx_push(self, queue, packet)
+    }
+
+    fn local_endpoint(&self, queue: u16) -> Endpoint {
+        Endpoint::host(VIRTUAL_SERVER_HOST, UdpHeader::port_for_queue(queue))
+    }
+
+    fn stats(&self) -> TransportStats {
+        let s = VirtualNic::stats(self);
+        TransportStats {
+            rx_packets: s.rx_delivered,
+            rx_bytes: s.rx_bytes,
+            tx_packets: s.tx_sent,
+            tx_bytes: s.tx_bytes,
+            tx_dropped: 0,
+        }
+    }
+}
+
+/// The server-side adapter over a shared [`VirtualNic`]: RX queues are
+/// the NIC's RX rings, TX pushes onto the NIC's TX rings (from which an
+/// in-process client drains replies).
+#[derive(Clone, Debug)]
+pub struct VirtualTransport {
+    nic: Arc<VirtualNic>,
+}
+
+impl VirtualTransport {
+    /// Wraps `nic`.
+    pub fn new(nic: Arc<VirtualNic>) -> Self {
+        VirtualTransport { nic }
+    }
+
+    /// The underlying NIC.
+    pub fn nic(&self) -> &Arc<VirtualNic> {
+        &self.nic
+    }
+}
+
+impl Transport for VirtualTransport {
+    fn num_queues(&self) -> u16 {
+        Transport::num_queues(&*self.nic)
+    }
+
+    fn rx_burst(&self, queue: u16, out: &mut Vec<Packet>, max: usize) -> usize {
+        Transport::rx_burst(&*self.nic, queue, out, max)
+    }
+
+    fn rx_pop_one(&self, queue: u16) -> Option<Packet> {
+        Transport::rx_pop_one(&*self.nic, queue)
+    }
+
+    fn rx_len(&self, queue: u16) -> usize {
+        Transport::rx_len(&*self.nic, queue)
+    }
+
+    fn tx_push(&self, queue: u16, packet: Packet) -> bool {
+        Transport::tx_push(&*self.nic, queue, packet)
+    }
+
+    fn local_endpoint(&self, queue: u16) -> Endpoint {
+        Transport::local_endpoint(&*self.nic, queue)
+    }
+
+    fn stats(&self) -> TransportStats {
+        Transport::stats(&*self.nic)
+    }
+}
+
+/// The client-side adapter over a server's [`VirtualNic`]: a
+/// single-queue transport whose TX encodes full frames and delivers
+/// them through the NIC's receive path (checksums, fault injection,
+/// steering — the whole wire), and whose RX drains the server's TX
+/// rings, which is where replies appear in the in-process world.
+#[derive(Clone, Debug)]
+pub struct VirtualClientTransport {
+    nic: Arc<VirtualNic>,
+    /// The endpoint this client claims (replies are addressed to it).
+    endpoint: Endpoint,
+}
+
+impl VirtualClientTransport {
+    /// Creates a client transport speaking to `nic` as `endpoint`.
+    pub fn new(nic: Arc<VirtualNic>, endpoint: Endpoint) -> Self {
+        VirtualClientTransport { nic, endpoint }
+    }
+}
+
+impl Transport for VirtualClientTransport {
+    fn num_queues(&self) -> u16 {
+        1
+    }
+
+    fn rx_burst(&self, _queue: u16, out: &mut Vec<Packet>, max: usize) -> usize {
+        let mut moved = 0;
+        for q in 0..VirtualNic::num_queues(&self.nic) {
+            moved += self.nic.tx_drain(q, out, max.saturating_sub(moved));
+        }
+        moved
+    }
+
+    fn tx_push(&self, _queue: u16, packet: Packet) -> bool {
+        let src = Endpoint {
+            mac: packet.meta.eth.src,
+            ip: packet.meta.ip.src,
+            port: packet.meta.udp.src_port,
+        };
+        let dst = Endpoint {
+            mac: packet.meta.eth.dst,
+            ip: packet.meta.ip.dst,
+            port: packet.meta.udp.dst_port,
+        };
+        let frame = build_frame(src, dst, &packet.payload);
+        matches!(self.nic.deliver_frame(frame), Delivery::Queued(_))
+    }
+
+    fn local_endpoint(&self, _queue: u16) -> Endpoint {
+        self.endpoint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use minos_nic::NicConfig;
+    use minos_wire::packet::synthesize;
+
+    #[test]
+    fn client_tx_lands_in_server_rx() {
+        let nic = Arc::new(VirtualNic::new(NicConfig::new(4)));
+        let client_ep = Endpoint::host(100, 20_000);
+        let client = VirtualClientTransport::new(Arc::clone(&nic), client_ep);
+        let server = VirtualTransport::new(Arc::clone(&nic));
+
+        let dst = Transport::local_endpoint(&server, 2);
+        let pkt = synthesize(client_ep, dst, Bytes::from_static(b"ping"));
+        assert!(Transport::tx_push(&client, 0, pkt));
+
+        let mut out = Vec::new();
+        assert_eq!(Transport::rx_burst(&server, 2, &mut out, 32), 1);
+        assert_eq!(&out[0].payload[..], b"ping");
+        assert_eq!(out[0].meta.udp.src_port, 20_000);
+    }
+
+    #[test]
+    fn server_tx_drains_to_client() {
+        let nic = Arc::new(VirtualNic::new(NicConfig::new(2)));
+        let client_ep = Endpoint::host(101, 21_000);
+        let client = VirtualClientTransport::new(Arc::clone(&nic), client_ep);
+        let server = VirtualTransport::new(Arc::clone(&nic));
+
+        let reply = synthesize(
+            Transport::local_endpoint(&server, 1),
+            client_ep,
+            Bytes::from_static(b"pong"),
+        );
+        assert!(Transport::tx_push(&server, 1, reply));
+
+        let mut out = Vec::new();
+        assert_eq!(Transport::rx_burst(&client, 0, &mut out, 32), 1);
+        assert_eq!(&out[0].payload[..], b"pong");
+        assert_eq!(out[0].meta.udp.dst_port, client_ep.port);
+    }
+
+    #[test]
+    fn tx_burst_default_drains_batch() {
+        let nic = Arc::new(VirtualNic::new(NicConfig::new(1)));
+        let server = VirtualTransport::new(Arc::clone(&nic));
+        let dst = Endpoint::host(100, 20_000);
+        let mut batch: Vec<Packet> = (0..5)
+            .map(|i| {
+                synthesize(
+                    Transport::local_endpoint(&server, 0),
+                    dst,
+                    Bytes::from(vec![i as u8]),
+                )
+            })
+            .collect();
+        assert_eq!(Transport::tx_burst(&server, 0, &mut batch), 5);
+        assert!(batch.is_empty());
+    }
+}

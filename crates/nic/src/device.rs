@@ -216,7 +216,10 @@ impl VirtualNic {
         let n = self.tx[queue as usize].rx_burst(out, max);
         if n > 0 {
             self.tx_sent.fetch_add(n as u64, Ordering::Relaxed);
-            let bytes: u64 = out[out.len() - n..].iter().map(|p| p.wire_len() as u64).sum();
+            let bytes: u64 = out[out.len() - n..]
+                .iter()
+                .map(|p| p.wire_len() as u64)
+                .sum();
             self.tx_bytes.fetch_add(bytes, Ordering::Relaxed);
         }
         n
@@ -308,9 +311,7 @@ mod tests {
 
     #[test]
     fn corruption_is_caught_by_checksums() {
-        let nic = VirtualNic::new(
-            NicConfig::new(2).with_faults(FaultInjector::new(0.0, 1.0, 5)),
-        );
+        let nic = VirtualNic::new(NicConfig::new(2).with_faults(FaultInjector::new(0.0, 1.0, 5)));
         // Every frame corrupted => every frame must fail parsing, never
         // silently deliver wrong bytes.
         for _ in 0..100 {
@@ -323,9 +324,7 @@ mod tests {
 
     #[test]
     fn drop_faults_counted() {
-        let nic = VirtualNic::new(
-            NicConfig::new(2).with_faults(FaultInjector::new(1.0, 0.0, 5)),
-        );
+        let nic = VirtualNic::new(NicConfig::new(2).with_faults(FaultInjector::new(1.0, 0.0, 5)));
         assert_eq!(nic.deliver_frame(frame_to_queue(0)), Delivery::DroppedFault);
         assert_eq!(nic.stats().rx_faulted, 1);
     }
@@ -335,7 +334,10 @@ mod tests {
         let nic = VirtualNic::new(NicConfig::new(1).with_queue_capacity(2));
         assert_eq!(nic.deliver_frame(frame_to_queue(0)), Delivery::Queued(0));
         assert_eq!(nic.deliver_frame(frame_to_queue(0)), Delivery::Queued(0));
-        assert_eq!(nic.deliver_frame(frame_to_queue(0)), Delivery::DroppedFull(0));
+        assert_eq!(
+            nic.deliver_frame(frame_to_queue(0)),
+            Delivery::DroppedFull(0)
+        );
         assert_eq!(nic.stats().rx_ring_full, 1);
     }
 

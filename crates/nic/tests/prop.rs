@@ -53,7 +53,7 @@ proptest! {
         frames in prop::collection::vec((0u16..4, 0u8..255), 1..100),
     ) {
         let nic = VirtualNic::new(NicConfig::new(4).with_queue_capacity(64));
-        let mut sent_per_queue = vec![0usize; 4];
+        let mut sent_per_queue = [0usize; 4];
         for &(q, tag) in &frames {
             let src = Endpoint::host(100, 5000 + tag as u16);
             let dst = Endpoint::host(1, UdpHeader::port_for_queue(q));

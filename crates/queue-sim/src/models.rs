@@ -113,7 +113,10 @@ pub fn run_model(
 
     // Prime the first arrival.
     let mut next_arrival = rng.exponential(mean_gap) as u64;
-    events.push(next_arrival, Event::Arrival(draw(&law, next_arrival, &mut rng)));
+    events.push(
+        next_arrival,
+        Event::Arrival(draw(&law, next_arrival, &mut rng)),
+    );
 
     let target = warmup_ops + measured_ops;
     while completed_total < target {
@@ -125,7 +128,10 @@ pub fn run_model(
             Event::Arrival(req) => {
                 // Schedule the subsequent arrival.
                 next_arrival = now + rng.exponential(mean_gap).max(1.0) as u64;
-                events.push(next_arrival, Event::Arrival(draw(&law, next_arrival, &mut rng)));
+                events.push(
+                    next_arrival,
+                    Event::Arrival(draw(&law, next_arrival, &mut rng)),
+                );
 
                 match model {
                     Model::SingleQueue => {
@@ -325,8 +331,24 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let a = run_model(Model::MultiQueueStealing, 8, Bimodal::paper(100), 0.6, 1000, 20_000, 9);
-        let b = run_model(Model::MultiQueueStealing, 8, Bimodal::paper(100), 0.6, 1000, 20_000, 9);
+        let a = run_model(
+            Model::MultiQueueStealing,
+            8,
+            Bimodal::paper(100),
+            0.6,
+            1000,
+            20_000,
+            9,
+        );
+        let b = run_model(
+            Model::MultiQueueStealing,
+            8,
+            Bimodal::paper(100),
+            0.6,
+            1000,
+            20_000,
+            9,
+        );
         assert_eq!(a.p99_units, b.p99_units);
         assert_eq!(a.completed, b.completed);
     }

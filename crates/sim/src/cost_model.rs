@@ -78,7 +78,9 @@ impl CostModel {
     /// Total core occupancy (ns) to serve a request for an item of
     /// `size` bytes, run-to-completion.
     pub fn service_ns(&self, size: u64) -> f64 {
-        self.base_ns + self.per_packet_ns * self.packets(size) as f64 + self.per_byte_ns * size as f64
+        self.base_ns
+            + self.per_packet_ns * self.packets(size) as f64
+            + self.per_byte_ns * size as f64
     }
 
     /// SHO: handoff-core occupancy for one request of `size` bytes
@@ -183,10 +185,10 @@ mod tests {
         let cpu_cap = 8.0 / (mean_occ * 1e-9) / 1e6;
 
         // NIC TX capacity.
-        let reply =
-            |size: u64, is_get: bool| m.reply_wire_bytes(is_get, size) as f64;
+        let reply = |size: u64, is_get: bool| m.reply_wire_bytes(is_get, size) as f64;
         let mean_tx = get_ratio
-            * ((1.0 - p_large) * reply(small_mean as u64, true) + p_large * reply(large_mean as u64, true))
+            * ((1.0 - p_large) * reply(small_mean as u64, true)
+                + p_large * reply(large_mean as u64, true))
             + (1.0 - get_ratio) * reply(0, false);
         let nic_cap = GBIT40_BYTES_PER_SEC / mean_tx / 1e6;
 
@@ -214,8 +216,8 @@ mod tests {
         let mean_occ_minos = mean_occ + m.minos_profile_ns;
         let cpu_cap_minos = 8.0 / (mean_occ_minos * 1e-9) / 1e6;
 
-        let mean_tx_5050 = 0.5 * m.reply_wire_bytes(true, 427) as f64
-            + 0.5 * m.reply_wire_bytes(false, 0) as f64;
+        let mean_tx_5050 =
+            0.5 * m.reply_wire_bytes(true, 427) as f64 + 0.5 * m.reply_wire_bytes(false, 0) as f64;
         let nic_cap_5050 = GBIT40_BYTES_PER_SEC / mean_tx_5050 / 1e6;
 
         assert!(nic_cap_5050 > cpu_cap_hkh, "50:50 must be CPU-bound");
@@ -253,10 +255,7 @@ mod tests {
             500_032 + pkts * PACKET_OVERHEAD
         );
         // GET requests are header-only regardless of item size.
-        assert_eq!(
-            m.request_wire_bytes(true, 500_000),
-            32 + PACKET_OVERHEAD
-        );
+        assert_eq!(m.request_wire_bytes(true, 500_000), 32 + PACKET_OVERHEAD);
         // PUT replies are header-only.
         assert_eq!(m.reply_wire_bytes(false, 500_000), 32 + PACKET_OVERHEAD);
     }

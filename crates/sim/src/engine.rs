@@ -543,15 +543,14 @@ impl SystemSim {
             System::Sho { handoff } => {
                 if core < handoff {
                     if let Some(req) = self.rx[core].pop_front() {
-                        let occ = self.cfg.cost.sho_dispatch_ns(
-                            self.cfg.cost.inbound_size(self.reqs[req as usize].is_get, self.reqs[req as usize].size),
-                        );
+                        let occ = self.cfg.cost.sho_dispatch_ns(self.cfg.cost.inbound_size(
+                            self.reqs[req as usize].is_get,
+                            self.reqs[req as usize].size,
+                        ));
                         self.charge_rx_packets(core, req);
                         self.busy[core] = Some(Stage::ShoDispatch { req });
-                        self.events.push(
-                            self.now_ns + occ.ceil() as u64,
-                            Ev::CoreDone { core },
-                        );
+                        self.events
+                            .push(self.now_ns + occ.ceil() as u64, Ev::CoreDone { core });
                         return true;
                     }
                     false
@@ -563,10 +562,8 @@ impl SystemSim {
                             .cost
                             .sho_worker_ns(r.size, self.cfg.cost.inbound_size(r.is_get, r.size));
                         self.busy[core] = Some(Stage::Full { req, stolen: false });
-                        self.events.push(
-                            self.now_ns + occ.ceil() as u64,
-                            Ev::CoreDone { core },
-                        );
+                        self.events
+                            .push(self.now_ns + occ.ceil() as u64, Ev::CoreDone { core });
                         return true;
                     }
                     false
@@ -689,11 +686,14 @@ impl SystemSim {
         let r = self.reqs[req as usize];
         self.per_core[core].ops += 1;
 
-        let send_reply =
-            self.cfg.reply_sampling >= 1.0 || self.rng.chance(self.cfg.reply_sampling);
+        let send_reply = self.cfg.reply_sampling >= 1.0 || self.rng.chance(self.cfg.reply_sampling);
         if send_reply {
             let bytes = self.cfg.cost.reply_wire_bytes(r.is_get, r.size);
-            let pkts = if r.is_get { self.cfg.cost.packets(r.size) } else { 1 };
+            let pkts = if r.is_get {
+                self.cfg.cost.packets(r.size)
+            } else {
+                1
+            };
             self.per_core[core].packets += pkts;
             self.tx_wire.submit(
                 core,
@@ -728,8 +728,8 @@ impl SystemSim {
             if r.is_large_class {
                 self.hist_large.record_ns(latency);
             }
-            if self.window_ns > 0 {
-                let w = (r.arrival_ns / self.window_ns) as usize;
+            if let Some(window) = r.arrival_ns.checked_div(self.window_ns) {
+                let w = window as usize;
                 while self.windows.len() <= w {
                     self.windows.push(WindowAccum {
                         hist: LatencyHistogram::new(),
@@ -875,8 +875,16 @@ mod tests {
         // Workers execute everything that completes; a request can still
         // be in flight (on the wire or queued) when the run ends.
         let worker_ops: u64 = per_core[2..].iter().map(|c| c.ops).sum();
-        assert!(worker_ops >= sim.completed, "{worker_ops} < {}", sim.completed);
-        assert!(worker_ops <= sim.generated, "{worker_ops} > {}", sim.generated);
+        assert!(
+            worker_ops >= sim.completed,
+            "{worker_ops} < {}",
+            sim.completed
+        );
+        assert!(
+            worker_ops <= sim.generated,
+            "{worker_ops} > {}",
+            sim.generated
+        );
     }
 
     #[test]

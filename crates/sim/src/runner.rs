@@ -187,7 +187,12 @@ mod tests {
 
     #[test]
     fn all_systems_complete_at_low_load() {
-        for system in [System::Minos, System::Hkh, System::Sho { handoff: 2 }, System::HkhWs] {
+        for system in [
+            System::Minos,
+            System::Hkh,
+            System::Sho { handoff: 2 },
+            System::HkhWs,
+        ] {
             let r = quick(system, 0.5);
             assert!(r.kept_up(), "{}: {}/{}", r.system, r.completed, r.generated);
             assert!(r.latency.is_some());
@@ -238,8 +243,12 @@ mod tests {
     fn nic_utilization_grows_with_load() {
         let lo = quick(System::Minos, 1.0);
         let hi = quick(System::Minos, 5.0);
-        assert!(hi.nic_tx_util > lo.nic_tx_util * 3.0,
-            "tx util {} -> {}", lo.nic_tx_util, hi.nic_tx_util);
+        assert!(
+            hi.nic_tx_util > lo.nic_tx_util * 3.0,
+            "tx util {} -> {}",
+            lo.nic_tx_util,
+            hi.nic_tx_util
+        );
         assert!(hi.nic_tx_util > 0.5, "high load should load the NIC");
     }
 

@@ -686,7 +686,19 @@ mod tests {
     #[test]
     fn index_of_is_consistent_with_upper_bound() {
         let h = LogHistogram::new(5, 30);
-        for &v in &[0u64, 1, 31, 32, 33, 100, 1_023, 1_024, 1_025, 123_456, 1 << 30] {
+        for &v in &[
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            100,
+            1_023,
+            1_024,
+            1_025,
+            123_456,
+            1 << 30,
+        ] {
             let i = h.index_of(v);
             assert!(h.upper_bound(i) >= v, "value {v} bucket {i}");
             if i > 0 {

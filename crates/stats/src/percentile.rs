@@ -65,7 +65,13 @@ impl std::fmt::Display for Quantiles {
         write!(
             f,
             "n={} mean={:.1}us p50={:.1}us p95={:.1}us p99={:.1}us p99.9={:.1}us max={:.1}us",
-            self.count, self.mean_us, self.p50_us, self.p95_us, self.p99_us, self.p999_us, self.max_us
+            self.count,
+            self.mean_us,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.p999_us,
+            self.max_us
         )
     }
 }

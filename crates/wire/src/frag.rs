@@ -305,14 +305,20 @@ mod tests {
         let mut r = Reassembler::new(8);
         assert_eq!(r.push(0, frags[0].clone()), Reassembly::Incomplete);
         assert_eq!(r.push(0, frags[0].clone()), Reassembly::Duplicate);
-        assert!(matches!(r.push(0, frags[1].clone()), Reassembly::Complete(_)));
+        assert!(matches!(
+            r.push(0, frags[1].clone()),
+            Reassembly::Complete(_)
+        ));
     }
 
     #[test]
     fn malformed_rejected() {
         let mut r = Reassembler::new(8);
         // Too short for a header.
-        assert_eq!(r.push(0, Bytes::from_static(&[1, 2, 3])), Reassembly::Rejected);
+        assert_eq!(
+            r.push(0, Bytes::from_static(&[1, 2, 3])),
+            Reassembly::Rejected
+        );
         // index >= count.
         let mut buf = BytesMut::new();
         FragHeader {

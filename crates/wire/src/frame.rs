@@ -129,7 +129,13 @@ mod tests {
 
     #[test]
     fn mac_display() {
-        assert_eq!(MacAddr([0, 1, 2, 0xab, 0xcd, 0xef]).to_string(), "00:01:02:ab:cd:ef");
-        assert_eq!(MacAddr::from_host_id(0x01020304).to_string(), "02:00:01:02:03:04");
+        assert_eq!(
+            MacAddr([0, 1, 2, 0xab, 0xcd, 0xef]).to_string(),
+            "00:01:02:ab:cd:ef"
+        );
+        assert_eq!(
+            MacAddr::from_host_id(0x01020304).to_string(),
+            "02:00:01:02:03:04"
+        );
     }
 }

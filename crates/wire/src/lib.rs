@@ -94,7 +94,10 @@ mod tests {
         assert_eq!(packets_for_payload(MAX_FRAG_CHUNK), 1);
         assert_eq!(packets_for_payload(MAX_FRAG_CHUNK + 1), 2);
         assert_eq!(packets_for_payload(2 * MAX_FRAG_CHUNK), 2);
-        assert_eq!(packets_for_payload(500_000), 500_000u32.div_ceil(MAX_FRAG_CHUNK as u32));
+        assert_eq!(
+            packets_for_payload(500_000),
+            500_000u32.div_ceil(MAX_FRAG_CHUNK as u32)
+        );
     }
 
     #[test]

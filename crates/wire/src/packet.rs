@@ -231,8 +231,18 @@ mod tests {
 
     #[test]
     fn source_endpoint_distinguishes_ports() {
-        let a = parse_frame(build_frame(Endpoint::host(1, 10), Endpoint::host(2, 1), b"")).unwrap();
-        let b = parse_frame(build_frame(Endpoint::host(1, 11), Endpoint::host(2, 1), b"")).unwrap();
+        let a = parse_frame(build_frame(
+            Endpoint::host(1, 10),
+            Endpoint::host(2, 1),
+            b"",
+        ))
+        .unwrap();
+        let b = parse_frame(build_frame(
+            Endpoint::host(1, 11),
+            Endpoint::host(2, 1),
+            b"",
+        ))
+        .unwrap();
         assert_ne!(a.source_endpoint(), b.source_endpoint());
     }
 

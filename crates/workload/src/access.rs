@@ -117,10 +117,7 @@ mod tests {
         let n = 1_000_000;
         let large = (0..n).filter(|_| g.next_op(&mut rng).is_large).count();
         let frac = large as f64 / n as f64;
-        assert!(
-            (frac - 0.00125).abs() < 0.0003,
-            "large fraction {frac}"
-        );
+        assert!((frac - 0.00125).abs() < 0.0003, "large fraction {frac}");
     }
 
     #[test]

@@ -256,7 +256,9 @@ mod tests {
     fn salt_changes_assignment() {
         let a = Dataset::new(10_000, 10, 0.4, 500_000, 1);
         let b = Dataset::new(10_000, 10, 0.4, 500_000, 2);
-        let differing = (0..1000u64).filter(|&k| a.size_of(k) != b.size_of(k)).count();
+        let differing = (0..1000u64)
+            .filter(|&k| a.size_of(k) != b.size_of(k))
+            .count();
         assert!(differing > 900, "salt must reshuffle sizes: {differing}");
     }
 }

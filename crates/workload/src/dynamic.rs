@@ -31,12 +31,7 @@ impl PhaseSchedule {
     pub fn figure10() -> Self {
         const PHASE_NS: u64 = 20_000_000_000;
         let steps_pct = [0.125, 0.25, 0.5, 0.75, 0.5, 0.25, 0.125];
-        Self::new(
-            steps_pct
-                .iter()
-                .map(|&p| (PHASE_NS, p / 100.0))
-                .collect(),
-        )
+        Self::new(steps_pct.iter().map(|&p| (PHASE_NS, p / 100.0)).collect())
     }
 
     /// The value in force at time `t_ns`. Times beyond the schedule

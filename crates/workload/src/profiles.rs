@@ -47,13 +47,41 @@ pub const WRITE_INTENSIVE_PROFILE: Profile = Profile {
 /// `(p_L %, s_L)` = (0.125, 250 KB), (0.125, 500 KB), (0.125, 1000 KB),
 /// (0.0625, 500 KB), (0.25, 500 KB), (0.5, 500 KB), (0.75, 500 KB).
 pub const TABLE1_PROFILES: [Profile; 7] = [
-    Profile { p_large: 0.00125, large_max: 250_000, ..DEFAULT_PROFILE },
-    Profile { p_large: 0.00125, large_max: 500_000, ..DEFAULT_PROFILE },
-    Profile { p_large: 0.00125, large_max: 1_000_000, ..DEFAULT_PROFILE },
-    Profile { p_large: 0.000625, large_max: 500_000, ..DEFAULT_PROFILE },
-    Profile { p_large: 0.0025, large_max: 500_000, ..DEFAULT_PROFILE },
-    Profile { p_large: 0.005, large_max: 500_000, ..DEFAULT_PROFILE },
-    Profile { p_large: 0.0075, large_max: 500_000, ..DEFAULT_PROFILE },
+    Profile {
+        p_large: 0.00125,
+        large_max: 250_000,
+        ..DEFAULT_PROFILE
+    },
+    Profile {
+        p_large: 0.00125,
+        large_max: 500_000,
+        ..DEFAULT_PROFILE
+    },
+    Profile {
+        p_large: 0.00125,
+        large_max: 1_000_000,
+        ..DEFAULT_PROFILE
+    },
+    Profile {
+        p_large: 0.000625,
+        large_max: 500_000,
+        ..DEFAULT_PROFILE
+    },
+    Profile {
+        p_large: 0.0025,
+        large_max: 500_000,
+        ..DEFAULT_PROFILE
+    },
+    Profile {
+        p_large: 0.005,
+        large_max: 500_000,
+        ..DEFAULT_PROFILE
+    },
+    Profile {
+        p_large: 0.0075,
+        large_max: 500_000,
+        ..DEFAULT_PROFILE
+    },
 ];
 
 /// The `p_L` sweep of Figure 6 (percent values as the paper labels them).

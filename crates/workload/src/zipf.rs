@@ -35,7 +35,8 @@ impl Zipf {
         );
         let h_integral_x1 = h_integral(1.5, exponent) - 1.0;
         let h_integral_n = h_integral(n as f64 + 0.5, exponent);
-        let threshold = 2.0 - h_integral_inverse(h_integral(2.5, exponent) - h(2.0, exponent), exponent);
+        let threshold =
+            2.0 - h_integral_inverse(h_integral(2.5, exponent) - h(2.0, exponent), exponent);
         Zipf {
             n,
             exponent,
@@ -53,8 +54,7 @@ impl Zipf {
     /// Draws a rank in `1..=n`.
     pub fn sample(&self, rng: &mut Rng) -> u64 {
         loop {
-            let u = self.h_integral_n
-                + rng.f64() * (self.h_integral_x1 - self.h_integral_n);
+            let u = self.h_integral_n + rng.f64() * (self.h_integral_x1 - self.h_integral_n);
             // u is uniform in (h_integral_x1, h_integral_n].
             let x = h_integral_inverse(u, self.exponent);
             let k = (x + 0.5) as u64;
@@ -176,9 +176,7 @@ mod tests {
         let z = Zipf::new(16_000_000, 0.99);
         let mut rng = Rng::new(4);
         let draws = 200_000;
-        let head = (0..draws)
-            .filter(|_| z.sample(&mut rng) <= 160_000)
-            .count();
+        let head = (0..draws).filter(|_| z.sample(&mut rng) <= 160_000).count();
         let share = head as f64 / draws as f64;
         assert!(share > 0.35, "head share {share}");
     }

@@ -21,7 +21,11 @@ fn exercise(engine: &mut dyn KvEngine, queue_limit: Option<u16>) {
     let t0 = std::time::Instant::now();
     // A burst of small writes, a few large ones, then reads of all.
     for i in 0..200u64 {
-        client.send_put(i, &vec![(i % 251) as u8; 64 + (i as usize * 7) % 1_300], false);
+        client.send_put(
+            i,
+            &vec![(i % 251) as u8; 64 + (i as usize * 7) % 1_300],
+            false,
+        );
         if i % 32 == 31 {
             assert!(client.drain(Duration::from_secs(60)));
         }

@@ -15,16 +15,18 @@ fn main() {
     // within a couple of epochs either way).
     let phase_ns = 3_000_000_000u64;
     let steps_pct = [0.125, 0.25, 0.5, 0.75, 0.5, 0.25, 0.125];
-    let schedule = PhaseSchedule::new(
-        steps_pct.iter().map(|&p| (phase_ns, p / 100.0)).collect(),
-    );
+    let schedule = PhaseSchedule::new(steps_pct.iter().map(|&p| (phase_ns, p / 100.0)).collect());
     let total_s = (phase_ns as f64 * steps_pct.len() as f64) / 1e9;
 
     // The paper drives 2.25 Mops; our calibrated NIC caps at ~2.1 Mops
     // when p_L = 0.75 %, so 2.0 Mops is the equivalent "high load".
     let mut results = Vec::new();
     for system in [System::Minos, System::HkhWs] {
-        println!("simulating {} for {:.0}s at 2.0 Mops...", system.label(), total_s);
+        println!(
+            "simulating {} for {:.0}s at 2.0 Mops...",
+            system.label(),
+            total_s
+        );
         let mut cfg = RunConfig::new(system, DEFAULT_PROFILE, 2.0);
         cfg.duration_s = total_s;
         cfg.warmup_s = 0.0;

@@ -5,7 +5,6 @@
 //! Run with: `cargo run --release --example etc_cache`
 
 use minos::core::client::Client;
-use minos::core::engine::KvEngine;
 use minos::core::server::{MinosServer, ServerConfig};
 use minos::workload::{AccessGenerator, Dataset, Operation, Rng, DEFAULT_PROFILE};
 use std::time::Duration;
@@ -77,7 +76,9 @@ fn main() {
     println!("ran {ops} ops: {gets} GETs, {puts} PUTs, {large} on large items");
     println!(
         "completed={} errors={} outstanding={}",
-        totals.completed, totals.errors, totals.outstanding()
+        totals.completed,
+        totals.errors,
+        totals.outstanding()
     );
     println!("latency: {}", client.latency().quantiles().unwrap());
 

@@ -18,7 +18,10 @@ fn main() {
 
     for model in Model::ALL {
         println!("--- {} ---", model.label());
-        println!("{:>6}  {:>8}  {:>8}  {:>8}", "load", "K=1", "K=100", "K=1000");
+        println!(
+            "{:>6}  {:>8}  {:>8}  {:>8}",
+            "load", "K=1", "K=100", "K=1000"
+        );
         for load in [0.2, 0.4, 0.6, 0.8] {
             print!("{load:>6.1}");
             for k in [1u64, 100, 1000] {

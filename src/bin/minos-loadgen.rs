@@ -1,0 +1,317 @@
+//! `minos-loadgen`: open-loop load generator speaking real UDP to a
+//! `minos-server`.
+//!
+//! Implements the paper's measurement methodology (§5.3–5.4): requests
+//! are injected open-loop at a configured rate with exponential
+//! inter-arrival gaps, GETs target a uniformly random RX queue while
+//! PUTs are keyhash-routed, send timestamps are echoed by the server,
+//! and the run reports end-to-end latency percentiles together with a
+//! strict zero-loss verdict ("we only report performance values
+//! corresponding to scenarios in which the packet loss rate is equal
+//! to 0").
+//!
+//! ```text
+//! minos-loadgen --target 127.0.0.1:9000 --queues 4 \
+//!               [--rate OPS] [--duration SECS] [--profile default|write]
+//!               [--keys N] [--large-keys N] [--seed S] [--no-preload]
+//! ```
+
+use minos::core::client::Client;
+use minos::net::{endpoint_for, Transport, UdpTransport};
+use minos::workload::{AccessGenerator, Dataset, OpenLoop, Profile, Rng, DEFAULT_PROFILE};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    target_ip: Ipv4Addr,
+    target_port: u16,
+    queues: u16,
+    rate: f64,
+    duration: Duration,
+    profile: Profile,
+    keys: u64,
+    large_keys: u64,
+    seed: u64,
+    preload: bool,
+}
+
+const USAGE: &str = "minos-loadgen: open-loop UDP load generator for minos-server
+
+USAGE:
+    minos-loadgen --target IP:BASEPORT --queues N [OPTIONS]
+
+OPTIONS:
+    --target IP:PORT   server address; PORT is the base port of queue 0
+    --queues N         number of server RX queues (= server --cores)
+    --rate OPS         offered load, requests/second (default 20000)
+    --duration SECS    measured run length (default 10)
+    --profile NAME     'default' (95:5 GET:PUT, p_L=0.125%) or 'write'
+                       (50:50; the paper's write-intensive mix)
+    --keys N           dataset size in keys (default 100000)
+    --large-keys N     number of large keys (default 100)
+    --seed S           RNG seed (default 42)
+    --no-preload       skip the PUT preload phase
+    -h, --help         this help
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        target_ip: Ipv4Addr::LOCALHOST,
+        target_port: 9000,
+        queues: 0,
+        rate: 20_000.0,
+        duration: Duration::from_secs(10),
+        profile: DEFAULT_PROFILE,
+        keys: 100_000,
+        large_keys: 100,
+        seed: 42,
+        preload: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--target" => {
+                let v = value("--target")?;
+                let (ip, port) = v
+                    .split_once(':')
+                    .ok_or_else(|| format!("--target must be IP:PORT, got {v}"))?;
+                args.target_ip = ip.parse().map_err(|e| format!("--target ip: {e}"))?;
+                args.target_port = port.parse().map_err(|e| format!("--target port: {e}"))?;
+            }
+            "--queues" => {
+                args.queues = value("--queues")?
+                    .parse()
+                    .map_err(|e| format!("--queues: {e}"))?
+            }
+            "--rate" => {
+                args.rate = value("--rate")?
+                    .parse()
+                    .map_err(|e| format!("--rate: {e}"))?
+            }
+            "--duration" => {
+                args.duration = Duration::from_secs_f64(
+                    value("--duration")?
+                        .parse()
+                        .map_err(|e| format!("--duration: {e}"))?,
+                )
+            }
+            "--profile" => {
+                args.profile = match value("--profile")?.as_str() {
+                    "default" => DEFAULT_PROFILE,
+                    "write" => minos::workload::profiles::WRITE_INTENSIVE_PROFILE,
+                    other => return Err(format!("unknown profile: {other}")),
+                }
+            }
+            "--keys" => {
+                args.keys = value("--keys")?
+                    .parse()
+                    .map_err(|e| format!("--keys: {e}"))?
+            }
+            "--large-keys" => {
+                args.large_keys = value("--large-keys")?
+                    .parse()
+                    .map_err(|e| format!("--large-keys: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--no-preload" => args.preload = false,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    if args.queues == 0 {
+        return Err("--queues is required (match the server's --cores)".into());
+    }
+    if args.target_port.checked_add(args.queues - 1).is_none() {
+        return Err(format!(
+            "--target port {} + {} queues exceeds 65535",
+            args.target_port, args.queues
+        ));
+    }
+    if args.rate <= 0.0 {
+        return Err("--rate must be positive".into());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let server = endpoint_for(args.target_ip, args.target_port);
+    let make_client = |client_id: u16| -> (Arc<UdpTransport>, Client) {
+        let transport = match UdpTransport::bind_client(Ipv4Addr::UNSPECIFIED) {
+            Ok(t) => Arc::new(t),
+            Err(e) => {
+                eprintln!("error: cannot bind client socket: {e}");
+                std::process::exit(1);
+            }
+        };
+        let endpoint = transport.local_endpoint(0);
+        let client = Client::with_transport(
+            Arc::clone(&transport) as Arc<dyn Transport>,
+            endpoint,
+            server,
+            args.queues,
+            client_id,
+            args.seed ^ u64::from(client_id),
+        );
+        (transport, client)
+    };
+
+    let dataset = Dataset::new(
+        args.keys,
+        args.large_keys,
+        0.4, // the paper's tiny fraction
+        args.profile.large_max,
+        args.seed,
+    );
+    let generator = AccessGenerator::new(
+        dataset.clone(),
+        args.profile.p_large,
+        args.profile.get_ratio,
+        args.profile.zipf_s,
+    );
+
+    println!(
+        "minos-loadgen: target {}:{}+{}q, {} ops/s for {:?}, {} keys ({} large), profile p_L={:.4}% GET={:.0}%",
+        args.target_ip,
+        args.target_port,
+        args.queues,
+        args.rate,
+        args.duration,
+        args.keys,
+        args.large_keys,
+        args.profile.p_large * 100.0,
+        args.profile.get_ratio * 100.0,
+    );
+
+    // ---- Preload: PUT every key at its dataset size so GETs hit.
+    // A separate client keeps the measured latency histograms clean. ----
+    if args.preload {
+        let (_preload_transport, mut preload_client) = make_client(99);
+        let t0 = Instant::now();
+        let no_replies = |client: &Client| -> ! {
+            eprintln!(
+                "error: preload lost {} replies after {}s — is the server running with --cores={} at the target address?",
+                client.totals().outstanding(),
+                t0.elapsed().as_secs(),
+                args.queues,
+            );
+            std::process::exit(1);
+        };
+        let mut preloaded = 0u64;
+        // A stall deadline keyed to *progress*, not wall time: a large
+        // --keys preload against a healthy server may legitimately take
+        // minutes, while a dead target should be diagnosed in seconds.
+        let mut last_completed = 0u64;
+        let mut last_progress = t0;
+        for key in 0..args.keys {
+            let size = dataset.size_of(key) as usize;
+            let value = vec![(key % 251) as u8; size];
+            preload_client.send_put(key, &value, size > minos::wire::MAX_FRAG_CHUNK);
+            preloaded += 1;
+            // Keep the pipe shallow: replies are drained as we go, so
+            // the preload can't overrun server rings. Bail out instead
+            // of spinning forever when replies stop coming back.
+            if preloaded.is_multiple_of(64) {
+                while preload_client.totals().outstanding() > 256 {
+                    preload_client.poll();
+                    let completed = preload_client.totals().completed;
+                    if completed > last_completed {
+                        last_completed = completed;
+                        last_progress = Instant::now();
+                    } else if last_progress.elapsed() > Duration::from_secs(5) {
+                        no_replies(&preload_client);
+                    }
+                }
+            }
+        }
+        if !preload_client.drain(Duration::from_secs(30)) {
+            no_replies(&preload_client);
+        }
+        println!(
+            "preload: {} PUTs in {:.2}s ({} errors)",
+            preloaded,
+            t0.elapsed().as_secs_f64(),
+            preload_client.totals().errors,
+        );
+    }
+
+    let (transport, mut client) = make_client(1);
+
+    // ---- Measured run: open-loop injection at the target rate. ----
+    let mut arrivals = OpenLoop::new(args.rate, 0);
+    let mut arrival_rng = Rng::new(args.seed ^ 0x9e37_79b9);
+    let mut op_rng = Rng::new(args.seed.wrapping_mul(0x2545_f491_4f6c_dd1d));
+    let start = Instant::now();
+    let mut next_at = Duration::from_nanos(arrivals.next_arrival(&mut arrival_rng));
+    let mut sent = 0u64;
+    let mut behind_max = Duration::ZERO;
+    while start.elapsed() < args.duration {
+        let now = start.elapsed();
+        if now >= next_at {
+            behind_max = behind_max.max(now - next_at);
+            let spec = generator.next_op(&mut op_rng);
+            client.send(&spec);
+            sent += 1;
+            next_at = Duration::from_nanos(arrivals.next_arrival(&mut arrival_rng));
+        }
+        client.poll();
+    }
+    let elapsed = start.elapsed();
+    let drained = client.drain(Duration::from_secs(10));
+    let totals = client.totals();
+
+    // ---- Report (the paper's zero-loss + tail-latency methodology). ----
+    let completed = totals.completed;
+    let outstanding = totals.outstanding();
+    println!();
+    println!("== minos-loadgen report ==");
+    println!("offered rate:     {:.0} ops/s", args.rate);
+    println!(
+        "achieved:         {:.0} ops/s ({} ops in {:.2}s; max scheduling lag {:?})",
+        completed as f64 / elapsed.as_secs_f64(),
+        completed,
+        elapsed.as_secs_f64(),
+        behind_max,
+    );
+    println!(
+        "sent/completed:   {sent} / {completed} ({} errors)",
+        totals.errors
+    );
+    if let Some(q) = client.latency().quantiles() {
+        println!("latency (all):    {q}");
+    }
+    if let Some(q) = client.latency_large().quantiles() {
+        println!("latency (large):  {q}");
+    } else {
+        println!("latency (large):  no large requests completed");
+    }
+    let s = transport.stats();
+    println!(
+        "client transport: tx {} rx {} packets ({} tx drops)",
+        s.tx_packets, s.rx_packets, s.tx_dropped,
+    );
+    if drained && outstanding == 0 {
+        println!("zero-loss:        PASS (every request completed)");
+    } else {
+        println!(
+            "zero-loss:        FAIL ({outstanding} requests lost) — per §5.4 this run's numbers should be discarded"
+        );
+        std::process::exit(3);
+    }
+}

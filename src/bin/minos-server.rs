@@ -1,0 +1,241 @@
+//! `minos-server`: the Minos store serving real UDP traffic.
+//!
+//! One `SO_REUSEPORT` UDP socket per core: core `q` listens on
+//! `base_port + q`, so clients address a specific RX queue by
+//! destination port (the paper's §3 hardware-dispatch model with the
+//! kernel's port demux standing in for the NIC).
+//!
+//! ```text
+//! minos-server [--cores N] [--bind IP] [--port BASE] [--items N]
+//!              [--mem BYTES] [--threshold dynamic|BYTES]
+//!              [--duration SECS]
+//! ```
+//!
+//! Runs until Ctrl-C (or `--duration`), then shuts down gracefully:
+//! stops accepting nothing new is needed — UDP has no connections — and
+//! drains in-flight handoffs before joining the core threads.
+
+use minos::core::config::ThresholdMode;
+use minos::core::server::{MinosServer, ServerConfig};
+use minos::net::{Transport, UdpConfig, UdpTransport};
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    cores: usize,
+    bind: Ipv4Addr,
+    base_port: u16,
+    items: usize,
+    mempool_bytes: usize,
+    threshold: ThresholdMode,
+    duration: Option<Duration>,
+}
+
+const USAGE: &str = "minos-server: size-aware sharded KV store over real UDP
+
+USAGE:
+    minos-server [OPTIONS]
+
+OPTIONS:
+    --cores N          server cores / RX queues (default 4)
+    --bind IP          IPv4 address to bind (default 127.0.0.1)
+    --port BASE        base UDP port; core q listens on BASE+q (default 9000)
+    --items N          store capacity in items (default 1000000)
+    --mem BYTES        value-memory budget (default 2147483648 = 2 GiB)
+    --threshold MODE   'dynamic' (paper control loop, default) or a fixed
+                       byte threshold, e.g. '--threshold 1456'
+    --duration SECS    exit after SECS instead of waiting for Ctrl-C
+    -h, --help         this help
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        cores: 4,
+        bind: Ipv4Addr::LOCALHOST,
+        base_port: 9000,
+        items: 1_000_000,
+        mempool_bytes: 2 << 30,
+        threshold: ThresholdMode::Dynamic,
+        duration: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--cores" => {
+                args.cores = value("--cores")?
+                    .parse()
+                    .map_err(|e| format!("--cores: {e}"))?
+            }
+            "--bind" => {
+                args.bind = value("--bind")?
+                    .parse()
+                    .map_err(|e| format!("--bind: {e}"))?
+            }
+            "--port" => {
+                args.base_port = value("--port")?
+                    .parse()
+                    .map_err(|e| format!("--port: {e}"))?
+            }
+            "--items" => {
+                args.items = value("--items")?
+                    .parse()
+                    .map_err(|e| format!("--items: {e}"))?
+            }
+            "--mem" => {
+                args.mempool_bytes = value("--mem")?.parse().map_err(|e| format!("--mem: {e}"))?
+            }
+            "--threshold" => {
+                let v = value("--threshold")?;
+                args.threshold = if v == "dynamic" {
+                    ThresholdMode::Dynamic
+                } else {
+                    ThresholdMode::Static(v.parse().map_err(|e| format!("--threshold: {e}"))?)
+                };
+            }
+            "--duration" => {
+                args.duration = Some(Duration::from_secs_f64(
+                    value("--duration")?
+                        .parse()
+                        .map_err(|e| format!("--duration: {e}"))?,
+                ))
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    if args.cores == 0 || args.cores > u16::MAX as usize {
+        return Err("--cores must be in 1..65536".into());
+    }
+    if args.base_port.checked_add(args.cores as u16 - 1).is_none() {
+        return Err(format!(
+            "--port {} + {} cores exceeds 65535",
+            args.base_port, args.cores
+        ));
+    }
+    Ok(args)
+}
+
+/// Ctrl-C handling without external crates: a SIGINT handler flips one
+/// atomic the main loop polls.
+mod signal {
+    use super::{AtomicBool, Ordering};
+
+    pub static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    #[cfg(unix)]
+    pub fn install() {
+        extern "C" fn on_sigint(_sig: i32) {
+            INTERRUPTED.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_sigint);
+            signal(SIGTERM, on_sigint);
+        }
+    }
+
+    #[cfg(not(unix))]
+    pub fn install() {}
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let transport = match UdpTransport::bind(UdpConfig {
+        ip: args.bind,
+        ..UdpConfig::loopback(args.base_port, args.cores as u16)
+    }) {
+        Ok(t) => Arc::new(t),
+        Err(e) => {
+            eprintln!(
+                "error: cannot bind {}:{}..{}: {e}",
+                args.bind,
+                args.base_port,
+                args.base_port + args.cores as u16 - 1
+            );
+            std::process::exit(1);
+        }
+    };
+
+    let mut config = ServerConfig::for_test(args.cores, args.items);
+    config.minos.threshold_mode = args.threshold;
+    config.minos.epoch_ns = 1_000_000_000; // the paper's 1 s epochs
+    config.store =
+        minos::kv::StoreConfig::for_items(args.cores * 4, args.items, args.mempool_bytes);
+
+    println!(
+        "minos-server: {} cores on {}:{}..{} (threshold {:?}, {} item slots)",
+        args.cores,
+        args.bind,
+        args.base_port,
+        args.base_port + args.cores as u16 - 1,
+        args.threshold,
+        args.items,
+    );
+    println!("press Ctrl-C to drain and exit");
+
+    signal::install();
+    let mut server = MinosServer::start_with_transport(config, Arc::clone(&transport));
+
+    let started = Instant::now();
+    let mut last_report = Instant::now();
+    let mut last_stats = transport.stats();
+    loop {
+        if signal::INTERRUPTED.load(Ordering::SeqCst) {
+            println!("\nminos-server: interrupt — draining in-flight requests");
+            break;
+        }
+        if let Some(d) = args.duration {
+            if started.elapsed() >= d {
+                println!("minos-server: duration elapsed — draining");
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        if last_report.elapsed() >= Duration::from_secs(5) {
+            let s = transport.stats();
+            let secs = last_report.elapsed().as_secs_f64();
+            println!(
+                "rx {:.0}/s tx {:.0}/s (totals: rx {} tx {} dropped {}; epochs {})",
+                (s.rx_packets - last_stats.rx_packets) as f64 / secs,
+                (s.tx_packets - last_stats.tx_packets) as f64 / secs,
+                s.rx_packets,
+                s.tx_packets,
+                s.tx_dropped,
+                server.counters().epochs,
+            );
+            last_stats = s;
+            last_report = Instant::now();
+        }
+    }
+
+    // Graceful shutdown: in-flight handoffs finish (their replies go
+    // out) before the polling threads stop.
+    let drained = server.drain(Duration::from_secs(5));
+    server.shutdown();
+    let s = transport.stats();
+    println!(
+        "minos-server: {} — rx {} packets, tx {} packets, {} tx drops, {} epochs",
+        if drained { "drained" } else { "drain timeout" },
+        s.rx_packets,
+        s.tx_packets,
+        s.tx_dropped,
+        server.counters().epochs,
+    );
+}

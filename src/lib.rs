@@ -55,6 +55,7 @@
 pub use minos_baselines as baselines;
 pub use minos_core as core;
 pub use minos_kv as kv;
+pub use minos_net as net;
 pub use minos_nic as nic;
 pub use minos_queue_sim as queue_sim;
 pub use minos_sim as sim;

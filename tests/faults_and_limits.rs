@@ -35,9 +35,7 @@ fn client_loss_accounting_sees_drops() {
 fn faulty_nic_drops_are_visible_and_safe() {
     // Standalone NIC with 100% corruption: nothing is delivered, and
     // nothing malformed gets through either.
-    let nic = VirtualNic::new(
-        NicConfig::new(2).with_faults(FaultInjector::new(0.0, 1.0, 3)),
-    );
+    let nic = VirtualNic::new(NicConfig::new(2).with_faults(FaultInjector::new(0.0, 1.0, 3)));
     let src = Endpoint::host(9, 100);
     let dst = Endpoint::host(1, 9000);
     let mut delivered = 0;
@@ -68,7 +66,10 @@ fn store_out_of_memory_is_reported_not_fatal() {
             stored += 1;
         }
     }
-    assert!(stored >= 10 && stored < 20, "64KiB / 4KiB-class = ~16: {stored}");
+    assert!(
+        (10..20).contains(&stored),
+        "64KiB / 4KiB-class = ~16: {stored}"
+    );
     // Delete one, then a put fits again.
     assert!(store.delete(0));
     assert!(store.put(500, &[0u8; 4096]).is_ok());
