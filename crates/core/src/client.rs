@@ -15,15 +15,16 @@
 //! `minos-loadgen` binary passes a `UdpTransport`).
 
 use crate::engine::KvEngine;
+use bytes::Bytes;
 use minos_net::{Transport, VirtualClientTransport};
 use minos_stats::LatencyHistogram;
 use minos_wire::frag::{Fragmenter, Reassembler, Reassembly};
 use minos_wire::message::{Body, Message, OpKind, ReplyStatus};
-use minos_wire::packet::{synthesize, Endpoint};
+use minos_wire::packet::{synthesize, Endpoint, Packet};
 use minos_workload::{OpSpec, Operation, Rng};
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Outcome of one completed request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -40,10 +41,32 @@ pub struct Completion {
     pub large: bool,
 }
 
+/// Client-side retransmission policy. The paper leaves retransmission
+/// to the client (§4.1); this is the optional timeout-and-retry flavor
+/// `minos-loadgen --retry-timeout-ms` enables. Latency is always
+/// measured from the *first* transmission, and requests that exhaust
+/// their retry budget stay outstanding, so loss accounting remains
+/// honest: the zero-loss reporting mode is simply "no retry policy".
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// How long a request may stay unanswered before it is resent.
+    pub timeout: Duration,
+    /// Maximum resends per request; afterwards the request is left to
+    /// the loss accounting.
+    pub max_retries: u32,
+}
+
 struct Pending {
-    sent_ns: u64,
+    /// First transmission time (latency is measured from here).
+    first_ns: u64,
+    /// Most recent (re)transmission time.
+    last_tx_ns: u64,
+    retries: u32,
     key: u64,
     large: bool,
+    /// Encoded request and target queue, kept only when a retry policy
+    /// is active.
+    resend: Option<(Bytes, u16)>,
 }
 
 /// Client-side totals.
@@ -53,10 +76,13 @@ pub struct ClientTotals {
     pub sent: u64,
     /// Replies received and matched.
     pub completed: u64,
-    /// Replies that could not be matched to a pending request.
+    /// Replies that could not be matched to a pending request (includes
+    /// duplicate replies caused by retransmission).
     pub unmatched: u64,
     /// Non-Ok replies.
     pub errors: u64,
+    /// Requests re-sent by the retry policy.
+    pub retransmits: u64,
 }
 
 impl ClientTotals {
@@ -90,6 +116,10 @@ pub struct Client {
     latency_large: LatencyHistogram,
     totals: ClientTotals,
     client_id: u16,
+    retry: Option<RetryPolicy>,
+    /// Next time (ns) the pending map is scanned for due retransmits;
+    /// scanning every poll would be O(pending) per packet.
+    next_retry_scan_ns: u64,
 }
 
 impl Client {
@@ -143,6 +173,8 @@ impl Client {
             latency_large: LatencyHistogram::new(),
             totals: ClientTotals::default(),
             client_id,
+            retry: None,
+            next_retry_scan_ns: 0,
         }
     }
 
@@ -151,6 +183,15 @@ impl Client {
         assert!(!queues.is_empty());
         assert!(queues.end <= self.server_queues);
         self.target_queues = queues;
+        self
+    }
+
+    /// Enables timeout-and-retry retransmission. Without a policy
+    /// (the default) the client never resends — the paper's zero-loss
+    /// measurement mode, where any loss must surface in the report.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        assert!(!policy.timeout.is_zero(), "retry timeout must be positive");
+        self.retry = Some(policy);
         self
     }
 
@@ -216,24 +257,79 @@ impl Client {
             body,
         };
         let encoded = msg.encode();
+        self.transmit(&encoded, queue);
+        self.pending.insert(
+            request_id,
+            Pending {
+                first_ns: now,
+                last_tx_ns: now,
+                retries: 0,
+                key,
+                large,
+                resend: self.retry.map(|_| (encoded, queue)),
+            },
+        );
+        self.totals.sent += 1;
+    }
+
+    /// Fragments `encoded` and transmits it: single-fragment requests
+    /// (the overwhelming majority) go straight through `tx_push`,
+    /// multi-fragment ones as one burst (one `sendmmsg` on the UDP
+    /// backend instead of a syscall per fragment).
+    fn transmit(&mut self, encoded: &Bytes, queue: u16) {
         let dst = Endpoint {
             mac: self.server.mac,
             ip: self.server.ip,
             port: self.server.port + queue,
         };
-        for frag in self.fragmenter.fragment(&encoded) {
-            let pkt = synthesize(self.endpoint, dst, frag);
+        let mut frags = self.fragmenter.fragment(encoded);
+        if frags.len() == 1 {
+            let pkt = synthesize(self.endpoint, dst, frags.pop().expect("one fragment"));
             let _ = self.transport.tx_push(0, pkt);
+            return;
         }
-        self.pending.insert(
-            request_id,
-            Pending {
-                sent_ns: now,
-                key,
-                large,
-            },
-        );
-        self.totals.sent += 1;
+        let mut burst: Vec<Packet> = frags
+            .into_iter()
+            .map(|frag| synthesize(self.endpoint, dst, frag))
+            .collect();
+        let _ = self.transport.tx_burst(0, &mut burst);
+    }
+
+    /// Resends every pending request whose retry timer expired. Called
+    /// from [`Client::poll`]; scans at most every `timeout / 4`.
+    fn retransmit_due(&mut self) {
+        let Some(policy) = self.retry else { return };
+        let now = self.now_ns();
+        if now < self.next_retry_scan_ns {
+            return;
+        }
+        let timeout_ns = policy.timeout.as_nanos() as u64;
+        self.next_retry_scan_ns = now + (timeout_ns / 4).max(1);
+        let due: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| {
+                p.resend.is_some()
+                    && p.retries < policy.max_retries
+                    && now.saturating_sub(p.last_tx_ns) >= timeout_ns
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        for id in due {
+            let (encoded, queue) = self.pending[&id]
+                .resend
+                .clone()
+                .expect("filtered on resend presence");
+            // Re-fragmenting draws a fresh msg id, so stale fragments of
+            // the original transmission can never merge with the retry
+            // in the server's reassembler.
+            self.transmit(&encoded, queue);
+            let sent_at = self.now_ns();
+            let p = self.pending.get_mut(&id).expect("still pending");
+            p.retries += 1;
+            p.last_tx_ns = sent_at;
+            self.totals.retransmits += 1;
+        }
     }
 
     /// Drains reply packets from the transport, reassembles and matches
@@ -267,6 +363,7 @@ impl Client {
                 _ => self.totals.unmatched += 1,
             }
         }
+        self.retransmit_due();
         out
     }
 
@@ -275,7 +372,7 @@ impl Client {
             self.totals.unmatched += 1;
             return None;
         };
-        let latency_ns = self.now_ns().saturating_sub(pending.sent_ns);
+        let latency_ns = self.now_ns().saturating_sub(pending.first_ns);
         let status = match &msg.body {
             Body::GetReply { status, .. }
             | Body::PutReply { status, .. }

@@ -52,6 +52,11 @@ pub struct ServerConfig {
     pub store: StoreConfig,
     /// NIC ring capacity per queue.
     pub nic_queue_capacity: usize,
+    /// CPUs to pin polling threads to: the thread for core `i` is pinned
+    /// to `pin_cpus[i % len]` (the paper pins one thread per physical
+    /// core, §5.1). `None` (the default) leaves scheduling to the OS;
+    /// pin failures are reported once and otherwise best-effort.
+    pub pin_cpus: Option<Vec<usize>>,
 }
 
 impl ServerConfig {
@@ -68,6 +73,7 @@ impl ServerConfig {
             minos,
             store: StoreConfig::for_items(n_cores * 4, n_items, 1 << 30),
             nic_queue_capacity: 65_536,
+            pin_cpus: None,
         }
     }
 }
@@ -251,12 +257,21 @@ impl<T: Transport + 'static> MinosServer<T> {
             flow_pins: FlowPins::new(4096),
             config: config.minos,
         });
+        let pin_cpus = config.pin_cpus.filter(|cpus| !cpus.is_empty());
         let threads = (0..n)
             .map(|core| {
                 let shared = Arc::clone(&shared);
+                let pin = pin_cpus.as_ref().map(|cpus| cpus[core % cpus.len()]);
                 std::thread::Builder::new()
                     .name(format!("minos-core-{core}"))
-                    .spawn(move || core_loop(&shared, core))
+                    .spawn(move || {
+                        if let Some(cpu) = pin {
+                            if let Err(e) = minos_net::affinity::pin_current_thread(cpu) {
+                                eprintln!("minos-core-{core}: pinning to cpu {cpu} failed: {e}");
+                            }
+                        }
+                        core_loop(&shared, core)
+                    })
                     .expect("spawn core thread")
             })
             .collect();
@@ -739,8 +754,15 @@ pub fn execute(
 }
 
 /// Encodes, fragments and transmits a reply on `tx_queue` of
-/// `transport`. Returns the `(packets, bytes)` transmitted. Shared by
-/// every engine.
+/// `transport`. Returns the `(packets, bytes)` accepted by the
+/// transport (a full ring/socket buffer tail-drops the rest, like
+/// hardware; the client's loss accounting notices). Shared by every
+/// engine.
+///
+/// Single-fragment replies (the overwhelming majority) go through
+/// [`Transport::tx_push`]; fragmented large replies move as one
+/// [`Transport::tx_burst`], which the UDP backend turns into batched
+/// `sendmmsg` calls instead of one syscall per fragment.
 pub fn transmit_reply<T: Transport + ?Sized>(
     transport: &T,
     tx_queue: u16,
@@ -753,17 +775,21 @@ pub fn transmit_reply<T: Transport + ?Sized>(
     let value_bytes = value.map(|v| bytes::Bytes::copy_from_slice(&v));
     let reply = req.msg.reply(status, value_bytes);
     let encoded = reply.encode();
-    let mut packets = 0u64;
-    let mut bytes_out = 0u64;
-    for frag in fragment_with_id(msg_id, &encoded) {
-        let pkt = synthesize(src, req.reply_to, frag);
-        packets += 1;
-        bytes_out += pkt.wire_len() as u64;
-        if !transport.tx_push(tx_queue, pkt) {
-            // TX ring full: tail-drop, like hardware. The client's loss
-            // accounting notices.
-            break;
+    let mut burst: Vec<Packet> = fragment_with_id(msg_id, &encoded)
+        .into_iter()
+        .map(|frag| synthesize(src, req.reply_to, frag))
+        .collect();
+    if burst.len() == 1 {
+        let pkt = burst.pop().expect("one fragment");
+        let wire = pkt.wire_len() as u64;
+        if transport.tx_push(tx_queue, pkt) {
+            (1, wire)
+        } else {
+            (0, 0)
         }
+    } else {
+        let wire_lens: Vec<u64> = burst.iter().map(|p| p.wire_len() as u64).collect();
+        let sent = transport.tx_burst(tx_queue, &mut burst);
+        (sent as u64, wire_lens[..sent].iter().sum())
     }
-    (packets, bytes_out)
 }

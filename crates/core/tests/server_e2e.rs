@@ -115,7 +115,15 @@ fn mixed_workload_completes_without_loss() {
 
 #[test]
 fn epoch_adapts_plan_to_workload() {
-    let mut server = start_server(4);
+    // Suppress the 50 ms auto-epochs for this test: the EWMA gives the
+    // newest epoch weight alpha = 0.9, so if a timer epoch happens to
+    // bisect a batch (e.g. sees only its one large PUT), the final
+    // forced epoch inherits a skewed distribution and the asserted
+    // threshold bounds get flaky. With one forced epoch over the whole
+    // run, the observed mix is exactly the workload's 0.5 % large.
+    let mut config = ServerConfig::for_test(4, 10_000);
+    config.minos.epoch_ns = u64::MAX;
+    let mut server = MinosServer::start(config);
     let mut client = Client::new(&server, 1, 47);
 
     // Bootstrap: standby mode (all cores small).

@@ -1,0 +1,264 @@
+//! Preallocated syscall-batching arenas for [`crate::UdpTransport`].
+//!
+//! One `recvmmsg`/`sendmmsg` call moves a whole burst of datagrams, but
+//! each call needs an array of `mmsghdr`/`iovec`/address/buffer storage.
+//! These arenas allocate that storage once per queue at bind time and
+//! reuse it for every burst — the hot path performs no allocation beyond
+//! the `Bytes` payload copies that hand packets to the engine (which the
+//! one-datagram path pays too).
+//!
+//! The raw pointers inside the headers are rebuilt from the owned
+//! buffers immediately before every syscall, so moving an arena between
+//! bursts is harmless and the kernel-mutated state (`msg_namelen`,
+//! `msg_len`) is reset for free.
+
+#[cfg(target_os = "linux")]
+pub use linux::{RxArena, TxArena};
+
+#[cfg(not(target_os = "linux"))]
+pub use portable::{RxArena, TxArena};
+
+/// Bytes of receive buffer per arena slot: an MTU-sized datagram plus
+/// slack, matching the one-datagram path's stack buffer.
+pub const RX_SLOT_LEN: usize = minos_wire::MTU + 64;
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use super::RX_SLOT_LEN;
+    use crate::sys::{IoVec, MMsgHdr, MsgHdr, SockaddrIn};
+    use minos_wire::packet::Packet;
+    use std::io;
+    use std::net::{Ipv4Addr, SocketAddrV4};
+    use std::os::fd::RawFd;
+
+    /// Receive-side arena: `cap` reusable slots for one `recvmmsg` call.
+    pub struct RxArena {
+        cap: usize,
+        /// One contiguous slab, `cap * RX_SLOT_LEN` bytes.
+        bufs: Vec<u8>,
+        addrs: Vec<SockaddrIn>,
+        iovecs: Vec<IoVec>,
+        hdrs: Vec<MMsgHdr>,
+    }
+
+    // SAFETY: the raw pointers inside `iovecs`/`hdrs` are scratch state,
+    // rebuilt from the owned vectors at the start of every call; between
+    // calls they are never dereferenced, so the arena may move between
+    // threads freely (access is serialized by a Mutex in the transport).
+    unsafe impl Send for RxArena {}
+
+    impl RxArena {
+        /// An arena able to receive up to `cap` datagrams per syscall.
+        pub fn new(cap: usize) -> Self {
+            let cap = cap.max(1);
+            RxArena {
+                cap,
+                bufs: vec![0u8; cap * RX_SLOT_LEN],
+                addrs: vec![SockaddrIn::ZERO; cap],
+                iovecs: vec![
+                    IoVec {
+                        iov_base: std::ptr::null_mut(),
+                        iov_len: 0,
+                    };
+                    cap
+                ],
+                hdrs: vec![
+                    MMsgHdr {
+                        msg_hdr: MsgHdr {
+                            msg_name: std::ptr::null_mut(),
+                            msg_namelen: 0,
+                            msg_iov: std::ptr::null_mut(),
+                            msg_iovlen: 0,
+                            msg_control: std::ptr::null_mut(),
+                            msg_controllen: 0,
+                            msg_flags: 0,
+                        },
+                        msg_len: 0,
+                    };
+                    cap
+                ],
+            }
+        }
+
+        /// One non-blocking `recvmmsg` moving up to `max` datagrams.
+        ///
+        /// Invokes `sink(peer, payload)` for every received IPv4
+        /// datagram (other address families are counted but not sunk)
+        /// and returns the raw count the kernel delivered — `sink` may
+        /// thus run fewer times than the return value.
+        pub fn recv_batch(
+            &mut self,
+            fd: RawFd,
+            max: usize,
+            mut sink: impl FnMut(SocketAddrV4, &[u8]),
+        ) -> io::Result<usize> {
+            let want = max.min(self.cap).max(1);
+            let base = self.bufs.as_mut_ptr();
+            for i in 0..want {
+                self.iovecs[i] = IoVec {
+                    // SAFETY: slot i lies within the owned slab.
+                    iov_base: unsafe { base.add(i * RX_SLOT_LEN) },
+                    iov_len: RX_SLOT_LEN,
+                };
+                self.hdrs[i] = MMsgHdr {
+                    msg_hdr: MsgHdr {
+                        msg_name: &mut self.addrs[i],
+                        msg_namelen: std::mem::size_of::<SockaddrIn>() as u32,
+                        msg_iov: &mut self.iovecs[i],
+                        msg_iovlen: 1,
+                        msg_control: std::ptr::null_mut(),
+                        msg_controllen: 0,
+                        msg_flags: 0,
+                    },
+                    msg_len: 0,
+                };
+            }
+            // SAFETY: all headers point into storage owned by `self`,
+            // alive across the call.
+            let got = unsafe { crate::sys::recv_mmsg(fd, &mut self.hdrs[..want])? };
+            for i in 0..got {
+                let len = (self.hdrs[i].msg_len as usize).min(RX_SLOT_LEN);
+                if let Some(peer) = self.addrs[i].to_v4() {
+                    sink(peer, &self.bufs[i * RX_SLOT_LEN..i * RX_SLOT_LEN + len]);
+                }
+            }
+            Ok(got)
+        }
+    }
+
+    /// Transmit-side arena: `cap` reusable header slots for one
+    /// `sendmmsg` call. Payloads are *not* copied — the iovecs point
+    /// straight at the caller's packet payloads for the duration of the
+    /// call.
+    pub struct TxArena {
+        cap: usize,
+        addrs: Vec<SockaddrIn>,
+        iovecs: Vec<IoVec>,
+        hdrs: Vec<MMsgHdr>,
+    }
+
+    // SAFETY: as for RxArena — pointer state is rebuilt every call.
+    unsafe impl Send for TxArena {}
+
+    impl TxArena {
+        /// An arena able to send up to `cap` datagrams per syscall.
+        pub fn new(cap: usize) -> Self {
+            let cap = cap.max(1);
+            TxArena {
+                cap,
+                addrs: vec![SockaddrIn::ZERO; cap],
+                iovecs: vec![
+                    IoVec {
+                        iov_base: std::ptr::null_mut(),
+                        iov_len: 0,
+                    };
+                    cap
+                ],
+                hdrs: vec![
+                    MMsgHdr {
+                        msg_hdr: MsgHdr {
+                            msg_name: std::ptr::null_mut(),
+                            msg_namelen: 0,
+                            msg_iov: std::ptr::null_mut(),
+                            msg_iovlen: 0,
+                            msg_control: std::ptr::null_mut(),
+                            msg_controllen: 0,
+                            msg_flags: 0,
+                        },
+                        msg_len: 0,
+                    };
+                    cap
+                ],
+            }
+        }
+
+        /// One non-blocking `sendmmsg` over `pkts` (at most `cap` of
+        /// them), each addressed by its destination metadata; returns
+        /// how many leading packets the kernel accepted.
+        pub fn send_batch(&mut self, fd: RawFd, pkts: &[Packet]) -> io::Result<usize> {
+            let n = pkts.len().min(self.cap);
+            if n == 0 {
+                return Ok(0);
+            }
+            for (i, pkt) in pkts.iter().take(n).enumerate() {
+                let dst = SocketAddrV4::new(Ipv4Addr::from(pkt.meta.ip.dst), pkt.meta.udp.dst_port);
+                self.addrs[i] = SockaddrIn::from_v4(dst);
+                self.iovecs[i] = IoVec {
+                    // The kernel only reads through send iovecs; the
+                    // *mut is an FFI-signature artifact.
+                    iov_base: pkt.payload.as_ptr() as *mut u8,
+                    iov_len: pkt.payload.len(),
+                };
+                self.hdrs[i] = MMsgHdr {
+                    msg_hdr: MsgHdr {
+                        msg_name: &mut self.addrs[i],
+                        msg_namelen: std::mem::size_of::<SockaddrIn>() as u32,
+                        msg_iov: &mut self.iovecs[i],
+                        msg_iovlen: 1,
+                        msg_control: std::ptr::null_mut(),
+                        msg_controllen: 0,
+                        msg_flags: 0,
+                    },
+                    msg_len: 0,
+                };
+            }
+            // SAFETY: headers point into `self`-owned storage and the
+            // caller's payload slices, all alive across the call.
+            unsafe { crate::sys::send_mmsg(fd, &mut self.hdrs[..n]) }
+        }
+    }
+}
+
+/// Stub arenas for non-Linux targets. [`crate::UdpTransport`] never
+/// calls them because `sys::mmsg_available()` is `false` there; they
+/// exist so the types stay nameable cross-platform.
+#[cfg(not(target_os = "linux"))]
+mod portable {
+    use std::io;
+    use std::net::SocketAddrV4;
+
+    /// Receive-side arena stub.
+    pub struct RxArena;
+
+    impl RxArena {
+        /// See the Linux arena; capacity is ignored here.
+        pub fn new(_cap: usize) -> Self {
+            RxArena
+        }
+
+        /// Always unsupported off Linux.
+        pub fn recv_batch(
+            &mut self,
+            _fd: i32,
+            _max: usize,
+            _sink: impl FnMut(SocketAddrV4, &[u8]),
+        ) -> io::Result<usize> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "recvmmsg requires Linux",
+            ))
+        }
+    }
+
+    /// Transmit-side arena stub.
+    pub struct TxArena;
+
+    impl TxArena {
+        /// See the Linux arena; capacity is ignored here.
+        pub fn new(_cap: usize) -> Self {
+            TxArena
+        }
+
+        /// Always unsupported off Linux.
+        pub fn send_batch(
+            &mut self,
+            _fd: i32,
+            _pkts: &[minos_wire::packet::Packet],
+        ) -> io::Result<usize> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "sendmmsg requires Linux",
+            ))
+        }
+    }
+}

@@ -17,14 +17,22 @@
 //!   queue: queue `q` listens on `base_port + q`, so the kernel's port
 //!   demultiplexing plays the role of the NIC's Flow Director and
 //!   clients still address a specific RX queue by destination port,
-//!   preserving the paper's client-addresses-queue model.
+//!   preserving the paper's client-addresses-queue model. Bursts move
+//!   through batched `recvmmsg`/`sendmmsg` syscalls ([`batch`]) — the
+//!   kernel-sockets analog of the paper's §4.1 DPDK bursts — with a
+//!   runtime-detected one-datagram fallback.
+//! * [`affinity`] — thread→core pinning (`sched_setaffinity`), used by
+//!   the `minos-server` polling threads and `minos-loadgen` clients.
 
 #![warn(missing_docs)]
 
+pub mod affinity;
+pub mod batch;
+mod sys;
 mod transport;
 mod udp;
 mod virt;
 
 pub use transport::{Transport, TransportStats};
-pub use udp::{endpoint_for, UdpConfig, UdpTransport};
+pub use udp::{endpoint_for, UdpConfig, UdpIoStats, UdpTransport, DEFAULT_SYSCALL_BATCH};
 pub use virt::{VirtualClientTransport, VirtualTransport};

@@ -1,0 +1,297 @@
+//! Raw kernel plumbing for the UDP backend: socket creation with
+//! `SO_REUSEPORT` (which `std` cannot express) and the batched
+//! `recvmmsg`/`sendmmsg` syscalls (the kernel-sockets analog of DPDK RX/TX
+//! bursts, paper §4.1 "requests are moved in batches to further limit
+//! overhead").
+//!
+//! Everything speaks to the C library directly — the toolchain links libc
+//! anyway, so no external crate is needed in this offline build
+//! environment. Non-Linux targets get a portable `std`-only fallback with
+//! batching reported unavailable; callers then stay on the one-datagram
+//! syscall path.
+
+#[cfg(target_os = "linux")]
+pub use linux::*;
+
+#[cfg(not(target_os = "linux"))]
+pub use portable::*;
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use std::io;
+    use std::net::{Ipv4Addr, SocketAddrV4, UdpSocket};
+    use std::os::fd::FromRawFd;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const AF_INET: i32 = 2;
+    const SOCK_DGRAM: i32 = 2;
+    const SOCK_CLOEXEC: i32 = 0o2000000;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+    const SO_SNDBUF: i32 = 7;
+    const SO_RCVBUF: i32 = 8;
+    const SO_REUSEPORT: i32 = 15;
+
+    /// Non-blocking flag for one `recvmmsg`/`sendmmsg` call.
+    pub const MSG_DONTWAIT: i32 = 0x40;
+
+    const ENOSYS: i32 = 38;
+    const EOPNOTSUPP: i32 = 95;
+
+    /// IPv4 socket address in kernel layout (`struct sockaddr_in`).
+    #[derive(Clone, Copy, Debug)]
+    #[repr(C)]
+    pub struct SockaddrIn {
+        sin_family: u16,
+        sin_port: u16,
+        sin_addr: u32,
+        sin_zero: [u8; 8],
+    }
+
+    impl SockaddrIn {
+        /// The all-zero address (used to pre-fill receive arenas).
+        pub const ZERO: SockaddrIn = SockaddrIn {
+            sin_family: 0,
+            sin_port: 0,
+            sin_addr: 0,
+            sin_zero: [0; 8],
+        };
+
+        /// Kernel-layout encoding of `addr`.
+        pub fn from_v4(addr: SocketAddrV4) -> Self {
+            SockaddrIn {
+                sin_family: AF_INET as u16,
+                sin_port: addr.port().to_be(),
+                sin_addr: u32::from(*addr.ip()).to_be(),
+                sin_zero: [0; 8],
+            }
+        }
+
+        /// Decodes back to a socket address; `None` unless `AF_INET`.
+        pub fn to_v4(self) -> Option<SocketAddrV4> {
+            if self.sin_family != AF_INET as u16 {
+                return None;
+            }
+            Some(SocketAddrV4::new(
+                Ipv4Addr::from(u32::from_be(self.sin_addr)),
+                u16::from_be(self.sin_port),
+            ))
+        }
+    }
+
+    /// `struct iovec`.
+    #[derive(Clone, Copy)]
+    #[repr(C)]
+    pub struct IoVec {
+        /// Buffer base address.
+        pub iov_base: *mut u8,
+        /// Buffer length in bytes.
+        pub iov_len: usize,
+    }
+
+    /// `struct msghdr`.
+    #[derive(Clone, Copy)]
+    #[repr(C)]
+    pub struct MsgHdr {
+        /// Peer address in/out slot.
+        pub msg_name: *mut SockaddrIn,
+        /// Size of the address slot (updated by the kernel on receive).
+        pub msg_namelen: u32,
+        /// Scatter/gather array.
+        pub msg_iov: *mut IoVec,
+        /// Number of iovec entries.
+        pub msg_iovlen: usize,
+        /// Ancillary data (unused: null).
+        pub msg_control: *mut u8,
+        /// Ancillary data length.
+        pub msg_controllen: usize,
+        /// Flags on the received message.
+        pub msg_flags: i32,
+    }
+
+    /// `struct mmsghdr`: one slot of a `recvmmsg`/`sendmmsg` vector.
+    #[derive(Clone, Copy)]
+    #[repr(C)]
+    pub struct MMsgHdr {
+        /// The per-message header.
+        pub msg_hdr: MsgHdr,
+        /// Bytes received/sent for this slot (kernel out-param).
+        pub msg_len: u32,
+    }
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, optname: i32, optval: *const i32, optlen: u32) -> i32;
+        fn bind(fd: i32, addr: *const SockaddrIn, addrlen: u32) -> i32;
+        fn close(fd: i32) -> i32;
+        fn recvmmsg(
+            fd: i32,
+            msgvec: *mut MMsgHdr,
+            vlen: u32,
+            flags: i32,
+            timeout: *mut u8, // struct timespec*; always null here
+        ) -> i32;
+        fn sendmmsg(fd: i32, msgvec: *mut MMsgHdr, vlen: u32, flags: i32) -> i32;
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+
+    /// Set once a batched syscall comes back `ENOSYS`/`EOPNOTSUPP`
+    /// (pre-2.6.33 kernels, some sandboxes/seccomp filters): every
+    /// transport then stays on the portable one-datagram path.
+    static MMSG_UNAVAILABLE: AtomicBool = AtomicBool::new(false);
+
+    /// Whether the batched syscalls are believed available. Optimistic
+    /// until proven otherwise at runtime.
+    pub fn mmsg_available() -> bool {
+        !MMSG_UNAVAILABLE.load(Ordering::Relaxed)
+    }
+
+    /// Classifies an error from a batched syscall: `true` means the
+    /// syscall itself is unsupported here (now remembered globally), not
+    /// that this particular call failed.
+    pub fn note_mmsg_error(err: &io::Error) -> bool {
+        if matches!(err.raw_os_error(), Some(ENOSYS) | Some(EOPNOTSUPP)) {
+            MMSG_UNAVAILABLE.store(true, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// One non-blocking `recvmmsg` call over `hdrs`.
+    ///
+    /// # Safety
+    ///
+    /// Every `msg_hdr` in `hdrs` must point at live, writable name/iovec
+    /// storage for the duration of the call.
+    pub unsafe fn recv_mmsg(fd: i32, hdrs: &mut [MMsgHdr]) -> io::Result<usize> {
+        let rc = recvmmsg(
+            fd,
+            hdrs.as_mut_ptr(),
+            hdrs.len() as u32,
+            MSG_DONTWAIT,
+            std::ptr::null_mut(),
+        );
+        if rc < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(rc as usize)
+        }
+    }
+
+    /// One non-blocking `sendmmsg` call over `hdrs`; returns how many
+    /// messages the kernel accepted (an error is returned only when the
+    /// *first* message fails).
+    ///
+    /// # Safety
+    ///
+    /// Every `msg_hdr` in `hdrs` must point at live name/iovec storage
+    /// for the duration of the call.
+    pub unsafe fn send_mmsg(fd: i32, hdrs: &mut [MMsgHdr]) -> io::Result<usize> {
+        let rc = sendmmsg(fd, hdrs.as_mut_ptr(), hdrs.len() as u32, MSG_DONTWAIT);
+        if rc < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(rc as usize)
+        }
+    }
+
+    /// Pins the calling thread to `cpu` via `sched_setaffinity` (the
+    /// paper pins one polling thread per physical core).
+    pub fn pin_current_thread(cpu: usize) -> io::Result<()> {
+        const CPU_SETSIZE: usize = 1024;
+        if cpu >= CPU_SETSIZE {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("cpu {cpu} outside the {CPU_SETSIZE}-cpu affinity mask"),
+            ));
+        }
+        let mut mask = [0u64; CPU_SETSIZE / 64];
+        mask[cpu / 64] |= 1u64 << (cpu % 64);
+        // pid 0 = the calling thread.
+        let rc = unsafe { sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr()) };
+        if rc == 0 {
+            Ok(())
+        } else {
+            Err(io::Error::last_os_error())
+        }
+    }
+
+    fn set_opt(fd: i32, opt: i32, value: i32) -> io::Result<()> {
+        let rc = unsafe {
+            setsockopt(
+                fd,
+                SOL_SOCKET,
+                opt,
+                &value,
+                std::mem::size_of::<i32>() as u32,
+            )
+        };
+        if rc == 0 {
+            Ok(())
+        } else {
+            Err(io::Error::last_os_error())
+        }
+    }
+
+    /// Creates, configures and binds a `SO_REUSEPORT` UDP socket.
+    pub fn bind_reuseport_udp(addr: SocketAddrV4, buffer_bytes: usize) -> io::Result<UdpSocket> {
+        let fd = unsafe { socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let result = (|| {
+            set_opt(fd, SO_REUSEADDR, 1)?;
+            set_opt(fd, SO_REUSEPORT, 1)?;
+            // Best-effort buffer sizing: the kernel clamps to
+            // net.core.{r,w}mem_max, which is fine.
+            let _ = set_opt(fd, SO_SNDBUF, buffer_bytes.min(i32::MAX as usize) as i32);
+            let _ = set_opt(fd, SO_RCVBUF, buffer_bytes.min(i32::MAX as usize) as i32);
+            let raw = SockaddrIn::from_v4(addr);
+            let rc = unsafe { bind(fd, &raw, std::mem::size_of::<SockaddrIn>() as u32) };
+            if rc != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        })();
+        match result {
+            Ok(()) => Ok(unsafe { UdpSocket::from_raw_fd(fd) }),
+            Err(e) => {
+                unsafe { close(fd) };
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Portable fallback: plain `std` bind (no `SO_REUSEPORT`, no batched
+/// syscalls). Distinct per-queue ports make `SO_REUSEPORT` optional for
+/// correctness, and transports fall back to one syscall per datagram.
+#[cfg(not(target_os = "linux"))]
+mod portable {
+    use std::io;
+    use std::net::{SocketAddrV4, UdpSocket};
+
+    /// Binds a plain UDP socket; `buffer_bytes` is advisory only here.
+    pub fn bind_reuseport_udp(addr: SocketAddrV4, _buffer_bytes: usize) -> io::Result<UdpSocket> {
+        UdpSocket::bind(addr)
+    }
+
+    /// Batched syscalls are never available off Linux.
+    pub fn mmsg_available() -> bool {
+        false
+    }
+
+    /// Off Linux every batched-syscall error means "unsupported".
+    pub fn note_mmsg_error(_err: &io::Error) -> bool {
+        true
+    }
+
+    /// Thread pinning is unsupported off Linux.
+    pub fn pin_current_thread(_cpu: usize) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "thread pinning requires Linux sched_setaffinity",
+        ))
+    }
+}

@@ -16,7 +16,20 @@
 //! into [`Packet`]s (real peer address → [`Endpoint`]) so everything
 //! above the transport — reassembly, classification, handoff — is
 //! byte-identical across backends.
+//!
+//! # Syscall batching
+//!
+//! The paper's prototype moves requests in DPDK bursts (§4.1); the
+//! kernel-sockets analog is `recvmmsg`/`sendmmsg`, which move up to
+//! [`UdpConfig::batch`] datagrams per syscall through preallocated
+//! per-queue arenas ([`crate::batch`]). Batching is on by default, falls
+//! back to one-datagram syscalls at runtime where the batched calls are
+//! unavailable (non-Linux, seccomp), and can be disabled with
+//! `batch <= 1`. [`UdpTransport::io_stats`] reports syscall counts so
+//! the savings are observable.
 
+use crate::batch::{RxArena, TxArena};
+use crate::sys;
 use crate::transport::{Transport, TransportStats};
 use bytes::Bytes;
 use minos_wire::frame::MacAddr;
@@ -24,8 +37,14 @@ use minos_wire::packet::{synthesize, Endpoint, Packet};
 use minos_wire::MTU;
 use std::io::ErrorKind;
 use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, UdpSocket};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Default maximum datagrams moved per batched syscall — the paper's RX
+/// batch size `B` (§4.1).
+pub const DEFAULT_SYSCALL_BATCH: usize = 32;
 
 /// Configuration for [`UdpTransport::bind`].
 #[derive(Clone, Debug)]
@@ -43,6 +62,9 @@ pub struct UdpConfig {
     /// buffer before tail-dropping. Mirrors a NIC TX ring absorbing a
     /// burst; 0 drops immediately.
     pub tx_backoff: Duration,
+    /// Maximum datagrams moved per `recvmmsg`/`sendmmsg` syscall; values
+    /// `<= 1` disable batching (one `recv_from`/`send_to` per datagram).
+    pub batch: usize,
 }
 
 impl UdpConfig {
@@ -55,14 +77,49 @@ impl UdpConfig {
             num_queues,
             socket_buffer_bytes: 4 << 20,
             tx_backoff: Duration::from_millis(20),
+            batch: DEFAULT_SYSCALL_BATCH,
         }
     }
+
+    /// A single-queue client config on an ephemeral port: what
+    /// [`UdpTransport::bind_client`] uses, exposed so callers can adjust
+    /// the socket buffer, batch size, or backoff first.
+    pub fn client(ip: Ipv4Addr) -> Self {
+        UdpConfig {
+            ip,
+            base_port: 0, // ephemeral
+            num_queues: 1,
+            socket_buffer_bytes: 4 << 20,
+            tx_backoff: Duration::from_millis(20),
+            batch: DEFAULT_SYSCALL_BATCH,
+        }
+    }
+}
+
+/// Syscall-level I/O statistics of a [`UdpTransport`]: how many batched
+/// or singleton syscalls moved how many datagrams. `rx_packets /
+/// rx_syscalls` is the achieved RX batching factor.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UdpIoStats {
+    /// Receive syscalls issued (`recvmmsg` or `recv_from`).
+    pub rx_syscalls: u64,
+    /// Transmit syscalls issued (`sendmmsg` or `send_to`).
+    pub tx_syscalls: u64,
+    /// Datagrams received (mirror of [`TransportStats::rx_packets`]).
+    pub rx_packets: u64,
+    /// Datagrams transmitted (mirror of [`TransportStats::tx_packets`]).
+    pub tx_packets: u64,
+    /// Whether the batched syscall path is in use.
+    pub batched: bool,
 }
 
 /// A multi-queue transport over real UDP sockets.
 #[derive(Debug)]
 pub struct UdpTransport {
     sockets: Vec<UdpSocket>,
+    rx_arenas: Vec<Mutex<RxArena>>,
+    tx_arenas: Vec<Mutex<TxArena>>,
+    batch: usize,
     ip: Ipv4Addr,
     base_port: u16,
     tx_backoff: Duration,
@@ -71,6 +128,20 @@ pub struct UdpTransport {
     tx_packets: AtomicU64,
     tx_bytes: AtomicU64,
     tx_dropped: AtomicU64,
+    rx_syscalls: AtomicU64,
+    tx_syscalls: AtomicU64,
+}
+
+impl std::fmt::Debug for RxArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RxArena")
+    }
+}
+
+impl std::fmt::Debug for TxArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TxArena")
+    }
 }
 
 impl UdpTransport {
@@ -101,38 +172,69 @@ impl UdpTransport {
             socket.set_nonblocking(true)?;
             sockets.push(socket);
         }
-        Ok(UdpTransport {
+        Ok(Self::from_sockets(
             sockets,
-            ip: config.ip,
-            base_port: config.base_port,
+            config.ip,
+            config.base_port,
+            &config,
+        ))
+    }
+
+    /// Binds a single-queue client transport on an ephemeral port with
+    /// default buffering; see [`UdpTransport::bind_client_with`] to
+    /// control the socket buffer size and batching.
+    pub fn bind_client(ip: Ipv4Addr) -> std::io::Result<Self> {
+        Self::bind_client_with(UdpConfig::client(ip))
+    }
+
+    /// Binds a single-queue client transport honoring `config`'s socket
+    /// buffer size, syscall batch, TX backoff, and bind address
+    /// (`config.base_port` of 0 picks an ephemeral port;
+    /// `config.num_queues` must be 1).
+    pub fn bind_client_with(config: UdpConfig) -> std::io::Result<Self> {
+        assert_eq!(config.num_queues, 1, "client transports are single-queue");
+        let socket = sys::bind_reuseport_udp(
+            SocketAddrV4::new(config.ip, config.base_port),
+            config.socket_buffer_bytes,
+        )?;
+        socket.set_nonblocking(true)?;
+        let local = match socket.local_addr()? {
+            SocketAddr::V4(a) => a,
+            SocketAddr::V6(_) => unreachable!("bound v4"),
+        };
+        let (ip, port) = (*local.ip(), local.port());
+        Ok(Self::from_sockets(vec![socket], ip, port, &config))
+    }
+
+    fn from_sockets(
+        sockets: Vec<UdpSocket>,
+        ip: Ipv4Addr,
+        base_port: u16,
+        config: &UdpConfig,
+    ) -> Self {
+        let batch = config.batch.max(1);
+        UdpTransport {
+            rx_arenas: sockets
+                .iter()
+                .map(|_| Mutex::new(RxArena::new(batch)))
+                .collect(),
+            tx_arenas: sockets
+                .iter()
+                .map(|_| Mutex::new(TxArena::new(batch)))
+                .collect(),
+            sockets,
+            batch,
+            ip,
+            base_port,
             tx_backoff: config.tx_backoff,
             rx_packets: AtomicU64::new(0),
             rx_bytes: AtomicU64::new(0),
             tx_packets: AtomicU64::new(0),
             tx_bytes: AtomicU64::new(0),
             tx_dropped: AtomicU64::new(0),
-        })
-    }
-
-    /// Binds a single-queue client transport on an ephemeral port.
-    pub fn bind_client(ip: Ipv4Addr) -> std::io::Result<Self> {
-        let socket = sys::bind_reuseport_udp(SocketAddrV4::new(ip, 0), 4 << 20)?;
-        socket.set_nonblocking(true)?;
-        let local = match socket.local_addr()? {
-            SocketAddr::V4(a) => a,
-            SocketAddr::V6(_) => unreachable!("bound v4"),
-        };
-        Ok(UdpTransport {
-            sockets: vec![socket],
-            ip: *local.ip(),
-            base_port: local.port(),
-            tx_backoff: Duration::from_millis(20),
-            rx_packets: AtomicU64::new(0),
-            rx_bytes: AtomicU64::new(0),
-            tx_packets: AtomicU64::new(0),
-            tx_bytes: AtomicU64::new(0),
-            tx_dropped: AtomicU64::new(0),
-        })
+            rx_syscalls: AtomicU64::new(0),
+            tx_syscalls: AtomicU64::new(0),
+        }
     }
 
     /// Port of queue 0.
@@ -144,28 +246,77 @@ impl UdpTransport {
     pub fn ip(&self) -> Ipv4Addr {
         self.ip
     }
-}
 
-/// Maps a real IPv4 address + port into the wire stack's [`Endpoint`]
-/// plane: the IP becomes both the `Endpoint::ip` and the host id the
-/// synthetic MAC derives from. The single source of truth for how real
-/// peers appear to the engine — `minos-loadgen` uses it to address a
-/// remote server.
-pub fn endpoint_for(ip: Ipv4Addr, port: u16) -> Endpoint {
-    let ip_u32 = u32::from(ip);
-    Endpoint {
-        mac: MacAddr::from_host_id(ip_u32),
-        ip: ip_u32,
-        port,
-    }
-}
-
-impl Transport for UdpTransport {
-    fn num_queues(&self) -> u16 {
-        self.sockets.len() as u16
+    /// Syscall-level I/O statistics.
+    pub fn io_stats(&self) -> UdpIoStats {
+        UdpIoStats {
+            rx_syscalls: self.rx_syscalls.load(Ordering::Relaxed),
+            tx_syscalls: self.tx_syscalls.load(Ordering::Relaxed),
+            rx_packets: self.rx_packets.load(Ordering::Relaxed),
+            tx_packets: self.tx_packets.load(Ordering::Relaxed),
+            batched: self.batch > 1 && sys::mmsg_available(),
+        }
     }
 
-    fn rx_burst(&self, queue: u16, out: &mut Vec<Packet>, max: usize) -> usize {
+    /// Batched receive: one `recvmmsg` per up-to-`batch` datagrams.
+    /// `None` means the syscall is unsupported here and nothing was
+    /// moved — the caller falls back to the one-datagram path.
+    fn rx_burst_mmsg(&self, queue: u16, out: &mut Vec<Packet>, max: usize) -> Option<usize> {
+        let fd = self.sockets[queue as usize].as_raw_fd();
+        let local = self.local_endpoint(queue);
+        let mut arena = self.rx_arenas[queue as usize]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let mut moved = 0usize;
+        let mut bytes = 0u64;
+        // Bound non-datagram outcomes so a persistently erroring socket
+        // cannot wedge the polling core inside one burst.
+        let mut error_rounds = 0usize;
+        while moved < max {
+            let want = (max - moved).min(self.batch);
+            let before = out.len();
+            self.rx_syscalls.fetch_add(1, Ordering::Relaxed);
+            let result = arena.recv_batch(fd, want, |peer, data| {
+                let payload = Bytes::copy_from_slice(data);
+                let src = endpoint_for(*peer.ip(), peer.port());
+                let pkt = synthesize(src, local, payload);
+                bytes += pkt.wire_len() as u64;
+                out.push(pkt);
+            });
+            match result {
+                Ok(got) => {
+                    moved += out.len() - before;
+                    if got < want {
+                        break; // socket drained
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    if sys::note_mmsg_error(&e) {
+                        if moved == 0 {
+                            return None;
+                        }
+                        break;
+                    }
+                    // Transient ICMP-driven errors (connection refused on
+                    // a prior send) surface on recv; skip them, bounded.
+                    error_rounds += 1;
+                    if error_rounds >= max {
+                        break;
+                    }
+                }
+            }
+        }
+        if moved > 0 {
+            self.rx_packets.fetch_add(moved as u64, Ordering::Relaxed);
+            self.rx_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+        Some(moved)
+    }
+
+    /// Portable receive: one `recv_from` syscall per datagram.
+    fn rx_burst_singly(&self, queue: u16, out: &mut Vec<Packet>, max: usize) -> usize {
         let socket = &self.sockets[queue as usize];
         let local = self.local_endpoint(queue);
         let mut buf = [0u8; MTU + 64];
@@ -175,6 +326,7 @@ impl Transport for UdpTransport {
         // socket cannot wedge the polling core inside one burst.
         let mut skips = 0;
         while moved < max && skips < max {
+            self.rx_syscalls.fetch_add(1, Ordering::Relaxed);
             match socket.recv_from(&mut buf) {
                 Ok((len, SocketAddr::V4(peer))) => {
                     let payload = Bytes::copy_from_slice(&buf[..len]);
@@ -199,11 +351,101 @@ impl Transport for UdpTransport {
         moved
     }
 
+    /// Batched transmit of `packets[..]`: one `sendmmsg` per
+    /// up-to-`batch` datagrams, with the same full-buffer backoff as
+    /// [`Transport::tx_push`]. Returns `None` (nothing sent) when the
+    /// syscall is unsupported here.
+    fn tx_burst_mmsg(&self, queue: u16, packets: &mut Vec<Packet>) -> Option<usize> {
+        let fd = self.sockets[queue as usize].as_raw_fd();
+        let mut arena = self.tx_arenas[queue as usize]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let total = packets.len();
+        let mut sent = 0usize;
+        let mut bytes = 0u64;
+        let deadline = Instant::now() + self.tx_backoff;
+        while sent < total {
+            let want = (total - sent).min(self.batch);
+            self.tx_syscalls.fetch_add(1, Ordering::Relaxed);
+            match arena.send_batch(fd, &packets[sent..sent + want]) {
+                Ok(n) => {
+                    for pkt in &packets[sent..sent + n] {
+                        bytes += pkt.wire_len() as u64;
+                    }
+                    sent += n;
+                    if n < want {
+                        // Full socket buffer: the kernel-side analog of a
+                        // full TX ring. Back off briefly, then tail-drop.
+                        if Instant::now() >= deadline {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    if sys::note_mmsg_error(&e) && sent == 0 {
+                        return None;
+                    }
+                    // Hard error on the head datagram: tail-drop the
+                    // rest, preserving FIFO order on the wire.
+                    break;
+                }
+            }
+        }
+        if sent > 0 {
+            self.tx_packets.fetch_add(sent as u64, Ordering::Relaxed);
+            self.tx_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+        if sent < total {
+            self.tx_dropped
+                .fetch_add((total - sent) as u64, Ordering::Relaxed);
+        }
+        packets.clear();
+        Some(sent)
+    }
+}
+
+/// Maps a real IPv4 address + port into the wire stack's [`Endpoint`]
+/// plane: the IP becomes both the `Endpoint::ip` and the host id the
+/// synthetic MAC derives from. The single source of truth for how real
+/// peers appear to the engine — `minos-loadgen` uses it to address a
+/// remote server.
+pub fn endpoint_for(ip: Ipv4Addr, port: u16) -> Endpoint {
+    let ip_u32 = u32::from(ip);
+    Endpoint {
+        mac: MacAddr::from_host_id(ip_u32),
+        ip: ip_u32,
+        port,
+    }
+}
+
+impl Transport for UdpTransport {
+    fn num_queues(&self) -> u16 {
+        self.sockets.len() as u16
+    }
+
+    fn rx_burst(&self, queue: u16, out: &mut Vec<Packet>, max: usize) -> usize {
+        if self.batch > 1 && sys::mmsg_available() {
+            if let Some(moved) = self.rx_burst_mmsg(queue, out, max) {
+                return moved;
+            }
+        }
+        self.rx_burst_singly(queue, out, max)
+    }
+
     fn tx_push(&self, queue: u16, packet: Packet) -> bool {
         let socket = &self.sockets[queue as usize];
         let dst = SocketAddrV4::new(Ipv4Addr::from(packet.meta.ip.dst), packet.meta.udp.dst_port);
         let deadline = Instant::now() + self.tx_backoff;
         loop {
+            self.tx_syscalls.fetch_add(1, Ordering::Relaxed);
             match socket.send_to(&packet.payload, dst) {
                 Ok(_) => {
                     self.tx_packets.fetch_add(1, Ordering::Relaxed);
@@ -232,6 +474,35 @@ impl Transport for UdpTransport {
         }
     }
 
+    fn tx_burst(&self, queue: u16, packets: &mut Vec<Packet>) -> usize {
+        if packets.is_empty() {
+            return 0;
+        }
+        if self.batch > 1 && sys::mmsg_available() {
+            if let Some(sent) = self.tx_burst_mmsg(queue, packets) {
+                return sent;
+            }
+        }
+        // Portable path: one send_to per datagram, stop at the first
+        // tail drop; the remainder is dropped too (FIFO preserved) and
+        // accounted exactly like the batched path.
+        let total = packets.len();
+        let mut sent = 0;
+        for pkt in packets.drain(..) {
+            if !self.tx_push(queue, pkt) {
+                break;
+            }
+            sent += 1;
+        }
+        if sent < total {
+            // tx_push counted the packet that failed; count the rest of
+            // the abandoned burst so both paths drop (total - sent).
+            self.tx_dropped
+                .fetch_add((total - sent - 1) as u64, Ordering::Relaxed);
+        }
+        sent
+    }
+
     fn local_endpoint(&self, queue: u16) -> Endpoint {
         endpoint_for(self.ip, self.base_port + queue)
     }
@@ -247,116 +518,31 @@ impl Transport for UdpTransport {
     }
 }
 
-/// Raw-socket plumbing: create a UDP socket with `SO_REUSEPORT` set
-/// *before* bind, which `std` cannot express. Uses the C library
-/// directly (the toolchain links libc anyway) so no external crate is
-/// needed in this offline build environment.
-#[cfg(target_os = "linux")]
-mod sys {
-    use std::io;
-    use std::net::{SocketAddrV4, UdpSocket};
-    use std::os::fd::FromRawFd;
-
-    const AF_INET: i32 = 2;
-    const SOCK_DGRAM: i32 = 2;
-    const SOCK_CLOEXEC: i32 = 0o2000000;
-    const SOL_SOCKET: i32 = 1;
-    const SO_REUSEADDR: i32 = 2;
-    const SO_SNDBUF: i32 = 7;
-    const SO_RCVBUF: i32 = 8;
-    const SO_REUSEPORT: i32 = 15;
-
-    #[repr(C)]
-    struct SockaddrIn {
-        sin_family: u16,
-        sin_port: u16,
-        sin_addr: u32,
-        sin_zero: [u8; 8],
-    }
-
-    extern "C" {
-        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
-        fn setsockopt(fd: i32, level: i32, optname: i32, optval: *const i32, optlen: u32) -> i32;
-        fn bind(fd: i32, addr: *const SockaddrIn, addrlen: u32) -> i32;
-        fn close(fd: i32) -> i32;
-    }
-
-    fn set_opt(fd: i32, opt: i32, value: i32) -> io::Result<()> {
-        let rc = unsafe {
-            setsockopt(
-                fd,
-                SOL_SOCKET,
-                opt,
-                &value,
-                std::mem::size_of::<i32>() as u32,
-            )
-        };
-        if rc == 0 {
-            Ok(())
-        } else {
-            Err(io::Error::last_os_error())
-        }
-    }
-
-    /// Creates, configures and binds a `SO_REUSEPORT` UDP socket.
-    pub fn bind_reuseport_udp(addr: SocketAddrV4, buffer_bytes: usize) -> io::Result<UdpSocket> {
-        let fd = unsafe { socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0) };
-        if fd < 0 {
-            return Err(io::Error::last_os_error());
-        }
-        let result = (|| {
-            set_opt(fd, SO_REUSEADDR, 1)?;
-            set_opt(fd, SO_REUSEPORT, 1)?;
-            // Best-effort buffer sizing: the kernel clamps to
-            // net.core.{r,w}mem_max, which is fine.
-            let _ = set_opt(fd, SO_SNDBUF, buffer_bytes.min(i32::MAX as usize) as i32);
-            let _ = set_opt(fd, SO_RCVBUF, buffer_bytes.min(i32::MAX as usize) as i32);
-            let raw = SockaddrIn {
-                sin_family: AF_INET as u16,
-                sin_port: addr.port().to_be(),
-                sin_addr: u32::from(*addr.ip()).to_be(),
-                sin_zero: [0; 8],
-            };
-            let rc = unsafe { bind(fd, &raw, std::mem::size_of::<SockaddrIn>() as u32) };
-            if rc != 0 {
-                return Err(io::Error::last_os_error());
-            }
-            Ok(())
-        })();
-        match result {
-            Ok(()) => Ok(unsafe { UdpSocket::from_raw_fd(fd) }),
-            Err(e) => {
-                unsafe { close(fd) };
-                Err(e)
-            }
-        }
-    }
-}
-
-/// Portable fallback: plain `std` bind (no `SO_REUSEPORT`). Distinct
-/// per-queue ports make the option optional for correctness.
-#[cfg(not(target_os = "linux"))]
-mod sys {
-    use std::io;
-    use std::net::{SocketAddrV4, UdpSocket};
-
-    pub fn bind_reuseport_udp(addr: SocketAddrV4, _buffer_bytes: usize) -> io::Result<UdpSocket> {
-        UdpSocket::bind(addr)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// Disjoint port ranges per bound server: these are `SO_REUSEPORT`
+    /// sockets, so a bind over another live test server would *succeed*
+    /// and split its traffic instead of failing the probe.
+    static NEXT_BASE: AtomicU64 = AtomicU64::new(60_000);
+
     fn bind_free(num_queues: u16) -> UdpTransport {
-        // Walk the dynamic-port space until a contiguous run is free.
-        for base in (40_000..60_000).step_by(37) {
-            if let Ok(t) = UdpTransport::bind(UdpConfig::loopback(base, num_queues)) {
+        bind_free_with(num_queues, DEFAULT_SYSCALL_BATCH)
+    }
+
+    fn bind_free_with(num_queues: u16, batch: usize) -> UdpTransport {
+        loop {
+            let base = NEXT_BASE.fetch_add(u64::from(num_queues.max(8)), Ordering::Relaxed);
+            assert!(base < 65_000, "unit-test port range exhausted");
+            let config = UdpConfig {
+                batch,
+                ..UdpConfig::loopback(base as u16, num_queues)
+            };
+            if let Ok(t) = UdpTransport::bind(config) {
                 return t;
             }
         }
-        panic!("no free contiguous port range found");
     }
 
     #[test]
@@ -446,5 +632,119 @@ mod tests {
         let s = server.stats();
         assert_eq!(s.rx_packets, 1);
         assert!(s.rx_bytes > 0);
+    }
+
+    #[test]
+    fn tx_burst_moves_whole_batch_and_counts_syscalls() {
+        let server = bind_free(1);
+        let client = UdpTransport::bind_client(Ipv4Addr::LOCALHOST).unwrap();
+
+        const N: usize = 128;
+        let mut batch: Vec<Packet> = (0..N)
+            .map(|i| {
+                synthesize(
+                    client.local_endpoint(0),
+                    server.local_endpoint(0),
+                    Bytes::from(vec![i as u8; 32]),
+                )
+            })
+            .collect();
+        assert_eq!(client.tx_burst(0, &mut batch), N);
+        assert!(batch.is_empty());
+        assert_eq!(client.stats().tx_packets, N as u64);
+
+        // Everything queued before the first rx_burst, so batched
+        // receive must move multiple datagrams per syscall.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut out = Vec::new();
+        while out.len() < N {
+            assert!(Instant::now() < deadline, "got {} of {N}", out.len());
+            server.rx_burst(0, &mut out, N);
+        }
+        // FIFO order per queue survives batching.
+        for (i, pkt) in out.iter().enumerate() {
+            assert_eq!(&pkt.payload[..], &[i as u8; 32][..]);
+        }
+        let io = server.io_stats();
+        assert_eq!(io.rx_packets, N as u64);
+        if io.batched {
+            assert!(
+                io.rx_syscalls < N as u64,
+                "batched path must use fewer syscalls than packets ({} vs {N})",
+                io.rx_syscalls
+            );
+            let tx = client.io_stats();
+            assert!(tx.tx_syscalls < N as u64, "{} tx syscalls", tx.tx_syscalls);
+        }
+    }
+
+    #[test]
+    fn batch_of_one_uses_portable_path() {
+        let server = bind_free_with(1, 1);
+        let client_cfg = UdpConfig {
+            batch: 1,
+            ..UdpConfig::client(Ipv4Addr::LOCALHOST)
+        };
+        let client = UdpTransport::bind_client_with(client_cfg).unwrap();
+        assert!(!client.io_stats().batched);
+        assert!(!server.io_stats().batched);
+
+        let mut batch: Vec<Packet> = (0..8)
+            .map(|i| {
+                synthesize(
+                    client.local_endpoint(0),
+                    server.local_endpoint(0),
+                    Bytes::from(vec![i as u8; 16]),
+                )
+            })
+            .collect();
+        assert_eq!(client.tx_burst(0, &mut batch), 8);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut out = Vec::new();
+        while out.len() < 8 {
+            assert!(Instant::now() < deadline);
+            server.rx_burst(0, &mut out, 32);
+        }
+        // One syscall per datagram (plus the final empty poll).
+        assert!(server.io_stats().rx_syscalls >= 8);
+    }
+
+    #[test]
+    fn client_socket_buffer_is_configurable() {
+        // A tiny buffer must be honored (the kernel clamps to its
+        // minimum, far below the old hardcoded 4 MiB): blast enough
+        // traffic at an unpolled tiny-buffer socket and the overflow
+        // must be visible as loss, which a 4 MiB buffer would absorb.
+        let tiny = UdpTransport::bind_client_with(UdpConfig {
+            socket_buffer_bytes: 1,
+            ..UdpConfig::client(Ipv4Addr::LOCALHOST)
+        })
+        .unwrap();
+        let sender = UdpTransport::bind_client(Ipv4Addr::LOCALHOST).unwrap();
+        let dst = tiny.local_endpoint(0);
+        const N: usize = 512;
+        for _ in 0..N {
+            let pkt = synthesize(sender.local_endpoint(0), dst, Bytes::from(vec![0u8; 1200]));
+            sender.tx_push(0, pkt);
+        }
+        // Give loopback delivery a moment, then drain whatever fit.
+        std::thread::sleep(Duration::from_millis(100));
+        let mut out = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            let before = out.len();
+            tiny.rx_burst(0, &mut out, N);
+            if tiny.rx_burst(0, &mut out, N) == 0 && out.len() == before {
+                break;
+            }
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+        assert!(
+            out.len() < N,
+            "a ~2 KiB receive buffer cannot hold {N} x 1200B datagrams (got {})",
+            out.len()
+        );
     }
 }

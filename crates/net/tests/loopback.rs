@@ -13,14 +13,19 @@ use std::net::Ipv4Addr;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Binds a server transport on a free contiguous port range.
+/// Binds a server transport on a disjoint port range. Ranges are
+/// handed out by an allocator rather than probed: these are
+/// `SO_REUSEPORT` sockets, so binding over another live test server
+/// would *succeed* and split its traffic instead of failing.
 fn bind_server(num_queues: u16) -> Arc<UdpTransport> {
-    for base in (42_000..60_000).step_by(61) {
+    static NEXT_BASE: std::sync::atomic::AtomicU16 = std::sync::atomic::AtomicU16::new(42_000);
+    loop {
+        let base = NEXT_BASE.fetch_add(num_queues.max(8), std::sync::atomic::Ordering::Relaxed);
+        assert!(base < 44_900, "loopback port range exhausted");
         if let Ok(t) = UdpTransport::bind(UdpConfig::loopback(base, num_queues)) {
             return Arc::new(t);
         }
     }
-    panic!("no free contiguous UDP port range on loopback");
 }
 
 fn udp_client(server: &UdpTransport, queues: u16, id: u16, seed: u64) -> Client {

@@ -1,0 +1,305 @@
+//! Loopback stress: socket-buffer pressure, honest loss accounting,
+//! retry convergence, and the syscall economics of the batched path.
+//!
+//! The paper only reports zero-loss runs (§5.4) and leaves
+//! retransmission to the client (§4.1). These tests pin down both
+//! contracts against a real multi-queue UDP server: without retries a
+//! lossy run must be reported as lossy; with timeout-and-retry enabled
+//! the same pressure must converge to zero loss.
+
+use minos_core::client::{Client, RetryPolicy};
+use minos_core::server::{MinosServer, ServerConfig};
+use minos_net::{Transport, UdpConfig, UdpTransport};
+use minos_wire::packet::{synthesize, Packet};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const VALUE_LEN: usize = 1_200;
+
+/// Disjoint port ranges per bound server: these are `SO_REUSEPORT`
+/// sockets, so a bind over another live test server would *succeed* and
+/// split its traffic instead of failing the probe.
+static NEXT_BASE: std::sync::atomic::AtomicU16 = std::sync::atomic::AtomicU16::new(21_000);
+
+fn alloc_base(span: u16) -> u16 {
+    let base = NEXT_BASE.fetch_add(span.max(8), std::sync::atomic::Ordering::Relaxed);
+    assert!(base < 24_900, "stress port range exhausted");
+    base
+}
+
+fn bind_server(num_queues: u16) -> Arc<UdpTransport> {
+    loop {
+        let base = alloc_base(num_queues);
+        if let Ok(t) = UdpTransport::bind(UdpConfig::loopback(base, num_queues)) {
+            return Arc::new(t);
+        }
+    }
+}
+
+/// A client over its own UDP socket with `sockbuf` bytes of buffering.
+fn udp_client(
+    server: &UdpTransport,
+    queues: u16,
+    id: u16,
+    sockbuf: usize,
+    retry: Option<RetryPolicy>,
+) -> Client {
+    let transport = Arc::new(
+        UdpTransport::bind_client_with(UdpConfig {
+            socket_buffer_bytes: sockbuf,
+            ..UdpConfig::client(Ipv4Addr::LOCALHOST)
+        })
+        .unwrap(),
+    );
+    let endpoint = transport.local_endpoint(0);
+    let mut client = Client::with_transport(
+        transport as Arc<dyn Transport>,
+        endpoint,
+        server.local_endpoint(0),
+        queues,
+        id,
+        0xACE0 ^ u64::from(id),
+    );
+    if let Some(policy) = retry {
+        client = client.with_retry(policy);
+    }
+    client
+}
+
+/// Preloads `keys` keys of `VALUE_LEN` bytes through a well-buffered
+/// client so GET replies have real payloads to overflow buffers with.
+fn preload(server: &Arc<UdpTransport>, queues: u16, keys: u64) {
+    let mut loader = udp_client(server, queues, 90, 4 << 20, None);
+    for key in 0..keys {
+        loader.send_put(key, &vec![(key % 251) as u8; VALUE_LEN], false);
+        while loader.totals().outstanding() > 64 {
+            loader.poll();
+        }
+    }
+    assert!(
+        loader.drain(Duration::from_secs(30)),
+        "preload must complete losslessly"
+    );
+}
+
+/// Blasts `n` GETs without polling, then parks long enough for the
+/// replies to flood the client's receive buffer. With a minimum-size
+/// buffer (the kernel clamps `socket_buffer_bytes: 1` up to its floor,
+/// a few KiB) the overwhelming majority of replies are dropped.
+fn blast_unpolled(client: &mut Client, n: u64, keys: u64) {
+    for i in 0..n {
+        client.send_get(i % keys, false);
+    }
+    std::thread::sleep(Duration::from_secs(2));
+}
+
+#[test]
+fn no_retry_mode_reports_loss_honestly() {
+    const QUEUES: u16 = 2;
+    const KEYS: u64 = 64;
+    const N: u64 = 400;
+    let transport = bind_server(QUEUES);
+    let mut server = MinosServer::start_with_transport(
+        ServerConfig::for_test(QUEUES as usize, 10_000),
+        Arc::clone(&transport),
+    );
+    preload(&transport, QUEUES, KEYS);
+
+    let mut client = udp_client(&transport, QUEUES, 1, 1, None);
+    blast_unpolled(&mut client, N, KEYS);
+
+    // Whatever survived in the tiny buffer completes; the rest is gone
+    // and, without retries, must stay visibly outstanding.
+    let drained = client.drain(Duration::from_secs(3));
+    let totals = client.totals();
+    assert_eq!(totals.sent, N);
+    assert_eq!(
+        totals.completed + totals.outstanding(),
+        N,
+        "accounting must balance"
+    );
+    assert!(
+        !drained && totals.outstanding() > 0,
+        "a minimum-size receive buffer cannot absorb {N} x {VALUE_LEN}B replies \
+         (completed {}, outstanding {})",
+        totals.completed,
+        totals.outstanding()
+    );
+    assert_eq!(totals.retransmits, 0, "no-retry mode never resends");
+    server.shutdown();
+}
+
+#[test]
+fn retry_mode_converges_to_zero_loss_under_the_same_pressure() {
+    const QUEUES: u16 = 2;
+    const KEYS: u64 = 64;
+    const N: u64 = 256;
+    let transport = bind_server(QUEUES);
+    let mut server = MinosServer::start_with_transport(
+        ServerConfig::for_test(QUEUES as usize, 10_000),
+        Arc::clone(&transport),
+    );
+    preload(&transport, QUEUES, KEYS);
+
+    let policy = RetryPolicy {
+        timeout: Duration::from_millis(50),
+        max_retries: 1_000,
+    };
+    let mut client = udp_client(&transport, QUEUES, 2, 1, Some(policy));
+    blast_unpolled(&mut client, N, KEYS);
+
+    // Actively polling now keeps the tiny buffer drained, so each retry
+    // round completes a slice of the outstanding set.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while client.totals().outstanding() > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "retries did not converge: {} outstanding after {} retransmits",
+            client.totals().outstanding(),
+            client.totals().retransmits
+        );
+        client.poll();
+    }
+    let totals = client.totals();
+    assert_eq!(totals.completed, N, "every request eventually completed");
+    assert!(
+        totals.retransmits > 0,
+        "the lossy burst must have forced retransmissions"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn many_client_threads_converge_against_a_multi_queue_server() {
+    const QUEUES: u16 = 2;
+    const CLIENTS: u16 = 4;
+    const KEYS: u64 = 64;
+    const OPS: u64 = 400;
+    let transport = bind_server(QUEUES);
+    let mut server = MinosServer::start_with_transport(
+        ServerConfig::for_test(QUEUES as usize, 10_000),
+        Arc::clone(&transport),
+    );
+    preload(&transport, QUEUES, KEYS);
+
+    // Small client buffers + unpaced sending forces buffer pressure;
+    // the retry policy must still converge every thread to zero loss.
+    let policy = RetryPolicy {
+        timeout: Duration::from_millis(100),
+        max_retries: 1_000,
+    };
+    let reports: Vec<(u64, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let transport = &transport;
+                scope.spawn(move || {
+                    let mut client = udp_client(transport, QUEUES, 10 + c, 64 << 10, Some(policy));
+                    for i in 0..OPS {
+                        // 1:7 PUT:GET mix over the preloaded keys.
+                        let key = (i * u64::from(c + 1)) % KEYS;
+                        if i % 8 == 0 {
+                            client.send_put(key, &vec![c as u8; VALUE_LEN], false);
+                        } else {
+                            client.send_get(key, false);
+                        }
+                        // Bursty but bounded: a shallow window keeps the
+                        // run finite while still slamming the buffers.
+                        while client.totals().outstanding() > 128 {
+                            client.poll();
+                        }
+                    }
+                    let deadline = Instant::now() + Duration::from_secs(120);
+                    while client.totals().outstanding() > 0 && Instant::now() < deadline {
+                        client.poll();
+                    }
+                    let t = client.totals();
+                    (t.completed, t.outstanding(), t.retransmits)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (c, (completed, outstanding, retransmits)) in reports.iter().enumerate() {
+        assert_eq!(
+            *outstanding, 0,
+            "client {c}: {outstanding} lost after {retransmits} retransmits"
+        );
+        assert_eq!(*completed, OPS, "client {c} completed everything");
+    }
+    let stats = transport.stats();
+    assert!(stats.rx_packets >= u64::from(CLIENTS) * OPS);
+    server.shutdown();
+}
+
+/// The acceptance demonstration: on loopback, the batched path moves
+/// the same traffic in far fewer syscalls than the per-datagram path at
+/// equal (zero) loss, and its throughput is printed for comparison.
+#[test]
+fn batched_path_cuts_syscalls_at_equal_loss() {
+    const N: usize = 4_096;
+    const CHUNK: usize = 256;
+    let mut measured = Vec::new();
+    for batch in [32usize, 1] {
+        let server = loop {
+            let config = UdpConfig {
+                batch,
+                ..UdpConfig::loopback(alloc_base(1), 1)
+            };
+            if let Ok(t) = UdpTransport::bind(config) {
+                break t;
+            }
+        };
+        let client = UdpTransport::bind_client_with(UdpConfig {
+            batch,
+            ..UdpConfig::client(Ipv4Addr::LOCALHOST)
+        })
+        .unwrap();
+
+        let src = client.local_endpoint(0);
+        let dst = server.local_endpoint(0);
+        let start = Instant::now();
+        let mut received = Vec::with_capacity(N);
+        // Interleave sends and drains so the receive buffer never
+        // overflows: equal loss (zero) on both paths by construction.
+        for chunk_base in (0..N).step_by(CHUNK) {
+            let mut burst: Vec<Packet> = (chunk_base..chunk_base + CHUNK)
+                .map(|i| synthesize(src, dst, bytes::Bytes::from(vec![i as u8; 64])))
+                .collect();
+            assert_eq!(client.tx_burst(0, &mut burst), CHUNK, "no tx loss");
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while received.len() < chunk_base + CHUNK {
+                assert!(Instant::now() < deadline, "rx stalled");
+                server.rx_burst(0, &mut received, CHUNK);
+            }
+        }
+        let elapsed = start.elapsed();
+        assert_eq!(received.len(), N, "zero loss");
+        let io = server.io_stats();
+        assert_eq!(io.rx_packets, N as u64);
+        println!(
+            "batch={batch:>2}: {N} datagrams in {:>9.3?} ({:>7.0} pkts/s), {} rx syscalls ({:.1} pkts/syscall)",
+            elapsed,
+            N as f64 / elapsed.as_secs_f64(),
+            io.rx_syscalls,
+            io.rx_packets as f64 / io.rx_syscalls as f64,
+        );
+        measured.push((batch, elapsed, io));
+    }
+    let (_, _, batched_io) = &measured[0];
+    let (_, _, singly_io) = &measured[1];
+    if batched_io.batched {
+        assert!(
+            batched_io.rx_syscalls * 4 <= batched_io.rx_packets,
+            "recvmmsg must average >= 4 datagrams per syscall under backlog \
+             ({} syscalls for {} packets)",
+            batched_io.rx_syscalls,
+            batched_io.rx_packets
+        );
+    }
+    assert!(
+        singly_io.rx_syscalls >= singly_io.rx_packets,
+        "the per-datagram path pays at least one syscall per packet"
+    );
+}

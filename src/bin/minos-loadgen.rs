@@ -10,23 +10,37 @@
 //! corresponding to scenarios in which the packet loss rate is equal
 //! to 0").
 //!
+//! A single open-loop client tops out well below a busy-polling server's
+//! capacity, so the offered load is split across `--clients` OS threads,
+//! each with its own UDP socket and open-loop schedule; the report
+//! merges per-client latency histograms into aggregate percentiles.
+//! `--retry-timeout-ms` optionally enables client-side retransmission
+//! (the paper's §4.1 leaves retry to the client) for lossy non-loopback
+//! links; the default stays the strict zero-loss reporting mode.
+//!
 //! ```text
 //! minos-loadgen --target 127.0.0.1:9000 --queues 4 \
-//!               [--rate OPS] [--duration SECS] [--profile default|write]
-//!               [--keys N] [--large-keys N] [--seed S] [--no-preload]
+//!               [--clients N] [--rate OPS] [--duration SECS]
+//!               [--profile default|write] [--keys N] [--large-keys N]
+//!               [--seed S] [--no-preload] [--retry-timeout-ms MS]
+//!               [--max-retries N] [--pin BASECPU] [--sockbuf BYTES]
+//!               [--batch N]
 //! ```
 
-use minos::core::client::Client;
-use minos::net::{endpoint_for, Transport, UdpTransport};
+use minos::core::client::{Client, ClientTotals, RetryPolicy};
+use minos::net::{endpoint_for, Transport, TransportStats, UdpConfig, UdpIoStats, UdpTransport};
+use minos::stats::LatencyHistogram;
 use minos::workload::{AccessGenerator, Dataset, OpenLoop, Profile, Rng, DEFAULT_PROFILE};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+#[derive(Clone)]
 struct Args {
     target_ip: Ipv4Addr,
     target_port: u16,
     queues: u16,
+    clients: u16,
     rate: f64,
     duration: Duration,
     profile: Profile,
@@ -34,6 +48,10 @@ struct Args {
     large_keys: u64,
     seed: u64,
     preload: bool,
+    retry: Option<RetryPolicy>,
+    pin_base: Option<usize>,
+    sockbuf: usize,
+    batch: usize,
 }
 
 const USAGE: &str = "minos-loadgen: open-loop UDP load generator for minos-server
@@ -42,17 +60,28 @@ USAGE:
     minos-loadgen --target IP:BASEPORT --queues N [OPTIONS]
 
 OPTIONS:
-    --target IP:PORT   server address; PORT is the base port of queue 0
-    --queues N         number of server RX queues (= server --cores)
-    --rate OPS         offered load, requests/second (default 20000)
-    --duration SECS    measured run length (default 10)
-    --profile NAME     'default' (95:5 GET:PUT, p_L=0.125%) or 'write'
-                       (50:50; the paper's write-intensive mix)
-    --keys N           dataset size in keys (default 100000)
-    --large-keys N     number of large keys (default 100)
-    --seed S           RNG seed (default 42)
-    --no-preload       skip the PUT preload phase
-    -h, --help         this help
+    --target IP:PORT       server address; PORT is the base port of queue 0
+    --queues N             number of server RX queues (= server --cores)
+    --clients N            client threads, each with its own socket and
+                           open-loop schedule at rate/N (default 1)
+    --rate OPS             aggregate offered load, requests/second
+                           (default 20000)
+    --duration SECS        measured run length (default 10)
+    --profile NAME         'default' (95:5 GET:PUT, p_L=0.125%) or 'write'
+                           (50:50; the paper's write-intensive mix)
+    --keys N               dataset size in keys (default 100000)
+    --large-keys N         number of large keys (default 100)
+    --seed S               RNG seed (default 42)
+    --no-preload           skip the PUT preload phase
+    --retry-timeout-ms MS  resend a request unanswered for MS ms (default
+                           off: the paper's strict zero-loss mode)
+    --max-retries N        resend budget per request (default 8)
+    --pin BASECPU          pin client thread c to cpu BASECPU+c
+                           (sched_setaffinity; best-effort)
+    --sockbuf BYTES        client socket buffer size (default 4 MiB)
+    --batch N              max datagrams per recvmmsg/sendmmsg syscall
+                           (default 32; 1 = one syscall per datagram)
+    -h, --help             this help
 ";
 
 fn parse_args() -> Result<Args, String> {
@@ -60,6 +89,7 @@ fn parse_args() -> Result<Args, String> {
         target_ip: Ipv4Addr::LOCALHOST,
         target_port: 9000,
         queues: 0,
+        clients: 1,
         rate: 20_000.0,
         duration: Duration::from_secs(10),
         profile: DEFAULT_PROFILE,
@@ -67,7 +97,13 @@ fn parse_args() -> Result<Args, String> {
         large_keys: 100,
         seed: 42,
         preload: true,
+        retry: None,
+        pin_base: None,
+        sockbuf: 4 << 20,
+        batch: minos::net::DEFAULT_SYSCALL_BATCH,
     };
+    let mut retry_timeout_ms = 0u64;
+    let mut max_retries = 8u32;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
@@ -84,6 +120,11 @@ fn parse_args() -> Result<Args, String> {
                 args.queues = value("--queues")?
                     .parse()
                     .map_err(|e| format!("--queues: {e}"))?
+            }
+            "--clients" => {
+                args.clients = value("--clients")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?
             }
             "--rate" => {
                 args.rate = value("--rate")?
@@ -120,6 +161,29 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--seed: {e}"))?
             }
             "--no-preload" => args.preload = false,
+            "--retry-timeout-ms" => {
+                retry_timeout_ms = value("--retry-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--retry-timeout-ms: {e}"))?
+            }
+            "--max-retries" => {
+                max_retries = value("--max-retries")?
+                    .parse()
+                    .map_err(|e| format!("--max-retries: {e}"))?
+            }
+            "--pin" => {
+                args.pin_base = Some(value("--pin")?.parse().map_err(|e| format!("--pin: {e}"))?)
+            }
+            "--sockbuf" => {
+                args.sockbuf = value("--sockbuf")?
+                    .parse()
+                    .map_err(|e| format!("--sockbuf: {e}"))?
+            }
+            "--batch" => {
+                args.batch = value("--batch")?
+                    .parse()
+                    .map_err(|e| format!("--batch: {e}"))?
+            }
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -130,6 +194,9 @@ fn parse_args() -> Result<Args, String> {
     if args.queues == 0 {
         return Err("--queues is required (match the server's --cores)".into());
     }
+    if args.clients == 0 {
+        return Err("--clients must be positive".into());
+    }
     if args.target_port.checked_add(args.queues - 1).is_none() {
         return Err(format!(
             "--target port {} + {} queues exceeds 65535",
@@ -139,39 +206,68 @@ fn parse_args() -> Result<Args, String> {
     if args.rate <= 0.0 {
         return Err("--rate must be positive".into());
     }
+    if retry_timeout_ms > 0 {
+        args.retry = Some(RetryPolicy {
+            timeout: Duration::from_millis(retry_timeout_ms),
+            max_retries,
+        });
+    }
     Ok(args)
 }
 
-fn main() {
-    let args = match parse_args() {
-        Ok(a) => a,
+fn make_client(args: &Args, client_id: u16) -> (Arc<UdpTransport>, Client) {
+    let config = UdpConfig {
+        socket_buffer_bytes: args.sockbuf,
+        batch: args.batch,
+        ..UdpConfig::client(Ipv4Addr::UNSPECIFIED)
+    };
+    let transport = match UdpTransport::bind_client_with(config) {
+        Ok(t) => Arc::new(t),
         Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
-            std::process::exit(2);
+            eprintln!("error: cannot bind client socket: {e}");
+            std::process::exit(1);
         }
     };
-
+    let endpoint = transport.local_endpoint(0);
     let server = endpoint_for(args.target_ip, args.target_port);
-    let make_client = |client_id: u16| -> (Arc<UdpTransport>, Client) {
-        let transport = match UdpTransport::bind_client(Ipv4Addr::UNSPECIFIED) {
-            Ok(t) => Arc::new(t),
-            Err(e) => {
-                eprintln!("error: cannot bind client socket: {e}");
-                std::process::exit(1);
-            }
-        };
-        let endpoint = transport.local_endpoint(0);
-        let client = Client::with_transport(
-            Arc::clone(&transport) as Arc<dyn Transport>,
-            endpoint,
-            server,
-            args.queues,
-            client_id,
-            args.seed ^ u64::from(client_id),
-        );
-        (transport, client)
-    };
+    let mut client = Client::with_transport(
+        Arc::clone(&transport) as Arc<dyn Transport>,
+        endpoint,
+        server,
+        args.queues,
+        client_id,
+        args.seed ^ u64::from(client_id),
+    );
+    if let Some(policy) = args.retry {
+        client = client.with_retry(policy);
+    }
+    (transport, client)
+}
 
+/// What one measured client thread hands back for merging.
+struct ClientReport {
+    sent: u64,
+    totals: ClientTotals,
+    latency: LatencyHistogram,
+    latency_large: LatencyHistogram,
+    behind_max: Duration,
+    elapsed: Duration,
+    stats: TransportStats,
+    io: UdpIoStats,
+    drained: bool,
+}
+
+/// One client thread's measured run: open-loop injection at
+/// `rate / clients` for `duration`, then a drain.
+fn run_client(args: &Args, client_idx: u16) -> ClientReport {
+    if let Some(base) = args.pin_base {
+        let cpu = base + client_idx as usize;
+        if let Err(e) = minos::net::affinity::pin_current_thread(cpu) {
+            eprintln!("loadgen client {client_idx}: pinning to cpu {cpu} failed: {e}");
+        }
+    }
+    // Client ids 1..=N (the preloader uses 99 + N).
+    let (transport, mut client) = make_client(args, 1 + client_idx);
     let dataset = Dataset::new(
         args.keys,
         args.large_keys,
@@ -180,83 +276,19 @@ fn main() {
         args.seed,
     );
     let generator = AccessGenerator::new(
-        dataset.clone(),
+        dataset,
         args.profile.p_large,
         args.profile.get_ratio,
         args.profile.zipf_s,
     );
 
-    println!(
-        "minos-loadgen: target {}:{}+{}q, {} ops/s for {:?}, {} keys ({} large), profile p_L={:.4}% GET={:.0}%",
-        args.target_ip,
-        args.target_port,
-        args.queues,
-        args.rate,
-        args.duration,
-        args.keys,
-        args.large_keys,
-        args.profile.p_large * 100.0,
-        args.profile.get_ratio * 100.0,
+    let rate = args.rate / f64::from(args.clients);
+    let mut arrivals = OpenLoop::new(rate, 0);
+    let mut arrival_rng = Rng::new(args.seed ^ 0x9e37_79b9 ^ (u64::from(client_idx) << 17));
+    let mut op_rng = Rng::new(
+        (args.seed ^ (u64::from(client_idx) + 1).wrapping_mul(0x5851_f42d_4c95_7f2d))
+            .wrapping_mul(0x2545_f491_4f6c_dd1d),
     );
-
-    // ---- Preload: PUT every key at its dataset size so GETs hit.
-    // A separate client keeps the measured latency histograms clean. ----
-    if args.preload {
-        let (_preload_transport, mut preload_client) = make_client(99);
-        let t0 = Instant::now();
-        let no_replies = |client: &Client| -> ! {
-            eprintln!(
-                "error: preload lost {} replies after {}s — is the server running with --cores={} at the target address?",
-                client.totals().outstanding(),
-                t0.elapsed().as_secs(),
-                args.queues,
-            );
-            std::process::exit(1);
-        };
-        let mut preloaded = 0u64;
-        // A stall deadline keyed to *progress*, not wall time: a large
-        // --keys preload against a healthy server may legitimately take
-        // minutes, while a dead target should be diagnosed in seconds.
-        let mut last_completed = 0u64;
-        let mut last_progress = t0;
-        for key in 0..args.keys {
-            let size = dataset.size_of(key) as usize;
-            let value = vec![(key % 251) as u8; size];
-            preload_client.send_put(key, &value, size > minos::wire::MAX_FRAG_CHUNK);
-            preloaded += 1;
-            // Keep the pipe shallow: replies are drained as we go, so
-            // the preload can't overrun server rings. Bail out instead
-            // of spinning forever when replies stop coming back.
-            if preloaded.is_multiple_of(64) {
-                while preload_client.totals().outstanding() > 256 {
-                    preload_client.poll();
-                    let completed = preload_client.totals().completed;
-                    if completed > last_completed {
-                        last_completed = completed;
-                        last_progress = Instant::now();
-                    } else if last_progress.elapsed() > Duration::from_secs(5) {
-                        no_replies(&preload_client);
-                    }
-                }
-            }
-        }
-        if !preload_client.drain(Duration::from_secs(30)) {
-            no_replies(&preload_client);
-        }
-        println!(
-            "preload: {} PUTs in {:.2}s ({} errors)",
-            preloaded,
-            t0.elapsed().as_secs_f64(),
-            preload_client.totals().errors,
-        );
-    }
-
-    let (transport, mut client) = make_client(1);
-
-    // ---- Measured run: open-loop injection at the target rate. ----
-    let mut arrivals = OpenLoop::new(args.rate, 0);
-    let mut arrival_rng = Rng::new(args.seed ^ 0x9e37_79b9);
-    let mut op_rng = Rng::new(args.seed.wrapping_mul(0x2545_f491_4f6c_dd1d));
     let start = Instant::now();
     let mut next_at = Duration::from_nanos(arrivals.next_arrival(&mut arrival_rng));
     let mut sent = 0u64;
@@ -274,40 +306,224 @@ fn main() {
     }
     let elapsed = start.elapsed();
     let drained = client.drain(Duration::from_secs(10));
-    let totals = client.totals();
+    ClientReport {
+        sent,
+        totals: client.totals(),
+        latency: client.latency().clone(),
+        latency_large: client.latency_large().clone(),
+        behind_max,
+        elapsed,
+        stats: transport.stats(),
+        io: transport.io_stats(),
+        drained,
+    }
+}
 
-    // ---- Report (the paper's zero-loss + tail-latency methodology). ----
-    let completed = totals.completed;
-    let outstanding = totals.outstanding();
+fn preload(args: &Args, dataset: &Dataset) {
+    let (_preload_transport, mut preload_client) = make_client(args, 99 + args.clients);
+    let t0 = Instant::now();
+    let no_replies = |client: &Client| -> ! {
+        eprintln!(
+            "error: preload lost {} replies after {}s — is the server running with --cores={} at the target address?",
+            client.totals().outstanding(),
+            t0.elapsed().as_secs(),
+            args.queues,
+        );
+        std::process::exit(1);
+    };
+    let mut preloaded = 0u64;
+    // A stall deadline keyed to *progress*, not wall time: a large
+    // --keys preload against a healthy server may legitimately take
+    // minutes, while a dead target should be diagnosed in seconds.
+    let mut last_completed = 0u64;
+    let mut last_progress = t0;
+    for key in 0..args.keys {
+        let size = dataset.size_of(key) as usize;
+        let value = vec![(key % 251) as u8; size];
+        preload_client.send_put(key, &value, size > minos::wire::MAX_FRAG_CHUNK);
+        preloaded += 1;
+        // Keep the pipe shallow: replies are drained as we go, so
+        // the preload can't overrun server rings. Bail out instead
+        // of spinning forever when replies stop coming back.
+        if preloaded.is_multiple_of(64) {
+            while preload_client.totals().outstanding() > 256 {
+                preload_client.poll();
+                let completed = preload_client.totals().completed;
+                if completed > last_completed {
+                    last_completed = completed;
+                    last_progress = Instant::now();
+                } else if last_progress.elapsed() > Duration::from_secs(5) {
+                    no_replies(&preload_client);
+                }
+            }
+        }
+    }
+    if !preload_client.drain(Duration::from_secs(30)) {
+        no_replies(&preload_client);
+    }
+    println!(
+        "preload: {} PUTs in {:.2}s ({} errors)",
+        preloaded,
+        t0.elapsed().as_secs_f64(),
+        preload_client.totals().errors,
+    );
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "minos-loadgen: target {}:{}+{}q, {} clients x {:.0} ops/s for {:?}, {} keys ({} large), profile p_L={:.4}% GET={:.0}%{}",
+        args.target_ip,
+        args.target_port,
+        args.queues,
+        args.clients,
+        args.rate / f64::from(args.clients),
+        args.duration,
+        args.keys,
+        args.large_keys,
+        args.profile.p_large * 100.0,
+        args.profile.get_ratio * 100.0,
+        match args.retry {
+            Some(p) => format!(
+                ", retry {}ms x{}",
+                p.timeout.as_millis(),
+                p.max_retries
+            ),
+            None => ", zero-loss mode".into(),
+        },
+    );
+
+    // ---- Preload: PUT every key at its dataset size so GETs hit.
+    // A separate client keeps the measured latency histograms clean. ----
+    if args.preload {
+        let dataset = Dataset::new(
+            args.keys,
+            args.large_keys,
+            0.4,
+            args.profile.large_max,
+            args.seed,
+        );
+        preload(&args, &dataset);
+    }
+
+    // ---- Measured run: N threads, each open-loop at rate/N. ----
+    let reports: Vec<ClientReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|c| {
+                let args = &args;
+                scope.spawn(move || run_client(args, c))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // ---- Merge + report (the paper's zero-loss + tail methodology). ----
+    let mut latency = LatencyHistogram::new();
+    let mut latency_large = LatencyHistogram::new();
+    let mut sent = 0u64;
+    let mut completed = 0u64;
+    let mut errors = 0u64;
+    let mut retransmits = 0u64;
+    let mut outstanding = 0u64;
+    let mut behind_max = Duration::ZERO;
+    let mut elapsed = Duration::ZERO;
+    let mut tx_packets = 0u64;
+    let mut rx_packets = 0u64;
+    let mut tx_dropped = 0u64;
+    let mut rx_syscalls = 0u64;
+    let mut tx_syscalls = 0u64;
+    let mut batched = false;
+    let mut all_drained = true;
+    for r in &reports {
+        latency.merge(&r.latency);
+        latency_large.merge(&r.latency_large);
+        sent += r.sent;
+        completed += r.totals.completed;
+        errors += r.totals.errors;
+        retransmits += r.totals.retransmits;
+        outstanding += r.totals.outstanding();
+        behind_max = behind_max.max(r.behind_max);
+        elapsed = elapsed.max(r.elapsed);
+        tx_packets += r.stats.tx_packets;
+        rx_packets += r.stats.rx_packets;
+        tx_dropped += r.stats.tx_dropped;
+        rx_syscalls += r.io.rx_syscalls;
+        tx_syscalls += r.io.tx_syscalls;
+        batched |= r.io.batched;
+        all_drained &= r.drained;
+    }
+
     println!();
     println!("== minos-loadgen report ==");
-    println!("offered rate:     {:.0} ops/s", args.rate);
+    println!(
+        "offered rate:     {:.0} ops/s across {} clients",
+        args.rate, args.clients
+    );
     println!(
         "achieved:         {:.0} ops/s ({} ops in {:.2}s; max scheduling lag {:?})",
-        completed as f64 / elapsed.as_secs_f64(),
+        completed as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE),
         completed,
         elapsed.as_secs_f64(),
         behind_max,
     );
-    println!(
-        "sent/completed:   {sent} / {completed} ({} errors)",
-        totals.errors
-    );
-    if let Some(q) = client.latency().quantiles() {
+    println!("sent/completed:   {sent} / {completed} ({errors} errors)");
+    if args.retry.is_some() {
+        println!("retransmits:      {retransmits}");
+    }
+    if args.clients > 1 {
+        for (c, r) in reports.iter().enumerate() {
+            match r.latency.quantiles() {
+                Some(q) => println!(
+                    "client {c:>3}:       sent {} completed {} p50 {:.1}us p99 {:.1}us p99.9 {:.1}us{}",
+                    r.sent,
+                    r.totals.completed,
+                    q.p50_us,
+                    q.p99_us,
+                    q.p999_us,
+                    if r.totals.outstanding() > 0 {
+                        format!(" ({} lost)", r.totals.outstanding())
+                    } else {
+                        String::new()
+                    },
+                ),
+                None => println!(
+                    "client {c:>3}:       sent {} completed {} (no completions)",
+                    r.sent, r.totals.completed
+                ),
+            }
+        }
+    }
+    if let Some(q) = latency.quantiles() {
         println!("latency (all):    {q}");
     }
-    if let Some(q) = client.latency_large().quantiles() {
+    if let Some(q) = latency_large.quantiles() {
         println!("latency (large):  {q}");
     } else {
         println!("latency (large):  no large requests completed");
     }
-    let s = transport.stats();
     println!(
-        "client transport: tx {} rx {} packets ({} tx drops)",
-        s.tx_packets, s.rx_packets, s.tx_dropped,
+        "client transport: tx {tx_packets} rx {rx_packets} packets ({tx_dropped} tx drops); {} — {rx_syscalls} rx / {tx_syscalls} tx syscalls",
+        if batched {
+            "recvmmsg/sendmmsg"
+        } else {
+            "recv_from/send_to"
+        },
     );
-    if drained && outstanding == 0 {
-        println!("zero-loss:        PASS (every request completed)");
+    if all_drained && outstanding == 0 {
+        if retransmits == 0 {
+            println!("zero-loss:        PASS (every request completed)");
+        } else {
+            println!(
+                "zero-loss:        PASS after {retransmits} retransmits — not a §5.4 zero-loss measurement"
+            );
+        }
     } else {
         println!(
             "zero-loss:        FAIL ({outstanding} requests lost) — per §5.4 this run's numbers should be discarded"

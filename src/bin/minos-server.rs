@@ -8,7 +8,8 @@
 //! ```text
 //! minos-server [--cores N] [--bind IP] [--port BASE] [--items N]
 //!              [--mem BYTES] [--threshold dynamic|BYTES]
-//!              [--duration SECS]
+//!              [--duration SECS] [--batch N] [--sockbuf BYTES]
+//!              [--pin BASECPU]
 //! ```
 //!
 //! Runs until Ctrl-C (or `--duration`), then shuts down gracefully:
@@ -31,6 +32,9 @@ struct Args {
     mempool_bytes: usize,
     threshold: ThresholdMode,
     duration: Option<Duration>,
+    batch: usize,
+    sockbuf: usize,
+    pin_base: Option<usize>,
 }
 
 const USAGE: &str = "minos-server: size-aware sharded KV store over real UDP
@@ -47,6 +51,11 @@ OPTIONS:
     --threshold MODE   'dynamic' (paper control loop, default) or a fixed
                        byte threshold, e.g. '--threshold 1456'
     --duration SECS    exit after SECS instead of waiting for Ctrl-C
+    --batch N          max datagrams per recvmmsg/sendmmsg syscall
+                       (default 32; 1 = one syscall per datagram)
+    --sockbuf BYTES    socket send/receive buffer per queue (default 4 MiB)
+    --pin BASECPU      pin core q's polling thread to cpu BASECPU+q
+                       (sched_setaffinity; best-effort)
     -h, --help         this help
 ";
 
@@ -59,6 +68,9 @@ fn parse_args() -> Result<Args, String> {
         mempool_bytes: 2 << 30,
         threshold: ThresholdMode::Dynamic,
         duration: None,
+        batch: minos::net::DEFAULT_SYSCALL_BATCH,
+        sockbuf: 4 << 20,
+        pin_base: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -101,6 +113,19 @@ fn parse_args() -> Result<Args, String> {
                         .parse()
                         .map_err(|e| format!("--duration: {e}"))?,
                 ))
+            }
+            "--batch" => {
+                args.batch = value("--batch")?
+                    .parse()
+                    .map_err(|e| format!("--batch: {e}"))?
+            }
+            "--sockbuf" => {
+                args.sockbuf = value("--sockbuf")?
+                    .parse()
+                    .map_err(|e| format!("--sockbuf: {e}"))?
+            }
+            "--pin" => {
+                args.pin_base = Some(value("--pin")?.parse().map_err(|e| format!("--pin: {e}"))?)
             }
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -159,6 +184,8 @@ fn main() {
 
     let transport = match UdpTransport::bind(UdpConfig {
         ip: args.bind,
+        batch: args.batch,
+        socket_buffer_bytes: args.sockbuf,
         ..UdpConfig::loopback(args.base_port, args.cores as u16)
     }) {
         Ok(t) => Arc::new(t),
@@ -178,15 +205,23 @@ fn main() {
     config.minos.epoch_ns = 1_000_000_000; // the paper's 1 s epochs
     config.store =
         minos::kv::StoreConfig::for_items(args.cores * 4, args.items, args.mempool_bytes);
+    config.pin_cpus = args
+        .pin_base
+        .map(|base| (base..base + args.cores).collect());
 
     println!(
-        "minos-server: {} cores on {}:{}..{} (threshold {:?}, {} item slots)",
+        "minos-server: {} cores on {}:{}..{} (threshold {:?}, {} item slots, syscall batch {}{})",
         args.cores,
         args.bind,
         args.base_port,
         args.base_port + args.cores as u16 - 1,
         args.threshold,
         args.items,
+        args.batch,
+        match args.pin_base {
+            Some(base) => format!(", pinned to cpus {}..{}", base, base + args.cores),
+            None => String::new(),
+        },
     );
     println!("press Ctrl-C to drain and exit");
 
@@ -230,6 +265,7 @@ fn main() {
     let drained = server.drain(Duration::from_secs(5));
     server.shutdown();
     let s = transport.stats();
+    let io = transport.io_stats();
     println!(
         "minos-server: {} — rx {} packets, tx {} packets, {} tx drops, {} epochs",
         if drained { "drained" } else { "drain timeout" },
@@ -237,5 +273,17 @@ fn main() {
         s.tx_packets,
         s.tx_dropped,
         server.counters().epochs,
+    );
+    println!(
+        "syscall batching: {} — {} rx syscalls for {} packets, {} tx syscalls for {} packets",
+        if io.batched {
+            "recvmmsg/sendmmsg"
+        } else {
+            "recv_from/send_to"
+        },
+        io.rx_syscalls,
+        io.rx_packets,
+        io.tx_syscalls,
+        io.tx_packets,
     );
 }
