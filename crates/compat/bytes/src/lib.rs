@@ -11,13 +11,34 @@
 use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
+/// Object-safe view of a foreign buffer owner backing a [`Bytes`]
+/// (see [`Bytes::from_owner`]).
+trait ByteOwner: Send + Sync {
+    fn as_bytes(&self) -> &[u8];
+}
+
+impl<T: AsRef<[u8]> + Send + Sync> ByteOwner for T {
+    fn as_bytes(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+/// Storage behind a [`Bytes`] window: either a plain shared slice or a
+/// caller-supplied owner whose `Drop` reclaims the buffer (buffer
+/// pools use this to return slots when the last clone drops).
+#[derive(Clone)]
+enum Repr {
+    Shared(Arc<[u8]>),
+    Owned(Arc<dyn ByteOwner>),
+}
+
 /// A cheaply cloneable, contiguous, immutable byte buffer.
 ///
-/// Internally an `Arc<[u8]>` plus a window; `clone` and `slice` are O(1)
-/// and never copy.
+/// Internally a refcounted buffer plus a window; `clone` and `slice`
+/// are O(1) and never copy.
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Repr,
     start: usize,
     end: usize,
 }
@@ -33,7 +54,7 @@ impl Bytes {
     /// cost at construction; clones and slices stay O(1)).
     pub fn from_static(s: &'static [u8]) -> Self {
         Bytes {
-            data: Arc::from(s),
+            data: Repr::Shared(Arc::from(s)),
             start: 0,
             end: s.len(),
         }
@@ -42,9 +63,27 @@ impl Bytes {
     /// Copies `s` into a new buffer.
     pub fn copy_from_slice(s: &[u8]) -> Self {
         Bytes {
-            data: Arc::from(s),
+            data: Repr::Shared(Arc::from(s)),
             start: 0,
             end: s.len(),
+        }
+    }
+
+    /// Wraps a caller-owned buffer without copying. The `Bytes` (and
+    /// every clone/slice of it) keeps `owner` alive; when the last
+    /// reference drops, `owner`'s `Drop` runs — which is how pooled
+    /// buffers return to their pool. `owner.as_ref()` must be stable:
+    /// it is re-evaluated on every access and must always return the
+    /// same slice.
+    pub fn from_owner<O>(owner: O) -> Self
+    where
+        O: AsRef<[u8]> + Send + Sync + 'static,
+    {
+        let end = owner.as_ref().len();
+        Bytes {
+            data: Repr::Owned(Arc::new(owner)),
+            start: 0,
+            end,
         }
     }
 
@@ -77,7 +116,7 @@ impl Bytes {
         };
         assert!(begin <= end && end <= len, "slice out of bounds");
         Bytes {
-            data: Arc::clone(&self.data),
+            data: self.data.clone(),
             start: self.start + begin,
             end: self.start + end,
         }
@@ -85,7 +124,11 @@ impl Bytes {
 
     /// The window as a slice.
     pub fn as_slice(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        let full: &[u8] = match &self.data {
+            Repr::Shared(data) => data,
+            Repr::Owned(owner) => owner.as_bytes(),
+        };
+        &full[self.start..self.end]
     }
 
     /// Copies the window into a fresh `Vec`.
@@ -117,7 +160,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let len = v.len();
         Bytes {
-            data: Arc::from(v.into_boxed_slice()),
+            data: Repr::Shared(Arc::from(v.into_boxed_slice())),
             start: 0,
             end: len,
         }
@@ -392,6 +435,21 @@ impl BufMut for Vec<u8> {
     }
 }
 
+/// Writes into a fixed slice, advancing the window — matching the real
+/// `bytes` crate's `impl BufMut for &mut [u8]`.
+///
+/// # Panics
+///
+/// Panics if a write exceeds the remaining slice.
+impl BufMut for &mut [u8] {
+    fn put_slice(&mut self, src: &[u8]) {
+        assert!(src.len() <= self.len(), "buffer overflow");
+        let (head, tail) = std::mem::take(self).split_at_mut(src.len());
+        head.copy_from_slice(src);
+        *self = tail;
+    }
+}
+
 impl<B: BufMut + ?Sized> BufMut for &mut B {
     fn put_slice(&mut self, src: &[u8]) {
         (**self).put_slice(src)
@@ -446,5 +504,31 @@ mod tests {
         let a = Bytes::from(vec![1, 2, 3]);
         let b = Bytes::copy_from_slice(&[0, 1, 2, 3]).slice(1..);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn owner_dropped_with_last_reference() {
+        struct Guard(Vec<u8>, std::sync::Arc<std::sync::atomic::AtomicBool>);
+        impl AsRef<[u8]> for Guard {
+            fn as_ref(&self) -> &[u8] {
+                &self.0
+            }
+        }
+        impl Drop for Guard {
+            fn drop(&mut self) {
+                self.1.store(true, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+        let dropped = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let b = Bytes::from_owner(Guard(vec![1, 2, 3, 4], std::sync::Arc::clone(&dropped)));
+        let s = b.slice(1..3);
+        assert_eq!(&s[..], &[2, 3]);
+        drop(b);
+        assert!(
+            !dropped.load(std::sync::atomic::Ordering::SeqCst),
+            "a live slice must keep the owner alive"
+        );
+        drop(s);
+        assert!(dropped.load(std::sync::atomic::Ordering::SeqCst));
     }
 }

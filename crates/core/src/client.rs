@@ -212,11 +212,53 @@ impl Client {
     /// Sends one operation from the workload generator. Values for PUTs
     /// are synthesized at the spec's item size.
     pub fn send(&mut self, spec: &OpSpec) {
+        let (encoded, queue) = self.prepare_spec(spec);
+        self.transmit(&encoded, queue);
+    }
+
+    /// Sends a batch of operations as one coalesced transmit: every
+    /// fragment of every request goes out through a single
+    /// [`Transport::tx_burst`] (one `sendmmsg` on the UDP backend for
+    /// bursts up to the syscall batch size), instead of one
+    /// send per request. This is how an open-loop load generator that
+    /// has fallen behind its schedule catches up without paying a
+    /// syscall per overdue arrival.
+    pub fn send_batch(&mut self, specs: &[OpSpec]) {
+        match specs {
+            [] => {}
+            [one] => self.send(one),
+            many => {
+                let mut burst: Vec<Packet> = Vec::with_capacity(many.len());
+                for spec in many {
+                    let (encoded, queue) = self.prepare_spec(spec);
+                    let dst = self.queue_endpoint(queue);
+                    for frag in self.fragmenter.fragment(&encoded) {
+                        burst.push(synthesize(self.endpoint, dst, frag));
+                    }
+                }
+                let _ = self.transport.tx_burst(0, &mut burst);
+            }
+        }
+    }
+
+    /// Encodes one workload op and registers it as pending (send time
+    /// starts now); returns the encoded message and its target queue.
+    fn prepare_spec(&mut self, spec: &OpSpec) -> (Bytes, u16) {
         match spec.op {
-            Operation::Get => self.send_get(spec.key, spec.is_large),
+            Operation::Get => {
+                let queue = self.pick_random_queue();
+                self.prepare_message(Body::Get { key: spec.key }, spec.key, queue, spec.is_large)
+            }
             Operation::Put => {
                 let value = vec![(spec.key % 251) as u8; spec.item_size as usize];
-                self.send_put(spec.key, &value, spec.is_large);
+                let queue = self.pick_keyhash_queue(spec.key);
+                let body = Body::Put {
+                    key: spec.key,
+                    // The synthesized value moves into the message —
+                    // no second copy on the loadgen hot path.
+                    value: Bytes::from(value),
+                };
+                self.prepare_message(body, spec.key, queue, spec.is_large)
             }
         }
     }
@@ -247,6 +289,14 @@ impl Client {
     }
 
     fn send_message(&mut self, body: Body, key: u64, queue: u16, large: bool) {
+        let (encoded, queue) = self.prepare_message(body, key, queue, large);
+        self.transmit(&encoded, queue);
+    }
+
+    /// Encodes a request and registers it as pending — everything
+    /// [`Client::send_message`] does short of transmitting, so batched
+    /// senders can coalesce many prepared requests into one burst.
+    fn prepare_message(&mut self, body: Body, key: u64, queue: u16, large: bool) -> (Bytes, u16) {
         let request_id = self.next_request_id;
         self.next_request_id += 1;
         let now = self.now_ns();
@@ -257,7 +307,6 @@ impl Client {
             body,
         };
         let encoded = msg.encode();
-        self.transmit(&encoded, queue);
         self.pending.insert(
             request_id,
             Pending {
@@ -266,10 +315,20 @@ impl Client {
                 retries: 0,
                 key,
                 large,
-                resend: self.retry.map(|_| (encoded, queue)),
+                resend: self.retry.map(|_| (encoded.clone(), queue)),
             },
         );
         self.totals.sent += 1;
+        (encoded, queue)
+    }
+
+    /// The server endpoint addressing RX queue `queue`.
+    fn queue_endpoint(&self, queue: u16) -> Endpoint {
+        Endpoint {
+            mac: self.server.mac,
+            ip: self.server.ip,
+            port: self.server.port + queue,
+        }
     }
 
     /// Fragments `encoded` and transmits it: single-fragment requests
@@ -277,11 +336,7 @@ impl Client {
     /// multi-fragment ones as one burst (one `sendmmsg` on the UDP
     /// backend instead of a syscall per fragment).
     fn transmit(&mut self, encoded: &Bytes, queue: u16) {
-        let dst = Endpoint {
-            mac: self.server.mac,
-            ip: self.server.ip,
-            port: self.server.port + queue,
-        };
+        let dst = self.queue_endpoint(queue);
         let mut frags = self.fragmenter.fragment(encoded);
         if frags.len() == 1 {
             let pkt = synthesize(self.endpoint, dst, frags.pop().expect("one fragment"));

@@ -772,7 +772,10 @@ pub fn transmit_reply<T: Transport + ?Sized>(
     value: Option<minos_kv::PoolBytes>,
     msg_id: u64,
 ) -> (u64, u64) {
-    let value_bytes = value.map(|v| bytes::Bytes::copy_from_slice(&v));
+    // `PoolBytes` is already refcounted mempool storage; wrapping it as
+    // an owner-backed `Bytes` hands it to the wire layer without the
+    // copy (and allocation) this path used to pay per GET reply.
+    let value_bytes = value.map(bytes::Bytes::from_owner);
     let reply = req.msg.reply(status, value_bytes);
     let encoded = reply.encode();
     let mut burst: Vec<Packet> = fragment_with_id(msg_id, &encoded)

@@ -11,8 +11,8 @@
 //!
 //! Module map:
 //!
-//! * [`keyhash`] — the keyhash and its split into partition / bucket /
-//!   tag portions, exactly the three-way split MICA describes.
+//! * [`mod@keyhash`] — the keyhash and its split into partition /
+//!   bucket / tag portions, exactly the three-way split MICA describes.
 //! * [`mem`] — a DPDK-`rte_mempool`-style memory manager: size-class
 //!   freelists of fixed blocks with a hard capacity, handing out
 //!   reference-counted value buffers that return to the pool on drop.

@@ -3,9 +3,16 @@
 //! One `recvmmsg`/`sendmmsg` call moves a whole burst of datagrams, but
 //! each call needs an array of `mmsghdr`/`iovec`/address/buffer storage.
 //! These arenas allocate that storage once per queue at bind time and
-//! reuse it for every burst — the hot path performs no allocation beyond
-//! the `Bytes` payload copies that hand packets to the engine (which the
-//! one-datagram path pays too).
+//! reuse it for every burst.
+//!
+//! The receive arena's iovecs point straight at slots checked out of a
+//! [`crate::pool::BufferPool`]: the kernel writes each datagram into a
+//! pooled buffer, which [`RxArena::recv_batch`] freezes into a
+//! refcounted [`bytes::Bytes`] (no copy) and replaces with a fresh
+//! slot. Payloads therefore travel
+//! through the engine without a single per-datagram allocation or copy;
+//! the slot returns to the pool when the last reference to the payload
+//! drops.
 //!
 //! The raw pointers inside the headers are rebuilt from the owned
 //! buffers immediately before every syscall, so moving an arena between
@@ -18,42 +25,48 @@ pub use linux::{RxArena, TxArena};
 #[cfg(not(target_os = "linux"))]
 pub use portable::{RxArena, TxArena};
 
-/// Bytes of receive buffer per arena slot: an MTU-sized datagram plus
-/// slack, matching the one-datagram path's stack buffer.
+/// Bytes of receive buffer per pool slot: an MTU-sized datagram plus
+/// slack, matching the one-datagram path's buffer.
 pub const RX_SLOT_LEN: usize = minos_wire::MTU + 64;
 
 #[cfg(target_os = "linux")]
 mod linux {
-    use super::RX_SLOT_LEN;
+    use crate::pool::{BufferPool, PooledBuf};
     use crate::sys::{IoVec, MMsgHdr, MsgHdr, SockaddrIn};
+    use bytes::Bytes;
     use minos_wire::packet::Packet;
     use std::io;
     use std::net::{Ipv4Addr, SocketAddrV4};
     use std::os::fd::RawFd;
 
-    /// Receive-side arena: `cap` reusable slots for one `recvmmsg` call.
+    /// Receive-side arena: `cap` reusable slots for one `recvmmsg` call,
+    /// each backed by a pooled buffer the kernel writes into directly.
     pub struct RxArena {
         cap: usize,
-        /// One contiguous slab, `cap * RX_SLOT_LEN` bytes.
-        bufs: Vec<u8>,
+        /// Checked-out pool slots; consumed entries are refilled lazily
+        /// at the start of the next call.
+        slots: Vec<Option<PooledBuf>>,
+        pool: BufferPool,
         addrs: Vec<SockaddrIn>,
         iovecs: Vec<IoVec>,
         hdrs: Vec<MMsgHdr>,
     }
 
     // SAFETY: the raw pointers inside `iovecs`/`hdrs` are scratch state,
-    // rebuilt from the owned vectors at the start of every call; between
+    // rebuilt from the owned buffers at the start of every call; between
     // calls they are never dereferenced, so the arena may move between
     // threads freely (access is serialized by a Mutex in the transport).
     unsafe impl Send for RxArena {}
 
     impl RxArena {
-        /// An arena able to receive up to `cap` datagrams per syscall.
-        pub fn new(cap: usize) -> Self {
+        /// An arena able to receive up to `cap` datagrams per syscall,
+        /// drawing its buffers from `pool`.
+        pub fn new(cap: usize, pool: BufferPool) -> Self {
             let cap = cap.max(1);
             RxArena {
                 cap,
-                bufs: vec![0u8; cap * RX_SLOT_LEN],
+                slots: (0..cap).map(|_| None).collect(),
+                pool,
                 addrs: vec![SockaddrIn::ZERO; cap],
                 iovecs: vec![
                     IoVec {
@@ -85,20 +98,21 @@ mod linux {
         /// Invokes `sink(peer, payload)` for every received IPv4
         /// datagram (other address families are counted but not sunk)
         /// and returns the raw count the kernel delivered — `sink` may
-        /// thus run fewer times than the return value.
+        /// thus run fewer times than the return value. `payload` is the
+        /// pooled buffer the kernel wrote into, frozen; no copy happens
+        /// on this path.
         pub fn recv_batch(
             &mut self,
             fd: RawFd,
             max: usize,
-            mut sink: impl FnMut(SocketAddrV4, &[u8]),
+            mut sink: impl FnMut(SocketAddrV4, Bytes),
         ) -> io::Result<usize> {
             let want = max.min(self.cap).max(1);
-            let base = self.bufs.as_mut_ptr();
             for i in 0..want {
+                let slot = self.slots[i].get_or_insert_with(|| self.pool.take());
                 self.iovecs[i] = IoVec {
-                    // SAFETY: slot i lies within the owned slab.
-                    iov_base: unsafe { base.add(i * RX_SLOT_LEN) },
-                    iov_len: RX_SLOT_LEN,
+                    iov_base: slot.as_mut_ptr(),
+                    iov_len: slot.len(),
                 };
                 self.hdrs[i] = MMsgHdr {
                     msg_hdr: MsgHdr {
@@ -113,14 +127,18 @@ mod linux {
                     msg_len: 0,
                 };
             }
-            // SAFETY: all headers point into storage owned by `self`,
-            // alive across the call.
+            // SAFETY: all headers point into storage owned by `self`
+            // (the pooled buffers live in `self.slots`), alive across
+            // the call.
             let got = unsafe { crate::sys::recv_mmsg(fd, &mut self.hdrs[..want])? };
             for i in 0..got {
-                let len = (self.hdrs[i].msg_len as usize).min(RX_SLOT_LEN);
+                let len = self.hdrs[i].msg_len as usize;
                 if let Some(peer) = self.addrs[i].to_v4() {
-                    sink(peer, &self.bufs[i * RX_SLOT_LEN..i * RX_SLOT_LEN + len]);
+                    let slot = self.slots[i].take().expect("filled above");
+                    sink(peer, slot.freeze(len));
                 }
+                // Non-IPv4 datagrams leave their slot in place; the next
+                // call reuses it.
             }
             Ok(got)
         }
@@ -214,6 +232,8 @@ mod linux {
 /// exist so the types stay nameable cross-platform.
 #[cfg(not(target_os = "linux"))]
 mod portable {
+    use crate::pool::BufferPool;
+    use bytes::Bytes;
     use std::io;
     use std::net::SocketAddrV4;
 
@@ -221,8 +241,8 @@ mod portable {
     pub struct RxArena;
 
     impl RxArena {
-        /// See the Linux arena; capacity is ignored here.
-        pub fn new(_cap: usize) -> Self {
+        /// See the Linux arena; capacity and pool are ignored here.
+        pub fn new(_cap: usize, _pool: BufferPool) -> Self {
             RxArena
         }
 
@@ -231,7 +251,7 @@ mod portable {
             &mut self,
             _fd: i32,
             _max: usize,
-            _sink: impl FnMut(SocketAddrV4, &[u8]),
+            _sink: impl FnMut(SocketAddrV4, Bytes),
         ) -> io::Result<usize> {
             Err(io::Error::new(
                 io::ErrorKind::Unsupported,

@@ -21,6 +21,10 @@
 //!   through batched `recvmmsg`/`sendmmsg` syscalls ([`batch`]) — the
 //!   kernel-sockets analog of the paper's §4.1 DPDK bursts — with a
 //!   runtime-detected one-datagram fallback.
+//! * [`pool`] — the slab-backed RX buffer pool: `recvmmsg`/`recv_from`
+//!   land datagrams directly in pooled, refcounted buffers that return
+//!   to the slab when the engine drops the payload, making the
+//!   steady-state receive path allocation-free end to end.
 //! * [`affinity`] — thread→core pinning (`sched_setaffinity`), used by
 //!   the `minos-server` polling threads and `minos-loadgen` clients.
 
@@ -28,11 +32,13 @@
 
 pub mod affinity;
 pub mod batch;
+pub mod pool;
 mod sys;
 mod transport;
 mod udp;
 mod virt;
 
+pub use pool::{BufferPool, PoolStats, PooledBuf};
 pub use transport::{Transport, TransportStats};
 pub use udp::{endpoint_for, UdpConfig, UdpIoStats, UdpTransport, DEFAULT_SYSCALL_BATCH};
 pub use virt::{VirtualClientTransport, VirtualTransport};

@@ -28,13 +28,12 @@
 //! `batch <= 1`. [`UdpTransport::io_stats`] reports syscall counts so
 //! the savings are observable.
 
-use crate::batch::{RxArena, TxArena};
+use crate::batch::{RxArena, TxArena, RX_SLOT_LEN};
+use crate::pool::{BufferPool, PoolStats, PooledBuf};
 use crate::sys;
 use crate::transport::{Transport, TransportStats};
-use bytes::Bytes;
 use minos_wire::frame::MacAddr;
 use minos_wire::packet::{synthesize, Endpoint, Packet};
-use minos_wire::MTU;
 use std::io::ErrorKind;
 use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, UdpSocket};
 use std::os::fd::AsRawFd;
@@ -65,6 +64,13 @@ pub struct UdpConfig {
     /// Maximum datagrams moved per `recvmmsg`/`sendmmsg` syscall; values
     /// `<= 1` disable batching (one `recv_from`/`send_to` per datagram).
     pub batch: usize,
+    /// Slots in the RX buffer pool shared by all queues (each slot holds
+    /// one MTU-sized datagram). `0` auto-sizes to
+    /// `num_queues * batch * 16`, floored at 256 — enough for the
+    /// in-flight bursts plus payloads the engine briefly holds. An
+    /// exhausted pool falls back to per-datagram allocation and counts a
+    /// miss ([`UdpIoStats::pool_misses`]); it never fails.
+    pub pool_slots: usize,
 }
 
 impl UdpConfig {
@@ -78,6 +84,7 @@ impl UdpConfig {
             socket_buffer_bytes: 4 << 20,
             tx_backoff: Duration::from_millis(20),
             batch: DEFAULT_SYSCALL_BATCH,
+            pool_slots: 0,
         }
     }
 
@@ -92,6 +99,16 @@ impl UdpConfig {
             socket_buffer_bytes: 4 << 20,
             tx_backoff: Duration::from_millis(20),
             batch: DEFAULT_SYSCALL_BATCH,
+            pool_slots: 0,
+        }
+    }
+
+    /// The pool size [`UdpConfig::pool_slots`] of `0` resolves to.
+    fn effective_pool_slots(&self) -> usize {
+        if self.pool_slots > 0 {
+            self.pool_slots
+        } else {
+            (self.num_queues as usize * self.batch.max(1) * 16).max(256)
         }
     }
 }
@@ -111,6 +128,21 @@ pub struct UdpIoStats {
     pub tx_packets: u64,
     /// Whether the batched syscall path is in use.
     pub batched: bool,
+    /// RX buffer-pool takes served from the preallocated slab.
+    pub pool_hits: u64,
+    /// RX buffer-pool takes that fell back to a heap allocation.
+    pub pool_misses: u64,
+    /// Pooled RX buffers currently checked out (returns to zero once
+    /// every received payload has been dropped).
+    pub pool_outstanding: u64,
+}
+
+impl UdpIoStats {
+    /// Fraction of RX buffers served without an allocation, in
+    /// `[0, 1]`; 1.0 before any traffic.
+    pub fn pool_hit_rate(&self) -> f64 {
+        crate::pool::hit_rate(self.pool_hits, self.pool_misses)
+    }
 }
 
 /// A multi-queue transport over real UDP sockets.
@@ -119,6 +151,13 @@ pub struct UdpTransport {
     sockets: Vec<UdpSocket>,
     rx_arenas: Vec<Mutex<RxArena>>,
     tx_arenas: Vec<Mutex<TxArena>>,
+    /// Slab of RX payload buffers shared by all queues; both receive
+    /// paths draw from it, so the hot path allocates nothing.
+    pool: BufferPool,
+    /// The per-datagram path's staged slot, one per queue: kept across
+    /// calls (like the batched arena's slots) so an idle poll neither
+    /// touches the pool freelist nor inflates the hit gauge.
+    singly_staged: Vec<Mutex<Option<PooledBuf>>>,
     batch: usize,
     ip: Ipv4Addr,
     base_port: u16,
@@ -213,15 +252,18 @@ impl UdpTransport {
         config: &UdpConfig,
     ) -> Self {
         let batch = config.batch.max(1);
+        let pool = BufferPool::new(config.effective_pool_slots(), RX_SLOT_LEN);
         UdpTransport {
             rx_arenas: sockets
                 .iter()
-                .map(|_| Mutex::new(RxArena::new(batch)))
+                .map(|_| Mutex::new(RxArena::new(batch, pool.clone())))
                 .collect(),
             tx_arenas: sockets
                 .iter()
                 .map(|_| Mutex::new(TxArena::new(batch)))
                 .collect(),
+            singly_staged: sockets.iter().map(|_| Mutex::new(None)).collect(),
+            pool,
             sockets,
             batch,
             ip,
@@ -249,13 +291,23 @@ impl UdpTransport {
 
     /// Syscall-level I/O statistics.
     pub fn io_stats(&self) -> UdpIoStats {
+        let pool = self.pool.stats();
         UdpIoStats {
             rx_syscalls: self.rx_syscalls.load(Ordering::Relaxed),
             tx_syscalls: self.tx_syscalls.load(Ordering::Relaxed),
             rx_packets: self.rx_packets.load(Ordering::Relaxed),
             tx_packets: self.tx_packets.load(Ordering::Relaxed),
             batched: self.batch > 1 && sys::mmsg_available(),
+            pool_hits: pool.hits,
+            pool_misses: pool.misses,
+            pool_outstanding: pool.outstanding,
         }
+    }
+
+    /// RX buffer-pool counters (the gauge source behind
+    /// [`UdpIoStats::pool_hits`] and friends).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     /// Batched receive: one `recvmmsg` per up-to-`batch` datagrams.
@@ -276,8 +328,9 @@ impl UdpTransport {
             let want = (max - moved).min(self.batch);
             let before = out.len();
             self.rx_syscalls.fetch_add(1, Ordering::Relaxed);
-            let result = arena.recv_batch(fd, want, |peer, data| {
-                let payload = Bytes::copy_from_slice(data);
+            let result = arena.recv_batch(fd, want, |peer, payload| {
+                // `payload` is the pooled buffer the kernel filled,
+                // frozen — no copy, no allocation on this path.
                 let src = endpoint_for(*peer.ip(), peer.port());
                 let pkt = synthesize(src, local, payload);
                 bytes += pkt.wire_len() as u64;
@@ -315,21 +368,29 @@ impl UdpTransport {
         Some(moved)
     }
 
-    /// Portable receive: one `recv_from` syscall per datagram.
+    /// Portable receive: one `recv_from` syscall per datagram, still
+    /// landing in a pooled buffer (no per-datagram allocation).
     fn rx_burst_singly(&self, queue: u16, out: &mut Vec<Packet>, max: usize) -> usize {
         let socket = &self.sockets[queue as usize];
         let local = self.local_endpoint(queue);
-        let mut buf = [0u8; MTU + 64];
         let mut moved = 0;
         let mut bytes = 0u64;
         // Bound non-datagram outcomes too, so a persistently erroring
         // socket cannot wedge the polling core inside one burst.
         let mut skips = 0;
+        // The staged slot persists across calls, so an empty poll costs
+        // no pool traffic at all; it is only replaced once the kernel
+        // has actually filled it.
+        let mut staged_cell = self.singly_staged[queue as usize]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let mut staged: Option<PooledBuf> = staged_cell.take();
         while moved < max && skips < max {
+            let buf = staged.get_or_insert_with(|| self.pool.take());
             self.rx_syscalls.fetch_add(1, Ordering::Relaxed);
-            match socket.recv_from(&mut buf) {
+            match socket.recv_from(buf.as_mut_slice()) {
                 Ok((len, SocketAddr::V4(peer))) => {
-                    let payload = Bytes::copy_from_slice(&buf[..len]);
+                    let payload = staged.take().expect("staged above").freeze(len);
                     let src = endpoint_for(*peer.ip(), peer.port());
                     let pkt = synthesize(src, local, payload);
                     bytes += pkt.wire_len() as u64;
@@ -344,6 +405,7 @@ impl UdpTransport {
                 Err(_) => skips += 1,
             }
         }
+        *staged_cell = staged;
         if moved > 0 {
             self.rx_packets.fetch_add(moved as u64, Ordering::Relaxed);
             self.rx_bytes.fetch_add(bytes, Ordering::Relaxed);
@@ -521,6 +583,7 @@ impl Transport for UdpTransport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
 
     /// Disjoint port ranges per bound server: these are `SO_REUSEPORT`
     /// sockets, so a bind over another live test server would *succeed*

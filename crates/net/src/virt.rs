@@ -1,10 +1,20 @@
 //! [`Transport`] adapters over the in-process [`VirtualNic`].
 
+use crate::pool::{BufferPool, PoolStats};
 use crate::transport::{Transport, TransportStats};
 use minos_nic::{Delivery, VirtualNic};
-use minos_wire::packet::{build_frame, Endpoint, Packet};
+use minos_wire::packet::{build_frame, build_frame_into, Endpoint, Packet};
 use minos_wire::udp::UdpHeader;
 use std::sync::Arc;
+
+/// Bytes per pooled frame slot: a full MTU-sized frame with Ethernet
+/// framing and the FCS trailer.
+const FRAME_SLOT_LEN: usize =
+    minos_wire::ETH_HEADER_LEN + minos_wire::MTU + minos_wire::ETH_FCS_LEN;
+
+/// Frame slots in a [`VirtualClientTransport`]'s pool — sized like a
+/// client-side UDP transport's RX pool.
+const CLIENT_FRAME_SLOTS: usize = 512;
 
 /// Host id servers use in the virtual world (clients must differ).
 pub(crate) const VIRTUAL_SERVER_HOST: u32 = 1;
@@ -106,12 +116,26 @@ pub struct VirtualClientTransport {
     nic: Arc<VirtualNic>,
     /// The endpoint this client claims (replies are addressed to it).
     endpoint: Endpoint,
+    /// Pooled frame buffers for TX encoding: the virtual wire's analog
+    /// of the UDP backend's RX pool, so the per-packet frame
+    /// serialization recycles slots instead of allocating.
+    pool: BufferPool,
 }
 
 impl VirtualClientTransport {
     /// Creates a client transport speaking to `nic` as `endpoint`.
     pub fn new(nic: Arc<VirtualNic>, endpoint: Endpoint) -> Self {
-        VirtualClientTransport { nic, endpoint }
+        VirtualClientTransport {
+            nic,
+            endpoint,
+            pool: BufferPool::new(CLIENT_FRAME_SLOTS, FRAME_SLOT_LEN),
+        }
+    }
+
+    /// Frame-pool counters (mirrors `UdpTransport::pool_stats`, so the
+    /// conformance suite can observe pooling on both backends).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 }
 
@@ -139,7 +163,14 @@ impl Transport for VirtualClientTransport {
             ip: packet.meta.ip.dst,
             port: packet.meta.udp.dst_port,
         };
-        let frame = build_frame(src, dst, &packet.payload);
+        // Encode into a pooled slot (no allocation); only a payload too
+        // large for one MTU-sized slot — impossible for fragmenter
+        // output — falls back to the allocating encoder.
+        let mut slot = self.pool.take();
+        let frame = match build_frame_into(src, dst, &packet.payload, slot.as_mut_slice()) {
+            Some(len) => slot.freeze(len),
+            None => build_frame(src, dst, &packet.payload),
+        };
         matches!(self.nic.deliver_frame(frame), Delivery::Queued(_))
     }
 

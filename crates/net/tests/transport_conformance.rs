@@ -377,3 +377,83 @@ fn large_message_fragmentation_roundtrips_both_directions() {
         );
     }
 }
+
+#[test]
+fn held_payloads_survive_buffer_recycling() {
+    // Received payloads are (on the UDP backends) windows into pooled
+    // slots that recycle once dropped. A payload the application still
+    // holds must never be clobbered by later receives — this is the
+    // aliasing-safety contract of the zero-copy RX path, checked across
+    // every backend so the pooled and unpooled worlds cannot drift.
+    const WAVES: usize = 24;
+    const PER_WAVE: usize = 32;
+    for backend in backends(1) {
+        for i in 0..PER_WAVE {
+            send_to_queue(&backend, 0, Bytes::from(vec![i as u8; 64]));
+        }
+        settle(&backend);
+        let held = rx_collect(&*backend.server, 0, PER_WAVE, 32, backend.name);
+
+        // Churn far more traffic than any pool/arena holds slots,
+        // dropping each wave immediately so slots recycle aggressively.
+        for wave in 0..WAVES {
+            for i in 0..PER_WAVE {
+                send_to_queue(&backend, 0, Bytes::from(vec![(128 + wave + i) as u8; 64]));
+            }
+            settle(&backend);
+            let churn = rx_collect(&*backend.server, 0, PER_WAVE, 32, backend.name);
+            drop(churn);
+        }
+
+        for (i, pkt) in held.iter().enumerate() {
+            assert_eq!(
+                &pkt.payload[..],
+                &[i as u8; 64][..],
+                "{}: a held payload was clobbered by buffer recycling",
+                backend.name
+            );
+        }
+    }
+}
+
+#[test]
+fn coalesced_multi_request_burst_fans_out_across_queues() {
+    // The loadgen's coalesced send path pushes many *independent*
+    // requests — addressed to different RX queues — through a single
+    // tx_burst. Every backend must route each datagram by its own
+    // destination metadata and deliver all of them, in per-queue order.
+    const QUEUES: u16 = 4;
+    const PER_QUEUE: usize = 8;
+    for backend in backends(QUEUES) {
+        let src = backend.client.local_endpoint(0);
+        let mut burst: Vec<Packet> = (0..PER_QUEUE)
+            .flat_map(|i| (0..QUEUES).map(move |q| (i, q)))
+            .map(|(i, q)| {
+                synthesize(
+                    src,
+                    backend.server.local_endpoint(q),
+                    Bytes::from(vec![q as u8 * 32 + i as u8; 40]),
+                )
+            })
+            .collect();
+        let total = burst.len();
+        assert_eq!(
+            backend.client.tx_burst(0, &mut burst),
+            total,
+            "{}: the whole coalesced burst must be accepted",
+            backend.name
+        );
+        settle(&backend);
+        for q in 0..QUEUES {
+            let got = rx_collect(&*backend.server, q, PER_QUEUE, 32, backend.name);
+            for (i, pkt) in got.iter().enumerate() {
+                assert_eq!(
+                    &pkt.payload[..],
+                    &[q as u8 * 32 + i as u8; 40][..],
+                    "{}: queue {q} must receive its requests in order",
+                    backend.name
+                );
+            }
+        }
+    }
+}

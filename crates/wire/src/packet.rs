@@ -7,7 +7,7 @@
 use crate::frame::{EtherType, EthernetHeader, MacAddr};
 use crate::ip::{Ipv4Header, PROTO_UDP};
 use crate::udp::UdpHeader;
-use bytes::{Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 
 /// Parsed headers of a received frame.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -143,6 +143,38 @@ pub fn build_frame(src: Endpoint, dst: Endpoint, udp_payload: &[u8]) -> Bytes {
     buf.freeze()
 }
 
+/// Encodes one full frame (with FCS trailer) into `out` without
+/// allocating — the pooled-buffer analog of [`build_frame`]. Returns
+/// the frame length, or `None` when `out` is too small to hold it.
+pub fn build_frame_into(
+    src: Endpoint,
+    dst: Endpoint,
+    udp_payload: &[u8],
+    out: &mut [u8],
+) -> Option<usize> {
+    let body_len = EthernetHeader::LEN + Ipv4Header::LEN + UdpHeader::LEN + udp_payload.len();
+    let total = body_len + crate::ETH_FCS_LEN;
+    if out.len() < total {
+        return None;
+    }
+    let udp = UdpHeader::for_payload(src.port, dst.port, udp_payload);
+    let ip = Ipv4Header::udp(src.ip, dst.ip, UdpHeader::LEN + udp_payload.len());
+    let eth = EthernetHeader {
+        dst: dst.mac,
+        src: src.mac,
+        ethertype: EtherType::Ipv4,
+    };
+    let mut cursor = &mut out[..body_len];
+    eth.encode(&mut cursor);
+    ip.encode(&mut cursor);
+    udp.encode(&mut cursor);
+    cursor.put_slice(udp_payload);
+    debug_assert!(cursor.is_empty(), "body length accounts for every field");
+    let fcs = crate::checksum::crc32(&out[..body_len]);
+    out[body_len..total].copy_from_slice(&fcs.to_be_bytes());
+    Some(total)
+}
+
 /// Parses and validates a full frame. Returns `None` for anything that is
 /// not a well-formed UDP-in-IPv4-in-Ethernet frame with an intact FCS and
 /// intact checksums — exactly what NIC hardware silently discards.
@@ -262,5 +294,19 @@ mod tests {
         assert_eq!(direct.meta, parsed.meta);
         assert_eq!(direct.payload, parsed.payload);
         assert_eq!(direct.wire_len(), parsed.wire_len());
+    }
+
+    #[test]
+    fn build_frame_into_matches_build_frame() {
+        let src = Endpoint::host(7, 4242);
+        let dst = Endpoint::host(8, 9003);
+        let payload = b"no-alloc frame encoding";
+        let allocated = build_frame(src, dst, payload);
+        let mut buf = [0u8; 256];
+        let len = build_frame_into(src, dst, payload, &mut buf).unwrap();
+        assert_eq!(&buf[..len], &allocated[..]);
+        // And an undersized buffer is refused, not truncated.
+        let mut tiny = [0u8; 16];
+        assert_eq!(build_frame_into(src, dst, payload, &mut tiny), None);
     }
 }

@@ -14,9 +14,18 @@
 //! capacity, so the offered load is split across `--clients` OS threads,
 //! each with its own UDP socket and open-loop schedule; the report
 //! merges per-client latency histograms into aggregate percentiles.
-//! `--retry-timeout-ms` optionally enables client-side retransmission
-//! (the paper's §4.1 leaves retry to the client) for lossy non-loopback
-//! links; the default stays the strict zero-loss reporting mode.
+//! Each loop iteration drains *all* currently-due arrivals and sends
+//! them as one coalesced burst (one `sendmmsg`), so a thread that falls
+//! behind its schedule catches up without paying a syscall per overdue
+//! request. `--retry-timeout-ms` optionally enables client-side
+//! retransmission (the paper's §4.1 leaves retry to the client) for
+//! lossy non-loopback links; the default stays the strict zero-loss
+//! reporting mode.
+//!
+//! `--json` switches stdout to a machine-readable report (for CI gates)
+//! and routes the human-readable report and all progress chatter to
+//! stderr, so `loadgen --json > report.json` stays parseable even with
+//! a server logging to the same console.
 //!
 //! ```text
 //! minos-loadgen --target 127.0.0.1:9000 --queues 4 \
@@ -24,13 +33,13 @@
 //!               [--profile default|write] [--keys N] [--large-keys N]
 //!               [--seed S] [--no-preload] [--retry-timeout-ms MS]
 //!               [--max-retries N] [--pin BASECPU] [--sockbuf BYTES]
-//!               [--batch N]
+//!               [--batch N] [--json]
 //! ```
 
 use minos::core::client::{Client, ClientTotals, RetryPolicy};
 use minos::net::{endpoint_for, Transport, TransportStats, UdpConfig, UdpIoStats, UdpTransport};
-use minos::stats::LatencyHistogram;
-use minos::workload::{AccessGenerator, Dataset, OpenLoop, Profile, Rng, DEFAULT_PROFILE};
+use minos::stats::{LatencyHistogram, Quantiles};
+use minos::workload::{AccessGenerator, Dataset, OpSpec, OpenLoop, Profile, Rng, DEFAULT_PROFILE};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -52,6 +61,19 @@ struct Args {
     pin_base: Option<usize>,
     sockbuf: usize,
     batch: usize,
+    json: bool,
+}
+
+/// Routes human-readable output: stdout normally, stderr under
+/// `--json` (which reserves stdout for the machine-readable report).
+macro_rules! human {
+    ($args:expr, $($fmt:tt)*) => {
+        if $args.json {
+            eprintln!($($fmt)*);
+        } else {
+            println!($($fmt)*);
+        }
+    };
 }
 
 const USAGE: &str = "minos-loadgen: open-loop UDP load generator for minos-server
@@ -80,7 +102,11 @@ OPTIONS:
                            (sched_setaffinity; best-effort)
     --sockbuf BYTES        client socket buffer size (default 4 MiB)
     --batch N              max datagrams per recvmmsg/sendmmsg syscall
-                           (default 32; 1 = one syscall per datagram)
+                           (default 32; 1 = one syscall per datagram);
+                           also caps how many due arrivals one loop
+                           iteration coalesces into a single send burst
+    --json                 print a machine-readable JSON report to stdout
+                           (the human report moves to stderr)
     -h, --help             this help
 ";
 
@@ -101,6 +127,7 @@ fn parse_args() -> Result<Args, String> {
         pin_base: None,
         sockbuf: 4 << 20,
         batch: minos::net::DEFAULT_SYSCALL_BATCH,
+        json: false,
     };
     let mut retry_timeout_ms = 0u64;
     let mut max_retries = 8u32;
@@ -184,6 +211,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--batch: {e}"))?
             }
+            "--json" => args.json = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -219,6 +247,10 @@ fn make_client(args: &Args, client_id: u16) -> (Arc<UdpTransport>, Client) {
     let config = UdpConfig {
         socket_buffer_bytes: args.sockbuf,
         batch: args.batch,
+        // One poll can drain up to 4096 replies whose payloads are all
+        // alive at once; size the pool past that so the steady-state
+        // client RX path never falls back to the allocator.
+        pool_slots: 8192,
         ..UdpConfig::client(Ipv4Addr::UNSPECIFIED)
     };
     let transport = match UdpTransport::bind_client_with(config) {
@@ -255,10 +287,16 @@ struct ClientReport {
     stats: TransportStats,
     io: UdpIoStats,
     drained: bool,
+    /// Send bursts issued (each is one `tx_burst`).
+    flushes: u64,
+    /// Largest number of requests coalesced into one burst.
+    coalesced_max: u64,
 }
 
 /// One client thread's measured run: open-loop injection at
-/// `rate / clients` for `duration`, then a drain.
+/// `rate / clients` for `duration`, then a drain. Every loop iteration
+/// drains all currently-due arrivals (capped at the syscall batch) and
+/// sends them as one coalesced burst.
 fn run_client(args: &Args, client_idx: u16) -> ClientReport {
     if let Some(base) = args.pin_base {
         let cpu = base + client_idx as usize;
@@ -293,14 +331,26 @@ fn run_client(args: &Args, client_idx: u16) -> ClientReport {
     let mut next_at = Duration::from_nanos(arrivals.next_arrival(&mut arrival_rng));
     let mut sent = 0u64;
     let mut behind_max = Duration::ZERO;
+    let mut flushes = 0u64;
+    let mut coalesced_max = 0u64;
+    let coalesce_cap = args.batch.max(1);
+    let mut due: Vec<OpSpec> = Vec::with_capacity(coalesce_cap);
     while start.elapsed() < args.duration {
         let now = start.elapsed();
-        if now >= next_at {
+        // Drain every arrival whose time has come into one burst; the
+        // cap keeps a burst inside one sendmmsg, and anything still due
+        // goes out on the immediately following iteration.
+        due.clear();
+        while now >= next_at && due.len() < coalesce_cap {
             behind_max = behind_max.max(now - next_at);
-            let spec = generator.next_op(&mut op_rng);
-            client.send(&spec);
-            sent += 1;
+            due.push(generator.next_op(&mut op_rng));
             next_at = Duration::from_nanos(arrivals.next_arrival(&mut arrival_rng));
+        }
+        if !due.is_empty() {
+            client.send_batch(&due);
+            sent += due.len() as u64;
+            flushes += 1;
+            coalesced_max = coalesced_max.max(due.len() as u64);
         }
         client.poll();
     }
@@ -316,6 +366,8 @@ fn run_client(args: &Args, client_idx: u16) -> ClientReport {
         stats: transport.stats(),
         io: transport.io_stats(),
         drained,
+        flushes,
+        coalesced_max,
     }
 }
 
@@ -361,7 +413,8 @@ fn preload(args: &Args, dataset: &Dataset) {
     if !preload_client.drain(Duration::from_secs(30)) {
         no_replies(&preload_client);
     }
-    println!(
+    human!(
+        args,
         "preload: {} PUTs in {:.2}s ({} errors)",
         preloaded,
         t0.elapsed().as_secs_f64(),
@@ -378,7 +431,8 @@ fn main() {
         }
     };
 
-    println!(
+    human!(
+        args,
         "minos-loadgen: target {}:{}+{}q, {} clients x {:.0} ops/s for {:?}, {} keys ({} large), profile p_L={:.4}% GET={:.0}%{}",
         args.target_ip,
         args.target_port,
@@ -441,6 +495,11 @@ fn main() {
     let mut tx_syscalls = 0u64;
     let mut batched = false;
     let mut all_drained = true;
+    let mut flushes = 0u64;
+    let mut coalesced_max = 0u64;
+    let mut pool_hits = 0u64;
+    let mut pool_misses = 0u64;
+    let mut pool_outstanding = 0u64;
     for r in &reports {
         latency.merge(&r.latency);
         latency_large.merge(&r.latency_large);
@@ -458,29 +517,43 @@ fn main() {
         tx_syscalls += r.io.tx_syscalls;
         batched |= r.io.batched;
         all_drained &= r.drained;
+        flushes += r.flushes;
+        coalesced_max = coalesced_max.max(r.coalesced_max);
+        pool_hits += r.io.pool_hits;
+        pool_misses += r.io.pool_misses;
+        pool_outstanding += r.io.pool_outstanding;
     }
+    let zero_loss = all_drained && outstanding == 0;
+    let pool_hit_rate = minos::net::pool::hit_rate(pool_hits, pool_misses);
 
-    println!();
-    println!("== minos-loadgen report ==");
-    println!(
+    human!(args, "");
+    human!(args, "== minos-loadgen report ==");
+    human!(
+        args,
         "offered rate:     {:.0} ops/s across {} clients",
-        args.rate, args.clients
+        args.rate,
+        args.clients
     );
-    println!(
+    human!(
+        args,
         "achieved:         {:.0} ops/s ({} ops in {:.2}s; max scheduling lag {:?})",
         completed as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE),
         completed,
         elapsed.as_secs_f64(),
         behind_max,
     );
-    println!("sent/completed:   {sent} / {completed} ({errors} errors)");
+    human!(
+        args,
+        "sent/completed:   {sent} / {completed} ({errors} errors)"
+    );
     if args.retry.is_some() {
-        println!("retransmits:      {retransmits}");
+        human!(args, "retransmits:      {retransmits}");
     }
     if args.clients > 1 {
         for (c, r) in reports.iter().enumerate() {
             match r.latency.quantiles() {
-                Some(q) => println!(
+                Some(q) => human!(
+                    args,
                     "client {c:>3}:       sent {} completed {} p50 {:.1}us p99 {:.1}us p99.9 {:.1}us{}",
                     r.sent,
                     r.totals.completed,
@@ -493,22 +566,25 @@ fn main() {
                         String::new()
                     },
                 ),
-                None => println!(
+                None => human!(
+                    args,
                     "client {c:>3}:       sent {} completed {} (no completions)",
-                    r.sent, r.totals.completed
+                    r.sent,
+                    r.totals.completed
                 ),
             }
         }
     }
     if let Some(q) = latency.quantiles() {
-        println!("latency (all):    {q}");
+        human!(args, "latency (all):    {q}");
     }
     if let Some(q) = latency_large.quantiles() {
-        println!("latency (large):  {q}");
+        human!(args, "latency (large):  {q}");
     } else {
-        println!("latency (large):  no large requests completed");
+        human!(args, "latency (large):  no large requests completed");
     }
-    println!(
+    human!(
+        args,
         "client transport: tx {tx_packets} rx {rx_packets} packets ({tx_dropped} tx drops); {} — {rx_syscalls} rx / {tx_syscalls} tx syscalls",
         if batched {
             "recvmmsg/sendmmsg"
@@ -516,18 +592,196 @@ fn main() {
             "recv_from/send_to"
         },
     );
-    if all_drained && outstanding == 0 {
+    human!(
+        args,
+        "coalescing:       {flushes} send bursts for {sent} requests ({:.2} reqs/burst avg, {coalesced_max} max); {:.2} pkts/tx-syscall",
+        sent as f64 / (flushes.max(1)) as f64,
+        tx_packets as f64 / (tx_syscalls.max(1)) as f64,
+    );
+    human!(
+        args,
+        "rx buffer pool:   {pool_hits} hits / {pool_misses} misses ({:.2}% hit rate), {pool_outstanding} outstanding",
+        pool_hit_rate * 100.0,
+    );
+    if zero_loss {
         if retransmits == 0 {
-            println!("zero-loss:        PASS (every request completed)");
+            human!(args, "zero-loss:        PASS (every request completed)");
         } else {
-            println!(
+            human!(
+                args,
                 "zero-loss:        PASS after {retransmits} retransmits — not a §5.4 zero-loss measurement"
             );
         }
     } else {
-        println!(
+        human!(
+            args,
             "zero-loss:        FAIL ({outstanding} requests lost) — per §5.4 this run's numbers should be discarded"
         );
+    }
+
+    if args.json {
+        println!(
+            "{}",
+            json_report(
+                &args,
+                &reports,
+                JsonTotals {
+                    sent,
+                    completed,
+                    errors,
+                    retransmits,
+                    outstanding,
+                    elapsed,
+                    behind_max,
+                    tx_packets,
+                    rx_packets,
+                    tx_dropped,
+                    rx_syscalls,
+                    tx_syscalls,
+                    batched,
+                    flushes,
+                    coalesced_max,
+                    pool_hits,
+                    pool_misses,
+                    pool_outstanding,
+                    zero_loss,
+                    latency: latency.quantiles(),
+                    latency_large: latency_large.quantiles(),
+                }
+            )
+        );
+    }
+    if !zero_loss {
         std::process::exit(3);
     }
+}
+
+/// Everything the JSON report needs, merged across client threads.
+struct JsonTotals {
+    sent: u64,
+    completed: u64,
+    errors: u64,
+    retransmits: u64,
+    outstanding: u64,
+    elapsed: Duration,
+    behind_max: Duration,
+    tx_packets: u64,
+    rx_packets: u64,
+    tx_dropped: u64,
+    rx_syscalls: u64,
+    tx_syscalls: u64,
+    batched: bool,
+    flushes: u64,
+    coalesced_max: u64,
+    pool_hits: u64,
+    pool_misses: u64,
+    pool_outstanding: u64,
+    zero_loss: bool,
+    latency: Option<Quantiles>,
+    latency_large: Option<Quantiles>,
+}
+
+/// Quantiles as a JSON object (latencies in microseconds), `null` when
+/// nothing completed.
+fn json_quantiles(q: Option<Quantiles>) -> String {
+    match q {
+        None => "null".into(),
+        Some(q) => format!(
+            "{{\"count\":{},\"mean_us\":{:.3},\"p50_us\":{:.3},\"p90_us\":{:.3},\"p95_us\":{:.3},\"p99_us\":{:.3},\"p999_us\":{:.3},\"max_us\":{:.3}}}",
+            q.count, q.mean_us, q.p50_us, q.p90_us, q.p95_us, q.p99_us, q.p999_us, q.max_us
+        ),
+    }
+}
+
+/// The machine-readable report `--json` prints to stdout. Hand-rolled
+/// (the offline build vendors no serde); every field is a number, bool
+/// or nested object, so escaping is a non-issue.
+fn json_report(args: &Args, reports: &[ClientReport], t: JsonTotals) -> String {
+    let pool_hit_rate = minos::net::pool::hit_rate(t.pool_hits, t.pool_misses);
+    let per_client: Vec<String> = reports
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"sent\":{},\"completed\":{},\"outstanding\":{},\"flushes\":{},\"coalesced_max\":{},\"latency_us\":{}}}",
+                r.sent,
+                r.totals.completed,
+                r.totals.outstanding(),
+                r.flushes,
+                r.coalesced_max,
+                json_quantiles(r.latency.quantiles()),
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{",
+            "\"offered_rate\":{offered:.1},",
+            "\"clients\":{clients},",
+            "\"duration_s\":{duration:.3},",
+            "\"elapsed_s\":{elapsed:.3},",
+            "\"achieved_rate\":{achieved:.1},",
+            "\"max_scheduling_lag_us\":{lag:.1},",
+            "\"sent\":{sent},",
+            "\"completed\":{completed},",
+            "\"errors\":{errors},",
+            "\"retransmits\":{retransmits},",
+            "\"outstanding\":{outstanding},",
+            "\"zero_loss\":{zero_loss},",
+            "\"latency_us\":{latency},",
+            "\"latency_large_us\":{latency_large},",
+            "\"transport\":{{",
+            "\"batched\":{batched},",
+            "\"tx_packets\":{tx_packets},",
+            "\"rx_packets\":{rx_packets},",
+            "\"tx_dropped\":{tx_dropped},",
+            "\"tx_syscalls\":{tx_syscalls},",
+            "\"rx_syscalls\":{rx_syscalls},",
+            "\"pkts_per_tx_syscall\":{ppts:.3},",
+            "\"pkts_per_rx_syscall\":{pprs:.3}",
+            "}},",
+            "\"coalescing\":{{",
+            "\"flushes\":{flushes},",
+            "\"avg_per_flush\":{avg_flush:.3},",
+            "\"max_per_flush\":{coalesced_max}",
+            "}},",
+            "\"pool\":{{",
+            "\"hits\":{pool_hits},",
+            "\"misses\":{pool_misses},",
+            "\"outstanding\":{pool_outstanding},",
+            "\"hit_rate\":{pool_hit_rate:.6}",
+            "}},",
+            "\"per_client\":[{per_client}]",
+            "}}"
+        ),
+        offered = args.rate,
+        clients = args.clients,
+        duration = args.duration.as_secs_f64(),
+        elapsed = t.elapsed.as_secs_f64(),
+        achieved = t.completed as f64 / t.elapsed.as_secs_f64().max(f64::MIN_POSITIVE),
+        lag = t.behind_max.as_secs_f64() * 1e6,
+        sent = t.sent,
+        completed = t.completed,
+        errors = t.errors,
+        retransmits = t.retransmits,
+        outstanding = t.outstanding,
+        zero_loss = t.zero_loss,
+        latency = json_quantiles(t.latency),
+        latency_large = json_quantiles(t.latency_large),
+        batched = t.batched,
+        tx_packets = t.tx_packets,
+        rx_packets = t.rx_packets,
+        tx_dropped = t.tx_dropped,
+        tx_syscalls = t.tx_syscalls,
+        rx_syscalls = t.rx_syscalls,
+        ppts = t.tx_packets as f64 / (t.tx_syscalls.max(1)) as f64,
+        pprs = t.rx_packets as f64 / (t.rx_syscalls.max(1)) as f64,
+        flushes = t.flushes,
+        avg_flush = t.sent as f64 / (t.flushes.max(1)) as f64,
+        coalesced_max = t.coalesced_max,
+        pool_hits = t.pool_hits,
+        pool_misses = t.pool_misses,
+        pool_outstanding = t.pool_outstanding,
+        pool_hit_rate = pool_hit_rate,
+        per_client = per_client.join(","),
+    )
 }

@@ -286,4 +286,11 @@ fn main() {
         io.tx_syscalls,
         io.tx_packets,
     );
+    println!(
+        "rx buffer pool: {} hits / {} misses ({:.2}% hit rate), {} outstanding",
+        io.pool_hits,
+        io.pool_misses,
+        io.pool_hit_rate() * 100.0,
+        io.pool_outstanding,
+    );
 }
