@@ -20,7 +20,8 @@ use minos_net::{Transport, VirtualClientTransport};
 use minos_stats::LatencyHistogram;
 use minos_wire::frag::{Fragmenter, Reassembler, Reassembly};
 use minos_wire::message::{Body, Message, OpKind, ReplyStatus};
-use minos_wire::packet::{synthesize, Endpoint, Packet};
+use minos_wire::packet::{synthesize_frame, Endpoint, TxPacket};
+use minos_wire::TxFrame;
 use minos_workload::{OpSpec, Operation, Rng};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -64,9 +65,10 @@ struct Pending {
     retries: u32,
     key: u64,
     large: bool,
-    /// Encoded request and target queue, kept only when a retry policy
-    /// is active.
-    resend: Option<(Bytes, u16)>,
+    /// Encoded request frame and target queue, kept only when a retry
+    /// policy is active (cloning a frame is an `O(1)` refcount bump per
+    /// segment, not a value copy).
+    resend: Option<(TxFrame, u16)>,
 }
 
 /// Client-side totals.
@@ -212,38 +214,41 @@ impl Client {
     /// Sends one operation from the workload generator. Values for PUTs
     /// are synthesized at the spec's item size.
     pub fn send(&mut self, spec: &OpSpec) {
-        let (encoded, queue) = self.prepare_spec(spec);
-        self.transmit(&encoded, queue);
+        let (frame, queue) = self.prepare_spec(spec);
+        self.transmit(&frame, queue);
     }
 
     /// Sends a batch of operations as one coalesced transmit: every
     /// fragment of every request goes out through a single
-    /// [`Transport::tx_burst`] (one `sendmmsg` on the UDP backend for
+    /// [`Transport::tx_frames`] (one `sendmmsg` on the UDP backend for
     /// bursts up to the syscall batch size), instead of one
     /// send per request. This is how an open-loop load generator that
     /// has fallen behind its schedule catches up without paying a
-    /// syscall per overdue arrival.
+    /// syscall per overdue arrival. PUT values ride the burst as
+    /// refcounted frame segments — uncopied all the way into the
+    /// kernel's gather list.
     pub fn send_batch(&mut self, specs: &[OpSpec]) {
         match specs {
             [] => {}
             [one] => self.send(one),
             many => {
-                let mut burst: Vec<Packet> = Vec::with_capacity(many.len());
+                let mut burst: Vec<TxPacket> = Vec::with_capacity(many.len());
                 for spec in many {
-                    let (encoded, queue) = self.prepare_spec(spec);
+                    let (frame, queue) = self.prepare_spec(spec);
                     let dst = self.queue_endpoint(queue);
-                    for frag in self.fragmenter.fragment(&encoded) {
-                        burst.push(synthesize(self.endpoint, dst, frag));
+                    for frag in self.fragmenter.fragment_frame(&frame) {
+                        burst.push(synthesize_frame(self.endpoint, dst, frag));
                     }
                 }
-                let _ = self.transport.tx_burst(0, &mut burst);
+                let _ = self.transport.tx_frames(0, &mut burst);
             }
         }
     }
 
     /// Encodes one workload op and registers it as pending (send time
-    /// starts now); returns the encoded message and its target queue.
-    fn prepare_spec(&mut self, spec: &OpSpec) -> (Bytes, u16) {
+    /// starts now); returns the encoded message frame and its target
+    /// queue.
+    fn prepare_spec(&mut self, spec: &OpSpec) -> (TxFrame, u16) {
         match spec.op {
             Operation::Get => {
                 let queue = self.pick_random_queue();
@@ -289,14 +294,15 @@ impl Client {
     }
 
     fn send_message(&mut self, body: Body, key: u64, queue: u16, large: bool) {
-        let (encoded, queue) = self.prepare_message(body, key, queue, large);
-        self.transmit(&encoded, queue);
+        let (frame, queue) = self.prepare_message(body, key, queue, large);
+        self.transmit(&frame, queue);
     }
 
-    /// Encodes a request and registers it as pending — everything
-    /// [`Client::send_message`] does short of transmitting, so batched
-    /// senders can coalesce many prepared requests into one burst.
-    fn prepare_message(&mut self, body: Body, key: u64, queue: u16, large: bool) -> (Bytes, u16) {
+    /// Encodes a request as a scatter-gather frame and registers it as
+    /// pending — everything [`Client::send_message`] does short of
+    /// transmitting, so batched senders can coalesce many prepared
+    /// requests into one burst.
+    fn prepare_message(&mut self, body: Body, key: u64, queue: u16, large: bool) -> (TxFrame, u16) {
         let request_id = self.next_request_id;
         self.next_request_id += 1;
         let now = self.now_ns();
@@ -306,7 +312,7 @@ impl Client {
             client_ts_ns: now,
             body,
         };
-        let encoded = msg.encode();
+        let frame = msg.encode_frame();
         self.pending.insert(
             request_id,
             Pending {
@@ -315,11 +321,11 @@ impl Client {
                 retries: 0,
                 key,
                 large,
-                resend: self.retry.map(|_| (encoded.clone(), queue)),
+                resend: self.retry.map(|_| (frame.clone(), queue)),
             },
         );
         self.totals.sent += 1;
-        (encoded, queue)
+        (frame, queue)
     }
 
     /// The server endpoint addressing RX queue `queue`.
@@ -331,23 +337,20 @@ impl Client {
         }
     }
 
-    /// Fragments `encoded` and transmits it: single-fragment requests
-    /// (the overwhelming majority) go straight through `tx_push`,
-    /// multi-fragment ones as one burst (one `sendmmsg` on the UDP
-    /// backend instead of a syscall per fragment).
-    fn transmit(&mut self, encoded: &Bytes, queue: u16) {
+    /// Fragments the request `frame` and transmits it as one
+    /// [`Transport::tx_frames`] burst (one `sendmmsg` on the UDP
+    /// backend instead of a syscall per fragment); each fragment's
+    /// payload segments are slices of the original frame's segments, so
+    /// nothing is copied here regardless of size.
+    fn transmit(&mut self, frame: &TxFrame, queue: u16) {
         let dst = self.queue_endpoint(queue);
-        let mut frags = self.fragmenter.fragment(encoded);
-        if frags.len() == 1 {
-            let pkt = synthesize(self.endpoint, dst, frags.pop().expect("one fragment"));
-            let _ = self.transport.tx_push(0, pkt);
-            return;
-        }
-        let mut burst: Vec<Packet> = frags
+        let mut burst: Vec<TxPacket> = self
+            .fragmenter
+            .fragment_frame(frame)
             .into_iter()
-            .map(|frag| synthesize(self.endpoint, dst, frag))
+            .map(|frag| synthesize_frame(self.endpoint, dst, frag))
             .collect();
-        let _ = self.transport.tx_burst(0, &mut burst);
+        let _ = self.transport.tx_frames(0, &mut burst);
     }
 
     /// Resends every pending request whose retry timer expired. Called
@@ -371,14 +374,14 @@ impl Client {
             .map(|(id, _)| *id)
             .collect();
         for id in due {
-            let (encoded, queue) = self.pending[&id]
+            let (frame, queue) = self.pending[&id]
                 .resend
                 .clone()
                 .expect("filtered on resend presence");
             // Re-fragmenting draws a fresh msg id, so stale fragments of
             // the original transmission can never merge with the retry
             // in the server's reassembler.
-            self.transmit(&encoded, queue);
+            self.transmit(&frame, queue);
             let sent_at = self.now_ns();
             let p = self.pending.get_mut(&id).expect("still pending");
             p.retries += 1;

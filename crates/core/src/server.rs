@@ -31,9 +31,9 @@ use minos_kv::{PutError, Store, StoreConfig};
 use minos_net::Transport;
 use minos_nic::{NicConfig, VirtualNic};
 use minos_stats::{CoreStats, SharedCoreStats, SizeHistogram};
-use minos_wire::frag::{fragment_with_id, FragHeader, Reassembler, Reassembly};
+use minos_wire::frag::{fragment_frame_with_id, FragHeader, Reassembler, Reassembly};
 use minos_wire::message::{Body, Message, ReplyStatus, MSG_HEADER_LEN};
-use minos_wire::packet::{synthesize, Endpoint, Packet};
+use minos_wire::packet::{synthesize_frame, Endpoint, Packet, TxPacket};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -759,10 +759,14 @@ pub fn execute(
 /// hardware; the client's loss accounting notices). Shared by every
 /// engine.
 ///
-/// Single-fragment replies (the overwhelming majority) go through
-/// [`Transport::tx_push`]; fragmented large replies move as one
-/// [`Transport::tx_burst`], which the UDP backend turns into batched
-/// `sendmmsg` calls instead of one syscall per fragment.
+/// The whole reply is scatter-gather end to end: the value leaves the
+/// store as refcounted mempool memory (`PoolBytes` →
+/// `Bytes::from_owner`), [`Message::encode_frame`] appends it to the
+/// reply frame as a segment, fragmentation slices it per datagram
+/// ([`fragment_frame_with_id`]), and one [`Transport::tx_frames`] burst
+/// hands header-iovec + value-iovec pairs to the transport — the value
+/// bytes are never copied on this path, an invariant the transport's
+/// `tx_copied_bytes` gauge asserts.
 pub fn transmit_reply<T: Transport + ?Sized>(
     transport: &T,
     tx_queue: u16,
@@ -777,22 +781,19 @@ pub fn transmit_reply<T: Transport + ?Sized>(
     // copy (and allocation) this path used to pay per GET reply.
     let value_bytes = value.map(bytes::Bytes::from_owner);
     let reply = req.msg.reply(status, value_bytes);
-    let encoded = reply.encode();
-    let mut burst: Vec<Packet> = fragment_with_id(msg_id, &encoded)
+    let frame = reply.encode_frame();
+    let mut burst: Vec<TxPacket> = fragment_frame_with_id(msg_id, &frame)
         .into_iter()
-        .map(|frag| synthesize(src, req.reply_to, frag))
+        .map(|frag| synthesize_frame(src, req.reply_to, frag))
         .collect();
-    if burst.len() == 1 {
-        let pkt = burst.pop().expect("one fragment");
-        let wire = pkt.wire_len() as u64;
-        if transport.tx_push(tx_queue, pkt) {
-            (1, wire)
-        } else {
-            (0, 0)
-        }
-    } else {
-        let wire_lens: Vec<u64> = burst.iter().map(|p| p.wire_len() as u64).collect();
-        let sent = transport.tx_burst(tx_queue, &mut burst);
-        (sent as u64, wire_lens[..sent].iter().sum())
+    if let [only] = burst.as_slice() {
+        // Single-fragment replies (the overwhelming majority): no
+        // per-fragment bookkeeping allocation on the latency path.
+        let wire = only.wire_len() as u64;
+        let sent = transport.tx_frames(tx_queue, &mut burst);
+        return (sent as u64, if sent == 1 { wire } else { 0 });
     }
+    let wire_lens: Vec<u64> = burst.iter().map(|p| p.wire_len() as u64).collect();
+    let sent = transport.tx_frames(tx_queue, &mut burst);
+    (sent as u64, wire_lens[..sent].iter().sum())
 }

@@ -29,12 +29,23 @@ pub use portable::{RxArena, TxArena};
 /// slack, matching the one-datagram path's buffer.
 pub const RX_SLOT_LEN: usize = minos_wire::MTU + 64;
 
+/// iovec slots reserved per transmitted frame: one for the inline
+/// header region plus one per payload segment.
+pub const TX_IOVECS_PER_FRAME: usize = 1 + minos_wire::MAX_TX_SEGMENTS;
+
+#[cfg(target_os = "linux")]
+pub use linux::send_frame_singly;
+
+#[cfg(not(target_os = "linux"))]
+pub use portable::send_frame_singly;
+
 #[cfg(target_os = "linux")]
 mod linux {
+    use super::TX_IOVECS_PER_FRAME;
     use crate::pool::{BufferPool, PooledBuf};
     use crate::sys::{IoVec, MMsgHdr, MsgHdr, SockaddrIn};
     use bytes::Bytes;
-    use minos_wire::packet::Packet;
+    use minos_wire::packet::TxPacket;
     use std::io;
     use std::net::{Ipv4Addr, SocketAddrV4};
     use std::os::fd::RawFd;
@@ -47,6 +58,9 @@ mod linux {
         /// at the start of the next call.
         slots: Vec<Option<PooledBuf>>,
         pool: BufferPool,
+        /// Pool shard this arena draws from (its queue index), so
+        /// concurrently polling queues never contend on one freelist.
+        shard: usize,
         addrs: Vec<SockaddrIn>,
         iovecs: Vec<IoVec>,
         hdrs: Vec<MMsgHdr>,
@@ -60,13 +74,15 @@ mod linux {
 
     impl RxArena {
         /// An arena able to receive up to `cap` datagrams per syscall,
-        /// drawing its buffers from `pool`.
-        pub fn new(cap: usize, pool: BufferPool) -> Self {
+        /// drawing its buffers from `pool`'s shard `shard` (the owning
+        /// queue's index).
+        pub fn new(cap: usize, pool: BufferPool, shard: usize) -> Self {
             let cap = cap.max(1);
             RxArena {
                 cap,
                 slots: (0..cap).map(|_| None).collect(),
                 pool,
+                shard,
                 addrs: vec![SockaddrIn::ZERO; cap],
                 iovecs: vec![
                     IoVec {
@@ -109,7 +125,7 @@ mod linux {
         ) -> io::Result<usize> {
             let want = max.min(self.cap).max(1);
             for i in 0..want {
-                let slot = self.slots[i].get_or_insert_with(|| self.pool.take());
+                let slot = self.slots[i].get_or_insert_with(|| self.pool.take_on(self.shard));
                 self.iovecs[i] = IoVec {
                     iov_base: slot.as_mut_ptr(),
                     iov_len: slot.len(),
@@ -145,9 +161,12 @@ mod linux {
     }
 
     /// Transmit-side arena: `cap` reusable header slots for one
-    /// `sendmmsg` call. Payloads are *not* copied — the iovecs point
-    /// straight at the caller's packet payloads for the duration of the
-    /// call.
+    /// `sendmmsg` call. Payloads are *not* copied — each frame's inline
+    /// header region and refcounted value segments become one iovec
+    /// each ([`TX_IOVECS_PER_FRAME`] slots per message), pointing
+    /// straight at the caller's storage for the duration of the call.
+    /// One syscall thus carries header-iovec + value-iovec pairs for a
+    /// whole burst: scatter-gather TX end to end.
     pub struct TxArena {
         cap: usize,
         addrs: Vec<SockaddrIn>,
@@ -170,7 +189,7 @@ mod linux {
                         iov_base: std::ptr::null_mut(),
                         iov_len: 0,
                     };
-                    cap
+                    cap * TX_IOVECS_PER_FRAME
                 ],
                 hdrs: vec![
                     MMsgHdr {
@@ -191,9 +210,10 @@ mod linux {
         }
 
         /// One non-blocking `sendmmsg` over `pkts` (at most `cap` of
-        /// them), each addressed by its destination metadata; returns
-        /// how many leading packets the kernel accepted.
-        pub fn send_batch(&mut self, fd: RawFd, pkts: &[Packet]) -> io::Result<usize> {
+        /// them), each addressed by its destination metadata and carried
+        /// as a multi-iovec gather list (no segment bytes copied);
+        /// returns how many leading frames the kernel accepted.
+        pub fn send_frames(&mut self, fd: RawFd, pkts: &[TxPacket]) -> io::Result<usize> {
             let n = pkts.len().min(self.cap);
             if n == 0 {
                 return Ok(0);
@@ -201,18 +221,17 @@ mod linux {
             for (i, pkt) in pkts.iter().take(n).enumerate() {
                 let dst = SocketAddrV4::new(Ipv4Addr::from(pkt.meta.ip.dst), pkt.meta.udp.dst_port);
                 self.addrs[i] = SockaddrIn::from_v4(dst);
-                self.iovecs[i] = IoVec {
-                    // The kernel only reads through send iovecs; the
-                    // *mut is an FFI-signature artifact.
-                    iov_base: pkt.payload.as_ptr() as *mut u8,
-                    iov_len: pkt.payload.len(),
-                };
+                let base = i * TX_IOVECS_PER_FRAME;
+                let niov = fill_iovecs(
+                    &pkt.frame,
+                    &mut self.iovecs[base..base + TX_IOVECS_PER_FRAME],
+                );
                 self.hdrs[i] = MMsgHdr {
                     msg_hdr: MsgHdr {
                         msg_name: &mut self.addrs[i],
                         msg_namelen: std::mem::size_of::<SockaddrIn>() as u32,
-                        msg_iov: &mut self.iovecs[i],
-                        msg_iovlen: 1,
+                        msg_iov: &mut self.iovecs[base],
+                        msg_iovlen: niov,
                         msg_control: std::ptr::null_mut(),
                         msg_controllen: 0,
                         msg_flags: 0,
@@ -221,9 +240,62 @@ mod linux {
                 };
             }
             // SAFETY: headers point into `self`-owned storage and the
-            // caller's payload slices, all alive across the call.
+            // caller's frame regions, all alive across the call.
             unsafe { crate::sys::send_mmsg(fd, &mut self.hdrs[..n]) }
         }
+    }
+
+    /// Writes one iovec per non-empty frame region into `iovecs`,
+    /// returning how many were filled.
+    fn fill_iovecs(frame: &minos_wire::TxFrame, iovecs: &mut [IoVec]) -> usize {
+        let mut niov = 0;
+        let inline = frame.inline();
+        if !inline.is_empty() {
+            iovecs[niov] = IoVec {
+                // The kernel only reads through send iovecs; the *mut
+                // is an FFI-signature artifact.
+                iov_base: inline.as_ptr() as *mut u8,
+                iov_len: inline.len(),
+            };
+            niov += 1;
+        }
+        for seg in frame.segments() {
+            iovecs[niov] = IoVec {
+                iov_base: seg.as_ptr() as *mut u8,
+                iov_len: seg.len(),
+            };
+            niov += 1;
+        }
+        niov
+    }
+
+    /// One non-blocking `sendmsg` carrying a single frame as a gather
+    /// list — the scatter-gather flavor of `send_to`, used by the
+    /// one-datagram-per-syscall TX path so even `batch <= 1` transports
+    /// never copy segment bytes. Returns the bytes sent.
+    pub fn send_frame_singly(
+        fd: RawFd,
+        dst: SocketAddrV4,
+        frame: &minos_wire::TxFrame,
+    ) -> io::Result<usize> {
+        let mut addr = SockaddrIn::from_v4(dst);
+        let mut iovecs = [IoVec {
+            iov_base: std::ptr::null_mut(),
+            iov_len: 0,
+        }; TX_IOVECS_PER_FRAME];
+        let niov = fill_iovecs(frame, &mut iovecs);
+        let hdr = MsgHdr {
+            msg_name: &mut addr,
+            msg_namelen: std::mem::size_of::<SockaddrIn>() as u32,
+            msg_iov: iovecs.as_mut_ptr(),
+            msg_iovlen: niov,
+            msg_control: std::ptr::null_mut(),
+            msg_controllen: 0,
+            msg_flags: 0,
+        };
+        // SAFETY: the header points at stack-owned address/iovec storage
+        // and the caller's frame regions, all alive across the call.
+        unsafe { crate::sys::send_msg(fd, &hdr) }
     }
 }
 
@@ -241,8 +313,8 @@ mod portable {
     pub struct RxArena;
 
     impl RxArena {
-        /// See the Linux arena; capacity and pool are ignored here.
-        pub fn new(_cap: usize, _pool: BufferPool) -> Self {
+        /// See the Linux arena; capacity, pool and shard are ignored here.
+        pub fn new(_cap: usize, _pool: BufferPool, _shard: usize) -> Self {
             RxArena
         }
 
@@ -270,15 +342,28 @@ mod portable {
         }
 
         /// Always unsupported off Linux.
-        pub fn send_batch(
+        pub fn send_frames(
             &mut self,
             _fd: i32,
-            _pkts: &[minos_wire::packet::Packet],
+            _pkts: &[minos_wire::packet::TxPacket],
         ) -> io::Result<usize> {
             Err(io::Error::new(
                 io::ErrorKind::Unsupported,
                 "sendmmsg requires Linux",
             ))
         }
+    }
+
+    /// Always unsupported off Linux; callers gather into a contiguous
+    /// buffer and use `send_to` instead.
+    pub fn send_frame_singly(
+        _fd: i32,
+        _dst: SocketAddrV4,
+        _frame: &minos_wire::TxFrame,
+    ) -> io::Result<usize> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "sendmsg requires Linux",
+        ))
     }
 }

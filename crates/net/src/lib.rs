@@ -27,6 +27,16 @@
 //!   steady-state receive path allocation-free end to end.
 //! * [`affinity`] — thread→core pinning (`sched_setaffinity`), used by
 //!   the `minos-server` polling threads and `minos-loadgen` clients.
+//! * [`testport`] — PID-salted port-range allocation for test suites
+//!   binding `SO_REUSEPORT` sockets, so concurrent test processes on
+//!   one machine cannot cross-deliver through shared ports.
+//!
+//! The primary send method is [`Transport::tx_frames`]: scatter-gather
+//! [`minos_wire::TxPacket`]s whose header regions and refcounted value
+//! segments reach the kernel as iovecs (`sendmsg`/`sendmmsg`), so value
+//! bytes are never copied between the store and the wire — the
+//! `tx_copied_bytes` gauges ([`TransportStats`], [`UdpIoStats`]) assert
+//! the invariant at runtime.
 
 #![warn(missing_docs)]
 
@@ -34,6 +44,7 @@ pub mod affinity;
 pub mod batch;
 pub mod pool;
 mod sys;
+pub mod testport;
 mod transport;
 mod udp;
 mod virt;

@@ -1,4 +1,5 @@
-//! Slab-backed receive-buffer pool: the allocation-free RX hot path.
+//! Slab-backed, shard-per-queue buffer pool: the allocation-free RX
+//! hot path (and the virtual backend's TX gather slots).
 //!
 //! Every datagram the UDP backend receives needs a refcounted payload
 //! buffer that can outlive the syscall arena (reassembly may hold
@@ -11,29 +12,38 @@
 //!
 //! Design:
 //!
-//! * [`BufferPool::new`] allocates `slots` fixed-size boxed buffers up
-//!   front (the slab) and keeps them on a freelist.
-//! * [`BufferPool::take`] pops a slot ([`PooledBuf`], mutably
-//!   accessible — the syscall target). An empty freelist falls back to
-//!   a fresh allocation and counts a *miss*; the hot path never fails.
+//! * [`BufferPool::new`] / [`BufferPool::sharded`] allocate `slots`
+//!   fixed-size boxed buffers up front (the slab) and distribute them
+//!   over per-shard freelists — one shard per RX queue on the UDP
+//!   backend, so concurrently polling cores stop bouncing one shared
+//!   mutex cache line on every take.
+//! * [`BufferPool::take_on`] pops a slot from the caller's shard
+//!   ([`PooledBuf`], mutably accessible — the syscall target). An empty
+//!   shard *steals* from its neighbors (counted in
+//!   [`PoolStats::steals`]) before falling back to a fresh allocation
+//!   (a *miss*); the hot path never fails.
 //! * [`PooledBuf::freeze`] turns the filled slot into an immutable,
 //!   refcounted [`Bytes`] (via `Bytes::from_owner`, no copy). When the
 //!   last clone/slice of that `Bytes` drops, the slot returns to the
-//!   freelist — from anywhere, on any thread.
-//! * [`BufferPool::stats`] exposes hit/miss counters and an
+//!   freelist of the shard it was taken from — from anywhere, on any
+//!   thread — so buffers follow the traffic to hot shards.
+//! * [`BufferPool::stats`] exposes hit/miss/steal counters and an
 //!   outstanding-buffers gauge, surfaced through
 //!   [`crate::UdpIoStats`] so CI can assert the steady-state hit rate.
 //!
-//! The freelist is bounded by the initial slab size: fallback-allocated
-//! buffers are released to the allocator instead of growing the pool,
-//! so a transient burst cannot permanently inflate memory.
+//! The pool is bounded by the initial slab size: each shard's freelist
+//! is capped at its share of the slab (recycles spill to sibling
+//! shards when the home shard is full), so fallback-allocated buffers
+//! from a transient burst are released to the allocator instead of
+//! permanently inflating memory — and a slab buffer is never released,
+//! so the pool cannot shrink either.
 
 use bytes::Bytes;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Pool observability counters. `hits / (hits + misses)` is the
-/// fraction of datagrams served without touching the allocator;
+/// fraction of takes served without touching the allocator;
 /// `outstanding` counts *delivered* payloads (frozen buffers) whose
 /// last reference has not dropped yet — it returns to zero once the
 /// application has released every received datagram, so a non-zero
@@ -42,10 +52,15 @@ use std::sync::{Arc, Mutex};
 /// deliberately excluded.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PoolStats {
-    /// Takes served from the preallocated freelist.
+    /// Takes served from a preallocated freelist (own shard or stolen).
     pub hits: u64,
     /// Takes that fell back to a fresh heap allocation.
     pub misses: u64,
+    /// Hits that had to steal from another shard's freelist because the
+    /// caller's shard was empty. Persistent steals mean the traffic
+    /// distribution across queues has shifted; the pool rebalances
+    /// itself because slots recycle to the shard that took them.
+    pub steals: u64,
     /// Delivered (frozen) buffers not yet returned by drop.
     pub outstanding: u64,
     /// Slab capacity the pool was created with.
@@ -71,28 +86,61 @@ pub fn hit_rate(hits: u64, misses: u64) -> f64 {
     }
 }
 
+struct Shard {
+    free: Mutex<Vec<Box<[u8]>>>,
+    /// Buffers this shard's freelist may hold; the caps sum to the
+    /// pool's slab size, so the pool as a whole stays bounded without
+    /// any cross-shard counter (a global atomic would either race with
+    /// the per-shard lists — leaking slab buffers to the allocator —
+    /// or reintroduce the shared cache line the shards exist to kill).
+    cap: usize,
+}
+
 struct Shared {
     slot_len: usize,
     capacity: usize,
-    free: Mutex<Vec<Box<[u8]>>>,
+    shards: Vec<Shard>,
     hits: AtomicU64,
     misses: AtomicU64,
+    steals: AtomicU64,
     outstanding: AtomicU64,
 }
 
 impl Shared {
-    /// Returns a buffer to the freelist — unless the freelist is
-    /// already at capacity (the buffer was a fallback allocation), in
-    /// which case it goes back to the allocator.
-    fn recycle(&self, buf: Box<[u8]>) {
-        let mut free = self.free.lock().unwrap_or_else(|e| e.into_inner());
-        if free.len() < self.capacity {
-            free.push(buf);
+    /// Returns a buffer to `home`'s freelist, spilling to the other
+    /// shards when it is at capacity — only a buffer no shard has room
+    /// for (a fallback allocation from a burst) goes back to the
+    /// allocator, so the pool never shrinks below its slab.
+    fn recycle(&self, home: usize, buf: Box<[u8]>) {
+        let n = self.shards.len();
+        for i in 0..n {
+            let shard = &self.shards[(home + i) % n];
+            let mut free = shard.free.lock().unwrap_or_else(|e| e.into_inner());
+            if free.len() < shard.cap {
+                free.push(buf);
+                return;
+            }
         }
+    }
+
+    fn pop(&self, shard: usize) -> Option<Box<[u8]>> {
+        self.shards[shard]
+            .free
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+    }
+
+    #[cfg(test)]
+    fn free_len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.free.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
     }
 }
 
-/// A slab of fixed-size receive buffers recycled through a freelist.
+/// A slab of fixed-size buffers recycled through per-shard freelists.
 /// Cloning is cheap (`Arc`); all clones share the one slab.
 #[derive(Clone)]
 pub struct BufferPool {
@@ -104,41 +152,87 @@ impl std::fmt::Debug for BufferPool {
         let s = self.stats();
         write!(
             f,
-            "BufferPool(cap {}, {} out, {} hits / {} misses)",
-            s.capacity, s.outstanding, s.hits, s.misses
+            "BufferPool(cap {} x{} shards, {} out, {} hits / {} misses / {} steals)",
+            s.capacity,
+            self.shared.shards.len(),
+            s.outstanding,
+            s.hits,
+            s.misses,
+            s.steals,
         )
     }
 }
 
 impl BufferPool {
-    /// A pool of `slots` buffers of `slot_len` bytes each, all
-    /// allocated now so the hot path never has to.
+    /// A single-shard pool of `slots` buffers of `slot_len` bytes each,
+    /// all allocated now so the hot path never has to.
     pub fn new(slots: usize, slot_len: usize) -> Self {
+        Self::sharded(slots, slot_len, 1)
+    }
+
+    /// A pool of `slots` buffers distributed over `shards` freelists.
+    /// Give each RX queue its own shard ([`BufferPool::take_on`]) and
+    /// concurrent pollers stop contending on one freelist mutex; an
+    /// empty shard steals from its neighbors before allocating.
+    pub fn sharded(slots: usize, slot_len: usize, shards: usize) -> Self {
         let slots = slots.max(1);
+        let shards = shards.clamp(1, slots);
         assert!(slot_len > 0, "slots must hold at least one byte");
-        let free = (0..slots)
-            .map(|_| vec![0u8; slot_len].into_boxed_slice())
+        let lists: Vec<Shard> = (0..shards)
+            .map(|s| {
+                // Distribute the slab evenly: shard s gets the base
+                // share plus one of the remainder slots; its freelist
+                // cap equals its share so the caps sum to `slots`.
+                let share = slots / shards + usize::from(s < slots % shards);
+                Shard {
+                    free: Mutex::new(
+                        (0..share)
+                            .map(|_| vec![0u8; slot_len].into_boxed_slice())
+                            .collect(),
+                    ),
+                    cap: share,
+                }
+            })
             .collect();
         BufferPool {
             shared: Arc::new(Shared {
                 slot_len,
                 capacity: slots,
-                free: Mutex::new(free),
+                shards: lists,
                 hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
+                steals: AtomicU64::new(0),
                 outstanding: AtomicU64::new(0),
             }),
         }
     }
 
-    /// Checks a writable buffer out of the pool. Falls back to a fresh
-    /// allocation (counted as a miss) when the slab is exhausted —
-    /// callers never see failure, only the miss counter moves.
+    /// Checks a writable buffer out of shard 0; see
+    /// [`BufferPool::take_on`].
     pub fn take(&self) -> PooledBuf {
-        let recycled = {
-            let mut free = self.shared.free.lock().unwrap_or_else(|e| e.into_inner());
-            free.pop()
-        };
+        self.take_on(0)
+    }
+
+    /// Checks a writable buffer out of the pool, preferring `shard`'s
+    /// freelist (callers pass their queue index; out-of-range values
+    /// wrap). An empty shard steals from the others; only when every
+    /// freelist is empty does the take fall back to a fresh allocation
+    /// (counted as a miss) — callers never see failure, only the miss
+    /// counter moves. The slot recycles to `shard` when released, so
+    /// buffers migrate toward the queues that actually take them.
+    pub fn take_on(&self, shard: usize) -> PooledBuf {
+        let n = self.shared.shards.len();
+        let home = shard % n;
+        let mut recycled = self.shared.pop(home);
+        if recycled.is_none() {
+            for i in 1..n {
+                recycled = self.shared.pop((home + i) % n);
+                if recycled.is_some() {
+                    self.shared.steals.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
         let buf = match recycled {
             Some(buf) => {
                 self.shared.hits.fetch_add(1, Ordering::Relaxed);
@@ -151,6 +245,7 @@ impl BufferPool {
         };
         PooledBuf {
             buf: Some(buf),
+            home,
             shared: Arc::clone(&self.shared),
         }
     }
@@ -160,11 +255,17 @@ impl BufferPool {
         self.shared.slot_len
     }
 
+    /// Number of freelist shards.
+    pub fn shards(&self) -> usize {
+        self.shared.shards.len()
+    }
+
     /// Counters snapshot.
     pub fn stats(&self) -> PoolStats {
         PoolStats {
             hits: self.shared.hits.load(Ordering::Relaxed),
             misses: self.shared.misses.load(Ordering::Relaxed),
+            steals: self.shared.steals.load(Ordering::Relaxed),
             outstanding: self.shared.outstanding.load(Ordering::Relaxed),
             capacity: self.shared.capacity as u64,
         }
@@ -177,6 +278,8 @@ impl BufferPool {
 pub struct PooledBuf {
     /// Always `Some` until `freeze`/`Drop` takes it.
     buf: Option<Box<[u8]>>,
+    /// Shard the slot recycles to.
+    home: usize,
     shared: Arc<Shared>,
 }
 
@@ -223,6 +326,7 @@ impl PooledBuf {
         Bytes::from_owner(PooledBytes {
             buf,
             len,
+            home: self.home,
             shared: Arc::clone(&self.shared),
         })
     }
@@ -233,16 +337,17 @@ impl Drop for PooledBuf {
         // A slot dropped unfrozen was never delivered: it returns to
         // the freelist without ever counting as outstanding.
         if let Some(buf) = self.buf.take() {
-            self.shared.recycle(buf);
+            self.shared.recycle(self.home, buf);
         }
     }
 }
 
 /// The owner behind a frozen pooled [`Bytes`]: keeps the slot alive
-/// while any clone/slice exists, returns it to the pool on drop.
+/// while any clone/slice exists, returns it to its shard on drop.
 struct PooledBytes {
     buf: Box<[u8]>,
     len: usize,
+    home: usize,
     shared: Arc<Shared>,
 }
 
@@ -255,7 +360,8 @@ impl AsRef<[u8]> for PooledBytes {
 impl Drop for PooledBytes {
     fn drop(&mut self) {
         self.shared.outstanding.fetch_sub(1, Ordering::Relaxed);
-        self.shared.recycle(std::mem::take(&mut self.buf));
+        self.shared
+            .recycle(self.home, std::mem::take(&mut self.buf));
     }
 }
 
@@ -351,5 +457,67 @@ mod tests {
         let _again = pool.take();
         assert_eq!(pool.stats().hits, 2);
         assert_eq!(pool.stats().misses, 0);
+    }
+
+    #[test]
+    fn empty_shard_steals_before_allocating() {
+        // 4 slots over 2 shards: draining shard 0 must pull shard 1's
+        // slots (steals, still hits) before any take misses.
+        let pool = BufferPool::sharded(4, 8, 2);
+        let held: Vec<Bytes> = (0..4).map(|_| pool.take_on(0).freeze(1)).collect();
+        let s = pool.stats();
+        assert_eq!(s.hits, 4, "every slab slot must be reachable from shard 0");
+        assert_eq!(s.misses, 0);
+        assert_eq!(
+            s.steals, 2,
+            "shard 0 held 2 of 4 slots; the rest are steals"
+        );
+        // Only now does the pool allocate.
+        let _extra = pool.take_on(0).freeze(1);
+        assert_eq!(pool.stats().misses, 1);
+        drop(held);
+        assert_eq!(pool.stats().outstanding, 1);
+    }
+
+    #[test]
+    fn hot_shard_keeps_its_share_and_steals_the_spill() {
+        let pool = BufferPool::sharded(4, 8, 2);
+        // Pull everything through shard 1, drop it all, then pull
+        // again: recycles refill shard 1 to its cap (2 slots) and spill
+        // the rest to shard 0, so the second round is 2 local hits plus
+        // 2 steals — and the pool never misses, in either round.
+        let first: Vec<Bytes> = (0..4).map(|_| pool.take_on(1).freeze(1)).collect();
+        assert_eq!(pool.stats().steals, 2);
+        drop(first);
+        let _second: Vec<Bytes> = (0..4).map(|_| pool.take_on(1).freeze(1)).collect();
+        let s = pool.stats();
+        assert_eq!(s.steals, 4, "the spilled half is stolen back");
+        assert_eq!(s.misses, 0);
+        assert_eq!(s.hits, 8, "every take in both rounds came from the slab");
+    }
+
+    #[test]
+    fn sharded_pool_stays_bounded_under_fallback_churn() {
+        let pool = BufferPool::sharded(2, 8, 2);
+        // Hold the whole slab plus fallbacks, drop everything, repeat:
+        // the freelists may never hold more than the slab.
+        for _ in 0..10 {
+            let held: Vec<Bytes> = (0..6).map(|i| pool.take_on(i).freeze(1)).collect();
+            drop(held);
+            assert_eq!(
+                pool.shared.free_len(),
+                2,
+                "the slab must neither grow nor shrink under churn"
+            );
+        }
+        assert_eq!(pool.stats().outstanding, 0);
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_slots() {
+        let pool = BufferPool::sharded(2, 8, 16);
+        assert_eq!(pool.shards(), 2);
+        // And every shard index wraps rather than panicking.
+        let _ = pool.take_on(1337);
     }
 }

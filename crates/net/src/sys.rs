@@ -132,6 +132,7 @@ mod linux {
             timeout: *mut u8, // struct timespec*; always null here
         ) -> i32;
         fn sendmmsg(fd: i32, msgvec: *mut MMsgHdr, vlen: u32, flags: i32) -> i32;
+        fn sendmsg(fd: i32, msg: *const MsgHdr, flags: i32) -> isize;
         fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
     }
 
@@ -189,6 +190,44 @@ mod linux {
     /// for the duration of the call.
     pub unsafe fn send_mmsg(fd: i32, hdrs: &mut [MMsgHdr]) -> io::Result<usize> {
         let rc = sendmmsg(fd, hdrs.as_mut_ptr(), hdrs.len() as u32, MSG_DONTWAIT);
+        if rc < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(rc as usize)
+        }
+    }
+
+    /// Set once plain `sendmsg` comes back `ENOSYS`/`EOPNOTSUPP`
+    /// (exotic sandboxes only — the syscall predates Linux itself):
+    /// single-datagram sends then fall back to gather + `send_to`.
+    static SENDMSG_UNAVAILABLE: AtomicBool = AtomicBool::new(false);
+
+    /// Whether single-datagram scatter-gather sends (`sendmsg`) are
+    /// believed available. Optimistic until proven otherwise at runtime.
+    pub fn sendmsg_available() -> bool {
+        !SENDMSG_UNAVAILABLE.load(Ordering::Relaxed)
+    }
+
+    /// Classifies an error from `sendmsg`: `true` means the syscall
+    /// itself is unsupported here (now remembered globally), not that
+    /// this particular call failed.
+    pub fn note_sendmsg_error(err: &io::Error) -> bool {
+        if matches!(err.raw_os_error(), Some(ENOSYS) | Some(EOPNOTSUPP)) {
+            SENDMSG_UNAVAILABLE.store(true, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// One non-blocking `sendmsg` call; returns the bytes sent.
+    ///
+    /// # Safety
+    ///
+    /// `hdr` must point at live name/iovec storage for the duration of
+    /// the call.
+    pub unsafe fn send_msg(fd: i32, hdr: &MsgHdr) -> io::Result<usize> {
+        let rc = sendmsg(fd, hdr, MSG_DONTWAIT);
         if rc < 0 {
             Err(io::Error::last_os_error())
         } else {
@@ -285,6 +324,20 @@ mod portable {
     /// Off Linux every batched-syscall error means "unsupported".
     pub fn note_mmsg_error(_err: &io::Error) -> bool {
         true
+    }
+
+    /// Scatter-gather `sendmsg` is never available off Linux; senders
+    /// gather into a contiguous buffer and use `send_to`.
+    pub fn sendmsg_available() -> bool {
+        false
+    }
+
+    /// Off Linux the one-datagram sender is already the `send_to`
+    /// fallback, so its errors are real send failures, never a missing
+    /// syscall: always `false` (returning `true` would make the caller
+    /// retry the same failing send forever).
+    pub fn note_sendmsg_error(_err: &io::Error) -> bool {
+        false
     }
 
     /// Thread pinning is unsupported off Linux.

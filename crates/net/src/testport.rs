@@ -1,0 +1,116 @@
+//! PID-salted UDP test-port allocation.
+//!
+//! Test suites that bind real `SO_REUSEPORT` sockets cannot probe for
+//! free ports: binding over another live test server *succeeds*, and
+//! the kernel then load-balances datagrams between the two sockets,
+//! silently stealing traffic. Within one process, a static allocator
+//! handing out disjoint ranges solves this — but two test *processes*
+//! running concurrently on one machine (debug + release suites, two CI
+//! jobs, a developer's editor running tests next to a terminal) would
+//! start from the same base and cross-deliver.
+//!
+//! [`TestPorts`] closes that hole: each suite declares a port range,
+//! the range is divided into [`PID_BUCKETS`] buckets, and every
+//! process allocates only inside the bucket selected by a hash of its
+//! PID. Concurrent processes land in different buckets (up to hash
+//! collisions, which are 16× less likely than the guaranteed collision
+//! the static base produced), while allocations within one process
+//! stay disjoint via an atomic cursor.
+//!
+//! This module is part of the public API so every test binary in the
+//! workspace (and downstream users writing their own socket tests) can
+//! share one implementation.
+
+use std::sync::atomic::{AtomicU16, Ordering};
+
+/// Number of per-process buckets a [`TestPorts`] range is divided into.
+pub const PID_BUCKETS: u16 = 16;
+
+/// A PID-salted port-range allocator for `SO_REUSEPORT` test sockets.
+///
+/// ```
+/// static PORTS: minos_net::testport::TestPorts =
+///     minos_net::testport::TestPorts::new(21_000, 25_000);
+/// let base = PORTS.alloc(4); // first port of a 4-port block
+/// assert!((21_000..25_000).contains(&base));
+/// ```
+#[derive(Debug)]
+pub struct TestPorts {
+    start: u16,
+    end: u16,
+    /// Offset of the next free port inside this process's bucket.
+    next: AtomicU16,
+}
+
+impl TestPorts {
+    /// An allocator handing out ports from `[start, end)`.
+    pub const fn new(start: u16, end: u16) -> Self {
+        assert!(start < end, "empty test-port range");
+        TestPorts {
+            start,
+            end,
+            next: AtomicU16::new(0),
+        }
+    }
+
+    /// Reserves a block of `span` consecutive ports (at least 8, so
+    /// neighboring allocations never abut) inside this process's
+    /// PID-selected bucket and returns its first port.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bucket is exhausted — the suite should widen its
+    /// range rather than risk silent `SO_REUSEPORT` cross-delivery.
+    pub fn alloc(&self, span: u16) -> u16 {
+        let span = span.max(8);
+        let bucket_len = (self.end - self.start) / PID_BUCKETS;
+        assert!(
+            span <= bucket_len,
+            "span {span} exceeds the {bucket_len}-port per-process bucket"
+        );
+        let off = self.next.fetch_add(span, Ordering::Relaxed);
+        assert!(
+            off.checked_add(span).is_some_and(|end| end <= bucket_len),
+            "test-port bucket exhausted ({bucket_len} ports); widen the range"
+        );
+        self.start + pid_bucket() * bucket_len + off
+    }
+}
+
+/// The bucket index this process allocates from: a mixed hash of the
+/// PID, so consecutive PIDs (parallel `cargo test` spawns) spread
+/// across buckets instead of clustering.
+fn pid_bucket() -> u16 {
+    let mut h = u64::from(std::process::id()).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (h ^ (h >> 31)) as u16 % PID_BUCKETS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_disjoint_and_in_range() {
+        let ports = TestPorts::new(40_000, 41_600);
+        let bucket_len = 1_600 / PID_BUCKETS; // 100 ports
+        let a = ports.alloc(8);
+        let b = ports.alloc(10);
+        let c = ports.alloc(1); // clamped to 8
+        assert!((40_000..41_600).contains(&a));
+        assert_eq!(b, a + 8);
+        assert_eq!(c, b + 10);
+        // All allocations stay inside one bucket.
+        let bucket_base = a - (a - 40_000) % bucket_len;
+        assert!(c + 8 <= bucket_base + bucket_len);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket exhausted")]
+    fn exhaustion_panics_instead_of_colliding() {
+        let ports = TestPorts::new(50_000, 50_160); // 10-port buckets
+        let _ = ports.alloc(8);
+        let _ = ports.alloc(8);
+    }
+}

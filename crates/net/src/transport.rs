@@ -1,6 +1,6 @@
 //! The [`Transport`] trait: the multi-queue packet I/O contract.
 
-use minos_wire::packet::{Endpoint, Packet};
+use minos_wire::packet::{Endpoint, Packet, TxPacket};
 
 /// Aggregate transport statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -15,6 +15,13 @@ pub struct TransportStats {
     pub tx_bytes: u64,
     /// Packets dropped on transmit (full ring / full socket buffer).
     pub tx_dropped: u64,
+    /// Payload *segment* bytes the transport had to copy to put frames
+    /// on the wire. The UDP backend hands segment iovecs straight to
+    /// the kernel, so this stays 0 there — the asserted "zero value-byte
+    /// copies on the send path" invariant. The in-process virtual wire
+    /// must materialize contiguous frames (its stand-in for DMA) and
+    /// counts every gathered segment byte here honestly.
+    pub tx_copied_bytes: u64,
 }
 
 /// Multi-queue packet I/O.
@@ -29,11 +36,18 @@ pub struct TransportStats {
 ///   concurrent readers must be safe — Minos small cores also drain the
 ///   RX queues of large cores (§3).
 /// * Packets move in batches ([`Transport::rx_burst`] /
-///   [`Transport::tx_burst`], §4.1: "Requests are moved in batches to
+///   [`Transport::tx_frames`], §4.1: "Requests are moved in batches to
 ///   further limit overhead").
-/// * [`Transport::tx_push`] routes by the packet's *destination*
-///   metadata ([`Packet::meta`]); `queue` names the local TX queue the
-///   send is charged to.
+/// * The primary send path is [`Transport::tx_frames`]: scatter-gather
+///   [`TxPacket`]s whose value segments the backend forwards without
+///   copying wherever the underlying I/O allows (`sendmsg`/`sendmmsg`
+///   iovecs on the UDP backend). [`Transport::tx_push`] and
+///   [`Transport::tx_burst`] are compatibility shims layered on top:
+///   they wrap contiguous payloads as single-segment frames (an `O(1)`
+///   refcount bump, no copy) and forward to `tx_frames`.
+/// * Sends route by each packet's *destination* metadata
+///   ([`TxPacket::meta`]); `queue` names the local TX queue the send is
+///   charged to.
 ///
 /// The trait is object-safe: engines that don't want a generic
 /// parameter can hold an `Arc<dyn Transport>`.
@@ -64,24 +78,35 @@ pub trait Transport: Send + Sync {
         0
     }
 
-    /// Enqueues one packet for transmission on TX queue `queue`,
-    /// addressed by the packet's destination metadata. Returns `false`
-    /// on tail drop (full ring, full socket buffer), as NIC hardware
-    /// drops on a full TX ring.
-    fn tx_push(&self, queue: u16, packet: Packet) -> bool;
+    /// Transmits a batch of scatter-gather frames on TX queue `queue`,
+    /// draining `frames`; returns how many were accepted. This is the
+    /// *primary* send method: each [`TxPacket`] is addressed by its own
+    /// destination metadata, its inline header region and refcounted
+    /// value segments reach the wire without the transport copying
+    /// segment bytes wherever the backend supports gather I/O (see
+    /// [`TransportStats::tx_copied_bytes`]). Stops at the first tail
+    /// drop (the remaining frames are dropped too, preserving per-queue
+    /// FIFO order on the wire).
+    fn tx_frames(&self, queue: u16, frames: &mut Vec<TxPacket>) -> usize;
 
-    /// Transmits a batch, draining `packets`; returns how many were
-    /// accepted. Stops at the first tail drop (the remaining packets
-    /// are dropped too, preserving per-queue FIFO order on the wire).
+    /// Enqueues one contiguous packet for transmission on TX queue
+    /// `queue`, addressed by the packet's destination metadata. Returns
+    /// `false` on tail drop (full ring, full socket buffer), as NIC
+    /// hardware drops on a full TX ring. A shim over
+    /// [`Transport::tx_frames`]: the payload becomes a single-segment
+    /// frame without copying.
+    fn tx_push(&self, queue: u16, packet: Packet) -> bool {
+        let mut frames = vec![TxPacket::from_packet(packet)];
+        self.tx_frames(queue, &mut frames) == 1
+    }
+
+    /// Transmits a batch of contiguous packets, draining `packets`;
+    /// returns how many were accepted. A shim over
+    /// [`Transport::tx_frames`] with the same FIFO tail-drop contract;
+    /// each payload rides as a single-segment frame, uncopied.
     fn tx_burst(&self, queue: u16, packets: &mut Vec<Packet>) -> usize {
-        let mut sent = 0;
-        for pkt in packets.drain(..) {
-            if !self.tx_push(queue, pkt) {
-                break;
-            }
-            sent += 1;
-        }
-        sent
+        let mut frames: Vec<TxPacket> = packets.drain(..).map(TxPacket::from_packet).collect();
+        self.tx_frames(queue, &mut frames)
     }
 
     /// The endpoint identity of local queue `queue` — what the transport

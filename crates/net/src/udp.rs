@@ -27,13 +27,24 @@
 //! unavailable (non-Linux, seccomp), and can be disabled with
 //! `batch <= 1`. [`UdpTransport::io_stats`] reports syscall counts so
 //! the savings are observable.
+//!
+//! # Scatter-gather TX
+//!
+//! The primary send method is [`Transport::tx_frames`]: each
+//! [`TxPacket`] reaches the kernel as a multi-iovec gather list (inline
+//! header iovec + one iovec per refcounted value segment), through
+//! `sendmmsg` on the batched path and `sendmsg` on the one-datagram
+//! path — so value bytes flow from the store's mempool to the wire with
+//! zero copies in this layer, an invariant the
+//! [`UdpIoStats::tx_copied_bytes`] gauge asserts (it moves only on the
+//! no-scatter-gather fallback, i.e. off Linux).
 
 use crate::batch::{RxArena, TxArena, RX_SLOT_LEN};
 use crate::pool::{BufferPool, PoolStats, PooledBuf};
 use crate::sys;
 use crate::transport::{Transport, TransportStats};
 use minos_wire::frame::MacAddr;
-use minos_wire::packet::{synthesize, Endpoint, Packet};
+use minos_wire::packet::{synthesize, Endpoint, Packet, TxPacket};
 use std::io::ErrorKind;
 use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, UdpSocket};
 use std::os::fd::AsRawFd;
@@ -135,6 +146,13 @@ pub struct UdpIoStats {
     /// Pooled RX buffers currently checked out (returns to zero once
     /// every received payload has been dropped).
     pub pool_outstanding: u64,
+    /// Payload *segment* bytes the TX path had to copy to reach the
+    /// wire. Both syscall paths hand segment iovecs straight to the
+    /// kernel (`sendmmsg` batched, `sendmsg` singly), so on Linux this
+    /// stays 0 — the asserted "GET replies reach the wire with zero
+    /// value-byte copies" invariant. Only the no-scatter-gather
+    /// fallback (non-Linux, exotic sandboxes) gathers, and counts here.
+    pub tx_copied_bytes: u64,
 }
 
 impl UdpIoStats {
@@ -169,6 +187,7 @@ pub struct UdpTransport {
     tx_dropped: AtomicU64,
     rx_syscalls: AtomicU64,
     tx_syscalls: AtomicU64,
+    tx_copied_bytes: AtomicU64,
 }
 
 impl std::fmt::Debug for RxArena {
@@ -252,11 +271,14 @@ impl UdpTransport {
         config: &UdpConfig,
     ) -> Self {
         let batch = config.batch.max(1);
-        let pool = BufferPool::new(config.effective_pool_slots(), RX_SLOT_LEN);
+        // One freelist shard per queue: concurrently polling cores take
+        // from (and recycle to) their own shard, stealing on empty.
+        let pool = BufferPool::sharded(config.effective_pool_slots(), RX_SLOT_LEN, sockets.len());
         UdpTransport {
             rx_arenas: sockets
                 .iter()
-                .map(|_| Mutex::new(RxArena::new(batch, pool.clone())))
+                .enumerate()
+                .map(|(q, _)| Mutex::new(RxArena::new(batch, pool.clone(), q)))
                 .collect(),
             tx_arenas: sockets
                 .iter()
@@ -276,6 +298,7 @@ impl UdpTransport {
             tx_dropped: AtomicU64::new(0),
             rx_syscalls: AtomicU64::new(0),
             tx_syscalls: AtomicU64::new(0),
+            tx_copied_bytes: AtomicU64::new(0),
         }
     }
 
@@ -301,6 +324,7 @@ impl UdpTransport {
             pool_hits: pool.hits,
             pool_misses: pool.misses,
             pool_outstanding: pool.outstanding,
+            tx_copied_bytes: self.tx_copied_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -386,7 +410,7 @@ impl UdpTransport {
             .unwrap_or_else(|e| e.into_inner());
         let mut staged: Option<PooledBuf> = staged_cell.take();
         while moved < max && skips < max {
-            let buf = staged.get_or_insert_with(|| self.pool.take());
+            let buf = staged.get_or_insert_with(|| self.pool.take_on(queue as usize));
             self.rx_syscalls.fetch_add(1, Ordering::Relaxed);
             match socket.recv_from(buf.as_mut_slice()) {
                 Ok((len, SocketAddr::V4(peer))) => {
@@ -413,25 +437,27 @@ impl UdpTransport {
         moved
     }
 
-    /// Batched transmit of `packets[..]`: one `sendmmsg` per
-    /// up-to-`batch` datagrams, with the same full-buffer backoff as
-    /// [`Transport::tx_push`]. Returns `None` (nothing sent) when the
-    /// syscall is unsupported here.
-    fn tx_burst_mmsg(&self, queue: u16, packets: &mut Vec<Packet>) -> Option<usize> {
+    /// Batched transmit of `frames[..]`: one `sendmmsg` per
+    /// up-to-`batch` datagrams, each carried as a multi-iovec gather
+    /// list (header iovec + value iovecs; zero segment-byte copies),
+    /// with a brief full-buffer backoff. Returns `None` (nothing sent)
+    /// when the syscall is unsupported here; accounting is then left to
+    /// the caller's fallback.
+    fn tx_frames_mmsg(&self, queue: u16, frames: &[TxPacket]) -> Option<usize> {
         let fd = self.sockets[queue as usize].as_raw_fd();
         let mut arena = self.tx_arenas[queue as usize]
             .lock()
             .unwrap_or_else(|e| e.into_inner());
-        let total = packets.len();
+        let total = frames.len();
         let mut sent = 0usize;
         let mut bytes = 0u64;
         let deadline = Instant::now() + self.tx_backoff;
         while sent < total {
             let want = (total - sent).min(self.batch);
             self.tx_syscalls.fetch_add(1, Ordering::Relaxed);
-            match arena.send_batch(fd, &packets[sent..sent + want]) {
+            match arena.send_frames(fd, &frames[sent..sent + want]) {
                 Ok(n) => {
-                    for pkt in &packets[sent..sent + n] {
+                    for pkt in &frames[sent..sent + n] {
                         bytes += pkt.wire_len() as u64;
                     }
                     sent += n;
@@ -469,8 +495,72 @@ impl UdpTransport {
             self.tx_dropped
                 .fetch_add((total - sent) as u64, Ordering::Relaxed);
         }
-        packets.clear();
         Some(sent)
+    }
+
+    /// One-datagram-per-syscall transmit of `frames[..]`: `sendmsg`
+    /// with a per-frame gather list where available (still zero
+    /// segment-byte copies), gather + `send_to` where not (counted in
+    /// [`UdpIoStats::tx_copied_bytes`]). Same FIFO tail-drop and
+    /// backoff contract as the batched path.
+    fn tx_frames_singly(&self, queue: u16, frames: &[TxPacket]) -> usize {
+        let socket = &self.sockets[queue as usize];
+        let fd = socket.as_raw_fd();
+        let total = frames.len();
+        let mut sent = 0usize;
+        let mut bytes = 0u64;
+        let deadline = Instant::now() + self.tx_backoff;
+        'frames: while sent < total {
+            let pkt = &frames[sent];
+            let dst = SocketAddrV4::new(Ipv4Addr::from(pkt.meta.ip.dst), pkt.meta.udp.dst_port);
+            loop {
+                self.tx_syscalls.fetch_add(1, Ordering::Relaxed);
+                let result = if sys::sendmsg_available() {
+                    crate::batch::send_frame_singly(fd, dst, &pkt.frame)
+                } else {
+                    // No scatter-gather syscall on this platform:
+                    // materialize the datagram and account every copied
+                    // segment byte honestly.
+                    let (payload, copied) = pkt.frame.to_contiguous();
+                    self.tx_copied_bytes
+                        .fetch_add(copied as u64, Ordering::Relaxed);
+                    socket.send_to(&payload, dst)
+                };
+                match result {
+                    Ok(_) => {
+                        sent += 1;
+                        bytes += pkt.wire_len() as u64;
+                        continue 'frames;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        // Full socket buffer: back off briefly, then
+                        // tail-drop the rest of the burst.
+                        if Instant::now() >= deadline {
+                            break 'frames;
+                        }
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(e) => {
+                        if sys::note_sendmsg_error(&e) {
+                            // sendmsg itself is unsupported here; retry
+                            // this frame on the gather fallback.
+                            continue;
+                        }
+                        break 'frames;
+                    }
+                }
+            }
+        }
+        if sent > 0 {
+            self.tx_packets.fetch_add(sent as u64, Ordering::Relaxed);
+            self.tx_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+        if sent < total {
+            self.tx_dropped
+                .fetch_add((total - sent) as u64, Ordering::Relaxed);
+        }
+        sent
     }
 }
 
@@ -502,66 +592,21 @@ impl Transport for UdpTransport {
         self.rx_burst_singly(queue, out, max)
     }
 
-    fn tx_push(&self, queue: u16, packet: Packet) -> bool {
-        let socket = &self.sockets[queue as usize];
-        let dst = SocketAddrV4::new(Ipv4Addr::from(packet.meta.ip.dst), packet.meta.udp.dst_port);
-        let deadline = Instant::now() + self.tx_backoff;
-        loop {
-            self.tx_syscalls.fetch_add(1, Ordering::Relaxed);
-            match socket.send_to(&packet.payload, dst) {
-                Ok(_) => {
-                    self.tx_packets.fetch_add(1, Ordering::Relaxed);
-                    self.tx_bytes
-                        .fetch_add(packet.wire_len() as u64, Ordering::Relaxed);
-                    return true;
-                }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                    // Full socket buffer: the kernel-side analog of a
-                    // full TX ring. Back off briefly, then tail-drop.
-                    // Sleep rather than spin — the buffer drains at the
-                    // receiver's pace, so burning the core here only
-                    // starves the RX path and distorts caller pacing.
-                    if Instant::now() >= deadline {
-                        self.tx_dropped.fetch_add(1, Ordering::Relaxed);
-                        return false;
-                    }
-                    std::thread::sleep(Duration::from_micros(50));
-                }
-                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-                Err(_) => {
-                    self.tx_dropped.fetch_add(1, Ordering::Relaxed);
-                    return false;
-                }
-            }
-        }
-    }
-
-    fn tx_burst(&self, queue: u16, packets: &mut Vec<Packet>) -> usize {
-        if packets.is_empty() {
+    fn tx_frames(&self, queue: u16, frames: &mut Vec<TxPacket>) -> usize {
+        if frames.is_empty() {
             return 0;
         }
-        if self.batch > 1 && sys::mmsg_available() {
-            if let Some(sent) = self.tx_burst_mmsg(queue, packets) {
-                return sent;
+        let sent = if self.batch > 1 && sys::mmsg_available() {
+            match self.tx_frames_mmsg(queue, frames) {
+                Some(sent) => sent,
+                // sendmmsg unsupported here (nothing was sent or
+                // accounted): fall through to one syscall per datagram.
+                None => self.tx_frames_singly(queue, frames),
             }
-        }
-        // Portable path: one send_to per datagram, stop at the first
-        // tail drop; the remainder is dropped too (FIFO preserved) and
-        // accounted exactly like the batched path.
-        let total = packets.len();
-        let mut sent = 0;
-        for pkt in packets.drain(..) {
-            if !self.tx_push(queue, pkt) {
-                break;
-            }
-            sent += 1;
-        }
-        if sent < total {
-            // tx_push counted the packet that failed; count the rest of
-            // the abandoned burst so both paths drop (total - sent).
-            self.tx_dropped
-                .fetch_add((total - sent - 1) as u64, Ordering::Relaxed);
-        }
+        } else {
+            self.tx_frames_singly(queue, frames)
+        };
+        frames.clear();
         sent
     }
 
@@ -576,6 +621,7 @@ impl Transport for UdpTransport {
             tx_packets: self.tx_packets.load(Ordering::Relaxed),
             tx_bytes: self.tx_bytes.load(Ordering::Relaxed),
             tx_dropped: self.tx_dropped.load(Ordering::Relaxed),
+            tx_copied_bytes: self.tx_copied_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -585,10 +631,11 @@ mod tests {
     use super::*;
     use bytes::Bytes;
 
-    /// Disjoint port ranges per bound server: these are `SO_REUSEPORT`
-    /// sockets, so a bind over another live test server would *succeed*
-    /// and split its traffic instead of failing the probe.
-    static NEXT_BASE: AtomicU64 = AtomicU64::new(60_000);
+    /// Disjoint, PID-salted port ranges per bound server: these are
+    /// `SO_REUSEPORT` sockets, so a bind over another live test server
+    /// — in this process or a concurrently running suite — would
+    /// *succeed* and split its traffic instead of failing the probe.
+    static PORTS: crate::testport::TestPorts = crate::testport::TestPorts::new(60_000, 65_000);
 
     fn bind_free(num_queues: u16) -> UdpTransport {
         bind_free_with(num_queues, DEFAULT_SYSCALL_BATCH)
@@ -596,11 +643,10 @@ mod tests {
 
     fn bind_free_with(num_queues: u16, batch: usize) -> UdpTransport {
         loop {
-            let base = NEXT_BASE.fetch_add(u64::from(num_queues.max(8)), Ordering::Relaxed);
-            assert!(base < 65_000, "unit-test port range exhausted");
+            let base = PORTS.alloc(num_queues.max(8));
             let config = UdpConfig {
                 batch,
-                ..UdpConfig::loopback(base as u16, num_queues)
+                ..UdpConfig::loopback(base, num_queues)
             };
             if let Ok(t) = UdpTransport::bind(config) {
                 return t;

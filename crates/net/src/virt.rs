@@ -1,9 +1,19 @@
 //! [`Transport`] adapters over the in-process [`VirtualNic`].
+//!
+//! The virtual wire is the one backend that must *materialize*
+//! contiguous frames: the NIC's rings and checksum/fault machinery
+//! operate on serialized packets, exactly as hardware DMA engines
+//! consume contiguous descriptors. Scatter-gather [`TxPacket`]s are
+//! therefore *gathered* here — into pooled slots, so the gather
+//! allocates nothing in steady state — and every gathered segment byte
+//! is counted ([`minos_nic::NicStats::tx_gathered_bytes`], surfaced as
+//! [`TransportStats::tx_copied_bytes`]), keeping the zero-copy
+//! accounting honest across backends.
 
 use crate::pool::{BufferPool, PoolStats};
 use crate::transport::{Transport, TransportStats};
 use minos_nic::{Delivery, VirtualNic};
-use minos_wire::packet::{build_frame, build_frame_into, Endpoint, Packet};
+use minos_wire::packet::{build_frame, build_frame_into_frame, Endpoint, Packet, TxPacket};
 use minos_wire::udp::UdpHeader;
 use std::sync::Arc;
 
@@ -16,8 +26,37 @@ const FRAME_SLOT_LEN: usize =
 /// client-side UDP transport's RX pool.
 const CLIENT_FRAME_SLOTS: usize = 512;
 
+/// Payload-gather slots per queue in a [`VirtualTransport`]'s pool.
+const SERVER_GATHER_SLOTS_PER_QUEUE: usize = 64;
+
 /// Host id servers use in the virtual world (clients must differ).
 pub(crate) const VIRTUAL_SERVER_HOST: u32 = 1;
+
+/// Gathers one frame into a contiguous payload, preferring a pooled
+/// slot from `shard` (the sending queue, so concurrent queues use
+/// their own freelists; allocation-free in steady state, an exhausted
+/// pool falls back to the allocating gather). Returns the payload and
+/// the number of segment bytes copied.
+fn gather_payload(pool: &BufferPool, shard: usize, pkt: &TxPacket) -> (bytes::Bytes, u64) {
+    // A frame that is already one contiguous segment needs no gather at
+    // all — the compatibility shims (`tx_push`/`tx_burst`) stay
+    // zero-copy on the virtual backend too.
+    if pkt.frame.inline().is_empty() && pkt.frame.segments().len() == 1 {
+        return (pkt.frame.segments()[0].clone(), 0);
+    }
+    let copied = pkt.frame.segment_len() as u64;
+    let mut slot = pool.take_on(shard);
+    match pkt.frame.gather_into(slot.as_mut_slice()) {
+        Some(len) => {
+            let payload = slot.freeze(len);
+            (payload, copied)
+        }
+        None => {
+            let (payload, copied) = pkt.frame.to_contiguous();
+            (payload, copied as u64)
+        }
+    }
+}
 
 impl Transport for VirtualNic {
     fn num_queues(&self) -> u16 {
@@ -36,8 +75,26 @@ impl Transport for VirtualNic {
         VirtualNic::rx_len(self, queue)
     }
 
-    fn tx_push(&self, queue: u16, packet: Packet) -> bool {
-        VirtualNic::tx_push(self, queue, packet)
+    fn tx_frames(&self, queue: u16, frames: &mut Vec<TxPacket>) -> usize {
+        let mut sent = 0;
+        for pkt in frames.drain(..) {
+            // The NIC rings hold contiguous packets; gather (counted)
+            // unless the frame already is one segment.
+            let (payload, copied) = pkt.frame.to_contiguous();
+            self.record_tx_gather(copied as u64);
+            if !VirtualNic::tx_push(
+                self,
+                queue,
+                Packet {
+                    meta: pkt.meta,
+                    payload,
+                },
+            ) {
+                break;
+            }
+            sent += 1;
+        }
+        sent
     }
 
     fn local_endpoint(&self, queue: u16) -> Endpoint {
@@ -52,27 +109,41 @@ impl Transport for VirtualNic {
             tx_packets: s.tx_sent,
             tx_bytes: s.tx_bytes,
             tx_dropped: 0,
+            tx_copied_bytes: s.tx_gathered_bytes,
         }
     }
 }
 
 /// The server-side adapter over a shared [`VirtualNic`]: RX queues are
-/// the NIC's RX rings, TX pushes onto the NIC's TX rings (from which an
+/// the NIC's RX rings, TX gathers scatter-gather frames into pooled
+/// slots and pushes them onto the NIC's TX rings (from which an
 /// in-process client drains replies).
 #[derive(Clone, Debug)]
 pub struct VirtualTransport {
     nic: Arc<VirtualNic>,
+    /// Pooled payload buffers for TX gathers, so serializing a reply
+    /// burst recycles slots instead of allocating.
+    pool: BufferPool,
 }
 
 impl VirtualTransport {
     /// Wraps `nic`.
     pub fn new(nic: Arc<VirtualNic>) -> Self {
-        VirtualTransport { nic }
+        let slots = VirtualNic::num_queues(&nic) as usize * SERVER_GATHER_SLOTS_PER_QUEUE;
+        VirtualTransport {
+            pool: BufferPool::sharded(slots, FRAME_SLOT_LEN, VirtualNic::num_queues(&nic) as usize),
+            nic,
+        }
     }
 
     /// The underlying NIC.
     pub fn nic(&self) -> &Arc<VirtualNic> {
         &self.nic
+    }
+
+    /// TX gather-pool counters (mirrors `UdpTransport::pool_stats`).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 }
 
@@ -93,8 +164,24 @@ impl Transport for VirtualTransport {
         Transport::rx_len(&*self.nic, queue)
     }
 
-    fn tx_push(&self, queue: u16, packet: Packet) -> bool {
-        Transport::tx_push(&*self.nic, queue, packet)
+    fn tx_frames(&self, queue: u16, frames: &mut Vec<TxPacket>) -> usize {
+        let mut sent = 0;
+        for pkt in frames.drain(..) {
+            let (payload, copied) = gather_payload(&self.pool, queue as usize, &pkt);
+            self.nic.record_tx_gather(copied);
+            if !VirtualNic::tx_push(
+                &self.nic,
+                queue,
+                Packet {
+                    meta: pkt.meta,
+                    payload,
+                },
+            ) {
+                break;
+            }
+            sent += 1;
+        }
+        sent
     }
 
     fn local_endpoint(&self, queue: u16) -> Endpoint {
@@ -152,26 +239,36 @@ impl Transport for VirtualClientTransport {
         moved
     }
 
-    fn tx_push(&self, _queue: u16, packet: Packet) -> bool {
-        let src = Endpoint {
-            mac: packet.meta.eth.src,
-            ip: packet.meta.ip.src,
-            port: packet.meta.udp.src_port,
-        };
-        let dst = Endpoint {
-            mac: packet.meta.eth.dst,
-            ip: packet.meta.ip.dst,
-            port: packet.meta.udp.dst_port,
-        };
-        // Encode into a pooled slot (no allocation); only a payload too
-        // large for one MTU-sized slot — impossible for fragmenter
-        // output — falls back to the allocating encoder.
-        let mut slot = self.pool.take();
-        let frame = match build_frame_into(src, dst, &packet.payload, slot.as_mut_slice()) {
-            Some(len) => slot.freeze(len),
-            None => build_frame(src, dst, &packet.payload),
-        };
-        matches!(self.nic.deliver_frame(frame), Delivery::Queued(_))
+    fn tx_frames(&self, _queue: u16, frames: &mut Vec<TxPacket>) -> usize {
+        let mut sent = 0;
+        for pkt in frames.drain(..) {
+            let src = Endpoint {
+                mac: pkt.meta.eth.src,
+                ip: pkt.meta.ip.src,
+                port: pkt.meta.udp.src_port,
+            };
+            let dst = Endpoint {
+                mac: pkt.meta.eth.dst,
+                ip: pkt.meta.ip.dst,
+                port: pkt.meta.udp.dst_port,
+            };
+            // Serialize the full Ethernet frame into a pooled slot,
+            // gathering the payload regions exactly once (counted);
+            // only a payload too large for one MTU-sized slot —
+            // impossible for fragmenter output — falls back to the
+            // allocating encoders.
+            self.nic.record_tx_gather(pkt.frame.segment_len() as u64);
+            let mut slot = self.pool.take();
+            let frame = match build_frame_into_frame(src, dst, &pkt.frame, slot.as_mut_slice()) {
+                Some(len) => slot.freeze(len),
+                None => build_frame(src, dst, &pkt.frame.to_contiguous().0),
+            };
+            if !matches!(self.nic.deliver_frame(frame), Delivery::Queued(_)) {
+                break;
+            }
+            sent += 1;
+        }
+        sent
     }
 
     fn local_endpoint(&self, _queue: u16) -> Endpoint {
@@ -184,7 +281,8 @@ mod tests {
     use super::*;
     use bytes::Bytes;
     use minos_nic::NicConfig;
-    use minos_wire::packet::synthesize;
+    use minos_wire::packet::{synthesize, synthesize_frame};
+    use minos_wire::TxFrame;
 
     #[test]
     fn client_tx_lands_in_server_rx() {
@@ -239,5 +337,47 @@ mod tests {
             .collect();
         assert_eq!(Transport::tx_burst(&server, 0, &mut batch), 5);
         assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn multi_segment_frames_gather_and_are_counted() {
+        let nic = Arc::new(VirtualNic::new(NicConfig::new(1)));
+        let client_ep = Endpoint::host(102, 22_000);
+        let client = VirtualClientTransport::new(Arc::clone(&nic), client_ep);
+        let server = VirtualTransport::new(Arc::clone(&nic));
+
+        // A header + value scatter-gather reply from the server side.
+        let mut frame = TxFrame::new();
+        bytes::BufMut::put_slice(&mut frame, b"hdr:");
+        frame.push_segment(Bytes::from_static(b"segmented value"));
+        let reply = synthesize_frame(Transport::local_endpoint(&server, 0), client_ep, frame);
+        let mut burst = vec![reply];
+        assert_eq!(Transport::tx_frames(&server, 0, &mut burst), 1);
+
+        let mut out = Vec::new();
+        assert_eq!(Transport::rx_burst(&client, 0, &mut out, 32), 1);
+        assert_eq!(&out[0].payload[..], b"hdr:segmented value");
+        // The gather was honest: segment bytes counted, pooled slot used.
+        let stats = Transport::stats(&server);
+        assert_eq!(stats.tx_copied_bytes, b"segmented value".len() as u64);
+        assert!(server.pool_stats().hits >= 1);
+    }
+
+    #[test]
+    fn single_segment_shim_frames_gather_nothing() {
+        let nic = Arc::new(VirtualNic::new(NicConfig::new(1)));
+        let server = VirtualTransport::new(Arc::clone(&nic));
+        let dst = Endpoint::host(100, 20_000);
+        let pkt = synthesize(
+            Transport::local_endpoint(&server, 0),
+            dst,
+            Bytes::from_static(b"contiguous already"),
+        );
+        assert!(Transport::tx_push(&server, 0, pkt));
+        assert_eq!(
+            Transport::stats(&server).tx_copied_bytes,
+            0,
+            "a single-segment frame must ride the pool-free fast path"
+        );
     }
 }

@@ -13,15 +13,15 @@ use std::time::{Duration, Instant};
 
 const QUEUES: u16 = 2;
 
-/// Disjoint port ranges per bound server: these are `SO_REUSEPORT`
-/// sockets, so a bind over another live test server would *succeed* and
-/// split its traffic instead of failing the probe.
-static NEXT_BASE: std::sync::atomic::AtomicU16 = std::sync::atomic::AtomicU16::new(25_000);
+/// Disjoint, PID-salted port ranges per bound server: these are
+/// `SO_REUSEPORT` sockets, so a bind over another live test server —
+/// in this process or a concurrently running suite — would *succeed*
+/// and split its traffic instead of failing the probe.
+static PORTS: minos_net::testport::TestPorts = minos_net::testport::TestPorts::new(25_000, 32_000);
 
 fn bind_pair(batch: usize) -> (UdpTransport, UdpTransport) {
     loop {
-        let base = NEXT_BASE.fetch_add(8, std::sync::atomic::Ordering::Relaxed);
-        assert!(base < 32_000, "batch_prop port range exhausted");
+        let base = PORTS.alloc(8);
         let config = UdpConfig {
             batch,
             ..UdpConfig::loopback(base, QUEUES)

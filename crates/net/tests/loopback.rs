@@ -13,15 +13,16 @@ use std::net::Ipv4Addr;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Binds a server transport on a disjoint port range. Ranges are
-/// handed out by an allocator rather than probed: these are
-/// `SO_REUSEPORT` sockets, so binding over another live test server
-/// would *succeed* and split its traffic instead of failing.
+/// Binds a server transport on a disjoint, PID-salted port range.
+/// Ranges are handed out by an allocator rather than probed: these are
+/// `SO_REUSEPORT` sockets, so binding over another live test server —
+/// in this process or a concurrently running suite — would *succeed*
+/// and split its traffic instead of failing.
 fn bind_server(num_queues: u16) -> Arc<UdpTransport> {
-    static NEXT_BASE: std::sync::atomic::AtomicU16 = std::sync::atomic::AtomicU16::new(42_000);
+    static PORTS: minos_net::testport::TestPorts =
+        minos_net::testport::TestPorts::new(42_000, 44_900);
     loop {
-        let base = NEXT_BASE.fetch_add(num_queues.max(8), std::sync::atomic::Ordering::Relaxed);
-        assert!(base < 44_900, "loopback port range exhausted");
+        let base = PORTS.alloc(num_queues.max(8));
         if let Ok(t) = UdpTransport::bind(UdpConfig::loopback(base, num_queues)) {
             return Arc::new(t);
         }

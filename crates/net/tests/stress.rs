@@ -17,15 +17,14 @@ use std::time::{Duration, Instant};
 
 const VALUE_LEN: usize = 1_200;
 
-/// Disjoint port ranges per bound server: these are `SO_REUSEPORT`
-/// sockets, so a bind over another live test server would *succeed* and
-/// split its traffic instead of failing the probe.
-static NEXT_BASE: std::sync::atomic::AtomicU16 = std::sync::atomic::AtomicU16::new(21_000);
+/// Disjoint, PID-salted port ranges per bound server: these are
+/// `SO_REUSEPORT` sockets, so a bind over another live test server —
+/// in this process or a concurrently running suite — would *succeed*
+/// and split its traffic instead of failing the probe.
+static PORTS: minos_net::testport::TestPorts = minos_net::testport::TestPorts::new(21_000, 24_900);
 
 fn alloc_base(span: u16) -> u16 {
-    let base = NEXT_BASE.fetch_add(span.max(8), std::sync::atomic::Ordering::Relaxed);
-    assert!(base < 24_900, "stress port range exhausted");
-    base
+    PORTS.alloc(span)
 }
 
 fn bind_server(num_queues: u16) -> Arc<UdpTransport> {
@@ -365,6 +364,89 @@ fn rx_pool_sustains_backlog_without_allocating() {
             io.pool_outstanding, 0,
             "batch {batch}: every dropped payload must return its slot"
         );
+    }
+}
+
+/// The scatter-gather acceptance gate: GET replies of every size class
+/// — small single-datagram and large fragmented — reach the wire with
+/// **zero value-byte copies** on both UDP syscall paths. A full Minos
+/// server serves real GETs over loopback; afterwards the server
+/// transport's `tx_copied_bytes` gauge (which counts every segment byte
+/// the TX path had to gather) must still read zero: the value went from
+/// the store's mempool into the kernel's iovec gather list untouched.
+#[test]
+fn get_replies_are_zero_copy_on_both_syscall_paths() {
+    const QUEUES: u16 = 2;
+    const SMALL_KEYS: u64 = 32;
+    // Large values fragment into ~5 datagrams each, so the reply path
+    // exercises multi-fragment frames with sliced value segments.
+    const LARGE_LEN: usize = 7_000;
+    const LARGE_KEYS: u64 = 8;
+    for batch in [32usize, 1] {
+        let transport = loop {
+            let config = UdpConfig {
+                batch,
+                ..UdpConfig::loopback(alloc_base(QUEUES), QUEUES)
+            };
+            if let Ok(t) = UdpTransport::bind(config) {
+                break Arc::new(t);
+            }
+        };
+        let mut server = MinosServer::start_with_transport(
+            ServerConfig::for_test(QUEUES as usize, 10_000),
+            Arc::clone(&transport),
+        );
+
+        let mut client = udp_client(&transport, QUEUES, 42, 4 << 20, None);
+        for key in 0..SMALL_KEYS {
+            client.send_put(key, &vec![(key % 251) as u8; VALUE_LEN], false);
+            while client.totals().outstanding() > 16 {
+                client.poll();
+            }
+        }
+        for key in 0..LARGE_KEYS {
+            client.send_put(1_000 + key, &vec![(key % 251) as u8; LARGE_LEN], true);
+            while client.totals().outstanding() > 4 {
+                client.poll();
+            }
+        }
+        assert!(
+            client.drain(Duration::from_secs(30)),
+            "preload lost replies"
+        );
+
+        // GET-heavy measured phase over both size classes.
+        let mut completions = 0u64;
+        for i in 0..400u64 {
+            if i % 4 == 3 {
+                client.send_get(1_000 + (i % LARGE_KEYS), true);
+            } else {
+                client.send_get(i % SMALL_KEYS, false);
+            }
+            while client.totals().outstanding() > 32 {
+                completions += client.poll().len() as u64;
+            }
+        }
+        assert!(
+            client.drain(Duration::from_secs(30)),
+            "batch {batch}: GET replies lost"
+        );
+        completions += client.poll().len() as u64;
+        let _ = completions;
+
+        let io = transport.io_stats();
+        assert!(io.tx_packets > 400, "replies actually went out");
+        if cfg!(target_os = "linux") {
+            // Both syscall paths are scatter-gather on Linux (sendmmsg
+            // batched, sendmsg singly): not one value byte may have
+            // been copied by the transport.
+            assert_eq!(
+                io.tx_copied_bytes, 0,
+                "batch {batch}: the reply path copied value bytes"
+            );
+            assert_eq!(transport.stats().tx_copied_bytes, 0);
+        }
+        server.shutdown();
     }
 }
 

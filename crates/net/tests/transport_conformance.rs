@@ -13,8 +13,12 @@ use minos_net::{
     Transport, TransportStats, UdpConfig, UdpTransport, VirtualClientTransport, VirtualTransport,
 };
 use minos_nic::{NicConfig, VirtualNic};
-use minos_wire::frag::{Fragmenter, Reassembler, Reassembly};
-use minos_wire::packet::{synthesize, Endpoint, Packet};
+use minos_wire::frag::{
+    fragment_frame_with_id, fragment_with_id, Fragmenter, Reassembler, Reassembly,
+};
+use minos_wire::message::{Body, Message, ReplyStatus};
+use minos_wire::packet::{synthesize, synthesize_frame, Endpoint, Packet, TxPacket};
+use minos_wire::MAX_FRAG_CHUNK;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -31,17 +35,17 @@ struct Backend {
     asynchronous: bool,
 }
 
-/// Allocates disjoint port ranges for every UDP server this binary
-/// binds. A "walk until bind fails" probe cannot work here: these are
-/// `SO_REUSEPORT` sockets, so binding over another test's live server
-/// *succeeds* and the kernel then load-balances datagrams between the
-/// two, silently stealing traffic.
-static NEXT_BASE: std::sync::atomic::AtomicU16 = std::sync::atomic::AtomicU16::new(45_000);
+/// Allocates disjoint, PID-salted port ranges for every UDP server
+/// this binary binds. A "walk until bind fails" probe cannot work
+/// here: these are `SO_REUSEPORT` sockets, so binding over another
+/// test's live server — in this process or a concurrently running
+/// suite — *succeeds* and the kernel then load-balances datagrams
+/// between the two, silently stealing traffic.
+static PORTS: minos_net::testport::TestPorts = minos_net::testport::TestPorts::new(45_000, 59_000);
 
 fn bind_udp_server(num_queues: u16, batch: usize) -> UdpTransport {
     loop {
-        let base = NEXT_BASE.fetch_add(num_queues.max(8), std::sync::atomic::Ordering::Relaxed);
-        assert!(base < 59_000, "conformance port range exhausted");
+        let base = PORTS.alloc(num_queues.max(8));
         let config = UdpConfig {
             batch,
             ..UdpConfig::loopback(base, num_queues)
@@ -412,6 +416,78 @@ fn held_payloads_survive_buffer_recycling() {
                 "{}: a held payload was clobbered by buffer recycling",
                 backend.name
             );
+        }
+    }
+}
+
+#[test]
+fn tx_frames_wire_equal_to_contiguous_encode_on_every_backend() {
+    // The scatter-gather reply path must be invisible on the wire: for
+    // every backend (virtual + both UDP syscall paths) and every reply
+    // size class — empty, small, exactly one full chunk, barely two
+    // fragments, many fragments — sending the reply as encode_frame →
+    // fragment_frame → tx_frames must deliver byte-for-byte the
+    // datagram payloads of the old contiguous encode → fragment path.
+    let header_room = minos_wire::message::MSG_HEADER_LEN;
+    let sizes = [
+        0usize,
+        17,
+        MAX_FRAG_CHUNK - header_room, // largest single-fragment reply
+        MAX_FRAG_CHUNK - header_room + 1, // smallest two-fragment reply
+        3 * MAX_FRAG_CHUNK + 123,
+    ];
+    for backend in backends(1) {
+        let src = backend.server.local_endpoint(0);
+        let dst = backend.client.local_endpoint(0);
+        for (i, &size) in sizes.iter().enumerate() {
+            let msg = Message {
+                client_id: 9,
+                request_id: 1000 + i as u64,
+                client_ts_ns: 424_242,
+                body: Body::GetReply {
+                    status: ReplyStatus::Ok,
+                    key: i as u64,
+                    value: Bytes::from((0..size).map(|b| (b % 251) as u8).collect::<Vec<u8>>()),
+                },
+            };
+            let msg_id = 77_000 + i as u64;
+            // Reference: the contiguous path's datagram payloads.
+            let expected = fragment_with_id(msg_id, &msg.encode());
+            // Under test: the scatter-gather path through the backend.
+            let mut burst: Vec<TxPacket> = fragment_frame_with_id(msg_id, &msg.encode_frame())
+                .into_iter()
+                .map(|frag| synthesize_frame(src, dst, frag))
+                .collect();
+            assert_eq!(burst.len(), expected.len(), "{}", backend.name);
+            assert_eq!(
+                backend.server.tx_frames(0, &mut burst),
+                expected.len(),
+                "{}: the whole frame burst must be accepted",
+                backend.name
+            );
+            let got = rx_collect(&*backend.client, 0, expected.len(), 32, backend.name);
+            for (pkt, want) in got.iter().zip(&expected) {
+                assert_eq!(
+                    &pkt.payload[..],
+                    &want[..],
+                    "{}: size {size} must be wire-identical to the contiguous encode",
+                    backend.name
+                );
+            }
+            // And the payloads survive intact end to end: reassemble +
+            // decode recovers the original reply.
+            let mut reassembler = Reassembler::new(8);
+            let mut complete = None;
+            for pkt in got {
+                if let Reassembly::Complete(bytes) =
+                    reassembler.push(pkt.source_endpoint(), pkt.payload)
+                {
+                    complete = Some(bytes);
+                }
+            }
+            let decoded =
+                Message::decode(complete.expect("reply reassembles")).expect("reply decodes");
+            assert_eq!(decoded, msg, "{}: payload integrity", backend.name);
         }
     }
 }

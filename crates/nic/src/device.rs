@@ -85,6 +85,12 @@ pub struct NicStats {
     pub rx_bytes: u64,
     /// Bytes transmitted.
     pub tx_bytes: u64,
+    /// Payload segment bytes gathered (copied) to materialize
+    /// contiguous frames on the transmit path. The virtual wire is the
+    /// one backend that *must* serialize frames — its stand-in for DMA
+    /// — so honest accounting lives here; the real-UDP backend keeps
+    /// its analogous gauge at zero via scatter-gather syscalls.
+    pub tx_gathered_bytes: u64,
 }
 
 /// An in-process multi-queue NIC.
@@ -106,6 +112,7 @@ pub struct VirtualNic {
     tx_sent: AtomicU64,
     rx_bytes: AtomicU64,
     tx_bytes: AtomicU64,
+    tx_gathered_bytes: AtomicU64,
 }
 
 impl VirtualNic {
@@ -129,6 +136,7 @@ impl VirtualNic {
             tx_sent: AtomicU64::new(0),
             rx_bytes: AtomicU64::new(0),
             tx_bytes: AtomicU64::new(0),
+            tx_gathered_bytes: AtomicU64::new(0),
         }
     }
 
@@ -209,6 +217,15 @@ impl VirtualNic {
         self.tx[queue as usize].push(packet)
     }
 
+    /// Records `bytes` of payload segments gathered (copied) by a
+    /// transmit adapter to materialize a contiguous frame for this NIC;
+    /// see [`NicStats::tx_gathered_bytes`].
+    pub fn record_tx_gather(&self, bytes: u64) {
+        if bytes > 0 {
+            self.tx_gathered_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
     /// Drains up to `max` packets from TX queue `queue` (the "wire" side;
     /// in tests and examples this is what carries replies back to the
     /// client).
@@ -245,6 +262,7 @@ impl VirtualNic {
             tx_sent: self.tx_sent.load(Ordering::Relaxed),
             rx_bytes: self.rx_bytes.load(Ordering::Relaxed),
             tx_bytes: self.tx_bytes.load(Ordering::Relaxed),
+            tx_gathered_bytes: self.tx_gathered_bytes.load(Ordering::Relaxed),
         }
     }
 }

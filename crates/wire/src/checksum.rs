@@ -32,6 +32,48 @@ pub fn verify(data: &[u8]) -> bool {
     ones_complement_sum(data) == 0xFFFF
 }
 
+/// Computes the internet checksum over the *concatenation* of `chunks`
+/// without materializing it — the scatter-gather analog of
+/// [`internet_checksum`], used to checksum a [`crate::TxFrame`]'s
+/// logical byte stream (inline header region followed by its payload
+/// segments). Byte-for-byte equivalent to checksumming the contiguous
+/// stream: odd-length chunks carry their dangling byte into the next
+/// chunk so 16-bit word boundaries fall exactly where they would in one
+/// flat buffer.
+pub fn internet_checksum_chunks<'a>(chunks: impl IntoIterator<Item = &'a [u8]>) -> u16 {
+    let mut sum: u32 = 0;
+    let mut pending: Option<u8> = None;
+    for chunk in chunks {
+        let mut c = chunk;
+        if let Some(hi) = pending.take() {
+            match c.split_first() {
+                Some((lo, rest)) => {
+                    sum += u32::from(u16::from_be_bytes([hi, *lo]));
+                    c = rest;
+                }
+                None => {
+                    pending = Some(hi);
+                    continue;
+                }
+            }
+        }
+        let mut words = c.chunks_exact(2);
+        for w in &mut words {
+            sum += u32::from(u16::from_be_bytes([w[0], w[1]]));
+        }
+        if let [last] = words.remainder() {
+            pending = Some(*last);
+        }
+    }
+    if let Some(hi) = pending {
+        sum += u32::from(u16::from_be_bytes([hi, 0]));
+    }
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
 /// The IEEE 802.3 CRC-32 (reflected, polynomial `0xEDB88320`) used as the
 /// Ethernet frame check sequence. NIC hardware verifies the FCS and drops
 /// frames that fail it — which is how corruption anywhere in the frame
@@ -82,6 +124,29 @@ mod tests {
     fn empty_buffer() {
         assert_eq!(ones_complement_sum(&[]), 0);
         assert_eq!(internet_checksum(&[]), 0xFFFF);
+    }
+
+    #[test]
+    fn chunked_checksum_equals_contiguous_for_every_split() {
+        // Odd/even chunk lengths, empty chunks, and all split points of
+        // a buffer must agree with the one-pass checksum.
+        let data: Vec<u8> = (0..37u8).map(|i| i.wrapping_mul(41) ^ 0x5A).collect();
+        let flat = internet_checksum(&data);
+        for split in 0..=data.len() {
+            let (a, b) = data.split_at(split);
+            assert_eq!(internet_checksum_chunks([a, b]), flat, "split at {split}");
+            assert_eq!(
+                internet_checksum_chunks([a, &[][..], b, &[][..]]),
+                flat,
+                "split at {split} with empty chunks"
+            );
+        }
+        // Many tiny chunks (every word boundary misaligned).
+        let ones: Vec<&[u8]> = data.chunks(1).collect();
+        assert_eq!(internet_checksum_chunks(ones), flat);
+        let threes: Vec<&[u8]> = data.chunks(3).collect();
+        assert_eq!(internet_checksum_chunks(threes), flat);
+        assert_eq!(internet_checksum_chunks(std::iter::empty()), 0xFFFF);
     }
 
     #[test]

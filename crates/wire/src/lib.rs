@@ -18,6 +18,9 @@
 //!   and replies, with the client send-timestamp piggybacked on replies
 //!   exactly as the paper's measurement methodology requires (§5.4).
 //! * [`packet`] — a full frame builder/parser combining all layers.
+//! * [`txframe`] — the scatter-gather transmit frame ([`TxFrame`]):
+//!   inline header region plus refcounted value segments, so encoding
+//!   and fragmentation never copy value bytes on the send path.
 //!
 //! # Cost model hook
 //!
@@ -35,13 +38,15 @@ pub mod frame;
 pub mod ip;
 pub mod message;
 pub mod packet;
+pub mod txframe;
 pub mod udp;
 
 pub use frag::{FragHeader, Fragmenter, Reassembler};
 pub use frame::{EtherType, EthernetHeader, MacAddr};
 pub use ip::Ipv4Header;
 pub use message::{Message, OpKind, ReplyStatus};
-pub use packet::{Packet, PacketMeta};
+pub use packet::{Packet, PacketMeta, TxPacket};
+pub use txframe::{TxFrame, MAX_TX_SEGMENTS, TX_INLINE_CAP};
 pub use udp::UdpHeader;
 
 /// Ethernet MTU in bytes: the largest IP packet carried by one frame.

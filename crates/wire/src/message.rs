@@ -181,9 +181,12 @@ impl Message {
         }
     }
 
-    /// Serializes the message to bytes.
-    pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(self.encoded_len());
+    /// Writes the fixed 32-byte header ([`MSG_HEADER_LEN`]) into `buf`
+    /// and returns the value payload, if this message carries one. The
+    /// single source of truth both [`Message::encode`] and
+    /// [`Message::encode_frame`] serialize through, so the contiguous
+    /// and scatter-gather wire images can never drift.
+    fn encode_header<B: BufMut>(&self, buf: &mut B) -> Option<&Bytes> {
         let (status, key, value): (u8, u64, Option<&Bytes>) = match &self.body {
             Body::Get { key } => (0, *key, None),
             Body::Put { key, value } => (0, *key, Some(value)),
@@ -199,10 +202,31 @@ impl Message {
         buf.put_u64(self.client_ts_ns);
         buf.put_u64(key);
         buf.put_u32(value.map_or(0, |v| v.len() as u32));
-        if let Some(v) = value {
-            buf.put_slice(v);
+        value.filter(|v| !v.is_empty())
+    }
+
+    /// Serializes the message to bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        if let Some(value) = self.encode_header(&mut buf) {
+            buf.put_slice(value);
         }
         buf.freeze()
+    }
+
+    /// Serializes the message as a scatter-gather [`crate::TxFrame`]:
+    /// the 32-byte header is written into the frame's inline region and
+    /// the value (if any) is *appended as a refcounted segment* — the
+    /// value bytes are never copied. The frame's logical byte stream is
+    /// byte-identical to [`Message::encode`] (property-tested), so the
+    /// two paths can never drift on the wire.
+    pub fn encode_frame(&self) -> crate::TxFrame {
+        let mut frame = crate::TxFrame::new();
+        if let Some(value) = self.encode_header(&mut frame) {
+            frame.push_segment(value.clone());
+        }
+        debug_assert_eq!(frame.len(), self.encoded_len());
+        frame
     }
 
     /// Parses a message from `data`. Fails on truncation, unknown kinds

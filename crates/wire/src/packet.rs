@@ -6,6 +6,7 @@
 
 use crate::frame::{EtherType, EthernetHeader, MacAddr};
 use crate::ip::{Ipv4Header, PROTO_UDP};
+use crate::txframe::TxFrame;
 use crate::udp::UdpHeader;
 use bytes::{BufMut, Bytes, BytesMut};
 
@@ -117,6 +118,62 @@ pub fn synthesize(src: Endpoint, dst: Endpoint, payload: Bytes) -> Packet {
     }
 }
 
+/// A packet on the *transmit* path: parsed headers plus a
+/// scatter-gather [`TxFrame`] payload. The RX-side [`Packet`] carries a
+/// contiguous payload because that is what arrives off the wire; the TX
+/// side keeps header and value regions separate all the way to the
+/// socket so value bytes are never copied (the UDP backend hands the
+/// regions to `sendmsg`/`sendmmsg` as iovecs).
+#[derive(Clone, Debug)]
+pub struct TxPacket {
+    /// Parsed headers (addressing; the UDP checksum covers the frame's
+    /// logical byte stream).
+    pub meta: PacketMeta,
+    /// Scatter-gather UDP payload.
+    pub frame: TxFrame,
+}
+
+impl TxPacket {
+    /// Wraps a contiguous packet as a single-segment transmit packet —
+    /// no bytes are copied. This is how [`Packet`]-based senders ride
+    /// the scatter-gather transmit path unchanged.
+    pub fn from_packet(pkt: Packet) -> TxPacket {
+        TxPacket {
+            meta: pkt.meta,
+            frame: TxFrame::from_payload(pkt.payload),
+        }
+    }
+
+    /// Total on-wire size in bytes (Ethernet framing and FCS included),
+    /// mirroring [`Packet::wire_len`].
+    pub fn wire_len(&self) -> usize {
+        EthernetHeader::LEN
+            + Ipv4Header::LEN
+            + UdpHeader::LEN
+            + self.frame.len()
+            + crate::ETH_FCS_LEN
+    }
+}
+
+/// Builds a parsed [`TxPacket`] from endpoints and a scatter-gather
+/// payload — the frame analog of [`synthesize`]: the UDP checksum is
+/// computed over the frame's logical byte stream without gathering it,
+/// so `synthesize_frame(src, dst, f).meta == synthesize(src, dst,
+/// gather(f)).meta` for every frame (tested).
+pub fn synthesize_frame(src: Endpoint, dst: Endpoint, frame: TxFrame) -> TxPacket {
+    let udp = UdpHeader::for_frame(src.port, dst.port, &frame);
+    let ip = Ipv4Header::udp(src.ip, dst.ip, UdpHeader::LEN + frame.len());
+    let eth = EthernetHeader {
+        dst: dst.mac,
+        src: src.mac,
+        ethertype: EtherType::Ipv4,
+    };
+    TxPacket {
+        meta: PacketMeta { eth, ip, udp },
+        frame,
+    }
+}
+
 /// Encodes one full frame (with FCS trailer) carrying `udp_payload` from
 /// `src` to `dst`.
 pub fn build_frame(src: Endpoint, dst: Endpoint, udp_payload: &[u8]) -> Bytes {
@@ -169,6 +226,41 @@ pub fn build_frame_into(
     ip.encode(&mut cursor);
     udp.encode(&mut cursor);
     cursor.put_slice(udp_payload);
+    debug_assert!(cursor.is_empty(), "body length accounts for every field");
+    let fcs = crate::checksum::crc32(&out[..body_len]);
+    out[body_len..total].copy_from_slice(&fcs.to_be_bytes());
+    Some(total)
+}
+
+/// Encodes one full Ethernet frame (with FCS trailer) carrying a
+/// scatter-gather `payload` into `out` — the [`TxFrame`] analog of
+/// [`build_frame_into`], gathering the payload's regions exactly once
+/// while serializing. Returns the frame length, or `None` when `out` is
+/// too small. Byte-identical to `build_frame_into` over the gathered
+/// payload (tested).
+pub fn build_frame_into_frame(
+    src: Endpoint,
+    dst: Endpoint,
+    payload: &TxFrame,
+    out: &mut [u8],
+) -> Option<usize> {
+    let body_len = EthernetHeader::LEN + Ipv4Header::LEN + UdpHeader::LEN + payload.len();
+    let total = body_len + crate::ETH_FCS_LEN;
+    if out.len() < total {
+        return None;
+    }
+    let udp = UdpHeader::for_frame(src.port, dst.port, payload);
+    let ip = Ipv4Header::udp(src.ip, dst.ip, UdpHeader::LEN + payload.len());
+    let eth = EthernetHeader {
+        dst: dst.mac,
+        src: src.mac,
+        ethertype: EtherType::Ipv4,
+    };
+    let mut cursor = &mut out[..body_len];
+    eth.encode(&mut cursor);
+    ip.encode(&mut cursor);
+    udp.encode(&mut cursor);
+    payload.for_each_chunk(|chunk| cursor.put_slice(chunk));
     debug_assert!(cursor.is_empty(), "body length accounts for every field");
     let fcs = crate::checksum::crc32(&out[..body_len]);
     out[body_len..total].copy_from_slice(&fcs.to_be_bytes());

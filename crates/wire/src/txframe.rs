@@ -1,0 +1,250 @@
+//! [`TxFrame`]: the scatter-gather transmit frame.
+//!
+//! The old send path serialized every message into one contiguous
+//! buffer (`Message::encode`) and then copied it again per fragment
+//! (`Fragmenter::fragment`) — two full passes over the value on the GET
+//! latency path the paper measures (§4.1 moves requests in batches
+//! precisely to keep per-request overhead off the critical path). A
+//! `TxFrame` instead describes a datagram as a small *inline* header
+//! region plus up to [`MAX_TX_SEGMENTS`] refcounted [`Bytes`] segments:
+//! headers are written once into the inline region and the value rides
+//! along as an `O(1)` clone/slice, so value bytes are never copied
+//! between the store and the socket. The UDP backend hands the regions
+//! to the kernel as one iovec array per datagram (`sendmsg`/`sendmmsg`
+//! scatter-gather); only backends that must materialize a contiguous
+//! wire image (the in-process virtual NIC) gather — and they count
+//! every gathered segment byte so the zero-copy invariant stays an
+//! asserted number, not a claim.
+
+use bytes::{BufMut, Bytes};
+
+/// Capacity of the inline header region of a [`TxFrame`], in bytes.
+///
+/// Sized for the deepest header stack a fragment carries: the 16-byte
+/// fragment header plus the 32-byte application-message header, with
+/// slack for future protocol growth.
+pub const TX_INLINE_CAP: usize = 96;
+
+/// Maximum refcounted payload segments per [`TxFrame`].
+pub const MAX_TX_SEGMENTS: usize = 4;
+
+/// A scatter-gather transmit frame: one UDP payload described as an
+/// inline header region plus refcounted payload segments.
+///
+/// The logical byte stream of the frame is the inline region followed
+/// by every segment in order; [`TxFrame::to_contiguous`] materializes
+/// exactly that stream, and all encoders are tested byte-identical to
+/// their contiguous counterparts. Writing headers goes through the
+/// [`BufMut`] impl (appends to the inline region); values are attached
+/// with [`TxFrame::push_segment`], which never copies.
+#[derive(Clone)]
+pub struct TxFrame {
+    inline: [u8; TX_INLINE_CAP],
+    inline_len: usize,
+    segments: [Bytes; MAX_TX_SEGMENTS],
+    n_segments: usize,
+}
+
+impl Default for TxFrame {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TxFrame {
+    /// An empty frame.
+    pub fn new() -> Self {
+        TxFrame {
+            inline: [0u8; TX_INLINE_CAP],
+            inline_len: 0,
+            segments: std::array::from_fn(|_| Bytes::new()),
+            n_segments: 0,
+        }
+    }
+
+    /// A frame whose entire payload is one refcounted segment (no
+    /// inline header). This is how a contiguous packet enters the
+    /// scatter-gather world without a copy.
+    pub fn from_payload(payload: Bytes) -> Self {
+        let mut f = TxFrame::new();
+        f.push_segment(payload);
+        f
+    }
+
+    /// The inline header region written so far.
+    pub fn inline(&self) -> &[u8] {
+        &self.inline[..self.inline_len]
+    }
+
+    /// The attached payload segments, in order.
+    pub fn segments(&self) -> &[Bytes] {
+        &self.segments[..self.n_segments]
+    }
+
+    /// Total frame length: inline bytes plus every segment.
+    pub fn len(&self) -> usize {
+        self.inline_len + self.segment_len()
+    }
+
+    /// True when the frame carries no bytes at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes carried by refcounted segments (the portion a gathering
+    /// backend must copy — and what the `tx_copied_bytes` gauges count).
+    pub fn segment_len(&self) -> usize {
+        self.segments().iter().map(Bytes::len).sum()
+    }
+
+    /// Attaches a refcounted payload segment without copying. Empty
+    /// segments are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame already holds [`MAX_TX_SEGMENTS`] segments.
+    pub fn push_segment(&mut self, segment: Bytes) {
+        if segment.is_empty() {
+            return;
+        }
+        assert!(
+            self.n_segments < MAX_TX_SEGMENTS,
+            "TxFrame segment overflow (> {MAX_TX_SEGMENTS})"
+        );
+        self.segments[self.n_segments] = segment;
+        self.n_segments += 1;
+    }
+
+    /// Invokes `f` for each non-empty region of the frame, in logical
+    /// order (inline region first, then segments). The concatenation of
+    /// the visited slices is the frame's wire image.
+    pub fn for_each_chunk(&self, mut f: impl FnMut(&[u8])) {
+        if self.inline_len > 0 {
+            f(self.inline());
+        }
+        for seg in self.segments() {
+            f(seg.as_slice());
+        }
+    }
+
+    /// Materializes the frame as one contiguous [`Bytes`], returning it
+    /// together with the number of *segment* bytes that had to be
+    /// copied to build it. A frame that is already a single segment
+    /// with no inline header is returned as an `O(1)` clone (0 copied).
+    pub fn to_contiguous(&self) -> (Bytes, usize) {
+        if self.inline_len == 0 && self.n_segments == 1 {
+            return (self.segments[0].clone(), 0);
+        }
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each_chunk(|chunk| out.extend_from_slice(chunk));
+        (Bytes::from(out), self.segment_len())
+    }
+
+    /// Gathers the frame into the front of `out`, returning the frame
+    /// length — or `None` when `out` is too small, with `out` left in
+    /// an unspecified state.
+    pub fn gather_into(&self, out: &mut [u8]) -> Option<usize> {
+        let total = self.len();
+        if out.len() < total {
+            return None;
+        }
+        let mut at = 0;
+        self.for_each_chunk(|chunk| {
+            out[at..at + chunk.len()].copy_from_slice(chunk);
+            at += chunk.len();
+        });
+        Some(total)
+    }
+}
+
+/// Header writes append to the inline region.
+///
+/// # Panics
+///
+/// Panics if a write would exceed [`TX_INLINE_CAP`] — headers are
+/// fixed-size, so this is a protocol bug, not a runtime condition.
+impl BufMut for TxFrame {
+    fn put_slice(&mut self, src: &[u8]) {
+        let end = self.inline_len + src.len();
+        assert!(end <= TX_INLINE_CAP, "TxFrame inline region overflow");
+        self.inline[self.inline_len..end].copy_from_slice(src);
+        self.inline_len = end;
+    }
+}
+
+impl std::fmt::Debug for TxFrame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TxFrame({} inline + {} segments = {} bytes)",
+            self.inline_len,
+            self.n_segments,
+            self.len()
+        )
+    }
+}
+
+impl PartialEq for TxFrame {
+    fn eq(&self, other: &TxFrame) -> bool {
+        self.to_contiguous().0 == other.to_contiguous().0
+    }
+}
+
+impl Eq for TxFrame {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_and_segments_concatenate_in_order() {
+        let mut f = TxFrame::new();
+        f.put_u16(0xABCD);
+        f.push_segment(Bytes::from_static(b"hello"));
+        f.push_segment(Bytes::new()); // dropped
+        f.push_segment(Bytes::from_static(b" world"));
+        assert_eq!(f.len(), 2 + 11);
+        assert_eq!(f.segment_len(), 11);
+        assert_eq!(f.segments().len(), 2);
+        let (bytes, copied) = f.to_contiguous();
+        assert_eq!(&bytes[..], b"\xab\xcdhello world");
+        assert_eq!(copied, 11);
+    }
+
+    #[test]
+    fn single_segment_contiguous_is_zero_copy() {
+        let payload = Bytes::from_static(b"already contiguous");
+        let f = TxFrame::from_payload(payload.clone());
+        let (bytes, copied) = f.to_contiguous();
+        assert_eq!(bytes, payload);
+        assert_eq!(copied, 0, "a pure single-segment frame must not copy");
+    }
+
+    #[test]
+    fn gather_into_matches_to_contiguous() {
+        let mut f = TxFrame::new();
+        f.put_u64(42);
+        f.push_segment(Bytes::from(vec![7u8; 100]));
+        let mut buf = [0u8; 256];
+        let len = f.gather_into(&mut buf).unwrap();
+        assert_eq!(&buf[..len], &f.to_contiguous().0[..]);
+        let mut tiny = [0u8; 8];
+        assert_eq!(f.gather_into(&mut tiny), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "inline region overflow")]
+    fn inline_overflow_panics() {
+        let mut f = TxFrame::new();
+        f.put_slice(&[0u8; TX_INLINE_CAP + 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment overflow")]
+    fn segment_overflow_panics() {
+        let mut f = TxFrame::new();
+        for _ in 0..=MAX_TX_SEGMENTS {
+            f.push_segment(Bytes::from_static(b"x"));
+        }
+    }
+}

@@ -42,6 +42,23 @@ impl UdpHeader {
         }
     }
 
+    /// Builds a header for a scatter-gather [`crate::TxFrame`] payload,
+    /// checksumming its logical byte stream without materializing it.
+    /// Byte-identical to [`UdpHeader::for_payload`] over the gathered
+    /// frame.
+    pub fn for_frame(src_port: u16, dst_port: u16, frame: &crate::TxFrame) -> Self {
+        let length = Self::LEN + frame.len();
+        assert!(length <= u16::MAX as usize, "UDP datagram too large");
+        let chunks =
+            std::iter::once(frame.inline()).chain(frame.segments().iter().map(|s| s.as_ref()));
+        UdpHeader {
+            src_port,
+            dst_port,
+            length: length as u16,
+            checksum: crate::checksum::internet_checksum_chunks(chunks),
+        }
+    }
+
     /// The UDP destination port that steers to RX queue `queue`.
     pub fn port_for_queue(queue: u16) -> u16 {
         QUEUE_PORT_BASE + queue

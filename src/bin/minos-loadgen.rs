@@ -500,6 +500,7 @@ fn main() {
     let mut pool_hits = 0u64;
     let mut pool_misses = 0u64;
     let mut pool_outstanding = 0u64;
+    let mut tx_copied_bytes = 0u64;
     for r in &reports {
         latency.merge(&r.latency);
         latency_large.merge(&r.latency_large);
@@ -522,6 +523,7 @@ fn main() {
         pool_hits += r.io.pool_hits;
         pool_misses += r.io.pool_misses;
         pool_outstanding += r.io.pool_outstanding;
+        tx_copied_bytes += r.io.tx_copied_bytes;
     }
     let zero_loss = all_drained && outstanding == 0;
     let pool_hit_rate = minos::net::pool::hit_rate(pool_hits, pool_misses);
@@ -603,6 +605,15 @@ fn main() {
         "rx buffer pool:   {pool_hits} hits / {pool_misses} misses ({:.2}% hit rate), {pool_outstanding} outstanding",
         pool_hit_rate * 100.0,
     );
+    human!(
+        args,
+        "zero-copy tx:     {tx_copied_bytes} value bytes copied on the send path{}",
+        if tx_copied_bytes == 0 {
+            " (scatter-gather end to end)"
+        } else {
+            " — gather fallback engaged"
+        },
+    );
     if zero_loss {
         if retransmits == 0 {
             human!(args, "zero-loss:        PASS (every request completed)");
@@ -644,6 +655,7 @@ fn main() {
                     pool_hits,
                     pool_misses,
                     pool_outstanding,
+                    tx_copied_bytes,
                     zero_loss,
                     latency: latency.quantiles(),
                     latency_large: latency_large.quantiles(),
@@ -676,6 +688,7 @@ struct JsonTotals {
     pool_hits: u64,
     pool_misses: u64,
     pool_outstanding: u64,
+    tx_copied_bytes: u64,
     zero_loss: bool,
     latency: Option<Quantiles>,
     latency_large: Option<Quantiles>,
@@ -737,7 +750,8 @@ fn json_report(args: &Args, reports: &[ClientReport], t: JsonTotals) -> String {
             "\"tx_syscalls\":{tx_syscalls},",
             "\"rx_syscalls\":{rx_syscalls},",
             "\"pkts_per_tx_syscall\":{ppts:.3},",
-            "\"pkts_per_rx_syscall\":{pprs:.3}",
+            "\"pkts_per_rx_syscall\":{pprs:.3},",
+            "\"tx_copied_bytes\":{tx_copied_bytes}",
             "}},",
             "\"coalescing\":{{",
             "\"flushes\":{flushes},",
@@ -775,6 +789,7 @@ fn json_report(args: &Args, reports: &[ClientReport], t: JsonTotals) -> String {
         rx_syscalls = t.rx_syscalls,
         ppts = t.tx_packets as f64 / (t.tx_syscalls.max(1)) as f64,
         pprs = t.rx_packets as f64 / (t.rx_syscalls.max(1)) as f64,
+        tx_copied_bytes = t.tx_copied_bytes,
         flushes = t.flushes,
         avg_flush = t.sent as f64 / (t.flushes.max(1)) as f64,
         coalesced_max = t.coalesced_max,

@@ -293,4 +293,13 @@ fn main() {
         io.pool_hit_rate() * 100.0,
         io.pool_outstanding,
     );
+    println!(
+        "zero-copy tx: {} value bytes copied on the reply path{}",
+        io.tx_copied_bytes,
+        if io.tx_copied_bytes == 0 {
+            " (scatter-gather end to end)"
+        } else {
+            " — gather fallback engaged"
+        },
+    );
 }
