@@ -52,6 +52,12 @@ pub struct MinosConfig {
     pub allocation_policy: AllocationPolicy,
     /// Capacity of each large core's software queue, in requests.
     pub soft_queue_capacity: usize,
+    /// Length of one reassembly round in nanoseconds. A partially
+    /// reassembled message that receives no fragment for two completed
+    /// rounds is evicted and its mempool reservation released (the
+    /// counterpart of client retransmission: a lost fragment means a
+    /// lost request, and the server must not strand memory for it).
+    pub reassembly_round_ns: u64,
 }
 
 impl Default for MinosConfig {
@@ -66,6 +72,7 @@ impl Default for MinosConfig {
             cost_fn: CostFn::Packets,
             allocation_policy: AllocationPolicy::Standard,
             soft_queue_capacity: 4096,
+            reassembly_round_ns: 1_000_000_000,
         }
     }
 }
@@ -90,6 +97,9 @@ impl MinosConfig {
         }
         if self.soft_queue_capacity == 0 {
             return Err("soft_queue_capacity must be positive".into());
+        }
+        if self.reassembly_round_ns == 0 {
+            return Err("reassembly_round_ns must be positive".into());
         }
         Ok(())
     }

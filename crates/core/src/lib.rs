@@ -27,6 +27,8 @@
 //! * [`server`] — one busy-polling thread per simulated core; small
 //!   cores drain their own RX queue plus their share of the large
 //!   cores' RX queues; large cores drain only their software queues.
+//! * [`ingest`] — the one-copy large-PUT ingest sink: fragments stream
+//!   straight into their value's final store-mempool block.
 //! * [`client`] — a load-generating client with the paper's measurement
 //!   methodology (timestamps echoed by the server, zero-loss checks).
 //! * [`engine`] — the small trait every engine (Minos and the three
@@ -40,6 +42,7 @@ pub mod config;
 pub mod cost;
 pub mod dispatch;
 pub mod engine;
+pub mod ingest;
 pub mod plan;
 pub mod ranges;
 pub mod server;

@@ -10,28 +10,35 @@
 //!   requests to completion and hand large ones to the software queue of
 //!   the large core whose size range matches.
 //! * **Large cores** never touch RX queues; they poll their lock-free
-//!   software queue, reassemble large PUTs, execute, and reply on their
-//!   own TX queue.
+//!   software queue, *stream* large-PUT fragments straight into the
+//!   value's final store-mempool block (reserved from the size in the
+//!   first-seen fragment header — no lookup, no reassembly buffer; see
+//!   [`crate::ingest`]), commit on completion, and reply on their own
+//!   TX queue. Each fragment's pooled RX buffer is released the moment
+//!   its chunk is copied, so RX-pool occupancy stays O(rx batch)
+//!   instead of O(message size / MTU).
 //! * **Core 0** additionally runs the epoch control loop: aggregate the
 //!   per-core size histograms, update the threshold, re-allocate cores,
 //!   rebuild the size ranges, publish the new [`ShardingPlan`].
 //!
 //! The server is generic over [`Transport`]: the same engine code runs
-//! over the in-process [`VirtualNic`] (the default, used by tests and
-//! the simulator harnesses) or over real `SO_REUSEPORT` UDP sockets
+//! over the in-process [`VirtualNic`] (by default through
+//! [`VirtualTransport`]'s pooled gather, used by tests and the
+//! simulator harnesses) or over real `SO_REUSEPORT` UDP sockets
 //! (`minos_net::UdpTransport`, used by the `minos-server` binary).
 
 use crate::config::{MinosConfig, ThresholdMode};
 use crate::dispatch::drain_schedule;
 use crate::engine::KvEngine;
+use crate::ingest::PutIngest;
 use crate::plan::{Destination, ShardingPlan};
 use crate::threshold::ThresholdController;
 use crossbeam::queue::ArrayQueue;
 use minos_kv::{PutError, Store, StoreConfig};
-use minos_net::Transport;
+use minos_net::{Transport, VirtualTransport};
 use minos_nic::{NicConfig, VirtualNic};
-use minos_stats::{CoreStats, SharedCoreStats, SizeHistogram};
-use minos_wire::frag::{fragment_frame_with_id, FragHeader, Reassembler, Reassembly};
+use minos_stats::{AtomicSizeHistogram, CoreStats, SharedCoreStats, SizeHistogram};
+use minos_wire::frag::{fragment_frame_with_id, FragHeader, Streamed, StreamingReassembler};
 use minos_wire::message::{Body, Message, ReplyStatus, MSG_HEADER_LEN};
 use minos_wire::packet::{synthesize_frame, Endpoint, Packet, TxPacket};
 use parking_lot::{Mutex, RwLock};
@@ -106,6 +113,14 @@ pub struct EngineCounters {
     pub epochs: u64,
     /// Malformed payloads dropped.
     pub malformed: u64,
+    /// Value bytes copied into store-mempool blocks — the one wire →
+    /// pool copy of the ingest path, small and large PUTs alike
+    /// (mirrors `tx_copied_bytes` on the reply path). A one-copy ingest
+    /// keeps this exactly `Σ value_len` over all successful PUTs.
+    pub put_copied_bytes: u64,
+    /// Stale partial reassemblies evicted (their mempool reservations
+    /// released). Non-zero means fragments were lost on the wire.
+    pub reassembly_evictions: u64,
 }
 
 /// Pins every fragment of one in-flight multi-packet message to the core
@@ -176,13 +191,17 @@ struct Shared<T: Transport> {
     plan: RwLock<Arc<ShardingPlan>>,
     soft_queues: Vec<ArrayQueue<Handoff>>,
     stats: Vec<SharedCoreStats>,
-    size_hists: Vec<Mutex<SizeHistogram>>,
+    /// Core-owned size histograms: recording is a relaxed `fetch_add`
+    /// on an atomic bucket counter (no per-request lock), the epoch
+    /// controller snapshots them by draining.
+    size_hists: Vec<AtomicSizeHistogram>,
     controller: Mutex<ThresholdController>,
     shutdown: AtomicBool,
     start: Instant,
     soft_drops: AtomicU64,
     epochs: AtomicU64,
     malformed: AtomicU64,
+    reassembly_evictions: AtomicU64,
     epoch_deadline_ns: AtomicU64,
     /// Per-core reply message-id counters (fragment reassembly keys).
     msg_ids: Vec<AtomicU64>,
@@ -201,21 +220,26 @@ impl<T: Transport> Shared<T> {
 }
 
 /// The running Minos server, generic over its packet [`Transport`]
-/// (defaulting to the in-process virtual NIC).
-pub struct MinosServer<T: Transport = VirtualNic> {
+/// (defaulting to the pooled-gather adapter over the in-process virtual
+/// NIC).
+pub struct MinosServer<T: Transport = VirtualTransport> {
     shared: Arc<Shared<T>>,
     threads: Vec<std::thread::JoinHandle<()>>,
 }
 
-impl MinosServer<VirtualNic> {
+impl MinosServer<VirtualTransport> {
     /// Builds a virtual NIC sized by `config` and starts the server
-    /// threads over it.
+    /// threads over it, sending through [`VirtualTransport`]'s pooled
+    /// gather — so the simulated backend's TX path is allocation-free
+    /// in steady state, just like the UDP backend's, with every
+    /// gathered segment byte counted in
+    /// [`minos_nic::NicStats::tx_gathered_bytes`].
     pub fn start(config: ServerConfig) -> Self {
         let nic = Arc::new(VirtualNic::new(
             NicConfig::new(config.minos.n_cores as u16)
                 .with_queue_capacity(config.nic_queue_capacity),
         ));
-        Self::start_with_transport(config, nic)
+        Self::start_with_transport(config, Arc::new(VirtualTransport::new(nic)))
     }
 }
 
@@ -245,13 +269,14 @@ impl<T: Transport + 'static> MinosServer<T> {
                 .map(|_| ArrayQueue::new(config.minos.soft_queue_capacity))
                 .collect(),
             stats: (0..n).map(|_| SharedCoreStats::new()).collect(),
-            size_hists: (0..n).map(|_| Mutex::new(SizeHistogram::new())).collect(),
+            size_hists: (0..n).map(|_| AtomicSizeHistogram::new()).collect(),
             controller: Mutex::new(controller),
             shutdown: AtomicBool::new(false),
             start: Instant::now(),
             soft_drops: AtomicU64::new(0),
             epochs: AtomicU64::new(0),
             malformed: AtomicU64::new(0),
+            reassembly_evictions: AtomicU64::new(0),
             epoch_deadline_ns: AtomicU64::new(config.minos.epoch_ns),
             msg_ids: (0..n).map(|_| AtomicU64::new(0)).collect(),
             flow_pins: FlowPins::new(4096),
@@ -309,6 +334,8 @@ impl<T: Transport + 'static> MinosServer<T> {
             soft_queue_drops: self.shared.soft_drops.load(Ordering::Relaxed),
             epochs: self.shared.epochs.load(Ordering::Relaxed),
             malformed: self.shared.malformed.load(Ordering::Relaxed),
+            put_copied_bytes: self.shared.store.mempool().stats().copied_bytes,
+            reassembly_evictions: self.shared.reassembly_evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -356,13 +383,13 @@ impl<T: Transport> MinosServer<T> {
     }
 }
 
-impl KvEngine for MinosServer<VirtualNic> {
+impl KvEngine for MinosServer<VirtualTransport> {
     fn name(&self) -> &'static str {
         "Minos"
     }
 
     fn nic(&self) -> Arc<VirtualNic> {
-        Arc::clone(&self.shared.transport)
+        Arc::clone(self.shared.transport.nic())
     }
 
     fn store(&self) -> Arc<Store> {
@@ -390,12 +417,48 @@ impl<T: Transport> Drop for MinosServer<T> {
 
 fn core_loop<T: Transport>(shared: &Shared<T>, core: usize) {
     let mut rx_buf: Vec<Packet> = Vec::with_capacity(shared.config.batch_size * 2);
-    let mut reassembler = Reassembler::new(1024);
+    // Streaming large-PUT ingest: fragments are copied straight into
+    // their value's reserved mempool block and released; no contiguous
+    // reassembly buffer exists anywhere in the server.
+    let mut reassembler: StreamingReassembler<PutIngest> = StreamingReassembler::new(1024);
     let mut idle_rounds = 0u32;
+    let mut loop_count = 0u32;
+    let mut next_reassembly_round = shared.config.reassembly_round_ns;
+    // Evictions already folded into the shared gauge; the reassembler's
+    // own counter covers *every* eviction cause (stale round, capacity,
+    // geometry mismatch), all of which drop a live reservation and must
+    // be visible.
+    let mut reported_evictions = 0u64;
 
     while !shared.shutdown.load(Ordering::Relaxed) {
         let plan = shared.plan.read().clone();
         let mut did_work = false;
+
+        // Advance the stale-partial eviction clock (checked only every
+        // few iterations to keep the hot loop free of timestamp reads):
+        // a partial untouched for two completed rounds lost a fragment,
+        // and holding its reservation any longer just starves the
+        // mempool — §4.1 leaves the retry to the client anyway.
+        loop_count = loop_count.wrapping_add(1);
+        if loop_count & 0x3F == 0 {
+            let now = shared.now_ns();
+            if reassembler.pending() == 0 {
+                // Nothing can go stale; keep the clock re-armed so the
+                // first partial after an idle stretch still gets its
+                // full two-round grace period rather than hitting a
+                // long-expired deadline immediately.
+                next_reassembly_round = now + shared.config.reassembly_round_ns;
+            } else if now >= next_reassembly_round {
+                next_reassembly_round = now + shared.config.reassembly_round_ns;
+                reassembler.advance_round();
+            }
+        }
+        if reassembler.evicted != reported_evictions {
+            shared
+                .reassembly_evictions
+                .fetch_add(reassembler.evicted - reported_evictions, Ordering::Relaxed);
+            reported_evictions = reassembler.evicted;
+        }
 
         // Core 0 drives the epoch control loop.
         if core == 0 && matches!(shared.config.threshold_mode, ThresholdMode::Dynamic) {
@@ -452,22 +515,7 @@ fn core_loop<T: Transport>(shared: &Shared<T>, core: usize) {
                 }
                 Some(Handoff::Fragment(pkt)) => {
                     did_work = true;
-                    let src = pkt.source_endpoint();
-                    let reply_to = endpoint_of(&pkt);
-                    match reassembler.push(src, pkt.payload) {
-                        Reassembly::Complete(bytes) => match Message::decode(bytes) {
-                            Some(msg) => {
-                                execute_and_reply(shared, core, ServerRequest { msg, reply_to })
-                            }
-                            None => {
-                                shared.malformed.fetch_add(1, Ordering::Relaxed);
-                            }
-                        },
-                        Reassembly::Incomplete => {}
-                        _ => {
-                            shared.malformed.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
+                    stream_put_fragment(shared, core, &mut reassembler, pkt);
                 }
                 None => break,
             }
@@ -493,8 +541,10 @@ fn core_loop<T: Transport>(shared: &Shared<T>, core: usize) {
 fn run_epoch<T: Transport>(shared: &Shared<T>) {
     let mut aggregate = SizeHistogram::new();
     for hist in &shared.size_hists {
-        let taken = hist.lock().take();
-        aggregate.merge(&taken);
+        // Draining swaps each atomic bucket to zero: concurrent records
+        // land in this epoch or the next, never lost, and the recording
+        // cores are never blocked.
+        aggregate.merge(&hist.drain());
     }
     let mut controller = shared.controller.lock();
     let decision = controller.epoch_update(&aggregate);
@@ -518,12 +568,66 @@ fn endpoint_of(pkt: &Packet) -> Endpoint {
     }
 }
 
+/// Streams one large-PUT fragment into this core's ingest reassembler:
+/// the chunk is copied straight into the message's reserved mempool
+/// block (opened on the first-seen fragment) and the fragment's pooled
+/// RX buffer is released immediately. On completion the reservation is
+/// committed under the bucket lock and the reply transmitted.
+fn stream_put_fragment<T: Transport>(
+    shared: &Shared<T>,
+    core: usize,
+    reassembler: &mut StreamingReassembler<PutIngest>,
+    pkt: Packet,
+) {
+    let src = pkt.source_endpoint();
+    let reply_to = endpoint_of(&pkt);
+    match reassembler.push(src, pkt.payload, |fh| PutIngest::open(&shared.store, fh)) {
+        Streamed::Complete(ingest) => finish_streamed_put(shared, core, ingest, reply_to),
+        Streamed::Incomplete | Streamed::Duplicate => {}
+        Streamed::Rejected => {
+            shared.malformed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Commits a fully streamed PUT and transmits its reply.
+fn finish_streamed_put<T: Transport>(
+    shared: &Shared<T>,
+    core: usize,
+    ingest: PutIngest,
+    reply_to: Endpoint,
+) {
+    let Some(done) = ingest.commit(&shared.store) else {
+        shared.malformed.fetch_add(1, Ordering::Relaxed);
+        return;
+    };
+    shared.stats[core].record_put(done.is_large());
+    send_reply(shared, core, reply_to, &done.reply());
+}
+
+/// Transmits one reply message from `core`, drawing the core's next
+/// reply message id and recording the TX stats — the single place the
+/// per-core `(core << 48) | counter` id scheme lives on the server.
+fn send_reply<T: Transport>(shared: &Shared<T>, core: usize, reply_to: Endpoint, reply: &Message) {
+    let msg_id = ((core as u64) << 48)
+        | (shared.msg_ids[core].fetch_add(1, Ordering::Relaxed) & 0xFFFF_FFFF_FFFF);
+    let (packets, bytes_out) = transmit_message(
+        &*shared.transport,
+        core as u16,
+        shared.endpoint(core),
+        reply_to,
+        reply,
+        msg_id,
+    );
+    shared.stats[core].record_tx(packets, bytes_out);
+}
+
 /// Handles one packet drained from an RX queue by a small core.
 fn process_rx_packet<T: Transport>(
     shared: &Shared<T>,
     core: usize,
     plan: &ShardingPlan,
-    reassembler: &mut Reassembler,
+    reassembler: &mut StreamingReassembler<PutIngest>,
     pkt: Packet,
 ) {
     shared.stats[core].record_rx(1, pkt.wire_len() as u64);
@@ -541,7 +645,7 @@ fn process_rx_packet<T: Transport>(
         // to do a lookup").
         let item_size = u64::from(fh.msg_len).saturating_sub(MSG_HEADER_LEN as u64);
         if fh.index == 0 {
-            shared.size_hists[core].lock().record(item_size);
+            shared.size_hists[core].record(item_size);
         }
         // All fragments of one message must reach the same reassembler,
         // across plan changes and across the multiple small cores that
@@ -558,19 +662,7 @@ fn process_rx_packet<T: Transport>(
                 }
             });
         if target == core {
-            let reply_to = endpoint_of(&pkt);
-            match reassembler.push(pkt.source_endpoint(), pkt.payload) {
-                Reassembly::Complete(bytes) => match Message::decode(bytes) {
-                    Some(msg) => execute_and_reply(shared, core, ServerRequest { msg, reply_to }),
-                    None => {
-                        shared.malformed.fetch_add(1, Ordering::Relaxed);
-                    }
-                },
-                Reassembly::Incomplete => {}
-                _ => {
-                    shared.malformed.fetch_add(1, Ordering::Relaxed);
-                }
-            }
+            stream_put_fragment(shared, core, reassembler, pkt);
         } else if shared.soft_queues[target]
             .push(Handoff::Fragment(pkt))
             .is_err()
@@ -605,13 +697,13 @@ fn handle_message<T: Transport>(
             // hand the *request* off if large (the large core re-reads).
             match shared.store.get(*key) {
                 None => {
-                    shared.size_hists[core].lock().record(0);
+                    shared.size_hists[core].record(0);
                     shared.stats[core].record_get(false);
                     reply_direct(shared, core, &req, ReplyStatus::NotFound, None);
                 }
                 Some(value) => {
                     let size = value.len() as u64;
-                    shared.size_hists[core].lock().record(size);
+                    shared.size_hists[core].record(size);
                     match plan.classify(size) {
                         Destination::Local => {
                             shared.stats[core].record_get(false);
@@ -634,7 +726,7 @@ fn handle_message<T: Transport>(
         }
         Body::Put { value, .. } => {
             let size = value.len() as u64;
-            shared.size_hists[core].lock().record(size);
+            shared.size_hists[core].record(size);
             match plan.classify(size) {
                 Destination::Local => execute_and_reply(shared, core, req),
                 Destination::Handoff(target) => {
@@ -672,18 +764,8 @@ fn reply_direct<T: Transport>(
     status: ReplyStatus,
     value: Option<minos_kv::PoolBytes>,
 ) {
-    let msg_id = ((core as u64) << 48)
-        | (shared.msg_ids[core].fetch_add(1, Ordering::Relaxed) & 0xFFFF_FFFF_FFFF);
-    let (packets, bytes_out) = transmit_reply(
-        &*shared.transport,
-        core as u16,
-        shared.endpoint(core),
-        req,
-        status,
-        value,
-        msg_id,
-    );
-    shared.stats[core].record_tx(packets, bytes_out);
+    let reply = req.msg.reply(status, value.map(bytes::Bytes::from_owner));
+    send_reply(shared, core, req.reply_to, &reply);
 }
 
 /// Executes a request on this core (small or large) and transmits the
@@ -698,18 +780,8 @@ fn execute_and_reply<T: Transport>(shared: &Shared<T>, core: usize, req: ServerR
     } else {
         shared.stats[core].record_put(large);
     }
-    let msg_id = ((core as u64) << 48)
-        | (shared.msg_ids[core].fetch_add(1, Ordering::Relaxed) & 0xFFFF_FFFF_FFFF);
-    let (packets, bytes_out) = transmit_reply(
-        &*shared.transport,
-        core as u16,
-        shared.endpoint(core),
-        &req,
-        status,
-        value,
-        msg_id,
-    );
-    shared.stats[core].record_tx(packets, bytes_out);
+    let reply = req.msg.reply(status, value.map(bytes::Bytes::from_owner));
+    send_reply(shared, core, req.reply_to, &reply);
 }
 
 /// Executes `msg` against `store`, returning `(status, reply value,
@@ -781,10 +853,25 @@ pub fn transmit_reply<T: Transport + ?Sized>(
     // copy (and allocation) this path used to pay per GET reply.
     let value_bytes = value.map(bytes::Bytes::from_owner);
     let reply = req.msg.reply(status, value_bytes);
-    let frame = reply.encode_frame();
+    transmit_message(transport, tx_queue, src, req.reply_to, &reply, msg_id)
+}
+
+/// Encodes, fragments and transmits one message to `dst` on `tx_queue`
+/// — [`transmit_reply`] without needing the request `Message` in hand,
+/// which the streamed-PUT path never materializes. Same scatter-gather
+/// path, same `(packets, bytes)` accounting.
+pub fn transmit_message<T: Transport + ?Sized>(
+    transport: &T,
+    tx_queue: u16,
+    src: Endpoint,
+    dst: Endpoint,
+    msg: &Message,
+    msg_id: u64,
+) -> (u64, u64) {
+    let frame = msg.encode_frame();
     let mut burst: Vec<TxPacket> = fragment_frame_with_id(msg_id, &frame)
         .into_iter()
-        .map(|frag| synthesize_frame(src, req.reply_to, frag))
+        .map(|frag| synthesize_frame(src, dst, frag))
         .collect();
     if let [only] = burst.as_slice() {
         // Single-fragment replies (the overwhelming majority): no

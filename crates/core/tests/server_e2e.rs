@@ -7,6 +7,66 @@ use minos_core::server::{MinosServer, ServerConfig};
 use minos_wire::message::{OpKind, ReplyStatus};
 use std::time::Duration;
 
+/// A lost fragment must not strand the partial reassembly: the stale
+/// partial is evicted after two reassembly rounds and its mempool
+/// reservation released — the large-PUT ingest analog of the RX-pool
+/// leak the ROADMAP tracked.
+#[test]
+fn lost_fragment_reservation_is_evicted_and_released() {
+    use minos_wire::frag::fragment_with_id;
+    use minos_wire::message::{Body, Message};
+    use minos_wire::packet::{build_frame, Endpoint};
+    use minos_wire::udp::UdpHeader;
+
+    let mut config = ServerConfig::for_test(2, 10_000);
+    config.minos.reassembly_round_ns = 20_000_000; // 20 ms rounds
+    let mut server = MinosServer::start(config);
+    let nic = minos_core::engine::KvEngine::nic(&server);
+
+    // A 100 KB PUT, missing its last fragment.
+    let msg = Message {
+        client_id: 1,
+        request_id: 1,
+        client_ts_ns: 0,
+        body: Body::Put {
+            key: 77,
+            value: bytes::Bytes::from(vec![7u8; 100_000]),
+        },
+    };
+    let frags = fragment_with_id(0x1234, &msg.encode());
+    let src = Endpoint::host(100, 20_000);
+    for frag in &frags[..frags.len() - 1] {
+        let dst = Endpoint::host(1, UdpHeader::port_for_queue(0));
+        nic.deliver_frame(build_frame(src, dst, frag));
+    }
+
+    // The partial's reservation charges the mempool now...
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while server.store().mempool().used_bytes() == 0 {
+        assert!(std::time::Instant::now() < deadline, "reservation opened");
+        std::thread::yield_now();
+    }
+
+    // ...and two 20 ms rounds later the eviction must have released it.
+    while server.counters().reassembly_evictions == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "stale partial evicted within the deadline"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let freed_by = std::time::Instant::now() + Duration::from_secs(10);
+    while server.store().mempool().used_bytes() > 0 {
+        assert!(
+            std::time::Instant::now() < freed_by,
+            "evicted reservation returns its mempool block"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(server.store().len(), 0, "nothing was committed");
+    server.shutdown();
+}
+
 fn start_server(cores: usize) -> MinosServer {
     MinosServer::start(ServerConfig::for_test(cores, 10_000))
 }

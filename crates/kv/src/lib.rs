@@ -31,5 +31,5 @@ pub mod mem;
 pub mod store;
 
 pub use keyhash::{keyhash, KeyhashParts};
-pub use mem::{Mempool, MempoolStats, PoolBytes};
+pub use mem::{Mempool, MempoolStats, PoolBytes, PoolBytesMut};
 pub use store::{PutError, Store, StoreConfig, StoreStats};

@@ -38,6 +38,12 @@ pub struct MempoolStats {
     pub failures: u64,
     /// Blocks returned to freelists.
     pub frees: u64,
+    /// Value bytes copied *into* pool blocks — by [`Mempool::alloc_from`]
+    /// and [`PoolBytesMut::write_at`], the only two write paths. This is
+    /// the per-PUT copy budget made a number: a store whose ingest is
+    /// one-copy moves exactly `value_len` bytes through this counter per
+    /// successful PUT, which the server surfaces as `put_copied_bytes`.
+    pub copied_bytes: u64,
     /// Bytes currently charged against the capacity.
     pub used_bytes: usize,
     /// Configured capacity in bytes.
@@ -56,6 +62,7 @@ struct Inner {
     reuses: AtomicU64,
     failures: AtomicU64,
     frees: AtomicU64,
+    copied: AtomicU64,
 }
 
 impl Inner {
@@ -102,15 +109,33 @@ impl Mempool {
                 reuses: AtomicU64::new(0),
                 failures: AtomicU64::new(0),
                 frees: AtomicU64::new(0),
+                copied: AtomicU64::new(0),
             }),
         }
     }
 
     /// Allocates a buffer holding a copy of `data`. Returns `None` if the
     /// pool is out of capacity or `data` exceeds the maximum block size.
+    /// Equivalent to a [`Mempool::reserve`] filled in one write and
+    /// sealed.
     pub fn alloc_from(&self, data: &[u8]) -> Option<PoolBytes> {
+        let mut reservation = self.reserve(data.len())?;
+        reservation.write_at(0, data);
+        Some(reservation.seal())
+    }
+
+    /// Reserves a writable block for a value of `len` bytes *without
+    /// copying anything yet* — the first phase of a two-phase PUT.
+    ///
+    /// The returned [`PoolBytesMut`] is filled incrementally (e.g. one
+    /// network fragment at a time, via [`PoolBytesMut::write_at`]) and
+    /// then sealed into an immutable, refcounted [`PoolBytes`] with
+    /// [`PoolBytesMut::seal`]. Dropping an unsealed reservation returns
+    /// the block to the pool. Returns `None` if the pool is out of
+    /// capacity or `len` exceeds the maximum block size.
+    pub fn reserve(&self, len: usize) -> Option<PoolBytesMut> {
         let inner = &self.inner;
-        let Some(class) = inner.class_of(data.len()) else {
+        let Some(class) = inner.class_of(len) else {
             inner.failures.fetch_add(1, Ordering::Relaxed);
             return None;
         };
@@ -125,21 +150,20 @@ impl Mempool {
         }
 
         let recycled = inner.classes[class].lock().pop();
-        let mut block = match recycled {
+        let block = match recycled {
             Some(b) => {
                 inner.reuses.fetch_add(1, Ordering::Relaxed);
                 b
             }
             None => vec![0u8; class_bytes].into_boxed_slice(),
         };
-        block[..data.len()].copy_from_slice(data);
         inner.allocs.fetch_add(1, Ordering::Relaxed);
-        Some(PoolBytes(Arc::new(PoolBuf {
+        Some(PoolBytesMut {
             block: Some(block),
-            len: data.len(),
+            len,
             class,
-            pool: Arc::downgrade(inner),
-        })))
+            pool: Arc::clone(inner),
+        })
     }
 
     /// Bytes currently charged against the capacity.
@@ -160,8 +184,91 @@ impl Mempool {
             reuses: i.reuses.load(Ordering::Relaxed),
             failures: i.failures.load(Ordering::Relaxed),
             frees: i.frees.load(Ordering::Relaxed),
+            copied_bytes: i.copied.load(Ordering::Relaxed),
             used_bytes: i.used.load(Ordering::Relaxed),
             capacity_bytes: i.capacity,
+        }
+    }
+}
+
+/// A reserved, writable pool block: the first phase of a two-phase PUT.
+///
+/// Produced by [`Mempool::reserve`]; filled incrementally with
+/// [`PoolBytesMut::write_at`] (every written byte is counted in
+/// [`MempoolStats::copied_bytes`]) and turned into an immutable
+/// [`PoolBytes`] by [`PoolBytesMut::seal`]. Dropping an unsealed
+/// reservation returns the block to the pool, so an abandoned ingest
+/// (e.g. an evicted partial reassembly) can never leak pool capacity.
+///
+/// Bytes never written keep whatever the recycled block last held; a
+/// caller must cover the whole `[0, len)` range before sealing if it
+/// intends the value to be well-defined (the streaming reassembler only
+/// completes once every fragment has been written, which guarantees
+/// exactly that).
+#[derive(Debug)]
+pub struct PoolBytesMut {
+    /// `Some` until sealed or dropped.
+    block: Option<Box<[u8]>>,
+    len: usize,
+    class: usize,
+    pool: Arc<Inner>,
+}
+
+impl PoolBytesMut {
+    /// Length of the reserved value in bytes (not the block size).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for a zero-length reservation.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Copies `data` into the reservation at `offset`, counting the
+    /// bytes in [`MempoolStats::copied_bytes`]. This is the one wire →
+    /// pool copy of the one-copy ingest path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + data.len()` exceeds the reserved length.
+    pub fn write_at(&mut self, offset: usize, data: &[u8]) {
+        let end = offset
+            .checked_add(data.len())
+            .expect("write range overflows");
+        assert!(
+            end <= self.len,
+            "write of {} bytes at {offset} exceeds the {}-byte reservation",
+            data.len(),
+            self.len
+        );
+        let block = self.block.as_mut().expect("live until consumed");
+        block[offset..end].copy_from_slice(data);
+        self.pool
+            .copied
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Seals the reservation into an immutable, refcounted
+    /// [`PoolBytes`] — the second phase of a two-phase PUT, ready for
+    /// [`crate::Store::put_reserved`]. No bytes are copied.
+    pub fn seal(mut self) -> PoolBytes {
+        let block = self.block.take().expect("live until consumed");
+        PoolBytes(Arc::new(PoolBuf {
+            block: Some(block),
+            len: self.len,
+            class: self.class,
+            pool: Arc::downgrade(&self.pool),
+        }))
+    }
+}
+
+impl Drop for PoolBytesMut {
+    fn drop(&mut self) {
+        // An unsealed reservation was never published: its block (and
+        // capacity charge) go straight back to the pool.
+        if let Some(block) = self.block.take() {
+            self.pool.release(block, self.class);
         }
     }
 }
@@ -299,6 +406,57 @@ mod tests {
         let v = pool.alloc_from(b"").unwrap();
         assert!(v.is_empty());
         assert_eq!(v.len(), 0);
+    }
+
+    #[test]
+    fn reserve_write_seal_roundtrip() {
+        let pool = Mempool::new(1 << 20, 1 << 16);
+        let mut r = pool.reserve(11).unwrap();
+        assert_eq!(r.len(), 11);
+        r.write_at(0, b"hello ");
+        r.write_at(6, b"world");
+        let sealed = r.seal();
+        assert_eq!(&sealed[..], b"hello world");
+        assert_eq!(pool.stats().copied_bytes, 11, "exactly the value bytes");
+        drop(sealed);
+        assert_eq!(pool.used_bytes(), 0);
+    }
+
+    #[test]
+    fn unsealed_reservation_returns_capacity_on_drop() {
+        let pool = Mempool::new(256, 256);
+        let r = pool.reserve(100).unwrap();
+        assert_eq!(pool.used_bytes(), 128, "reservation charges its class");
+        drop(r);
+        assert_eq!(pool.used_bytes(), 0, "abandoned reservation released");
+        assert_eq!(pool.stats().frees, 1);
+        // And the block is recycled, not lost.
+        let _again = pool.reserve(100).unwrap();
+        assert_eq!(pool.stats().reuses, 1);
+    }
+
+    #[test]
+    fn reserve_enforces_capacity_and_size() {
+        let pool = Mempool::new(256, 1 << 16);
+        assert!(pool.reserve(1 << 17).is_none(), "oversized");
+        let _a = pool.reserve(200).unwrap();
+        assert!(pool.reserve(200).is_none(), "over capacity");
+        assert_eq!(pool.stats().failures, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the")]
+    fn write_beyond_reservation_panics() {
+        let pool = Mempool::new(1 << 20, 1 << 16);
+        let mut r = pool.reserve(4).unwrap();
+        r.write_at(2, b"abc");
+    }
+
+    #[test]
+    fn alloc_from_counts_copied_bytes() {
+        let pool = Mempool::new(1 << 20, 1 << 16);
+        let _v = pool.alloc_from(&[7u8; 1000]).unwrap();
+        assert_eq!(pool.stats().copied_bytes, 1000);
     }
 
     #[test]

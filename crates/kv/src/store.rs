@@ -306,14 +306,40 @@ impl Store {
     }
 
     /// PUT: stores `value` under `key`, replacing any existing value.
+    ///
+    /// Implemented as a one-shot two-phase PUT: [`Store::reserve`] the
+    /// pool block, fill it with the single wire → pool copy, and commit
+    /// it with [`Store::put_reserved`]. Streaming callers (the large-PUT
+    /// ingest path) use the phases directly so each network fragment is
+    /// copied straight into its final offset of the block.
     pub fn put(&self, key: u64, value: &[u8]) -> Result<(), PutError> {
         // Copy the value into pool memory *before* taking the bucket
         // lock: the critical section stays O(1) regardless of item size.
-        let Some(pooled) = self.mempool.alloc_from(value) else {
-            self.put_failures.fetch_add(1, Ordering::Relaxed);
+        let Some(mut reservation) = self.reserve(value.len()) else {
             return Err(PutError::OutOfMemory);
         };
+        reservation.write_at(0, value);
+        self.put_reserved(key, reservation.seal())
+    }
 
+    /// Phase one of a two-phase PUT: reserves a writable mempool block
+    /// for a value of `len` bytes (see [`Mempool::reserve`]). A failed
+    /// reservation is counted as a PUT failure, mirroring [`Store::put`]
+    /// under memory pressure. Commit the filled reservation with
+    /// [`Store::put_reserved`]; dropping it instead releases the block.
+    pub fn reserve(&self, len: usize) -> Option<crate::mem::PoolBytesMut> {
+        let reservation = self.mempool.reserve(len);
+        if reservation.is_none() {
+            self.put_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        reservation
+    }
+
+    /// Phase two of a two-phase PUT: commits an already-pooled value
+    /// under `key`, replacing any existing value. The critical section
+    /// is the same O(1) bucket-locked splice as [`Store::put`] —
+    /// regardless of how the value bytes got into the pool.
+    pub fn put_reserved(&self, key: u64, pooled: PoolBytes) -> Result<(), PutError> {
         let h = keyhash(key);
         let parts = split(h, self.partitions.len(), self.num_buckets);
         let partition = &self.partitions[parts.partition];
@@ -496,6 +522,53 @@ mod tests {
         s.put(1, b"the new, longer value").unwrap();
         assert_eq!(&s.get(1).unwrap()[..], b"the new, longer value");
         assert_eq!(s.len(), 1, "replacement does not grow the store");
+    }
+
+    #[test]
+    fn two_phase_put_matches_one_shot() {
+        let s = small_store();
+        // Fill a reservation in out-of-order chunks, as streaming
+        // reassembly does, then commit.
+        let value: Vec<u8> = (0..10_000).map(|i| (i % 247) as u8).collect();
+        let mut r = s.reserve(value.len()).unwrap();
+        r.write_at(4_000, &value[4_000..]);
+        r.write_at(0, &value[..4_000]);
+        s.put_reserved(9, r.seal()).unwrap();
+        assert_eq!(&s.get(9).unwrap()[..], &value[..]);
+        assert_eq!(s.stats().puts, 1);
+        assert_eq!(
+            s.mempool().stats().copied_bytes,
+            value.len() as u64,
+            "exactly one copy of the value, end to end"
+        );
+        // Replacement through the same path.
+        let mut r = s.reserve(3).unwrap();
+        r.write_at(0, b"new");
+        s.put_reserved(9, r.seal()).unwrap();
+        assert_eq!(&s.get(9).unwrap()[..], b"new");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn abandoned_reservation_releases_memory_and_counts_failure() {
+        let s = Store::new(StoreConfig {
+            partitions: 1,
+            buckets_per_partition: 16,
+            overflow_per_partition: 4,
+            items_per_partition: 64,
+            mempool_bytes: 4096,
+            max_value_bytes: 1 << 16,
+        });
+        let r = s.reserve(4096).unwrap();
+        assert!(s.reserve(1).is_none(), "pool fully reserved");
+        assert_eq!(s.stats().put_failures, 1);
+        drop(r);
+        assert_eq!(
+            s.mempool().used_bytes(),
+            0,
+            "abandoned ingest leaks nothing"
+        );
+        assert!(s.reserve(1).is_some());
     }
 
     #[test]

@@ -450,6 +450,150 @@ fn get_replies_are_zero_copy_on_both_syscall_paths() {
     }
 }
 
+/// The streaming-ingest acceptance gate (the ROADMAP "RX-pool misses
+/// under large-PUT reassembly" close-out): many concurrently
+/// reassembling large PUTs must NOT accumulate pooled RX buffers. Each
+/// fragment's slot is released the moment its chunk is streamed into
+/// the store-mempool reservation, so with fragments arriving paced
+/// (every in-flight message permanently open, none complete until the
+/// very end) the server's `outstanding` gauge stays bounded by the
+/// in-flight burst — while the old hold-until-complete reassembly
+/// would retain every delivered fragment of every open partial
+/// (~hundreds here). The steady-state hit rate stays ≥ 99 % and every
+/// slot returns after the run. Exercised on both UDP syscall paths.
+#[test]
+fn fragmented_puts_keep_rx_pool_bounded() {
+    use minos_wire::frag::fragment_with_id;
+    use minos_wire::message::{Body, Message};
+
+    const QUEUES: u16 = 2;
+    const MESSAGES: u64 = 6;
+    const LARGE_LEN: usize = 100_000; // 69 fragments per PUT
+                                      // Fragments sent per message per pacing round. Peak pool occupancy
+                                      // on the streaming path is O(one round) = 6 x 8 = 48 delivered
+                                      // buffers (plus scheduling slack); the old reassembler would hold
+                                      // all ~414 delivered fragments of the 6 open partials at once.
+    const PACE: usize = 8;
+    const OUTSTANDING_BOUND: u64 = 192;
+    for batch in [32usize, 1] {
+        let transport = loop {
+            let config = UdpConfig {
+                batch,
+                ..UdpConfig::loopback(alloc_base(QUEUES), QUEUES)
+            };
+            if let Ok(t) = UdpTransport::bind(config) {
+                break Arc::new(t);
+            }
+        };
+        let mut server = MinosServer::start_with_transport(
+            ServerConfig::for_test(QUEUES as usize, 10_000),
+            Arc::clone(&transport),
+        );
+        let client = UdpTransport::bind_client(Ipv4Addr::LOCALHOST).unwrap();
+        let src = client.local_endpoint(0);
+
+        // Pre-fragment 6 large PUTs, one per key, distinct msg ids.
+        let fragment_sets: Vec<Vec<bytes::Bytes>> = (0..MESSAGES)
+            .map(|m| {
+                let msg = Message {
+                    client_id: 1,
+                    request_id: m,
+                    client_ts_ns: 0,
+                    body: Body::Put {
+                        key: 5_000 + m,
+                        value: bytes::Bytes::from(vec![(5_000 + m) as u8 % 251; LARGE_LEN]),
+                    },
+                };
+                fragment_with_id(0xF00 + m, &msg.encode())
+            })
+            .collect();
+        let per_message = fragment_sets[0].len();
+        assert!(per_message * MESSAGES as usize > OUTSTANDING_BOUND as usize * 2);
+
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let max_outstanding = std::thread::scope(|scope| {
+            // Sampler: tracks the high-water mark of delivered pooled
+            // buffers while the interleaved reassemblies are open.
+            let sampler = {
+                let transport = Arc::clone(&transport);
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut max = 0u64;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        max = max.max(transport.io_stats().pool_outstanding);
+                        std::thread::sleep(Duration::from_micros(100));
+                    }
+                    max
+                })
+            };
+
+            // Pace rounds: 8 fragments of EVERY message per round, so
+            // all 6 reassemblies stay open until the last round.
+            for round in 0..per_message.div_ceil(PACE) {
+                let mut burst: Vec<Packet> = Vec::with_capacity(PACE * MESSAGES as usize);
+                for (m, frags) in fragment_sets.iter().enumerate() {
+                    let dst = transport.local_endpoint((m % QUEUES as usize) as u16);
+                    let lo = round * PACE;
+                    for frag in &frags[lo.min(frags.len())..(lo + PACE).min(frags.len())] {
+                        burst.push(synthesize(src, dst, frag.clone()));
+                    }
+                }
+                let n = burst.len();
+                assert_eq!(client.tx_burst(0, &mut burst), n, "no tx loss");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+
+            // All fragments sent: every message must now commit.
+            let store = server.store();
+            let deadline = Instant::now() + Duration::from_secs(30);
+            for m in 0..MESSAGES {
+                while store.get(5_000 + m).is_none() {
+                    assert!(
+                        Instant::now() < deadline,
+                        "batch {batch}: PUT {m} never committed"
+                    );
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            sampler.join().unwrap()
+        });
+
+        let io = transport.io_stats();
+        assert!(
+            max_outstanding <= OUTSTANDING_BOUND,
+            "batch {batch}: streaming reassembly must not hold fragments \
+             (peak {max_outstanding} pooled buffers > {OUTSTANDING_BOUND} \
+             for {} delivered fragments)",
+            per_message * MESSAGES as usize,
+        );
+        assert!(
+            io.pool_hit_rate() >= 0.99,
+            "batch {batch}: fragmented-PUT ingest must stay allocation-free \
+             ({} hits, {} misses = {:.4} hit rate)",
+            io.pool_hits,
+            io.pool_misses,
+            io.pool_hit_rate()
+        );
+        // Values arrived intact through the streaming path, nothing was
+        // evicted, and once the engine quiesces every slot is home.
+        let store = server.store();
+        for m in 0..MESSAGES {
+            let v = store.get(5_000 + m).expect("stored");
+            assert_eq!(v.len(), LARGE_LEN);
+            assert!(v.iter().all(|&b| b == (5_000 + m) as u8 % 251));
+        }
+        assert_eq!(server.counters().reassembly_evictions, 0);
+        server.drain(Duration::from_secs(10));
+        assert_eq!(
+            transport.io_stats().pool_outstanding,
+            0,
+            "batch {batch}: every fragment slot must be back in the slab"
+        );
+        server.shutdown();
+    }
+}
+
 /// Pool exhaustion is graceful: with a deliberately tiny slab and every
 /// payload held alive, overflow takes fall back to plain allocations
 /// (counted as misses), the delivered bytes are identical either way,

@@ -32,6 +32,8 @@ pub mod running;
 
 pub use counters::{CoreStats, SharedCoreStats};
 pub use ewma::Ewma;
-pub use hist::{LatencyHistogram, LogHistogram, SizeHistogram, SmoothedHistogram};
+pub use hist::{
+    AtomicSizeHistogram, LatencyHistogram, LogHistogram, SizeHistogram, SmoothedHistogram,
+};
 pub use percentile::{exact_percentile, exact_percentile_f64, Quantiles};
 pub use running::Running;

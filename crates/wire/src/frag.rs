@@ -240,6 +240,13 @@ impl Reassembler {
         let Some(header) = FragHeader::decode(&mut rd) else {
             return Reassembly::Rejected;
         };
+        // A count inconsistent with msg_len can only come from a forged
+        // or corrupted header; honoring it would buffer up to
+        // count x MAX_FRAG_CHUNK bytes for a message that can never
+        // decode.
+        if u32::from(header.count) != crate::packets_for_payload(header.msg_len as usize) {
+            return Reassembly::Rejected;
+        }
         let chunk = rd;
 
         // Validate chunk length against its position.
@@ -313,6 +320,237 @@ fn expected_chunk_len(h: &FragHeader) -> usize {
         len.saturating_sub(start)
     } else {
         MAX_FRAG_CHUNK
+    }
+}
+
+/// A destination for streamed fragment chunks: the sink a
+/// [`StreamingReassembler`] copies each fragment's payload into, at the
+/// chunk's final message offset. Implementors are typically writable
+/// reservations in their *final* resting place (a store mempool block),
+/// which is what makes the streaming path one-copy.
+pub trait FragmentWriter {
+    /// Copies `chunk` to message offset `offset`. Offsets of distinct
+    /// calls never overlap and jointly cover `[0, msg_len)` exactly once
+    /// by the time the reassembler reports completion.
+    fn write_at(&mut self, offset: usize, chunk: &[u8]);
+}
+
+/// In-flight state of one streamed message.
+#[derive(Debug)]
+struct StreamingPartial<W> {
+    writer: W,
+    /// Bitmap of received fragment indices.
+    seen: Box<[u64]>,
+    received: u16,
+    count: u16,
+    msg_len: u32,
+    /// Push-clock of the most recent fragment (capacity eviction order).
+    last_touch: u64,
+    /// Round of the most recent fragment (stale eviction).
+    last_round: u64,
+}
+
+/// Outcome of feeding one fragment to a [`StreamingReassembler`].
+#[derive(Debug)]
+pub enum Streamed<W> {
+    /// The fragment completed the message; the filled writer is handed
+    /// back for the caller to commit.
+    Complete(W),
+    /// More fragments are needed; the fed fragment's chunk has been
+    /// written and its buffer is already released.
+    Incomplete,
+    /// The fragment was malformed or inconsistent (or its writer could
+    /// not be opened) and was dropped.
+    Rejected,
+    /// The fragment duplicated one already streamed and was ignored.
+    Duplicate,
+}
+
+/// Streaming reassembly: copies each fragment's chunk directly into a
+/// caller-provided [`FragmentWriter`] and drops the fragment buffer
+/// immediately, instead of buffering every fragment until the message
+/// completes the way [`Reassembler`] does.
+///
+/// Two properties follow:
+///
+/// * **One copy.** The chunk moves wire buffer → final destination once;
+///   no intermediate contiguous reassembly buffer ever exists.
+/// * **O(rx batch) buffer occupancy.** Pooled RX slots are released the
+///   moment their chunk is streamed, so reassembling a large message
+///   holds *zero* fragment buffers instead of `O(msg_len / MTU)` — the
+///   fix for RX-pool exhaustion under concurrent large-PUT bursts.
+///
+/// Like [`Reassembler`], entries are keyed by `(source, msg_id)` and
+/// bounded by `max_partial` with stalest-first eviction. In addition,
+/// [`StreamingReassembler::advance_round`] implements round-based stale
+/// eviction: a partial untouched for two completed rounds (driven by the
+/// caller's clock, e.g. the server's reassembly-round timer) is dropped,
+/// releasing its writer — and with it any mempool reservation the writer
+/// holds — instead of stranding it forever after fragment loss.
+#[derive(Debug)]
+pub struct StreamingReassembler<W> {
+    partials: HashMap<(u64, u64), StreamingPartial<W>>,
+    max_partial: usize,
+    clock: u64,
+    round: u64,
+    /// Completed-message count (observability).
+    pub completed: u64,
+    /// Evicted-partial count, capacity and staleness combined
+    /// (observability).
+    pub evicted: u64,
+}
+
+impl<W: FragmentWriter> StreamingReassembler<W> {
+    /// Creates a streaming reassembler holding at most `max_partial`
+    /// in-flight messages.
+    pub fn new(max_partial: usize) -> Self {
+        assert!(max_partial > 0);
+        Self {
+            partials: HashMap::new(),
+            max_partial,
+            clock: 0,
+            round: 0,
+            completed: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Feeds one UDP payload (frag header + chunk) from `source`,
+    /// streaming its chunk into the message's writer. `open` is invoked
+    /// exactly once per message, on its first-seen fragment (which may
+    /// be any index — the total length is in every fragment header), to
+    /// allocate the writer; returning `None` rejects the message.
+    pub fn push(
+        &mut self,
+        source: u64,
+        payload: Bytes,
+        open: impl FnOnce(&FragHeader) -> Option<W>,
+    ) -> Streamed<W> {
+        self.clock += 1;
+        let mut rd = payload;
+        let Some(header) = FragHeader::decode(&mut rd) else {
+            return Streamed::Rejected;
+        };
+        // The writer is sized from msg_len while chunk placement comes
+        // from index/count; a header whose count disagrees with its
+        // msg_len could therefore direct a full-size chunk past the end
+        // of a tiny writer. Buffering reassembly only produced garbage
+        // for the decoder from such forgeries — streaming must reject
+        // them outright.
+        if u32::from(header.count) != crate::packets_for_payload(header.msg_len as usize) {
+            return Streamed::Rejected;
+        }
+        let chunk = rd;
+        if chunk.len() != expected_chunk_len(&header) {
+            return Streamed::Rejected;
+        }
+
+        if header.count == 1 {
+            let Some(mut writer) = open(&header) else {
+                return Streamed::Rejected;
+            };
+            writer.write_at(0, &chunk);
+            self.completed += 1;
+            return Streamed::Complete(writer);
+        }
+
+        let key = (source, header.msg_id);
+        // Hot path — a later fragment of an in-flight message: one map
+        // probe, chunk streamed, done.
+        if let Some(partial) = self.partials.get_mut(&key) {
+            if partial.count != header.count || partial.msg_len != header.msg_len {
+                // Inconsistent with earlier fragments of the same id:
+                // drop the whole partial, it cannot complete correctly.
+                // This releases a live reservation, so it counts as an
+                // eviction — the gauge must see every dropped partial.
+                self.partials.remove(&key);
+                self.evicted += 1;
+                return Streamed::Rejected;
+            }
+            partial.last_touch = self.clock;
+            partial.last_round = self.round;
+            let (word, bit) = (header.index as usize / 64, header.index as usize % 64);
+            if partial.seen[word] & (1 << bit) != 0 {
+                return Streamed::Duplicate;
+            }
+            partial.seen[word] |= 1 << bit;
+            partial.received += 1;
+            partial
+                .writer
+                .write_at(header.index as usize * MAX_FRAG_CHUNK, &chunk);
+            // `chunk` (the only reference into the fragment buffer)
+            // drops here: RX-pool occupancy never accumulates across
+            // fragments.
+            if partial.received == partial.count {
+                let partial = self.partials.remove(&key).expect("present");
+                self.completed += 1;
+                return Streamed::Complete(partial.writer);
+            }
+            return Streamed::Incomplete;
+        }
+
+        // First-seen fragment. Open the writer *before* making room: a
+        // fragment that ends up rejected must never cost a live partial
+        // its slot (and its resources) — that would let garbage
+        // datagrams evict legitimate in-flight reassemblies for free.
+        let Some(mut writer) = open(&header) else {
+            return Streamed::Rejected;
+        };
+        writer.write_at(header.index as usize * MAX_FRAG_CHUNK, &chunk);
+        drop(chunk);
+        if self.partials.len() >= self.max_partial {
+            self.evict_stalest();
+        }
+        let words = (header.count as usize).div_ceil(64);
+        let mut seen = vec![0u64; words].into_boxed_slice();
+        seen[header.index as usize / 64] |= 1 << (header.index as usize % 64);
+        self.partials.insert(
+            key,
+            StreamingPartial {
+                writer,
+                seen,
+                received: 1,
+                count: header.count,
+                msg_len: header.msg_len,
+                last_touch: self.clock,
+                last_round: self.round,
+            },
+        );
+        Streamed::Incomplete
+    }
+
+    /// Number of in-flight partial messages.
+    pub fn pending(&self) -> usize {
+        self.partials.len()
+    }
+
+    /// Closes the current reassembly round and evicts every partial
+    /// whose latest fragment arrived two or more completed rounds ago
+    /// (i.e. it survived at least one full round untouched — a lost
+    /// fragment, since in-order delivery completes messages within a
+    /// round at any realistic round length). Returns how many were
+    /// evicted; their writers are dropped, which releases whatever
+    /// resources (mempool reservations) they held.
+    pub fn advance_round(&mut self) -> usize {
+        self.round += 1;
+        let round = self.round;
+        let before = self.partials.len();
+        self.partials.retain(|_, p| round - p.last_round < 2);
+        let evicted = before - self.partials.len();
+        self.evicted += evicted as u64;
+        evicted
+    }
+
+    fn evict_stalest(&mut self) {
+        if let Some(key) = self
+            .partials
+            .iter()
+            .min_by_key(|(_, p)| p.last_touch)
+            .map(|(k, _)| *k)
+        {
+            self.partials.remove(&key);
+            self.evicted += 1;
+        }
     }
 }
 
@@ -450,6 +688,261 @@ mod tests {
         .encode(&mut buf);
         buf.put_slice(&msg[MAX_FRAG_CHUNK..2 * MAX_FRAG_CHUNK]);
         assert_eq!(r.push(0, buf.freeze()), Reassembly::Rejected);
+    }
+
+    /// A test sink recording bytes at their offsets plus open/geometry
+    /// facts, standing in for a mempool reservation.
+    #[derive(Debug)]
+    struct VecSink {
+        buf: Vec<u8>,
+        written: usize,
+    }
+
+    impl VecSink {
+        fn open(h: &FragHeader) -> Option<VecSink> {
+            Some(VecSink {
+                buf: vec![0; h.msg_len as usize],
+                written: 0,
+            })
+        }
+    }
+
+    impl FragmentWriter for VecSink {
+        fn write_at(&mut self, offset: usize, chunk: &[u8]) {
+            self.buf[offset..offset + chunk.len()].copy_from_slice(chunk);
+            self.written += chunk.len();
+        }
+    }
+
+    #[test]
+    fn streaming_single_fragment_completes_immediately() {
+        let msg = message(300);
+        let frags = fragment_with_id(1, &msg);
+        let mut r = StreamingReassembler::new(8);
+        match r.push(0, frags[0].clone(), VecSink::open) {
+            Streamed::Complete(w) => {
+                assert_eq!(&w.buf[..], &msg[..]);
+                assert_eq!(w.written, 300);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(r.pending(), 0);
+        assert_eq!(r.completed, 1);
+    }
+
+    #[test]
+    fn streaming_reassembles_out_of_order_and_releases_fragments() {
+        let msg = message(MAX_FRAG_CHUNK * 3 + 99);
+        let mut frags = fragment_with_id(7, &msg);
+        frags.reverse();
+        let mut r = StreamingReassembler::new(8);
+        let mut opened = 0;
+        for (i, f) in frags.iter().enumerate() {
+            let open = |h: &FragHeader| {
+                opened += 1;
+                VecSink::open(h)
+            };
+            match r.push(5, f.clone(), open) {
+                Streamed::Complete(w) => {
+                    assert_eq!(i, frags.len() - 1);
+                    assert_eq!(&w.buf[..], &msg[..]);
+                    assert_eq!(w.written, msg.len(), "each byte streamed once");
+                }
+                Streamed::Incomplete => assert!(i < frags.len() - 1),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(opened, 1, "the writer is opened on the first-seen fragment");
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn streaming_duplicates_do_not_rewrite() {
+        let msg = message(MAX_FRAG_CHUNK * 2);
+        let frags = fragment_with_id(3, &msg);
+        let mut r = StreamingReassembler::new(8);
+        assert!(matches!(
+            r.push(0, frags[0].clone(), VecSink::open),
+            Streamed::Incomplete
+        ));
+        assert!(matches!(
+            r.push(0, frags[0].clone(), VecSink::open),
+            Streamed::Duplicate
+        ));
+        match r.push(0, frags[1].clone(), VecSink::open) {
+            Streamed::Complete(w) => {
+                assert_eq!(w.written, msg.len(), "duplicate chunk not re-copied")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn streaming_rejects_malformed_and_failed_open() {
+        let mut r = StreamingReassembler::<VecSink>::new(8);
+        assert!(matches!(
+            r.push(0, Bytes::from_static(&[1, 2, 3]), VecSink::open),
+            Streamed::Rejected
+        ));
+        let frags = fragment_with_id(4, &message(MAX_FRAG_CHUNK * 2));
+        assert!(matches!(
+            r.push(0, frags[0].clone(), |_| None),
+            Streamed::Rejected
+        ));
+        assert_eq!(r.pending(), 0, "a rejected open leaves no partial");
+    }
+
+    #[test]
+    fn forged_count_msg_len_mismatch_is_rejected_not_written() {
+        // count=2 with msg_len=100: a full-size first chunk would land
+        // 1456 bytes in a writer sized for 100 — the reassembler must
+        // reject the header before the writer ever sees a byte.
+        let mut buf = BytesMut::new();
+        FragHeader {
+            msg_id: 9,
+            index: 0,
+            count: 2,
+            msg_len: 100,
+        }
+        .encode(&mut buf);
+        buf.put_slice(&[0u8; MAX_FRAG_CHUNK]);
+        let forged = buf.freeze();
+
+        let mut streaming = StreamingReassembler::<VecSink>::new(8);
+        let mut opened = false;
+        let result = streaming.push(0, forged.clone(), |h| {
+            opened = true;
+            VecSink::open(h)
+        });
+        assert!(matches!(result, Streamed::Rejected));
+        assert!(!opened, "no writer may be opened for a forged header");
+        assert_eq!(streaming.pending(), 0);
+
+        // The buffering reassembler rejects the same forgery.
+        let mut buffering = Reassembler::new(8);
+        assert_eq!(buffering.push(0, forged), Reassembly::Rejected);
+    }
+
+    #[test]
+    fn rejected_fragment_never_evicts_a_live_partial() {
+        let m = message(MAX_FRAG_CHUNK * 2);
+        let mut r = StreamingReassembler::new(1);
+        let frags = fragment_with_id(1, &m);
+        assert!(matches!(
+            r.push(0, frags[0].clone(), VecSink::open),
+            Streamed::Incomplete
+        ));
+        // At capacity, a fragment whose open() fails must not make room
+        // for a partial that is never inserted.
+        let other = fragment_with_id(2, &m);
+        assert!(matches!(
+            r.push(0, other[0].clone(), |_| None),
+            Streamed::Rejected
+        ));
+        assert_eq!(r.pending(), 1);
+        assert_eq!(r.evicted, 0, "the live partial survives");
+        assert!(matches!(
+            r.push(0, frags[1].clone(), VecSink::open),
+            Streamed::Complete(_)
+        ));
+    }
+
+    #[test]
+    fn streaming_geometry_mismatch_drops_partial() {
+        let msg = message(MAX_FRAG_CHUNK * 3);
+        let frags = fragment_with_id(5, &msg);
+        let mut r = StreamingReassembler::new(8);
+        assert!(matches!(
+            r.push(0, frags[0].clone(), VecSink::open),
+            Streamed::Incomplete
+        ));
+        let mut buf = BytesMut::new();
+        FragHeader {
+            msg_id: 5,
+            index: 1,
+            count: 2,
+            msg_len: (MAX_FRAG_CHUNK * 2) as u32,
+        }
+        .encode(&mut buf);
+        buf.put_slice(&msg[MAX_FRAG_CHUNK..2 * MAX_FRAG_CHUNK]);
+        assert!(matches!(
+            r.push(0, buf.freeze(), VecSink::open),
+            Streamed::Rejected
+        ));
+        assert_eq!(r.pending(), 0);
+        assert_eq!(
+            r.evicted, 1,
+            "dropping a live partial (and its resources) is an eviction"
+        );
+    }
+
+    #[test]
+    fn streaming_capacity_bound_evicts_stalest() {
+        let m = message(MAX_FRAG_CHUNK * 2);
+        let mut r = StreamingReassembler::new(2);
+        for src in 0..3u64 {
+            let frags = fragment_with_id(src, &m);
+            assert!(matches!(
+                r.push(src, frags[0].clone(), VecSink::open),
+                Streamed::Incomplete
+            ));
+        }
+        assert_eq!(r.pending(), 2);
+        assert_eq!(r.evicted, 1);
+    }
+
+    #[test]
+    fn streaming_round_eviction_drops_only_stale_partials() {
+        let m = message(MAX_FRAG_CHUNK * 2);
+        let mut r = StreamingReassembler::new(8);
+        let frags = fragment_with_id(1, &m);
+        assert!(matches!(
+            r.push(0, frags[0].clone(), VecSink::open),
+            Streamed::Incomplete
+        ));
+        // One completed round: the partial is stale-but-grace-period.
+        assert_eq!(r.advance_round(), 0);
+        assert_eq!(r.pending(), 1);
+        // A *fresh* partial in the new round must survive the next
+        // boundary, while the old one is evicted.
+        let fresh = fragment_with_id(2, &m);
+        assert!(matches!(
+            r.push(0, fresh[0].clone(), VecSink::open),
+            Streamed::Incomplete
+        ));
+        assert_eq!(r.advance_round(), 1, "the round-0 partial is evicted");
+        assert_eq!(r.pending(), 1);
+        assert_eq!(r.evicted, 1);
+        // The evicted message can no longer complete; the fresh one can.
+        assert!(matches!(
+            r.push(0, fresh[1].clone(), VecSink::open),
+            Streamed::Complete(_)
+        ));
+        match r.push(0, frags[1].clone(), VecSink::open) {
+            Streamed::Incomplete => {} // re-opened as a new partial
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn streaming_touch_refreshes_round() {
+        // A message receiving fragments every round is never evicted no
+        // matter how long it takes.
+        let m = message(MAX_FRAG_CHUNK * 4);
+        let frags = fragment_with_id(9, &m);
+        let mut r = StreamingReassembler::new(8);
+        for f in frags.iter().take(3) {
+            assert!(matches!(
+                r.push(0, f.clone(), VecSink::open),
+                Streamed::Incomplete
+            ));
+            assert_eq!(r.advance_round(), 0);
+        }
+        assert!(matches!(
+            r.push(0, frags[3].clone(), VecSink::open),
+            Streamed::Complete(_)
+        ));
+        assert_eq!(r.evicted, 0);
     }
 
     #[test]

@@ -41,7 +41,9 @@ pub mod packet;
 pub mod txframe;
 pub mod udp;
 
-pub use frag::{FragHeader, Fragmenter, Reassembler};
+pub use frag::{
+    FragHeader, FragmentWriter, Fragmenter, Reassembler, Streamed, StreamingReassembler,
+};
 pub use frame::{EtherType, EthernetHeader, MacAddr};
 pub use ip::Ipv4Header;
 pub use message::{Message, OpKind, ReplyStatus};

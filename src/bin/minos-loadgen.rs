@@ -30,7 +30,8 @@
 //! ```text
 //! minos-loadgen --target 127.0.0.1:9000 --queues 4 \
 //!               [--clients N] [--rate OPS] [--duration SECS]
-//!               [--profile default|write] [--keys N] [--large-keys N]
+//!               [--profile default|write] [--p-large FRAC]
+//!               [--keys N] [--large-keys N]
 //!               [--seed S] [--no-preload] [--retry-timeout-ms MS]
 //!               [--max-retries N] [--pin BASECPU] [--sockbuf BYTES]
 //!               [--batch N] [--json]
@@ -39,7 +40,9 @@
 use minos::core::client::{Client, ClientTotals, RetryPolicy};
 use minos::net::{endpoint_for, Transport, TransportStats, UdpConfig, UdpIoStats, UdpTransport};
 use minos::stats::{LatencyHistogram, Quantiles};
-use minos::workload::{AccessGenerator, Dataset, OpSpec, OpenLoop, Profile, Rng, DEFAULT_PROFILE};
+use minos::workload::{
+    AccessGenerator, Dataset, OpSpec, OpenLoop, Operation, Profile, Rng, DEFAULT_PROFILE,
+};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -64,17 +67,7 @@ struct Args {
     json: bool,
 }
 
-/// Routes human-readable output: stdout normally, stderr under
-/// `--json` (which reserves stdout for the machine-readable report).
-macro_rules! human {
-    ($args:expr, $($fmt:tt)*) => {
-        if $args.json {
-            eprintln!($($fmt)*);
-        } else {
-            println!($($fmt)*);
-        }
-    };
-}
+use minos::human;
 
 const USAGE: &str = "minos-loadgen: open-loop UDP load generator for minos-server
 
@@ -91,6 +84,9 @@ OPTIONS:
     --duration SECS        measured run length (default 10)
     --profile NAME         'default' (95:5 GET:PUT, p_L=0.125%) or 'write'
                            (50:50; the paper's write-intensive mix)
+    --p-large FRAC         override the profile's large-request fraction
+                           p_L (0..1), e.g. 0.02 for a fragmented-PUT
+                           heavy run
     --keys N               dataset size in keys (default 100000)
     --large-keys N         number of large keys (default 100)
     --seed S               RNG seed (default 42)
@@ -131,6 +127,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut retry_timeout_ms = 0u64;
     let mut max_retries = 8u32;
+    let mut p_large_override: Option<f64> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
@@ -171,6 +168,13 @@ fn parse_args() -> Result<Args, String> {
                     "write" => minos::workload::profiles::WRITE_INTENSIVE_PROFILE,
                     other => return Err(format!("unknown profile: {other}")),
                 }
+            }
+            "--p-large" => {
+                p_large_override = Some(
+                    value("--p-large")?
+                        .parse()
+                        .map_err(|e| format!("--p-large: {e}"))?,
+                )
             }
             "--keys" => {
                 args.keys = value("--keys")?
@@ -234,6 +238,12 @@ fn parse_args() -> Result<Args, String> {
     if args.rate <= 0.0 {
         return Err("--rate must be positive".into());
     }
+    if let Some(p) = p_large_override {
+        if !(0.0..=1.0).contains(&p) {
+            return Err("--p-large must be in [0, 1]".into());
+        }
+        args.profile.p_large = p;
+    }
     if retry_timeout_ms > 0 {
         args.retry = Some(RetryPolicy {
             timeout: Duration::from_millis(retry_timeout_ms),
@@ -291,6 +301,11 @@ struct ClientReport {
     flushes: u64,
     /// Largest number of requests coalesced into one burst.
     coalesced_max: u64,
+    /// PUT requests sent.
+    puts_sent: u64,
+    /// Value bytes carried by those PUTs — what a one-copy server
+    /// ingest must report as its `put_copied_bytes`, byte for byte.
+    put_value_bytes: u64,
 }
 
 /// One client thread's measured run: open-loop injection at
@@ -333,6 +348,8 @@ fn run_client(args: &Args, client_idx: u16) -> ClientReport {
     let mut behind_max = Duration::ZERO;
     let mut flushes = 0u64;
     let mut coalesced_max = 0u64;
+    let mut puts_sent = 0u64;
+    let mut put_value_bytes = 0u64;
     let coalesce_cap = args.batch.max(1);
     let mut due: Vec<OpSpec> = Vec::with_capacity(coalesce_cap);
     while start.elapsed() < args.duration {
@@ -349,6 +366,12 @@ fn run_client(args: &Args, client_idx: u16) -> ClientReport {
         if !due.is_empty() {
             client.send_batch(&due);
             sent += due.len() as u64;
+            for spec in &due {
+                if spec.op == Operation::Put {
+                    puts_sent += 1;
+                    put_value_bytes += spec.item_size;
+                }
+            }
             flushes += 1;
             coalesced_max = coalesced_max.max(due.len() as u64);
         }
@@ -368,6 +391,8 @@ fn run_client(args: &Args, client_idx: u16) -> ClientReport {
         drained,
         flushes,
         coalesced_max,
+        puts_sent,
+        put_value_bytes,
     }
 }
 
@@ -501,6 +526,8 @@ fn main() {
     let mut pool_misses = 0u64;
     let mut pool_outstanding = 0u64;
     let mut tx_copied_bytes = 0u64;
+    let mut puts_sent = 0u64;
+    let mut put_value_bytes = 0u64;
     for r in &reports {
         latency.merge(&r.latency);
         latency_large.merge(&r.latency_large);
@@ -524,6 +551,8 @@ fn main() {
         pool_misses += r.io.pool_misses;
         pool_outstanding += r.io.pool_outstanding;
         tx_copied_bytes += r.io.tx_copied_bytes;
+        puts_sent += r.puts_sent;
+        put_value_bytes += r.put_value_bytes;
     }
     let zero_loss = all_drained && outstanding == 0;
     let pool_hit_rate = minos::net::pool::hit_rate(pool_hits, pool_misses);
@@ -607,6 +636,10 @@ fn main() {
     );
     human!(
         args,
+        "puts:             {puts_sent} sent carrying {put_value_bytes} value bytes (a one-copy server ingest reports put_copied_bytes == this)",
+    );
+    human!(
+        args,
         "zero-copy tx:     {tx_copied_bytes} value bytes copied on the send path{}",
         if tx_copied_bytes == 0 {
             " (scatter-gather end to end)"
@@ -656,6 +689,8 @@ fn main() {
                     pool_misses,
                     pool_outstanding,
                     tx_copied_bytes,
+                    puts_sent,
+                    put_value_bytes,
                     zero_loss,
                     latency: latency.quantiles(),
                     latency_large: latency_large.quantiles(),
@@ -689,6 +724,8 @@ struct JsonTotals {
     pool_misses: u64,
     pool_outstanding: u64,
     tx_copied_bytes: u64,
+    puts_sent: u64,
+    put_value_bytes: u64,
     zero_loss: bool,
     latency: Option<Quantiles>,
     latency_large: Option<Quantiles>,
@@ -739,6 +776,8 @@ fn json_report(args: &Args, reports: &[ClientReport], t: JsonTotals) -> String {
             "\"errors\":{errors},",
             "\"retransmits\":{retransmits},",
             "\"outstanding\":{outstanding},",
+            "\"puts_sent\":{puts_sent},",
+            "\"put_value_bytes\":{put_value_bytes},",
             "\"zero_loss\":{zero_loss},",
             "\"latency_us\":{latency},",
             "\"latency_large_us\":{latency_large},",
@@ -778,6 +817,8 @@ fn json_report(args: &Args, reports: &[ClientReport], t: JsonTotals) -> String {
         errors = t.errors,
         retransmits = t.retransmits,
         outstanding = t.outstanding,
+        puts_sent = t.puts_sent,
+        put_value_bytes = t.put_value_bytes,
         zero_loss = t.zero_loss,
         latency = json_quantiles(t.latency),
         latency_large = json_quantiles(t.latency_large),

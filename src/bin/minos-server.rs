@@ -9,12 +9,18 @@
 //! minos-server [--cores N] [--bind IP] [--port BASE] [--items N]
 //!              [--mem BYTES] [--threshold dynamic|BYTES]
 //!              [--duration SECS] [--batch N] [--sockbuf BYTES]
-//!              [--pin BASECPU]
+//!              [--pin BASECPU] [--json]
 //! ```
 //!
 //! Runs until Ctrl-C (or `--duration`), then shuts down gracefully:
 //! stops accepting nothing new is needed — UDP has no connections — and
 //! drains in-flight handoffs before joining the core threads.
+//!
+//! `--json` prints a machine-readable exit report to stdout (all human
+//! chatter moves to stderr) with the server-side gauges the CI perf
+//! gate asserts: `put_copied_bytes` (the one-copy ingest invariant),
+//! `reassembly_evictions`, RX buffer-pool hit/miss/outstanding and
+//! `tx_copied_bytes`.
 
 use minos::core::config::ThresholdMode;
 use minos::core::server::{MinosServer, ServerConfig};
@@ -35,7 +41,10 @@ struct Args {
     batch: usize,
     sockbuf: usize,
     pin_base: Option<usize>,
+    json: bool,
 }
+
+use minos::human;
 
 const USAGE: &str = "minos-server: size-aware sharded KV store over real UDP
 
@@ -56,6 +65,8 @@ OPTIONS:
     --sockbuf BYTES    socket send/receive buffer per queue (default 4 MiB)
     --pin BASECPU      pin core q's polling thread to cpu BASECPU+q
                        (sched_setaffinity; best-effort)
+    --json             print a machine-readable JSON exit report to
+                       stdout (human output moves to stderr)
     -h, --help         this help
 ";
 
@@ -71,6 +82,7 @@ fn parse_args() -> Result<Args, String> {
         batch: minos::net::DEFAULT_SYSCALL_BATCH,
         sockbuf: 4 << 20,
         pin_base: None,
+        json: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -127,6 +139,7 @@ fn parse_args() -> Result<Args, String> {
             "--pin" => {
                 args.pin_base = Some(value("--pin")?.parse().map_err(|e| format!("--pin: {e}"))?)
             }
+            "--json" => args.json = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -209,7 +222,8 @@ fn main() {
         .pin_base
         .map(|base| (base..base + args.cores).collect());
 
-    println!(
+    human!(
+        args,
         "minos-server: {} cores on {}:{}..{} (threshold {:?}, {} item slots, syscall batch {}{})",
         args.cores,
         args.bind,
@@ -223,7 +237,7 @@ fn main() {
             None => String::new(),
         },
     );
-    println!("press Ctrl-C to drain and exit");
+    human!(args, "press Ctrl-C to drain and exit");
 
     signal::install();
     let mut server = MinosServer::start_with_transport(config, Arc::clone(&transport));
@@ -233,12 +247,15 @@ fn main() {
     let mut last_stats = transport.stats();
     loop {
         if signal::INTERRUPTED.load(Ordering::SeqCst) {
-            println!("\nminos-server: interrupt — draining in-flight requests");
+            human!(
+                args,
+                "\nminos-server: interrupt — draining in-flight requests"
+            );
             break;
         }
         if let Some(d) = args.duration {
             if started.elapsed() >= d {
-                println!("minos-server: duration elapsed — draining");
+                human!(args, "minos-server: duration elapsed — draining");
                 break;
             }
         }
@@ -246,7 +263,8 @@ fn main() {
         if last_report.elapsed() >= Duration::from_secs(5) {
             let s = transport.stats();
             let secs = last_report.elapsed().as_secs_f64();
-            println!(
+            human!(
+                args,
                 "rx {:.0}/s tx {:.0}/s (totals: rx {} tx {} dropped {}; epochs {})",
                 (s.rx_packets - last_stats.rx_packets) as f64 / secs,
                 (s.tx_packets - last_stats.tx_packets) as f64 / secs,
@@ -266,15 +284,19 @@ fn main() {
     server.shutdown();
     let s = transport.stats();
     let io = transport.io_stats();
-    println!(
+    let counters = server.counters();
+    let store_stats = server.store().stats();
+    human!(
+        args,
         "minos-server: {} — rx {} packets, tx {} packets, {} tx drops, {} epochs",
         if drained { "drained" } else { "drain timeout" },
         s.rx_packets,
         s.tx_packets,
         s.tx_dropped,
-        server.counters().epochs,
+        counters.epochs,
     );
-    println!(
+    human!(
+        args,
         "syscall batching: {} — {} rx syscalls for {} packets, {} tx syscalls for {} packets",
         if io.batched {
             "recvmmsg/sendmmsg"
@@ -286,14 +308,16 @@ fn main() {
         io.tx_syscalls,
         io.tx_packets,
     );
-    println!(
+    human!(
+        args,
         "rx buffer pool: {} hits / {} misses ({:.2}% hit rate), {} outstanding",
         io.pool_hits,
         io.pool_misses,
         io.pool_hit_rate() * 100.0,
         io.pool_outstanding,
     );
-    println!(
+    human!(
+        args,
         "zero-copy tx: {} value bytes copied on the reply path{}",
         io.tx_copied_bytes,
         if io.tx_copied_bytes == 0 {
@@ -302,4 +326,66 @@ fn main() {
             " — gather fallback engaged"
         },
     );
+    human!(
+        args,
+        "one-copy ingest: {} value bytes copied wire -> mempool over {} puts; {} stale partial reassemblies evicted",
+        counters.put_copied_bytes,
+        store_stats.puts,
+        counters.reassembly_evictions,
+    );
+
+    if args.json {
+        // Hand-rolled like minos-loadgen's report: the offline build
+        // vendors no serde, and every field is a number or bool.
+        println!(
+            concat!(
+                "{{",
+                "\"drained\":{drained},",
+                "\"epochs\":{epochs},",
+                "\"soft_queue_drops\":{soft_drops},",
+                "\"malformed\":{malformed},",
+                "\"transport\":{{",
+                "\"batched\":{batched},",
+                "\"rx_packets\":{rx_packets},",
+                "\"tx_packets\":{tx_packets},",
+                "\"tx_dropped\":{tx_dropped},",
+                "\"rx_syscalls\":{rx_syscalls},",
+                "\"tx_syscalls\":{tx_syscalls},",
+                "\"tx_copied_bytes\":{tx_copied_bytes}",
+                "}},",
+                "\"pool\":{{",
+                "\"hits\":{pool_hits},",
+                "\"misses\":{pool_misses},",
+                "\"outstanding\":{pool_outstanding},",
+                "\"hit_rate\":{pool_hit_rate:.6}",
+                "}},",
+                "\"ingest\":{{",
+                "\"puts\":{puts},",
+                "\"put_failures\":{put_failures},",
+                "\"put_copied_bytes\":{put_copied_bytes},",
+                "\"reassembly_evictions\":{reassembly_evictions}",
+                "}}",
+                "}}"
+            ),
+            drained = drained,
+            epochs = counters.epochs,
+            soft_drops = counters.soft_queue_drops,
+            malformed = counters.malformed,
+            batched = io.batched,
+            rx_packets = s.rx_packets,
+            tx_packets = s.tx_packets,
+            tx_dropped = s.tx_dropped,
+            rx_syscalls = io.rx_syscalls,
+            tx_syscalls = io.tx_syscalls,
+            tx_copied_bytes = io.tx_copied_bytes,
+            pool_hits = io.pool_hits,
+            pool_misses = io.pool_misses,
+            pool_outstanding = io.pool_outstanding,
+            pool_hit_rate = io.pool_hit_rate(),
+            puts = store_stats.puts,
+            put_failures = store_stats.put_failures,
+            put_copied_bytes = counters.put_copied_bytes,
+            reassembly_evictions = counters.reassembly_evictions,
+        );
+    }
 }

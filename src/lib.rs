@@ -62,3 +62,18 @@ pub use minos_sim as sim;
 pub use minos_stats as stats;
 pub use minos_wire as wire;
 pub use minos_workload as workload;
+
+/// Routes human-readable binary output: stdout normally, stderr when
+/// the passed args value has `json == true` (JSON mode reserves stdout
+/// for the machine-readable report). Shared by `minos-server` and
+/// `minos-loadgen` so their `--json` contracts cannot drift.
+#[macro_export]
+macro_rules! human {
+    ($args:expr, $($fmt:tt)*) => {
+        if $args.json {
+            eprintln!($($fmt)*);
+        } else {
+            println!($($fmt)*);
+        }
+    };
+}
