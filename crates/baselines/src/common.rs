@@ -147,7 +147,11 @@ impl BaseShared {
         let reply_to = Self::endpoint_of(&pkt);
         match reassembler.push(pkt.source_endpoint(), pkt.payload) {
             Reassembly::Complete(bytes) => match Message::decode(bytes) {
-                Some(msg) => Some(ServerRequest { msg, reply_to }),
+                Some(msg) => Some(ServerRequest {
+                    msg,
+                    reply_to,
+                    arrival_ns: 0,
+                }),
                 None => {
                     self.malformed.fetch_add(1, Ordering::Relaxed);
                     None
@@ -183,7 +187,11 @@ impl BaseShared {
         if fh.count == 1 {
             // Complete in one packet: no shared state touched.
             return match Message::decode(rd) {
-                Some(msg) => Some(ServerRequest { msg, reply_to }),
+                Some(msg) => Some(ServerRequest {
+                    msg,
+                    reply_to,
+                    arrival_ns: 0,
+                }),
                 None => {
                     self.malformed.fetch_add(1, Ordering::Relaxed);
                     None
@@ -192,7 +200,11 @@ impl BaseShared {
         }
         match reassembler.lock().push(pkt.source_endpoint(), pkt.payload) {
             Reassembly::Complete(bytes) => match Message::decode(bytes) {
-                Some(msg) => Some(ServerRequest { msg, reply_to }),
+                Some(msg) => Some(ServerRequest {
+                    msg,
+                    reply_to,
+                    arrival_ns: 0,
+                }),
                 None => {
                     self.malformed.fetch_add(1, Ordering::Relaxed);
                     None

@@ -18,7 +18,7 @@ use crate::engine::KvEngine;
 use bytes::Bytes;
 use minos_net::{Transport, VirtualClientTransport};
 use minos_stats::LatencyHistogram;
-use minos_wire::frag::{Fragmenter, Reassembler, Reassembly};
+use minos_wire::frag::{FragHeader, FragmentWriter, Fragmenter, Streamed, StreamingReassembler};
 use minos_wire::message::{Body, Message, OpKind, ReplyStatus};
 use minos_wire::packet::{synthesize_frame, Endpoint, TxPacket};
 use minos_wire::TxFrame;
@@ -95,6 +95,33 @@ impl ClientTotals {
     }
 }
 
+/// Default reassembly-round length for the client's stale-partial
+/// eviction clock: one second dwarfs any realistic reply spread, so
+/// only partials that actually lost a fragment are ever dropped.
+pub const CLIENT_REASSEMBLY_ROUND_NS: u64 = 1_000_000_000;
+
+/// Reassembly sink for multi-fragment GET replies: a plain contiguous
+/// buffer sized from the first-seen fragment header. Single-fragment
+/// replies never construct one (their payload decodes in place), so the
+/// allocation only happens where a reassembly buffer existed anyway.
+struct ReplyBuffer {
+    buf: Vec<u8>,
+}
+
+impl ReplyBuffer {
+    fn open(h: &FragHeader) -> Option<ReplyBuffer> {
+        Some(ReplyBuffer {
+            buf: vec![0; h.msg_len as usize],
+        })
+    }
+}
+
+impl FragmentWriter for ReplyBuffer {
+    fn write_at(&mut self, offset: usize, chunk: &[u8]) {
+        self.buf[offset..offset + chunk.len()].copy_from_slice(chunk);
+    }
+}
+
 /// A synchronous client bound to one server over some transport.
 pub struct Client {
     transport: Arc<dyn Transport>,
@@ -109,7 +136,16 @@ pub struct Client {
     /// the corresponding RX queues", §5.2).
     target_queues: std::ops::Range<u16>,
     fragmenter: Fragmenter,
-    reassembler: Reassembler,
+    /// Streams multi-fragment reply chunks straight into their final
+    /// contiguous buffer; stale partials (a lost reply fragment) are
+    /// evicted by the round clock below instead of lingering until the
+    /// capacity bound forces them out.
+    reassembler: StreamingReassembler<ReplyBuffer>,
+    /// Length of one reassembly round; a partial untouched for two
+    /// completed rounds is evicted.
+    reassembly_round_ns: u64,
+    /// When the current reassembly round closes.
+    next_round_ns: u64,
     rng: Rng,
     clock: Instant,
     next_request_id: u64,
@@ -166,7 +202,9 @@ impl Client {
             server_queues,
             target_queues: 0..server_queues,
             fragmenter: Fragmenter::new(u64::from(client_id) << 32),
-            reassembler: Reassembler::new(1024),
+            reassembler: StreamingReassembler::new(1024),
+            reassembly_round_ns: CLIENT_REASSEMBLY_ROUND_NS,
+            next_round_ns: CLIENT_REASSEMBLY_ROUND_NS,
             rng: Rng::new(seed),
             clock: Instant::now(),
             next_request_id: 1,
@@ -185,6 +223,16 @@ impl Client {
         assert!(!queues.is_empty());
         assert!(queues.end <= self.server_queues);
         self.target_queues = queues;
+        self
+    }
+
+    /// Overrides the reassembly-round length (stale-partial eviction
+    /// cadence; see [`CLIENT_REASSEMBLY_ROUND_NS`]). Tests use short
+    /// rounds to observe evictions quickly.
+    pub fn with_reassembly_round(mut self, round: Duration) -> Self {
+        assert!(!round.is_zero());
+        self.reassembly_round_ns = round.as_nanos() as u64;
+        self.next_round_ns = self.now_ns() + self.reassembly_round_ns;
         self
     }
 
@@ -407,9 +455,30 @@ impl Client {
                 continue;
             }
             let src = pkt.source_endpoint();
-            match self.reassembler.push(src, pkt.payload) {
-                Reassembly::Complete(bytes) => {
-                    if let Some(msg) = Message::decode(bytes) {
+            // Single-fragment replies (the overwhelming majority)
+            // decode straight from the datagram payload — no reassembly
+            // state, no buffer allocation, no extra copy.
+            let mut rd = pkt.payload.clone();
+            match FragHeader::decode(&mut rd) {
+                None => {
+                    self.totals.unmatched += 1;
+                    continue;
+                }
+                Some(fh) if fh.count == 1 => {
+                    if let Some(msg) = Message::decode(rd) {
+                        if let Some(c) = self.complete(msg) {
+                            out.push(c);
+                        }
+                    } else {
+                        self.totals.unmatched += 1;
+                    }
+                    continue;
+                }
+                Some(_) => {}
+            }
+            match self.reassembler.push(src, pkt.payload, ReplyBuffer::open) {
+                Streamed::Complete(w) => {
+                    if let Some(msg) = Message::decode(Bytes::from(w.buf)) {
                         if let Some(c) = self.complete(msg) {
                             out.push(c);
                         }
@@ -417,12 +486,37 @@ impl Client {
                         self.totals.unmatched += 1;
                     }
                 }
-                Reassembly::Incomplete => {}
+                Streamed::Incomplete => {}
                 _ => self.totals.unmatched += 1,
             }
         }
+        self.advance_reassembly_round();
         self.retransmit_due();
         out
+    }
+
+    /// Drives the stale-partial eviction clock: closes the reassembly
+    /// round when it expires, evicting partials untouched for two
+    /// completed rounds — a lost reply fragment no longer strands its
+    /// buffer (and its pending-map entry stays for loss accounting,
+    /// exactly as before). With no partials in flight the round is just
+    /// re-armed, so a fresh partial always gets its full grace period.
+    fn advance_reassembly_round(&mut self) {
+        let now = self.now_ns();
+        if now < self.next_round_ns {
+            return;
+        }
+        self.next_round_ns = now + self.reassembly_round_ns;
+        if self.reassembler.pending() > 0 {
+            self.reassembler.advance_round();
+        }
+    }
+
+    /// Stale reply partials evicted by the round clock (plus capacity
+    /// and geometry-mismatch drops). Non-zero means reply fragments were
+    /// lost on the wire. Reported as `client.reassembly_evictions`.
+    pub fn reassembly_evictions(&self) -> u64 {
+        self.reassembler.evicted
     }
 
     fn complete(&mut self, msg: Message) -> Option<Completion> {

@@ -27,23 +27,28 @@
 //! simulator harnesses) or over real `SO_REUSEPORT` UDP sockets
 //! (`minos_net::UdpTransport`, used by the `minos-server` binary).
 
-use crate::config::{MinosConfig, ThresholdMode};
+use crate::allocation::allocate;
+use crate::config::MinosConfig;
 use crate::dispatch::drain_schedule;
 use crate::engine::KvEngine;
 use crate::ingest::PutIngest;
 use crate::plan::{Destination, ShardingPlan};
+use crate::ranges::LargeRanges;
 use crate::threshold::ThresholdController;
 use crossbeam::queue::ArrayQueue;
 use minos_kv::{PutError, Store, StoreConfig};
 use minos_net::{Transport, VirtualTransport};
 use minos_nic::{NicConfig, VirtualNic};
+use minos_obs::{
+    Collector, CoreClock, CoreTelemetry, Counter, MetricValue, MetricsRegistry, ReqClass,
+};
 use minos_stats::{AtomicSizeHistogram, CoreStats, SharedCoreStats, SizeHistogram};
 use minos_wire::frag::{fragment_frame_with_id, FragHeader, Streamed, StreamingReassembler};
 use minos_wire::message::{Body, Message, ReplyStatus, MSG_HEADER_LEN};
 use minos_wire::packet::{synthesize_frame, Endpoint, Packet, TxPacket};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::Instant;
 
 /// Host id the server's endpoints use in the virtual world (clients
@@ -92,6 +97,10 @@ pub struct ServerRequest {
     pub msg: Message,
     /// Where the reply goes.
     pub reply_to: Endpoint,
+    /// When the packet left the NIC ring (rx-dequeue, nanoseconds on
+    /// the server's shared clock). Queue-wait telemetry measures from
+    /// here; engines without lifecycle telemetry (the baselines) pass 0.
+    pub arrival_ns: u64,
 }
 
 /// Items travelling through a large core's software queue.
@@ -101,7 +110,9 @@ pub enum Handoff {
     Request(ServerRequest),
     /// One fragment of a multi-packet (large PUT) message; the large
     /// core owns reassembly so small cores never buffer large payloads.
-    Fragment(Packet),
+    /// Carries its rx-dequeue timestamp so the executing core can
+    /// attribute the software-queue wait.
+    Fragment(Packet, u64),
 }
 
 /// Counters specific to the Minos engine.
@@ -198,10 +209,17 @@ struct Shared<T: Transport> {
     controller: Mutex<ThresholdController>,
     shutdown: AtomicBool,
     start: Instant,
-    soft_drops: AtomicU64,
-    epochs: AtomicU64,
-    malformed: AtomicU64,
-    reassembly_evictions: AtomicU64,
+    /// The unified metric registry every subsystem reports into; shares
+    /// its zero instant with `start` so hot-path timestamps line up with
+    /// snapshot `elapsed_ms`.
+    registry: Arc<MetricsRegistry>,
+    /// Per-core request-lifecycle histograms (queue wait + service time,
+    /// split small/large — the paper's Fig. 5/6 decomposition).
+    telemetry: Vec<CoreTelemetry>,
+    soft_drops: Counter,
+    epochs: Counter,
+    malformed: Counter,
+    reassembly_evictions: Counter,
     epoch_deadline_ns: AtomicU64,
     /// Per-core reply message-id counters (fragment reassembly keys).
     msg_ids: Vec<AtomicU64>,
@@ -216,6 +234,69 @@ impl<T: Transport> Shared<T> {
 
     fn endpoint(&self, core: usize) -> Endpoint {
         self.transport.local_endpoint(core as u16)
+    }
+}
+
+/// Snapshot-time adapter from the [`Transport`]'s own stats structs to
+/// registry metrics (`transport.*`, and `pool.*` / `nic.*` where the
+/// backend overrides [`Transport::collect_metrics`]).
+struct TransportCollector<T: Transport>(Arc<T>);
+
+impl<T: Transport + 'static> Collector for TransportCollector<T> {
+    fn collect(&self, out: &mut Vec<(String, MetricValue)>) {
+        self.0.collect_metrics(out);
+    }
+}
+
+/// Snapshot-time view of the engine: per-core throughput counters, the
+/// plan in force, software-queue depth and the ingest copy gauge. Holds
+/// a `Weak` so the registry (which callers may outlive the server with)
+/// never keeps the engine alive, and never cycles with [`Shared`]'s own
+/// `registry` field.
+struct EngineCollector<T: Transport>(Weak<Shared<T>>);
+
+impl<T: Transport + 'static> Collector for EngineCollector<T> {
+    fn collect(&self, out: &mut Vec<(String, MetricValue)>) {
+        let Some(shared) = self.0.upgrade() else {
+            return; // server gone: its owned metrics retain final values
+        };
+        for (i, stats) in shared.stats.iter().enumerate() {
+            let c = stats.snapshot();
+            let counter =
+                |leaf: &str, v: u64| (format!("core.{i}.{leaf}"), MetricValue::Counter(v));
+            out.push(counter("ops", c.ops));
+            out.push(counter("get_ops", c.get_ops));
+            out.push(counter("put_ops", c.put_ops));
+            out.push(counter("large_ops", c.large_ops));
+            out.push(counter("handoffs", c.handoffs));
+            out.push(counter("steals", c.steals));
+            out.push(counter("packets_rx", c.packets_rx));
+            out.push(counter("packets_tx", c.packets_tx));
+            out.push(counter("bytes_rx", c.bytes_rx));
+            out.push(counter("bytes_tx", c.bytes_tx));
+        }
+        let plan = shared.plan.read().clone();
+        let gauge = |name: &str, v: f64| (name.to_string(), MetricValue::Gauge(v));
+        out.push((
+            "plan.epoch".to_string(),
+            MetricValue::Counter(plan.epoch_id),
+        ));
+        out.push(gauge(
+            "plan.threshold_bytes",
+            plan.decision.threshold as f64,
+        ));
+        out.push(gauge("plan.n_small", plan.allocation.n_small as f64));
+        out.push(gauge("plan.n_large", plan.allocation.n_large as f64));
+        out.push(gauge(
+            "plan.standby",
+            if plan.allocation.standby { 1.0 } else { 0.0 },
+        ));
+        let depth: usize = shared.soft_queues.iter().map(|q| q.len()).sum();
+        out.push(gauge("dispatch.soft_queue_depth", depth as f64));
+        out.push((
+            "ingest.put_copied_bytes".to_string(),
+            MetricValue::Counter(shared.store.mempool().stats().copied_bytes),
+        ));
     }
 }
 
@@ -261,10 +342,25 @@ impl<T: Transport + 'static> MinosServer<T> {
             config.minos.alpha,
             config.minos.cost_fn,
         );
+        // The initial plan honours the controller's seed decision, so a
+        // `Static(t)` threshold is in force from the first packet (it
+        // used to be overwritten by the bootstrap plan until the first
+        // dynamic epoch — which never came in static mode). In dynamic
+        // mode `current()` *is* the bootstrap decision.
+        let initial = {
+            let decision = controller.current();
+            ShardingPlan {
+                epoch_id: 0,
+                allocation: allocate(n, decision.small_cost_share),
+                ranges: LargeRanges::single(),
+                decision,
+            }
+        };
+        let registry = Arc::new(MetricsRegistry::new());
+        let store = Arc::new(Store::new(config.store.clone()));
         let shared = Arc::new(Shared {
-            transport,
-            store: Arc::new(Store::new(config.store.clone())),
-            plan: RwLock::new(Arc::new(ShardingPlan::bootstrap(n))),
+            store: Arc::clone(&store),
+            plan: RwLock::new(Arc::new(initial)),
             soft_queues: (0..n)
                 .map(|_| ArrayQueue::new(config.minos.soft_queue_capacity))
                 .collect(),
@@ -272,16 +368,29 @@ impl<T: Transport + 'static> MinosServer<T> {
             size_hists: (0..n).map(|_| AtomicSizeHistogram::new()).collect(),
             controller: Mutex::new(controller),
             shutdown: AtomicBool::new(false),
-            start: Instant::now(),
-            soft_drops: AtomicU64::new(0),
-            epochs: AtomicU64::new(0),
-            malformed: AtomicU64::new(0),
-            reassembly_evictions: AtomicU64::new(0),
+            start: registry.start(),
+            telemetry: (0..n)
+                .map(|core| CoreTelemetry::register(&registry, core))
+                .collect(),
+            soft_drops: registry.counter("engine.soft_queue_drops"),
+            epochs: registry.counter("engine.epochs"),
+            malformed: registry.counter("engine.malformed"),
+            reassembly_evictions: registry.counter("ingest.reassembly_evictions"),
             epoch_deadline_ns: AtomicU64::new(config.minos.epoch_ns),
             msg_ids: (0..n).map(|_| AtomicU64::new(0)).collect(),
             flow_pins: FlowPins::new(4096),
             config: config.minos,
+            transport: Arc::clone(&transport),
+            registry: Arc::clone(&registry),
         });
+        // Snapshot-time collectors: the store (store.* / mempool.*), the
+        // transport backend (transport.* / pool.* / nic.*), and the
+        // engine itself (core.* counters, plan.*, dispatch.*, ingest.*).
+        // The engine collector holds a Weak so the registry — which
+        // callers may keep past shutdown — never cycles with Shared.
+        registry.register_collector(Box::new(store));
+        registry.register_collector(Box::new(TransportCollector(transport)));
+        registry.register_collector(Box::new(EngineCollector(Arc::downgrade(&shared))));
         let pin_cpus = config.pin_cpus.filter(|cpus| !cpus.is_empty());
         let threads = (0..n)
             .map(|core| {
@@ -331,12 +440,21 @@ impl<T: Transport + 'static> MinosServer<T> {
     /// Engine-specific counters.
     pub fn counters(&self) -> EngineCounters {
         EngineCounters {
-            soft_queue_drops: self.shared.soft_drops.load(Ordering::Relaxed),
-            epochs: self.shared.epochs.load(Ordering::Relaxed),
-            malformed: self.shared.malformed.load(Ordering::Relaxed),
+            soft_queue_drops: self.shared.soft_drops.get(),
+            epochs: self.shared.epochs.get(),
+            malformed: self.shared.malformed.get(),
             put_copied_bytes: self.shared.store.mempool().stats().copied_bytes,
-            reassembly_evictions: self.shared.reassembly_evictions.load(Ordering::Relaxed),
+            reassembly_evictions: self.shared.reassembly_evictions.get(),
         }
+    }
+
+    /// The unified metric registry: every subsystem's counters, gauges
+    /// and lifecycle histograms, renderable as a [`minos_obs::Snapshot`]
+    /// at any time. The registry outlives the server (collectors held
+    /// weakly go quiet after shutdown; owned metrics keep their final
+    /// values).
+    pub fn registry(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.shared.registry)
     }
 
     /// Forces an epoch update immediately (testing hook: the same code
@@ -416,6 +534,11 @@ impl<T: Transport> Drop for MinosServer<T> {
 }
 
 fn core_loop<T: Transport>(shared: &Shared<T>, core: usize) {
+    // Lifecycle clock, zeroed at the registry's start so queue-wait /
+    // service stamps are directly comparable across cores and with
+    // snapshot `elapsed_ms`. One monotonic read per event, no syscalls
+    // beyond `clock_gettime` (vDSO), no allocation.
+    let clock = CoreClock::starting_at(shared.start);
     let mut rx_buf: Vec<Packet> = Vec::with_capacity(shared.config.batch_size * 2);
     // Streaming large-PUT ingest: fragments are copied straight into
     // their value's reserved mempool block and released; no contiguous
@@ -456,12 +579,14 @@ fn core_loop<T: Transport>(shared: &Shared<T>, core: usize) {
         if reassembler.evicted != reported_evictions {
             shared
                 .reassembly_evictions
-                .fetch_add(reassembler.evicted - reported_evictions, Ordering::Relaxed);
+                .add(reassembler.evicted - reported_evictions);
             reported_evictions = reassembler.evicted;
         }
 
-        // Core 0 drives the epoch control loop.
-        if core == 0 && matches!(shared.config.threshold_mode, ThresholdMode::Dynamic) {
+        // Core 0 drives the epoch control loop — in static mode too:
+        // the threshold stays pinned but the cost share (and with it the
+        // small/large core split) still tracks the observed size mix.
+        if core == 0 {
             let now = shared.now_ns();
             let deadline = shared.epoch_deadline_ns.load(Ordering::Relaxed);
             if now >= deadline
@@ -497,8 +622,20 @@ fn core_loop<T: Transport>(shared: &Shared<T>, core: usize) {
             }
             if total > 0 {
                 did_work = true;
+                // One rx-dequeue stamp per burst: the packets left the
+                // NIC ring together, and per-packet clock reads would
+                // only smear the same instant across a few hundred ns.
+                let arrival_ns = clock.now_ns();
                 for pkt in rx_buf.drain(..) {
-                    process_rx_packet(shared, core, &plan, &mut reassembler, pkt);
+                    process_rx_packet(
+                        shared,
+                        core,
+                        &plan,
+                        &mut reassembler,
+                        clock,
+                        arrival_ns,
+                        pkt,
+                    );
                 }
             }
         }
@@ -511,11 +648,30 @@ fn core_loop<T: Transport>(shared: &Shared<T>, core: usize) {
             match shared.soft_queues[core].pop() {
                 Some(Handoff::Request(req)) => {
                     did_work = true;
+                    let t0 = clock.now_ns();
+                    let wait = t0.saturating_sub(req.arrival_ns);
                     execute_and_reply(shared, core, req);
+                    shared.telemetry[core].record(
+                        ReqClass::Large,
+                        wait,
+                        clock.now_ns().saturating_sub(t0),
+                    );
                 }
-                Some(Handoff::Fragment(pkt)) => {
+                Some(Handoff::Fragment(pkt, arrival_ns)) => {
                     did_work = true;
+                    // Recorded per *fragment*, not per message: each
+                    // fragment is one unit of large-core work, and its
+                    // wait is exactly the software-queue delay the paper
+                    // decomposes. A k-fragment PUT therefore contributes
+                    // k large-class samples.
+                    let t0 = clock.now_ns();
+                    let wait = t0.saturating_sub(arrival_ns);
                     stream_put_fragment(shared, core, &mut reassembler, pkt);
+                    shared.telemetry[core].record(
+                        ReqClass::Large,
+                        wait,
+                        clock.now_ns().saturating_sub(t0),
+                    );
                 }
                 None => break,
             }
@@ -557,7 +713,7 @@ fn run_epoch<T: Transport>(shared: &Shared<T>) {
         shared.config.cost_fn,
     );
     *shared.plan.write() = Arc::new(plan);
-    shared.epochs.store(epoch_id, Ordering::Relaxed);
+    shared.epochs.set(epoch_id);
 }
 
 fn endpoint_of(pkt: &Packet) -> Endpoint {
@@ -585,7 +741,7 @@ fn stream_put_fragment<T: Transport>(
         Streamed::Complete(ingest) => finish_streamed_put(shared, core, ingest, reply_to),
         Streamed::Incomplete | Streamed::Duplicate => {}
         Streamed::Rejected => {
-            shared.malformed.fetch_add(1, Ordering::Relaxed);
+            shared.malformed.inc();
         }
     }
 }
@@ -598,7 +754,7 @@ fn finish_streamed_put<T: Transport>(
     reply_to: Endpoint,
 ) {
     let Some(done) = ingest.commit(&shared.store) else {
-        shared.malformed.fetch_add(1, Ordering::Relaxed);
+        shared.malformed.inc();
         return;
     };
     shared.stats[core].record_put(done.is_large());
@@ -623,17 +779,21 @@ fn send_reply<T: Transport>(shared: &Shared<T>, core: usize, reply_to: Endpoint,
 }
 
 /// Handles one packet drained from an RX queue by a small core.
+/// `arrival_ns` is the rx-dequeue stamp of the burst the packet arrived
+/// in — the zero point of its queue-wait measurement.
 fn process_rx_packet<T: Transport>(
     shared: &Shared<T>,
     core: usize,
     plan: &ShardingPlan,
     reassembler: &mut StreamingReassembler<PutIngest>,
+    clock: CoreClock,
+    arrival_ns: u64,
     pkt: Packet,
 ) {
     shared.stats[core].record_rx(1, pkt.wire_len() as u64);
     let mut rd = pkt.payload.clone();
     let Some(fh) = FragHeader::decode(&mut rd) else {
-        shared.malformed.fetch_add(1, Ordering::Relaxed);
+        shared.malformed.inc();
         return;
     };
 
@@ -662,12 +822,18 @@ fn process_rx_packet<T: Transport>(
                 }
             });
         if target == core {
+            // Large work executing on the RX-draining core itself
+            // (standby mode, or a large-skewed threshold): still
+            // large-class — the class records the execution route.
+            let t0 = clock.now_ns();
+            let wait = t0.saturating_sub(arrival_ns);
             stream_put_fragment(shared, core, reassembler, pkt);
+            shared.telemetry[core].record(ReqClass::Large, wait, clock.now_ns().saturating_sub(t0));
         } else if shared.soft_queues[target]
-            .push(Handoff::Fragment(pkt))
+            .push(Handoff::Fragment(pkt, arrival_ns))
             .is_err()
         {
-            shared.soft_drops.fetch_add(1, Ordering::Relaxed);
+            shared.soft_drops.inc();
         } else {
             shared.stats[core].record_handoff();
         }
@@ -676,21 +842,39 @@ fn process_rx_packet<T: Transport>(
 
     // Single-fragment packet: a complete (small-sized) message.
     let Some(msg) = Message::decode(rd) else {
-        shared.malformed.fetch_add(1, Ordering::Relaxed);
+        shared.malformed.inc();
         return;
     };
     let reply_to = endpoint_of(&pkt);
-    handle_message(shared, core, plan, ServerRequest { msg, reply_to });
+    handle_message(
+        shared,
+        core,
+        plan,
+        clock,
+        ServerRequest {
+            msg,
+            reply_to,
+            arrival_ns,
+        },
+    );
 }
 
 /// Classifies a complete request on a small core and either executes it
-/// or hands it off.
+/// or hands it off. Locally executed work records small-class lifecycle
+/// telemetry (queue wait = service start − rx dequeue); handed-off work
+/// is recorded large-class by the core that executes it.
 fn handle_message<T: Transport>(
     shared: &Shared<T>,
     core: usize,
     plan: &ShardingPlan,
+    clock: CoreClock,
     req: ServerRequest,
 ) {
+    let t0 = clock.now_ns();
+    let wait = t0.saturating_sub(req.arrival_ns);
+    let record_small = |shared: &Shared<T>| {
+        shared.telemetry[core].record(ReqClass::Small, wait, clock.now_ns().saturating_sub(t0));
+    };
     match &req.msg.body {
         Body::Get { key } => {
             // One lookup decides: reply directly if the item is small,
@@ -700,6 +884,7 @@ fn handle_message<T: Transport>(
                     shared.size_hists[core].record(0);
                     shared.stats[core].record_get(false);
                     reply_direct(shared, core, &req, ReplyStatus::NotFound, None);
+                    record_small(shared);
                 }
                 Some(value) => {
                     let size = value.len() as u64;
@@ -708,6 +893,7 @@ fn handle_message<T: Transport>(
                         Destination::Local => {
                             shared.stats[core].record_get(false);
                             reply_direct(shared, core, &req, ReplyStatus::Ok, Some(value));
+                            record_small(shared);
                         }
                         Destination::Handoff(target) => {
                             drop(value);
@@ -715,7 +901,7 @@ fn handle_message<T: Transport>(
                                 .push(Handoff::Request(req))
                                 .is_err()
                             {
-                                shared.soft_drops.fetch_add(1, Ordering::Relaxed);
+                                shared.soft_drops.inc();
                             } else {
                                 shared.stats[core].record_handoff();
                             }
@@ -728,13 +914,16 @@ fn handle_message<T: Transport>(
             let size = value.len() as u64;
             shared.size_hists[core].record(size);
             match plan.classify(size) {
-                Destination::Local => execute_and_reply(shared, core, req),
+                Destination::Local => {
+                    execute_and_reply(shared, core, req);
+                    record_small(shared);
+                }
                 Destination::Handoff(target) => {
                     if shared.soft_queues[target]
                         .push(Handoff::Request(req))
                         .is_err()
                     {
-                        shared.soft_drops.fetch_add(1, Ordering::Relaxed);
+                        shared.soft_drops.inc();
                     } else {
                         shared.stats[core].record_handoff();
                     }
@@ -746,10 +935,11 @@ fn handle_message<T: Transport>(
             // locally (create/delete are PUT variants in the paper and
             // are not discussed further — this is the obvious policy).
             execute_and_reply(shared, core, req);
+            record_small(shared);
         }
         _ => {
             // Replies arriving at a server are protocol violations.
-            shared.malformed.fetch_add(1, Ordering::Relaxed);
+            shared.malformed.inc();
         }
     }
 }
@@ -772,7 +962,7 @@ fn reply_direct<T: Transport>(
 /// reply on this core's TX queue.
 fn execute_and_reply<T: Transport>(shared: &Shared<T>, core: usize, req: ServerRequest) {
     let Some((status, value, was_get, large)) = execute(&shared.store, &req.msg) else {
-        shared.malformed.fetch_add(1, Ordering::Relaxed);
+        shared.malformed.inc();
         return;
     };
     if was_get {

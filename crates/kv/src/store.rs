@@ -481,6 +481,38 @@ impl Store {
     }
 }
 
+/// The store contributes its own and its mempool's metrics under the
+/// canonical `store.*` / `mempool.*` names, so a server registers
+/// `Arc<Store>` directly as a snapshot-time collector.
+impl minos_obs::Collector for Store {
+    fn collect(&self, out: &mut Vec<(String, minos_obs::MetricValue)>) {
+        use minos_obs::MetricValue::{Counter, Gauge};
+        let s = self.stats();
+        out.push(("store.get_hits".to_string(), Counter(s.get_hits)));
+        out.push(("store.get_misses".to_string(), Counter(s.get_misses)));
+        out.push(("store.get_retries".to_string(), Counter(s.get_retries)));
+        out.push(("store.puts".to_string(), Counter(s.puts)));
+        out.push(("store.put_failures".to_string(), Counter(s.put_failures)));
+        out.push(("store.deletes".to_string(), Counter(s.deletes)));
+        out.push((
+            "store.overflow_in_use".to_string(),
+            Gauge(s.overflow_in_use as f64),
+        ));
+        out.push(("store.items".to_string(), Gauge(s.items as f64)));
+        let m = self.mempool.stats();
+        out.push(("mempool.allocs".to_string(), Counter(m.allocs)));
+        out.push(("mempool.reuses".to_string(), Counter(m.reuses)));
+        out.push(("mempool.failures".to_string(), Counter(m.failures)));
+        out.push(("mempool.frees".to_string(), Counter(m.frees)));
+        out.push(("mempool.copied_bytes".to_string(), Counter(m.copied_bytes)));
+        out.push(("mempool.used_bytes".to_string(), Gauge(m.used_bytes as f64)));
+        out.push((
+            "mempool.capacity_bytes".to_string(),
+            Gauge(m.capacity_bytes as f64),
+        ));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -42,6 +42,7 @@
 
 pub mod affinity;
 pub mod batch;
+pub mod metrics;
 pub mod pool;
 mod sys;
 pub mod testport;

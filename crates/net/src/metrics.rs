@@ -1,0 +1,42 @@
+//! Canonical metric names for transport-owned telemetry.
+//!
+//! Every [`crate::Transport`] backend contributes the same dotted
+//! `transport.*` family (via the trait's default
+//! [`crate::Transport::collect_metrics`]); backends with buffer pools
+//! add the `pool.*` family, and the virtual backend exposes the NIC's
+//! wire-level drop counters under `nic.*`. The README's Observability
+//! table is the authoritative list.
+
+use crate::pool::PoolStats;
+use crate::transport::TransportStats;
+use minos_obs::MetricValue;
+
+/// Appends the `transport.*` metrics shared by every backend.
+pub fn push_transport_stats(out: &mut Vec<(String, MetricValue)>, s: &TransportStats) {
+    let c = |name: &str, v: u64| (format!("transport.{name}"), MetricValue::Counter(v));
+    out.push(c("rx_packets", s.rx_packets));
+    out.push(c("rx_bytes", s.rx_bytes));
+    out.push(c("tx_packets", s.tx_packets));
+    out.push(c("tx_bytes", s.tx_bytes));
+    out.push(c("tx_dropped", s.tx_dropped));
+    out.push(c("tx_copied_bytes", s.tx_copied_bytes));
+}
+
+/// Appends the `pool.*` metrics of a buffer pool.
+pub fn push_pool_stats(out: &mut Vec<(String, MetricValue)>, s: &PoolStats) {
+    out.push(("pool.hits".to_string(), MetricValue::Counter(s.hits)));
+    out.push(("pool.misses".to_string(), MetricValue::Counter(s.misses)));
+    out.push(("pool.steals".to_string(), MetricValue::Counter(s.steals)));
+    out.push((
+        "pool.outstanding".to_string(),
+        MetricValue::Gauge(s.outstanding as f64),
+    ));
+    out.push((
+        "pool.capacity".to_string(),
+        MetricValue::Gauge(s.capacity as f64),
+    ));
+    out.push((
+        "pool.hit_rate".to_string(),
+        MetricValue::Gauge(s.hit_rate()),
+    ));
+}

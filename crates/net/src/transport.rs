@@ -118,4 +118,15 @@ pub trait Transport: Send + Sync {
     fn stats(&self) -> TransportStats {
         TransportStats::default()
     }
+
+    /// Contributes this backend's metrics under canonical dotted names
+    /// (`transport.*`, plus backend-specific families like `pool.*`) —
+    /// the [`minos_obs::Collector`] hook every backend shares, so the
+    /// server registers whatever transport it was started with without
+    /// knowing the concrete type. The default renders
+    /// [`Transport::stats`]; backends with richer counters override and
+    /// extend.
+    fn collect_metrics(&self, out: &mut Vec<(String, minos_obs::MetricValue)>) {
+        crate::metrics::push_transport_stats(out, &self.stats());
+    }
 }

@@ -624,6 +624,24 @@ impl Transport for UdpTransport {
             tx_copied_bytes: self.tx_copied_bytes.load(Ordering::Relaxed),
         }
     }
+
+    fn collect_metrics(&self, out: &mut Vec<(String, minos_obs::MetricValue)>) {
+        crate::metrics::push_transport_stats(out, &self.stats());
+        crate::metrics::push_pool_stats(out, &self.pool.stats());
+        let io = self.io_stats();
+        out.push((
+            "transport.rx_syscalls".to_string(),
+            minos_obs::MetricValue::Counter(io.rx_syscalls),
+        ));
+        out.push((
+            "transport.tx_syscalls".to_string(),
+            minos_obs::MetricValue::Counter(io.tx_syscalls),
+        ));
+        out.push((
+            "transport.batched".to_string(),
+            minos_obs::MetricValue::Gauge(if io.batched { 1.0 } else { 0.0 }),
+        ));
+    }
 }
 
 #[cfg(test)]

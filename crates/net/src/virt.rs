@@ -191,6 +191,17 @@ impl Transport for VirtualTransport {
     fn stats(&self) -> TransportStats {
         Transport::stats(&*self.nic)
     }
+
+    fn collect_metrics(&self, out: &mut Vec<(String, minos_obs::MetricValue)>) {
+        crate::metrics::push_transport_stats(out, &self.stats());
+        crate::metrics::push_pool_stats(out, &self.pool.stats());
+        let nic = VirtualNic::stats(&self.nic);
+        let c = |name: &str, v: u64| (format!("nic.{name}"), minos_obs::MetricValue::Counter(v));
+        out.push(c("rx_malformed", nic.rx_malformed));
+        out.push(c("rx_faulted", nic.rx_faulted));
+        out.push(c("rx_ring_full", nic.rx_ring_full));
+        out.push(c("tx_gathered_bytes", nic.tx_gathered_bytes));
+    }
 }
 
 /// The client-side adapter over a server's [`VirtualNic`]: a
@@ -273,6 +284,11 @@ impl Transport for VirtualClientTransport {
 
     fn local_endpoint(&self, _queue: u16) -> Endpoint {
         self.endpoint
+    }
+
+    fn collect_metrics(&self, out: &mut Vec<(String, minos_obs::MetricValue)>) {
+        crate::metrics::push_transport_stats(out, &self.stats());
+        crate::metrics::push_pool_stats(out, &self.pool.stats());
     }
 }
 

@@ -1,0 +1,64 @@
+//! A cheap per-core monotonic nanosecond clock.
+
+use std::time::Instant;
+
+/// Per-core monotonic clock for request-lifecycle timestamps.
+///
+/// Each server core owns one `CoreClock` on its stack; reading it is a
+/// single `Instant::now()` (a vDSO call on Linux, ~20 ns, no syscall)
+/// converted to nanoseconds since a shared zero point. Clocks built
+/// from the same zero ([`CoreClock::starting_at`], typically the
+/// registry's [`crate::MetricsRegistry::start`]) produce timestamps
+/// that are directly comparable across cores, which is what lets a
+/// large core compute queue wait from an arrival stamp taken on a
+/// small core.
+#[derive(Clone, Copy, Debug)]
+pub struct CoreClock {
+    start: Instant,
+}
+
+impl CoreClock {
+    /// A clock whose zero point is now.
+    pub fn new() -> Self {
+        CoreClock {
+            start: Instant::now(),
+        }
+    }
+
+    /// A clock sharing an existing zero point.
+    pub fn starting_at(start: Instant) -> Self {
+        CoreClock { start }
+    }
+
+    /// Nanoseconds since the zero point. Saturates at `u64::MAX`
+    /// (~584 years), i.e. never in practice.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        let d = self.start.elapsed();
+        d.as_secs()
+            .saturating_mul(1_000_000_000)
+            .saturating_add(d.subsec_nanos() as u64)
+    }
+}
+
+impl Default for CoreClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clocks_sharing_a_zero_are_comparable() {
+        let base = Instant::now();
+        let a = CoreClock::starting_at(base);
+        let b = CoreClock::starting_at(base);
+        let t0 = a.now_ns();
+        let t1 = b.now_ns();
+        // b read after a: must not run backwards relative to a.
+        assert!(t1 >= t0);
+    }
+}

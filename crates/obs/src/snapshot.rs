@@ -1,0 +1,221 @@
+//! Point-in-time registry snapshots and their JSON-line wire format.
+
+use crate::json::{json_f64, write_json_str, JsonValue};
+use crate::value::{HistSummary, MetricValue};
+use std::fmt::Write as _;
+
+/// A point-in-time copy of every metric in a registry.
+///
+/// Entries are sorted by metric name, so consecutive snapshot lines are
+/// diffable and lookups are `O(log n)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    /// Monotone sequence number (0 for the first snapshot a registry
+    /// emits).
+    pub seq: u64,
+    /// Milliseconds since the registry was created (or, for simulator
+    /// snapshots, simulated time).
+    pub elapsed_ms: u64,
+    /// `(name, value)` pairs, sorted by name.
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+impl Snapshot {
+    /// Builds a snapshot from unsorted entries.
+    pub fn new(seq: u64, elapsed_ms: u64, mut entries: Vec<(String, MetricValue)>) -> Self {
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Snapshot {
+            seq,
+            elapsed_ms,
+            entries,
+        }
+    }
+
+    /// Looks up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// The value of counter `name`, or `None` if absent or not a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.get(name).and_then(MetricValue::as_counter)
+    }
+
+    /// The value of gauge `name`, or `None` if absent or not a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.get(name).and_then(MetricValue::as_gauge)
+    }
+
+    /// The summary of histogram `name`, or `None` if absent or not a
+    /// histogram.
+    pub fn hist(&self, name: &str) -> Option<&HistSummary> {
+        self.get(name).and_then(MetricValue::as_hist)
+    }
+
+    /// Serializes the snapshot as one JSON line (no trailing newline):
+    ///
+    /// ```json
+    /// {"seq":3,"elapsed_ms":600,"metrics":{"engine.epochs":{"type":"counter","value":2}, ...}}
+    /// ```
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(64 + self.entries.len() * 48);
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"elapsed_ms\":{},\"metrics\":",
+            self.seq, self.elapsed_ms
+        );
+        self.write_metrics_json(&mut out);
+        out.push('}');
+        out
+    }
+
+    /// Serializes just the `metrics` object (`{"name":{...}, ...}`) —
+    /// the exit reports embed this under their own top-level keys.
+    pub fn metrics_json(&self) -> String {
+        let mut out = String::with_capacity(self.entries.len() * 48);
+        self.write_metrics_json(&mut out);
+        out
+    }
+
+    fn write_metrics_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (name, value)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_str(out, name);
+            out.push(':');
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, "{{\"type\":\"counter\",\"value\":{}}}", v);
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = write!(out, "{{\"type\":\"gauge\",\"value\":{}}}", json_f64(*v));
+                }
+                MetricValue::Hist(h) => {
+                    let _ = write!(
+                        out,
+                        "{{\"type\":\"hist\",\"count\":{},\"min\":{},\"max\":{},\"mean\":{},\
+                         \"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}",
+                        h.count,
+                        h.min,
+                        h.max,
+                        json_f64(h.mean),
+                        h.p50,
+                        h.p90,
+                        h.p99,
+                        h.p999
+                    );
+                }
+            }
+        }
+        out.push('}');
+    }
+
+    /// Parses a snapshot previously produced by
+    /// [`Snapshot::to_json_line`].
+    pub fn parse_json_line(line: &str) -> Result<Snapshot, String> {
+        let doc = JsonValue::parse(line.trim())?;
+        let seq = doc
+            .get("seq")
+            .and_then(|v| v.as_num())
+            .and_then(|n| n.as_u64())
+            .ok_or("missing seq")?;
+        let elapsed_ms = doc
+            .get("elapsed_ms")
+            .and_then(|v| v.as_num())
+            .and_then(|n| n.as_u64())
+            .ok_or("missing elapsed_ms")?;
+        let metrics = doc
+            .get("metrics")
+            .and_then(|v| v.as_obj())
+            .ok_or("missing metrics object")?;
+        let mut entries = Vec::with_capacity(metrics.len());
+        for (name, body) in metrics {
+            entries.push((name.clone(), parse_metric(name, body)?));
+        }
+        Ok(Snapshot::new(seq, elapsed_ms, entries))
+    }
+}
+
+fn parse_metric(name: &str, body: &JsonValue) -> Result<MetricValue, String> {
+    let ty = body
+        .get("type")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| format!("metric {name}: missing type"))?;
+    let num = |key: &str| -> Result<u64, String> {
+        body.get(key)
+            .and_then(|v| v.as_num())
+            .and_then(|n| n.as_u64())
+            .ok_or_else(|| format!("metric {name}: bad field {key}"))
+    };
+    let fnum = |key: &str| -> Result<f64, String> {
+        body.get(key)
+            .and_then(|v| v.as_num())
+            .map(|n| n.as_f64())
+            .ok_or_else(|| format!("metric {name}: bad field {key}"))
+    };
+    match ty {
+        "counter" => Ok(MetricValue::Counter(num("value")?)),
+        "gauge" => Ok(MetricValue::Gauge(fnum("value")?)),
+        "hist" => Ok(MetricValue::Hist(HistSummary {
+            count: num("count")?,
+            min: num("min")?,
+            max: num("max")?,
+            mean: fnum("mean")?,
+            p50: num("p50")?,
+            p90: num("p90")?,
+            p99: num("p99")?,
+            p999: num("p999")?,
+        })),
+        other => Err(format!("metric {name}: unknown type {other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_mixed_snapshot() {
+        let snap = Snapshot::new(
+            7,
+            1400,
+            vec![
+                ("z.counter".to_string(), MetricValue::Counter(u64::MAX)),
+                ("a.gauge".to_string(), MetricValue::Gauge(0.123456789)),
+                (
+                    "m.hist".to_string(),
+                    MetricValue::Hist(HistSummary {
+                        count: 10,
+                        min: 1,
+                        max: 999,
+                        mean: 42.5,
+                        p50: 40,
+                        p90: 90,
+                        p99: 990,
+                        p999: 999,
+                    }),
+                ),
+            ],
+        );
+        let line = snap.to_json_line();
+        let back = Snapshot::parse_json_line(&line).unwrap();
+        assert_eq!(back, snap);
+        // Entries come back sorted.
+        assert_eq!(back.entries[0].0, "a.gauge");
+        assert_eq!(back.counter("z.counter"), Some(u64::MAX));
+        assert_eq!(back.gauge("a.gauge"), Some(0.123456789));
+        assert_eq!(back.hist("m.hist").unwrap().p999, 999);
+    }
+
+    #[test]
+    fn non_finite_gauges_serialize_as_zero() {
+        let snap = Snapshot::new(0, 0, vec![("g".to_string(), MetricValue::Gauge(f64::NAN))]);
+        let back = Snapshot::parse_json_line(&snap.to_json_line()).unwrap();
+        assert_eq!(back.gauge("g"), Some(0.0));
+    }
+}

@@ -1,0 +1,89 @@
+//! Per-core, per-class request-lifecycle histograms (the paper's
+//! Fig. 5/6 decomposition).
+
+use crate::registry::{Histogram, MetricsRegistry};
+
+/// Which side of the size threshold a work item landed on — i.e. which
+/// execution route it took, not a guess from its byte size.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub enum ReqClass {
+    /// Executed inline on the core that drained it from the NIC.
+    Small,
+    /// Handed off through a software queue to a large core (or streamed
+    /// as a multi-fragment ingest).
+    Large,
+}
+
+/// Queue-wait and service-time histograms for one request class on one
+/// core.
+#[derive(Clone, Debug)]
+pub struct ClassTelemetry {
+    /// Nanoseconds between rx-dequeue (arrival stamp) and service start.
+    pub queue_wait_ns: Histogram,
+    /// Nanoseconds between service start and tx-handoff (reply handed
+    /// to the transport, or fragment absorbed).
+    pub service_ns: Histogram,
+}
+
+/// The four lifecycle histograms of one server core: queue wait and
+/// service time, each split small/large.
+///
+/// Registered under stable dotted names:
+/// `core.{i}.{small|large}.queue_wait_ns` and
+/// `core.{i}.{small|large}.service_ns`. Recording is two relaxed
+/// atomic adds — no locks, no allocation — so it stays on the
+/// datagram hot path unconditionally.
+#[derive(Clone, Debug)]
+pub struct CoreTelemetry {
+    /// Inline-executed (small-class) work.
+    pub small: ClassTelemetry,
+    /// Handed-off (large-class) work.
+    pub large: ClassTelemetry,
+}
+
+impl CoreTelemetry {
+    /// Creates (or re-attaches to) core `core`'s four histograms in
+    /// `registry`.
+    pub fn register(registry: &MetricsRegistry, core: usize) -> Self {
+        let class = |name: &str| ClassTelemetry {
+            queue_wait_ns: registry.histogram_ns(&format!("core.{core}.{name}.queue_wait_ns")),
+            service_ns: registry.histogram_ns(&format!("core.{core}.{name}.service_ns")),
+        };
+        CoreTelemetry {
+            small: class("small"),
+            large: class("large"),
+        }
+    }
+
+    /// Records one completed work item.
+    #[inline]
+    pub fn record(&self, class: ReqClass, queue_wait_ns: u64, service_ns: u64) {
+        let c = match class {
+            ReqClass::Small => &self.small,
+            ReqClass::Large => &self.large,
+        };
+        c.queue_wait_ns.record(queue_wait_ns);
+        c.service_ns.record(service_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_stable_names_and_records_by_class() {
+        let reg = MetricsRegistry::new();
+        let t = CoreTelemetry::register(&reg, 3);
+        t.record(ReqClass::Small, 100, 500);
+        t.record(ReqClass::Large, 2_000, 90_000);
+        t.record(ReqClass::Large, 3_000, 80_000);
+        let snap = reg.snapshot();
+        assert_eq!(snap.hist("core.3.small.queue_wait_ns").unwrap().count, 1);
+        assert_eq!(snap.hist("core.3.small.service_ns").unwrap().count, 1);
+        assert_eq!(snap.hist("core.3.large.queue_wait_ns").unwrap().count, 2);
+        let svc = snap.hist("core.3.large.service_ns").unwrap();
+        assert_eq!(svc.count, 2);
+        assert!(svc.p99 >= 80_000);
+    }
+}

@@ -1,0 +1,87 @@
+//! Typed metric values carried by a [`crate::Snapshot`].
+
+use minos_stats::LogHistogram;
+
+/// A point-in-time value of one named metric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Monotonically non-decreasing event count.
+    Counter(u64),
+    /// Instantaneous level (may go up and down). Non-finite values are
+    /// serialized as `0` — JSON has no NaN/Infinity.
+    Gauge(f64),
+    /// Distribution summary extracted from a log-linear histogram.
+    Hist(HistSummary),
+}
+
+impl MetricValue {
+    /// The counter value, if this is a counter.
+    pub fn as_counter(&self) -> Option<u64> {
+        match self {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The gauge value, if this is a gauge.
+    pub fn as_gauge(&self) -> Option<f64> {
+        match self {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The histogram summary, if this is a histogram.
+    pub fn as_hist(&self) -> Option<&HistSummary> {
+        match self {
+            MetricValue::Hist(h) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+/// Summary of a histogram at snapshot time: count, extrema, mean, and
+/// the tail percentiles the paper's evaluation reads (p50/p90/p99/p99.9).
+///
+/// Percentiles are bucket upper bounds (never under-estimates); units
+/// are whatever the histogram records — nanoseconds for the `*_ns`
+/// metrics, bytes for size histograms.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HistSummary {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// 50th percentile.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+}
+
+impl HistSummary {
+    /// Summarizes a [`LogHistogram`]; an empty histogram yields the
+    /// all-zero summary (and `count == 0` marks it empty).
+    pub fn from_hist(h: &LogHistogram) -> Self {
+        if h.is_empty() {
+            return HistSummary::default();
+        }
+        HistSummary {
+            count: h.total(),
+            min: h.min().unwrap_or(0),
+            max: h.max().unwrap_or(0),
+            mean: h.mean().unwrap_or(0.0),
+            p50: h.percentile(50.0).unwrap_or(0),
+            p90: h.percentile(90.0).unwrap_or(0),
+            p99: h.percentile(99.0).unwrap_or(0),
+            p999: h.percentile(99.9).unwrap_or(0),
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Property test: a snapshot serialized as a JSON line parses back to
+//! an identical snapshot — names escaped, `u64` counters exact (no f64
+//! detour), gauge `f64`s bit-exact via shortest-round-trip formatting,
+//! histogram summaries field-for-field.
+
+use minos_obs::{HistSummary, MetricValue, Snapshot};
+use proptest::prelude::*;
+
+fn metric_name() -> impl Strategy<Value = String> {
+    (
+        prop::sample::select(vec![
+            "core",
+            "transport",
+            "pool",
+            "ingest",
+            "engine",
+            "client",
+            "mempool",
+            "store",
+        ]),
+        0u32..64,
+        prop::sample::select(vec![
+            "queue_wait_ns",
+            "service_ns",
+            "tx_copied_bytes",
+            "hits",
+            "outstanding",
+            "put_copied_bytes",
+        ]),
+    )
+        .prop_map(|(ns, idx, leaf)| format!("{ns}.{idx}.{leaf}"))
+}
+
+fn metric_value() -> impl Strategy<Value = MetricValue> {
+    prop_oneof![
+        any::<u64>().prop_map(MetricValue::Counter),
+        (0.0f64..1e12).prop_map(MetricValue::Gauge),
+        (-1e9f64..1e9).prop_map(MetricValue::Gauge),
+        (
+            (any::<u64>(), any::<u64>(), any::<u64>(), 0.0f64..1e15),
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        )
+            .prop_map(|((count, min, max, mean), (p50, p90, p99, p999))| {
+                MetricValue::Hist(HistSummary {
+                    count,
+                    min,
+                    max,
+                    mean,
+                    p50,
+                    p90,
+                    p99,
+                    p999,
+                })
+            }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Serialize → parse is the identity on snapshots.
+    #[test]
+    fn snapshot_round_trips(
+        seq in any::<u64>(),
+        elapsed_ms in any::<u64>(),
+        entries in prop::collection::vec((metric_name(), metric_value()), 0..40),
+    ) {
+        let snap = Snapshot::new(seq, elapsed_ms, entries);
+        let line = snap.to_json_line();
+        prop_assert!(!line.contains('\n'), "snapshot must be one line");
+        let back = match Snapshot::parse_json_line(&line) {
+            Ok(s) => s,
+            Err(e) => return Err(proptest::TestCaseError::fail(format!(
+                "parse failed: {e} in {line}"
+            ))),
+        };
+        prop_assert_eq!(back, snap);
+    }
+
+    /// Lookups read through the line format: every counter written is
+    /// retrievable by name after a round trip.
+    #[test]
+    fn counters_survive_exactly(v in any::<u64>(), idx in 0u32..1000) {
+        let name = format!("engine.{idx}.events");
+        let snap = Snapshot::new(0, 0, vec![(name.clone(), MetricValue::Counter(v))]);
+        let back = Snapshot::parse_json_line(&snap.to_json_line()).unwrap();
+        prop_assert_eq!(back.counter(&name), Some(v));
+    }
+}

@@ -2,6 +2,7 @@
 //! event loop.
 
 use crate::engine::{CoreLoad, System, SystemConfig, SystemSim};
+use minos_obs::{HistSummary, MetricValue, Snapshot};
 use minos_stats::Quantiles;
 use minos_workload::{AccessGenerator, Dataset, PhaseSchedule, Profile};
 
@@ -27,6 +28,11 @@ pub struct RunConfig {
     pub schedule: Option<PhaseSchedule>,
     /// Reporting-window seconds (0 = no windows).
     pub window_s: f64,
+    /// Telemetry snapshot interval in simulated seconds (0 = off);
+    /// when set, [`RunResult::snapshots`] holds one [`Snapshot`] per
+    /// interval — the simulator's analogue of the live server's
+    /// `--stats-interval-ms` timeline.
+    pub stats_interval_s: f64,
 }
 
 impl RunConfig {
@@ -42,6 +48,7 @@ impl RunConfig {
             dataset_scale: 1,
             schedule: None,
             window_s: 0.0,
+            stats_interval_s: 0.0,
         }
     }
 
@@ -93,6 +100,9 @@ pub struct RunResult {
     pub completed: u64,
     /// HKH+WS steals.
     pub steals: u64,
+    /// Periodic telemetry snapshots (simulated clock), when
+    /// [`RunConfig::stats_interval_s`] was set.
+    pub snapshots: Vec<Snapshot>,
 }
 
 impl RunResult {
@@ -144,7 +154,20 @@ pub fn run(config: &RunConfig) -> RunResult {
     let warm_ns = (config.warmup_s * 1e9) as u64;
     let measure_end = total_ns.saturating_sub(warm_ns);
     sim.set_measure_window(warm_ns, measure_end);
-    sim.run_until(total_ns);
+    let interval_ns = (config.stats_interval_s * 1e9) as u64;
+    let mut snapshots = Vec::new();
+    if interval_ns == 0 {
+        sim.run_until(total_ns);
+    } else {
+        // Chunk the event loop at snapshot boundaries so each snapshot
+        // reflects the simulated clock, not wall time.
+        let mut t = 0u64;
+        while t < total_ns {
+            t = (t + interval_ns).min(total_ns);
+            sim.run_until(t);
+            snapshots.push(sim_snapshot(snapshots.len() as u64, t, &sim));
+        }
+    }
 
     let span = (measure_end - warm_ns).max(1) as f64;
     let windows = sim
@@ -173,7 +196,41 @@ pub fn run(config: &RunConfig) -> RunResult {
         generated: sim.generated,
         completed: sim.completed,
         steals: sim.steals(),
+        snapshots,
     }
+}
+
+/// One telemetry snapshot of the simulator at simulated time `now_ns`,
+/// under the same dotted names the live server emits where the concepts
+/// coincide (`core.{i}.ops`) and `sim.*` where they are simulator-only.
+fn sim_snapshot(seq: u64, now_ns: u64, sim: &SystemSim) -> Snapshot {
+    let mut entries = vec![
+        (
+            "sim.generated".to_string(),
+            MetricValue::Counter(sim.generated),
+        ),
+        (
+            "sim.completed".to_string(),
+            MetricValue::Counter(sim.completed),
+        ),
+        ("sim.steals".to_string(), MetricValue::Counter(sim.steals())),
+        (
+            "latency_ns".to_string(),
+            MetricValue::Hist(HistSummary::from_hist(sim.latency().inner())),
+        ),
+        (
+            "latency_large_ns".to_string(),
+            MetricValue::Hist(HistSummary::from_hist(sim.latency_large().inner())),
+        ),
+    ];
+    for (i, load) in sim.per_core().iter().enumerate() {
+        entries.push((format!("core.{i}.ops"), MetricValue::Counter(load.ops)));
+        entries.push((
+            format!("core.{i}.packets"),
+            MetricValue::Counter(load.packets),
+        ));
+    }
+    Snapshot::new(seq, now_ns / 1_000_000, entries)
 }
 
 #[cfg(test)]

@@ -303,31 +303,19 @@ impl Default for SizeHistogram {
 /// threshold decisions agree to within the histogram's intrinsic
 /// ≤ 3.2 % relative error.
 #[derive(Debug)]
-pub struct AtomicSizeHistogram {
-    /// Geometry donor (never recorded into).
-    template: LogHistogram,
-    counts: Vec<std::sync::atomic::AtomicU64>,
-}
+pub struct AtomicSizeHistogram(AtomicLogHistogram);
 
 impl AtomicSizeHistogram {
     /// Creates an empty atomic size histogram.
     pub fn new() -> Self {
-        let template = SizeHistogram::new().0;
-        let len = template.counts().len();
-        AtomicSizeHistogram {
-            template,
-            counts: (0..len)
-                .map(|_| std::sync::atomic::AtomicU64::new(0))
-                .collect(),
-        }
+        AtomicSizeHistogram(AtomicLogHistogram::size())
     }
 
     /// Records a request for an item of `bytes` bytes: one relaxed
     /// `fetch_add`, no lock.
     #[inline]
     pub fn record(&self, bytes: u64) {
-        let idx = self.template.index_of(bytes);
-        self.counts[idx].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.0.record(bytes);
     }
 
     /// Takes the current contents as a [`SizeHistogram`], leaving the
@@ -335,11 +323,92 @@ impl AtomicSizeHistogram {
     /// [`SizeHistogram::take`]). Each non-empty bucket is re-recorded at
     /// its inclusive upper bound.
     pub fn drain(&self) -> SizeHistogram {
-        let mut out = SizeHistogram::new();
+        SizeHistogram(self.0.drain())
+    }
+
+    /// Sum of bucket counts right now (tests/observability; racy by
+    /// nature, exact once writers are quiescent).
+    pub fn total(&self) -> u64 {
+        self.0.total()
+    }
+}
+
+/// The lock-free histogram mechanism behind [`AtomicSizeHistogram`],
+/// generalized over geometry so it also serves nanosecond-scale latency
+/// decomposition (queue wait, service time) in the telemetry registry.
+///
+/// Recording is a single relaxed `fetch_add` into a pre-sized bucket
+/// array: no locks, no allocation, safe on the per-request hot path.
+/// Readers either [`AtomicLogHistogram::drain`] (swap buckets to zero,
+/// epoch-harvest semantics) or take a non-destructive
+/// [`AtomicLogHistogram::load`] (cumulative snapshot; concurrent records
+/// land in either this snapshot or the next). Both re-record each bucket
+/// at its inclusive upper bound, the value percentile queries would
+/// report for it.
+#[derive(Debug)]
+pub struct AtomicLogHistogram {
+    /// Geometry donor (never recorded into).
+    template: LogHistogram,
+    counts: Vec<std::sync::atomic::AtomicU64>,
+}
+
+impl AtomicLogHistogram {
+    /// Creates an empty atomic histogram with the given geometry (see
+    /// [`LogHistogram::new`] for the parameters and panics).
+    pub fn new(sub_bits: u32, max_octave: u32) -> Self {
+        let template = LogHistogram::new(sub_bits, max_octave);
+        let len = template.counts().len();
+        AtomicLogHistogram {
+            template,
+            counts: (0..len)
+                .map(|_| std::sync::atomic::AtomicU64::new(0))
+                .collect(),
+        }
+    }
+
+    /// The [`SizeHistogram`] geometry: 32 sub-buckets per octave, values
+    /// up to 2^30 (1 GiB).
+    pub fn size() -> Self {
+        Self::new(5, 30)
+    }
+
+    /// The [`LatencyHistogram`] geometry: 64 sub-buckets per octave,
+    /// values up to 2^40 ns (~18 minutes).
+    pub fn latency() -> Self {
+        Self::new(6, 40)
+    }
+
+    /// Records one observation: one relaxed `fetch_add`, no lock.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let idx = self.template.index_of(value);
+        self.counts[idx].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Takes the current contents as a [`LogHistogram`], leaving the
+    /// buckets at zero. Concurrent records are never lost — they land in
+    /// either this drain or the next.
+    pub fn drain(&self) -> LogHistogram {
+        let mut out = self.template.clone();
         for (i, c) in self.counts.iter().enumerate() {
             let n = c.swap(0, std::sync::atomic::Ordering::Relaxed);
             if n > 0 {
-                out.0.record_n(self.template.upper_bound(i), n);
+                out.record_n(self.template.upper_bound(i), n);
+            }
+        }
+        out
+    }
+
+    /// Non-destructive cumulative snapshot as a [`LogHistogram`]. Racy
+    /// by nature: a record concurrent with the load lands in either this
+    /// snapshot or the next, so successive snapshot totals never
+    /// decrease.
+    pub fn load(&self) -> LogHistogram {
+        let mut out = self.template.clone();
+        for (i, c) in self.counts.iter().enumerate() {
+            let n = c.load(std::sync::atomic::Ordering::Relaxed);
+            if n > 0 {
+                out.record_n(self.template.upper_bound(i), n);
             }
         }
         out

@@ -33,7 +33,8 @@ pub mod running;
 pub use counters::{CoreStats, SharedCoreStats};
 pub use ewma::Ewma;
 pub use hist::{
-    AtomicSizeHistogram, LatencyHistogram, LogHistogram, SizeHistogram, SmoothedHistogram,
+    AtomicLogHistogram, AtomicSizeHistogram, LatencyHistogram, LogHistogram, SizeHistogram,
+    SmoothedHistogram,
 };
 pub use percentile::{exact_percentile, exact_percentile_f64, Quantiles};
 pub use running::Running;

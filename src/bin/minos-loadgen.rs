@@ -39,6 +39,8 @@
 
 use minos::core::client::{Client, ClientTotals, RetryPolicy};
 use minos::net::{endpoint_for, Transport, TransportStats, UdpConfig, UdpIoStats, UdpTransport};
+use minos::obs::{MetricsRegistry, Snapshot};
+use minos::report::{self, JsonObj};
 use minos::stats::{LatencyHistogram, Quantiles};
 use minos::workload::{
     AccessGenerator, Dataset, OpSpec, OpenLoop, Operation, Profile, Rng, DEFAULT_PROFILE,
@@ -64,6 +66,7 @@ struct Args {
     pin_base: Option<usize>,
     sockbuf: usize,
     batch: usize,
+    server_stats: Option<String>,
     json: bool,
 }
 
@@ -101,6 +104,10 @@ OPTIONS:
                            (default 32; 1 = one syscall per datagram);
                            also caps how many due arrivals one loop
                            iteration coalesces into a single send burst
+    --server-stats PATH    merge the final server snapshot from PATH (a
+                           server --stats-file JSONL timeline; the last
+                           line is taken) into the --json report under
+                           \"server_stats\"
     --json                 print a machine-readable JSON report to stdout
                            (the human report moves to stderr)
     -h, --help             this help
@@ -123,6 +130,7 @@ fn parse_args() -> Result<Args, String> {
         pin_base: None,
         sockbuf: 4 << 20,
         batch: minos::net::DEFAULT_SYSCALL_BATCH,
+        server_stats: None,
         json: false,
     };
     let mut retry_timeout_ms = 0u64;
@@ -215,6 +223,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--batch: {e}"))?
             }
+            "--server-stats" => args.server_stats = Some(value("--server-stats")?),
             "--json" => args.json = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -306,6 +315,8 @@ struct ClientReport {
     /// Value bytes carried by those PUTs — what a one-copy server
     /// ingest must report as its `put_copied_bytes`, byte for byte.
     put_value_bytes: u64,
+    /// Stale partial replies this client's reassembler timed out.
+    reassembly_evictions: u64,
 }
 
 /// One client thread's measured run: open-loop injection at
@@ -379,6 +390,7 @@ fn run_client(args: &Args, client_idx: u16) -> ClientReport {
     }
     let elapsed = start.elapsed();
     let drained = client.drain(Duration::from_secs(10));
+    let reassembly_evictions = client.reassembly_evictions();
     ClientReport {
         sent,
         totals: client.totals(),
@@ -393,6 +405,7 @@ fn run_client(args: &Args, client_idx: u16) -> ClientReport {
         coalesced_max,
         puts_sent,
         put_value_bytes,
+        reassembly_evictions,
     }
 }
 
@@ -528,6 +541,7 @@ fn main() {
     let mut tx_copied_bytes = 0u64;
     let mut puts_sent = 0u64;
     let mut put_value_bytes = 0u64;
+    let mut reassembly_evictions = 0u64;
     for r in &reports {
         latency.merge(&r.latency);
         latency_large.merge(&r.latency_large);
@@ -553,6 +567,7 @@ fn main() {
         tx_copied_bytes += r.io.tx_copied_bytes;
         puts_sent += r.puts_sent;
         put_value_bytes += r.put_value_bytes;
+        reassembly_evictions += r.reassembly_evictions;
     }
     let zero_loss = all_drained && outstanding == 0;
     let pool_hit_rate = minos::net::pool::hit_rate(pool_hits, pool_misses);
@@ -647,6 +662,12 @@ fn main() {
             " — gather fallback engaged"
         },
     );
+    if reassembly_evictions > 0 {
+        human!(
+            args,
+            "reassembly:       {reassembly_evictions} stale partial replies evicted (fragments lost mid-message)",
+        );
+    }
     if zero_loss {
         if retransmits == 0 {
             human!(args, "zero-loss:        PASS (every request completed)");
@@ -664,6 +685,7 @@ fn main() {
     }
 
     if args.json {
+        let server_stats = read_server_stats(&args);
         println!(
             "{}",
             json_report(
@@ -691,10 +713,12 @@ fn main() {
                     tx_copied_bytes,
                     puts_sent,
                     put_value_bytes,
+                    reassembly_evictions,
                     zero_loss,
                     latency: latency.quantiles(),
                     latency_large: latency_large.quantiles(),
-                }
+                },
+                &server_stats,
             )
         );
     }
@@ -726,118 +750,154 @@ struct JsonTotals {
     tx_copied_bytes: u64,
     puts_sent: u64,
     put_value_bytes: u64,
+    reassembly_evictions: u64,
     zero_loss: bool,
     latency: Option<Quantiles>,
     latency_large: Option<Quantiles>,
 }
 
-/// Quantiles as a JSON object (latencies in microseconds), `null` when
-/// nothing completed.
-fn json_quantiles(q: Option<Quantiles>) -> String {
-    match q {
-        None => "null".into(),
-        Some(q) => format!(
-            "{{\"count\":{},\"mean_us\":{:.3},\"p50_us\":{:.3},\"p90_us\":{:.3},\"p95_us\":{:.3},\"p99_us\":{:.3},\"p999_us\":{:.3},\"max_us\":{:.3}}}",
-            q.count, q.mean_us, q.p50_us, q.p90_us, q.p95_us, q.p99_us, q.p999_us, q.max_us
-        ),
+/// Loads the final server snapshot for `--server-stats`: the last
+/// non-empty line of the server's `--stats-file` timeline, validated as
+/// a snapshot and passed through verbatim. Returns `"null"` (with a
+/// stderr warning) when the file is missing or malformed, so the report
+/// shape is stable either way.
+fn read_server_stats(args: &Args) -> String {
+    let Some(path) = &args.server_stats else {
+        return "null".into();
+    };
+    let content = match std::fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("minos-loadgen: --server-stats {path}: {e}");
+            return "null".into();
+        }
+    };
+    let Some(line) = content.lines().rev().find(|l| !l.trim().is_empty()) else {
+        eprintln!("minos-loadgen: --server-stats {path}: empty timeline");
+        return "null".into();
+    };
+    match Snapshot::parse_json_line(line) {
+        Ok(_) => line.to_string(),
+        Err(e) => {
+            eprintln!("minos-loadgen: --server-stats {path}: not a snapshot line: {e}");
+            "null".into()
+        }
     }
 }
 
-/// The machine-readable report `--json` prints to stdout. Hand-rolled
-/// (the offline build vendors no serde); every field is a number, bool
-/// or nested object, so escaping is a non-issue.
-fn json_report(args: &Args, reports: &[ClientReport], t: JsonTotals) -> String {
+/// The merged run as canonical dotted metrics (`client.*`,
+/// `transport.*`, `pool.*`) — the same registry/snapshot machinery the
+/// server uses, so one consumer can parse both sides of a run.
+fn metrics_json(t: &JsonTotals, pool_hit_rate: f64) -> String {
+    let reg = MetricsRegistry::new();
+    reg.counter("client.sent").add(t.sent);
+    reg.counter("client.completed").add(t.completed);
+    reg.counter("client.errors").add(t.errors);
+    reg.counter("client.retransmits").add(t.retransmits);
+    reg.counter("client.outstanding").add(t.outstanding);
+    reg.counter("client.puts_sent").add(t.puts_sent);
+    reg.counter("client.put_value_bytes").add(t.put_value_bytes);
+    reg.counter("client.reassembly_evictions")
+        .add(t.reassembly_evictions);
+    reg.counter("client.flushes").add(t.flushes);
+    reg.counter("transport.tx_packets").add(t.tx_packets);
+    reg.counter("transport.rx_packets").add(t.rx_packets);
+    reg.counter("transport.tx_dropped").add(t.tx_dropped);
+    reg.counter("transport.rx_syscalls").add(t.rx_syscalls);
+    reg.counter("transport.tx_syscalls").add(t.tx_syscalls);
+    reg.counter("transport.tx_copied_bytes")
+        .add(t.tx_copied_bytes);
+    reg.gauge("transport.batched")
+        .set(if t.batched { 1.0 } else { 0.0 });
+    reg.counter("pool.hits").add(t.pool_hits);
+    reg.counter("pool.misses").add(t.pool_misses);
+    reg.gauge("pool.outstanding").set(t.pool_outstanding as f64);
+    reg.gauge("pool.hit_rate").set(pool_hit_rate);
+    reg.snapshot().metrics_json()
+}
+
+/// The machine-readable report `--json` prints to stdout, built on
+/// [`minos::report::JsonObj`]. The legacy field names are frozen (CI
+/// parses them); `client`, `metrics` and `server_stats` are additive.
+fn json_report(args: &Args, reports: &[ClientReport], t: JsonTotals, server_stats: &str) -> String {
     let pool_hit_rate = minos::net::pool::hit_rate(t.pool_hits, t.pool_misses);
     let per_client: Vec<String> = reports
         .iter()
         .map(|r| {
-            format!(
-                "{{\"sent\":{},\"completed\":{},\"outstanding\":{},\"flushes\":{},\"coalesced_max\":{},\"latency_us\":{}}}",
-                r.sent,
-                r.totals.completed,
-                r.totals.outstanding(),
-                r.flushes,
-                r.coalesced_max,
-                json_quantiles(r.latency.quantiles()),
-            )
+            JsonObj::new()
+                .u64("sent", r.sent)
+                .u64("completed", r.totals.completed)
+                .u64("outstanding", r.totals.outstanding())
+                .u64("flushes", r.flushes)
+                .u64("coalesced_max", r.coalesced_max)
+                .raw("latency_us", &report::quantiles_json(r.latency.quantiles()))
+                .finish()
         })
         .collect();
-    format!(
-        concat!(
-            "{{",
-            "\"offered_rate\":{offered:.1},",
-            "\"clients\":{clients},",
-            "\"duration_s\":{duration:.3},",
-            "\"elapsed_s\":{elapsed:.3},",
-            "\"achieved_rate\":{achieved:.1},",
-            "\"max_scheduling_lag_us\":{lag:.1},",
-            "\"sent\":{sent},",
-            "\"completed\":{completed},",
-            "\"errors\":{errors},",
-            "\"retransmits\":{retransmits},",
-            "\"outstanding\":{outstanding},",
-            "\"puts_sent\":{puts_sent},",
-            "\"put_value_bytes\":{put_value_bytes},",
-            "\"zero_loss\":{zero_loss},",
-            "\"latency_us\":{latency},",
-            "\"latency_large_us\":{latency_large},",
-            "\"transport\":{{",
-            "\"batched\":{batched},",
-            "\"tx_packets\":{tx_packets},",
-            "\"rx_packets\":{rx_packets},",
-            "\"tx_dropped\":{tx_dropped},",
-            "\"tx_syscalls\":{tx_syscalls},",
-            "\"rx_syscalls\":{rx_syscalls},",
-            "\"pkts_per_tx_syscall\":{ppts:.3},",
-            "\"pkts_per_rx_syscall\":{pprs:.3},",
-            "\"tx_copied_bytes\":{tx_copied_bytes}",
-            "}},",
-            "\"coalescing\":{{",
-            "\"flushes\":{flushes},",
-            "\"avg_per_flush\":{avg_flush:.3},",
-            "\"max_per_flush\":{coalesced_max}",
-            "}},",
-            "\"pool\":{{",
-            "\"hits\":{pool_hits},",
-            "\"misses\":{pool_misses},",
-            "\"outstanding\":{pool_outstanding},",
-            "\"hit_rate\":{pool_hit_rate:.6}",
-            "}},",
-            "\"per_client\":[{per_client}]",
-            "}}"
-        ),
-        offered = args.rate,
-        clients = args.clients,
-        duration = args.duration.as_secs_f64(),
-        elapsed = t.elapsed.as_secs_f64(),
-        achieved = t.completed as f64 / t.elapsed.as_secs_f64().max(f64::MIN_POSITIVE),
-        lag = t.behind_max.as_secs_f64() * 1e6,
-        sent = t.sent,
-        completed = t.completed,
-        errors = t.errors,
-        retransmits = t.retransmits,
-        outstanding = t.outstanding,
-        puts_sent = t.puts_sent,
-        put_value_bytes = t.put_value_bytes,
-        zero_loss = t.zero_loss,
-        latency = json_quantiles(t.latency),
-        latency_large = json_quantiles(t.latency_large),
-        batched = t.batched,
-        tx_packets = t.tx_packets,
-        rx_packets = t.rx_packets,
-        tx_dropped = t.tx_dropped,
-        tx_syscalls = t.tx_syscalls,
-        rx_syscalls = t.rx_syscalls,
-        ppts = t.tx_packets as f64 / (t.tx_syscalls.max(1)) as f64,
-        pprs = t.rx_packets as f64 / (t.rx_syscalls.max(1)) as f64,
-        tx_copied_bytes = t.tx_copied_bytes,
-        flushes = t.flushes,
-        avg_flush = t.sent as f64 / (t.flushes.max(1)) as f64,
-        coalesced_max = t.coalesced_max,
-        pool_hits = t.pool_hits,
-        pool_misses = t.pool_misses,
-        pool_outstanding = t.pool_outstanding,
-        pool_hit_rate = pool_hit_rate,
-        per_client = per_client.join(","),
-    )
+    let transport = JsonObj::new()
+        .bool("batched", t.batched)
+        .u64("tx_packets", t.tx_packets)
+        .u64("rx_packets", t.rx_packets)
+        .u64("tx_dropped", t.tx_dropped)
+        .u64("tx_syscalls", t.tx_syscalls)
+        .u64("rx_syscalls", t.rx_syscalls)
+        .f64(
+            "pkts_per_tx_syscall",
+            t.tx_packets as f64 / (t.tx_syscalls.max(1)) as f64,
+            3,
+        )
+        .f64(
+            "pkts_per_rx_syscall",
+            t.rx_packets as f64 / (t.rx_syscalls.max(1)) as f64,
+            3,
+        )
+        .u64("tx_copied_bytes", t.tx_copied_bytes)
+        .finish();
+    let coalescing = JsonObj::new()
+        .u64("flushes", t.flushes)
+        .f64(
+            "avg_per_flush",
+            t.sent as f64 / (t.flushes.max(1)) as f64,
+            3,
+        )
+        .u64("max_per_flush", t.coalesced_max)
+        .finish();
+    let pool = JsonObj::new()
+        .u64("hits", t.pool_hits)
+        .u64("misses", t.pool_misses)
+        .u64("outstanding", t.pool_outstanding)
+        .f64("hit_rate", pool_hit_rate, 6)
+        .finish();
+    let client = JsonObj::new()
+        .u64("reassembly_evictions", t.reassembly_evictions)
+        .finish();
+    JsonObj::new()
+        .f64("offered_rate", args.rate, 1)
+        .u64("clients", u64::from(args.clients))
+        .f64("duration_s", args.duration.as_secs_f64(), 3)
+        .f64("elapsed_s", t.elapsed.as_secs_f64(), 3)
+        .f64(
+            "achieved_rate",
+            t.completed as f64 / t.elapsed.as_secs_f64().max(f64::MIN_POSITIVE),
+            1,
+        )
+        .f64("max_scheduling_lag_us", t.behind_max.as_secs_f64() * 1e6, 1)
+        .u64("sent", t.sent)
+        .u64("completed", t.completed)
+        .u64("errors", t.errors)
+        .u64("retransmits", t.retransmits)
+        .u64("outstanding", t.outstanding)
+        .u64("puts_sent", t.puts_sent)
+        .u64("put_value_bytes", t.put_value_bytes)
+        .bool("zero_loss", t.zero_loss)
+        .raw("latency_us", &report::quantiles_json(t.latency))
+        .raw("latency_large_us", &report::quantiles_json(t.latency_large))
+        .raw("transport", &transport)
+        .raw("coalescing", &coalescing)
+        .raw("pool", &pool)
+        .raw("client", &client)
+        .raw("metrics", &metrics_json(&t, pool_hit_rate))
+        .raw("server_stats", server_stats)
+        .raw("per_client", &format!("[{}]", per_client.join(",")))
+        .finish()
 }

@@ -21,10 +21,18 @@
 //! gate asserts: `put_copied_bytes` (the one-copy ingest invariant),
 //! `reassembly_evictions`, RX buffer-pool hit/miss/outstanding and
 //! `tx_copied_bytes`.
+//!
+//! `--stats-interval-ms N` additionally emits a live telemetry timeline:
+//! one JSON line per interval with every registered metric — including
+//! the per-core per-class queue-wait and service-time histograms — to
+//! stderr, or to `--stats-file PATH`. `SIGUSR1` forces an out-of-band
+//! snapshot line at any time.
 
 use minos::core::config::ThresholdMode;
 use minos::core::server::{MinosServer, ServerConfig};
 use minos::net::{Transport, UdpConfig, UdpTransport};
+use minos::report;
+use std::io::Write;
 use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -41,7 +49,38 @@ struct Args {
     batch: usize,
     sockbuf: usize,
     pin_base: Option<usize>,
+    stats_interval: Option<Duration>,
+    stats_file: Option<String>,
     json: bool,
+}
+
+/// Where `--stats-interval-ms` snapshot lines go: a file when
+/// `--stats-file` is given, stderr otherwise (stdout is reserved for the
+/// `--json` exit report).
+enum StatsSink {
+    Stderr,
+    File(std::fs::File),
+}
+
+impl StatsSink {
+    fn open(args: &Args) -> Result<StatsSink, String> {
+        match &args.stats_file {
+            None => Ok(StatsSink::Stderr),
+            Some(path) => std::fs::File::create(path)
+                .map(StatsSink::File)
+                .map_err(|e| format!("--stats-file {path}: {e}")),
+        }
+    }
+
+    fn emit(&mut self, line: &str) {
+        let res = match self {
+            StatsSink::Stderr => writeln!(std::io::stderr().lock(), "{line}"),
+            StatsSink::File(f) => writeln!(f, "{line}").and_then(|()| f.flush()),
+        };
+        if let Err(e) = res {
+            eprintln!("minos-server: stats write failed: {e}");
+        }
+    }
 }
 
 use minos::human;
@@ -65,6 +104,12 @@ OPTIONS:
     --sockbuf BYTES    socket send/receive buffer per queue (default 4 MiB)
     --pin BASECPU      pin core q's polling thread to cpu BASECPU+q
                        (sched_setaffinity; best-effort)
+    --stats-interval-ms N
+                       emit a JSON snapshot line of every metric
+                       (counters, gauges, per-core per-class queue-wait /
+                       service-time histograms) every N ms; 0 disables
+                       (default 0). SIGUSR1 forces a snapshot any time.
+    --stats-file PATH  write snapshot lines to PATH instead of stderr
     --json             print a machine-readable JSON exit report to
                        stdout (human output moves to stderr)
     -h, --help         this help
@@ -82,6 +127,8 @@ fn parse_args() -> Result<Args, String> {
         batch: minos::net::DEFAULT_SYSCALL_BATCH,
         sockbuf: 4 << 20,
         pin_base: None,
+        stats_interval: None,
+        stats_file: None,
         json: false,
     };
     let mut it = std::env::args().skip(1);
@@ -139,6 +186,13 @@ fn parse_args() -> Result<Args, String> {
             "--pin" => {
                 args.pin_base = Some(value("--pin")?.parse().map_err(|e| format!("--pin: {e}"))?)
             }
+            "--stats-interval-ms" => {
+                let ms: u64 = value("--stats-interval-ms")?
+                    .parse()
+                    .map_err(|e| format!("--stats-interval-ms: {e}"))?;
+                args.stats_interval = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--stats-file" => args.stats_file = Some(value("--stats-file")?),
             "--json" => args.json = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -159,31 +213,43 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// Ctrl-C handling without external crates: a SIGINT handler flips one
-/// atomic the main loop polls.
+/// Signal handling without external crates: handlers flip atomics the
+/// main loop polls. SIGINT/SIGTERM request shutdown; SIGUSR1 requests an
+/// out-of-band telemetry snapshot.
 mod signal {
     use super::{AtomicBool, Ordering};
 
     pub static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+    pub static DUMP_REQUESTED: AtomicBool = AtomicBool::new(false);
 
     #[cfg(unix)]
     pub fn install() {
         extern "C" fn on_sigint(_sig: i32) {
             INTERRUPTED.store(true, Ordering::SeqCst);
         }
+        extern "C" fn on_sigusr1(_sig: i32) {
+            DUMP_REQUESTED.store(true, Ordering::SeqCst);
+        }
         extern "C" {
             fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
         }
         const SIGINT: i32 = 2;
         const SIGTERM: i32 = 15;
+        const SIGUSR1: i32 = 10;
         unsafe {
             signal(SIGINT, on_sigint);
             signal(SIGTERM, on_sigint);
+            signal(SIGUSR1, on_sigusr1);
         }
     }
 
     #[cfg(not(unix))]
     pub fn install() {}
+
+    /// Consumes a pending SIGUSR1 dump request, if any.
+    pub fn take_dump_request() -> bool {
+        DUMP_REQUESTED.swap(false, Ordering::SeqCst)
+    }
 }
 
 fn main() {
@@ -239,12 +305,22 @@ fn main() {
     );
     human!(args, "press Ctrl-C to drain and exit");
 
+    let mut stats_sink = match StatsSink::open(&args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+
     signal::install();
     let mut server = MinosServer::start_with_transport(config, Arc::clone(&transport));
+    let registry = server.registry();
 
     let started = Instant::now();
     let mut last_report = Instant::now();
     let mut last_stats = transport.stats();
+    let mut next_snapshot = args.stats_interval.map(|iv| started + iv);
     loop {
         if signal::INTERRUPTED.load(Ordering::SeqCst) {
             human!(
@@ -260,6 +336,21 @@ fn main() {
             }
         }
         std::thread::sleep(Duration::from_millis(50));
+        let now = Instant::now();
+        let periodic_due = next_snapshot.map(|at| now >= at).unwrap_or(false);
+        if periodic_due || signal::take_dump_request() {
+            stats_sink.emit(&registry.snapshot().to_json_line());
+            if periodic_due {
+                // Fixed cadence from the start instant: a slow write
+                // shifts one sample, not the whole timeline.
+                let iv = args.stats_interval.expect("periodic_due implies interval");
+                let mut at = next_snapshot.expect("periodic_due implies deadline");
+                while at <= now {
+                    at += iv;
+                }
+                next_snapshot = Some(at);
+            }
+        }
         if last_report.elapsed() >= Duration::from_secs(5) {
             let s = transport.stats();
             let secs = last_report.elapsed().as_secs_f64();
@@ -334,58 +425,17 @@ fn main() {
         counters.reassembly_evictions,
     );
 
+    // Final post-drain snapshot: closes the timeline (so the last line
+    // of a `--stats-file` is the authoritative end state — this is what
+    // `minos-loadgen --server-stats` merges) and feeds the exit report.
+    let final_snapshot = registry.snapshot();
+    if args.stats_interval.is_some() {
+        stats_sink.emit(&final_snapshot.to_json_line());
+    }
+
     if args.json {
-        // Hand-rolled like minos-loadgen's report: the offline build
-        // vendors no serde, and every field is a number or bool.
-        println!(
-            concat!(
-                "{{",
-                "\"drained\":{drained},",
-                "\"epochs\":{epochs},",
-                "\"soft_queue_drops\":{soft_drops},",
-                "\"malformed\":{malformed},",
-                "\"transport\":{{",
-                "\"batched\":{batched},",
-                "\"rx_packets\":{rx_packets},",
-                "\"tx_packets\":{tx_packets},",
-                "\"tx_dropped\":{tx_dropped},",
-                "\"rx_syscalls\":{rx_syscalls},",
-                "\"tx_syscalls\":{tx_syscalls},",
-                "\"tx_copied_bytes\":{tx_copied_bytes}",
-                "}},",
-                "\"pool\":{{",
-                "\"hits\":{pool_hits},",
-                "\"misses\":{pool_misses},",
-                "\"outstanding\":{pool_outstanding},",
-                "\"hit_rate\":{pool_hit_rate:.6}",
-                "}},",
-                "\"ingest\":{{",
-                "\"puts\":{puts},",
-                "\"put_failures\":{put_failures},",
-                "\"put_copied_bytes\":{put_copied_bytes},",
-                "\"reassembly_evictions\":{reassembly_evictions}",
-                "}}",
-                "}}"
-            ),
-            drained = drained,
-            epochs = counters.epochs,
-            soft_drops = counters.soft_queue_drops,
-            malformed = counters.malformed,
-            batched = io.batched,
-            rx_packets = s.rx_packets,
-            tx_packets = s.tx_packets,
-            tx_dropped = s.tx_dropped,
-            rx_syscalls = io.rx_syscalls,
-            tx_syscalls = io.tx_syscalls,
-            tx_copied_bytes = io.tx_copied_bytes,
-            pool_hits = io.pool_hits,
-            pool_misses = io.pool_misses,
-            pool_outstanding = io.pool_outstanding,
-            pool_hit_rate = io.pool_hit_rate(),
-            puts = store_stats.puts,
-            put_failures = store_stats.put_failures,
-            put_copied_bytes = counters.put_copied_bytes,
-            reassembly_evictions = counters.reassembly_evictions,
-        );
+        // The legacy top-level keys are aliases of registry metrics;
+        // see `minos::report::server_exit_report`.
+        println!("{}", report::server_exit_report(drained, &final_snapshot));
     }
 }

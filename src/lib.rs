@@ -52,11 +52,14 @@
 //! See `examples/` for the paper's scenarios and `crates/bench` for the
 //! harnesses that regenerate every table and figure of the evaluation.
 
+pub mod report;
+
 pub use minos_baselines as baselines;
 pub use minos_core as core;
 pub use minos_kv as kv;
 pub use minos_net as net;
 pub use minos_nic as nic;
+pub use minos_obs as obs;
 pub use minos_queue_sim as queue_sim;
 pub use minos_sim as sim;
 pub use minos_stats as stats;
