@@ -1,13 +1,13 @@
 //! Shared plumbing for the baseline engines.
 
 use crossbeam::queue::ArrayQueue;
-use minos_core::server::{execute, transmit_reply, ServerRequest, SERVER_HOST_ID};
+use minos_core::server::{execute, transmit_reply, ServerRequest};
 use minos_kv::{Store, StoreConfig};
+use minos_net::Transport;
 use minos_nic::{NicConfig, VirtualNic};
 use minos_stats::{CoreStats, SharedCoreStats};
 use minos_wire::message::Message;
 use minos_wire::packet::{Endpoint, Packet};
-use minos_wire::udp::UdpHeader;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -40,9 +40,14 @@ impl BaselineConfig {
 }
 
 /// State shared by the cores of one baseline engine.
-pub struct BaseShared {
-    /// The NIC.
-    pub nic: Arc<VirtualNic>,
+///
+/// Generic over the packet [`Transport`] so the same engines run both
+/// over the in-process virtual NIC (functional tests, simulation) and
+/// over real SO_REUSEPORT UDP sockets (the figures sweep). The default
+/// keeps the historical constructor signature compiling unchanged.
+pub struct BaseShared<T: Transport = VirtualNic> {
+    /// The packet transport (one RX/TX queue pair per core).
+    pub transport: Arc<T>,
     /// The store.
     pub store: Arc<Store>,
     /// Per-core counters.
@@ -70,13 +75,29 @@ pub enum QueueItem {
 }
 
 impl BaseShared {
-    /// Builds the shared state.
+    /// Builds the shared state over a fresh virtual NIC.
     pub fn new(config: &BaselineConfig) -> Arc<Self> {
-        Arc::new(BaseShared {
-            nic: Arc::new(VirtualNic::new(
+        Self::with_transport(
+            config,
+            Arc::new(VirtualNic::new(
                 NicConfig::new(config.n_cores as u16)
                     .with_queue_capacity(config.nic_queue_capacity),
             )),
+        )
+    }
+}
+
+impl<T: Transport> BaseShared<T> {
+    /// Builds the shared state over an externally constructed transport.
+    /// The transport must expose exactly one RX/TX queue pair per core.
+    pub fn with_transport(config: &BaselineConfig, transport: Arc<T>) -> Arc<Self> {
+        assert_eq!(
+            transport.num_queues(),
+            config.n_cores as u16,
+            "transport must have one queue per core"
+        );
+        Arc::new(BaseShared {
+            transport,
             store: Arc::new(Store::new(config.store.clone())),
             stats: (0..config.n_cores)
                 .map(|_| SharedCoreStats::new())
@@ -95,7 +116,7 @@ impl BaseShared {
 
     /// The server endpoint answering on `core`'s TX queue.
     pub fn endpoint(&self, core: usize) -> Endpoint {
-        Endpoint::host(SERVER_HOST_ID, UdpHeader::port_for_queue(core as u16))
+        self.transport.local_endpoint(core as u16)
     }
 
     /// The reply endpoint embedded in a request packet.
@@ -122,7 +143,7 @@ impl BaseShared {
         let msg_id = ((core as u64) << 48)
             | (self.msg_ids[core].fetch_add(1, Ordering::Relaxed) & 0xFFFF_FFFF_FFFF);
         let (packets, bytes) = transmit_reply(
-            &*self.nic,
+            &*self.transport,
             core as u16,
             self.endpoint(core),
             &req,

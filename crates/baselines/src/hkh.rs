@@ -10,6 +10,7 @@
 use crate::common::{spawn_cores, BaseShared, BaselineConfig};
 use minos_core::engine::KvEngine;
 use minos_kv::Store;
+use minos_net::Transport;
 use minos_nic::VirtualNic;
 use minos_stats::CoreStats;
 use minos_wire::frag::Reassembler;
@@ -18,33 +19,65 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// The running HKH server.
-pub struct HkhServer {
-    shared: Arc<BaseShared>,
+pub struct HkhServer<T: Transport = VirtualNic> {
+    shared: Arc<BaseShared<T>>,
     threads: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl HkhServer {
-    /// Builds and starts the server threads.
+    /// Builds and starts the server threads over a fresh virtual NIC.
     pub fn start(config: BaselineConfig) -> Self {
-        let shared = BaseShared::new(&config);
+        Self::from_shared(BaseShared::new(&config), config.n_cores)
+    }
+}
+
+impl<T: Transport + 'static> HkhServer<T> {
+    /// Builds and starts the server threads over an externally
+    /// constructed transport (one RX/TX queue pair per core).
+    pub fn start_with_transport(config: BaselineConfig, transport: Arc<T>) -> Self {
+        Self::from_shared(
+            BaseShared::with_transport(&config, transport),
+            config.n_cores,
+        )
+    }
+
+    fn from_shared(shared: Arc<BaseShared<T>>, n_cores: usize) -> Self {
         let threads = {
             let shared = Arc::clone(&shared);
-            spawn_cores(config.n_cores, "hkh-core", move |core| {
-                core_loop(&shared, core)
-            })
+            spawn_cores(n_cores, "hkh-core", move |core| core_loop(&shared, core))
         };
         HkhServer { shared, threads }
     }
 }
 
-fn core_loop(shared: &BaseShared, core: usize) {
+impl<T: Transport> HkhServer<T> {
+    /// The store.
+    pub fn store(&self) -> Arc<Store> {
+        Arc::clone(&self.shared.store)
+    }
+
+    /// Per-core statistics snapshots.
+    pub fn core_stats(&self) -> Vec<CoreStats> {
+        self.shared.stats_snapshot()
+    }
+
+    /// Stops the polling threads and joins them. Idempotent.
+    pub fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn core_loop<T: Transport>(shared: &BaseShared<T>, core: usize) {
     let mut rx_buf: Vec<Packet> = Vec::with_capacity(shared.batch_size);
     let mut reassembler = Reassembler::new(1024);
     let mut idle_rounds = 0u32;
     while !shared.shutdown.load(Ordering::Relaxed) {
         rx_buf.clear();
         let n = shared
-            .nic
+            .transport
             .rx_burst(core as u16, &mut rx_buf, shared.batch_size);
         if n == 0 {
             idle_rounds = idle_rounds.saturating_add(1);
@@ -73,11 +106,11 @@ impl KvEngine for HkhServer {
     }
 
     fn nic(&self) -> Arc<VirtualNic> {
-        Arc::clone(&self.shared.nic)
+        Arc::clone(&self.shared.transport)
     }
 
     fn store(&self) -> Arc<Store> {
-        Arc::clone(&self.shared.store)
+        HkhServer::store(self)
     }
 
     fn n_cores(&self) -> usize {
@@ -85,19 +118,16 @@ impl KvEngine for HkhServer {
     }
 
     fn core_stats(&self) -> Vec<CoreStats> {
-        self.shared.stats_snapshot()
+        HkhServer::core_stats(self)
     }
 
     fn shutdown(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        for t in self.threads.drain(..) {
-            let _ = t.join();
-        }
+        self.stop();
     }
 }
 
-impl Drop for HkhServer {
+impl<T: Transport> Drop for HkhServer<T> {
     fn drop(&mut self) {
-        self.shutdown();
+        self.stop();
     }
 }

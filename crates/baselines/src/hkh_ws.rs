@@ -16,6 +16,7 @@
 use crate::common::{spawn_cores, BaseShared, BaselineConfig, QueueItem};
 use minos_core::engine::KvEngine;
 use minos_kv::Store;
+use minos_net::Transport;
 use minos_nic::VirtualNic;
 use minos_stats::CoreStats;
 use minos_wire::frag::Reassembler;
@@ -25,21 +26,35 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// The running HKH+WS server.
-pub struct HkhWsServer {
-    shared: Arc<BaseShared>,
+pub struct HkhWsServer<T: Transport = VirtualNic> {
+    shared: Arc<BaseShared<T>>,
     threads: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl HkhWsServer {
-    /// Builds and starts the server threads.
+    /// Builds and starts the server threads over a fresh virtual NIC.
     pub fn start(config: BaselineConfig) -> Self {
-        let shared = BaseShared::new(&config);
+        Self::from_shared(BaseShared::new(&config), config.n_cores)
+    }
+}
+
+impl<T: Transport + 'static> HkhWsServer<T> {
+    /// Builds and starts the server threads over an externally
+    /// constructed transport (one RX/TX queue pair per core).
+    pub fn start_with_transport(config: BaselineConfig, transport: Arc<T>) -> Self {
+        Self::from_shared(
+            BaseShared::with_transport(&config, transport),
+            config.n_cores,
+        )
+    }
+
+    fn from_shared(shared: Arc<BaseShared<T>>, n_cores: usize) -> Self {
         // Fragment reassembly is engine-global under stealing (see
         // `packet_to_request_shared`).
         let reassembler = Arc::new(Mutex::new(Reassembler::new(4096)));
         let threads = {
             let shared = Arc::clone(&shared);
-            spawn_cores(config.n_cores, "hkhws-core", move |core| {
+            spawn_cores(n_cores, "hkhws-core", move |core| {
                 core_loop(&shared, &reassembler, core)
             })
         };
@@ -47,7 +62,27 @@ impl HkhWsServer {
     }
 }
 
-fn core_loop(shared: &BaseShared, reassembler: &Mutex<Reassembler>, core: usize) {
+impl<T: Transport> HkhWsServer<T> {
+    /// The store.
+    pub fn store(&self) -> Arc<Store> {
+        Arc::clone(&self.shared.store)
+    }
+
+    /// Per-core statistics snapshots.
+    pub fn core_stats(&self) -> Vec<CoreStats> {
+        self.shared.stats_snapshot()
+    }
+
+    /// Stops the polling threads and joins them. Idempotent.
+    pub fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn core_loop<T: Transport>(shared: &BaseShared<T>, reassembler: &Mutex<Reassembler>, core: usize) {
     let n = shared.n_cores;
     let mut rx_buf: Vec<Packet> = Vec::with_capacity(shared.batch_size);
     let mut idle_rounds = 0u32;
@@ -58,7 +93,7 @@ fn core_loop(shared: &BaseShared, reassembler: &Mutex<Reassembler>, core: usize)
         // 1. Move this core's RX arrivals into its software queue.
         rx_buf.clear();
         if shared
-            .nic
+            .transport
             .rx_burst(core as u16, &mut rx_buf, shared.batch_size)
             > 0
         {
@@ -111,7 +146,7 @@ fn core_loop(shared: &BaseShared, reassembler: &Mutex<Reassembler>, core: usize)
             let victim = (core + d) % n;
             rx_buf.clear();
             if shared
-                .nic
+                .transport
                 .rx_burst(victim as u16, &mut rx_buf, shared.batch_size)
                 > 0
             {
@@ -150,11 +185,11 @@ impl KvEngine for HkhWsServer {
     }
 
     fn nic(&self) -> Arc<VirtualNic> {
-        Arc::clone(&self.shared.nic)
+        Arc::clone(&self.shared.transport)
     }
 
     fn store(&self) -> Arc<Store> {
-        Arc::clone(&self.shared.store)
+        HkhWsServer::store(self)
     }
 
     fn n_cores(&self) -> usize {
@@ -162,19 +197,16 @@ impl KvEngine for HkhWsServer {
     }
 
     fn core_stats(&self) -> Vec<CoreStats> {
-        self.shared.stats_snapshot()
+        HkhWsServer::core_stats(self)
     }
 
     fn shutdown(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        for t in self.threads.drain(..) {
-            let _ = t.join();
-        }
+        self.stop();
     }
 }
 
-impl Drop for HkhWsServer {
+impl<T: Transport> Drop for HkhWsServer<T> {
     fn drop(&mut self) {
-        self.shutdown();
+        self.stop();
     }
 }

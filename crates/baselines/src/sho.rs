@@ -14,6 +14,7 @@
 use crate::common::{spawn_cores, BaseShared, BaselineConfig, QueueItem};
 use minos_core::engine::KvEngine;
 use minos_kv::Store;
+use minos_net::Transport;
 use minos_nic::VirtualNic;
 use minos_stats::CoreStats;
 use minos_wire::frag::Reassembler;
@@ -22,24 +23,43 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// The running SHO server.
-pub struct ShoServer {
-    shared: Arc<BaseShared>,
+pub struct ShoServer<T: Transport = VirtualNic> {
+    shared: Arc<BaseShared<T>>,
     n_handoff: usize,
     threads: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl ShoServer {
     /// Builds and starts the server with `n_handoff` dispatch cores
-    /// (the paper tried 1–3 and reports the best per workload).
+    /// (the paper tried 1–3 and reports the best per workload) over a
+    /// fresh virtual NIC.
     pub fn start(config: BaselineConfig, n_handoff: usize) -> Self {
+        let shared = BaseShared::new(&config);
+        Self::from_shared(shared, config.n_cores, n_handoff)
+    }
+}
+
+impl<T: Transport + 'static> ShoServer<T> {
+    /// Builds and starts the server over an externally constructed
+    /// transport (one RX/TX queue pair per core). Clients must target
+    /// only queues `0..n_handoff`.
+    pub fn start_with_transport(
+        config: BaselineConfig,
+        n_handoff: usize,
+        transport: Arc<T>,
+    ) -> Self {
+        let shared = BaseShared::with_transport(&config, transport);
+        Self::from_shared(shared, config.n_cores, n_handoff)
+    }
+
+    fn from_shared(shared: Arc<BaseShared<T>>, n_cores: usize, n_handoff: usize) -> Self {
         assert!(
-            n_handoff >= 1 && n_handoff < config.n_cores,
+            n_handoff >= 1 && n_handoff < n_cores,
             "need at least one handoff core and one worker"
         );
-        let shared = BaseShared::new(&config);
         let threads = {
             let shared = Arc::clone(&shared);
-            spawn_cores(config.n_cores, "sho-core", move |core| {
+            spawn_cores(n_cores, "sho-core", move |core| {
                 if core < n_handoff {
                     handoff_loop(&shared, core, n_handoff)
                 } else {
@@ -53,23 +73,43 @@ impl ShoServer {
             threads,
         }
     }
+}
 
+impl<T: Transport> ShoServer<T> {
     /// Number of handoff (dispatch) cores.
     pub fn n_handoff(&self) -> usize {
         self.n_handoff
+    }
+
+    /// The store.
+    pub fn store(&self) -> Arc<Store> {
+        Arc::clone(&self.shared.store)
+    }
+
+    /// Per-core statistics snapshots.
+    pub fn core_stats(&self) -> Vec<CoreStats> {
+        self.shared.stats_snapshot()
+    }
+
+    /// Stops the polling threads and joins them. Idempotent.
+    pub fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
     }
 }
 
 /// A handoff core: drains its RX queue, reassembles, deposits complete
 /// requests into its software queue for late binding.
-fn handoff_loop(shared: &BaseShared, core: usize, _n_handoff: usize) {
+fn handoff_loop<T: Transport>(shared: &BaseShared<T>, core: usize, _n_handoff: usize) {
     let mut rx_buf: Vec<Packet> = Vec::with_capacity(shared.batch_size);
     let mut reassembler = Reassembler::new(1024);
     let mut idle_rounds = 0u32;
     while !shared.shutdown.load(Ordering::Relaxed) {
         rx_buf.clear();
         let n = shared
-            .nic
+            .transport
             .rx_burst(core as u16, &mut rx_buf, shared.batch_size);
         if n == 0 {
             idle_rounds = idle_rounds.saturating_add(1);
@@ -97,7 +137,7 @@ fn handoff_loop(shared: &BaseShared, core: usize, _n_handoff: usize) {
 
 /// A worker core: late binding — pull one request at a time from the
 /// handoff queues, round-robin.
-fn worker_loop(shared: &BaseShared, core: usize, n_handoff: usize) {
+fn worker_loop<T: Transport>(shared: &BaseShared<T>, core: usize, n_handoff: usize) {
     let mut next = core % n_handoff; // stagger the starting queue
     let mut idle_rounds = 0u32;
     while !shared.shutdown.load(Ordering::Relaxed) {
@@ -130,11 +170,11 @@ impl KvEngine for ShoServer {
     }
 
     fn nic(&self) -> Arc<VirtualNic> {
-        Arc::clone(&self.shared.nic)
+        Arc::clone(&self.shared.transport)
     }
 
     fn store(&self) -> Arc<Store> {
-        Arc::clone(&self.shared.store)
+        ShoServer::store(self)
     }
 
     fn n_cores(&self) -> usize {
@@ -142,19 +182,16 @@ impl KvEngine for ShoServer {
     }
 
     fn core_stats(&self) -> Vec<CoreStats> {
-        self.shared.stats_snapshot()
+        ShoServer::core_stats(self)
     }
 
     fn shutdown(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        for t in self.threads.drain(..) {
-            let _ = t.join();
-        }
+        self.stop();
     }
 }
 
-impl Drop for ShoServer {
+impl<T: Transport> Drop for ShoServer<T> {
     fn drop(&mut self) {
-        self.shutdown();
+        self.stop();
     }
 }

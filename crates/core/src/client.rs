@@ -5,6 +5,16 @@
 //! corresponding to scenarios in which the packet loss rate is equal
 //! to 0").
 //!
+//! Latency is measured from each request's **scheduled arrival time**
+//! ([`Client::send_batch_at`]), not from when the loadgen got around to
+//! transmitting it — an open-loop generator that falls behind its
+//! schedule and catches up in bursts would otherwise silently
+//! under-report queueing delay (coordinated omission). The time between
+//! first transmission and the reply is kept separately as *service
+//! latency* ([`Client::service_latency`]); with an on-schedule sender
+//! the two are equal, and schedule-based latency is never below
+//! send-based.
+//!
 //! Request addressing follows §3: "The target RX queue is chosen at
 //! random for GET operations, and depends on the keyhash for PUT
 //! operations."
@@ -19,7 +29,7 @@ use bytes::Bytes;
 use minos_net::{Transport, VirtualClientTransport};
 use minos_stats::LatencyHistogram;
 use minos_wire::frag::{FragHeader, FragmentWriter, Fragmenter, Streamed, StreamingReassembler};
-use minos_wire::message::{Body, Message, OpKind, ReplyStatus};
+use minos_wire::message::{Body, Message, OpKind, ReplyStatus, MSG_HEADER_LEN};
 use minos_wire::packet::{synthesize_frame, Endpoint, TxPacket};
 use minos_wire::TxFrame;
 use minos_workload::{OpSpec, Operation, Rng};
@@ -36,8 +46,13 @@ pub struct Completion {
     pub kind: OpKind,
     /// Reply status.
     pub status: ReplyStatus,
-    /// End-to-end latency in nanoseconds.
+    /// End-to-end latency in nanoseconds, measured from the request's
+    /// scheduled arrival time (coordinated-omission-free).
     pub latency_ns: u64,
+    /// Service latency in nanoseconds, measured from the request's
+    /// first transmission. `latency_ns - service_ns` is the scheduling
+    /// lag the sender accumulated before this request went out.
+    pub service_ns: u64,
     /// Whether the request targeted a large item.
     pub large: bool,
 }
@@ -45,9 +60,11 @@ pub struct Completion {
 /// Client-side retransmission policy. The paper leaves retransmission
 /// to the client (§4.1); this is the optional timeout-and-retry flavor
 /// `minos-loadgen --retry-timeout-ms` enables. Latency is always
-/// measured from the *first* transmission, and requests that exhaust
-/// their retry budget stay outstanding, so loss accounting remains
-/// honest: the zero-loss reporting mode is simply "no retry policy".
+/// measured from the request's scheduled arrival (service latency from
+/// its *first* transmission), never from a retry, and requests that
+/// exhaust their retry budget stay outstanding, so loss accounting
+/// remains honest: the zero-loss reporting mode is simply "no retry
+/// policy".
 #[derive(Clone, Copy, Debug)]
 pub struct RetryPolicy {
     /// How long a request may stay unanswered before it is resent.
@@ -58,8 +75,13 @@ pub struct RetryPolicy {
 }
 
 struct Pending {
-    /// First transmission time (latency is measured from here).
-    first_ns: u64,
+    /// Scheduled arrival time on the open-loop injection schedule
+    /// (latency is measured from here — the coordinated-omission fix).
+    /// Callers that don't schedule pass the send instant, collapsing
+    /// the two clocks.
+    sched_ns: u64,
+    /// First transmission time (service latency is measured from here).
+    first_tx_ns: u64,
     /// Most recent (re)transmission time.
     last_tx_ns: u64,
     retries: u32,
@@ -100,25 +122,54 @@ impl ClientTotals {
 /// only partials that actually lost a fragment are ever dropped.
 pub const CLIENT_REASSEMBLY_ROUND_NS: u64 = 1_000_000_000;
 
-/// Reassembly sink for multi-fragment GET replies: a plain contiguous
-/// buffer sized from the first-seen fragment header. Single-fragment
-/// replies never construct one (their payload decodes in place), so the
-/// allocation only happens where a reassembly buffer existed anyway.
-struct ReplyBuffer {
-    buf: Vec<u8>,
+/// Reassembly sink for multi-fragment GET replies that streams each
+/// fragment to its final destination as it arrives: header bytes into a
+/// fixed 32-byte array (parsed in place on completion) and value bytes
+/// straight into the buffer that *becomes* the reply's value — no
+/// intermediate header+value concatenation is ever built, and the
+/// completed sink decodes via [`Message::decode_streamed`] instead of a
+/// contiguous [`Message::decode`]. Single-fragment replies never
+/// construct one (their payload decodes in place).
+struct ReplySink {
+    header: [u8; MSG_HEADER_LEN],
+    value: Vec<u8>,
+    /// Value bytes written through `write_at` — exactly one copy per
+    /// value byte on this path, surfaced as `client.reply_copied_bytes`
+    /// so tests can pin the single-copy property.
+    copied: u64,
 }
 
-impl ReplyBuffer {
-    fn open(h: &FragHeader) -> Option<ReplyBuffer> {
-        Some(ReplyBuffer {
-            buf: vec![0; h.msg_len as usize],
+impl ReplySink {
+    fn open(h: &FragHeader) -> Option<ReplySink> {
+        let msg_len = h.msg_len as usize;
+        // A multi-fragment message shorter than the fixed header is
+        // malformed; rejecting here surfaces it in the unmatched count.
+        if msg_len < MSG_HEADER_LEN {
+            return None;
+        }
+        Some(ReplySink {
+            header: [0; MSG_HEADER_LEN],
+            value: vec![0; msg_len - MSG_HEADER_LEN],
+            copied: 0,
         })
     }
 }
 
-impl FragmentWriter for ReplyBuffer {
+impl FragmentWriter for ReplySink {
     fn write_at(&mut self, offset: usize, chunk: &[u8]) {
-        self.buf[offset..offset + chunk.len()].copy_from_slice(chunk);
+        let mut offset = offset;
+        let mut chunk = chunk;
+        if offset < MSG_HEADER_LEN {
+            let n = chunk.len().min(MSG_HEADER_LEN - offset);
+            self.header[offset..offset + n].copy_from_slice(&chunk[..n]);
+            offset += n;
+            chunk = &chunk[n..];
+        }
+        if !chunk.is_empty() {
+            let at = offset - MSG_HEADER_LEN;
+            self.value[at..at + chunk.len()].copy_from_slice(chunk);
+            self.copied += chunk.len() as u64;
+        }
     }
 }
 
@@ -140,7 +191,7 @@ pub struct Client {
     /// contiguous buffer; stale partials (a lost reply fragment) are
     /// evicted by the round clock below instead of lingering until the
     /// capacity bound forces them out.
-    reassembler: StreamingReassembler<ReplyBuffer>,
+    reassembler: StreamingReassembler<ReplySink>,
     /// Length of one reassembly round; a partial untouched for two
     /// completed rounds is evicted.
     reassembly_round_ns: u64,
@@ -152,6 +203,10 @@ pub struct Client {
     pending: HashMap<u64, Pending>,
     latency: LatencyHistogram,
     latency_large: LatencyHistogram,
+    service_latency: LatencyHistogram,
+    /// Value bytes copied while reassembling multi-fragment replies
+    /// (one copy per byte; see [`ReplySink`]).
+    reply_copied_bytes: u64,
     totals: ClientTotals,
     client_id: u16,
     retry: Option<RetryPolicy>,
@@ -211,6 +266,8 @@ impl Client {
             pending: HashMap::new(),
             latency: LatencyHistogram::new(),
             latency_large: LatencyHistogram::new(),
+            service_latency: LatencyHistogram::new(),
+            reply_copied_bytes: 0,
             totals: ClientTotals::default(),
             client_id,
             retry: None,
@@ -245,8 +302,17 @@ impl Client {
         self
     }
 
-    fn now_ns(&self) -> u64 {
+    /// Nanoseconds on this client's private monotonic clock — the time
+    /// domain scheduled-arrival deadlines for [`Client::send_at`] /
+    /// [`Client::send_batch_at`] must be expressed in.
+    pub fn now_ns(&self) -> u64 {
         self.clock.elapsed().as_nanos() as u64
+    }
+
+    /// The per-source key the server derives for this client's frames
+    /// (reassembly and discard-quota accounting are charged to it).
+    pub fn source_key(&self) -> u64 {
+        self.endpoint.source_key()
     }
 
     fn pick_random_queue(&mut self) -> u16 {
@@ -260,9 +326,21 @@ impl Client {
     }
 
     /// Sends one operation from the workload generator. Values for PUTs
-    /// are synthesized at the spec's item size.
+    /// are synthesized at the spec's item size. Latency is measured from
+    /// now — use [`Client::send_at`] when the op had an earlier
+    /// scheduled arrival.
     pub fn send(&mut self, spec: &OpSpec) {
-        let (frame, queue) = self.prepare_spec(spec);
+        let sched_ns = self.now_ns();
+        self.send_at(spec, sched_ns);
+    }
+
+    /// Sends one operation whose scheduled arrival on the open-loop
+    /// injection schedule was `sched_ns` (in [`Client::now_ns`]'s time
+    /// domain). Latency is measured from `sched_ns`, so a sender that
+    /// fell behind schedule still reports the queueing delay its
+    /// lateness inflicted — the coordinated-omission fix.
+    pub fn send_at(&mut self, spec: &OpSpec, sched_ns: u64) {
+        let (frame, queue) = self.prepare_spec(spec, sched_ns);
         self.transmit(&frame, queue);
     }
 
@@ -280,9 +358,10 @@ impl Client {
             [] => {}
             [one] => self.send(one),
             many => {
+                let sched_ns = self.now_ns();
                 let mut burst: Vec<TxPacket> = Vec::with_capacity(many.len());
                 for spec in many {
-                    let (frame, queue) = self.prepare_spec(spec);
+                    let (frame, queue) = self.prepare_spec(spec, sched_ns);
                     let dst = self.queue_endpoint(queue);
                     for frag in self.fragmenter.fragment_frame(&frame) {
                         burst.push(synthesize_frame(self.endpoint, dst, frag));
@@ -293,14 +372,45 @@ impl Client {
         }
     }
 
-    /// Encodes one workload op and registers it as pending (send time
-    /// starts now); returns the encoded message frame and its target
-    /// queue.
-    fn prepare_spec(&mut self, spec: &OpSpec) -> (TxFrame, u16) {
+    /// [`Client::send_batch`] with a per-op scheduled arrival time:
+    /// each `(spec, sched_ns)` pair is prepared with its own deadline
+    /// (see [`Client::send_at`]) and the whole batch still goes out as
+    /// one coalesced [`Transport::tx_frames`] burst. This is the open
+    /// loop's catch-up path — overdue arrivals keep their original
+    /// deadlines, so the latency histogram charges the backlog to the
+    /// requests that sat in it.
+    pub fn send_batch_at(&mut self, specs: &[(OpSpec, u64)]) {
+        match specs {
+            [] => {}
+            [(one, sched_ns)] => self.send_at(one, *sched_ns),
+            many => {
+                let mut burst: Vec<TxPacket> = Vec::with_capacity(many.len());
+                for (spec, sched_ns) in many {
+                    let (frame, queue) = self.prepare_spec(spec, *sched_ns);
+                    let dst = self.queue_endpoint(queue);
+                    for frag in self.fragmenter.fragment_frame(&frame) {
+                        burst.push(synthesize_frame(self.endpoint, dst, frag));
+                    }
+                }
+                let _ = self.transport.tx_frames(0, &mut burst);
+            }
+        }
+    }
+
+    /// Encodes one workload op and registers it as pending (latency
+    /// clock starts at `sched_ns`, service clock at now); returns the
+    /// encoded message frame and its target queue.
+    fn prepare_spec(&mut self, spec: &OpSpec, sched_ns: u64) -> (TxFrame, u16) {
         match spec.op {
             Operation::Get => {
                 let queue = self.pick_random_queue();
-                self.prepare_message(Body::Get { key: spec.key }, spec.key, queue, spec.is_large)
+                self.prepare_message(
+                    Body::Get { key: spec.key },
+                    spec.key,
+                    queue,
+                    spec.is_large,
+                    sched_ns,
+                )
             }
             Operation::Put => {
                 let value = vec![(spec.key % 251) as u8; spec.item_size as usize];
@@ -311,7 +421,7 @@ impl Client {
                     // no second copy on the loadgen hot path.
                     value: Bytes::from(value),
                 };
-                self.prepare_message(body, spec.key, queue, spec.is_large)
+                self.prepare_message(body, spec.key, queue, spec.is_large, sched_ns)
             }
         }
     }
@@ -342,7 +452,8 @@ impl Client {
     }
 
     fn send_message(&mut self, body: Body, key: u64, queue: u16, large: bool) {
-        let (frame, queue) = self.prepare_message(body, key, queue, large);
+        let sched_ns = self.now_ns();
+        let (frame, queue) = self.prepare_message(body, key, queue, large, sched_ns);
         self.transmit(&frame, queue);
     }
 
@@ -350,7 +461,14 @@ impl Client {
     /// pending — everything [`Client::send_message`] does short of
     /// transmitting, so batched senders can coalesce many prepared
     /// requests into one burst.
-    fn prepare_message(&mut self, body: Body, key: u64, queue: u16, large: bool) -> (TxFrame, u16) {
+    fn prepare_message(
+        &mut self,
+        body: Body,
+        key: u64,
+        queue: u16,
+        large: bool,
+        sched_ns: u64,
+    ) -> (TxFrame, u16) {
         let request_id = self.next_request_id;
         self.next_request_id += 1;
         let now = self.now_ns();
@@ -364,7 +482,8 @@ impl Client {
         self.pending.insert(
             request_id,
             Pending {
-                first_ns: now,
+                sched_ns,
+                first_tx_ns: now,
                 last_tx_ns: now,
                 retries: 0,
                 key,
@@ -476,9 +595,12 @@ impl Client {
                 }
                 Some(_) => {}
             }
-            match self.reassembler.push(src, pkt.payload, ReplyBuffer::open) {
-                Streamed::Complete(w) => {
-                    if let Some(msg) = Message::decode(Bytes::from(w.buf)) {
+            match self.reassembler.push(src, pkt.payload, ReplySink::open) {
+                Streamed::Complete(sink) => {
+                    self.reply_copied_bytes += sink.copied;
+                    if let Some(msg) =
+                        Message::decode_streamed(&sink.header, Bytes::from(sink.value))
+                    {
                         if let Some(c) = self.complete(msg) {
                             out.push(c);
                         }
@@ -524,7 +646,9 @@ impl Client {
             self.totals.unmatched += 1;
             return None;
         };
-        let latency_ns = self.now_ns().saturating_sub(pending.first_ns);
+        let now = self.now_ns();
+        let latency_ns = now.saturating_sub(pending.sched_ns);
+        let service_ns = now.saturating_sub(pending.first_tx_ns);
         let status = match &msg.body {
             Body::GetReply { status, .. }
             | Body::PutReply { status, .. }
@@ -539,6 +663,7 @@ impl Client {
             self.totals.errors += 1;
         }
         self.latency.record_ns(latency_ns);
+        self.service_latency.record_ns(service_ns);
         if pending.large {
             self.latency_large.record_ns(latency_ns);
         }
@@ -547,6 +672,7 @@ impl Client {
             kind: msg.body.kind(),
             status,
             latency_ns,
+            service_ns,
             large: pending.large,
         })
     }
@@ -565,14 +691,35 @@ impl Client {
         true
     }
 
-    /// Latency histogram over all completed requests.
+    /// Latency histogram over all completed requests, measured from
+    /// each request's scheduled arrival (coordinated-omission-free).
     pub fn latency(&self) -> &LatencyHistogram {
         &self.latency
     }
 
-    /// Latency histogram over large requests only (Figure 4's metric).
+    /// Latency histogram over large requests only (Figure 4's metric),
+    /// schedule-based like [`Client::latency`].
     pub fn latency_large(&self) -> &LatencyHistogram {
         &self.latency_large
+    }
+
+    /// Service-latency histogram: time from each request's *first
+    /// transmission* to its reply, over all completed requests. With an
+    /// on-schedule sender this equals [`Client::latency`]; the gap
+    /// between the two is the scheduling lag coordinated omission used
+    /// to hide.
+    pub fn service_latency(&self) -> &LatencyHistogram {
+        &self.service_latency
+    }
+
+    /// Value bytes copied while reassembling multi-fragment replies.
+    /// Each streamed value byte is written exactly once into the buffer
+    /// the reply hands out, so this equals the total value bytes
+    /// received on the large-GET path — any excess would mean an
+    /// intermediate copy crept back in. Reported as
+    /// `client.reply_copied_bytes`.
+    pub fn reply_copied_bytes(&self) -> u64 {
+        self.reply_copied_bytes
     }
 
     /// Totals snapshot.

@@ -58,6 +58,14 @@ pub struct MinosConfig {
     /// counterpart of client retransmission: a lost fragment means a
     /// lost request, and the server must not strand memory for it).
     pub reassembly_round_ns: u64,
+    /// Maximum concurrent *discard-mode* ingests (large PUTs accepted
+    /// without a mempool reservation, purely to answer `OutOfMemory`)
+    /// one source endpoint may hold. Under memory pressure a malicious
+    /// client could otherwise open unbounded partial-ingest state and
+    /// monopolize the reassembler; over-quota opens are rejected with an
+    /// immediate `OutOfMemory` and counted in
+    /// `ingest.discard_quota_rejects`.
+    pub discard_quota_per_source: u32,
 }
 
 impl Default for MinosConfig {
@@ -73,6 +81,7 @@ impl Default for MinosConfig {
             allocation_policy: AllocationPolicy::Standard,
             soft_queue_capacity: 4096,
             reassembly_round_ns: 1_000_000_000,
+            discard_quota_per_source: 8,
         }
     }
 }
@@ -100,6 +109,9 @@ impl MinosConfig {
         }
         if self.reassembly_round_ns == 0 {
             return Err("reassembly_round_ns must be positive".into());
+        }
+        if self.discard_quota_per_source == 0 {
+            return Err("discard_quota_per_source must be positive".into());
         }
         Ok(())
     }

@@ -27,8 +27,110 @@
 
 use minos_kv::{PoolBytesMut, PutError, Store};
 use minos_wire::frag::{FragHeader, FragmentWriter};
-use minos_wire::message::{Message, OpKind, ReplyStatus, MSG_HEADER_LEN};
+use minos_wire::message::{Body, Message, OpKind, ReplyStatus, MSG_HEADER_LEN};
 use minos_wire::MAX_FRAG_CHUNK;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Caps how many discard-mode ingests one source endpoint may hold
+/// concurrently. Discard mode exists so a PUT that finds the mempool
+/// full still completes with an honest `OutOfMemory` reply — but each
+/// one occupies a partial-reassembly slot while consuming fragments,
+/// and those slots are a shared, bounded resource. Without a bound, one
+/// client spraying large PUTs at a memory-starved server monopolizes
+/// the reassembler and starves every other client's (payable)
+/// requests. Slots are charged per source on open and released when the
+/// ingest commits, is dropped as malformed, or is evicted as stale.
+pub struct DiscardQuota {
+    per_source: u32,
+    inner: Mutex<HashMap<u64, u32>>,
+    rejects: AtomicU64,
+}
+
+impl DiscardQuota {
+    /// A quota allowing `per_source` concurrent discard-mode ingests
+    /// per source endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_source` is zero (a zero quota would turn every
+    /// memory-pressure PUT into a silent drop).
+    pub fn new(per_source: u32) -> Arc<Self> {
+        assert!(per_source > 0, "discard quota must be positive");
+        Arc::new(DiscardQuota {
+            per_source,
+            inner: Mutex::new(HashMap::new()),
+            rejects: AtomicU64::new(0),
+        })
+    }
+
+    /// Charges one discard slot to `src`, or counts a reject when the
+    /// source is already at its cap.
+    pub fn try_acquire(self: &Arc<Self>, src: u64) -> Option<DiscardToken> {
+        {
+            let mut map = self.inner.lock();
+            let held = map.entry(src).or_insert(0);
+            if *held < self.per_source {
+                *held += 1;
+                return Some(DiscardToken {
+                    quota: Arc::clone(self),
+                    src,
+                });
+            }
+        }
+        self.rejects.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Over-quota opens rejected so far. Note the reassembler re-runs a
+    /// rejected message's open on each of its later fragments, so one
+    /// over-quota *message* contributes one reject per fragment seen.
+    pub fn rejects(&self) -> u64 {
+        self.rejects.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII charge of one discard slot, released on drop — which happens on
+/// commit, on a malformed-message drop, and on stale-partial eviction
+/// alike, so the quota can never leak.
+pub struct DiscardToken {
+    quota: Arc<DiscardQuota>,
+    src: u64,
+}
+
+impl Drop for DiscardToken {
+    fn drop(&mut self) {
+        let mut map = self.quota.inner.lock();
+        if let Some(held) = map.get_mut(&self.src) {
+            *held -= 1;
+            if *held == 0 {
+                map.remove(&self.src);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for DiscardToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiscardToken")
+            .field("src", &self.src)
+            .finish()
+    }
+}
+
+/// Outcome of a quota-checked [`PutIngest::open_bounded`].
+#[derive(Debug)]
+pub enum OpenOutcome {
+    /// The ingest opened (reserved, or in-quota discard mode).
+    Open(PutIngest),
+    /// The fragment geometry cannot be a valid message.
+    Malformed,
+    /// The mempool is full and `src` is at its discard quota; the
+    /// caller should answer `OutOfMemory` without opening any state.
+    OverQuota,
+}
 
 /// A committed streamed PUT: everything the server needs to build the
 /// reply, recovered from the streamed application header.
@@ -80,6 +182,9 @@ pub struct PutIngest {
     /// answers `OutOfMemory`.
     reservation: Option<PoolBytesMut>,
     value_len: usize,
+    /// The discard-quota slot this ingest holds while in discard mode
+    /// (kept purely for its release-on-drop effect).
+    _discard_token: Option<DiscardToken>,
 }
 
 impl PutIngest {
@@ -96,6 +201,40 @@ impl PutIngest {
             header: [0u8; MSG_HEADER_LEN],
             reservation: store.reserve(value_len),
             value_len,
+            _discard_token: None,
+        })
+    }
+
+    /// [`PutIngest::open`] with discard-mode admission control: a
+    /// failed reservation may only fall back to discard mode while
+    /// `src` holds fewer than the quota's cap of discard slots.
+    /// Over-quota opens return [`OpenOutcome::OverQuota`] — no ingest
+    /// state is created, the reject is counted, and the caller can
+    /// answer `OutOfMemory` straight from the fragment in hand.
+    pub fn open_bounded(
+        store: &Store,
+        fh: &FragHeader,
+        src: u64,
+        quota: &Arc<DiscardQuota>,
+    ) -> OpenOutcome {
+        let msg_len = fh.msg_len as usize;
+        let Some(value_len) = msg_len.checked_sub(MSG_HEADER_LEN) else {
+            return OpenOutcome::Malformed;
+        };
+        let reservation = store.reserve(value_len);
+        let token = if reservation.is_none() {
+            match quota.try_acquire(src) {
+                Some(token) => Some(token),
+                None => return OpenOutcome::OverQuota,
+            }
+        } else {
+            None
+        };
+        OpenOutcome::Open(PutIngest {
+            header: [0u8; MSG_HEADER_LEN],
+            reservation,
+            value_len,
+            _discard_token: token,
         })
     }
 
@@ -107,23 +246,20 @@ impl PutIngest {
     /// reservation.
     pub fn commit(self, store: &Store) -> Option<CompletedPut> {
         // The header was filled by fragment 0 (MSG_HEADER_LEN is far
-        // below one chunk), in the exact wire layout Message::decode
-        // reads: kind(1) status(1) client_id(2) request_id(8) ts(8)
-        // key(8) value_len(4).
-        let h = &self.header;
-        if h[0] != OpKind::PutRequest as u8 {
-            return None;
-        }
-        let client_id = u16::from_be_bytes([h[2], h[3]]);
-        let request_id = u64::from_be_bytes(h[4..12].try_into().expect("8 bytes"));
-        let client_ts_ns = u64::from_be_bytes(h[12..20].try_into().expect("8 bytes"));
-        let key = u64::from_be_bytes(h[20..28].try_into().expect("8 bytes"));
-        let wire_value_len = u32::from_be_bytes(h[28..32].try_into().expect("4 bytes")) as usize;
-        if wire_value_len != self.value_len {
+        // below one chunk).
+        let put = parse_put_header(&self.header)?;
+        if put.wire_value_len != self.value_len {
             // The header's value length disagrees with the fragment
             // geometry: a forged or corrupted message.
             return None;
         }
+        let PutHeader {
+            client_id,
+            request_id,
+            client_ts_ns,
+            key,
+            ..
+        } = put;
         let status = match self.reservation {
             None => ReplyStatus::OutOfMemory,
             Some(reservation) => match store.put_reserved(key, reservation.seal()) {
@@ -140,6 +276,57 @@ impl PutIngest {
             value_len: self.value_len,
         })
     }
+}
+
+/// The identifying fields of a PUT request's 32-byte wire header.
+struct PutHeader {
+    client_id: u16,
+    request_id: u64,
+    client_ts_ns: u64,
+    key: u64,
+    wire_value_len: usize,
+}
+
+/// Parses a PUT request's application header in the exact wire layout
+/// `Message::decode` reads: kind(1) status(1) client_id(2)
+/// request_id(8) ts(8) key(8) value_len(4), all big-endian. `None` for
+/// any other kind.
+fn parse_put_header(h: &[u8; MSG_HEADER_LEN]) -> Option<PutHeader> {
+    if h[0] != OpKind::PutRequest as u8 {
+        return None;
+    }
+    Some(PutHeader {
+        client_id: u16::from_be_bytes([h[2], h[3]]),
+        request_id: u64::from_be_bytes(h[4..12].try_into().expect("8 bytes")),
+        client_ts_ns: u64::from_be_bytes(h[12..20].try_into().expect("8 bytes")),
+        key: u64::from_be_bytes(h[20..28].try_into().expect("8 bytes")),
+        wire_value_len: u32::from_be_bytes(h[28..32].try_into().expect("4 bytes")) as usize,
+    })
+}
+
+/// Builds the immediate `OutOfMemory` reply for a PUT whose open was
+/// rejected over the discard quota, straight from the raw chunk of its
+/// *first* fragment (fragment-header already stripped) — the one
+/// fragment that carries the application header. Returns `None` when
+/// the chunk doesn't hold a PUT header (a later fragment of the
+/// rejected message, or not a PUT at all): those fragments are simply
+/// dropped, and the client's retransmission handles the rest (§4.1).
+pub fn rejected_put_reply(chunk: &[u8]) -> Option<Message> {
+    if chunk.len() < MSG_HEADER_LEN {
+        return None;
+    }
+    let mut h = [0u8; MSG_HEADER_LEN];
+    h.copy_from_slice(&chunk[..MSG_HEADER_LEN]);
+    let put = parse_put_header(&h)?;
+    Some(Message {
+        client_id: put.client_id,
+        request_id: put.request_id,
+        client_ts_ns: put.client_ts_ns,
+        body: Body::PutReply {
+            status: ReplyStatus::OutOfMemory,
+            key: put.key,
+        },
+    })
 }
 
 impl FragmentWriter for PutIngest {
@@ -278,6 +465,94 @@ mod tests {
         }
         assert!(done.unwrap().commit(&store).is_none());
         assert_eq!(store.mempool().used_bytes(), 0, "reservation released");
+    }
+
+    fn oom_store() -> Store {
+        Store::new(StoreConfig {
+            partitions: 1,
+            buckets_per_partition: 8,
+            overflow_per_partition: 4,
+            items_per_partition: 32,
+            mempool_bytes: 1024,
+            max_value_bytes: 1 << 20,
+        })
+    }
+
+    fn large_frag_header() -> FragHeader {
+        FragHeader {
+            msg_id: 9,
+            index: 0,
+            count: 15,
+            msg_len: (MSG_HEADER_LEN + 20_000) as u32,
+        }
+    }
+
+    #[test]
+    fn discard_quota_bounds_per_source() {
+        let store = oom_store();
+        let quota = DiscardQuota::new(1);
+        let fh = large_frag_header();
+        // The mempool has no room, so this opens in discard mode and
+        // charges source 1's only slot...
+        let first = match PutIngest::open_bounded(&store, &fh, 1, &quota) {
+            OpenOutcome::Open(i) => i,
+            other => panic!("expected in-quota discard open, got {other:?}"),
+        };
+        assert!(first.reservation.is_none(), "discard mode");
+        // ...so source 1's next open is rejected, while source 2 still
+        // gets its own slot.
+        assert!(matches!(
+            PutIngest::open_bounded(&store, &fh, 1, &quota),
+            OpenOutcome::OverQuota
+        ));
+        assert_eq!(quota.rejects(), 1);
+        assert!(matches!(
+            PutIngest::open_bounded(&store, &fh, 2, &quota),
+            OpenOutcome::Open(_)
+        ));
+        // Dropping the held ingest releases the slot.
+        drop(first);
+        assert!(matches!(
+            PutIngest::open_bounded(&store, &fh, 1, &quota),
+            OpenOutcome::Open(_)
+        ));
+        assert_eq!(quota.rejects(), 1, "in-quota opens are not rejects");
+    }
+
+    #[test]
+    fn reserved_ingests_do_not_charge_quota() {
+        let store = test_store();
+        let quota = DiscardQuota::new(1);
+        let fh = large_frag_header();
+        // Plenty of mempool: both opens reserve, neither touches the
+        // quota even though the per-source cap is 1.
+        let a = PutIngest::open_bounded(&store, &fh, 1, &quota);
+        let b = PutIngest::open_bounded(&store, &fh, 1, &quota);
+        assert!(matches!(a, OpenOutcome::Open(ref i) if i.reservation.is_some()));
+        assert!(matches!(b, OpenOutcome::Open(ref i) if i.reservation.is_some()));
+        assert_eq!(quota.rejects(), 0);
+    }
+
+    #[test]
+    fn rejected_put_reply_echoes_identifiers() {
+        let enc = put_message(5, vec![1u8; 20_000]).encode();
+        let reply = rejected_put_reply(&enc).expect("fragment 0 carries the header");
+        assert_eq!(reply.client_id, 3);
+        assert_eq!(reply.request_id, 77);
+        assert_eq!(reply.client_ts_ns, 123);
+        match reply.body {
+            Body::PutReply { status, key } => {
+                assert_eq!(status, ReplyStatus::OutOfMemory);
+                assert_eq!(key, 5);
+            }
+            other => panic!("unexpected body {other:?}"),
+        }
+        // A later fragment's chunk (no header) and a non-PUT header
+        // both yield no reply.
+        assert!(rejected_put_reply(&enc[..10]).is_none());
+        let mut get = enc.to_vec();
+        get[0] = OpKind::GetRequest as u8;
+        assert!(rejected_put_reply(&get).is_none());
     }
 
     #[test]

@@ -31,7 +31,7 @@ use crate::allocation::allocate;
 use crate::config::MinosConfig;
 use crate::dispatch::drain_schedule;
 use crate::engine::KvEngine;
-use crate::ingest::PutIngest;
+use crate::ingest::{rejected_put_reply, DiscardQuota, OpenOutcome, PutIngest};
 use crate::plan::{Destination, ShardingPlan};
 use crate::ranges::LargeRanges;
 use crate::threshold::ThresholdController;
@@ -225,6 +225,9 @@ struct Shared<T: Transport> {
     msg_ids: Vec<AtomicU64>,
     /// Fragment-to-core pinning for in-flight multi-packet messages.
     flow_pins: FlowPins,
+    /// Per-source cap on concurrent discard-mode ingests (memory-
+    /// pressure PUTs held only to answer `OutOfMemory`).
+    discard_quota: Arc<DiscardQuota>,
 }
 
 impl<T: Transport> Shared<T> {
@@ -296,6 +299,10 @@ impl<T: Transport + 'static> Collector for EngineCollector<T> {
         out.push((
             "ingest.put_copied_bytes".to_string(),
             MetricValue::Counter(shared.store.mempool().stats().copied_bytes),
+        ));
+        out.push((
+            "ingest.discard_quota_rejects".to_string(),
+            MetricValue::Counter(shared.discard_quota.rejects()),
         ));
     }
 }
@@ -379,6 +386,7 @@ impl<T: Transport + 'static> MinosServer<T> {
             epoch_deadline_ns: AtomicU64::new(config.minos.epoch_ns),
             msg_ids: (0..n).map(|_| AtomicU64::new(0)).collect(),
             flow_pins: FlowPins::new(4096),
+            discard_quota: DiscardQuota::new(config.minos.discard_quota_per_source),
             config: config.minos,
             transport: Arc::clone(&transport),
             registry: Arc::clone(&registry),
@@ -455,6 +463,13 @@ impl<T: Transport + 'static> MinosServer<T> {
     /// values).
     pub fn registry(&self) -> Arc<MetricsRegistry> {
         Arc::clone(&self.shared.registry)
+    }
+
+    /// The per-source discard-mode quota guarding `PutIngest` opens
+    /// under memory pressure. Exposed so tests can pin a source's
+    /// slots and exercise the over-quota reply path deterministically.
+    pub fn discard_quota(&self) -> Arc<DiscardQuota> {
+        Arc::clone(&self.shared.discard_quota)
     }
 
     /// Forces an epoch update immediately (testing hook: the same code
@@ -737,9 +752,39 @@ fn stream_put_fragment<T: Transport>(
 ) {
     let src = pkt.source_endpoint();
     let reply_to = endpoint_of(&pkt);
-    match reassembler.push(src, pkt.payload, |fh| PutIngest::open(&shared.store, fh)) {
+    // Cheap refcount clone: keeps the chunk reachable for the
+    // over-quota reply below after `push` consumes the payload.
+    let payload = pkt.payload.clone();
+    let mut over_quota = false;
+    let streamed = reassembler.push(src, pkt.payload, |fh| {
+        match PutIngest::open_bounded(&shared.store, fh, src, &shared.discard_quota) {
+            OpenOutcome::Open(ingest) => Some(ingest),
+            OpenOutcome::Malformed => None,
+            OpenOutcome::OverQuota => {
+                over_quota = true;
+                None
+            }
+        }
+    });
+    match streamed {
         Streamed::Complete(ingest) => finish_streamed_put(shared, core, ingest, reply_to),
         Streamed::Incomplete | Streamed::Duplicate => {}
+        Streamed::Rejected if over_quota => {
+            // The source is hogging discard slots: no ingest state was
+            // opened, but the paper's contract (every request gets a
+            // reply) still holds when this fragment is the one carrying
+            // the application header — answer `OutOfMemory` right here.
+            // Header-less fragments of the rejected message are simply
+            // dropped.
+            let mut rd = payload;
+            if let Some(fh) = FragHeader::decode(&mut rd) {
+                if fh.index == 0 {
+                    if let Some(reply) = rejected_put_reply(&rd) {
+                        send_reply(shared, core, reply_to, &reply);
+                    }
+                }
+            }
+        }
         Streamed::Rejected => {
             shared.malformed.inc();
         }

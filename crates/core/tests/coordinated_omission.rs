@@ -1,0 +1,128 @@
+//! The coordinated-omission guarantee: latency is measured from each
+//! request's *scheduled* arrival on the open-loop injection schedule,
+//! so a sender that fell behind and drains its backlog in a catch-up
+//! burst cannot under-report the queueing delay its lateness caused.
+//! Service latency (from first transmission) is kept separately; the
+//! schedule-based histogram must dominate it percentile for percentile.
+
+use minos_core::client::Client;
+use minos_core::server::{MinosServer, ServerConfig};
+use minos_workload::{OpSpec, Operation};
+use std::time::Duration;
+
+fn get_spec(key: u64) -> OpSpec {
+    OpSpec {
+        key,
+        op: Operation::Get,
+        item_size: 1,
+        is_large: false,
+    }
+}
+
+#[test]
+fn backlogged_open_loop_reports_scheduling_lag() {
+    let mut server = MinosServer::start(ServerConfig::for_test(2, 10_000));
+    let mut client = Client::new(&server, 1, 42);
+
+    // Preload the keys the measured GETs will hit.
+    for key in 0..16 {
+        client.send_put(key, b"v", false);
+    }
+    assert!(client.drain(Duration::from_secs(10)), "preload replies");
+    let preloads = client.totals().completed;
+
+    // A deliberately backlogged open loop: GETs whose scheduled
+    // arrivals stretch up to OPS * GAP_NS ≈ 128 ms into the past, all
+    // transmitted right now in one catch-up burst — exactly the shape a
+    // load generator behind its schedule produces.
+    const OPS: u64 = 256;
+    const GAP_NS: u64 = 500_000;
+    // Let the client clock run past the backlog span so the past
+    // deadlines below don't saturate at the clock's origin.
+    while client.now_ns() < OPS * GAP_NS + 1_000_000 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let now = client.now_ns();
+    let batch: Vec<(OpSpec, u64)> = (0..OPS)
+        .map(|i| (get_spec(i % 16), now.saturating_sub((OPS - i) * GAP_NS)))
+        .collect();
+    client.send_batch_at(&batch);
+    assert!(client.drain(Duration::from_secs(10)), "all GETs complete");
+    assert_eq!(client.totals().completed, preloads + OPS);
+
+    let sched = client.latency().quantiles().expect("completions");
+    let svc = client.service_latency().quantiles().expect("completions");
+    assert_eq!(sched.count, svc.count, "same samples in both histograms");
+
+    // Every sample's schedule-based latency is its service latency plus
+    // its (non-negative) scheduling lag, so the schedule-based
+    // histogram dominates at every percentile.
+    assert!(
+        sched.p50_us >= svc.p50_us,
+        "{} < {}",
+        sched.p50_us,
+        svc.p50_us
+    );
+    assert!(
+        sched.p99_us >= svc.p99_us,
+        "{} < {}",
+        sched.p99_us,
+        svc.p99_us
+    );
+    assert!(
+        sched.max_us >= svc.max_us,
+        "{} < {}",
+        sched.max_us,
+        svc.max_us
+    );
+
+    // The oldest deadline was ~128 ms late; send-based measurement used
+    // to hide that entirely. (0.9: histogram resolution tolerance.)
+    let oldest_lag_us = (OPS * GAP_NS) as f64 / 1e3;
+    assert!(
+        sched.max_us >= 0.9 * oldest_lag_us,
+        "schedule-based max {:.0}us must surface the {:.0}us backlog",
+        sched.max_us,
+        oldest_lag_us
+    );
+    assert!(
+        svc.p50_us < 0.5 * oldest_lag_us,
+        "service latency (p50 {:.0}us) must not absorb the backlog",
+        svc.p50_us
+    );
+    server.shutdown();
+}
+
+#[test]
+fn on_schedule_sender_collapses_the_two_clocks() {
+    // Unscheduled sends stamp the scheduled arrival at the send
+    // instant, so latency and service latency are the same samples.
+    let mut server = MinosServer::start(ServerConfig::for_test(2, 10_000));
+    let mut client = Client::new(&server, 1, 7);
+
+    client.send_put(1, b"value", false);
+    assert!(client.drain(Duration::from_secs(10)));
+    for _ in 0..64 {
+        client.send(&get_spec(1));
+    }
+    assert!(client.drain(Duration::from_secs(10)), "all GETs complete");
+
+    let sched = client.latency().quantiles().expect("completions");
+    let svc = client.service_latency().quantiles().expect("completions");
+    assert_eq!(sched.count, svc.count);
+    // The scheduled arrival is stamped a few instructions before the
+    // transmission timestamp, so schedule-based latency sits a hair
+    // above service latency — but only a hair.
+    for (s, v, what) in [
+        (sched.p50_us, svc.p50_us, "p50"),
+        (sched.p99_us, svc.p99_us, "p99"),
+        (sched.max_us, svc.max_us, "max"),
+    ] {
+        assert!(s >= v, "{what}: schedule-based {s} below send-based {v}");
+        assert!(
+            s - v <= 0.01 * v + 5.0,
+            "{what}: schedule-based {s} should track send-based {v} when on schedule"
+        );
+    }
+    server.shutdown();
+}

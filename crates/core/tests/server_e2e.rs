@@ -71,6 +71,60 @@ fn start_server(cores: usize) -> MinosServer {
     MinosServer::start(ServerConfig::for_test(cores, 10_000))
 }
 
+/// Under memory pressure, discard-mode ingests are rationed per source:
+/// a source already at its quota gets over-quota PUTs answered
+/// `OutOfMemory` immediately without opening any ingest state (counted
+/// in `ingest.discard_quota_rejects`), and once a slot frees up the
+/// same source's PUTs flow through discard mode again — still
+/// `OutOfMemory`, but via a real (bounded) ingest.
+#[test]
+fn over_quota_discard_puts_still_get_oom_replies() {
+    let mut config = ServerConfig::for_test(2, 10_000);
+    // A mempool too small for any large value: every large PUT wants
+    // discard mode. One discard slot per source.
+    config.store.mempool_bytes = 1024;
+    config.minos.discard_quota_per_source = 1;
+    let mut server = MinosServer::start(config);
+    let mut client = Client::new(&server, 1, 45);
+
+    // Pin the client's only discard slot, exactly as a still-draining
+    // discard ingest from the same source would hold it. (Racing real
+    // concurrent PUTs cannot guarantee overlap on a small machine: the
+    // cores may serialize them, closing each ingest before the next
+    // opens.)
+    let quota = server.discard_quota();
+    let token = quota
+        .try_acquire(client.source_key())
+        .expect("slot initially free");
+
+    let value = vec![3u8; 60_000];
+    client.send_put(0, &value, true);
+    assert!(
+        client.drain(Duration::from_secs(20)),
+        "over-quota PUT still gets a reply"
+    );
+    let snap = server.registry().snapshot();
+    let rejects = snap.counter("ingest.discard_quota_rejects").unwrap_or(0);
+    assert!(
+        rejects >= 1,
+        "over-quota opens must be counted, got {rejects}"
+    );
+
+    // Slot released: the next PUT drains through a discard-mode ingest.
+    drop(token);
+    client.send_put(1, &value, true);
+    assert!(
+        client.drain(Duration::from_secs(20)),
+        "in-quota PUT answered through discard mode"
+    );
+
+    let totals = client.totals();
+    assert_eq!(totals.completed, 2);
+    assert_eq!(totals.errors, 2, "all OutOfMemory");
+    assert_eq!(server.store().len(), 0, "nothing was committed");
+    server.shutdown();
+}
+
 #[test]
 fn put_get_roundtrip_small() {
     let mut server = start_server(2);
@@ -110,6 +164,14 @@ fn large_put_fragments_and_reassembles() {
     let totals = client.totals();
     assert_eq!(totals.completed, 2);
     assert_eq!(totals.errors, 0);
+
+    // The reassembled reply streamed straight into its value buffer:
+    // exactly one copy per value byte, no header+value concatenation.
+    assert_eq!(
+        client.reply_copied_bytes(),
+        value.len() as u64,
+        "large-GET reply value bytes must be copied exactly once"
+    );
 
     // The large work was handed off at least once.
     let stats = server.core_stats();

@@ -495,6 +495,7 @@ impl LatencyHistogram {
             p95_us: self.percentile_us(95.0).unwrap_or(0.0),
             p99_us: self.percentile_us(99.0).unwrap_or(0.0),
             p999_us: self.percentile_us(99.9).unwrap_or(0.0),
+            p9999_us: self.percentile_us(99.99).unwrap_or(0.0),
             max_us: self.0.max().unwrap_or(0) as f64 / 1_000.0,
         })
     }

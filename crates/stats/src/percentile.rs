@@ -56,6 +56,9 @@ pub struct Quantiles {
     pub p99_us: f64,
     /// 99.9th percentile, µs.
     pub p999_us: f64,
+    /// 99.99th percentile, µs (the deep-tail point rate sweeps report;
+    /// meaningful once `count` reaches ~10⁴ observations).
+    pub p9999_us: f64,
     /// Maximum, µs.
     pub max_us: f64,
 }
@@ -64,13 +67,14 @@ impl std::fmt::Display for Quantiles {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "n={} mean={:.1}us p50={:.1}us p95={:.1}us p99={:.1}us p99.9={:.1}us max={:.1}us",
+            "n={} mean={:.1}us p50={:.1}us p95={:.1}us p99={:.1}us p99.9={:.1}us p99.99={:.1}us max={:.1}us",
             self.count,
             self.mean_us,
             self.p50_us,
             self.p95_us,
             self.p99_us,
             self.p999_us,
+            self.p9999_us,
             self.max_us
         )
     }
@@ -127,9 +131,11 @@ mod tests {
             p95_us: 2.5,
             p99_us: 3.0,
             p999_us: 4.0,
+            p9999_us: 4.5,
             max_us: 5.0,
         };
         let s = q.to_string();
         assert!(s.contains("p99=3.0us"), "{s}");
+        assert!(s.contains("p99.99=4.5us"), "{s}");
     }
 }

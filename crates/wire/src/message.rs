@@ -231,21 +231,35 @@ impl Message {
 
     /// Parses a message from `data`. Fails on truncation, unknown kinds
     /// or inconsistent lengths.
-    pub fn decode(mut data: Bytes) -> Option<Message> {
+    pub fn decode(data: Bytes) -> Option<Message> {
         if data.len() < MSG_HEADER_LEN {
             return None;
         }
-        let kind = OpKind::from_u8(data.get_u8())?;
-        let status_raw = data.get_u8();
-        let client_id = data.get_u16();
-        let request_id = data.get_u64();
-        let client_ts_ns = data.get_u64();
-        let key = data.get_u64();
-        let value_len = data.get_u32() as usize;
-        if data.remaining() != value_len {
+        let mut header = [0u8; MSG_HEADER_LEN];
+        header.copy_from_slice(&data[..MSG_HEADER_LEN]);
+        Self::decode_streamed(&header, data.slice(MSG_HEADER_LEN..))
+    }
+
+    /// Parses a message whose fixed header and value arrived in
+    /// *separate* buffers — the streaming-reassembly path, where
+    /// fragment payloads were written straight into a value sink and no
+    /// contiguous header+value image ever exists. Validation is
+    /// identical to [`Message::decode`] ([`Message::decode`] is this
+    /// function applied to a split of its input), including the
+    /// requirement that `value.len()` match the header's value-length
+    /// field.
+    pub fn decode_streamed(header: &[u8; MSG_HEADER_LEN], value: Bytes) -> Option<Message> {
+        let mut h = &header[..];
+        let kind = OpKind::from_u8(h.get_u8())?;
+        let status_raw = h.get_u8();
+        let client_id = h.get_u16();
+        let request_id = h.get_u64();
+        let client_ts_ns = h.get_u64();
+        let key = h.get_u64();
+        let value_len = h.get_u32() as usize;
+        if value.len() != value_len {
             return None;
         }
-        let value = data;
         let body = match kind {
             OpKind::GetRequest => Body::Get { key },
             OpKind::PutRequest => Body::Put { key, value },
@@ -371,6 +385,24 @@ mod tests {
             }
             other => panic!("unexpected body {other:?}"),
         }
+    }
+
+    #[test]
+    fn streamed_decode_matches_contiguous() {
+        let req = Message {
+            client_id: 1,
+            request_id: 2,
+            client_ts_ns: 3,
+            body: Body::Get { key: 5 },
+        };
+        let rep = req.reply(ReplyStatus::Ok, Some(Bytes::from(vec![0x5A; 777])));
+        let enc = rep.encode();
+        let mut header = [0u8; MSG_HEADER_LEN];
+        header.copy_from_slice(&enc[..MSG_HEADER_LEN]);
+        let streamed = Message::decode_streamed(&header, enc.slice(MSG_HEADER_LEN..)).unwrap();
+        assert_eq!(streamed, Message::decode(enc).unwrap());
+        // A value shorter than the header claims is rejected.
+        assert!(Message::decode_streamed(&header, Bytes::from(vec![0u8; 776])).is_none());
     }
 
     #[test]

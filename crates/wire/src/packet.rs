@@ -97,6 +97,12 @@ impl Endpoint {
             port,
         }
     }
+
+    /// The identifier a receiver derives for frames sent *from* this
+    /// endpoint — equal to [`Packet::source_endpoint`] on arrival.
+    pub fn source_key(&self) -> u64 {
+        (u64::from(self.ip) << 16) | u64::from(self.port)
+    }
 }
 
 /// Builds a parsed [`Packet`] directly from endpoints and a UDP payload,

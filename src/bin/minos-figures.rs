@@ -1,0 +1,189 @@
+//! `minos-figures`: rate sweeps reproducing the paper's figures over
+//! real UDP.
+//!
+//! Runs each requested policy (size-aware Minos vs the HKH and SHO
+//! baselines) in-process over SO_REUSEPORT UDP loopback sockets and
+//! sweeps the offered rate ladder, printing one JSON sweep point per
+//! line to stdout as it lands (see `minos::figures::SweepPoint` for the
+//! schema). `--out` additionally writes the whole sweep as a JSON array
+//! — the format of the committed `BENCH_fig_*.json` files.
+//!
+//! Latency is measured from each request's *scheduled* open-loop
+//! arrival, so points past the saturation knee report the queueing
+//! delay overload causes rather than coordinated-omission-filtered
+//! service times.
+//!
+//! ```text
+//! minos-figures --rates 20000,40000,60000,80000 \
+//!               [--policies minos,hkh,sho] [--cores N] [--clients N]
+//!               [--duration SECS] [--keys N] [--large-keys N]
+//!               [--profile default|write] [--p-large FRAC]
+//!               [--sho-handoff N] [--seed S] [--base-port P]
+//!               [--out FILE]
+//! ```
+
+use minos::figures::{run_sweep, Policy, SweepConfig};
+use minos::workload::{profiles, DEFAULT_PROFILE};
+use std::time::Duration;
+
+const USAGE: &str = "minos-figures: rate sweeps (Minos vs HKH/SHO) over UDP loopback
+
+USAGE:
+    minos-figures --rates R1,R2,... [OPTIONS]
+
+OPTIONS:
+    --rates R1,R2,...     offered rates (req/s) swept per policy, in order
+    --policies LIST       comma list of minos,hkh,sho (default all three)
+    --cores N             server cores = UDP queues per server (default 2)
+    --sho-handoff N       SHO dispatch cores (default 1)
+    --clients N           client threads per point (default 1)
+    --duration SECS       measured window per point (default 2)
+    --keys N              dataset keys (default 2000)
+    --large-keys N        large keys in the dataset (default 8)
+    --profile NAME        'default' (95:5 GET:PUT) or 'write' (50:50)
+    --p-large FRAC        override the large-request fraction (0..1)
+    --seed S              RNG seed (default 42)
+    --base-port P         queue-0 port of the first policy's server
+                          (default 9500); policy i binds cores ports
+                          from P + i*cores
+    --out FILE            also write the sweep as a JSON array to FILE
+    -h, --help            this help
+";
+
+fn parse() -> Result<(SweepConfig, Option<String>), String> {
+    let mut cfg = SweepConfig::loopback(9500, Vec::new());
+    let mut out = None;
+    let mut p_large_override: Option<f64> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--rates" => {
+                cfg.rates = value("--rates")?
+                    .split(',')
+                    .map(|r| r.trim().parse::<f64>().map_err(|e| format!("--rates: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--policies" => {
+                cfg.policies = value("--policies")?
+                    .split(',')
+                    .map(|p| {
+                        Policy::from_name(p.trim())
+                            .ok_or_else(|| format!("unknown policy: {p} (minos|hkh|sho)"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--cores" => {
+                cfg.cores = value("--cores")?
+                    .parse()
+                    .map_err(|e| format!("--cores: {e}"))?
+            }
+            "--sho-handoff" => {
+                cfg.sho_handoff = value("--sho-handoff")?
+                    .parse()
+                    .map_err(|e| format!("--sho-handoff: {e}"))?
+            }
+            "--clients" => {
+                cfg.clients = value("--clients")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?
+            }
+            "--duration" => {
+                cfg.duration = Duration::from_secs_f64(
+                    value("--duration")?
+                        .parse()
+                        .map_err(|e| format!("--duration: {e}"))?,
+                )
+            }
+            "--keys" => {
+                cfg.keys = value("--keys")?
+                    .parse()
+                    .map_err(|e| format!("--keys: {e}"))?
+            }
+            "--large-keys" => {
+                cfg.large_keys = value("--large-keys")?
+                    .parse()
+                    .map_err(|e| format!("--large-keys: {e}"))?
+            }
+            "--profile" => {
+                cfg.profile = match value("--profile")?.as_str() {
+                    "default" => DEFAULT_PROFILE,
+                    "write" => profiles::WRITE_INTENSIVE_PROFILE,
+                    other => return Err(format!("unknown profile: {other}")),
+                }
+            }
+            "--p-large" => {
+                p_large_override = Some(
+                    value("--p-large")?
+                        .parse()
+                        .map_err(|e| format!("--p-large: {e}"))?,
+                )
+            }
+            "--seed" => {
+                cfg.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--base-port" => {
+                cfg.base_port = value("--base-port")?
+                    .parse()
+                    .map_err(|e| format!("--base-port: {e}"))?
+            }
+            "--out" => out = Some(value("--out")?),
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    if cfg.rates.is_empty() {
+        return Err("--rates is required (comma-separated req/s ladder)".into());
+    }
+    if let Some(p) = p_large_override {
+        if !(0.0..=1.0).contains(&p) {
+            return Err("--p-large must be in [0, 1]".into());
+        }
+        cfg.profile.p_large = p;
+    }
+    Ok((cfg, out))
+}
+
+fn main() {
+    let (cfg, out) = match parse() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "minos-figures: {} policies x {} rates, {} cores, {} clients, {:?}/point, {} keys ({} large)",
+        cfg.policies.len(),
+        cfg.rates.len(),
+        cfg.cores,
+        cfg.clients,
+        cfg.duration,
+        cfg.keys,
+        cfg.large_keys,
+    );
+
+    let points = run_sweep(&cfg, |point| {
+        // Stream each point as it lands, JSONL: the knee is visible
+        // while the sweep still runs.
+        println!("{}", point.to_json());
+    });
+
+    if let Some(path) = out {
+        let body: Vec<String> = points
+            .iter()
+            .map(|p| format!("  {}", p.to_json()))
+            .collect();
+        let doc = format!("[\n{}\n]\n", body.join(",\n"));
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("minos-figures: wrote {} points to {path}", points.len());
+    }
+}

@@ -301,6 +301,7 @@ struct ClientReport {
     totals: ClientTotals,
     latency: LatencyHistogram,
     latency_large: LatencyHistogram,
+    service_latency: LatencyHistogram,
     behind_max: Duration,
     elapsed: Duration,
     stats: TransportStats,
@@ -317,6 +318,9 @@ struct ClientReport {
     put_value_bytes: u64,
     /// Stale partial replies this client's reassembler timed out.
     reassembly_evictions: u64,
+    /// Value bytes copied while reassembling multi-fragment replies
+    /// (exactly once per received large-GET value byte).
+    reply_copied_bytes: u64,
 }
 
 /// One client thread's measured run: open-loop injection at
@@ -347,37 +351,43 @@ fn run_client(args: &Args, client_idx: u16) -> ClientReport {
     );
 
     let rate = args.rate / f64::from(args.clients);
-    let mut arrivals = OpenLoop::new(rate, 0);
+    // The injection schedule lives on the *client's* clock so each
+    // arrival's deadline can ride along to `send_batch_at` — latency is
+    // measured from that deadline, not from whenever this loop got
+    // around to the send (the coordinated-omission fix).
+    let run_start_ns = client.now_ns();
+    let mut arrivals = OpenLoop::new(rate, run_start_ns);
     let mut arrival_rng = Rng::new(args.seed ^ 0x9e37_79b9 ^ (u64::from(client_idx) << 17));
     let mut op_rng = Rng::new(
         (args.seed ^ (u64::from(client_idx) + 1).wrapping_mul(0x5851_f42d_4c95_7f2d))
             .wrapping_mul(0x2545_f491_4f6c_dd1d),
     );
     let start = Instant::now();
-    let mut next_at = Duration::from_nanos(arrivals.next_arrival(&mut arrival_rng));
+    let mut next_at = arrivals.next_arrival(&mut arrival_rng);
     let mut sent = 0u64;
-    let mut behind_max = Duration::ZERO;
+    let mut behind_max_ns = 0u64;
     let mut flushes = 0u64;
     let mut coalesced_max = 0u64;
     let mut puts_sent = 0u64;
     let mut put_value_bytes = 0u64;
     let coalesce_cap = args.batch.max(1);
-    let mut due: Vec<OpSpec> = Vec::with_capacity(coalesce_cap);
+    let mut due: Vec<(OpSpec, u64)> = Vec::with_capacity(coalesce_cap);
     while start.elapsed() < args.duration {
-        let now = start.elapsed();
+        let now = client.now_ns();
         // Drain every arrival whose time has come into one burst; the
         // cap keeps a burst inside one sendmmsg, and anything still due
-        // goes out on the immediately following iteration.
+        // goes out on the immediately following iteration. Each op
+        // keeps its scheduled deadline.
         due.clear();
         while now >= next_at && due.len() < coalesce_cap {
-            behind_max = behind_max.max(now - next_at);
-            due.push(generator.next_op(&mut op_rng));
-            next_at = Duration::from_nanos(arrivals.next_arrival(&mut arrival_rng));
+            behind_max_ns = behind_max_ns.max(now - next_at);
+            due.push((generator.next_op(&mut op_rng), next_at));
+            next_at = arrivals.next_arrival(&mut arrival_rng);
         }
         if !due.is_empty() {
-            client.send_batch(&due);
+            client.send_batch_at(&due);
             sent += due.len() as u64;
-            for spec in &due {
+            for (spec, _) in &due {
                 if spec.op == Operation::Put {
                     puts_sent += 1;
                     put_value_bytes += spec.item_size;
@@ -396,7 +406,8 @@ fn run_client(args: &Args, client_idx: u16) -> ClientReport {
         totals: client.totals(),
         latency: client.latency().clone(),
         latency_large: client.latency_large().clone(),
-        behind_max,
+        service_latency: client.service_latency().clone(),
+        behind_max: Duration::from_nanos(behind_max_ns),
         elapsed,
         stats: transport.stats(),
         io: transport.io_stats(),
@@ -406,6 +417,7 @@ fn run_client(args: &Args, client_idx: u16) -> ClientReport {
         puts_sent,
         put_value_bytes,
         reassembly_evictions,
+        reply_copied_bytes: client.reply_copied_bytes(),
     }
 }
 
@@ -519,6 +531,7 @@ fn main() {
     // ---- Merge + report (the paper's zero-loss + tail methodology). ----
     let mut latency = LatencyHistogram::new();
     let mut latency_large = LatencyHistogram::new();
+    let mut service_latency = LatencyHistogram::new();
     let mut sent = 0u64;
     let mut completed = 0u64;
     let mut errors = 0u64;
@@ -542,9 +555,11 @@ fn main() {
     let mut puts_sent = 0u64;
     let mut put_value_bytes = 0u64;
     let mut reassembly_evictions = 0u64;
+    let mut reply_copied_bytes = 0u64;
     for r in &reports {
         latency.merge(&r.latency);
         latency_large.merge(&r.latency_large);
+        service_latency.merge(&r.service_latency);
         sent += r.sent;
         completed += r.totals.completed;
         errors += r.totals.errors;
@@ -568,6 +583,7 @@ fn main() {
         puts_sent += r.puts_sent;
         put_value_bytes += r.put_value_bytes;
         reassembly_evictions += r.reassembly_evictions;
+        reply_copied_bytes += r.reply_copied_bytes;
     }
     let zero_loss = all_drained && outstanding == 0;
     let pool_hit_rate = minos::net::pool::hit_rate(pool_hits, pool_misses);
@@ -623,6 +639,12 @@ fn main() {
     }
     if let Some(q) = latency.quantiles() {
         human!(args, "latency (all):    {q}");
+    }
+    if let Some(q) = service_latency.quantiles() {
+        human!(
+            args,
+            "latency (svc):    {q} (from first transmission; the gap to the line above is scheduling lag)"
+        );
     }
     if let Some(q) = latency_large.quantiles() {
         human!(args, "latency (large):  {q}");
@@ -714,9 +736,11 @@ fn main() {
                     puts_sent,
                     put_value_bytes,
                     reassembly_evictions,
+                    reply_copied_bytes,
                     zero_loss,
                     latency: latency.quantiles(),
                     latency_large: latency_large.quantiles(),
+                    service_latency: service_latency.quantiles(),
                 },
                 &server_stats,
             )
@@ -751,9 +775,11 @@ struct JsonTotals {
     puts_sent: u64,
     put_value_bytes: u64,
     reassembly_evictions: u64,
+    reply_copied_bytes: u64,
     zero_loss: bool,
     latency: Option<Quantiles>,
     latency_large: Option<Quantiles>,
+    service_latency: Option<Quantiles>,
 }
 
 /// Loads the final server snapshot for `--server-stats`: the last
@@ -799,6 +825,8 @@ fn metrics_json(t: &JsonTotals, pool_hit_rate: f64) -> String {
     reg.counter("client.put_value_bytes").add(t.put_value_bytes);
     reg.counter("client.reassembly_evictions")
         .add(t.reassembly_evictions);
+    reg.counter("client.reply_copied_bytes")
+        .add(t.reply_copied_bytes);
     reg.counter("client.flushes").add(t.flushes);
     reg.counter("transport.tx_packets").add(t.tx_packets);
     reg.counter("transport.rx_packets").add(t.rx_packets);
@@ -870,6 +898,7 @@ fn json_report(args: &Args, reports: &[ClientReport], t: JsonTotals, server_stat
         .finish();
     let client = JsonObj::new()
         .u64("reassembly_evictions", t.reassembly_evictions)
+        .u64("reply_copied_bytes", t.reply_copied_bytes)
         .finish();
     JsonObj::new()
         .f64("offered_rate", args.rate, 1)
@@ -892,6 +921,10 @@ fn json_report(args: &Args, reports: &[ClientReport], t: JsonTotals, server_stat
         .bool("zero_loss", t.zero_loss)
         .raw("latency_us", &report::quantiles_json(t.latency))
         .raw("latency_large_us", &report::quantiles_json(t.latency_large))
+        .raw(
+            "service_latency_us",
+            &report::quantiles_json(t.service_latency),
+        )
         .raw("transport", &transport)
         .raw("coalescing", &coalescing)
         .raw("pool", &pool)

@@ -1,0 +1,612 @@
+//! Rate sweeps over real UDP: the machinery behind `minos-figures`.
+//!
+//! Reproduces the paper's evaluation shape (§5.3–5.4): the same
+//! open-loop workload is offered to size-aware sharding (Minos) and to
+//! the size-unaware baselines (HKH, SHO) at a ladder of rates climbing
+//! up to and past the saturation knee, and every `(policy, rate)` point
+//! reports throughput, loss, and the latency tail — p50/p99/p99.9/
+//! p99.99 — measured from each request's *scheduled* arrival, so a
+//! sweep point past the knee honestly shows the queueing delay the
+//! overload causes instead of coordinated-omission-filtered service
+//! times.
+//!
+//! Everything runs in one process over real SO_REUSEPORT UDP sockets:
+//! the server under test binds one socket per core at
+//! `base_port + queue`, client threads bind ephemeral sockets, and a
+//! barrier releases all client schedules at once so the offered rate is
+//! what the point claims. One [`SweepPoint`] is emitted per (policy,
+//! rate), serialized as JSON by [`SweepPoint::to_json`] and parseable
+//! back by [`SweepPoint::parse`] — the committed `BENCH_fig_*.json`
+//! files and the CI perf-smoke gates both speak this schema.
+
+use crate::baselines::common::BaselineConfig;
+use crate::baselines::hkh::HkhServer;
+use crate::baselines::sho::ShoServer;
+use crate::core::client::Client;
+use crate::core::server::{MinosServer, ServerConfig};
+use crate::net::{endpoint_for, Transport, UdpConfig, UdpTransport};
+use crate::obs::JsonValue;
+use crate::report::{quantiles_json, JsonObj};
+use crate::stats::{LatencyHistogram, Quantiles};
+use crate::workload::{AccessGenerator, Dataset, OpSpec, OpenLoop, Profile, Rng, DEFAULT_PROFILE};
+use std::net::Ipv4Addr;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Which engine serves a sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// Size-aware sharding (the paper's system).
+    Minos,
+    /// Hardware keyhash sharding, run-to-completion (nxM/G/1, as MICA).
+    Hkh,
+    /// Software handoff through dispatch cores (M/G/n, as RAMCloud).
+    Sho,
+}
+
+impl Policy {
+    /// All sweepable policies, in report order.
+    pub const ALL: [Policy; 3] = [Policy::Minos, Policy::Hkh, Policy::Sho];
+
+    /// The canonical name used in `SweepPoint.policy`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Minos => "minos",
+            Policy::Hkh => "hkh",
+            Policy::Sho => "sho",
+        }
+    }
+
+    /// Inverse of [`Policy::name`].
+    pub fn from_name(name: &str) -> Option<Policy> {
+        match name {
+            "minos" => Some(Policy::Minos),
+            "hkh" => Some(Policy::Hkh),
+            "sho" => Some(Policy::Sho),
+            _ => None,
+        }
+    }
+}
+
+/// One sweep's shape: which policies, which rates, and the fixed
+/// workload/topology every point shares.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Engines to sweep (each gets its own server over its own ports).
+    pub policies: Vec<Policy>,
+    /// Offered rates in requests/second, swept in order per policy.
+    /// Ascending order is conventional (the knee reads left to right)
+    /// but not required.
+    pub rates: Vec<f64>,
+    /// Server cores = UDP RX queues per server.
+    pub cores: usize,
+    /// SHO dispatch cores (clients then target only queues
+    /// `0..sho_handoff`).
+    pub sho_handoff: usize,
+    /// Client threads; each runs an independent open loop at
+    /// `rate / clients` on its own socket.
+    pub clients: u16,
+    /// Measured duration of each point.
+    pub duration: Duration,
+    /// Dataset size in keys.
+    pub keys: u64,
+    /// Number of large keys in the dataset.
+    pub large_keys: u64,
+    /// Workload mix (GET ratio, `p_large`, sizes, skew).
+    pub profile: Profile,
+    /// RNG seed; every point reuses the same schedule seeds so policies
+    /// see identical workloads.
+    pub seed: u64,
+    /// Queue-0 UDP port of the first policy's server; policy `i` binds
+    /// `cores` ports from `base_port + i * cores`.
+    pub base_port: u16,
+    /// How long each point may wait for in-flight replies after its
+    /// measured window closes.
+    pub drain_timeout: Duration,
+}
+
+impl SweepConfig {
+    /// A small loopback sweep: 2 cores, 1 client, the default profile.
+    /// Callers override `rates` (and anything else) to taste.
+    pub fn loopback(base_port: u16, rates: Vec<f64>) -> Self {
+        SweepConfig {
+            policies: Policy::ALL.to_vec(),
+            rates,
+            cores: 2,
+            sho_handoff: 1,
+            clients: 1,
+            duration: Duration::from_secs(2),
+            keys: 2_000,
+            large_keys: 8,
+            profile: DEFAULT_PROFILE,
+            seed: 42,
+            base_port,
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+
+    fn validate(&self) {
+        assert!(!self.policies.is_empty(), "at least one policy");
+        assert!(!self.rates.is_empty(), "at least one rate");
+        assert!(self.cores >= 1, "at least one core");
+        assert!(self.clients >= 1, "at least one client");
+        assert!(
+            self.sho_handoff >= 1 && (self.cores == 1 || self.sho_handoff < self.cores),
+            "SHO needs at least one handoff core and one worker"
+        );
+        assert!(
+            self.rates.iter().all(|r| *r > 0.0),
+            "rates must be positive"
+        );
+        let ports = self.policies.len() * self.cores;
+        assert!(
+            usize::from(self.base_port) + ports <= usize::from(u16::MAX),
+            "port range {}+{} exceeds the u16 port space",
+            self.base_port,
+            ports
+        );
+    }
+}
+
+/// One measured `(policy, offered rate)` point — the JSON record schema
+/// of the committed `BENCH_fig_*.json` files.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepPoint {
+    /// Engine name ([`Policy::name`]).
+    pub policy: String,
+    /// Offered rate, requests/second (aggregate across clients).
+    pub offered_rate: f64,
+    /// Measured window, seconds.
+    pub duration_s: f64,
+    /// Client threads.
+    pub clients: u64,
+    /// Server cores.
+    pub cores: u64,
+    /// Requests sent in the window.
+    pub sent: u64,
+    /// Replies received (including drain).
+    pub completed: u64,
+    /// Requests never answered — packet loss.
+    pub outstanding: u64,
+    /// Error replies (NotFound, OutOfMemory, ...).
+    pub errors: u64,
+    /// Completions per second of measured window.
+    pub achieved_rate: f64,
+    /// `outstanding / sent` (0 when nothing was sent).
+    pub loss_rate: f64,
+    /// The paper's §5.4 verdict: every request completed.
+    pub zero_loss: bool,
+    /// Worst scheduling lag any client saw, µs (how far the injector
+    /// itself fell behind its open-loop schedule).
+    pub behind_max_us: f64,
+    /// End-to-end latency from *scheduled arrival* (the
+    /// coordinated-omission-safe measurement; None when nothing
+    /// completed).
+    pub latency_us: Option<Quantiles>,
+    /// Latency from first transmission — service time without
+    /// injection lag, for comparison against `latency_us`.
+    pub service_latency_us: Option<Quantiles>,
+    /// Schedule-based latency of large requests only.
+    pub latency_large_us: Option<Quantiles>,
+    /// Value bytes copied on the send path, client + server transports
+    /// (0 = scatter-gather end to end, the asserted invariant).
+    pub tx_copied_bytes: u64,
+    /// Value bytes copied while clients reassembled multi-fragment
+    /// replies (exactly once per received large value byte).
+    pub reply_copied_bytes: u64,
+}
+
+impl SweepPoint {
+    /// Serializes the point as one JSON object (one line of a
+    /// `BENCH_fig_*.json` sweep).
+    pub fn to_json(&self) -> String {
+        JsonObj::new()
+            .str("policy", &self.policy)
+            .f64("offered_rate", self.offered_rate, 1)
+            .f64("duration_s", self.duration_s, 3)
+            .u64("clients", self.clients)
+            .u64("cores", self.cores)
+            .u64("sent", self.sent)
+            .u64("completed", self.completed)
+            .u64("outstanding", self.outstanding)
+            .u64("errors", self.errors)
+            .f64("achieved_rate", self.achieved_rate, 1)
+            .f64("loss_rate", self.loss_rate, 6)
+            .bool("zero_loss", self.zero_loss)
+            .f64("behind_max_us", self.behind_max_us, 1)
+            .raw("latency_us", &quantiles_json(self.latency_us))
+            .raw(
+                "service_latency_us",
+                &quantiles_json(self.service_latency_us),
+            )
+            .raw("latency_large_us", &quantiles_json(self.latency_large_us))
+            .u64("tx_copied_bytes", self.tx_copied_bytes)
+            .u64("reply_copied_bytes", self.reply_copied_bytes)
+            .finish()
+    }
+
+    /// Parses a point from a [`JsonValue`] object ([`SweepPoint::to_json`]'s
+    /// inverse, up to the fixed decimal precision the writer uses).
+    pub fn parse(v: &JsonValue) -> Option<SweepPoint> {
+        let u64_of = |k: &str| v.get(k)?.as_num()?.as_u64();
+        let f64_of = |k: &str| v.get(k).and_then(|x| x.as_num()).map(|n| n.as_f64());
+        let bool_of = |k: &str| match v.get(k) {
+            Some(JsonValue::Bool(b)) => Some(*b),
+            _ => None,
+        };
+        Some(SweepPoint {
+            policy: v.get("policy")?.as_str()?.to_string(),
+            offered_rate: f64_of("offered_rate")?,
+            duration_s: f64_of("duration_s")?,
+            clients: u64_of("clients")?,
+            cores: u64_of("cores")?,
+            sent: u64_of("sent")?,
+            completed: u64_of("completed")?,
+            outstanding: u64_of("outstanding")?,
+            errors: u64_of("errors")?,
+            achieved_rate: f64_of("achieved_rate")?,
+            loss_rate: f64_of("loss_rate")?,
+            zero_loss: bool_of("zero_loss")?,
+            behind_max_us: f64_of("behind_max_us")?,
+            latency_us: parse_quantiles(v.get("latency_us")),
+            service_latency_us: parse_quantiles(v.get("service_latency_us")),
+            latency_large_us: parse_quantiles(v.get("latency_large_us")),
+            tx_copied_bytes: u64_of("tx_copied_bytes")?,
+            reply_copied_bytes: u64_of("reply_copied_bytes")?,
+        })
+    }
+}
+
+/// Parses the [`quantiles_json`] rendering (`null` → `None`).
+fn parse_quantiles(v: Option<&JsonValue>) -> Option<Quantiles> {
+    let v = v?;
+    if matches!(v, JsonValue::Null) {
+        return None;
+    }
+    let f = |k: &str| v.get(k).and_then(|x| x.as_num()).map(|n| n.as_f64());
+    Some(Quantiles {
+        count: v.get("count")?.as_num()?.as_u64()?,
+        mean_us: f("mean_us")?,
+        p50_us: f("p50_us")?,
+        p90_us: f("p90_us")?,
+        p95_us: f("p95_us")?,
+        p99_us: f("p99_us")?,
+        p999_us: f("p999_us")?,
+        p9999_us: f("p9999_us")?,
+        max_us: f("max_us")?,
+    })
+}
+
+/// A started server of any sweepable policy, over real UDP.
+enum RunningServer {
+    Minos(MinosServer<UdpTransport>),
+    Hkh(HkhServer<UdpTransport>),
+    Sho(ShoServer<UdpTransport>),
+}
+
+impl RunningServer {
+    fn start(policy: Policy, cfg: &SweepConfig, transport: Arc<UdpTransport>) -> RunningServer {
+        // Store geometry sized for the dataset with headroom for large
+        // values (the mempool default of 1 GiB rides along from the
+        // test config constructors).
+        let n_items = (cfg.keys as usize * 2).max(1024);
+        match policy {
+            Policy::Minos => {
+                let mut config = ServerConfig::for_test(cfg.cores, n_items);
+                // The paper's 1 s epochs: rate points run a few seconds,
+                // so the controller gets several adaptation rounds.
+                config.minos.epoch_ns = 1_000_000_000;
+                RunningServer::Minos(MinosServer::start_with_transport(config, transport))
+            }
+            Policy::Hkh => {
+                let config = BaselineConfig::for_test(cfg.cores, n_items);
+                RunningServer::Hkh(HkhServer::start_with_transport(config, transport))
+            }
+            Policy::Sho => {
+                let config = BaselineConfig::for_test(cfg.cores, n_items);
+                RunningServer::Sho(ShoServer::start_with_transport(
+                    config,
+                    cfg.sho_handoff,
+                    transport,
+                ))
+            }
+        }
+    }
+
+    fn stop(&mut self) {
+        match self {
+            RunningServer::Minos(s) => s.shutdown(),
+            RunningServer::Hkh(s) => s.stop(),
+            RunningServer::Sho(s) => s.stop(),
+        }
+    }
+}
+
+/// Binds a fresh ephemeral-port UDP client aimed at `server_port`'s
+/// queue-0, restricted to the queues `policy` allows clients to target.
+/// The transport rides along for statistics (the client owns a clone).
+fn bind_client(
+    cfg: &SweepConfig,
+    policy: Policy,
+    server_port: u16,
+    client_id: u16,
+) -> (Arc<UdpTransport>, Client) {
+    let udp = UdpConfig {
+        pool_slots: 8192,
+        ..UdpConfig::client(Ipv4Addr::UNSPECIFIED)
+    };
+    let transport = Arc::new(UdpTransport::bind_client_with(udp).expect("bind client socket"));
+    let endpoint = transport.local_endpoint(0);
+    let server = endpoint_for(Ipv4Addr::LOCALHOST, server_port);
+    let client = Client::with_transport(
+        Arc::clone(&transport) as Arc<dyn Transport>,
+        endpoint,
+        server,
+        cfg.cores as u16,
+        client_id,
+        cfg.seed ^ u64::from(client_id),
+    );
+    let client = match policy {
+        // SHO's contract: requests enter only through dispatch cores.
+        Policy::Sho => client.with_target_queues(0..cfg.sho_handoff as u16),
+        Policy::Minos | Policy::Hkh => client,
+    };
+    (transport, client)
+}
+
+/// PUTs every dataset key at its profiled size so measured GETs hit.
+fn preload(cfg: &SweepConfig, policy: Policy, server_port: u16, dataset: &Dataset) {
+    let (_transport, mut client) = bind_client(cfg, policy, server_port, 99);
+    for key in 0..cfg.keys {
+        let size = dataset.size_of(key) as usize;
+        let value = vec![(key % 251) as u8; size];
+        client.send_put(key, &value, size > crate::wire::MAX_FRAG_CHUNK);
+        // Keep the pipe shallow so the preload never overruns sockets.
+        if key % 64 == 63 {
+            while client.totals().outstanding() > 256 {
+                client.poll();
+            }
+        }
+    }
+    assert!(
+        client.drain(Duration::from_secs(30)),
+        "preload lost replies — server not draining?"
+    );
+}
+
+/// What one client thread hands back from one rate point.
+struct PointReport {
+    sent: u64,
+    completed: u64,
+    outstanding: u64,
+    errors: u64,
+    behind_max_ns: u64,
+    latency: LatencyHistogram,
+    latency_large: LatencyHistogram,
+    service_latency: LatencyHistogram,
+    tx_copied_bytes: u64,
+    reply_copied_bytes: u64,
+}
+
+/// One client thread's open-loop run at `rate` for `duration`, with
+/// schedule-based latency stamping (`send_batch_at` carries each op's
+/// scheduled arrival).
+fn run_point_client(
+    cfg: &SweepConfig,
+    policy: Policy,
+    server_port: u16,
+    client_idx: u16,
+    rate: f64,
+    barrier: &Barrier,
+) -> PointReport {
+    let (transport, mut client) = bind_client(cfg, policy, server_port, 1 + client_idx);
+    let dataset = Dataset::new(
+        cfg.keys,
+        cfg.large_keys,
+        0.4,
+        cfg.profile.large_max,
+        cfg.seed,
+    );
+    let generator = AccessGenerator::new(
+        dataset,
+        cfg.profile.p_large,
+        cfg.profile.get_ratio,
+        cfg.profile.zipf_s,
+    );
+    let mut arrival_rng = Rng::new(cfg.seed ^ 0x9e37_79b9 ^ (u64::from(client_idx) << 17));
+    let mut op_rng = Rng::new(
+        (cfg.seed ^ (u64::from(client_idx) + 1).wrapping_mul(0x5851_f42d_4c95_7f2d))
+            .wrapping_mul(0x2545_f491_4f6c_dd1d),
+    );
+
+    // All clients release their schedules together.
+    barrier.wait();
+    let run_start_ns = client.now_ns();
+    let mut arrivals = OpenLoop::new(rate, run_start_ns);
+    let start = Instant::now();
+    let mut next_at = arrivals.next_arrival(&mut arrival_rng);
+    let mut sent = 0u64;
+    let mut behind_max_ns = 0u64;
+    const COALESCE_CAP: usize = 32;
+    let mut due: Vec<(OpSpec, u64)> = Vec::with_capacity(COALESCE_CAP);
+    while start.elapsed() < cfg.duration {
+        let now = client.now_ns();
+        due.clear();
+        while now >= next_at && due.len() < COALESCE_CAP {
+            behind_max_ns = behind_max_ns.max(now - next_at);
+            due.push((generator.next_op(&mut op_rng), next_at));
+            next_at = arrivals.next_arrival(&mut arrival_rng);
+        }
+        if !due.is_empty() {
+            client.send_batch_at(&due);
+            sent += due.len() as u64;
+        }
+        client.poll();
+    }
+    client.drain(cfg.drain_timeout);
+    let totals = client.totals();
+    PointReport {
+        sent,
+        completed: totals.completed,
+        outstanding: totals.outstanding(),
+        errors: totals.errors,
+        behind_max_ns,
+        latency: client.latency().clone(),
+        latency_large: client.latency_large().clone(),
+        service_latency: client.service_latency().clone(),
+        tx_copied_bytes: transport.stats().tx_copied_bytes,
+        reply_copied_bytes: client.reply_copied_bytes(),
+    }
+}
+
+/// Runs the full sweep: for each policy, bind a UDP server, preload the
+/// dataset once, then measure every rate in `cfg.rates` in order.
+/// `progress` sees each completed point as it lands (the CLI streams
+/// them as JSON lines).
+pub fn run_sweep(cfg: &SweepConfig, mut progress: impl FnMut(&SweepPoint)) -> Vec<SweepPoint> {
+    cfg.validate();
+    let mut points = Vec::with_capacity(cfg.policies.len() * cfg.rates.len());
+    for (pi, &policy) in cfg.policies.iter().enumerate() {
+        let server_port = cfg.base_port + (pi * cfg.cores) as u16;
+        let transport = Arc::new(
+            UdpTransport::bind(UdpConfig::loopback(server_port, cfg.cores as u16))
+                .expect("bind server sockets"),
+        );
+        let mut server = RunningServer::start(policy, cfg, Arc::clone(&transport));
+        let dataset = Dataset::new(
+            cfg.keys,
+            cfg.large_keys,
+            0.4,
+            cfg.profile.large_max,
+            cfg.seed,
+        );
+        preload(cfg, policy, server_port, &dataset);
+
+        for &rate in &cfg.rates {
+            let server_tx_copied_before = transport.stats().tx_copied_bytes;
+            let per_client_rate = rate / f64::from(cfg.clients);
+            let barrier = Barrier::new(cfg.clients as usize);
+            let reports: Vec<PointReport> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..cfg.clients)
+                    .map(|c| {
+                        let barrier = &barrier;
+                        scope.spawn(move || {
+                            run_point_client(cfg, policy, server_port, c, per_client_rate, barrier)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+
+            let mut latency = LatencyHistogram::new();
+            let mut latency_large = LatencyHistogram::new();
+            let mut service_latency = LatencyHistogram::new();
+            let (mut sent, mut completed, mut outstanding, mut errors) = (0u64, 0u64, 0u64, 0u64);
+            let mut behind_max_ns = 0u64;
+            let mut tx_copied = 0u64;
+            let mut reply_copied = 0u64;
+            for r in &reports {
+                latency.merge(&r.latency);
+                latency_large.merge(&r.latency_large);
+                service_latency.merge(&r.service_latency);
+                sent += r.sent;
+                completed += r.completed;
+                outstanding += r.outstanding;
+                errors += r.errors;
+                behind_max_ns = behind_max_ns.max(r.behind_max_ns);
+                tx_copied += r.tx_copied_bytes;
+                reply_copied += r.reply_copied_bytes;
+            }
+            tx_copied += transport.stats().tx_copied_bytes - server_tx_copied_before;
+
+            let point = SweepPoint {
+                policy: policy.name().to_string(),
+                offered_rate: rate,
+                duration_s: cfg.duration.as_secs_f64(),
+                clients: u64::from(cfg.clients),
+                cores: cfg.cores as u64,
+                sent,
+                completed,
+                outstanding,
+                errors,
+                achieved_rate: completed as f64 / cfg.duration.as_secs_f64().max(f64::MIN_POSITIVE),
+                loss_rate: if sent > 0 {
+                    outstanding as f64 / sent as f64
+                } else {
+                    0.0
+                },
+                zero_loss: outstanding == 0,
+                behind_max_us: behind_max_ns as f64 / 1e3,
+                latency_us: latency.quantiles(),
+                service_latency_us: service_latency.quantiles(),
+                latency_large_us: latency_large.quantiles(),
+                tx_copied_bytes: tx_copied,
+                reply_copied_bytes: reply_copied,
+            };
+            progress(&point);
+            points.push(point);
+        }
+        server.stop();
+        // Sockets close with the transport; the next policy binds its
+        // own port range regardless, so no reuse race.
+        drop(server);
+        drop(transport);
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_point() -> SweepPoint {
+        SweepPoint {
+            policy: "minos".into(),
+            offered_rate: 20_000.0,
+            duration_s: 5.0,
+            clients: 2,
+            cores: 2,
+            sent: 100_000,
+            completed: 99_990,
+            outstanding: 10,
+            errors: 3,
+            achieved_rate: 19_998.0,
+            loss_rate: 0.0001,
+            zero_loss: false,
+            behind_max_us: 1_234.5,
+            latency_us: Some(Quantiles {
+                count: 99_990,
+                mean_us: 42.0,
+                p50_us: 30.0,
+                p90_us: 80.0,
+                p95_us: 95.0,
+                p99_us: 140.0,
+                p999_us: 410.0,
+                p9999_us: 900.0,
+                max_us: 1_500.0,
+            }),
+            service_latency_us: None,
+            latency_large_us: None,
+            tx_copied_bytes: 0,
+            reply_copied_bytes: 123_456,
+        }
+    }
+
+    #[test]
+    fn sweep_point_json_round_trips() {
+        let p = sample_point();
+        let json = p.to_json();
+        let parsed = SweepPoint::parse(&JsonValue::parse(&json).unwrap()).unwrap();
+        assert_eq!(parsed, p);
+        // And the rendering is a fixpoint.
+        assert_eq!(parsed.to_json(), json);
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in Policy::ALL {
+            assert_eq!(Policy::from_name(p.name()), Some(p));
+        }
+        assert_eq!(Policy::from_name("zygos"), None);
+    }
+}

@@ -52,6 +52,7 @@
 //! See `examples/` for the paper's scenarios and `crates/bench` for the
 //! harnesses that regenerate every table and figure of the evaluation.
 
+pub mod figures;
 pub mod report;
 
 pub use minos_baselines as baselines;

@@ -69,6 +69,28 @@ impl JsonObj {
         self
     }
 
+    /// Adds a string field, escaping quotes, backslashes and control
+    /// characters.
+    pub fn str(mut self, name: &str, v: &str) -> Self {
+        self.key(name);
+        self.buf.push('"');
+        for c in v.chars() {
+            match c {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                '\n' => self.buf.push_str("\\n"),
+                '\r' => self.buf.push_str("\\r"),
+                '\t' => self.buf.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(self.buf, "\\u{:04x}", c as u32);
+                }
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+        self
+    }
+
     /// Adds a pre-rendered JSON fragment (nested object, array, `null`,
     /// or a [`JsonObj::finish`] result) under `name`.
     pub fn raw(mut self, name: &str, fragment: &str) -> Self {
@@ -98,6 +120,7 @@ pub fn quantiles_json(q: Option<Quantiles>) -> String {
             .f64("p95_us", q.p95_us, 3)
             .f64("p99_us", q.p99_us, 3)
             .f64("p999_us", q.p999_us, 3)
+            .f64("p9999_us", q.p9999_us, 3)
             .f64("max_us", q.max_us, 3)
             .finish(),
     }

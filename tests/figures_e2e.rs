@@ -1,0 +1,64 @@
+//! End-to-end mini-sweep over real UDP loopback: both a baseline and
+//! Minos serve the same two-rate ladder, and every point carries the
+//! schedule-based latency histogram the figures report.
+
+use minos::figures::{run_sweep, Policy, SweepConfig};
+use minos::net::testport::TestPorts;
+use std::time::Duration;
+
+// Disjoint from the suites at 9000–9450 and the CI sweep at 9500.
+static PORTS: TestPorts = TestPorts::new(26_000, 28_000);
+
+#[test]
+fn mini_sweep_two_policies_two_rates() {
+    let rates = vec![500.0, 1_000.0];
+    let mut cfg = SweepConfig::loopback(0, rates.clone());
+    cfg.policies = vec![Policy::Minos, Policy::Hkh];
+    cfg.base_port = PORTS.alloc((cfg.policies.len() * cfg.cores) as u16);
+    cfg.duration = Duration::from_secs(1);
+    cfg.keys = 512;
+    cfg.large_keys = 4;
+
+    let mut streamed = 0usize;
+    let points = run_sweep(&cfg, |_| streamed += 1);
+
+    assert_eq!(points.len(), 4, "2 policies x 2 rates");
+    assert_eq!(streamed, points.len(), "progress sees every point");
+
+    for policy in &cfg.policies {
+        let of_policy: Vec<_> = points
+            .iter()
+            .filter(|p| p.policy == policy.name())
+            .collect();
+        assert_eq!(of_policy.len(), rates.len());
+        // Rates swept in the order configured (ascending here).
+        for (point, &rate) in of_policy.iter().zip(&rates) {
+            assert_eq!(point.offered_rate, rate);
+            assert!(point.sent > 0, "{}: nothing sent", point.policy);
+            // Far below loopback capacity: every request completes.
+            assert!(
+                point.completed > 0,
+                "{} @ {}: nothing completed",
+                point.policy,
+                rate
+            );
+            let q = point
+                .latency_us
+                .expect("schedule-based histogram populated");
+            assert!(q.count > 0 && q.p99_us > 0.0);
+            let svc = point
+                .service_latency_us
+                .expect("service histogram populated");
+            assert_eq!(q.count, svc.count, "same samples in both clocks");
+            // Schedule-based latency dominates send-based per sample.
+            assert!(q.p99_us >= svc.p99_us - 0.001);
+            // Each point's record parses back from its own JSON.
+            let parsed = minos::figures::SweepPoint::parse(
+                &minos::obs::JsonValue::parse(&point.to_json()).unwrap(),
+            )
+            .expect("point round-trips");
+            assert_eq!(parsed.policy, point.policy);
+            assert_eq!(parsed.completed, point.completed);
+        }
+    }
+}

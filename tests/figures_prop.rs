@@ -1,0 +1,120 @@
+//! Property tests pinning the `BENCH_fig_*.json` sweep-point schema:
+//! for any sweep point, `SweepPoint::parse` inverts
+//! `SweepPoint::to_json` on every integer, boolean, and string field
+//! exactly, and the JSON rendering is a fixpoint (serialize → parse →
+//! serialize reproduces the same bytes), so float truncation to the
+//! writer's fixed decimal precision converges after one round instead
+//! of drifting.
+
+use minos::figures::{Policy, SweepPoint};
+use minos::obs::JsonValue;
+use minos::stats::Quantiles;
+use proptest::prelude::*;
+
+fn quantiles_strategy() -> impl Strategy<Value = Option<Quantiles>> {
+    let q = (
+        any::<u64>(),
+        (0u32..100_000_000u32),
+        (0u32..100_000_000u32),
+        (0u32..100_000_000u32),
+        (0u32..100_000_000u32),
+    )
+        .prop_map(|(count, mean, p50, p99, max)| Quantiles {
+            count,
+            mean_us: f64::from(mean) / 1e3,
+            p50_us: f64::from(p50) / 1e3,
+            p90_us: f64::from(p50) / 1e3 + 1.0,
+            p95_us: f64::from(p50) / 1e3 + 2.0,
+            p99_us: f64::from(p99) / 1e3,
+            p999_us: f64::from(p99) / 1e3 + 1.0,
+            p9999_us: f64::from(p99) / 1e3 + 2.0,
+            max_us: f64::from(max) / 1e3,
+        });
+    prop_oneof![Just(None), q.prop_map(Some)]
+}
+
+fn point_strategy() -> impl Strategy<Value = SweepPoint> {
+    (
+        (0usize..3, (0u32..u32::MAX), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<bool>(), (0u32..u32::MAX), any::<u64>(), any::<u64>()),
+        (
+            quantiles_strategy(),
+            quantiles_strategy(),
+            quantiles_strategy(),
+        ),
+    )
+        .prop_map(
+            |(
+                (policy_ix, rate_mhz, clients, cores),
+                (sent, completed, outstanding, errors),
+                (zero_loss, behind_us, tx_copied_bytes, reply_copied_bytes),
+                (latency_us, service_latency_us, latency_large_us),
+            )| {
+                SweepPoint {
+                    policy: Policy::ALL[policy_ix].name().to_string(),
+                    // Rates at the writer's 0.1 precision stay exact.
+                    offered_rate: f64::from(rate_mhz) / 10.0,
+                    duration_s: 2.5,
+                    clients,
+                    cores,
+                    sent,
+                    completed,
+                    outstanding,
+                    errors,
+                    achieved_rate: f64::from(rate_mhz) / 20.0,
+                    loss_rate: if sent > 0 {
+                        outstanding as f64 / sent as f64
+                    } else {
+                        0.0
+                    },
+                    zero_loss,
+                    behind_max_us: f64::from(behind_us) / 10.0,
+                    latency_us,
+                    service_latency_us,
+                    latency_large_us,
+                    tx_copied_bytes,
+                    reply_copied_bytes,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sweep_point_schema_round_trips(point in point_strategy()) {
+        let json = point.to_json();
+        let parsed = SweepPoint::parse(&JsonValue::parse(&json).unwrap())
+            .expect("every serialized point parses");
+
+        // Integer, boolean, and string fields are exact.
+        prop_assert_eq!(&parsed.policy, &point.policy);
+        prop_assert_eq!(parsed.clients, point.clients);
+        prop_assert_eq!(parsed.cores, point.cores);
+        prop_assert_eq!(parsed.sent, point.sent);
+        prop_assert_eq!(parsed.completed, point.completed);
+        prop_assert_eq!(parsed.outstanding, point.outstanding);
+        prop_assert_eq!(parsed.errors, point.errors);
+        prop_assert_eq!(parsed.zero_loss, point.zero_loss);
+        prop_assert_eq!(parsed.tx_copied_bytes, point.tx_copied_bytes);
+        prop_assert_eq!(parsed.reply_copied_bytes, point.reply_copied_bytes);
+        prop_assert_eq!(
+            parsed.latency_us.map(|q| q.count),
+            point.latency_us.map(|q| q.count)
+        );
+        prop_assert_eq!(
+            parsed.service_latency_us.is_some(),
+            point.service_latency_us.is_some()
+        );
+        prop_assert_eq!(
+            parsed.latency_large_us.is_some(),
+            point.latency_large_us.is_some()
+        );
+
+        // Serialization is a fixpoint: floats already truncated to the
+        // writer's precision re-render byte-identically.
+        prop_assert_eq!(parsed.to_json(), json);
+    }
+}
