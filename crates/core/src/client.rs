@@ -1,6 +1,7 @@
 //! Load-generating client with the paper's measurement methodology
 //! (§5.4): open-loop request injection, send timestamps echoed on
-//! replies, end-to-end latency histograms (overall and large-only), and
+//! replies, end-to-end latency histograms (overall, small-only and
+//! large-only), and
 //! strict zero-loss accounting ("we only report performance values
 //! corresponding to scenarios in which the packet loss rate is equal
 //! to 0").
@@ -202,6 +203,7 @@ pub struct Client {
     next_request_id: u64,
     pending: HashMap<u64, Pending>,
     latency: LatencyHistogram,
+    latency_small: LatencyHistogram,
     latency_large: LatencyHistogram,
     service_latency: LatencyHistogram,
     /// Value bytes copied while reassembling multi-fragment replies
@@ -265,6 +267,7 @@ impl Client {
             next_request_id: 1,
             pending: HashMap::new(),
             latency: LatencyHistogram::new(),
+            latency_small: LatencyHistogram::new(),
             latency_large: LatencyHistogram::new(),
             service_latency: LatencyHistogram::new(),
             reply_copied_bytes: 0,
@@ -666,6 +669,8 @@ impl Client {
         self.service_latency.record_ns(service_ns);
         if pending.large {
             self.latency_large.record_ns(latency_ns);
+        } else {
+            self.latency_small.record_ns(latency_ns);
         }
         Some(Completion {
             key: pending.key,
@@ -695,6 +700,13 @@ impl Client {
     /// each request's scheduled arrival (coordinated-omission-free).
     pub fn latency(&self) -> &LatencyHistogram {
         &self.latency
+    }
+
+    /// Latency histogram over small requests only — the tail the paper
+    /// protects, and the one the discipline shoot-out compares —
+    /// schedule-based like [`Client::latency`].
+    pub fn latency_small(&self) -> &LatencyHistogram {
+        &self.latency_small
     }
 
     /// Latency histogram over large requests only (Figure 4's metric),

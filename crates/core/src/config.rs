@@ -1,6 +1,7 @@
 //! Configuration of the Minos engine.
 
 use crate::cost::CostFn;
+use crate::dispatch::DisciplineKind;
 
 /// How the size threshold between small and large is chosen.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -66,6 +67,16 @@ pub struct MinosConfig {
     /// immediate `OutOfMemory` and counted in
     /// `ingest.discard_quota_rejects`.
     pub discard_quota_per_source: u32,
+    /// The queue discipline placing decoded requests onto cores. The
+    /// default is the paper's size-aware sharding; the alternatives
+    /// (cfcfs, dfcfs, jsq, round-robin, random) exist so the shoot-out
+    /// figure can compare against them on identical plumbing.
+    pub discipline: DisciplineKind,
+    /// ZygOS-style work stealing: an idle core pops one request from
+    /// the longest peer software queue. Off by default — enabling it on
+    /// the size-aware discipline deliberately violates the paper's
+    /// small/large isolation (that is the experiment).
+    pub steal: bool,
 }
 
 impl Default for MinosConfig {
@@ -82,6 +93,8 @@ impl Default for MinosConfig {
             soft_queue_capacity: 4096,
             reassembly_round_ns: 1_000_000_000,
             discard_quota_per_source: 8,
+            discipline: DisciplineKind::SizeAware,
+            steal: false,
         }
     }
 }
@@ -131,6 +144,8 @@ mod tests {
         assert_eq!(c.threshold_percentile, 99.0);
         assert_eq!(c.threshold_mode, ThresholdMode::Dynamic);
         assert_eq!(c.cost_fn, CostFn::Packets);
+        assert_eq!(c.discipline, DisciplineKind::SizeAware);
+        assert!(!c.steal);
         assert!(c.validate().is_ok());
     }
 

@@ -1,4 +1,7 @@
-//! Batch-draining quotas (paper §3).
+//! Request dispatch: batch-draining quotas and pluggable queue
+//! disciplines.
+//!
+//! The first half of this module is the paper's §3 drain schedule:
 //!
 //! "Each small core repeats the following sequence of actions w.r.t. the
 //! RX queues: First, it reads a batch of B requests from its own RX
@@ -8,6 +11,34 @@
 //! incoming requests from its RX queue is that, if it were to receive a
 //! small request, this request could experience head-of-line blocking
 //! behind large requests."
+//!
+//! The second half is the [`Discipline`] trait: the *placement* decision
+//! — which core executes a decoded request — extracted behind a trait so
+//! the same server core loop can run the paper's size-aware sharding or
+//! any of the classical alternatives it is compared against (cFCFS,
+//! dFCFS, JSQ, round-robin, random). This makes the paper's headline
+//! claim falsifiable inside the reproduction itself: `minos-figures
+//! --disciplines size-aware,cfcfs,...` sweeps the same workload over
+//! every policy and the committed shoot-out figure shows where
+//! size-aware wins.
+//!
+//! | kind         | placement rule                          | queue shape |
+//! |--------------|------------------------------------------|-------------|
+//! | `size-aware` | small → RX core, large → plan's range core | per-core soft queues (paper §3) |
+//! | `cfcfs`      | everything → one shared queue, any core pulls | single M/G/k queue |
+//! | `dfcfs`      | key-hash → fixed owner core              | partitioned nxM/G/1 |
+//! | `jsq`        | shortest soft queue at decision time     | per-core soft queues |
+//! | `round-robin`| strict rotation over cores               | per-core soft queues |
+//! | `random`     | uniform random core                      | per-core soft queues |
+//!
+//! Only `size-aware` consults the [`ShardingPlan`] (and therefore needs
+//! the item's size, [`Discipline::needs_size`]); only it drains RX
+//! queues asymmetrically ([`Discipline::plan_drain`]). Every other
+//! discipline has each core drain its own RX queue at the full batch —
+//! the hardware-dispatch model the baselines assume.
+
+use crate::plan::{Destination, ShardingPlan};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// How many packets one small core takes from one large core's RX queue
 /// per polling round, given batch size `B` and `n_small` small cores.
@@ -48,9 +79,365 @@ pub fn drain_schedule(
     }
 }
 
+/// The selectable queue disciplines. `name()`/`from_name()` use the
+/// kebab-case spellings the CLIs (`minos-server --discipline`,
+/// `minos-figures --disciplines`) and the committed figure JSON share.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DisciplineKind {
+    /// The paper's size-aware sharding: the default and the only
+    /// discipline that consults the epoch [`ShardingPlan`].
+    SizeAware,
+    /// Centralized FCFS (M/G/k): one shared queue, any core pulls.
+    Cfcfs,
+    /// Distributed FCFS (nxM/G/1): key-hash partitioned per core.
+    Dfcfs,
+    /// Join-shortest-queue over the live soft-queue depth gauges.
+    Jsq,
+    /// Strict rotation over cores.
+    RoundRobin,
+    /// Uniform random core.
+    Random,
+}
+
+impl DisciplineKind {
+    /// Every kind, in the order the shoot-out figure sweeps them.
+    pub const ALL: [DisciplineKind; 6] = [
+        DisciplineKind::SizeAware,
+        DisciplineKind::Cfcfs,
+        DisciplineKind::Dfcfs,
+        DisciplineKind::Jsq,
+        DisciplineKind::RoundRobin,
+        DisciplineKind::Random,
+    ];
+
+    /// The CLI/JSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DisciplineKind::SizeAware => "size-aware",
+            DisciplineKind::Cfcfs => "cfcfs",
+            DisciplineKind::Dfcfs => "dfcfs",
+            DisciplineKind::Jsq => "jsq",
+            DisciplineKind::RoundRobin => "round-robin",
+            DisciplineKind::Random => "random",
+        }
+    }
+
+    /// Inverse of [`DisciplineKind::name`].
+    pub fn from_name(name: &str) -> Option<DisciplineKind> {
+        DisciplineKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// Builds the discipline's (possibly stateful) implementation.
+    pub fn build(self) -> Box<dyn Discipline> {
+        match self {
+            DisciplineKind::SizeAware => Box::new(SizeAware),
+            DisciplineKind::Cfcfs => Box::new(Cfcfs),
+            DisciplineKind::Dfcfs => Box::new(Dfcfs),
+            DisciplineKind::Jsq => Box::new(Jsq),
+            DisciplineKind::RoundRobin => Box::new(RoundRobin::new()),
+            DisciplineKind::Random => Box::new(Random::seeded(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+}
+
+/// Where a placed request executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// Execute inline on the core that drained the packet.
+    Local,
+    /// Push to core `i`'s software queue (pushing to one's own queue is
+    /// legal and meaningful: the standby core under size-aware sharding
+    /// serves its own large handoffs FIFO behind earlier ones).
+    Core(usize),
+    /// Push to the single shared queue — any core pulls (cFCFS).
+    Shared,
+}
+
+/// Live per-core software-queue depths, supplied by the server at
+/// decision time (JSQ reads these; everything else ignores them).
+pub trait QueueDepths {
+    /// Requests currently queued for core `core`.
+    fn depth(&self, core: usize) -> usize;
+}
+
+/// Depths backed by an array — the test/sim harness view.
+impl<const N: usize> QueueDepths for [usize; N] {
+    fn depth(&self, core: usize) -> usize {
+        self[core]
+    }
+}
+
+/// Depths backed by a vector — the test/sim harness view.
+impl QueueDepths for Vec<usize> {
+    fn depth(&self, core: usize) -> usize {
+        self[core]
+    }
+}
+
+/// Everything a discipline may consult to place one request.
+pub struct PlaceCtx<'a> {
+    /// The core that drained and decoded the packet.
+    pub rx_core: usize,
+    /// Total server cores.
+    pub n_cores: usize,
+    /// The request's key (for fragments, a mix of the source endpoint
+    /// and message id — the key itself only travels in fragment 0).
+    pub key: u64,
+    /// The item's size in bytes, when known without a lookup: PUT value
+    /// length, or the fragment header's message length. `None` for GETs
+    /// under disciplines that don't pay the classification lookup.
+    pub size: Option<u64>,
+    /// The sharding plan in force (only size-aware reads it).
+    pub plan: &'a ShardingPlan,
+    /// Live soft-queue depth gauges (only JSQ reads them).
+    pub depths: &'a dyn QueueDepths,
+}
+
+impl PlaceCtx<'_> {
+    /// The core with the shallowest soft queue, preferring the RX core
+    /// on ties (no handoff hop when nothing is gained by one).
+    fn shortest_queue(&self) -> usize {
+        let mut best = self.rx_core;
+        let mut best_depth = self.depths.depth(self.rx_core);
+        for core in 0..self.n_cores {
+            let d = self.depths.depth(core);
+            if d < best_depth {
+                best = core;
+                best_depth = d;
+            }
+        }
+        best
+    }
+}
+
+/// A pluggable queue discipline: given a decoded request (its key, its
+/// size class when known, the live queue depths), decide which core
+/// executes it. Implementations must be cheap — `place` runs once per
+/// request on the RX drain path — and lock-free (shared across all core
+/// threads).
+pub trait Discipline: Send + Sync {
+    /// The kind this implementation was built from.
+    fn kind(&self) -> DisciplineKind;
+
+    /// The CLI/JSON name.
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// Whether placement needs the item's size. When true the server
+    /// performs the size-aware classification lookup for GETs on the RX
+    /// core (paper §3); when false GETs are placed by key alone and the
+    /// executing core does the only lookup.
+    fn needs_size(&self) -> bool {
+        false
+    }
+
+    /// Whether cores must also poll the shared queue
+    /// ([`Placement::Shared`] is only legal when this is true).
+    fn uses_shared_queue(&self) -> bool {
+        false
+    }
+
+    /// Whether RX draining follows the sharding plan (small cores drain
+    /// the large cores' RX queues per [`drain_schedule`]; large cores
+    /// never touch RX). When false, every core drains only its own RX
+    /// queue at the full batch.
+    fn plan_drain(&self) -> bool {
+        false
+    }
+
+    /// Picks where the request executes.
+    fn place(&self, ctx: &PlaceCtx) -> Placement;
+
+    /// Picks the core that owns reassembly of a multi-fragment message.
+    /// Fragments can never go to the shared queue — all fragments of one
+    /// message must reach a single core's reassembler — so `Shared`
+    /// placements fall back to the shortest soft queue.
+    fn place_fragment(&self, ctx: &PlaceCtx) -> usize {
+        match self.place(ctx) {
+            Placement::Local => ctx.rx_core,
+            Placement::Core(core) => core,
+            Placement::Shared => ctx.shortest_queue(),
+        }
+    }
+}
+
+/// The paper's size-aware sharding, verbatim: the plan classifies by
+/// size; small items execute where they landed, large items go to the
+/// range-owning large core's software queue.
+pub struct SizeAware;
+
+impl Discipline for SizeAware {
+    fn kind(&self) -> DisciplineKind {
+        DisciplineKind::SizeAware
+    }
+
+    fn needs_size(&self) -> bool {
+        true
+    }
+
+    fn plan_drain(&self) -> bool {
+        true
+    }
+
+    fn place(&self, ctx: &PlaceCtx) -> Placement {
+        // `needs_size` guarantees the server supplies the size; treat a
+        // missing one as small rather than panicking on the hot path.
+        let size = ctx.size.unwrap_or(0);
+        match ctx.plan.classify(size) {
+            Destination::Local => Placement::Local,
+            Destination::Handoff(target) => Placement::Core(target),
+        }
+    }
+}
+
+/// Centralized FCFS: the single-queue M/G/k system the paper argues
+/// suffers head-of-line blocking from large requests.
+pub struct Cfcfs;
+
+impl Discipline for Cfcfs {
+    fn kind(&self) -> DisciplineKind {
+        DisciplineKind::Cfcfs
+    }
+
+    fn uses_shared_queue(&self) -> bool {
+        true
+    }
+
+    fn place(&self, _ctx: &PlaceCtx) -> Placement {
+        Placement::Shared
+    }
+}
+
+/// Distributed FCFS: the key-hash partitioned nxM/G/1 system — perfect
+/// locality, no balancing, large keys hot-spot their owner core.
+pub struct Dfcfs;
+
+impl Dfcfs {
+    /// The owner core of `key` among `n_cores`.
+    pub fn owner(key: u64, n_cores: usize) -> usize {
+        (minos_kv::keyhash(key) % n_cores as u64) as usize
+    }
+}
+
+impl Discipline for Dfcfs {
+    fn kind(&self) -> DisciplineKind {
+        DisciplineKind::Dfcfs
+    }
+
+    fn place(&self, ctx: &PlaceCtx) -> Placement {
+        let owner = Dfcfs::owner(ctx.key, ctx.n_cores);
+        if owner == ctx.rx_core {
+            Placement::Local
+        } else {
+            Placement::Core(owner)
+        }
+    }
+}
+
+/// Join-shortest-queue over the live depth gauges; ties prefer the RX
+/// core (no pointless handoff hop).
+pub struct Jsq;
+
+impl Discipline for Jsq {
+    fn kind(&self) -> DisciplineKind {
+        DisciplineKind::Jsq
+    }
+
+    fn place(&self, ctx: &PlaceCtx) -> Placement {
+        let pick = ctx.shortest_queue();
+        if pick == ctx.rx_core {
+            Placement::Local
+        } else {
+            Placement::Core(pick)
+        }
+    }
+}
+
+/// Strict rotation over cores via one shared atomic counter.
+pub struct RoundRobin {
+    next: AtomicUsize,
+}
+
+impl RoundRobin {
+    fn new() -> Self {
+        RoundRobin {
+            next: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl Discipline for RoundRobin {
+    fn kind(&self) -> DisciplineKind {
+        DisciplineKind::RoundRobin
+    }
+
+    fn place(&self, ctx: &PlaceCtx) -> Placement {
+        let pick = self.next.fetch_add(1, Ordering::Relaxed) % ctx.n_cores;
+        if pick == ctx.rx_core {
+            Placement::Local
+        } else {
+            Placement::Core(pick)
+        }
+    }
+}
+
+/// Uniform random core from a lock-free splitmix64 stream.
+pub struct Random {
+    state: AtomicU64,
+}
+
+impl Random {
+    fn seeded(seed: u64) -> Self {
+        Random {
+            state: AtomicU64::new(seed),
+        }
+    }
+
+    fn next(&self) -> u64 {
+        let x = self
+            .state
+            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl Discipline for Random {
+    fn kind(&self) -> DisciplineKind {
+        DisciplineKind::Random
+    }
+
+    fn place(&self, ctx: &PlaceCtx) -> Placement {
+        let pick = (self.next() % ctx.n_cores as u64) as usize;
+        if pick == ctx.rx_core {
+            Placement::Local
+        } else {
+            Placement::Core(pick)
+        }
+    }
+}
+
+/// Mixes a source endpoint and message id into the pseudo-key fragments
+/// are placed by (the real key only travels in fragment 0, and placement
+/// must agree across all fragments of one message).
+#[inline]
+pub fn fragment_key(src: u64, msg_id: u64) -> u64 {
+    let mut z = src ^ msg_id.rotate_left(32) ^ 0x9E37_79B9_7F4A_7C15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::allocation::allocate;
+    use crate::ranges::LargeRanges;
+    use crate::threshold::ThresholdDecision;
 
     #[test]
     fn quota_rounds_up() {
@@ -88,5 +475,166 @@ mod tests {
         // Other small cores do help drain queue 7.
         let s0 = drain_schedule(0, 32, 8, 7..8);
         assert_eq!(s0.others, vec![(7, 4)]);
+    }
+
+    fn test_plan(n_cores: usize, threshold: u64) -> ShardingPlan {
+        let decision = ThresholdDecision {
+            threshold,
+            small_cost_share: 0.75,
+            epoch_requests: 0,
+        };
+        ShardingPlan {
+            epoch_id: 1,
+            allocation: allocate(n_cores, decision.small_cost_share),
+            ranges: LargeRanges::single(),
+            decision,
+        }
+    }
+
+    fn ctx<'a, const N: usize>(
+        plan: &'a ShardingPlan,
+        depths: &'a [usize; N],
+        rx_core: usize,
+        key: u64,
+        size: Option<u64>,
+    ) -> PlaceCtx<'a> {
+        PlaceCtx {
+            rx_core,
+            n_cores: N,
+            key,
+            size,
+            plan,
+            depths,
+        }
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in DisciplineKind::ALL {
+            assert_eq!(DisciplineKind::from_name(kind.name()), Some(kind));
+            assert_eq!(kind.build().kind(), kind);
+            assert_eq!(kind.build().name(), kind.name());
+        }
+        assert_eq!(DisciplineKind::from_name("fifo"), None);
+    }
+
+    #[test]
+    fn size_aware_mirrors_plan_classification() {
+        let plan = test_plan(4, 1000);
+        let depths = [0usize; 4];
+        let d = DisciplineKind::SizeAware.build();
+        assert!(d.needs_size() && d.plan_drain() && !d.uses_shared_queue());
+        for size in [0u64, 1, 999, 1000, 1001, 1 << 20] {
+            let c = ctx(&plan, &depths, 1, 7, Some(size));
+            let expect = match plan.classify(size) {
+                Destination::Local => Placement::Local,
+                Destination::Handoff(t) => Placement::Core(t),
+            };
+            assert_eq!(d.place(&c), expect, "size {size}");
+        }
+    }
+
+    #[test]
+    fn cfcfs_always_shared() {
+        let plan = test_plan(4, 1000);
+        let depths = [3usize, 0, 5, 1];
+        let d = DisciplineKind::Cfcfs.build();
+        assert!(d.uses_shared_queue() && !d.needs_size() && !d.plan_drain());
+        for key in 0..16 {
+            let c = ctx(&plan, &depths, (key % 4) as usize, key, None);
+            assert_eq!(d.place(&c), Placement::Shared);
+        }
+        // Fragments can't be shared: they fall back to the shortest
+        // queue (core 1 here).
+        let c = ctx(&plan, &depths, 0, 42, Some(1 << 20));
+        assert_eq!(d.place_fragment(&c), 1);
+    }
+
+    #[test]
+    fn dfcfs_is_key_stable_and_spreads() {
+        let plan = test_plan(4, 1000);
+        let depths = [0usize; 4];
+        let d = DisciplineKind::Dfcfs.build();
+        let mut hit = [false; 4];
+        for key in 0..256u64 {
+            let owner = Dfcfs::owner(key, 4);
+            hit[owner] = true;
+            for rx in 0..4 {
+                let c = ctx(&plan, &depths, rx, key, None);
+                let expect = if owner == rx {
+                    Placement::Local
+                } else {
+                    Placement::Core(owner)
+                };
+                // Same key, any RX core, any queue state: same owner.
+                assert_eq!(d.place(&c), expect);
+            }
+        }
+        assert!(hit.iter().all(|&h| h), "256 keys must cover all 4 cores");
+    }
+
+    #[test]
+    fn jsq_picks_shortest_preferring_local_on_ties() {
+        let plan = test_plan(4, 1000);
+        let d = DisciplineKind::Jsq.build();
+        let depths = [5usize, 2, 9, 2];
+        // Unique minimum wins ... (cores 1 and 3 tie; lowest index wins
+        // among non-local ties).
+        let c = ctx(&plan, &depths, 0, 7, None);
+        assert_eq!(d.place(&c), Placement::Core(1));
+        // ... but an equally short local queue means no handoff.
+        let c = ctx(&plan, &depths, 3, 7, None);
+        assert_eq!(d.place(&c), Placement::Local);
+        let flat = [4usize; 4];
+        let c = ctx(&plan, &flat, 2, 7, None);
+        assert_eq!(d.place(&c), Placement::Local);
+    }
+
+    #[test]
+    fn round_robin_cycles_every_core() {
+        let plan = test_plan(4, 1000);
+        let depths = [0usize; 4];
+        let d = DisciplineKind::RoundRobin.build();
+        let mut picks = Vec::new();
+        for i in 0..8 {
+            let c = ctx(&plan, &depths, 0, i, None);
+            picks.push(match d.place(&c) {
+                Placement::Local => 0,
+                Placement::Core(t) => t,
+                Placement::Shared => unreachable!(),
+            });
+        }
+        assert_eq!(picks, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn random_covers_all_cores() {
+        let plan = test_plan(4, 1000);
+        let depths = [0usize; 4];
+        let d = DisciplineKind::Random.build();
+        let mut hit = [0usize; 4];
+        for i in 0..512 {
+            let c = ctx(&plan, &depths, 0, i, None);
+            match d.place(&c) {
+                Placement::Local => hit[0] += 1,
+                Placement::Core(t) => hit[t] += 1,
+                Placement::Shared => unreachable!(),
+            }
+        }
+        // Uniform enough: every core sees a healthy share of 512 picks.
+        assert!(hit.iter().all(|&h| h > 64), "skewed picks: {hit:?}");
+    }
+
+    #[test]
+    fn fragment_key_spreads_sources() {
+        // Distinct (src, msg_id) pairs must not collapse onto a few
+        // pseudo-keys (that would hot-spot dfcfs/random placement).
+        let mut owners = [0usize; 4];
+        for src in 0..16u64 {
+            for msg in 0..16u64 {
+                owners[(fragment_key(src, msg) % 4) as usize] += 1;
+            }
+        }
+        assert!(owners.iter().all(|&h| h > 32), "skewed: {owners:?}");
     }
 }

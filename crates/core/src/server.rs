@@ -29,10 +29,13 @@
 
 use crate::allocation::allocate;
 use crate::config::MinosConfig;
-use crate::dispatch::drain_schedule;
+use crate::dispatch::{
+    drain_schedule, fragment_key, Discipline, DisciplineKind, DrainSchedule, PlaceCtx, Placement,
+    QueueDepths,
+};
 use crate::engine::KvEngine;
 use crate::ingest::{rejected_put_reply, DiscardQuota, OpenOutcome, PutIngest};
-use crate::plan::{Destination, ShardingPlan};
+use crate::plan::ShardingPlan;
 use crate::ranges::LargeRanges;
 use crate::threshold::ThresholdController;
 use crossbeam::queue::ArrayQueue;
@@ -195,12 +198,30 @@ impl FlowPins {
     }
 }
 
+/// Live soft-queue depths as the [`QueueDepths`] view disciplines
+/// consume (JSQ reads them at placement time; `len()` on an
+/// [`ArrayQueue`] is a pair of relaxed loads).
+struct SoftQueueDepths<'a>(&'a [ArrayQueue<Handoff>]);
+
+impl QueueDepths for SoftQueueDepths<'_> {
+    fn depth(&self, core: usize) -> usize {
+        self.0[core].len()
+    }
+}
+
 struct Shared<T: Transport> {
     config: MinosConfig,
     transport: Arc<T>,
     store: Arc<Store>,
     plan: RwLock<Arc<ShardingPlan>>,
+    /// The queue discipline placing decoded requests onto cores
+    /// (size-aware sharding unless configured otherwise).
+    discipline: Box<dyn Discipline>,
     soft_queues: Vec<ArrayQueue<Handoff>>,
+    /// The single cFCFS queue every core polls when the discipline
+    /// requests it ([`Discipline::uses_shared_queue`]); empty and
+    /// unpolled otherwise.
+    shared_queue: ArrayQueue<Handoff>,
     stats: Vec<SharedCoreStats>,
     /// Core-owned size histograms: recording is a relaxed `fetch_add`
     /// on an atomic bucket counter (no per-request lock), the epoch
@@ -220,6 +241,15 @@ struct Shared<T: Transport> {
     epochs: Counter,
     malformed: Counter,
     reassembly_evictions: Counter,
+    /// Placements onto a specific core's software queue
+    /// (`dispatch.queue_picks`; for size-aware these are the handoffs).
+    queue_picks: Counter,
+    /// Placements onto the shared cFCFS queue (`dispatch.shared_picks`).
+    shared_picks: Counter,
+    /// Requests executed by a core that stole them from a peer's
+    /// software queue (`dispatch.steals`; only moves when
+    /// [`MinosConfig::steal`] is on).
+    steal_picks: Counter,
     epoch_deadline_ns: AtomicU64,
     /// Per-core reply message-id counters (fragment reassembly keys).
     msg_ids: Vec<AtomicU64>,
@@ -296,6 +326,10 @@ impl<T: Transport + 'static> Collector for EngineCollector<T> {
         ));
         let depth: usize = shared.soft_queues.iter().map(|q| q.len()).sum();
         out.push(gauge("dispatch.soft_queue_depth", depth as f64));
+        out.push(gauge(
+            "dispatch.shared_queue_depth",
+            shared.shared_queue.len() as f64,
+        ));
         out.push((
             "ingest.put_copied_bytes".to_string(),
             MetricValue::Counter(shared.store.mempool().stats().copied_bytes),
@@ -368,9 +402,14 @@ impl<T: Transport + 'static> MinosServer<T> {
         let shared = Arc::new(Shared {
             store: Arc::clone(&store),
             plan: RwLock::new(Arc::new(initial)),
+            discipline: config.minos.discipline.build(),
             soft_queues: (0..n)
                 .map(|_| ArrayQueue::new(config.minos.soft_queue_capacity))
                 .collect(),
+            // The cFCFS queue stands in for *all* per-core queues, so it
+            // gets their aggregate capacity — equal total backlog before
+            // tail-drop, whatever the discipline.
+            shared_queue: ArrayQueue::new(config.minos.soft_queue_capacity * n),
             stats: (0..n).map(|_| SharedCoreStats::new()).collect(),
             size_hists: (0..n).map(|_| AtomicSizeHistogram::new()).collect(),
             controller: Mutex::new(controller),
@@ -383,6 +422,9 @@ impl<T: Transport + 'static> MinosServer<T> {
             epochs: registry.counter("engine.epochs"),
             malformed: registry.counter("engine.malformed"),
             reassembly_evictions: registry.counter("ingest.reassembly_evictions"),
+            queue_picks: registry.counter("dispatch.queue_picks"),
+            shared_picks: registry.counter("dispatch.shared_picks"),
+            steal_picks: registry.counter("dispatch.steals"),
             epoch_deadline_ns: AtomicU64::new(config.minos.epoch_ns),
             msg_ids: (0..n).map(|_| AtomicU64::new(0)).collect(),
             flow_pins: FlowPins::new(4096),
@@ -440,6 +482,11 @@ impl<T: Transport + 'static> MinosServer<T> {
         self.shared.config.n_cores
     }
 
+    /// The queue discipline placing requests onto cores.
+    pub fn discipline(&self) -> DisciplineKind {
+        self.shared.discipline.kind()
+    }
+
     /// Per-core statistics snapshot.
     pub fn core_stats(&self) -> Vec<CoreStats> {
         self.shared.stats.iter().map(|s| s.snapshot()).collect()
@@ -478,10 +525,12 @@ impl<T: Transport + 'static> MinosServer<T> {
         run_epoch(&self.shared);
     }
 
-    /// Requests still queued in software queues (handoffs not yet
-    /// executed). Zero means every accepted request has been replied to.
+    /// Requests still queued in software queues — the per-core ones plus
+    /// the shared cFCFS queue — i.e. handoffs not yet executed. Zero
+    /// means every accepted request has been replied to.
     pub fn pending_handoffs(&self) -> usize {
-        self.shared.soft_queues.iter().map(|q| q.len()).sum()
+        let soft: usize = self.shared.soft_queues.iter().map(|q| q.len()).sum();
+        soft + self.shared.shared_queue.len()
     }
 
     /// Waits for in-flight work to drain: returns `true` once the
@@ -619,14 +668,27 @@ fn core_loop<T: Transport>(shared: &Shared<T>, core: usize) {
             }
         }
 
-        // Small cores drain RX queues (their own plus the large cores').
-        if plan.allocation.is_small_core(core) {
-            let schedule = drain_schedule(
-                core,
-                shared.config.batch_size,
-                plan.allocation.n_small,
-                plan.allocation.handoff_cores(),
-            );
+        // RX draining. Under the size-aware discipline's plan drain,
+        // small cores drain RX queues (their own plus the large cores')
+        // and large cores never touch RX. Every other discipline has
+        // each core drain only its own RX queue at the full batch — the
+        // symmetric hardware-dispatch model the baselines assume.
+        let schedule = if shared.discipline.plan_drain() {
+            plan.allocation.is_small_core(core).then(|| {
+                drain_schedule(
+                    core,
+                    shared.config.batch_size,
+                    plan.allocation.n_small,
+                    plan.allocation.handoff_cores(),
+                )
+            })
+        } else {
+            Some(DrainSchedule {
+                own: (core, shared.config.batch_size),
+                others: Vec::new(),
+            })
+        };
+        if let Some(schedule) = schedule {
             rx_buf.clear();
             let own = shared
                 .transport
@@ -661,35 +723,32 @@ fn core_loop<T: Transport>(shared: &Shared<T>, core: usize) {
         // flushes stragglers.
         for _ in 0..shared.config.batch_size {
             match shared.soft_queues[core].pop() {
-                Some(Handoff::Request(req)) => {
+                Some(item) => {
                     did_work = true;
-                    let t0 = clock.now_ns();
-                    let wait = t0.saturating_sub(req.arrival_ns);
-                    execute_and_reply(shared, core, req);
-                    shared.telemetry[core].record(
-                        ReqClass::Large,
-                        wait,
-                        clock.now_ns().saturating_sub(t0),
-                    );
-                }
-                Some(Handoff::Fragment(pkt, arrival_ns)) => {
-                    did_work = true;
-                    // Recorded per *fragment*, not per message: each
-                    // fragment is one unit of large-core work, and its
-                    // wait is exactly the software-queue delay the paper
-                    // decomposes. A k-fragment PUT therefore contributes
-                    // k large-class samples.
-                    let t0 = clock.now_ns();
-                    let wait = t0.saturating_sub(arrival_ns);
-                    stream_put_fragment(shared, core, &mut reassembler, pkt);
-                    shared.telemetry[core].record(
-                        ReqClass::Large,
-                        wait,
-                        clock.now_ns().saturating_sub(t0),
-                    );
+                    execute_queued(shared, core, &mut reassembler, clock, item);
                 }
                 None => break,
             }
+        }
+
+        // Under cFCFS every core also pulls from the single shared
+        // queue — the M/G/k system the paper argues against.
+        if shared.discipline.uses_shared_queue() {
+            for _ in 0..shared.config.batch_size {
+                match shared.shared_queue.pop() {
+                    Some(item) => {
+                        did_work = true;
+                        execute_queued(shared, core, &mut reassembler, clock, item);
+                    }
+                    None => break,
+                }
+            }
+        }
+
+        // Work stealing (opt-in): an idle core takes one request from
+        // the longest peer software queue before spinning.
+        if !did_work && shared.config.steal {
+            did_work = try_steal(shared, core, clock);
         }
 
         if did_work {
@@ -704,6 +763,98 @@ fn core_loop<T: Transport>(shared: &Shared<T>, core: usize) {
                 std::hint::spin_loop();
             }
         }
+    }
+}
+
+/// The telemetry class of work popped off a software queue. Under
+/// size-aware sharding queued work is large-class *by route* — the
+/// class records the execution path, exactly the paper's decomposition.
+/// Under every other discipline smalls and larges share the queues, so
+/// requests class by what they turned out to be (`large` from
+/// [`execute`]; a malformed request classes small).
+fn queued_class<T: Transport>(shared: &Shared<T>, large: Option<bool>) -> ReqClass {
+    if shared.discipline.kind() == DisciplineKind::SizeAware || large.unwrap_or(false) {
+        ReqClass::Large
+    } else {
+        ReqClass::Small
+    }
+}
+
+/// Executes one complete request popped off a software queue (own,
+/// shared, or a steal victim's), recording its queue-wait/service
+/// telemetry.
+fn execute_queued_request<T: Transport>(
+    shared: &Shared<T>,
+    core: usize,
+    clock: CoreClock,
+    req: ServerRequest,
+) {
+    let t0 = clock.now_ns();
+    let wait = t0.saturating_sub(req.arrival_ns);
+    let large = execute_and_reply(shared, core, req);
+    shared.telemetry[core].record(
+        queued_class(shared, large),
+        wait,
+        clock.now_ns().saturating_sub(t0),
+    );
+}
+
+/// Executes one item popped off a software queue. Fragments are always
+/// large-class (only large PUTs fragment) and are recorded per
+/// *fragment*, not per message: each fragment is one unit of queue
+/// work, and its wait is exactly the software-queue delay the paper
+/// decomposes — a k-fragment PUT contributes k large-class samples.
+fn execute_queued<T: Transport>(
+    shared: &Shared<T>,
+    core: usize,
+    reassembler: &mut StreamingReassembler<PutIngest>,
+    clock: CoreClock,
+    item: Handoff,
+) {
+    match item {
+        Handoff::Request(req) => execute_queued_request(shared, core, clock, req),
+        Handoff::Fragment(pkt, arrival_ns) => {
+            let t0 = clock.now_ns();
+            let wait = t0.saturating_sub(arrival_ns);
+            stream_put_fragment(shared, core, reassembler, pkt);
+            shared.telemetry[core].record(ReqClass::Large, wait, clock.now_ns().saturating_sub(t0));
+        }
+    }
+}
+
+/// One steal attempt by an idle core: pop a request from the longest
+/// peer software queue and execute it here. Fragments are never stolen
+/// — all fragments of one message are pinned to a single core's
+/// reassembler — so one found at the head is pushed straight back and
+/// the attempt abandoned.
+fn try_steal<T: Transport>(shared: &Shared<T>, core: usize, clock: CoreClock) -> bool {
+    let mut victim = None;
+    let mut longest = 0;
+    for (i, q) in shared.soft_queues.iter().enumerate() {
+        if i != core && q.len() > longest {
+            longest = q.len();
+            victim = Some(i);
+        }
+    }
+    let Some(victim) = victim else {
+        return false;
+    };
+    match shared.soft_queues[victim].pop() {
+        Some(Handoff::Request(req)) => {
+            shared.stats[core].record_steal();
+            shared.steal_picks.inc();
+            execute_queued_request(shared, core, clock, req);
+            true
+        }
+        Some(frag @ Handoff::Fragment(..)) => {
+            // Returning the fragment can only fail if the queue refilled
+            // between the pop and this push; that loss is still a drop.
+            if shared.soft_queues[victim].push(frag).is_err() {
+                shared.soft_drops.inc();
+            }
+            false
+        }
+        None => false,
     }
 }
 
@@ -855,17 +1006,22 @@ fn process_rx_packet<T: Transport>(
         // All fragments of one message must reach the same reassembler,
         // across plan changes and across the multiple small cores that
         // drain one RX queue — so the target core is pinned on the
-        // message's first-seen fragment.
-        let target = shared
-            .flow_pins
-            .pin(pkt.source_endpoint(), fh.msg_id, fh.count, || {
-                match plan.classify(item_size) {
-                    Destination::Handoff(t) => t,
-                    // Threshold above this size (heavily large-skewed
-                    // workload): this core keeps the message.
-                    Destination::Local => core,
-                }
-            });
+        // message's first-seen fragment. The discipline picks the
+        // owner; under size-aware sharding that is the plan's range
+        // core (or this core itself when the threshold sits above the
+        // size — a heavily large-skewed workload).
+        let src = pkt.source_endpoint();
+        let target = shared.flow_pins.pin(src, fh.msg_id, fh.count, || {
+            let depths = SoftQueueDepths(&shared.soft_queues);
+            shared.discipline.place_fragment(&PlaceCtx {
+                rx_core: core,
+                n_cores: shared.config.n_cores,
+                key: fragment_key(src, fh.msg_id),
+                size: Some(item_size),
+                plan,
+                depths: &depths,
+            })
+        });
         if target == core {
             // Large work executing on the RX-draining core itself
             // (standby mode, or a large-skewed threshold): still
@@ -904,10 +1060,11 @@ fn process_rx_packet<T: Transport>(
     );
 }
 
-/// Classifies a complete request on a small core and either executes it
-/// or hands it off. Locally executed work records small-class lifecycle
-/// telemetry (queue wait = service start − rx dequeue); handed-off work
-/// is recorded large-class by the core that executes it.
+/// Places one complete request per the configured discipline: executes
+/// it inline, pushes it to a peer core's software queue, or pushes it
+/// to the shared cFCFS queue. Locally executed work records small-class
+/// lifecycle telemetry (queue wait = service start − rx dequeue);
+/// queued work is recorded by the core that executes it.
 fn handle_message<T: Transport>(
     shared: &Shared<T>,
     core: usize,
@@ -917,62 +1074,73 @@ fn handle_message<T: Transport>(
 ) {
     let t0 = clock.now_ns();
     let wait = t0.saturating_sub(req.arrival_ns);
+    if shared.discipline.needs_size() {
+        handle_message_size_aware(shared, core, plan, clock, t0, wait, req);
+    } else {
+        handle_message_by_key(shared, core, plan, clock, t0, wait, req);
+    }
+}
+
+/// Places where the discipline needs the item's size (size-aware
+/// sharding, paper §3): for GETs, one lookup on the RX core decides —
+/// reply directly if the item is small, hand the *request* off if large
+/// (the executing core re-reads).
+fn handle_message_size_aware<T: Transport>(
+    shared: &Shared<T>,
+    core: usize,
+    plan: &ShardingPlan,
+    clock: CoreClock,
+    t0: u64,
+    wait: u64,
+    req: ServerRequest,
+) {
     let record_small = |shared: &Shared<T>| {
         shared.telemetry[core].record(ReqClass::Small, wait, clock.now_ns().saturating_sub(t0));
     };
+    let place = |key: u64, size: u64| {
+        let depths = SoftQueueDepths(&shared.soft_queues);
+        shared.discipline.place(&PlaceCtx {
+            rx_core: core,
+            n_cores: shared.config.n_cores,
+            key,
+            size: Some(size),
+            plan,
+            depths: &depths,
+        })
+    };
     match &req.msg.body {
-        Body::Get { key } => {
-            // One lookup decides: reply directly if the item is small,
-            // hand the *request* off if large (the large core re-reads).
-            match shared.store.get(*key) {
-                None => {
-                    shared.size_hists[core].record(0);
-                    shared.stats[core].record_get(false);
-                    reply_direct(shared, core, &req, ReplyStatus::NotFound, None);
-                    record_small(shared);
-                }
-                Some(value) => {
-                    let size = value.len() as u64;
-                    shared.size_hists[core].record(size);
-                    match plan.classify(size) {
-                        Destination::Local => {
-                            shared.stats[core].record_get(false);
-                            reply_direct(shared, core, &req, ReplyStatus::Ok, Some(value));
-                            record_small(shared);
-                        }
-                        Destination::Handoff(target) => {
-                            drop(value);
-                            if shared.soft_queues[target]
-                                .push(Handoff::Request(req))
-                                .is_err()
-                            {
-                                shared.soft_drops.inc();
-                            } else {
-                                shared.stats[core].record_handoff();
-                            }
-                        }
+        Body::Get { key } => match shared.store.get(*key) {
+            None => {
+                shared.size_hists[core].record(0);
+                shared.stats[core].record_get(false);
+                reply_direct(shared, core, &req, ReplyStatus::NotFound, None);
+                record_small(shared);
+            }
+            Some(value) => {
+                let size = value.len() as u64;
+                shared.size_hists[core].record(size);
+                match place(*key, size) {
+                    Placement::Local => {
+                        shared.stats[core].record_get(false);
+                        reply_direct(shared, core, &req, ReplyStatus::Ok, Some(value));
+                        record_small(shared);
+                    }
+                    placement => {
+                        drop(value);
+                        enqueue_placed(shared, core, placement, req);
                     }
                 }
             }
-        }
-        Body::Put { value, .. } => {
+        },
+        Body::Put { key, value } => {
             let size = value.len() as u64;
             shared.size_hists[core].record(size);
-            match plan.classify(size) {
-                Destination::Local => {
+            match place(*key, size) {
+                Placement::Local => {
                     execute_and_reply(shared, core, req);
                     record_small(shared);
                 }
-                Destination::Handoff(target) => {
-                    if shared.soft_queues[target]
-                        .push(Handoff::Request(req))
-                        .is_err()
-                    {
-                        shared.soft_drops.inc();
-                    } else {
-                        shared.stats[core].record_handoff();
-                    }
-                }
+                placement => enqueue_placed(shared, core, placement, req),
             }
         }
         Body::Delete { .. } => {
@@ -986,6 +1154,83 @@ fn handle_message<T: Transport>(
             // Replies arriving at a server are protocol violations.
             shared.malformed.inc();
         }
+    }
+}
+
+/// Places where the discipline works from the key and queue state alone
+/// (every non-size-aware discipline): no classification lookup on the
+/// RX core — the executing core performs the only store access, and
+/// telemetry classes by what the request turned out to be.
+fn handle_message_by_key<T: Transport>(
+    shared: &Shared<T>,
+    core: usize,
+    plan: &ShardingPlan,
+    clock: CoreClock,
+    t0: u64,
+    wait: u64,
+    req: ServerRequest,
+) {
+    let (key, size) = match &req.msg.body {
+        Body::Get { key } | Body::Delete { key } => (*key, None),
+        Body::Put { key, value } => (*key, Some(value.len() as u64)),
+        _ => {
+            // Replies arriving at a server are protocol violations.
+            shared.malformed.inc();
+            return;
+        }
+    };
+    // Keep the size statistics (and with them the epoch controller and
+    // the `plan.*` telemetry) flowing where the size is knowable
+    // without a lookup. The plan these feed is advisory here — no
+    // placement consults it.
+    if let Some(size) = size {
+        shared.size_hists[core].record(size);
+    }
+    let placement = {
+        let depths = SoftQueueDepths(&shared.soft_queues);
+        shared.discipline.place(&PlaceCtx {
+            rx_core: core,
+            n_cores: shared.config.n_cores,
+            key,
+            size,
+            plan,
+            depths: &depths,
+        })
+    };
+    match placement {
+        Placement::Local => {
+            let large = execute_and_reply(shared, core, req);
+            let class = if large.unwrap_or(false) {
+                ReqClass::Large
+            } else {
+                ReqClass::Small
+            };
+            shared.telemetry[core].record(class, wait, clock.now_ns().saturating_sub(t0));
+        }
+        placement => enqueue_placed(shared, core, placement, req),
+    }
+}
+
+/// Pushes a placed request onto its target queue — a peer core's
+/// software queue or the shared cFCFS queue — with the pick counters
+/// and tail-drop accounting. `Placement::Local` is the caller's job
+/// (the two paths reply with different state in hand).
+fn enqueue_placed<T: Transport>(
+    shared: &Shared<T>,
+    core: usize,
+    placement: Placement,
+    req: ServerRequest,
+) {
+    let (queue, pick) = match placement {
+        Placement::Core(target) => (&shared.soft_queues[target], &shared.queue_picks),
+        Placement::Shared => (&shared.shared_queue, &shared.shared_picks),
+        Placement::Local => unreachable!("local placement executes inline"),
+    };
+    pick.inc();
+    if queue.push(Handoff::Request(req)).is_err() {
+        shared.soft_drops.inc();
+    } else {
+        shared.stats[core].record_handoff();
     }
 }
 
@@ -1004,11 +1249,17 @@ fn reply_direct<T: Transport>(
 }
 
 /// Executes a request on this core (small or large) and transmits the
-/// reply on this core's TX queue.
-fn execute_and_reply<T: Transport>(shared: &Shared<T>, core: usize, req: ServerRequest) {
+/// reply on this core's TX queue. Returns whether the item was large
+/// (`None` for malformed requests) so queued-work telemetry can class
+/// by outcome under the non-size-aware disciplines.
+fn execute_and_reply<T: Transport>(
+    shared: &Shared<T>,
+    core: usize,
+    req: ServerRequest,
+) -> Option<bool> {
     let Some((status, value, was_get, large)) = execute(&shared.store, &req.msg) else {
         shared.malformed.inc();
-        return;
+        return None;
     };
     if was_get {
         shared.stats[core].record_get(large);
@@ -1017,6 +1268,7 @@ fn execute_and_reply<T: Transport>(shared: &Shared<T>, core: usize, req: ServerR
     }
     let reply = req.msg.reply(status, value.map(bytes::Bytes::from_owner));
     send_reply(shared, core, req.reply_to, &reply);
+    Some(large)
 }
 
 /// Executes `msg` against `store`, returning `(status, reply value,

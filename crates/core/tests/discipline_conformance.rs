@@ -1,0 +1,162 @@
+//! Discipline conformance suite: every queue discipline, run through
+//! the same live-server harness, must uphold the dispatch contract —
+//! every request executes exactly once (zero loss, zero duplicates,
+//! server-side op counts matching what the client sent), spreading
+//! disciplines starve no core, and the size-aware discipline places a
+//! recorded trace bit-for-bit where the pre-refactor server (the plan's
+//! `classify`) would have.
+
+use minos_core::client::Client;
+use minos_core::dispatch::{DisciplineKind, PlaceCtx, Placement};
+use minos_core::plan::Destination;
+use minos_core::server::{MinosServer, ServerConfig};
+use minos_net::VirtualTransport;
+use minos_workload::{AccessGenerator, Dataset, Operation, Rng};
+use std::time::Duration;
+
+const CORES: usize = 4;
+const OPS: u64 = 400;
+
+fn server_for(kind: DisciplineKind, steal: bool) -> MinosServer<VirtualTransport> {
+    let mut config = ServerConfig::for_test(CORES, 2_000);
+    config.minos.discipline = kind;
+    config.minos.steal = steal;
+    MinosServer::start(config)
+}
+
+/// Preloads a scaled dataset, then runs a mixed GET/PUT workload with
+/// enough large keys to exercise fragmentation and handoff; returns the
+/// total number of requests sent (preload + measured).
+fn run_mixed_workload(server: &MinosServer<VirtualTransport>, seed: u64) -> u64 {
+    let mut client = Client::new(server, 1, seed);
+    let dataset = Dataset::new(500, 5, 0.4, 20_000, seed);
+    let gen = AccessGenerator::new(dataset.clone(), 0.02, 0.5, 0.99);
+    let mut rng = Rng::new(seed);
+
+    let mut sent = 0u64;
+    for key in 0..dataset.num_keys() {
+        let value = vec![(key % 256) as u8; dataset.size_of(key) as usize];
+        client.send_put(key, &value, dataset.is_large_key(key));
+        sent += 1;
+        if key % 32 == 31 {
+            assert!(client.drain(Duration::from_secs(60)), "preload");
+        }
+    }
+    assert!(client.drain(Duration::from_secs(60)), "preload drain");
+
+    for i in 0..OPS {
+        let spec = gen.next_op(&mut rng);
+        match spec.op {
+            Operation::Get => client.send_get(spec.key, spec.is_large),
+            Operation::Put => {
+                let value = vec![(spec.key % 256) as u8; spec.item_size as usize];
+                client.send_put(spec.key, &value, spec.is_large);
+            }
+        }
+        sent += 1;
+        if i % 32 == 31 {
+            assert!(client.drain(Duration::from_secs(60)), "batch {i}");
+        }
+    }
+    assert!(client.drain(Duration::from_secs(60)), "final drain");
+    let t = client.totals();
+    assert_eq!(t.outstanding(), 0, "zero loss required");
+    assert_eq!(t.completed, sent, "every request answered exactly once");
+    assert_eq!(t.errors, 0, "no error replies");
+    sent
+}
+
+#[test]
+fn every_discipline_executes_each_request_exactly_once() {
+    for kind in DisciplineKind::ALL {
+        let mut server = server_for(kind, false);
+        let sent = run_mixed_workload(&server, 0xD15C ^ kind as u64);
+        // Server-side cross-check: the per-core op counters sum to the
+        // client's request count — nothing executed twice, nothing
+        // vanished into a queue.
+        let ops: u64 = server.core_stats().iter().map(|c| c.ops).sum();
+        assert_eq!(ops, sent, "{}: per-core ops mismatch", kind.name());
+        assert_eq!(server.discipline(), kind);
+        server.shutdown();
+    }
+}
+
+#[test]
+fn work_stealing_preserves_exactly_once() {
+    // The opt-in ZygOS-style steal path must not duplicate or drop:
+    // stolen requests execute on the thief, fragments stay pinned.
+    let mut server = server_for(DisciplineKind::SizeAware, true);
+    let sent = run_mixed_workload(&server, 0x0005_7EA1);
+    let ops: u64 = server.core_stats().iter().map(|c| c.ops).sum();
+    assert_eq!(ops, sent);
+    server.shutdown();
+}
+
+#[test]
+fn spreading_disciplines_starve_no_core() {
+    // Disciplines that spread by construction must give every core
+    // work. (cFCFS and JSQ spread by live load, which a near-idle
+    // functional test cannot pin down deterministically; their
+    // exactly-once accounting is covered above.)
+    for kind in [
+        DisciplineKind::Dfcfs,
+        DisciplineKind::RoundRobin,
+        DisciplineKind::Random,
+    ] {
+        let mut server = server_for(kind, false);
+        run_mixed_workload(&server, 0x5742 ^ kind as u64);
+        for (core, stats) in server.core_stats().iter().enumerate() {
+            assert!(
+                stats.ops > 0,
+                "{}: core {core} starved (0 ops)",
+                kind.name()
+            );
+        }
+        server.shutdown();
+    }
+}
+
+#[test]
+fn size_aware_matches_pre_refactor_placement_on_recorded_trace() {
+    // The pre-refactor server placed a decoded request by
+    // `plan.classify(size)`: local on the RX core for Small, the
+    // matching large core's software queue otherwise. Replay a recorded
+    // (key, size) trace from the real workload generator against a live
+    // server's published plan and hold the extracted SizeAware
+    // discipline to that bit for bit.
+    let server = server_for(DisciplineKind::SizeAware, false);
+    run_mixed_workload(&server, 0x7ACE);
+    let plan = server.plan();
+    let discipline = DisciplineKind::SizeAware.build();
+
+    let dataset = Dataset::new(500, 5, 0.4, 20_000, 0x7ACE);
+    let gen = AccessGenerator::new(dataset, 0.02, 0.5, 0.99);
+    let mut rng = Rng::new(0x7ACE);
+    let depths = vec![0usize; CORES];
+    for i in 0..2_000u64 {
+        let spec = gen.next_op(&mut rng);
+        let rx_core = (i % CORES as u64) as usize;
+        let placement = discipline.place(&PlaceCtx {
+            rx_core,
+            n_cores: CORES,
+            key: spec.key,
+            size: Some(spec.item_size),
+            plan: &plan,
+            depths: &depths,
+        });
+        match plan.classify(spec.item_size) {
+            Destination::Local => {
+                assert_eq!(placement, Placement::Local, "op {i}: small runs locally");
+            }
+            Destination::Handoff(target) => {
+                assert_eq!(
+                    placement,
+                    Placement::Core(target),
+                    "op {i}: large handed to the plan's core"
+                );
+            }
+        }
+    }
+    let mut server = server;
+    server.shutdown();
+}

@@ -4,8 +4,8 @@
 //! `transport.*` family (via the trait's default
 //! [`crate::Transport::collect_metrics`]); backends with buffer pools
 //! add the `pool.*` family, and the virtual backend exposes the NIC's
-//! wire-level drop counters under `nic.*`. The README's Observability
-//! table is the authoritative list.
+//! wire-level drop counters under `nic.*`. `docs/METRICS.md` is the
+//! authoritative list.
 
 use crate::pool::PoolStats;
 use crate::transport::TransportStats;

@@ -87,6 +87,14 @@ impl JsonValue {
         }
     }
 
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// Parses one JSON document, requiring nothing but whitespace after it.
     pub fn parse(input: &str) -> Result<JsonValue, String> {
         let mut p = Parser {

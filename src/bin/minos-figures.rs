@@ -15,14 +15,17 @@
 //!
 //! ```text
 //! minos-figures --rates 20000,40000,60000,80000 \
-//!               [--policies minos,hkh,sho] [--cores N] [--clients N]
+//!               [--policies minos,hkh,sho] [--disciplines LIST]
+//!               [--cores N] [--clients N]
 //!               [--duration SECS] [--keys N] [--large-keys N]
-//!               [--profile default|write] [--p-large FRAC]
+//!               [--profile default|write] [--p-large FRAC] [--s-large BYTES]
 //!               [--sho-handoff N] [--seed S] [--base-port P]
-//!               [--out FILE]
+//!               [--out FILE] [--resume]
 //! ```
 
-use minos::figures::{run_sweep, Policy, SweepConfig};
+use minos::core::dispatch::DisciplineKind;
+use minos::figures::{run_sweep_resuming, Policy, SweepConfig, SweepPoint};
+use minos::obs::JsonValue;
 use minos::workload::{profiles, DEFAULT_PROFILE};
 use std::time::Duration;
 
@@ -34,6 +37,10 @@ USAGE:
 OPTIONS:
     --rates R1,R2,...     offered rates (req/s) swept per policy, in order
     --policies LIST       comma list of minos,hkh,sho (default all three)
+    --disciplines LIST    comma list of queue disciplines the minos
+                          policy sweeps (size-aware,cfcfs,dfcfs,jsq,
+                          round-robin,random; default size-aware);
+                          baselines always run their builtin dispatch
     --cores N             server cores = UDP queues per server (default 2)
     --sho-handoff N       SHO dispatch cores (default 1)
     --clients N           client threads per point (default 1)
@@ -42,18 +49,27 @@ OPTIONS:
     --large-keys N        large keys in the dataset (default 8)
     --profile NAME        'default' (95:5 GET:PUT) or 'write' (50:50)
     --p-large FRAC        override the large-request fraction (0..1)
+    --s-large BYTES       override the maximum large item size (the
+                          paper's s_L; Figure 7 sweeps it)
     --seed S              RNG seed (default 42)
-    --base-port P         queue-0 port of the first policy's server
-                          (default 9500); policy i binds cores ports
-                          from P + i*cores
+    --base-port P         queue-0 port of the first server instance
+                          (default 9500); instance i of the
+                          (policy x discipline) enumeration binds cores
+                          ports from P + i*cores
     --out FILE            also write the sweep as a JSON array to FILE
+    --resume              skip (policy, discipline, rate) points already
+                          present in --out and carry them into the new
+                          file, so an interrupted sweep continues where
+                          it stopped
     -h, --help            this help
 ";
 
-fn parse() -> Result<(SweepConfig, Option<String>), String> {
+fn parse() -> Result<(SweepConfig, Option<String>, bool), String> {
     let mut cfg = SweepConfig::loopback(9500, Vec::new());
     let mut out = None;
+    let mut resume = false;
     let mut p_large_override: Option<f64> = None;
+    let mut s_large_override: Option<u64> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
@@ -70,6 +86,18 @@ fn parse() -> Result<(SweepConfig, Option<String>), String> {
                     .map(|p| {
                         Policy::from_name(p.trim())
                             .ok_or_else(|| format!("unknown policy: {p} (minos|hkh|sho)"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--disciplines" => {
+                cfg.disciplines = value("--disciplines")?
+                    .split(',')
+                    .map(|d| {
+                        DisciplineKind::from_name(d.trim()).ok_or_else(|| {
+                            format!(
+                                "unknown discipline: {d} (size-aware|cfcfs|dfcfs|jsq|round-robin|random)"
+                            )
+                        })
                     })
                     .collect::<Result<_, _>>()?;
             }
@@ -119,6 +147,13 @@ fn parse() -> Result<(SweepConfig, Option<String>), String> {
                         .map_err(|e| format!("--p-large: {e}"))?,
                 )
             }
+            "--s-large" => {
+                s_large_override = Some(
+                    value("--s-large")?
+                        .parse()
+                        .map_err(|e| format!("--s-large: {e}"))?,
+                )
+            }
             "--seed" => {
                 cfg.seed = value("--seed")?
                     .parse()
@@ -130,6 +165,7 @@ fn parse() -> Result<(SweepConfig, Option<String>), String> {
                     .map_err(|e| format!("--base-port: {e}"))?
             }
             "--out" => out = Some(value("--out")?),
+            "--resume" => resume = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -140,26 +176,71 @@ fn parse() -> Result<(SweepConfig, Option<String>), String> {
     if cfg.rates.is_empty() {
         return Err("--rates is required (comma-separated req/s ladder)".into());
     }
+    if resume && out.is_none() {
+        return Err("--resume needs --out (the file holding the finished points)".into());
+    }
     if let Some(p) = p_large_override {
         if !(0.0..=1.0).contains(&p) {
             return Err("--p-large must be in [0, 1]".into());
         }
         cfg.profile.p_large = p;
     }
-    Ok((cfg, out))
+    if let Some(s) = s_large_override {
+        if s == 0 {
+            return Err("--s-large must be positive".into());
+        }
+        cfg.profile.large_max = s;
+    }
+    Ok((cfg, out, resume))
+}
+
+/// Reads the finished points out of an interrupted sweep's `--out`
+/// file. A missing file is an empty sweep (first run with `--resume` is
+/// legal); an unparseable one is an error, not silently re-swept.
+fn read_existing(path: &str) -> Result<Vec<SweepPoint>, String> {
+    let doc = match std::fs::read_to_string(path) {
+        Ok(doc) => doc,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("cannot read {path}: {e}")),
+    };
+    let v = JsonValue::parse(&doc).map_err(|e| format!("{path}: {e}"))?;
+    let arr = v
+        .as_array()
+        .ok_or_else(|| format!("{path}: expected a JSON array of sweep points"))?;
+    arr.iter()
+        .map(|p| SweepPoint::parse(p).ok_or_else(|| format!("{path}: malformed sweep point")))
+        .collect()
 }
 
 fn main() {
-    let (cfg, out) = match parse() {
+    let (cfg, out, resume) = match parse() {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
             std::process::exit(2);
         }
     };
+    let existing = if resume {
+        match read_existing(out.as_deref().expect("parse enforced --out")) {
+            Ok(points) => {
+                eprintln!(
+                    "minos-figures: resuming past {} finished points",
+                    points.len()
+                );
+                points
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        Vec::new()
+    };
     eprintln!(
-        "minos-figures: {} policies x {} rates, {} cores, {} clients, {:?}/point, {} keys ({} large)",
+        "minos-figures: {} policies x {} disciplines x {} rates, {} cores, {} clients, {:?}/point, {} keys ({} large)",
         cfg.policies.len(),
+        cfg.disciplines.len(),
         cfg.rates.len(),
         cfg.cores,
         cfg.clients,
@@ -168,7 +249,7 @@ fn main() {
         cfg.large_keys,
     );
 
-    let points = run_sweep(&cfg, |point| {
+    let points = run_sweep_resuming(&cfg, &existing, |point| {
         // Stream each point as it lands, JSONL: the knee is visible
         // while the sweep still runs.
         println!("{}", point.to_json());

@@ -8,6 +8,7 @@
 //! ```text
 //! minos-server [--cores N] [--bind IP] [--port BASE] [--items N]
 //!              [--mem BYTES] [--threshold dynamic|BYTES]
+//!              [--discipline NAME] [--steal]
 //!              [--duration SECS] [--batch N] [--sockbuf BYTES]
 //!              [--pin BASECPU] [--json]
 //! ```
@@ -29,6 +30,7 @@
 //! snapshot line at any time.
 
 use minos::core::config::ThresholdMode;
+use minos::core::dispatch::DisciplineKind;
 use minos::core::server::{MinosServer, ServerConfig};
 use minos::net::{Transport, UdpConfig, UdpTransport};
 use minos::report;
@@ -45,6 +47,8 @@ struct Args {
     items: usize,
     mempool_bytes: usize,
     threshold: ThresholdMode,
+    discipline: DisciplineKind,
+    steal: bool,
     duration: Option<Duration>,
     batch: usize,
     sockbuf: usize,
@@ -98,6 +102,11 @@ OPTIONS:
     --mem BYTES        value-memory budget (default 2147483648 = 2 GiB)
     --threshold MODE   'dynamic' (paper control loop, default) or a fixed
                        byte threshold, e.g. '--threshold 1456'
+    --discipline NAME  queue discipline placing decoded requests on
+                       cores: size-aware (default, the paper), cfcfs,
+                       dfcfs, jsq, round-robin, random
+    --steal            ZygOS-style work stealing: an idle core pops one
+                       request from the longest peer software queue
     --duration SECS    exit after SECS instead of waiting for Ctrl-C
     --batch N          max datagrams per recvmmsg/sendmmsg syscall
                        (default 32; 1 = one syscall per datagram)
@@ -123,6 +132,8 @@ fn parse_args() -> Result<Args, String> {
         items: 1_000_000,
         mempool_bytes: 2 << 30,
         threshold: ThresholdMode::Dynamic,
+        discipline: DisciplineKind::SizeAware,
+        steal: false,
         duration: None,
         batch: minos::net::DEFAULT_SYSCALL_BATCH,
         sockbuf: 4 << 20,
@@ -166,6 +177,15 @@ fn parse_args() -> Result<Args, String> {
                     ThresholdMode::Static(v.parse().map_err(|e| format!("--threshold: {e}"))?)
                 };
             }
+            "--discipline" => {
+                let v = value("--discipline")?;
+                args.discipline = DisciplineKind::from_name(&v).ok_or_else(|| {
+                    format!(
+                        "unknown discipline: {v} (size-aware|cfcfs|dfcfs|jsq|round-robin|random)"
+                    )
+                })?;
+            }
+            "--steal" => args.steal = true,
             "--duration" => {
                 args.duration = Some(Duration::from_secs_f64(
                     value("--duration")?
@@ -281,6 +301,8 @@ fn main() {
 
     let mut config = ServerConfig::for_test(args.cores, args.items);
     config.minos.threshold_mode = args.threshold;
+    config.minos.discipline = args.discipline;
+    config.minos.steal = args.steal;
     config.minos.epoch_ns = 1_000_000_000; // the paper's 1 s epochs
     config.store =
         minos::kv::StoreConfig::for_items(args.cores * 4, args.items, args.mempool_bytes);
@@ -290,11 +312,13 @@ fn main() {
 
     human!(
         args,
-        "minos-server: {} cores on {}:{}..{} (threshold {:?}, {} item slots, syscall batch {}{})",
+        "minos-server: {} cores on {}:{}..{} ({} discipline{}, threshold {:?}, {} item slots, syscall batch {}{})",
         args.cores,
         args.bind,
         args.base_port,
         args.base_port + args.cores as u16 - 1,
+        args.discipline.name(),
+        if args.steal { " + steal" } else { "" },
         args.threshold,
         args.items,
         args.batch,

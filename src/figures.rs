@@ -15,7 +15,7 @@
 //! `base_port + queue`, client threads bind ephemeral sockets, and a
 //! barrier releases all client schedules at once so the offered rate is
 //! what the point claims. One [`SweepPoint`] is emitted per (policy,
-//! rate), serialized as JSON by [`SweepPoint::to_json`] and parseable
+//! discipline, rate), serialized as JSON by [`SweepPoint::to_json`] and parseable
 //! back by [`SweepPoint::parse`] — the committed `BENCH_fig_*.json`
 //! files and the CI perf-smoke gates both speak this schema.
 
@@ -23,6 +23,7 @@ use crate::baselines::common::BaselineConfig;
 use crate::baselines::hkh::HkhServer;
 use crate::baselines::sho::ShoServer;
 use crate::core::client::Client;
+use crate::core::dispatch::DisciplineKind;
 use crate::core::server::{MinosServer, ServerConfig};
 use crate::net::{endpoint_for, Transport, UdpConfig, UdpTransport};
 use crate::obs::JsonValue;
@@ -78,6 +79,11 @@ pub struct SweepConfig {
     /// Ascending order is conventional (the knee reads left to right)
     /// but not required.
     pub rates: Vec<f64>,
+    /// Queue disciplines to sweep on the Minos engine — each runs its
+    /// own server instance over its own ports. The baselines (HKH, SHO)
+    /// have exactly one builtin dispatch and ignore this list; their
+    /// points carry the discipline label `"builtin"`.
+    pub disciplines: Vec<DisciplineKind>,
     /// Server cores = UDP RX queues per server.
     pub cores: usize,
     /// SHO dispatch cores (clients then target only queues
@@ -97,8 +103,9 @@ pub struct SweepConfig {
     /// RNG seed; every point reuses the same schedule seeds so policies
     /// see identical workloads.
     pub seed: u64,
-    /// Queue-0 UDP port of the first policy's server; policy `i` binds
-    /// `cores` ports from `base_port + i * cores`.
+    /// Queue-0 UDP port of the first server instance; instance `i` of
+    /// the `(policy × discipline)` enumeration binds `cores` ports from
+    /// `base_port + i * cores`.
     pub base_port: u16,
     /// How long each point may wait for in-flight replies after its
     /// measured window closes.
@@ -112,6 +119,7 @@ impl SweepConfig {
         SweepConfig {
             policies: Policy::ALL.to_vec(),
             rates,
+            disciplines: vec![DisciplineKind::SizeAware],
             cores: 2,
             sho_handoff: 1,
             clients: 1,
@@ -128,6 +136,7 @@ impl SweepConfig {
     fn validate(&self) {
         assert!(!self.policies.is_empty(), "at least one policy");
         assert!(!self.rates.is_empty(), "at least one rate");
+        assert!(!self.disciplines.is_empty(), "at least one discipline");
         assert!(self.cores >= 1, "at least one core");
         assert!(self.clients >= 1, "at least one client");
         assert!(
@@ -138,7 +147,7 @@ impl SweepConfig {
             self.rates.iter().all(|r| *r > 0.0),
             "rates must be positive"
         );
-        let ports = self.policies.len() * self.cores;
+        let ports = self.instances().len() * self.cores;
         assert!(
             usize::from(self.base_port) + ports <= usize::from(u16::MAX),
             "port range {}+{} exceeds the u16 port space",
@@ -146,6 +155,38 @@ impl SweepConfig {
             ports
         );
     }
+
+    /// The server instances this sweep runs, in port order: every
+    /// configured discipline of the Minos engine, and one builtin
+    /// instance per baseline policy.
+    fn instances(&self) -> Vec<(Policy, Option<DisciplineKind>)> {
+        let mut out = Vec::new();
+        for &policy in &self.policies {
+            match policy {
+                Policy::Minos => out.extend(self.disciplines.iter().map(|&d| (policy, Some(d)))),
+                Policy::Hkh | Policy::Sho => out.push((policy, None)),
+            }
+        }
+        out
+    }
+}
+
+/// The discipline label of a baseline policy's single built-in
+/// dispatch, used in `SweepPoint.discipline` (and as the parse default
+/// for pre-discipline sweep files).
+pub const BUILTIN_DISCIPLINE: &str = "builtin";
+
+fn discipline_label(discipline: Option<DisciplineKind>) -> &'static str {
+    discipline
+        .map(DisciplineKind::name)
+        .unwrap_or(BUILTIN_DISCIPLINE)
+}
+
+/// The `(policy, discipline, rate)` identity of a sweep point —
+/// `--resume` skips a point when an already-written point has the same
+/// key. The rate is compared at the writer's one-decimal precision.
+pub fn point_key(policy: &str, discipline: &str, offered_rate: f64) -> String {
+    format!("{policy}/{discipline}@{offered_rate:.1}")
 }
 
 /// One measured `(policy, offered rate)` point — the JSON record schema
@@ -154,6 +195,9 @@ impl SweepConfig {
 pub struct SweepPoint {
     /// Engine name ([`Policy::name`]).
     pub policy: String,
+    /// Queue discipline name ([`DisciplineKind::name`] for Minos,
+    /// [`BUILTIN_DISCIPLINE`] for the baselines).
+    pub discipline: String,
     /// Offered rate, requests/second (aggregate across clients).
     pub offered_rate: f64,
     /// Measured window, seconds.
@@ -183,6 +227,9 @@ pub struct SweepPoint {
     /// coordinated-omission-safe measurement; None when nothing
     /// completed).
     pub latency_us: Option<Quantiles>,
+    /// Schedule-based latency of small requests only — the tail the
+    /// paper protects and the discipline shoot-out's verdict metric.
+    pub latency_small_us: Option<Quantiles>,
     /// Latency from first transmission — service time without
     /// injection lag, for comparison against `latency_us`.
     pub service_latency_us: Option<Quantiles>,
@@ -202,6 +249,7 @@ impl SweepPoint {
     pub fn to_json(&self) -> String {
         JsonObj::new()
             .str("policy", &self.policy)
+            .str("discipline", &self.discipline)
             .f64("offered_rate", self.offered_rate, 1)
             .f64("duration_s", self.duration_s, 3)
             .u64("clients", self.clients)
@@ -215,6 +263,7 @@ impl SweepPoint {
             .bool("zero_loss", self.zero_loss)
             .f64("behind_max_us", self.behind_max_us, 1)
             .raw("latency_us", &quantiles_json(self.latency_us))
+            .raw("latency_small_us", &quantiles_json(self.latency_small_us))
             .raw(
                 "service_latency_us",
                 &quantiles_json(self.service_latency_us),
@@ -236,6 +285,13 @@ impl SweepPoint {
         };
         Some(SweepPoint {
             policy: v.get("policy")?.as_str()?.to_string(),
+            // Pre-discipline sweep files (PR 7's rate sweep) have no
+            // discipline field; their points read back as builtin.
+            discipline: v
+                .get("discipline")
+                .and_then(|x| x.as_str())
+                .unwrap_or(BUILTIN_DISCIPLINE)
+                .to_string(),
             offered_rate: f64_of("offered_rate")?,
             duration_s: f64_of("duration_s")?,
             clients: u64_of("clients")?,
@@ -249,11 +305,17 @@ impl SweepPoint {
             zero_loss: bool_of("zero_loss")?,
             behind_max_us: f64_of("behind_max_us")?,
             latency_us: parse_quantiles(v.get("latency_us")),
+            latency_small_us: parse_quantiles(v.get("latency_small_us")),
             service_latency_us: parse_quantiles(v.get("service_latency_us")),
             latency_large_us: parse_quantiles(v.get("latency_large_us")),
             tx_copied_bytes: u64_of("tx_copied_bytes")?,
             reply_copied_bytes: u64_of("reply_copied_bytes")?,
         })
+    }
+
+    /// This point's [`point_key`] — its identity under `--resume`.
+    pub fn key(&self) -> String {
+        point_key(&self.policy, &self.discipline, self.offered_rate)
     }
 }
 
@@ -285,25 +347,40 @@ enum RunningServer {
 }
 
 impl RunningServer {
-    fn start(policy: Policy, cfg: &SweepConfig, transport: Arc<UdpTransport>) -> RunningServer {
+    fn start(
+        policy: Policy,
+        discipline: Option<DisciplineKind>,
+        cfg: &SweepConfig,
+        transport: Arc<UdpTransport>,
+    ) -> RunningServer {
         // Store geometry sized for the dataset with headroom for large
         // values (the mempool default of 1 GiB rides along from the
-        // test config constructors).
+        // test config constructors). The store's default per-value cap
+        // is the paper's 1 MiB largest item; `--s-large` can dial the
+        // profile past it, and a preload that silently hit the cap
+        // would turn every "large" op into a miss and void the sweep.
         let n_items = (cfg.keys as usize * 2).max(1024);
+        let max_value = (cfg.profile.large_max as usize)
+            .next_power_of_two()
+            .max(1 << 20);
         match policy {
             Policy::Minos => {
                 let mut config = ServerConfig::for_test(cfg.cores, n_items);
                 // The paper's 1 s epochs: rate points run a few seconds,
                 // so the controller gets several adaptation rounds.
                 config.minos.epoch_ns = 1_000_000_000;
+                config.minos.discipline = discipline.unwrap_or(DisciplineKind::SizeAware);
+                config.store.max_value_bytes = config.store.max_value_bytes.max(max_value);
                 RunningServer::Minos(MinosServer::start_with_transport(config, transport))
             }
             Policy::Hkh => {
-                let config = BaselineConfig::for_test(cfg.cores, n_items);
+                let mut config = BaselineConfig::for_test(cfg.cores, n_items);
+                config.store.max_value_bytes = config.store.max_value_bytes.max(max_value);
                 RunningServer::Hkh(HkhServer::start_with_transport(config, transport))
             }
             Policy::Sho => {
-                let config = BaselineConfig::for_test(cfg.cores, n_items);
+                let mut config = BaselineConfig::for_test(cfg.cores, n_items);
+                config.store.max_value_bytes = config.store.max_value_bytes.max(max_value);
                 RunningServer::Sho(ShoServer::start_with_transport(
                     config,
                     cfg.sho_handoff,
@@ -372,6 +449,14 @@ fn preload(cfg: &SweepConfig, policy: Policy, server_port: u16, dataset: &Datase
         client.drain(Duration::from_secs(30)),
         "preload lost replies — server not draining?"
     );
+    // An error reply still drains, so a preload whose PUTs bounce (e.g.
+    // values past the store's per-value cap) would otherwise silently
+    // yield a dataset with no large keys — and a meaningless sweep.
+    let errors = client.totals().errors;
+    assert_eq!(
+        errors, 0,
+        "preload got {errors} error replies — do the dataset's values fit the store?"
+    );
 }
 
 /// What one client thread hands back from one rate point.
@@ -382,6 +467,7 @@ struct PointReport {
     errors: u64,
     behind_max_ns: u64,
     latency: LatencyHistogram,
+    latency_small: LatencyHistogram,
     latency_large: LatencyHistogram,
     service_latency: LatencyHistogram,
     tx_copied_bytes: u64,
@@ -452,6 +538,7 @@ fn run_point_client(
         errors: totals.errors,
         behind_max_ns,
         latency: client.latency().clone(),
+        latency_small: client.latency_small().clone(),
         latency_large: client.latency_large().clone(),
         service_latency: client.service_latency().clone(),
         tx_copied_bytes: transport.stats().tx_copied_bytes,
@@ -459,20 +546,44 @@ fn run_point_client(
     }
 }
 
-/// Runs the full sweep: for each policy, bind a UDP server, preload the
-/// dataset once, then measure every rate in `cfg.rates` in order.
-/// `progress` sees each completed point as it lands (the CLI streams
-/// them as JSON lines).
-pub fn run_sweep(cfg: &SweepConfig, mut progress: impl FnMut(&SweepPoint)) -> Vec<SweepPoint> {
+/// Runs the full sweep: for each `(policy, discipline)` instance, bind
+/// a UDP server, preload the dataset once, then measure every rate in
+/// `cfg.rates` in order. `progress` sees each completed point as it
+/// lands (the CLI streams them as JSON lines).
+pub fn run_sweep(cfg: &SweepConfig, progress: impl FnMut(&SweepPoint)) -> Vec<SweepPoint> {
+    run_sweep_resuming(cfg, &[], progress)
+}
+
+/// [`run_sweep`], resuming an interrupted sweep: any `(policy,
+/// discipline, rate)` point whose [`point_key`] already appears in
+/// `existing` is carried over verbatim instead of re-measured — an
+/// instance none of whose rates are missing is never even bound. The
+/// returned vector holds carried and fresh points in sweep order;
+/// `progress` sees only the freshly measured ones.
+pub fn run_sweep_resuming(
+    cfg: &SweepConfig,
+    existing: &[SweepPoint],
+    mut progress: impl FnMut(&SweepPoint),
+) -> Vec<SweepPoint> {
     cfg.validate();
-    let mut points = Vec::with_capacity(cfg.policies.len() * cfg.rates.len());
-    for (pi, &policy) in cfg.policies.iter().enumerate() {
-        let server_port = cfg.base_port + (pi * cfg.cores) as u16;
+    let instances = cfg.instances();
+    let mut points = Vec::with_capacity(instances.len() * cfg.rates.len());
+    for (ii, &(policy, discipline)) in instances.iter().enumerate() {
+        let label = discipline_label(discipline);
+        let carried = |rate: f64| {
+            let key = point_key(policy.name(), label, rate);
+            existing.iter().find(|p| p.key() == key).cloned()
+        };
+        if cfg.rates.iter().all(|&r| carried(r).is_some()) {
+            points.extend(cfg.rates.iter().map(|&r| carried(r).expect("checked")));
+            continue;
+        }
+        let server_port = cfg.base_port + (ii * cfg.cores) as u16;
         let transport = Arc::new(
             UdpTransport::bind(UdpConfig::loopback(server_port, cfg.cores as u16))
                 .expect("bind server sockets"),
         );
-        let mut server = RunningServer::start(policy, cfg, Arc::clone(&transport));
+        let mut server = RunningServer::start(policy, discipline, cfg, Arc::clone(&transport));
         let dataset = Dataset::new(
             cfg.keys,
             cfg.large_keys,
@@ -483,6 +594,10 @@ pub fn run_sweep(cfg: &SweepConfig, mut progress: impl FnMut(&SweepPoint)) -> Ve
         preload(cfg, policy, server_port, &dataset);
 
         for &rate in &cfg.rates {
+            if let Some(done) = carried(rate) {
+                points.push(done);
+                continue;
+            }
             let server_tx_copied_before = transport.stats().tx_copied_bytes;
             let per_client_rate = rate / f64::from(cfg.clients);
             let barrier = Barrier::new(cfg.clients as usize);
@@ -499,6 +614,7 @@ pub fn run_sweep(cfg: &SweepConfig, mut progress: impl FnMut(&SweepPoint)) -> Ve
             });
 
             let mut latency = LatencyHistogram::new();
+            let mut latency_small = LatencyHistogram::new();
             let mut latency_large = LatencyHistogram::new();
             let mut service_latency = LatencyHistogram::new();
             let (mut sent, mut completed, mut outstanding, mut errors) = (0u64, 0u64, 0u64, 0u64);
@@ -507,6 +623,7 @@ pub fn run_sweep(cfg: &SweepConfig, mut progress: impl FnMut(&SweepPoint)) -> Ve
             let mut reply_copied = 0u64;
             for r in &reports {
                 latency.merge(&r.latency);
+                latency_small.merge(&r.latency_small);
                 latency_large.merge(&r.latency_large);
                 service_latency.merge(&r.service_latency);
                 sent += r.sent;
@@ -521,6 +638,7 @@ pub fn run_sweep(cfg: &SweepConfig, mut progress: impl FnMut(&SweepPoint)) -> Ve
 
             let point = SweepPoint {
                 policy: policy.name().to_string(),
+                discipline: label.to_string(),
                 offered_rate: rate,
                 duration_s: cfg.duration.as_secs_f64(),
                 clients: u64::from(cfg.clients),
@@ -538,6 +656,7 @@ pub fn run_sweep(cfg: &SweepConfig, mut progress: impl FnMut(&SweepPoint)) -> Ve
                 zero_loss: outstanding == 0,
                 behind_max_us: behind_max_ns as f64 / 1e3,
                 latency_us: latency.quantiles(),
+                latency_small_us: latency_small.quantiles(),
                 service_latency_us: service_latency.quantiles(),
                 latency_large_us: latency_large.quantiles(),
                 tx_copied_bytes: tx_copied,
@@ -562,6 +681,7 @@ mod tests {
     fn sample_point() -> SweepPoint {
         SweepPoint {
             policy: "minos".into(),
+            discipline: "size-aware".into(),
             offered_rate: 20_000.0,
             duration_s: 5.0,
             clients: 2,
@@ -585,6 +705,7 @@ mod tests {
                 p9999_us: 900.0,
                 max_us: 1_500.0,
             }),
+            latency_small_us: None,
             service_latency_us: None,
             latency_large_us: None,
             tx_copied_bytes: 0,
@@ -608,5 +729,52 @@ mod tests {
             assert_eq!(Policy::from_name(p.name()), Some(p));
         }
         assert_eq!(Policy::from_name("zygos"), None);
+    }
+
+    #[test]
+    fn pre_discipline_points_parse_as_builtin() {
+        // PR 7's committed rate sweep predates the discipline field;
+        // its points must still read back (as the builtin dispatch).
+        let mut p = sample_point();
+        p.discipline = BUILTIN_DISCIPLINE.into();
+        let json = p.to_json().replace("\"discipline\":\"builtin\",", "");
+        assert!(!json.contains("discipline"));
+        let parsed = SweepPoint::parse(&JsonValue::parse(&json).unwrap()).unwrap();
+        assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn point_keys_compare_at_writer_precision() {
+        let p = sample_point();
+        assert_eq!(p.key(), "minos/size-aware@20000.0");
+        assert_eq!(p.key(), point_key("minos", "size-aware", 20_000.04));
+        assert_ne!(p.key(), point_key("minos", "cfcfs", 20_000.0));
+    }
+
+    #[test]
+    fn fully_resumed_sweep_reruns_nothing() {
+        // Every (instance × rate) point is already present: the sweep
+        // must return the carried points in order without binding a
+        // single socket (progress never fires).
+        let mut cfg = SweepConfig::loopback(1, vec![1_000.0, 2_000.0]);
+        cfg.disciplines = vec![DisciplineKind::SizeAware, DisciplineKind::Cfcfs];
+        // If any instance were started anyway, its fresh points would
+        // stream through `progress` and trip the assertion below.
+        let existing: Vec<SweepPoint> = cfg
+            .instances()
+            .iter()
+            .flat_map(|&(policy, discipline)| {
+                cfg.rates.iter().map(move |&rate| SweepPoint {
+                    policy: policy.name().into(),
+                    discipline: discipline_label(discipline).into(),
+                    offered_rate: rate,
+                    ..sample_point()
+                })
+            })
+            .collect();
+        let mut streamed = 0;
+        let points = run_sweep_resuming(&cfg, &existing, |_| streamed += 1);
+        assert_eq!(streamed, 0);
+        assert_eq!(points, existing);
     }
 }

@@ -2,7 +2,7 @@
 //! Minos serve the same two-rate ladder, and every point carries the
 //! schedule-based latency histogram the figures report.
 
-use minos::figures::{run_sweep, Policy, SweepConfig};
+use minos::figures::{run_sweep, run_sweep_resuming, Policy, SweepConfig, BUILTIN_DISCIPLINE};
 use minos::net::testport::TestPorts;
 use std::time::Duration;
 
@@ -34,6 +34,13 @@ fn mini_sweep_two_policies_two_rates() {
         // Rates swept in the order configured (ascending here).
         for (point, &rate) in of_policy.iter().zip(&rates) {
             assert_eq!(point.offered_rate, rate);
+            // Minos points carry their discipline; baselines run their
+            // one builtin dispatch.
+            let expect_discipline = match policy {
+                Policy::Minos => "size-aware",
+                _ => BUILTIN_DISCIPLINE,
+            };
+            assert_eq!(point.discipline, expect_discipline);
             assert!(point.sent > 0, "{}: nothing sent", point.policy);
             // Far below loopback capacity: every request completes.
             assert!(
@@ -58,7 +65,22 @@ fn mini_sweep_two_policies_two_rates() {
             )
             .expect("point round-trips");
             assert_eq!(parsed.policy, point.policy);
+            assert_eq!(parsed.discipline, point.discipline);
             assert_eq!(parsed.completed, point.completed);
         }
     }
+
+    // The small-class histogram (the shoot-out's verdict metric) is
+    // populated wherever small requests completed.
+    assert!(points
+        .iter()
+        .any(|p| p.latency_small_us.is_some_and(|q| q.count > 0)));
+
+    // --resume over the finished sweep re-measures nothing: every
+    // (policy, discipline, rate) key is already present, so no server
+    // is even bound and the carried points come back verbatim.
+    let mut resumed_fresh = 0usize;
+    let resumed = run_sweep_resuming(&cfg, &points, |_| resumed_fresh += 1);
+    assert_eq!(resumed_fresh, 0, "nothing left to measure");
+    assert_eq!(resumed, points);
 }

@@ -6,7 +6,7 @@
 //! writer's fixed decimal precision converges after one round instead
 //! of drifting.
 
-use minos::figures::{Policy, SweepPoint};
+use minos::figures::{Policy, SweepPoint, BUILTIN_DISCIPLINE};
 use minos::obs::JsonValue;
 use minos::stats::Quantiles;
 use proptest::prelude::*;
@@ -33,12 +33,29 @@ fn quantiles_strategy() -> impl Strategy<Value = Option<Quantiles>> {
     prop_oneof![Just(None), q.prop_map(Some)]
 }
 
+const DISCIPLINES: [&str; 7] = [
+    BUILTIN_DISCIPLINE,
+    "size-aware",
+    "cfcfs",
+    "dfcfs",
+    "jsq",
+    "round-robin",
+    "random",
+];
+
 fn point_strategy() -> impl Strategy<Value = SweepPoint> {
     (
-        (0usize..3, (0u32..u32::MAX), any::<u64>(), any::<u64>()),
+        (
+            0usize..3,
+            0usize..7,
+            (0u32..u32::MAX),
+            any::<u64>(),
+            any::<u64>(),
+        ),
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         (any::<bool>(), (0u32..u32::MAX), any::<u64>(), any::<u64>()),
         (
+            quantiles_strategy(),
             quantiles_strategy(),
             quantiles_strategy(),
             quantiles_strategy(),
@@ -46,13 +63,14 @@ fn point_strategy() -> impl Strategy<Value = SweepPoint> {
     )
         .prop_map(
             |(
-                (policy_ix, rate_mhz, clients, cores),
+                (policy_ix, discipline_ix, rate_mhz, clients, cores),
                 (sent, completed, outstanding, errors),
                 (zero_loss, behind_us, tx_copied_bytes, reply_copied_bytes),
-                (latency_us, service_latency_us, latency_large_us),
+                (latency_us, latency_small_us, service_latency_us, latency_large_us),
             )| {
                 SweepPoint {
                     policy: Policy::ALL[policy_ix].name().to_string(),
+                    discipline: DISCIPLINES[discipline_ix].to_string(),
                     // Rates at the writer's 0.1 precision stay exact.
                     offered_rate: f64::from(rate_mhz) / 10.0,
                     duration_s: 2.5,
@@ -71,6 +89,7 @@ fn point_strategy() -> impl Strategy<Value = SweepPoint> {
                     zero_loss,
                     behind_max_us: f64::from(behind_us) / 10.0,
                     latency_us,
+                    latency_small_us,
                     service_latency_us,
                     latency_large_us,
                     tx_copied_bytes,
@@ -91,6 +110,7 @@ proptest! {
 
         // Integer, boolean, and string fields are exact.
         prop_assert_eq!(&parsed.policy, &point.policy);
+        prop_assert_eq!(&parsed.discipline, &point.discipline);
         prop_assert_eq!(parsed.clients, point.clients);
         prop_assert_eq!(parsed.cores, point.cores);
         prop_assert_eq!(parsed.sent, point.sent);
@@ -105,6 +125,10 @@ proptest! {
             point.latency_us.map(|q| q.count)
         );
         prop_assert_eq!(
+            parsed.latency_small_us.is_some(),
+            point.latency_small_us.is_some()
+        );
+        prop_assert_eq!(
             parsed.service_latency_us.is_some(),
             point.service_latency_us.is_some()
         );
@@ -112,6 +136,9 @@ proptest! {
             parsed.latency_large_us.is_some(),
             point.latency_large_us.is_some()
         );
+
+        // The --resume identity survives the round trip.
+        prop_assert_eq!(parsed.key(), point.key());
 
         // Serialization is a fixpoint: floats already truncated to the
         // writer's precision re-render byte-identically.

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Offline markdown link checker for README.md and docs/.
+
+Walks every inline markdown link ``[text](target)`` in the checked
+files and fails if a relative target does not resolve to a file in the
+repository, or if its ``#anchor`` does not match a heading in the
+target document (GitHub slug rules). External ``http(s)://`` links are
+skipped — CI runs offline by design (CARGO_NET_OFFLINE).
+
+Usage: python3 tools/check_doc_links.py [repo-root]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def slug(heading: str) -> str:
+    """GitHub's heading-to-anchor slug: strip markup, lowercase, drop
+    everything but word characters, spaces and hyphens, spaces to
+    hyphens."""
+    text = heading.strip().replace("`", "")
+    text = re.sub(r"[^\w\- ]", "", text.lower())
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    out = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING.match(line)
+        if m:
+            base = slug(m.group(1))
+            # Duplicate headings get -1, -2, ... suffixes on GitHub.
+            name, n = base, 1
+            while name in out:
+                name = f"{base}-{n}"
+                n += 1
+            out.add(name)
+    return out
+
+
+def links_of(path: Path):
+    in_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK.finditer(line):
+            yield lineno, m.group(1)
+
+
+def main() -> int:
+    root = Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    files = [root / "README.md"] + sorted((root / "docs").glob("**/*.md"))
+    errors = []
+    checked = 0
+    for f in files:
+        for lineno, target in links_of(f):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            checked += 1
+            path_part, _, anchor = target.partition("#")
+            dest = f if not path_part else (f.parent / path_part).resolve()
+            where = f"{f.relative_to(root)}:{lineno}"
+            if not dest.exists():
+                errors.append(f"{where}: broken link {target!r} ({dest} missing)")
+                continue
+            if anchor and dest.suffix == ".md":
+                if anchor not in anchors_of(dest):
+                    errors.append(
+                        f"{where}: anchor #{anchor} not found in "
+                        f"{dest.relative_to(root)}"
+                    )
+    for e in errors:
+        print(f"error: {e}", file=sys.stderr)
+    print(f"checked {checked} relative links across {len(files)} files: "
+          f"{len(errors)} broken")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""CI gate for the 2-discipline mini shoot-out.
+
+Reads the ``minos-figures`` output named on the command line (one
+size-aware and one cfcfs point at the same pre-knee rate) and checks
+the committed shoot-out figure's headline: size-aware sharding holds
+the small-class schedule-based p99 at or under cFCFS's.
+
+Exit codes tell the CI retry loop what happened:
+
+* 0 — both points loss-free and the headline holds.
+* 2 — a point lost requests; the run is void (the paper's methodology
+  discards lossy runs) and the caller should re-measure.
+* 1 — a loss-free pair where the headline does NOT hold, or a
+  malformed sweep: a real failure, no retry.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "figures-disciplines.json"
+    pts = json.load(open(path))
+    if len(pts) != 2:
+        print(f"discipline gate: expected 2 points, got {len(pts)}")
+        return 1
+    by_disc = {p["discipline"]: p for p in pts}
+    if sorted(by_disc) != ["cfcfs", "size-aware"]:
+        print(f"discipline gate: disciplines {sorted(by_disc)}")
+        return 1
+    for name, p in by_disc.items():
+        if p["policy"] != "minos":
+            print(f"{name}: policy {p['policy']}")
+            return 1
+        q = p["latency_small_us"]
+        if q is None or q["count"] == 0:
+            print(f"{name}: missing small-class latency")
+            return 1
+    lossy = [name for name, p in by_disc.items() if not p["zero_loss"]]
+    if lossy:
+        print(f"discipline gate: lossy run ({', '.join(lossy)}) — re-measure")
+        return 2
+    sa = by_disc["size-aware"]["latency_small_us"]["p99_us"]
+    cf = by_disc["cfcfs"]["latency_small_us"]["p99_us"]
+    if sa > cf:
+        print(
+            f"discipline gate: size-aware small-class p99 {sa:.1f}us > "
+            f"cfcfs {cf:.1f}us at a pre-knee rate"
+        )
+        return 1
+    print(f"discipline gate passed: size-aware small-class p99 {sa:.1f}us <= cfcfs {cf:.1f}us")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
