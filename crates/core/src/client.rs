@@ -423,6 +423,7 @@ impl Client {
                     // The synthesized value moves into the message —
                     // no second copy on the loadgen hot path.
                     value: Bytes::from(value),
+                    ttl_ms: spec.ttl_ms,
                 };
                 self.prepare_message(body, spec.key, queue, spec.is_large, sched_ns)
             }
@@ -440,10 +441,17 @@ impl Client {
     /// (so all fragments of one PUT land in the same queue and writes to
     /// one key are CREW-routable).
     pub fn send_put(&mut self, key: u64, value: &[u8], large_hint: bool) {
+        self.send_put_with_ttl(key, value, large_hint, 0);
+    }
+
+    /// [`Client::send_put`] with a per-key TTL in milliseconds (`0` =
+    /// never expires).
+    pub fn send_put_with_ttl(&mut self, key: u64, value: &[u8], large_hint: bool, ttl_ms: u64) {
         let queue = self.pick_keyhash_queue(key);
         let body = Body::Put {
             key,
             value: bytes::Bytes::copy_from_slice(value),
+            ttl_ms,
         };
         self.send_message(body, key, queue, large_hint);
     }

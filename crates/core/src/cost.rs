@@ -98,6 +98,7 @@ mod tests {
                 body: Body::Put {
                     key: 1,
                     value: Bytes::from(vec![0u8; size]),
+                    ttl_ms: 0,
                 },
             };
             assert_eq!(

@@ -27,7 +27,9 @@
 
 use minos_kv::{PoolBytesMut, PutError, Store};
 use minos_wire::frag::{FragHeader, FragmentWriter};
-use minos_wire::message::{Body, Message, OpKind, ReplyStatus, MSG_HEADER_LEN};
+use minos_wire::message::{
+    Body, Message, OpKind, ReplyStatus, MSG_HEADER_LEN, PUT_TTL_FLAG, PUT_TTL_TAIL_LEN,
+};
 use minos_wire::MAX_FRAG_CHUNK;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -127,8 +129,12 @@ pub enum OpenOutcome {
     Open(PutIngest),
     /// The fragment geometry cannot be a valid message.
     Malformed,
-    /// The mempool is full and `src` is at its discard quota; the
-    /// caller should answer `OutOfMemory` without opening any state.
+    /// No ingest state should be opened and the caller should answer
+    /// `OutOfMemory` straight from the fragment in hand: either the
+    /// mempool is full and `src` is at its discard quota, or the
+    /// store's admission control turned the PUT away *before*
+    /// reservation (over the high watermark with an over-large value —
+    /// streaming it, even in discard mode, would be wasted work).
     OverQuota,
 }
 
@@ -182,6 +188,13 @@ pub struct PutIngest {
     /// answers `OutOfMemory`.
     reservation: Option<PoolBytesMut>,
     value_len: usize,
+    /// The stream's final [`PUT_TTL_TAIL_LEN`] bytes, captured on the
+    /// side as they are written: if the header's [`PUT_TTL_FLAG`] is
+    /// set, they are the big-endian TTL tail, not value bytes. The
+    /// ingest can't know before fragment 0 arrives (any fragment may be
+    /// first), so the tail is captured unconditionally and interpreted
+    /// at commit.
+    tail: [u8; PUT_TTL_TAIL_LEN],
     /// The discard-quota slot this ingest holds while in discard mode
     /// (kept purely for its release-on-drop effect).
     _discard_token: Option<DiscardToken>,
@@ -197,10 +210,19 @@ impl PutIngest {
     pub fn open(store: &Store, fh: &FragHeader) -> Option<PutIngest> {
         let msg_len = fh.msg_len as usize;
         let value_len = msg_len.checked_sub(MSG_HEADER_LEN)?;
+        // Admission control runs before reservation: a PUT turned away
+        // at the high watermark opens in discard mode straight off,
+        // without an eviction pass on its behalf.
+        let reservation = if store.admit_put(value_len) {
+            store.reserve(value_len)
+        } else {
+            None
+        };
         Some(PutIngest {
             header: [0u8; MSG_HEADER_LEN],
-            reservation: store.reserve(value_len),
+            reservation,
             value_len,
+            tail: [0u8; PUT_TTL_TAIL_LEN],
             _discard_token: None,
         })
     }
@@ -221,6 +243,11 @@ impl PutIngest {
         let Some(value_len) = msg_len.checked_sub(MSG_HEADER_LEN) else {
             return OpenOutcome::Malformed;
         };
+        if !store.admit_put(value_len) {
+            // Rejected before reservation: no eviction pass, no discard
+            // streaming — the caller replies `OutOfMemory` immediately.
+            return OpenOutcome::OverQuota;
+        }
         let reservation = store.reserve(value_len);
         let token = if reservation.is_none() {
             match quota.try_acquire(src) {
@@ -234,6 +261,7 @@ impl PutIngest {
             header: [0u8; MSG_HEADER_LEN],
             reservation,
             value_len,
+            tail: [0u8; PUT_TTL_TAIL_LEN],
             _discard_token: token,
         })
     }
@@ -248,11 +276,18 @@ impl PutIngest {
         // The header was filled by fragment 0 (MSG_HEADER_LEN is far
         // below one chunk).
         let put = parse_put_header(&self.header)?;
-        if put.wire_value_len != self.value_len {
+        let has_ttl = put.flags & PUT_TTL_FLAG != 0;
+        let tail_len = if has_ttl { PUT_TTL_TAIL_LEN } else { 0 };
+        if put.wire_value_len.checked_add(tail_len)? != self.value_len {
             // The header's value length disagrees with the fragment
             // geometry: a forged or corrupted message.
             return None;
         }
+        let ttl_ms = if has_ttl {
+            u64::from_be_bytes(self.tail)
+        } else {
+            0
+        };
         let PutHeader {
             client_id,
             request_id,
@@ -262,10 +297,18 @@ impl PutIngest {
         } = put;
         let status = match self.reservation {
             None => ReplyStatus::OutOfMemory,
-            Some(reservation) => match store.put_reserved(key, reservation.seal()) {
-                Ok(()) => ReplyStatus::Ok,
-                Err(PutError::OutOfMemory) | Err(PutError::TableFull) => ReplyStatus::OutOfMemory,
-            },
+            Some(mut reservation) => {
+                // The reservation was sized from the fragment geometry,
+                // which includes the TTL tail; shed it so only value
+                // bytes are stored.
+                reservation.truncate(put.wire_value_len);
+                match store.put_reserved_with_ttl(key, reservation.seal(), ttl_ms) {
+                    Ok(()) => ReplyStatus::Ok,
+                    Err(PutError::OutOfMemory) | Err(PutError::TableFull) => {
+                        ReplyStatus::OutOfMemory
+                    }
+                }
+            }
         };
         Some(CompletedPut {
             client_id,
@@ -273,13 +316,16 @@ impl PutIngest {
             client_ts_ns,
             key,
             status,
-            value_len: self.value_len,
+            value_len: put.wire_value_len,
         })
     }
 }
 
 /// The identifying fields of a PUT request's 32-byte wire header.
 struct PutHeader {
+    /// The request flag bits (a PUT's status byte); [`PUT_TTL_FLAG`]
+    /// marks a trailing TTL field.
+    flags: u8,
     client_id: u16,
     request_id: u64,
     client_ts_ns: u64,
@@ -296,6 +342,7 @@ fn parse_put_header(h: &[u8; MSG_HEADER_LEN]) -> Option<PutHeader> {
         return None;
     }
     Some(PutHeader {
+        flags: h[1],
         client_id: u16::from_be_bytes([h[2], h[3]]),
         request_id: u64::from_be_bytes(h[4..12].try_into().expect("8 bytes")),
         client_ts_ns: u64::from_be_bytes(h[12..20].try_into().expect("8 bytes")),
@@ -343,7 +390,16 @@ impl FragmentWriter for PutIngest {
             if let Some(reservation) = &mut self.reservation {
                 reservation.write_at(value_offset, value_part);
             }
-            // Discard mode: value bytes are dropped on the floor.
+            // Capture the stream's last bytes on the side for the TTL
+            // tail (runs in discard mode too — the value bytes are
+            // dropped, but a TTL'd PUT's geometry still validates).
+            let tail_start = self.value_len.saturating_sub(PUT_TTL_TAIL_LEN);
+            let end = (value_offset + value_part.len()).min(self.value_len);
+            let from = tail_start.max(value_offset);
+            if from < end {
+                self.tail[from - tail_start..end - tail_start]
+                    .copy_from_slice(&value_part[from - value_offset..end - value_offset]);
+            }
         }
     }
 }
@@ -367,6 +423,7 @@ mod tests {
             body: Body::Put {
                 key,
                 value: bytes::Bytes::from(value),
+                ttl_ms: 0,
             },
         }
     }
@@ -434,6 +491,7 @@ mod tests {
             items_per_partition: 32,
             mempool_bytes: 1024,
             max_value_bytes: 1 << 20,
+            capacity: Default::default(),
         });
         let value = vec![9u8; 20_000];
         let msg = put_message(5, value);
@@ -475,6 +533,7 @@ mod tests {
             items_per_partition: 32,
             mempool_bytes: 1024,
             max_value_bytes: 1 << 20,
+            capacity: Default::default(),
         })
     }
 
@@ -553,6 +612,66 @@ mod tests {
         let mut get = enc.to_vec();
         get[0] = OpKind::GetRequest as u8;
         assert!(rejected_put_reply(&get).is_none());
+    }
+
+    #[test]
+    fn streamed_ttl_put_round_trips_and_expires() {
+        let store = test_store();
+        let value: Vec<u8> = (0..20_000).map(|i| (i % 251) as u8).collect();
+        let msg = Message {
+            client_id: 3,
+            request_id: 78,
+            client_ts_ns: 123,
+            body: Body::Put {
+                key: 11,
+                value: bytes::Bytes::from(value.clone()),
+                ttl_ms: 5,
+            },
+        };
+        let n = msg.wire_packets() as usize;
+        let mut r = StreamingReassembler::new(16);
+        // Reverse order: the TTL tail must be captured correctly even
+        // when the final fragment arrives first.
+        let ingest = stream_message(&store, &mut r, 6, &msg, (0..n).rev()).unwrap();
+        let done = ingest.commit(&store).unwrap();
+        assert_eq!(done.status, ReplyStatus::Ok);
+        assert_eq!(done.value_len, value.len(), "tail excluded from value_len");
+        assert_eq!(&store.get(11).unwrap()[..], &value[..]);
+        // Advance the store clock past the 5 ms deadline: the key is
+        // gone and counted as expired, not missing.
+        store.set_clock_ns(6_000_000);
+        assert!(store.get(11).is_none());
+        assert_eq!(store.stats().expired_keys, 1);
+    }
+
+    #[test]
+    fn admission_rejected_open_is_over_quota() {
+        use minos_kv::{CapacityConfig, EvictionPolicy};
+        let store = Store::new(StoreConfig {
+            partitions: 1,
+            buckets_per_partition: 8,
+            overflow_per_partition: 4,
+            items_per_partition: 32,
+            mempool_bytes: 16 << 10,
+            max_value_bytes: 1 << 20,
+            capacity: CapacityConfig {
+                policy: EvictionPolicy::Clock,
+                admission_cutoff_bytes: 4096,
+                ..Default::default()
+            },
+        });
+        let quota = DiscardQuota::new(4);
+        // A 20 000-byte PUT charges more than the 16 KiB pool's high
+        // watermark: turned away before reservation, before the
+        // discard quota, with no eviction pass run on its behalf.
+        let fh = large_frag_header();
+        assert!(matches!(
+            PutIngest::open_bounded(&store, &fh, 1, &quota),
+            OpenOutcome::OverQuota
+        ));
+        assert_eq!(store.stats().admission_rejects, 1);
+        assert_eq!(quota.rejects(), 0, "rejected before the discard quota");
+        assert_eq!(store.stats().evictions, 0);
     }
 
     #[test]

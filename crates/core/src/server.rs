@@ -629,6 +629,12 @@ fn core_loop<T: Transport>(shared: &Shared<T>, core: usize) {
         loop_count = loop_count.wrapping_add(1);
         if loop_count & 0x3F == 0 {
             let now = shared.now_ns();
+            // Capacity housekeeping rides the same cadence: advance the
+            // store clock, sweep this core's share of the partitions for
+            // expired keys, and run an eviction pass if occupancy sits
+            // above the high watermark. No-ops entirely when TTLs were
+            // never used and no eviction policy is configured.
+            shared.store.capacity_tick(core, shared.config.n_cores, now);
             if reassembler.pending() == 0 {
                 // Nothing can go stale; keep the clock re-armed so the
                 // first partial after an idle stretch still gets its
@@ -1132,7 +1138,7 @@ fn handle_message_size_aware<T: Transport>(
                 }
             }
         },
-        Body::Put { key, value } => {
+        Body::Put { key, value, .. } => {
             let size = value.len() as u64;
             shared.size_hists[core].record(size);
             match place(*key, size) {
@@ -1172,7 +1178,7 @@ fn handle_message_by_key<T: Transport>(
 ) {
     let (key, size) = match &req.msg.body {
         Body::Get { key } | Body::Delete { key } => (*key, None),
-        Body::Put { key, value } => (*key, Some(value.len() as u64)),
+        Body::Put { key, value, .. } => (*key, Some(value.len() as u64)),
         _ => {
             // Replies arriving at a server are protocol violations.
             shared.malformed.inc();
@@ -1287,9 +1293,9 @@ pub fn execute(
             }
             None => Some((ReplyStatus::NotFound, None, true, false)),
         },
-        Body::Put { key, value } => {
+        Body::Put { key, value, ttl_ms } => {
             let large = value.len() > minos_wire::MAX_FRAG_CHUNK;
-            let status = match store.put(*key, value) {
+            let status = match store.put_with_ttl(*key, value, *ttl_ms) {
                 Ok(()) => ReplyStatus::Ok,
                 Err(PutError::OutOfMemory) | Err(PutError::TableFull) => ReplyStatus::OutOfMemory,
             };

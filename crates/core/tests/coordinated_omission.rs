@@ -16,6 +16,7 @@ fn get_spec(key: u64) -> OpSpec {
         op: Operation::Get,
         item_size: 1,
         is_large: false,
+        ttl_ms: 0,
     }
 }
 

@@ -26,6 +26,7 @@ fn put_message(key: u64, value: Vec<u8>) -> Message {
         body: Body::Put {
             key,
             value: bytes::Bytes::from(value),
+            ttl_ms: 0,
         },
     }
 }
@@ -87,7 +88,7 @@ proptest! {
             if let Reassembly::Complete(bytes) = old.push(1, f.clone()) {
                 let decoded = Message::decode(bytes).expect("well-formed");
                 match decoded.body {
-                    Body::Put { key, value } => old_store.put(key, &value).unwrap(),
+                    Body::Put { key, value, .. } => old_store.put(key, &value).unwrap(),
                     other => prop_assert!(false, "unexpected body {other:?}"),
                 };
                 old_done = true;

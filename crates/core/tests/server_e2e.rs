@@ -31,6 +31,7 @@ fn lost_fragment_reservation_is_evicted_and_released() {
         body: Body::Put {
             key: 77,
             value: bytes::Bytes::from(vec![7u8; 100_000]),
+            ttl_ms: 0,
         },
     };
     let frags = fragment_with_id(0x1234, &msg.encode());

@@ -1,0 +1,216 @@
+//! Capacity tiering: CLOCK-style eviction under dual watermarks.
+//!
+//! The seed store answered [`crate::PutError::OutOfMemory`] the moment
+//! the mempool filled — every churn-heavy scenario died at a cliff.
+//! This module holds the *policy* side of the capacity subsystem: which
+//! victim-selection scheme runs ([`EvictionPolicy`]), and where the
+//! watermarks sit ([`CapacityConfig`] → [`Watermarks`]). The
+//! *mechanism* — clock hands, victim removal, the per-core capacity
+//! tick — lives in [`crate::store`], because it needs the partition
+//! internals.
+//!
+//! ## Dual watermarks
+//!
+//! Eviction is driven by two thresholds over mempool occupancy plus an
+//! absolute floor (the relative + absolute pattern of disk-pressure
+//! eviction tasks):
+//!
+//! ```text
+//!  0 ───────────────── low ──────── high ───────── capacity
+//!                       ▲            ▲    ▲
+//!                       │            │    └ min_headroom_bytes can pull
+//!                       │            │      `high` further left: at least
+//!                       │            │      that many bytes stay free
+//!                       │            └ occupancy > high ⇒ start evicting
+//!                       └ evict down to here, then stop (hysteresis:
+//!                         the gap keeps eviction from thrashing at one
+//!                         threshold)
+//! ```
+//!
+//! After each eviction pass the store *re-measures* occupancy; a pass
+//! that could not reclaim anything while still over the high watermark
+//! increments an accounting-warning counter (`store.accounting_warnings`)
+//! — the signal that occupancy and the item table disagree, gated to
+//! zero in CI.
+//!
+//! ## Size-aware victim selection
+//!
+//! [`EvictionPolicy::Clock`] evicts the first unreferenced item the
+//! hand finds — the classic second-chance scheme, size-blind.
+//! [`EvictionPolicy::SizeAwareClock`] is the size-aware twist the paper
+//! never explored: the hand collects a small window of unreferenced
+//! candidates and evicts the one holding the *largest* block, so
+//! reclaiming one large value replaces evicting hundreds of small ones.
+//! Under a mixed-size churn the small working set stays resident and
+//! the eviction work per reclaimed byte drops by orders of magnitude —
+//! which is exactly what keeps the small-request tail flat while the
+//! store runs pinned at the high watermark.
+
+/// Which eviction scheme reclaims mempool capacity under pressure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// No eviction: a full mempool answers `OutOfMemory`, the seed
+    /// behavior. TTL expiry still runs.
+    #[default]
+    None,
+    /// Classic CLOCK (second chance): evict the first unreferenced item
+    /// the hand finds, regardless of its size.
+    Clock,
+    /// CLOCK with size-aware victim selection: scan a window of
+    /// unreferenced candidates and evict the one with the largest
+    /// block, preferring one large reclaim over many small ones.
+    SizeAwareClock,
+}
+
+impl EvictionPolicy {
+    /// The canonical CLI/JSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EvictionPolicy::None => "none",
+            EvictionPolicy::Clock => "clock",
+            EvictionPolicy::SizeAwareClock => "size-aware-clock",
+        }
+    }
+
+    /// Inverse of [`EvictionPolicy::name`].
+    pub fn from_name(name: &str) -> Option<EvictionPolicy> {
+        match name {
+            "none" => Some(EvictionPolicy::None),
+            "clock" => Some(EvictionPolicy::Clock),
+            "size-aware-clock" => Some(EvictionPolicy::SizeAwareClock),
+            _ => None,
+        }
+    }
+}
+
+/// Capacity-subsystem configuration, carried in
+/// [`crate::StoreConfig::capacity`]. The defaults keep the subsystem
+/// off ([`EvictionPolicy::None`]) so existing stores behave exactly as
+/// before; churn deployments turn it on explicitly.
+#[derive(Clone, Copy, Debug)]
+pub struct CapacityConfig {
+    /// Victim-selection scheme; `None` disables eviction and admission
+    /// control entirely.
+    pub policy: EvictionPolicy,
+    /// Relative high watermark: occupancy above
+    /// `high_fraction * capacity` triggers eviction.
+    pub high_fraction: f64,
+    /// Relative low watermark: eviction stops once occupancy is back
+    /// under `low_fraction * capacity`.
+    pub low_fraction: f64,
+    /// Absolute floor: at least this many bytes stay free regardless of
+    /// the fractions (pulls the high watermark down on small pools
+    /// where a fraction alone leaves too little room for one large
+    /// value).
+    pub min_headroom_bytes: usize,
+    /// Admission control: while occupancy sits at or above the high
+    /// watermark, a PUT of at least this many bytes is rejected
+    /// *before* reservation (and before any fragment is streamed)
+    /// instead of discard-streamed to an `OutOfMemory` reply.
+    pub admission_cutoff_bytes: usize,
+    /// How many unreferenced candidates the size-aware hand collects
+    /// per scan; the pass reclaims them largest-block-first and stops
+    /// at the target, so the window's small items survive (ignored by
+    /// plain CLOCK, which takes candidates in hand order). Wider
+    /// windows find large blocks the hand would otherwise take many
+    /// small victims to reach; the scan itself costs the same as plain
+    /// CLOCK either way — each slot is passed once per sweep.
+    pub candidate_window: usize,
+    /// Item slots each TTL sweep scans per partition per capacity tick.
+    pub sweep_budget: usize,
+    /// Victim budget per capacity tick: bounds how long one tick can
+    /// stall its core evicting, so reclaim is spread across ticks
+    /// instead of draining `high − low` bytes in one latency spike.
+    /// The reservation path is not budgeted — it evicts until the
+    /// failed PUT fits.
+    pub tick_victims: usize,
+}
+
+impl Default for CapacityConfig {
+    fn default() -> Self {
+        CapacityConfig {
+            policy: EvictionPolicy::None,
+            high_fraction: 0.90,
+            low_fraction: 0.80,
+            min_headroom_bytes: 0,
+            admission_cutoff_bytes: 64 << 10,
+            candidate_window: 32,
+            sweep_budget: 128,
+            tick_victims: 64,
+        }
+    }
+}
+
+/// The watermarks of a [`CapacityConfig`] resolved against a concrete
+/// mempool capacity, in bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Watermarks {
+    /// Occupancy above this starts an eviction pass.
+    pub high_bytes: usize,
+    /// Eviction passes stop once occupancy is back at or under this.
+    pub low_bytes: usize,
+}
+
+impl CapacityConfig {
+    /// Resolves the relative fractions and the absolute floor against
+    /// `capacity_bytes`. The floor caps the high watermark at
+    /// `capacity − min_headroom_bytes`; the low watermark is clamped to
+    /// never exceed the high one.
+    pub fn watermarks(&self, capacity_bytes: usize) -> Watermarks {
+        let frac = |f: f64| (capacity_bytes as f64 * f.clamp(0.0, 1.0)) as usize;
+        let floor_cap = capacity_bytes.saturating_sub(self.min_headroom_bytes);
+        let high_bytes = frac(self.high_fraction).min(floor_cap);
+        let low_bytes = frac(self.low_fraction).min(high_bytes);
+        Watermarks {
+            high_bytes,
+            low_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in [
+            EvictionPolicy::None,
+            EvictionPolicy::Clock,
+            EvictionPolicy::SizeAwareClock,
+        ] {
+            assert_eq!(EvictionPolicy::from_name(p.name()), Some(p));
+        }
+        assert_eq!(EvictionPolicy::from_name("lru"), None);
+    }
+
+    #[test]
+    fn watermarks_from_fractions() {
+        let cfg = CapacityConfig::default();
+        let wm = cfg.watermarks(1000);
+        assert_eq!(wm.high_bytes, 900);
+        assert_eq!(wm.low_bytes, 800);
+    }
+
+    #[test]
+    fn absolute_floor_pulls_high_down() {
+        let cfg = CapacityConfig {
+            min_headroom_bytes: 300,
+            ..CapacityConfig::default()
+        };
+        let wm = cfg.watermarks(1000);
+        assert_eq!(wm.high_bytes, 700, "floor beats the 90% fraction");
+        assert_eq!(wm.low_bytes, 700, "low clamped to high");
+    }
+
+    #[test]
+    fn degenerate_fractions_stay_ordered() {
+        let cfg = CapacityConfig {
+            high_fraction: 0.5,
+            low_fraction: 0.9,
+            ..CapacityConfig::default()
+        };
+        let wm = cfg.watermarks(1000);
+        assert!(wm.low_bytes <= wm.high_bytes);
+    }
+}

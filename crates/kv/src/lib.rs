@@ -21,15 +21,22 @@
 //! * [`store`] — the partitioned table with the optimistic-GET /
 //!   locked-PUT protocol and statistics.
 //! * [`crew`] — Concurrent Read Exclusive Write core-ownership helpers.
+//! * [`evict`] — capacity tiering policy: eviction schemes and dual
+//!   watermarks over mempool occupancy.
+//! * [`ttl`] — per-key time-to-live deadlines on the coarse store clock.
 
 #![warn(missing_docs)]
 
 pub mod bucket;
 pub mod crew;
+pub mod evict;
 pub mod keyhash;
 pub mod mem;
 pub mod store;
+pub mod ttl;
 
+pub use evict::{CapacityConfig, EvictionPolicy, Watermarks};
 pub use keyhash::{keyhash, KeyhashParts};
 pub use mem::{Mempool, MempoolStats, PoolBytes, PoolBytesMut};
 pub use store::{PutError, Store, StoreConfig, StoreStats};
+pub use ttl::NO_EXPIRY;

@@ -171,6 +171,15 @@ impl Mempool {
         self.inner.used.load(Ordering::Relaxed)
     }
 
+    /// The capacity charge for a value of `len` bytes: its size class
+    /// rounded up, exactly what [`Mempool::reserve`] debits and what a
+    /// free credits back. `None` if `len` exceeds the maximum block
+    /// size. This is the unit the eviction accounting cross-check sums
+    /// in — occupancy moves in class-rounded steps, never raw lengths.
+    pub fn charged_bytes(&self, len: usize) -> Option<usize> {
+        self.inner.class_of(len).map(Inner::class_bytes)
+    }
+
     /// Configured capacity in bytes.
     pub fn capacity_bytes(&self) -> usize {
         self.inner.capacity
@@ -249,6 +258,25 @@ impl PoolBytesMut {
             .fetch_add(data.len() as u64, Ordering::Relaxed);
     }
 
+    /// Shrinks the reservation to `new_len` bytes. The capacity charge
+    /// is unchanged (the block keeps its size class); only the sealed
+    /// value's visible length shrinks. Used by the streaming PUT ingest
+    /// to strip a wire-level trailer (the optional TTL extension) that
+    /// rode along inside the reserved range but is not part of the
+    /// value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_len` exceeds the current reserved length.
+    pub fn truncate(&mut self, new_len: usize) {
+        assert!(
+            new_len <= self.len,
+            "truncate to {new_len} grows the {}-byte reservation",
+            self.len
+        );
+        self.len = new_len;
+    }
+
     /// Seals the reservation into an immutable, refcounted
     /// [`PoolBytes`] — the second phase of a two-phase PUT, ready for
     /// [`crate::Store::put_reserved`]. No bytes are copied.
@@ -308,6 +336,15 @@ impl PoolBytes {
     /// True if the value is empty.
     pub fn is_empty(&self) -> bool {
         self.0.len == 0
+    }
+
+    /// The capacity charge this buffer holds against its pool: the
+    /// block's class size, which can exceed
+    /// [`Mempool::charged_bytes`]`(len)` when the reservation was
+    /// [`PoolBytesMut::truncate`]d after being sized. Accounting
+    /// cross-checks must sum this, not recompute from `len`.
+    pub fn charged_bytes(&self) -> usize {
+        Inner::class_bytes(self.0.class)
     }
 }
 
@@ -450,6 +487,42 @@ mod tests {
         let pool = Mempool::new(1 << 20, 1 << 16);
         let mut r = pool.reserve(4).unwrap();
         r.write_at(2, b"abc");
+    }
+
+    #[test]
+    fn charged_bytes_is_the_class_size() {
+        let pool = Mempool::new(1 << 20, 1 << 16);
+        assert_eq!(pool.charged_bytes(0), Some(64));
+        assert_eq!(pool.charged_bytes(64), Some(64));
+        assert_eq!(pool.charged_bytes(65), Some(128));
+        assert_eq!(pool.charged_bytes(1 << 16), Some(1 << 16));
+        assert_eq!(pool.charged_bytes((1 << 16) + 1), None, "oversized");
+    }
+
+    #[test]
+    fn truncate_shrinks_value_but_not_charge() {
+        let pool = Mempool::new(1 << 20, 1 << 16);
+        let mut r = pool.reserve(1032).unwrap(); // 2048-byte class
+        r.write_at(0, &[7u8; 1032]);
+        r.truncate(1024);
+        assert_eq!(r.len(), 1024);
+        let sealed = r.seal();
+        assert_eq!(sealed.len(), 1024);
+        assert_eq!(&sealed[..], &[7u8; 1024][..]);
+        // The block keeps its original class: the charge did not shrink
+        // to 1024's class, and the sealed buffer reports the truth.
+        assert_eq!(pool.used_bytes(), 2048);
+        assert_eq!(sealed.charged_bytes(), 2048);
+        drop(sealed);
+        assert_eq!(pool.used_bytes(), 0, "full class released");
+    }
+
+    #[test]
+    #[should_panic(expected = "grows the")]
+    fn truncate_cannot_grow() {
+        let pool = Mempool::new(1 << 20, 1 << 16);
+        let mut r = pool.reserve(4).unwrap();
+        r.truncate(5);
     }
 
     #[test]

@@ -15,10 +15,12 @@
 //!   slots, bump back to even.
 
 use crate::bucket::{Bucket, Slot, NO_OVERFLOW, SLOTS_PER_BUCKET};
+use crate::evict::{CapacityConfig, EvictionPolicy, Watermarks};
 use crate::keyhash::{keyhash, split};
 use crate::mem::{Mempool, PoolBytes};
+use crate::ttl::{expires_at, is_expired, NO_EXPIRY};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// Configuration for a [`Store`].
 #[derive(Clone, Debug)]
@@ -37,6 +39,9 @@ pub struct StoreConfig {
     pub mempool_bytes: usize,
     /// Largest storable value, in bytes.
     pub max_value_bytes: usize,
+    /// Capacity tiering: eviction policy, watermarks, TTL sweep budget.
+    /// Defaults to eviction off (the seed behavior).
+    pub capacity: CapacityConfig,
 }
 
 impl StoreConfig {
@@ -53,6 +58,7 @@ impl StoreConfig {
             items_per_partition: per_part * 2,
             mempool_bytes,
             max_value_bytes: 1 << 20, // 1 MiB, the paper's largest item
+            capacity: CapacityConfig::default(),
         }
     }
 }
@@ -86,12 +92,57 @@ pub struct StoreStats {
     pub overflow_in_use: u64,
     /// Items currently stored.
     pub items: u64,
+    /// Items removed by capacity eviction.
+    pub evictions: u64,
+    /// Mempool bytes (class-rounded) reclaimed by capacity eviction.
+    pub evicted_bytes: u64,
+    /// Items removed because their TTL deadline passed (lazily on GET
+    /// or by the active sweep).
+    pub expired_keys: u64,
+    /// PUTs rejected by admission control before reservation.
+    pub admission_rejects: u64,
+    /// Eviction passes that could reclaim nothing while occupancy was
+    /// still over the high watermark — the accounting cross-check
+    /// alarm, expected to stay 0.
+    pub accounting_warnings: u64,
 }
 
 #[derive(Debug)]
 struct ItemEntry {
     key: u64,
     value: PoolBytes,
+    /// Store-clock deadline in ns; [`NO_EXPIRY`] when the key never
+    /// expires.
+    expires_at: u64,
+    /// CLOCK reference bit: set on every GET hit and on replacement,
+    /// cleared by the eviction hand's first pass over the slot. New
+    /// items start *unreferenced* (scan resistance): a churned key that
+    /// is written once and never read again holds no second chance, so
+    /// one-touch traffic cannot flush the actually-hot set.
+    referenced: bool,
+}
+
+/// What a keyed item-table read found.
+enum ItemRead {
+    /// Live value (the reference bit was set).
+    Hit(PoolBytes),
+    /// The key is present but its TTL deadline has passed: report a
+    /// miss and let the caller reclaim it lazily.
+    Expired,
+    /// Slot empty or holding a different key.
+    Absent,
+}
+
+/// Why the capacity subsystem is removing an item (selects the counter
+/// it feeds and whether removal re-validates the TTL deadline).
+#[derive(Clone, Copy, Debug)]
+enum RemoveCause {
+    /// Watermark eviction picked it as a victim.
+    Evict,
+    /// Its TTL deadline passed (lazy GET-side reclaim or active sweep);
+    /// `now` is the store-clock reading that condemned it, re-checked
+    /// under the write lock.
+    Expire { now: u64 },
 }
 
 #[derive(Debug)]
@@ -108,35 +159,62 @@ impl ItemTable {
         }
     }
 
-    fn alloc(&self, key: u64, value: PoolBytes) -> Option<u32> {
+    fn alloc(&self, key: u64, value: PoolBytes, expires_at: u64) -> Option<u32> {
         let idx = self.freelist.lock().pop()?;
-        *self.slots[idx as usize].lock() = Some(ItemEntry { key, value });
+        *self.slots[idx as usize].lock() = Some(ItemEntry {
+            key,
+            value,
+            expires_at,
+            referenced: false,
+        });
         Some(idx)
     }
 
-    fn replace(&self, idx: u32, value: PoolBytes) {
+    fn replace(&self, idx: u32, value: PoolBytes, expires_at: u64) {
         let mut slot = self.slots[idx as usize].lock();
         let entry = slot.as_mut().expect("replace of a live item");
         entry.value = value;
+        entry.expires_at = expires_at;
+        entry.referenced = true;
     }
 
-    fn free(&self, idx: u32) {
-        *self.slots[idx as usize].lock() = None;
+    /// Frees the slot, returning the entry it held (the value's pool
+    /// charge releases when the returned entry drops).
+    fn free(&self, idx: u32) -> Option<ItemEntry> {
+        let entry = self.slots[idx as usize].lock().take();
         self.freelist.lock().push(idx);
+        entry
     }
 
-    /// Reads the item at `idx` if it currently holds `key`.
-    fn read(&self, idx: u32, key: u64) -> Option<PoolBytes> {
-        let slot = self.slots[idx as usize].lock();
-        match &*slot {
-            Some(e) if e.key == key => Some(e.value.clone()),
-            _ => None,
+    /// Reads the item at `idx` if it currently holds `key`, checking
+    /// its TTL deadline against the store clock and setting the CLOCK
+    /// reference bit on a hit.
+    fn read(&self, idx: u32, key: u64, now_ns: u64) -> ItemRead {
+        let mut slot = self.slots[idx as usize].lock();
+        match &mut *slot {
+            Some(e) if e.key == key => {
+                if is_expired(e.expires_at, now_ns) {
+                    ItemRead::Expired
+                } else {
+                    e.referenced = true;
+                    ItemRead::Hit(e.value.clone())
+                }
+            }
+            _ => ItemRead::Absent,
         }
     }
 
     /// The key stored at `idx`, if any (writer-side use only).
     fn key_at(&self, idx: u32) -> Option<u64> {
         self.slots[idx as usize].lock().as_ref().map(|e| e.key)
+    }
+
+    /// The TTL deadline of the item at `idx`, if live (writer-side).
+    fn expires_at(&self, idx: u32) -> Option<u64> {
+        self.slots[idx as usize]
+            .lock()
+            .as_ref()
+            .map(|e| e.expires_at)
     }
 }
 
@@ -149,6 +227,10 @@ struct Partition {
     overflow: Box<[Bucket]>,
     overflow_freelist: Mutex<Vec<u32>>,
     items: ItemTable,
+    /// The CLOCK eviction hand: next item slot the victim scan visits.
+    clock_hand: AtomicUsize,
+    /// The active TTL sweep's rotating cursor over item slots.
+    sweep_cursor: AtomicUsize,
 }
 
 impl Partition {
@@ -164,6 +246,8 @@ impl Partition {
                 (0..config.overflow_per_partition as u32).rev().collect(),
             ),
             items: ItemTable::new(config.items_per_partition),
+            clock_hand: AtomicUsize::new(0),
+            sweep_cursor: AtomicUsize::new(0),
         }
     }
 
@@ -213,6 +297,18 @@ pub struct Store {
     partitions: Vec<Partition>,
     mempool: Mempool,
     num_buckets: usize,
+    capacity: CapacityConfig,
+    watermarks: Watermarks,
+    /// Coarse monotonic store clock, ns. Advanced by
+    /// [`Store::capacity_tick`] (or [`Store::set_clock_ns`] directly in
+    /// tests); read with one relaxed load on the GET path.
+    clock_ns: AtomicU64,
+    /// Latches true on the first PUT carrying a TTL, so TTL-free stores
+    /// skip the active sweep entirely.
+    ttl_used: AtomicBool,
+    /// Rotates the partition an eviction pass starts from, spreading
+    /// reclaim across partitions instead of hammering partition 0.
+    evict_rotor: AtomicUsize,
     get_hits: AtomicU64,
     get_misses: AtomicU64,
     get_retries: AtomicU64,
@@ -221,6 +317,11 @@ pub struct Store {
     deletes: AtomicU64,
     overflow_in_use: AtomicU64,
     items: AtomicU64,
+    evictions: AtomicU64,
+    evicted_bytes: AtomicU64,
+    expired_keys: AtomicU64,
+    admission_rejects: AtomicU64,
+    accounting_warnings: AtomicU64,
 }
 
 impl Store {
@@ -228,12 +329,18 @@ impl Store {
     pub fn new(config: StoreConfig) -> Self {
         assert!(config.partitions > 0);
         let num_buckets = config.buckets_per_partition.next_power_of_two();
+        let watermarks = config.capacity.watermarks(config.mempool_bytes);
         Store {
             partitions: (0..config.partitions)
                 .map(|_| Partition::new(&config))
                 .collect(),
             mempool: Mempool::new(config.mempool_bytes, config.max_value_bytes),
             num_buckets,
+            capacity: config.capacity,
+            watermarks,
+            clock_ns: AtomicU64::new(0),
+            ttl_used: AtomicBool::new(false),
+            evict_rotor: AtomicUsize::new(0),
             get_hits: AtomicU64::new(0),
             get_misses: AtomicU64::new(0),
             get_retries: AtomicU64::new(0),
@@ -242,6 +349,11 @@ impl Store {
             deletes: AtomicU64::new(0),
             overflow_in_use: AtomicU64::new(0),
             items: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            evicted_bytes: AtomicU64::new(0),
+            expired_keys: AtomicU64::new(0),
+            admission_rejects: AtomicU64::new(0),
+            accounting_warnings: AtomicU64::new(0),
         }
     }
 
@@ -255,12 +367,17 @@ impl Store {
         split(keyhash(key), self.partitions.len(), self.num_buckets).partition
     }
 
-    /// Optimistic GET: returns the value if present.
+    /// Optimistic GET: returns the value if present and not expired. A
+    /// GET landing on an item whose TTL deadline has passed reports a
+    /// miss and reclaims the item lazily (Redis-style lazy expiry), so
+    /// an expired key is never served no matter how far behind the
+    /// active sweep runs.
     pub fn get(&self, key: u64) -> Option<PoolBytes> {
         let h = keyhash(key);
         let parts = split(h, self.partitions.len(), self.num_buckets);
         let partition = &self.partitions[parts.partition];
         let primary = &partition.buckets[parts.bucket];
+        let now = self.clock_ns.load(Ordering::Relaxed);
 
         loop {
             let e1 = primary.epoch_snapshot();
@@ -270,12 +387,20 @@ impl Store {
                 continue;
             }
             let mut found: Option<PoolBytes> = None;
+            let mut lazily_expired = false;
             'scan: for bucket in partition.chain(parts.bucket) {
                 for (_, slot) in bucket.occupied() {
                     if slot.tag == parts.tag {
-                        if let Some(v) = partition.items.read(slot.item, key) {
-                            found = Some(v);
-                            break 'scan;
+                        match partition.items.read(slot.item, key, now) {
+                            ItemRead::Hit(v) => {
+                                found = Some(v);
+                                break 'scan;
+                            }
+                            ItemRead::Expired => {
+                                lazily_expired = true;
+                                break 'scan;
+                            }
+                            ItemRead::Absent => {}
                         }
                     }
                 }
@@ -288,6 +413,11 @@ impl Store {
                         return Some(v);
                     }
                     None => {
+                        if lazily_expired {
+                            // Reclaim outside the optimistic window; the
+                            // removal re-validates under the write lock.
+                            self.remove_victim(key, RemoveCause::Expire { now });
+                        }
                         self.get_misses.fetch_add(1, Ordering::Relaxed);
                         return None;
                     }
@@ -313,22 +443,51 @@ impl Store {
     /// ingest path) use the phases directly so each network fragment is
     /// copied straight into its final offset of the block.
     pub fn put(&self, key: u64, value: &[u8]) -> Result<(), PutError> {
+        self.put_with_ttl(key, value, 0)
+    }
+
+    /// [`Store::put`] with a per-key TTL in milliseconds (`0` = never
+    /// expires). The deadline is stamped against the store clock; under
+    /// memory pressure the reservation may evict first (see
+    /// [`Store::reserve`]).
+    pub fn put_with_ttl(&self, key: u64, value: &[u8], ttl_ms: u64) -> Result<(), PutError> {
         // Copy the value into pool memory *before* taking the bucket
         // lock: the critical section stays O(1) regardless of item size.
         let Some(mut reservation) = self.reserve(value.len()) else {
             return Err(PutError::OutOfMemory);
         };
         reservation.write_at(0, value);
-        self.put_reserved(key, reservation.seal())
+        self.put_reserved_with_ttl(key, reservation.seal(), ttl_ms)
     }
 
     /// Phase one of a two-phase PUT: reserves a writable mempool block
-    /// for a value of `len` bytes (see [`Mempool::reserve`]). A failed
-    /// reservation is counted as a PUT failure, mirroring [`Store::put`]
-    /// under memory pressure. Commit the filled reservation with
-    /// [`Store::put_reserved`]; dropping it instead releases the block.
+    /// for a value of `len` bytes (see [`Mempool::reserve`]). With an
+    /// eviction policy configured, a reservation that fails on capacity
+    /// triggers one eviction pass (evict until the block fits, aiming
+    /// for the low watermark) and retries once — then reports an honest
+    /// failure. A final failure is counted as a PUT failure, mirroring
+    /// [`Store::put`] under memory pressure. Commit the filled
+    /// reservation with [`Store::put_reserved`]; dropping it instead
+    /// releases the block.
     pub fn reserve(&self, len: usize) -> Option<crate::mem::PoolBytesMut> {
-        let reservation = self.mempool.reserve(len);
+        if let Some(r) = self.mempool.reserve(len) {
+            return Some(r);
+        }
+        let reservation = match (self.capacity.policy, self.mempool.charged_bytes(len)) {
+            (EvictionPolicy::None, _) | (_, None) => None,
+            (_, Some(charge)) => {
+                // Make room for this block *and* head toward the low
+                // watermark, so the next few PUTs don't each pay an
+                // eviction pass of their own.
+                let capacity = self.mempool.capacity_bytes();
+                let target = self
+                    .watermarks
+                    .low_bytes
+                    .min(capacity.saturating_sub(charge));
+                self.evict_until(target, None, u64::MAX);
+                self.mempool.reserve(len)
+            }
+        };
         if reservation.is_none() {
             self.put_failures.fetch_add(1, Ordering::Relaxed);
         }
@@ -340,6 +499,23 @@ impl Store {
     /// is the same O(1) bucket-locked splice as [`Store::put`] —
     /// regardless of how the value bytes got into the pool.
     pub fn put_reserved(&self, key: u64, pooled: PoolBytes) -> Result<(), PutError> {
+        self.put_reserved_with_ttl(key, pooled, 0)
+    }
+
+    /// [`Store::put_reserved`] with a per-key TTL in milliseconds (`0` =
+    /// never expires).
+    pub fn put_reserved_with_ttl(
+        &self,
+        key: u64,
+        pooled: PoolBytes,
+        ttl_ms: u64,
+    ) -> Result<(), PutError> {
+        let deadline = if ttl_ms == 0 {
+            NO_EXPIRY
+        } else {
+            self.ttl_used.store(true, Ordering::Relaxed);
+            expires_at(self.clock_ns.load(Ordering::Relaxed), ttl_ms)
+        };
         let h = keyhash(key);
         let parts = split(h, self.partitions.len(), self.num_buckets);
         let partition = &self.partitions[parts.partition];
@@ -352,12 +528,12 @@ impl Store {
         match existing {
             Some((_, slot)) => {
                 primary.write_begin();
-                partition.items.replace(slot.item, pooled);
+                partition.items.replace(slot.item, pooled, deadline);
                 primary.write_end();
             }
             None => {
                 // Need a free slot somewhere in the chain.
-                let Some(item_idx) = partition.items.alloc(key, pooled) else {
+                let Some(item_idx) = partition.items.alloc(key, pooled, deadline) else {
                     self.put_failures.fetch_add(1, Ordering::Relaxed);
                     return Err(PutError::TableFull);
                 };
@@ -406,6 +582,278 @@ impl Store {
             }
             None => false,
         }
+    }
+
+    // ---- Capacity tiering: clock, watermark eviction, TTL expiry ----
+
+    /// The coarse store clock, ns (see [`Store::set_clock_ns`]).
+    pub fn clock_ns(&self) -> u64 {
+        self.clock_ns.load(Ordering::Relaxed)
+    }
+
+    /// Advances the store clock to `now_ns` (monotone: a stale caller
+    /// can never turn it back). Serving cores call this through
+    /// [`Store::capacity_tick`]; tests drive it directly for
+    /// deterministic expiry.
+    pub fn set_clock_ns(&self, now_ns: u64) {
+        self.clock_ns.fetch_max(now_ns, Ordering::Relaxed);
+    }
+
+    /// The configured capacity policy and knobs.
+    pub fn capacity_config(&self) -> &CapacityConfig {
+        &self.capacity
+    }
+
+    /// The watermarks resolved against this store's mempool capacity.
+    pub fn watermarks(&self) -> Watermarks {
+        self.watermarks
+    }
+
+    /// Admission control: may a PUT of `len` value bytes proceed to
+    /// reservation right now? With eviction off, always. Otherwise a
+    /// PUT at or past the admission cutoff is turned away *before*
+    /// reservation when it could never fit under the high watermark, or
+    /// while occupancy currently sits at or above it (eviction is
+    /// behind; streaming a huge value now would only deepen the hole).
+    /// A rejection is counted in `store.admission_rejects` and should
+    /// be answered with an immediate `OutOfMemory` — the caller skips
+    /// the reservation AND the discard-mode streaming it replaces.
+    pub fn admit_put(&self, len: usize) -> bool {
+        if self.capacity.policy == EvictionPolicy::None
+            || len < self.capacity.admission_cutoff_bytes
+        {
+            return true;
+        }
+        let oversized = match self.mempool.charged_bytes(len) {
+            Some(charge) => charge > self.watermarks.high_bytes,
+            None => true,
+        };
+        if oversized || self.mempool.used_bytes() >= self.watermarks.high_bytes {
+            self.admission_rejects.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    /// One capacity-housekeeping tick, called by serving core `core` of
+    /// `n_cores` from its existing per-round housekeeping (no dedicated
+    /// threads): advances the store clock, runs the budgeted active TTL
+    /// sweep over this core's partitions (partition `p` belongs to core
+    /// `p % n_cores`), and — when occupancy is over the high watermark —
+    /// evicts toward the low watermark under the per-tick victim
+    /// budget.
+    ///
+    /// Cross-checked accounting: occupancy is re-measured after the
+    /// eviction pass; a tick that reclaimed *nothing* while still over
+    /// the high watermark first widens the scan to every partition, and
+    /// if even the global pass finds no victim, increments
+    /// `store.accounting_warnings` — occupancy then disagrees with the
+    /// item table (leaked reservations or stuck references), which CI
+    /// gates to zero.
+    pub fn capacity_tick(&self, core: usize, n_cores: usize, now_ns: u64) {
+        self.set_clock_ns(now_ns);
+        let now = self.clock_ns();
+        let n_cores = n_cores.max(1);
+        if self.ttl_used.load(Ordering::Relaxed) {
+            for p in (core % n_cores..self.partitions.len()).step_by(n_cores) {
+                self.sweep_expired(p, now);
+            }
+        }
+        if self.capacity.policy == EvictionPolicy::None {
+            return;
+        }
+        if self.mempool.used_bytes() <= self.watermarks.high_bytes {
+            return;
+        }
+        let budget = self.capacity.tick_victims.max(1) as u64;
+        let mut evicted =
+            self.evict_until(self.watermarks.low_bytes, Some((core, n_cores)), budget);
+        if evicted == 0 {
+            // This core's partitions had nothing evictable; re-measure
+            // and widen to the whole store before crying foul.
+            evicted = self.evict_until(self.watermarks.low_bytes, None, budget);
+            if evicted == 0 && self.mempool.used_bytes() > self.watermarks.high_bytes {
+                self.accounting_warnings.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Evicts until mempool occupancy is at or under `target_used`, no
+    /// victims remain, or `max_victims` were reclaimed. `owned` narrows
+    /// the scan to one core's partitions (`p % n_cores == core`); `None`
+    /// scans all. Returns the number of items evicted.
+    fn evict_until(
+        &self,
+        target_used: usize,
+        owned: Option<(usize, usize)>,
+        max_victims: u64,
+    ) -> u64 {
+        let n_parts = self.partitions.len();
+        let start = self.evict_rotor.fetch_add(1, Ordering::Relaxed);
+        let parts: Vec<usize> = match owned {
+            Some((core, n_cores)) => (core % n_cores..n_parts).step_by(n_cores).collect(),
+            None => (0..n_parts).map(|i| (start + i) % n_parts).collect(),
+        };
+        let mut evicted = 0u64;
+        'pass: while evicted < max_victims {
+            if self.mempool.used_bytes() <= target_used {
+                break;
+            }
+            let mut progressed = false;
+            for &p in &parts {
+                if self.mempool.used_bytes() <= target_used || evicted >= max_victims {
+                    break 'pass;
+                }
+                for (key, _) in self.find_victims(p) {
+                    if self.mempool.used_bytes() <= target_used || evicted >= max_victims {
+                        break;
+                    }
+                    if self.remove_victim(key, RemoveCause::Evict) {
+                        evicted += 1;
+                        progressed = true;
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        evicted
+    }
+
+    /// Advances partition `p`'s CLOCK hand past the next victim window.
+    /// Plain CLOCK yields the first unreferenced item; size-aware CLOCK
+    /// collects a window of unreferenced candidates and yields them
+    /// largest-block-first, so the caller reclaims the big blocks and
+    /// stops before touching the small ones — the hand traffic per pass
+    /// is the same as plain CLOCK's (each slot is passed once either
+    /// way), but fewer, bigger victims satisfy the target and the
+    /// window's small items survive. Reference bits are cleared as the
+    /// hand passes (second chance), so a fully-hot partition yields a
+    /// victim on the wrap-around at the latest. Returns the candidate
+    /// keys with their charges, best victim first; empty when the
+    /// partition holds nothing evictable.
+    fn find_victims(&self, p: usize) -> Vec<(u64, usize)> {
+        let partition = &self.partitions[p];
+        let slots = &partition.items.slots;
+        let cap = slots.len();
+        if cap == 0 {
+            return Vec::new();
+        }
+        let window = match self.capacity.policy {
+            EvictionPolicy::SizeAwareClock => self.capacity.candidate_window.max(1),
+            _ => 1,
+        };
+        let start = partition.clock_hand.load(Ordering::Relaxed);
+        let mut candidates: Vec<(u64, usize)> = Vec::with_capacity(window);
+        let mut steps = 0usize;
+        // Up to two sweeps: the first may only clear reference bits.
+        while steps < cap * 2 && candidates.len() < window {
+            let idx = (start + steps) % cap;
+            steps += 1;
+            let mut slot = slots[idx].lock();
+            if let Some(e) = slot.as_mut() {
+                if e.referenced {
+                    e.referenced = false;
+                } else {
+                    candidates.push((e.key, e.value.charged_bytes()));
+                }
+            }
+        }
+        partition
+            .clock_hand
+            .store((start + steps) % cap, Ordering::Relaxed);
+        candidates.sort_unstable_by_key(|&(_, charge)| std::cmp::Reverse(charge));
+        candidates
+    }
+
+    /// Scans a [`CapacityConfig::sweep_budget`]-sized window of
+    /// partition `p`'s item slots behind its rotating cursor, reclaiming
+    /// every expired item found (the active half of TTL expiry).
+    fn sweep_expired(&self, p: usize, now_ns: u64) {
+        let partition = &self.partitions[p];
+        let slots = &partition.items.slots;
+        let cap = slots.len();
+        if cap == 0 {
+            return;
+        }
+        let budget = self.capacity.sweep_budget.min(cap);
+        let start = partition.sweep_cursor.load(Ordering::Relaxed);
+        for step in 0..budget {
+            let idx = (start + step) % cap;
+            let expired_key = {
+                let slot = slots[idx].lock();
+                match &*slot {
+                    Some(e) if is_expired(e.expires_at, now_ns) => Some(e.key),
+                    _ => None,
+                }
+            };
+            if let Some(key) = expired_key {
+                self.remove_victim(key, RemoveCause::Expire { now: now_ns });
+            }
+        }
+        partition
+            .sweep_cursor
+            .store((start + budget) % cap, Ordering::Relaxed);
+    }
+
+    /// Removes `key` for the capacity subsystem — eviction or expiry —
+    /// mirroring [`Store::delete`]'s locked splice but feeding the
+    /// capacity counters instead of `store.deletes`. An `Expire`
+    /// removal re-validates the deadline under the write lock, so a
+    /// concurrent PUT that refreshed the key is never clobbered.
+    fn remove_victim(&self, key: u64, cause: RemoveCause) -> bool {
+        let h = keyhash(key);
+        let parts = split(h, self.partitions.len(), self.num_buckets);
+        let partition = &self.partitions[parts.partition];
+        let primary = &partition.buckets[parts.bucket];
+        let _guard = partition.locks[parts.bucket].lock();
+
+        let Some((bucket_ref, slot)) =
+            self.find_slot_locked(partition, parts.bucket, parts.tag, key)
+        else {
+            return false;
+        };
+        if let RemoveCause::Expire { now } = cause {
+            match partition.items.expires_at(slot.item) {
+                Some(deadline) if is_expired(deadline, now) => {}
+                _ => return false,
+            }
+        }
+        primary.write_begin();
+        bucket_ref.0.set_slot(bucket_ref.1, None);
+        primary.write_end();
+        let freed = partition
+            .items
+            .free(slot.item)
+            .map(|e| e.value.charged_bytes() as u64)
+            .unwrap_or(0);
+        self.items.fetch_sub(1, Ordering::Relaxed);
+        match cause {
+            RemoveCause::Evict => {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.evicted_bytes.fetch_add(freed, Ordering::Relaxed);
+            }
+            RemoveCause::Expire { .. } => {
+                self.expired_keys.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        true
+    }
+
+    /// Sums the capacity charge of every live item — the item table's
+    /// own view of mempool occupancy. With no outstanding reservations
+    /// and no reader-held value references, this equals
+    /// [`Mempool::used_bytes`] exactly; the proptest suite holds the
+    /// store to that identity across arbitrary PUT/GET/TTL/evict
+    /// interleavings. O(items) with a lock per slot: an audit, not a
+    /// hot-path call.
+    pub fn audit_charged_bytes(&self) -> usize {
+        self.partitions
+            .iter()
+            .flat_map(|p| p.items.slots.iter())
+            .map(|s| s.lock().as_ref().map_or(0, |e| e.value.charged_bytes()))
+            .sum()
     }
 
     /// Scans the chain under the writer lock for the slot holding `key`.
@@ -467,6 +915,11 @@ impl Store {
             deletes: self.deletes.load(Ordering::Relaxed),
             overflow_in_use: self.overflow_in_use.load(Ordering::Relaxed),
             items: self.items.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            evicted_bytes: self.evicted_bytes.load(Ordering::Relaxed),
+            expired_keys: self.expired_keys.load(Ordering::Relaxed),
+            admission_rejects: self.admission_rejects.load(Ordering::Relaxed),
+            accounting_warnings: self.accounting_warnings.load(Ordering::Relaxed),
         }
     }
 
@@ -499,6 +952,17 @@ impl minos_obs::Collector for Store {
             Gauge(s.overflow_in_use as f64),
         ));
         out.push(("store.items".to_string(), Gauge(s.items as f64)));
+        out.push(("store.evictions".to_string(), Counter(s.evictions)));
+        out.push(("store.evicted_bytes".to_string(), Counter(s.evicted_bytes)));
+        out.push(("store.expired_keys".to_string(), Counter(s.expired_keys)));
+        out.push((
+            "store.admission_rejects".to_string(),
+            Counter(s.admission_rejects),
+        ));
+        out.push((
+            "store.accounting_warnings".to_string(),
+            Counter(s.accounting_warnings),
+        ));
         let m = self.mempool.stats();
         out.push(("mempool.allocs".to_string(), Counter(m.allocs)));
         out.push(("mempool.reuses".to_string(), Counter(m.reuses)));
@@ -509,6 +973,22 @@ impl minos_obs::Collector for Store {
         out.push((
             "mempool.capacity_bytes".to_string(),
             Gauge(m.capacity_bytes as f64),
+        ));
+        out.push((
+            "mempool.occupancy".to_string(),
+            Gauge(if m.capacity_bytes == 0 {
+                0.0
+            } else {
+                m.used_bytes as f64 / m.capacity_bytes as f64
+            }),
+        ));
+        out.push((
+            "mempool.high_watermark_bytes".to_string(),
+            Gauge(self.watermarks.high_bytes as f64),
+        ));
+        out.push((
+            "mempool.low_watermark_bytes".to_string(),
+            Gauge(self.watermarks.low_bytes as f64),
         ));
     }
 }
@@ -528,6 +1008,7 @@ mod tests {
             items_per_partition: 512,
             mempool_bytes: 16 << 20,
             max_value_bytes: 1 << 20,
+            capacity: CapacityConfig::default(),
         })
     }
 
@@ -590,6 +1071,7 @@ mod tests {
             items_per_partition: 64,
             mempool_bytes: 4096,
             max_value_bytes: 1 << 16,
+            capacity: CapacityConfig::default(),
         });
         let r = s.reserve(4096).unwrap();
         assert!(s.reserve(1).is_none(), "pool fully reserved");
@@ -657,6 +1139,7 @@ mod tests {
             items_per_partition: 100,
             mempool_bytes: 1 << 20,
             max_value_bytes: 1 << 16,
+            capacity: CapacityConfig::default(),
         });
         let mut stored = 0;
         let mut failed = false;
@@ -683,6 +1166,7 @@ mod tests {
             items_per_partition: 64,
             mempool_bytes: 1024,
             max_value_bytes: 1 << 16,
+            capacity: CapacityConfig::default(),
         });
         assert_eq!(s.put(1, &[0u8; 2048]), Err(PutError::OutOfMemory));
         assert_eq!(s.stats().put_failures, 1);
@@ -785,5 +1269,240 @@ mod tests {
             key.wrapping_mul(31).wrapping_add(round),
             "torn value"
         );
+    }
+
+    // ---- Capacity tiering ----
+
+    /// A 64 KiB mempool with eviction on: 64 one-class (1 KiB) values
+    /// fill it exactly.
+    fn evicting_store(policy: EvictionPolicy) -> Store {
+        Store::new(StoreConfig {
+            partitions: 1,
+            buckets_per_partition: 64,
+            overflow_per_partition: 32,
+            items_per_partition: 256,
+            mempool_bytes: 64 << 10,
+            max_value_bytes: 1 << 16,
+            capacity: CapacityConfig {
+                policy,
+                ..CapacityConfig::default()
+            },
+        })
+    }
+
+    #[test]
+    fn churn_past_capacity_evicts_instead_of_oom() {
+        let s = evicting_store(EvictionPolicy::Clock);
+        // 4x the pool's worth of distinct 1 KiB keys.
+        for k in 0..256u64 {
+            s.put(k, &[k as u8; 1024]).unwrap();
+        }
+        let stats = s.stats();
+        assert_eq!(stats.put_failures, 0, "no OOM under churn");
+        assert!(stats.evictions > 0);
+        assert!(stats.evicted_bytes >= stats.evictions * 1024);
+        // PUTs refill between reservation-path passes; a housekeeping
+        // tick restores the watermark invariant.
+        s.capacity_tick(0, 1, 1);
+        assert!(s.mempool().used_bytes() <= s.watermarks().low_bytes);
+        assert_eq!(s.stats().accounting_warnings, 0);
+    }
+
+    #[test]
+    fn clock_second_chance_prefers_cold_keys() {
+        let s = evicting_store(EvictionPolicy::Clock);
+        for k in 0..56u64 {
+            s.put(k, &[0u8; 1024]).unwrap();
+        }
+        // Churn well past the high watermark while keys 0..8 stay hot:
+        // their reference bits are re-set between eviction passes, so the
+        // hand's second chance spares them while cold keys go.
+        for k in 100..140u64 {
+            for hot in 0..8u64 {
+                s.get(hot);
+            }
+            s.put(k, &[1u8; 1024]).unwrap();
+        }
+        assert!(s.stats().evictions > 0);
+        let hot_alive = (0..8u64).filter(|&k| s.get(k).is_some()).count();
+        assert!(
+            hot_alive >= 6,
+            "second chance kept the hot set ({hot_alive}/8 alive)"
+        );
+    }
+
+    /// Fills a store with 32 cold small values plus two cold 12 KiB
+    /// (16 KiB-class) large ones — exactly pool capacity — then churns
+    /// 16 more smalls so eviction must reclaim ~13 KiB. Returns
+    /// (evictions, smalls still alive).
+    fn mixed_churn(policy: EvictionPolicy) -> (u64, usize) {
+        let s = evicting_store(policy);
+        for k in 0..32u64 {
+            s.put(k, &[0u8; 1024]).unwrap();
+        }
+        s.put(1000, &[2u8; 12 << 10]).unwrap();
+        s.put(1001, &[2u8; 12 << 10]).unwrap();
+        for k in 2000..2016u64 {
+            s.put(k, &[3u8; 1024]).unwrap();
+        }
+        let alive = (0..32u64).filter(|&k| s.get(k).is_some()).count();
+        (s.stats().evictions, alive)
+    }
+
+    #[test]
+    fn size_aware_clock_prefers_large_victims() {
+        // Plain CLOCK is size-blind: freeing ~13 KiB costs it a dozen
+        // small victims before the hand ever reaches a large block.
+        // Size-aware CLOCK weighs the candidate window and reclaims a
+        // 16 KiB block within a few victims.
+        let (clock_evictions, clock_alive) = mixed_churn(EvictionPolicy::Clock);
+        let (sa_evictions, sa_alive) = mixed_churn(EvictionPolicy::SizeAwareClock);
+        assert!(sa_evictions > 0);
+        assert!(
+            sa_evictions < clock_evictions,
+            "size-aware took {sa_evictions} victims, plain clock {clock_evictions}"
+        );
+        assert!(
+            sa_alive > clock_alive,
+            "size-aware kept {sa_alive}/32 smalls resident, plain clock {clock_alive}/32"
+        );
+    }
+
+    #[test]
+    fn expired_key_never_served_and_reclaimed_lazily() {
+        let s = small_store();
+        s.put_with_ttl(1, b"short-lived", 5).unwrap();
+        s.put(2, b"forever").unwrap();
+        assert_eq!(&s.get(1).unwrap()[..], b"short-lived");
+        s.set_clock_ns(5_000_000); // exactly the 5 ms deadline
+        assert_eq!(s.get(1), None, "expired key must miss");
+        assert_eq!(s.stats().expired_keys, 1, "lazy reclaim fired");
+        assert_eq!(s.len(), 1, "only the TTL'd key is gone");
+        assert_eq!(&s.get(2).unwrap()[..], b"forever");
+    }
+
+    #[test]
+    fn put_refreshes_ttl() {
+        let s = small_store();
+        s.put_with_ttl(1, b"v1", 5).unwrap();
+        s.set_clock_ns(4_000_000);
+        s.put_with_ttl(1, b"v2", 5).unwrap(); // deadline now 9 ms
+        s.set_clock_ns(6_000_000);
+        assert_eq!(&s.get(1).unwrap()[..], b"v2", "refreshed TTL holds");
+        s.set_clock_ns(9_000_000);
+        assert_eq!(s.get(1), None);
+    }
+
+    #[test]
+    fn active_sweep_reclaims_cold_expired_keys() {
+        let s = small_store();
+        for k in 0..100u64 {
+            s.put_with_ttl(k, b"ttl", 1).unwrap();
+        }
+        for k in 100..110u64 {
+            s.put(k, b"keep").unwrap();
+        }
+        let used_before = s.mempool().used_bytes();
+        s.set_clock_ns(2_000_000);
+        // Ticks sweep a budgeted window per partition; a few rounds
+        // cover every slot. Nothing GETs the expired keys.
+        for _ in 0..8 {
+            s.capacity_tick(0, 1, s.clock_ns());
+        }
+        assert_eq!(s.stats().expired_keys, 100);
+        assert_eq!(s.len(), 10);
+        assert!(s.mempool().used_bytes() < used_before);
+        for k in 100..110u64 {
+            assert!(s.get(k).is_some(), "TTL-free key {k} untouched");
+        }
+    }
+
+    #[test]
+    fn admission_rejects_large_puts_at_high_watermark() {
+        let s = evicting_store(EvictionPolicy::Clock);
+        // Park occupancy just under capacity (above the 90 % watermark).
+        for k in 0..60u64 {
+            s.put(k, &[0u8; 1024]).unwrap();
+        }
+        assert!(s.mempool().used_bytes() >= s.watermarks().high_bytes);
+        assert!(s.admit_put(1024), "small PUTs always admitted");
+        assert!(
+            !s.admit_put(s.capacity_config().admission_cutoff_bytes),
+            "cutoff-sized PUT rejected at the high watermark"
+        );
+        assert_eq!(s.stats().admission_rejects, 1);
+        // And regardless of occupancy, a value whose charge can never
+        // fit under the high watermark is turned away (cutoff lowered so
+        // the size check, not the cutoff, decides).
+        let s2 = Store::new(StoreConfig {
+            partitions: 1,
+            buckets_per_partition: 64,
+            overflow_per_partition: 32,
+            items_per_partition: 256,
+            mempool_bytes: 64 << 10,
+            max_value_bytes: 1 << 16,
+            capacity: CapacityConfig {
+                policy: EvictionPolicy::Clock,
+                admission_cutoff_bytes: 4096,
+                ..CapacityConfig::default()
+            },
+        });
+        assert!(!s2.admit_put(s2.watermarks().high_bytes + 1));
+        assert!(s2.admit_put(4095), "below the cutoff is always admitted");
+    }
+
+    #[test]
+    fn capacity_tick_enforces_watermarks() {
+        let s = evicting_store(EvictionPolicy::Clock);
+        let wm = s.watermarks();
+        for k in 0..63u64 {
+            s.put(k, &[0u8; 1024]).unwrap();
+        }
+        assert!(s.mempool().used_bytes() > wm.high_bytes);
+        assert_eq!(s.stats().evictions, 0, "no eviction below a reserve miss");
+        s.capacity_tick(0, 1, 1);
+        assert!(
+            s.mempool().used_bytes() <= wm.low_bytes,
+            "tick evicted down to the low watermark"
+        );
+        assert!(s.stats().evictions > 0);
+        assert_eq!(s.stats().accounting_warnings, 0);
+    }
+
+    #[test]
+    fn audit_matches_mempool_accounting() {
+        let s = evicting_store(EvictionPolicy::SizeAwareClock);
+        for k in 0..200u64 {
+            // Mixed size classes, some replaced, some deleted.
+            let len = 64 + (k as usize * 37) % 3000;
+            s.put(k % 80, &vec![k as u8; len]).unwrap();
+            if k % 11 == 0 {
+                s.delete(k % 80);
+            }
+        }
+        s.capacity_tick(0, 1, 1);
+        assert_eq!(
+            s.audit_charged_bytes(),
+            s.mempool().used_bytes(),
+            "item-table charges equal mempool occupancy"
+        );
+        assert_eq!(s.stats().accounting_warnings, 0);
+    }
+
+    #[test]
+    fn eviction_off_store_unchanged_under_pressure() {
+        // The seed behavior: policy None answers OOM, evicts nothing.
+        let s = evicting_store(EvictionPolicy::None);
+        let mut oom = 0;
+        for k in 0..80u64 {
+            match s.put(k, &[0u8; 1024]) {
+                Ok(()) => {}
+                Err(PutError::OutOfMemory) => oom += 1,
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert!(oom > 0, "no eviction: pool exhaustion surfaces");
+        assert_eq!(s.stats().evictions, 0);
+        assert_eq!(s.stats().admission_rejects, 0);
     }
 }

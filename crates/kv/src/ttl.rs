@@ -1,0 +1,74 @@
+//! Per-key time-to-live: deadlines on the store clock, lazy + active
+//! expiry.
+//!
+//! The store keeps a **coarse monotonic clock** (`store.clock_ns`,
+//! nanoseconds since store creation) advanced externally — by the
+//! serving cores' existing per-round housekeeping tick, never by a
+//! dedicated thread — and checked with one relaxed atomic load on the
+//! hot path. A PUT carrying a TTL stamps its item with an absolute
+//! deadline ([`expires_at`]); an item whose deadline has passed is dead
+//! the moment the clock crosses it, whether or not anything has removed
+//! it yet.
+//!
+//! Expiry is enforced twice, the Redis/Valkey split:
+//!
+//! * **lazily** — a GET that lands on an expired item reports a miss
+//!   and removes the item on the spot (so an expired key is *never*
+//!   served, regardless of sweep progress);
+//! * **actively** — each capacity tick sweeps a budgeted window of item
+//!   slots per partition behind a rotating cursor, reclaiming expired
+//!   items that nothing reads anymore (so cold expired values cannot
+//!   squat in the mempool forever).
+//!
+//! Deadlines are compared against the store clock, not wall time: tests
+//! drive the clock explicitly and expiry becomes fully deterministic.
+
+/// The deadline value meaning "never expires" — the default for every
+/// PUT without a TTL.
+pub const NO_EXPIRY: u64 = u64::MAX;
+
+/// Converts a wire-level TTL (milliseconds, `0` = no TTL) into an
+/// absolute store-clock deadline in nanoseconds. Saturates instead of
+/// wrapping, so an absurd TTL degrades to "effectively never".
+pub fn expires_at(now_ns: u64, ttl_ms: u64) -> u64 {
+    if ttl_ms == 0 {
+        return NO_EXPIRY;
+    }
+    match ttl_ms.checked_mul(1_000_000) {
+        Some(ttl_ns) => now_ns.saturating_add(ttl_ns),
+        None => NO_EXPIRY,
+    }
+}
+
+/// Whether an item with deadline `deadline` is expired at store-clock
+/// `now_ns`. `NO_EXPIRY` never expires (it saturates the clock range).
+#[inline]
+pub fn is_expired(deadline: u64, now_ns: u64) -> bool {
+    deadline != NO_EXPIRY && deadline <= now_ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_ttl_means_no_expiry() {
+        assert_eq!(expires_at(123, 0), NO_EXPIRY);
+        assert!(!is_expired(NO_EXPIRY, u64::MAX - 1));
+    }
+
+    #[test]
+    fn deadline_is_absolute() {
+        let d = expires_at(1_000, 2); // 2 ms TTL
+        assert_eq!(d, 1_000 + 2_000_000);
+        assert!(!is_expired(d, d - 1));
+        assert!(is_expired(d, d));
+        assert!(is_expired(d, d + 1));
+    }
+
+    #[test]
+    fn overflow_saturates_to_never() {
+        assert_eq!(expires_at(u64::MAX - 5, u64::MAX / 1_000), NO_EXPIRY);
+        assert_eq!(expires_at(0, u64::MAX), NO_EXPIRY);
+    }
+}

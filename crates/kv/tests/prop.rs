@@ -2,7 +2,7 @@
 //! MICA-style store must agree with a plain `HashMap` executed
 //! sequentially, and pool accounting must balance when the store drains.
 
-use minos_kv::{Store, StoreConfig};
+use minos_kv::{CapacityConfig, Store, StoreConfig};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -35,6 +35,7 @@ proptest! {
             items_per_partition: 128,
             mempool_bytes: 4 << 20,
             max_value_bytes: 1 << 16,
+            capacity: CapacityConfig::default(),
         });
         let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
 

@@ -502,6 +502,7 @@ fn fragmented_puts_keep_rx_pool_bounded() {
                     body: Body::Put {
                         key: 5_000 + m,
                         value: bytes::Bytes::from(vec![(5_000 + m) as u8 % 251; LARGE_LEN]),
+                        ttl_ms: 0,
                     },
                 };
                 fragment_with_id(0xF00 + m, &msg.encode())

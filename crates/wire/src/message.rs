@@ -74,6 +74,17 @@ impl ReplyStatus {
     }
 }
 
+/// Flag bit in a `PutRequest`'s status byte (always zero before TTLs
+/// existed): when set, an 8-byte big-endian TTL in milliseconds trails
+/// the value. Old decoders never read a request's status byte, and old
+/// encoders always write it as zero, so the extension is
+/// back-compatible in both directions.
+pub const PUT_TTL_FLAG: u8 = 0x80;
+
+/// Length of the trailing TTL field a [`PUT_TTL_FLAG`]-carrying
+/// `PutRequest` appends after its value.
+pub const PUT_TTL_TAIL_LEN: usize = 8;
+
 /// Message body variants.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Body {
@@ -91,6 +102,9 @@ pub enum Body {
         key: u64,
         /// The value to store.
         value: Bytes,
+        /// Per-key time-to-live in milliseconds; `0` means the key never
+        /// expires (and nothing extra goes on the wire).
+        ttl_ms: u64,
     },
     /// DELETE request for `key`.
     Delete {
@@ -170,7 +184,15 @@ pub const MSG_HEADER_LEN: usize = 32;
 impl Message {
     /// Encoded size in bytes.
     pub fn encoded_len(&self) -> usize {
-        MSG_HEADER_LEN + self.value_len()
+        MSG_HEADER_LEN + self.value_len() + self.ttl_tail().map_or(0, |t| t.len())
+    }
+
+    /// The trailing TTL field, if this is a PUT carrying one.
+    fn ttl_tail(&self) -> Option<[u8; PUT_TTL_TAIL_LEN]> {
+        match &self.body {
+            Body::Put { ttl_ms, .. } if *ttl_ms > 0 => Some(ttl_ms.to_be_bytes()),
+            _ => None,
+        }
     }
 
     /// Length of the value payload carried (0 for value-less messages).
@@ -189,7 +211,10 @@ impl Message {
     fn encode_header<B: BufMut>(&self, buf: &mut B) -> Option<&Bytes> {
         let (status, key, value): (u8, u64, Option<&Bytes>) = match &self.body {
             Body::Get { key } => (0, *key, None),
-            Body::Put { key, value } => (0, *key, Some(value)),
+            Body::Put { key, value, ttl_ms } => {
+                let flags = if *ttl_ms > 0 { PUT_TTL_FLAG } else { 0 };
+                (flags, *key, Some(value))
+            }
             Body::Delete { key } => (0, *key, None),
             Body::GetReply { status, key, value } => (*status as u8, *key, Some(value)),
             Body::PutReply { status, key } => (*status as u8, *key, None),
@@ -211,6 +236,9 @@ impl Message {
         if let Some(value) = self.encode_header(&mut buf) {
             buf.put_slice(value);
         }
+        if let Some(tail) = self.ttl_tail() {
+            buf.put_slice(&tail);
+        }
         buf.freeze()
     }
 
@@ -224,6 +252,10 @@ impl Message {
         let mut frame = crate::TxFrame::new();
         if let Some(value) = self.encode_header(&mut frame) {
             frame.push_segment(value.clone());
+        }
+        if let Some(tail) = self.ttl_tail() {
+            // 8 bytes; a copy here is cheaper than a segment descriptor.
+            frame.push_segment(Bytes::copy_from_slice(&tail));
         }
         debug_assert_eq!(frame.len(), self.encoded_len());
         frame
@@ -257,12 +289,24 @@ impl Message {
         let client_ts_ns = h.get_u64();
         let key = h.get_u64();
         let value_len = h.get_u32() as usize;
-        if value.len() != value_len {
-            return None;
-        }
+        // A flagged PUT carries its TTL in a fixed tail after the value
+        // (kept out of value_len so size-based classification and
+        // streaming reservation sizing see the stored bytes only).
+        let (value, ttl_ms) = if kind == OpKind::PutRequest && status_raw & PUT_TTL_FLAG != 0 {
+            if value.len() != value_len + PUT_TTL_TAIL_LEN {
+                return None;
+            }
+            let tail: [u8; PUT_TTL_TAIL_LEN] = value[value_len..].try_into().ok()?;
+            (value.slice(..value_len), u64::from_be_bytes(tail))
+        } else {
+            if value.len() != value_len {
+                return None;
+            }
+            (value, 0)
+        };
         let body = match kind {
             OpKind::GetRequest => Body::Get { key },
-            OpKind::PutRequest => Body::Put { key, value },
+            OpKind::PutRequest => Body::Put { key, value, ttl_ms },
             OpKind::DeleteRequest => Body::Delete { key },
             OpKind::GetReply => Body::GetReply {
                 status: ReplyStatus::from_u8(status_raw)?,
@@ -330,6 +374,7 @@ mod tests {
             body: Body::Put {
                 key: 0xDEADBEEF,
                 value: Bytes::from(vec![0xAB; len]),
+                ttl_ms: 0,
             },
         }
     }
@@ -353,6 +398,39 @@ mod tests {
         let enc = m.encode();
         assert_eq!(enc.len(), MSG_HEADER_LEN + 1000);
         assert_eq!(Message::decode(enc).unwrap(), m);
+    }
+
+    #[test]
+    fn put_with_ttl_roundtrips_and_flags() {
+        let mut m = sample_put(100);
+        let Body::Put { ttl_ms, .. } = &mut m.body else {
+            unreachable!()
+        };
+        *ttl_ms = 30_000;
+        let enc = m.encode();
+        assert_eq!(enc.len(), MSG_HEADER_LEN + 100 + PUT_TTL_TAIL_LEN);
+        assert_eq!(enc[1], PUT_TTL_FLAG, "status byte carries the flag");
+        assert_eq!(
+            u32::from_be_bytes(enc[28..32].try_into().unwrap()),
+            100,
+            "value_len excludes the TTL tail"
+        );
+        let dec = Message::decode(enc.clone()).unwrap();
+        assert_eq!(dec, m);
+        // The scatter-gather frame is byte-identical.
+        assert_eq!(&m.encode_frame().to_contiguous().0[..], &enc[..]);
+        // A flagged PUT whose tail is missing is rejected.
+        assert!(Message::decode(enc.slice(..enc.len() - 1)).is_none());
+    }
+
+    #[test]
+    fn ttl_free_put_is_byte_identical_to_legacy() {
+        // ttl_ms == 0 must not change a single wire byte, so old
+        // decoders keep working against new encoders.
+        let m = sample_put(64);
+        let enc = m.encode();
+        assert_eq!(enc.len(), MSG_HEADER_LEN + 64);
+        assert_eq!(enc[1], 0, "no flag bit");
     }
 
     #[test]

@@ -33,6 +33,7 @@ fn bodies(len: usize, salt: u64, key: u64) -> Vec<Body> {
         Body::Put {
             key,
             value: value(len, salt),
+            ttl_ms: 0,
         },
         Body::GetReply {
             status: ReplyStatus::Ok,

@@ -26,6 +26,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 1 => Body::Put {
                     key,
                     value: Bytes::from(value),
+                    ttl_ms: 0,
                 },
                 2 => Body::Delete { key },
                 3 => Body::GetReply {

@@ -31,6 +31,9 @@ pub struct OpSpec {
     pub item_size: u64,
     /// Whether the key is in the large class.
     pub is_large: bool,
+    /// Per-key TTL carried on PUTs, in milliseconds (`0` = never
+    /// expires — the classic workloads; churn generators may set it).
+    pub ttl_ms: u64,
 }
 
 /// Generates requests against a [`Dataset`].
@@ -97,6 +100,7 @@ impl AccessGenerator {
             op,
             item_size: self.dataset.size_of(key),
             is_large,
+            ttl_ms: 0,
         }
     }
 }

@@ -1,0 +1,246 @@
+//! The churn workload: a working set deliberately larger than the
+//! server's mempool.
+//!
+//! The classic workloads ([`crate::access`]) model the paper's steady
+//! state — a dataset that fits in memory, preloaded once. Churn models
+//! the day the dataset *outgrows* the mempool: keys keep arriving, the
+//! store must shed something, and the interesting question is what the
+//! capacity-tiering subsystem does to tail latency while it sheds.
+//!
+//! The generator is deliberately simple and fully deterministic under a
+//! seed:
+//!
+//! * **Population**: `num_keys` keys, each with a fixed per-key size
+//!   drawn uniformly from `[value_min, value_max]` by a per-key hash
+//!   (same device as [`crate::Dataset`]), so
+//!   [`ChurnGenerator::working_set_bytes`] is an exact property of the
+//!   config, not of a run.
+//! * **Reuse**: key popularity is zipfian(`zipf_s`) with ranks
+//!   scattered over the id space, so a hot set exists for eviction
+//!   policies to protect — one-touch uniform churn would make every
+//!   policy look the same.
+//! * **Mix**: PUT-heavy by default (`get_ratio` 0.5): churn is about
+//!   writes forcing occupancy, but the GETs are what re-reference the
+//!   hot set and what the latency figures measure.
+//! * **TTL**: `ttl_ms` is stamped on every PUT when non-zero, so the
+//!   same generator drives pure-eviction runs (`ttl_ms = 0`) and
+//!   expiry-assisted runs.
+
+use crate::access::{OpSpec, Operation};
+use crate::rng::Rng;
+use crate::sizes::LARGE_MIN;
+use crate::zipf::Zipf;
+
+/// Configuration of the churn workload.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnConfig {
+    /// Key population. Key ids are `0..num_keys`.
+    pub num_keys: u64,
+    /// Smallest per-key value size in bytes.
+    pub value_min: u64,
+    /// Largest per-key value size in bytes (inclusive). Keep this below
+    /// the server's admission cutoff if the run must stay reject-free.
+    pub value_max: u64,
+    /// Zipf exponent of key reuse (0.99 = YCSB default skew; 0 =
+    /// uniform, i.e. no hot set).
+    pub zipf_s: f64,
+    /// Fraction of operations that are GETs.
+    pub get_ratio: f64,
+    /// TTL stamped on every PUT, in milliseconds (`0` = never expires).
+    pub ttl_ms: u64,
+    /// Salt mixed into the per-key size hash.
+    pub salt: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            num_keys: 100_000,
+            value_min: 64,
+            value_max: 4096,
+            zipf_s: 0.99,
+            get_ratio: 0.5,
+            ttl_ms: 0,
+            salt: 0,
+        }
+    }
+}
+
+/// Generates churn requests.
+#[derive(Clone, Debug)]
+pub struct ChurnGenerator {
+    cfg: ChurnConfig,
+    zipf: Zipf,
+}
+
+impl ChurnGenerator {
+    /// Creates a generator. Panics on an empty population, an inverted
+    /// size range, or an out-of-range `get_ratio`.
+    pub fn new(cfg: ChurnConfig) -> Self {
+        assert!(cfg.num_keys > 0, "churn needs keys");
+        assert!(cfg.value_min > 0 && cfg.value_min <= cfg.value_max);
+        assert!((0.0..=1.0).contains(&cfg.get_ratio));
+        let zipf = Zipf::new(cfg.num_keys, cfg.zipf_s);
+        ChurnGenerator { cfg, zipf }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ChurnConfig {
+        &self.cfg
+    }
+
+    /// The fixed size of `key`'s value: uniform in
+    /// `[value_min, value_max]`, deterministic per key.
+    pub fn size_of(&self, key: u64) -> u64 {
+        debug_assert!(key < self.cfg.num_keys);
+        let span = self.cfg.value_max - self.cfg.value_min + 1;
+        // SplitMix64 over (key, salt); same device as `Dataset`.
+        let mut z = key
+            .wrapping_mul(0xA24BAED4963EE407)
+            .wrapping_add(self.cfg.salt);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.cfg.value_min + (unit * span as f64) as u64
+    }
+
+    /// The exact working-set size in bytes: the sum of every key's
+    /// value size. O(`num_keys`) — computed once when sizing a run
+    /// against a mempool, not per operation.
+    pub fn working_set_bytes(&self) -> u64 {
+        (0..self.cfg.num_keys).map(|k| self.size_of(k)).sum()
+    }
+
+    /// Draws the next request. The zipf rank is scattered over the id
+    /// space by the same bijective mix [`crate::Dataset`] uses, so hot
+    /// keys land in different store partitions.
+    pub fn next_op(&self, rng: &mut Rng) -> OpSpec {
+        let rank = self.zipf.sample(rng) - 1; // ranks are 1-based
+        let key = self.scatter(rank);
+        let op = if rng.chance(self.cfg.get_ratio) {
+            Operation::Get
+        } else {
+            Operation::Put
+        };
+        let item_size = self.size_of(key);
+        OpSpec {
+            key,
+            op,
+            item_size,
+            is_large: item_size >= LARGE_MIN,
+            ttl_ms: match op {
+                Operation::Put => self.cfg.ttl_ms,
+                Operation::Get => 0,
+            },
+        }
+    }
+
+    /// The id of the `rank`-th most popular key (bijective on
+    /// `[0, num_keys)`).
+    pub fn scatter(&self, rank: u64) -> u64 {
+        debug_assert!(rank < self.cfg.num_keys);
+        let span = self.cfg.num_keys;
+        let m = span.next_power_of_two();
+        let mut x = rank;
+        loop {
+            x = x.wrapping_mul(0x9E3779B97F4A7C15) & (m - 1);
+            if x < span {
+                return x;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generator() -> ChurnGenerator {
+        ChurnGenerator::new(ChurnConfig {
+            num_keys: 10_000,
+            value_min: 64,
+            value_max: 4096,
+            ..ChurnConfig::default()
+        })
+    }
+
+    #[test]
+    fn working_set_is_exact_and_near_uniform_mean() {
+        let g = generator();
+        let total = g.working_set_bytes();
+        assert_eq!(total, (0..10_000).map(|k| g.size_of(k)).sum::<u64>());
+        let mean = total as f64 / 10_000.0;
+        assert!((mean - 2080.0).abs() < 60.0, "uniform mean, got {mean}");
+    }
+
+    #[test]
+    fn sizes_are_deterministic_and_bounded() {
+        let g = generator();
+        for key in 0..10_000 {
+            let s = g.size_of(key);
+            assert_eq!(s, g.size_of(key));
+            assert!((64..=4096).contains(&s), "key {key} size {s}");
+        }
+    }
+
+    #[test]
+    fn scatter_is_bijective() {
+        let g = generator();
+        let mut seen = std::collections::HashSet::new();
+        for rank in 0..10_000 {
+            let k = g.scatter(rank);
+            assert!(k < 10_000);
+            assert!(seen.insert(k), "rank {rank} collided");
+        }
+    }
+
+    #[test]
+    fn reuse_is_skewed() {
+        let g = generator();
+        let mut rng = Rng::new(9);
+        let mut counts = std::collections::HashMap::new();
+        let n = 100_000;
+        for _ in 0..n {
+            *counts.entry(g.next_op(&mut rng).key).or_insert(0u64) += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        let uniform = n as f64 / 10_000.0;
+        assert!(max as f64 > uniform * 50.0, "hot key {max} vs {uniform}");
+    }
+
+    #[test]
+    fn ttl_rides_only_on_puts() {
+        let g = ChurnGenerator::new(ChurnConfig {
+            num_keys: 100,
+            ttl_ms: 250,
+            ..ChurnConfig::default()
+        });
+        let mut rng = Rng::new(3);
+        let (mut puts, mut gets) = (0, 0);
+        for _ in 0..1000 {
+            let op = g.next_op(&mut rng);
+            match op.op {
+                Operation::Put => {
+                    assert_eq!(op.ttl_ms, 250);
+                    puts += 1;
+                }
+                Operation::Get => {
+                    assert_eq!(op.ttl_ms, 0);
+                    gets += 1;
+                }
+            }
+        }
+        assert!(puts > 0 && gets > 0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = generator();
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(g.next_op(&mut a), g.next_op(&mut b));
+        }
+    }
+}

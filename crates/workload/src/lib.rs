@@ -21,11 +21,17 @@
 //! workload); [`dynamic`] builds the time-varying `p_L` schedule of
 //! Figure 10. [`rng`] provides the deterministic generator (xoshiro256++
 //! seeded via SplitMix64) everything runs on.
+//!
+//! [`churn`] is the odd one out: a working set deliberately larger than
+//! the server's mempool (zipfian reuse, per-key sizes, optional TTLs),
+//! built to exercise the capacity-tiering subsystem rather than the
+//! paper's steady state.
 
 #![warn(missing_docs)]
 
 pub mod access;
 pub mod arrival;
+pub mod churn;
 pub mod dataset;
 pub mod dynamic;
 pub mod profiles;
@@ -35,6 +41,7 @@ pub mod zipf;
 
 pub use access::{AccessGenerator, OpSpec, Operation};
 pub use arrival::OpenLoop;
+pub use churn::{ChurnConfig, ChurnGenerator};
 pub use dataset::Dataset;
 pub use dynamic::PhaseSchedule;
 pub use profiles::{Profile, DEFAULT_PROFILE, TABLE1_PROFILES};

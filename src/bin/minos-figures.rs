@@ -24,7 +24,8 @@
 //! ```
 
 use minos::core::dispatch::DisciplineKind;
-use minos::figures::{run_sweep_resuming, Policy, SweepConfig, SweepPoint};
+use minos::figures::{run_sweep_resuming, ChurnSweepSpec, Policy, SweepConfig, SweepPoint};
+use minos::kv::EvictionPolicy;
 use minos::obs::JsonValue;
 use minos::workload::{profiles, DEFAULT_PROFILE};
 use std::time::Duration;
@@ -56,11 +57,22 @@ OPTIONS:
                           (default 9500); instance i of the
                           (policy x discipline) enumeration binds cores
                           ports from P + i*cores
+    --churn-mem BYTES     churn mode: replace the paper profile with the
+                          churn workload (zipfian reuse, --keys
+                          population) against a BYTES-sized mempool that
+                          the working set outgrows; minos-only
+    --evictions LIST      comma list of eviction policies the churn
+                          sweep compares, one server instance each
+                          (none,clock,size-aware-clock; default
+                          clock,size-aware-clock); needs --churn-mem
+    --churn-value-min B   smallest churn value in bytes (default 64)
+    --churn-value-max B   largest churn value in bytes (default 4096)
+    --churn-ttl-ms MS     TTL stamped on every churn PUT (default 0)
     --out FILE            also write the sweep as a JSON array to FILE
-    --resume              skip (policy, discipline, rate) points already
-                          present in --out and carry them into the new
-                          file, so an interrupted sweep continues where
-                          it stopped
+    --resume              skip (policy, discipline, eviction, rate)
+                          points already present in --out and carry them
+                          into the new file, so an interrupted sweep
+                          continues where it stopped
     -h, --help            this help
 ";
 
@@ -70,6 +82,12 @@ fn parse() -> Result<(SweepConfig, Option<String>, bool), String> {
     let mut resume = false;
     let mut p_large_override: Option<f64> = None;
     let mut s_large_override: Option<u64> = None;
+    let mut churn_mem: Option<usize> = None;
+    let mut evictions = vec![EvictionPolicy::Clock, EvictionPolicy::SizeAwareClock];
+    let mut evictions_given = false;
+    let mut churn_value_min = 64u64;
+    let mut churn_value_max = 4096u64;
+    let mut churn_ttl_ms = 0u64;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
@@ -164,6 +182,39 @@ fn parse() -> Result<(SweepConfig, Option<String>, bool), String> {
                     .parse()
                     .map_err(|e| format!("--base-port: {e}"))?
             }
+            "--churn-mem" => {
+                churn_mem = Some(
+                    value("--churn-mem")?
+                        .parse()
+                        .map_err(|e| format!("--churn-mem: {e}"))?,
+                )
+            }
+            "--evictions" => {
+                evictions_given = true;
+                evictions = value("--evictions")?
+                    .split(',')
+                    .map(|p| {
+                        EvictionPolicy::from_name(p.trim()).ok_or_else(|| {
+                            format!("unknown eviction policy: {p} (none|clock|size-aware-clock)")
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--churn-value-min" => {
+                churn_value_min = value("--churn-value-min")?
+                    .parse()
+                    .map_err(|e| format!("--churn-value-min: {e}"))?
+            }
+            "--churn-value-max" => {
+                churn_value_max = value("--churn-value-max")?
+                    .parse()
+                    .map_err(|e| format!("--churn-value-max: {e}"))?
+            }
+            "--churn-ttl-ms" => {
+                churn_ttl_ms = value("--churn-ttl-ms")?
+                    .parse()
+                    .map_err(|e| format!("--churn-ttl-ms: {e}"))?
+            }
             "--out" => out = Some(value("--out")?),
             "--resume" => resume = true,
             "-h" | "--help" => {
@@ -190,6 +241,22 @@ fn parse() -> Result<(SweepConfig, Option<String>, bool), String> {
             return Err("--s-large must be positive".into());
         }
         cfg.profile.large_max = s;
+    }
+    match churn_mem {
+        Some(mempool_bytes) => {
+            cfg.policies = vec![Policy::Minos];
+            cfg.churn = Some(ChurnSweepSpec {
+                mempool_bytes,
+                evictions,
+                value_min: churn_value_min,
+                value_max: churn_value_max,
+                ttl_ms: churn_ttl_ms,
+            });
+        }
+        None if evictions_given => {
+            return Err("--evictions needs --churn-mem (churn mode)".into());
+        }
+        None => {}
     }
     Ok((cfg, out, resume))
 }
@@ -248,6 +315,21 @@ fn main() {
         cfg.keys,
         cfg.large_keys,
     );
+    if let Some(churn) = &cfg.churn {
+        eprintln!(
+            "minos-figures: churn mode — {} byte mempool, values {}..{} B, ttl {} ms, evictions {}",
+            churn.mempool_bytes,
+            churn.value_min,
+            churn.value_max,
+            churn.ttl_ms,
+            churn
+                .evictions
+                .iter()
+                .map(|e| e.name())
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+    }
 
     let points = run_sweep_resuming(&cfg, &existing, |point| {
         // Stream each point as it lands, JSONL: the knee is visible

@@ -43,7 +43,8 @@ use minos::obs::{MetricsRegistry, Snapshot};
 use minos::report::{self, JsonObj};
 use minos::stats::{LatencyHistogram, Quantiles};
 use minos::workload::{
-    AccessGenerator, Dataset, OpSpec, OpenLoop, Operation, Profile, Rng, DEFAULT_PROFILE,
+    AccessGenerator, ChurnConfig, ChurnGenerator, Dataset, OpSpec, OpenLoop, Operation, Profile,
+    Rng, DEFAULT_PROFILE,
 };
 use std::net::Ipv4Addr;
 use std::sync::Arc;
@@ -61,6 +62,7 @@ struct Args {
     keys: u64,
     large_keys: u64,
     seed: u64,
+    churn: Option<ChurnConfig>,
     preload: bool,
     retry: Option<RetryPolicy>,
     pin_base: Option<usize>,
@@ -93,6 +95,19 @@ OPTIONS:
     --keys N               dataset size in keys (default 100000)
     --large-keys N         number of large keys (default 100)
     --seed S               RNG seed (default 42)
+    --churn                churn mode: a zipfian-reuse working set meant
+                           to outgrow the server's mempool (pair with a
+                           small server --mem and an --eviction-policy).
+                           Replaces the paper profile; --keys sets the
+                           population, the profile's GET ratio and zipf
+                           skew still apply; no preload (the run builds
+                           its own working set)
+    --churn-value-min B    smallest churn value in bytes (default 64)
+    --churn-value-max B    largest churn value in bytes (default 4096;
+                           keep below the server's admission cutoff for
+                           a reject-free run)
+    --churn-ttl-ms MS      TTL stamped on every churn PUT (default 0 =
+                           never expires)
     --no-preload           skip the PUT preload phase
     --retry-timeout-ms MS  resend a request unanswered for MS ms (default
                            off: the paper's strict zero-loss mode)
@@ -125,6 +140,7 @@ fn parse_args() -> Result<Args, String> {
         keys: 100_000,
         large_keys: 100,
         seed: 42,
+        churn: None,
         preload: true,
         retry: None,
         pin_base: None,
@@ -136,6 +152,10 @@ fn parse_args() -> Result<Args, String> {
     let mut retry_timeout_ms = 0u64;
     let mut max_retries = 8u32;
     let mut p_large_override: Option<f64> = None;
+    let mut churn = false;
+    let mut churn_value_min = 64u64;
+    let mut churn_value_max = 4096u64;
+    let mut churn_ttl_ms = 0u64;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
@@ -199,6 +219,22 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?
             }
+            "--churn" => churn = true,
+            "--churn-value-min" => {
+                churn_value_min = value("--churn-value-min")?
+                    .parse()
+                    .map_err(|e| format!("--churn-value-min: {e}"))?
+            }
+            "--churn-value-max" => {
+                churn_value_max = value("--churn-value-max")?
+                    .parse()
+                    .map_err(|e| format!("--churn-value-max: {e}"))?
+            }
+            "--churn-ttl-ms" => {
+                churn_ttl_ms = value("--churn-ttl-ms")?
+                    .parse()
+                    .map_err(|e| format!("--churn-ttl-ms: {e}"))?
+            }
             "--no-preload" => args.preload = false,
             "--retry-timeout-ms" => {
                 retry_timeout_ms = value("--retry-timeout-ms")?
@@ -259,6 +295,23 @@ fn parse_args() -> Result<Args, String> {
             max_retries,
         });
     }
+    if churn {
+        if churn_value_min == 0 || churn_value_min > churn_value_max {
+            return Err(format!(
+                "churn needs 0 < --churn-value-min ({churn_value_min}) <= --churn-value-max ({churn_value_max})"
+            ));
+        }
+        args.churn = Some(ChurnConfig {
+            num_keys: args.keys,
+            value_min: churn_value_min,
+            value_max: churn_value_max,
+            zipf_s: args.profile.zipf_s,
+            get_ratio: args.profile.get_ratio,
+            ttl_ms: churn_ttl_ms,
+            salt: args.seed,
+        });
+        args.preload = false;
+    }
     Ok(args)
 }
 
@@ -293,6 +346,43 @@ fn make_client(args: &Args, client_id: u16) -> (Arc<UdpTransport>, Client) {
         client = client.with_retry(policy);
     }
     (transport, client)
+}
+
+/// The per-thread request source: the paper's access generator, or the
+/// churn generator when `--churn` is in force.
+enum Generator {
+    Access(AccessGenerator),
+    Churn(ChurnGenerator),
+}
+
+impl Generator {
+    fn next_op(&self, rng: &mut Rng) -> OpSpec {
+        match self {
+            Generator::Access(g) => g.next_op(rng),
+            Generator::Churn(g) => g.next_op(rng),
+        }
+    }
+}
+
+fn make_generator(args: &Args) -> Generator {
+    match args.churn {
+        Some(cfg) => Generator::Churn(ChurnGenerator::new(cfg)),
+        None => {
+            let dataset = Dataset::new(
+                args.keys,
+                args.large_keys,
+                0.4, // the paper's tiny fraction
+                args.profile.large_max,
+                args.seed,
+            );
+            Generator::Access(AccessGenerator::new(
+                dataset,
+                args.profile.p_large,
+                args.profile.get_ratio,
+                args.profile.zipf_s,
+            ))
+        }
+    }
 }
 
 /// What one measured client thread hands back for merging.
@@ -336,19 +426,7 @@ fn run_client(args: &Args, client_idx: u16) -> ClientReport {
     }
     // Client ids 1..=N (the preloader uses 99 + N).
     let (transport, mut client) = make_client(args, 1 + client_idx);
-    let dataset = Dataset::new(
-        args.keys,
-        args.large_keys,
-        0.4, // the paper's tiny fraction
-        args.profile.large_max,
-        args.seed,
-    );
-    let generator = AccessGenerator::new(
-        dataset,
-        args.profile.p_large,
-        args.profile.get_ratio,
-        args.profile.zipf_s,
-    );
+    let generator = make_generator(args);
 
     let rate = args.rate / f64::from(args.clients);
     // The injection schedule lives on the *client's* clock so each
@@ -503,6 +581,19 @@ fn main() {
             None => ", zero-loss mode".into(),
         },
     );
+
+    if let Some(cfg) = &args.churn {
+        let ws = ChurnGenerator::new(*cfg).working_set_bytes();
+        human!(
+            args,
+            "churn mode: {} keys x {}..{} bytes = {} byte working set, ttl {} ms, no preload",
+            cfg.num_keys,
+            cfg.value_min,
+            cfg.value_max,
+            ws,
+            cfg.ttl_ms,
+        );
+    }
 
     // ---- Preload: PUT every key at its dataset size so GETs hit.
     // A separate client keeps the measured latency histograms clean. ----
@@ -900,6 +991,19 @@ fn json_report(args: &Args, reports: &[ClientReport], t: JsonTotals, server_stat
         .u64("reassembly_evictions", t.reassembly_evictions)
         .u64("reply_copied_bytes", t.reply_copied_bytes)
         .finish();
+    let churn = match &args.churn {
+        None => "null".to_string(),
+        Some(cfg) => JsonObj::new()
+            .u64("keys", cfg.num_keys)
+            .u64("value_min", cfg.value_min)
+            .u64("value_max", cfg.value_max)
+            .u64("ttl_ms", cfg.ttl_ms)
+            .u64(
+                "working_set_bytes",
+                ChurnGenerator::new(*cfg).working_set_bytes(),
+            )
+            .finish(),
+    };
     JsonObj::new()
         .f64("offered_rate", args.rate, 1)
         .u64("clients", u64::from(args.clients))
@@ -929,6 +1033,7 @@ fn json_report(args: &Args, reports: &[ClientReport], t: JsonTotals, server_stat
         .raw("coalescing", &coalescing)
         .raw("pool", &pool)
         .raw("client", &client)
+        .raw("churn", &churn)
         .raw("metrics", &metrics_json(&t, pool_hit_rate))
         .raw("server_stats", server_stats)
         .raw("per_client", &format!("[{}]", per_client.join(",")))

@@ -32,6 +32,7 @@
 use minos::core::config::ThresholdMode;
 use minos::core::dispatch::DisciplineKind;
 use minos::core::server::{MinosServer, ServerConfig};
+use minos::kv::{CapacityConfig, EvictionPolicy};
 use minos::net::{Transport, UdpConfig, UdpTransport};
 use minos::report;
 use std::io::Write;
@@ -46,6 +47,10 @@ struct Args {
     base_port: u16,
     items: usize,
     mempool_bytes: usize,
+    eviction: EvictionPolicy,
+    evict_high: f64,
+    evict_low: f64,
+    evict_headroom: usize,
     threshold: ThresholdMode,
     discipline: DisciplineKind,
     steal: bool,
@@ -100,6 +105,19 @@ OPTIONS:
     --port BASE        base UDP port; core q listens on BASE+q (default 9000)
     --items N          store capacity in items (default 1000000)
     --mem BYTES        value-memory budget (default 2147483648 = 2 GiB)
+    --eviction-policy P
+                       capacity tiering when the dataset outgrows --mem:
+                       'none' (default: over-capacity PUTs get
+                       OutOfMemory), 'clock' (second-chance eviction to
+                       the low watermark), or 'size-aware-clock' (clock,
+                       preferring the largest unreferenced victim)
+    --evict-high F     high watermark as a fraction of --mem; eviction
+                       starts above it (default 0.90)
+    --evict-low F      low watermark: eviction passes drain occupancy
+                       down to this fraction (default 0.80)
+    --evict-headroom BYTES
+                       absolute floor: the high watermark never sits
+                       closer than BYTES below --mem (default 0)
     --threshold MODE   'dynamic' (paper control loop, default) or a fixed
                        byte threshold, e.g. '--threshold 1456'
     --discipline NAME  queue discipline placing decoded requests on
@@ -131,6 +149,10 @@ fn parse_args() -> Result<Args, String> {
         base_port: 9000,
         items: 1_000_000,
         mempool_bytes: 2 << 30,
+        eviction: EvictionPolicy::None,
+        evict_high: CapacityConfig::default().high_fraction,
+        evict_low: CapacityConfig::default().low_fraction,
+        evict_headroom: CapacityConfig::default().min_headroom_bytes,
         threshold: ThresholdMode::Dynamic,
         discipline: DisciplineKind::SizeAware,
         steal: false,
@@ -168,6 +190,27 @@ fn parse_args() -> Result<Args, String> {
             }
             "--mem" => {
                 args.mempool_bytes = value("--mem")?.parse().map_err(|e| format!("--mem: {e}"))?
+            }
+            "--eviction-policy" => {
+                let v = value("--eviction-policy")?;
+                args.eviction = EvictionPolicy::from_name(&v).ok_or_else(|| {
+                    format!("unknown eviction policy: {v} (none|clock|size-aware-clock)")
+                })?;
+            }
+            "--evict-high" => {
+                args.evict_high = value("--evict-high")?
+                    .parse()
+                    .map_err(|e| format!("--evict-high: {e}"))?
+            }
+            "--evict-low" => {
+                args.evict_low = value("--evict-low")?
+                    .parse()
+                    .map_err(|e| format!("--evict-low: {e}"))?
+            }
+            "--evict-headroom" => {
+                args.evict_headroom = value("--evict-headroom")?
+                    .parse()
+                    .map_err(|e| format!("--evict-headroom: {e}"))?
             }
             "--threshold" => {
                 let v = value("--threshold")?;
@@ -228,6 +271,12 @@ fn parse_args() -> Result<Args, String> {
         return Err(format!(
             "--port {} + {} cores exceeds 65535",
             args.base_port, args.cores
+        ));
+    }
+    if !(0.0 < args.evict_low && args.evict_low <= args.evict_high && args.evict_high <= 1.0) {
+        return Err(format!(
+            "watermarks need 0 < --evict-low ({}) <= --evict-high ({}) <= 1",
+            args.evict_low, args.evict_high
         ));
     }
     Ok(args)
@@ -306,6 +355,13 @@ fn main() {
     config.minos.epoch_ns = 1_000_000_000; // the paper's 1 s epochs
     config.store =
         minos::kv::StoreConfig::for_items(args.cores * 4, args.items, args.mempool_bytes);
+    config.store.capacity = CapacityConfig {
+        policy: args.eviction,
+        high_fraction: args.evict_high,
+        low_fraction: args.evict_low,
+        min_headroom_bytes: args.evict_headroom,
+        ..CapacityConfig::default()
+    };
     config.pin_cpus = args
         .pin_base
         .map(|base| (base..base + args.cores).collect());
@@ -327,6 +383,21 @@ fn main() {
             None => String::new(),
         },
     );
+    if args.eviction != EvictionPolicy::None {
+        human!(
+            args,
+            "capacity tiering: {} eviction, watermarks {:.0}%/{:.0}% of {} bytes{}",
+            args.eviction.name(),
+            args.evict_high * 100.0,
+            args.evict_low * 100.0,
+            args.mempool_bytes,
+            if args.evict_headroom > 0 {
+                format!(", headroom floor {} bytes", args.evict_headroom)
+            } else {
+                String::new()
+            },
+        );
+    }
     human!(args, "press Ctrl-C to drain and exit");
 
     let mut stats_sink = match StatsSink::open(&args) {

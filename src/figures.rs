@@ -25,11 +25,15 @@ use crate::baselines::sho::ShoServer;
 use crate::core::client::Client;
 use crate::core::dispatch::DisciplineKind;
 use crate::core::server::{MinosServer, ServerConfig};
+use crate::kv::{CapacityConfig, EvictionPolicy};
 use crate::net::{endpoint_for, Transport, UdpConfig, UdpTransport};
 use crate::obs::JsonValue;
 use crate::report::{quantiles_json, JsonObj};
 use crate::stats::{LatencyHistogram, Quantiles};
-use crate::workload::{AccessGenerator, Dataset, OpSpec, OpenLoop, Profile, Rng, DEFAULT_PROFILE};
+use crate::workload::{
+    AccessGenerator, ChurnConfig, ChurnGenerator, Dataset, OpSpec, OpenLoop, Profile, Rng,
+    DEFAULT_PROFILE,
+};
 use std::net::Ipv4Addr;
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
@@ -110,6 +114,44 @@ pub struct SweepConfig {
     /// How long each point may wait for in-flight replies after its
     /// measured window closes.
     pub drain_timeout: Duration,
+    /// Churn mode: when set, the sweep offers the churn workload (a
+    /// working set outgrowing `mempool_bytes`) to one Minos instance
+    /// per configured eviction policy instead of the paper profile.
+    pub churn: Option<ChurnSweepSpec>,
+}
+
+/// The churn-sweep dials: how tight the mempool is and which eviction
+/// policies compete over it.
+#[derive(Clone, Debug)]
+pub struct ChurnSweepSpec {
+    /// Server mempool budget in bytes — sized *below* the churn working
+    /// set, or there is nothing to evict.
+    pub mempool_bytes: usize,
+    /// Eviction policies to sweep; each gets its own server instance.
+    pub evictions: Vec<EvictionPolicy>,
+    /// Smallest churn value in bytes.
+    pub value_min: u64,
+    /// Largest churn value in bytes (inclusive; keep below the
+    /// admission cutoff for a reject-free run).
+    pub value_max: u64,
+    /// TTL stamped on every churn PUT (0 = never expires).
+    pub ttl_ms: u64,
+}
+
+impl ChurnSweepSpec {
+    /// The churn generator config this spec induces under `cfg`'s keys,
+    /// profile, and seed.
+    fn generator_config(&self, cfg: &SweepConfig) -> ChurnConfig {
+        ChurnConfig {
+            num_keys: cfg.keys,
+            value_min: self.value_min,
+            value_max: self.value_max,
+            zipf_s: cfg.profile.zipf_s,
+            get_ratio: cfg.profile.get_ratio,
+            ttl_ms: self.ttl_ms,
+            salt: cfg.seed,
+        }
+    }
 }
 
 impl SweepConfig {
@@ -130,6 +172,7 @@ impl SweepConfig {
             seed: 42,
             base_port,
             drain_timeout: Duration::from_secs(5),
+            churn: None,
         }
     }
 
@@ -137,6 +180,14 @@ impl SweepConfig {
         assert!(!self.policies.is_empty(), "at least one policy");
         assert!(!self.rates.is_empty(), "at least one rate");
         assert!(!self.disciplines.is_empty(), "at least one discipline");
+        if let Some(churn) = &self.churn {
+            assert!(
+                self.policies.iter().all(|&p| p == Policy::Minos),
+                "churn sweeps compare eviction policies on the Minos engine only"
+            );
+            assert!(!churn.evictions.is_empty(), "at least one eviction policy");
+            assert!(churn.value_min > 0 && churn.value_min <= churn.value_max);
+        }
         assert!(self.cores >= 1, "at least one core");
         assert!(self.clients >= 1, "at least one client");
         assert!(
@@ -157,14 +208,23 @@ impl SweepConfig {
     }
 
     /// The server instances this sweep runs, in port order: every
-    /// configured discipline of the Minos engine, and one builtin
-    /// instance per baseline policy.
-    fn instances(&self) -> Vec<(Policy, Option<DisciplineKind>)> {
+    /// configured discipline of the Minos engine (crossed with every
+    /// eviction policy in churn mode), and one builtin instance per
+    /// baseline policy.
+    fn instances(&self) -> Vec<(Policy, Option<DisciplineKind>, EvictionPolicy)> {
+        let evictions: &[EvictionPolicy] = match &self.churn {
+            Some(c) => &c.evictions,
+            None => &[EvictionPolicy::None],
+        };
         let mut out = Vec::new();
         for &policy in &self.policies {
             match policy {
-                Policy::Minos => out.extend(self.disciplines.iter().map(|&d| (policy, Some(d)))),
-                Policy::Hkh | Policy::Sho => out.push((policy, None)),
+                Policy::Minos => {
+                    for &d in &self.disciplines {
+                        out.extend(evictions.iter().map(|&ev| (policy, Some(d), ev)));
+                    }
+                }
+                Policy::Hkh | Policy::Sho => out.push((policy, None, EvictionPolicy::None)),
             }
         }
         out
@@ -176,6 +236,10 @@ impl SweepConfig {
 /// for pre-discipline sweep files).
 pub const BUILTIN_DISCIPLINE: &str = "builtin";
 
+/// The eviction label of a classic (non-churn) sweep point, and the
+/// parse default for pre-capacity sweep files.
+pub const NO_EVICTION: &str = "none";
+
 fn discipline_label(discipline: Option<DisciplineKind>) -> &'static str {
     discipline
         .map(DisciplineKind::name)
@@ -186,7 +250,19 @@ fn discipline_label(discipline: Option<DisciplineKind>) -> &'static str {
 /// `--resume` skips a point when an already-written point has the same
 /// key. The rate is compared at the writer's one-decimal precision.
 pub fn point_key(policy: &str, discipline: &str, offered_rate: f64) -> String {
-    format!("{policy}/{discipline}@{offered_rate:.1}")
+    point_key_ev(policy, discipline, NO_EVICTION, offered_rate)
+}
+
+/// [`point_key`] with the eviction-policy dimension: churn-sweep points
+/// append `+{eviction}` so `clock` and `size-aware-clock` runs of the
+/// same engine and rate stay distinct under `--resume`. Classic points
+/// (`eviction == "none"`) keep their historical key unchanged.
+pub fn point_key_ev(policy: &str, discipline: &str, eviction: &str, offered_rate: f64) -> String {
+    if eviction == NO_EVICTION {
+        format!("{policy}/{discipline}@{offered_rate:.1}")
+    } else {
+        format!("{policy}/{discipline}+{eviction}@{offered_rate:.1}")
+    }
 }
 
 /// One measured `(policy, offered rate)` point — the JSON record schema
@@ -198,6 +274,9 @@ pub struct SweepPoint {
     /// Queue discipline name ([`DisciplineKind::name`] for Minos,
     /// [`BUILTIN_DISCIPLINE`] for the baselines).
     pub discipline: String,
+    /// Eviction policy name ([`EvictionPolicy::name`]) for churn-sweep
+    /// points; [`NO_EVICTION`] for classic rate-sweep points.
+    pub eviction: String,
     /// Offered rate, requests/second (aggregate across clients).
     pub offered_rate: f64,
     /// Measured window, seconds.
@@ -250,6 +329,7 @@ impl SweepPoint {
         JsonObj::new()
             .str("policy", &self.policy)
             .str("discipline", &self.discipline)
+            .str("eviction", &self.eviction)
             .f64("offered_rate", self.offered_rate, 1)
             .f64("duration_s", self.duration_s, 3)
             .u64("clients", self.clients)
@@ -292,6 +372,13 @@ impl SweepPoint {
                 .and_then(|x| x.as_str())
                 .unwrap_or(BUILTIN_DISCIPLINE)
                 .to_string(),
+            // Pre-capacity sweep files (PRs 7–8) have no eviction
+            // field; their points read back as eviction-free.
+            eviction: v
+                .get("eviction")
+                .and_then(|x| x.as_str())
+                .unwrap_or(NO_EVICTION)
+                .to_string(),
             offered_rate: f64_of("offered_rate")?,
             duration_s: f64_of("duration_s")?,
             clients: u64_of("clients")?,
@@ -313,9 +400,14 @@ impl SweepPoint {
         })
     }
 
-    /// This point's [`point_key`] — its identity under `--resume`.
+    /// This point's [`point_key_ev`] — its identity under `--resume`.
     pub fn key(&self) -> String {
-        point_key(&self.policy, &self.discipline, self.offered_rate)
+        point_key_ev(
+            &self.policy,
+            &self.discipline,
+            &self.eviction,
+            self.offered_rate,
+        )
     }
 }
 
@@ -350,6 +442,7 @@ impl RunningServer {
     fn start(
         policy: Policy,
         discipline: Option<DisciplineKind>,
+        eviction: EvictionPolicy,
         cfg: &SweepConfig,
         transport: Arc<UdpTransport>,
     ) -> RunningServer {
@@ -371,6 +464,19 @@ impl RunningServer {
                 config.minos.epoch_ns = 1_000_000_000;
                 config.minos.discipline = discipline.unwrap_or(DisciplineKind::SizeAware);
                 config.store.max_value_bytes = config.store.max_value_bytes.max(max_value);
+                if let Some(churn) = &cfg.churn {
+                    // The churn sweep's whole point: a mempool smaller
+                    // than the working set, with eviction to survive it.
+                    config.store = crate::kv::StoreConfig::for_items(
+                        cfg.cores * 4,
+                        n_items,
+                        churn.mempool_bytes,
+                    );
+                    config.store.capacity = CapacityConfig {
+                        policy: eviction,
+                        ..CapacityConfig::default()
+                    };
+                }
                 RunningServer::Minos(MinosServer::start_with_transport(config, transport))
             }
             Policy::Hkh => {
@@ -486,19 +592,32 @@ fn run_point_client(
     barrier: &Barrier,
 ) -> PointReport {
     let (transport, mut client) = bind_client(cfg, policy, server_port, 1 + client_idx);
-    let dataset = Dataset::new(
-        cfg.keys,
-        cfg.large_keys,
-        0.4,
-        cfg.profile.large_max,
-        cfg.seed,
-    );
-    let generator = AccessGenerator::new(
-        dataset,
-        cfg.profile.p_large,
-        cfg.profile.get_ratio,
-        cfg.profile.zipf_s,
-    );
+    enum Generator {
+        Access(AccessGenerator),
+        Churn(ChurnGenerator),
+    }
+    let generator = match &cfg.churn {
+        Some(churn) => Generator::Churn(ChurnGenerator::new(churn.generator_config(cfg))),
+        None => {
+            let dataset = Dataset::new(
+                cfg.keys,
+                cfg.large_keys,
+                0.4,
+                cfg.profile.large_max,
+                cfg.seed,
+            );
+            Generator::Access(AccessGenerator::new(
+                dataset,
+                cfg.profile.p_large,
+                cfg.profile.get_ratio,
+                cfg.profile.zipf_s,
+            ))
+        }
+    };
+    let next_op = |rng: &mut Rng| match &generator {
+        Generator::Access(g) => g.next_op(rng),
+        Generator::Churn(g) => g.next_op(rng),
+    };
     let mut arrival_rng = Rng::new(cfg.seed ^ 0x9e37_79b9 ^ (u64::from(client_idx) << 17));
     let mut op_rng = Rng::new(
         (cfg.seed ^ (u64::from(client_idx) + 1).wrapping_mul(0x5851_f42d_4c95_7f2d))
@@ -520,7 +639,7 @@ fn run_point_client(
         due.clear();
         while now >= next_at && due.len() < COALESCE_CAP {
             behind_max_ns = behind_max_ns.max(now - next_at);
-            due.push((generator.next_op(&mut op_rng), next_at));
+            due.push((next_op(&mut op_rng), next_at));
             next_at = arrivals.next_arrival(&mut arrival_rng);
         }
         if !due.is_empty() {
@@ -568,10 +687,11 @@ pub fn run_sweep_resuming(
     cfg.validate();
     let instances = cfg.instances();
     let mut points = Vec::with_capacity(instances.len() * cfg.rates.len());
-    for (ii, &(policy, discipline)) in instances.iter().enumerate() {
+    for (ii, &(policy, discipline, eviction)) in instances.iter().enumerate() {
         let label = discipline_label(discipline);
+        let ev_label = eviction.name();
         let carried = |rate: f64| {
-            let key = point_key(policy.name(), label, rate);
+            let key = point_key_ev(policy.name(), label, ev_label, rate);
             existing.iter().find(|p| p.key() == key).cloned()
         };
         if cfg.rates.iter().all(|&r| carried(r).is_some()) {
@@ -583,15 +703,20 @@ pub fn run_sweep_resuming(
             UdpTransport::bind(UdpConfig::loopback(server_port, cfg.cores as u16))
                 .expect("bind server sockets"),
         );
-        let mut server = RunningServer::start(policy, discipline, cfg, Arc::clone(&transport));
-        let dataset = Dataset::new(
-            cfg.keys,
-            cfg.large_keys,
-            0.4,
-            cfg.profile.large_max,
-            cfg.seed,
-        );
-        preload(cfg, policy, server_port, &dataset);
+        let mut server =
+            RunningServer::start(policy, discipline, eviction, cfg, Arc::clone(&transport));
+        if cfg.churn.is_none() {
+            // Churn mode skips the preload: the working set would not
+            // fit anyway, and the churn PUTs build it live.
+            let dataset = Dataset::new(
+                cfg.keys,
+                cfg.large_keys,
+                0.4,
+                cfg.profile.large_max,
+                cfg.seed,
+            );
+            preload(cfg, policy, server_port, &dataset);
+        }
 
         for &rate in &cfg.rates {
             if let Some(done) = carried(rate) {
@@ -639,6 +764,7 @@ pub fn run_sweep_resuming(
             let point = SweepPoint {
                 policy: policy.name().to_string(),
                 discipline: label.to_string(),
+                eviction: ev_label.to_string(),
                 offered_rate: rate,
                 duration_s: cfg.duration.as_secs_f64(),
                 clients: u64::from(cfg.clients),
@@ -682,6 +808,7 @@ mod tests {
         SweepPoint {
             policy: "minos".into(),
             discipline: "size-aware".into(),
+            eviction: NO_EVICTION.into(),
             offered_rate: 20_000.0,
             duration_s: 5.0,
             clients: 2,
@@ -752,6 +879,25 @@ mod tests {
     }
 
     #[test]
+    fn eviction_points_get_distinct_keys_and_parse_tolerantly() {
+        // Classic points keep their historical key; churn points of the
+        // same (policy, discipline, rate) differ per eviction policy.
+        let mut p = sample_point();
+        p.eviction = "clock".into();
+        assert_eq!(p.key(), "minos/size-aware+clock@20000.0");
+        assert_ne!(p.key(), sample_point().key());
+        let round = SweepPoint::parse(&JsonValue::parse(&p.to_json()).unwrap()).unwrap();
+        assert_eq!(round, p);
+        // Pre-capacity sweep files have no eviction field: they read
+        // back as eviction-free with an unchanged key.
+        let legacy = sample_point();
+        let json = legacy.to_json().replace("\"eviction\":\"none\",", "");
+        assert!(!json.contains("eviction"));
+        let parsed = SweepPoint::parse(&JsonValue::parse(&json).unwrap()).unwrap();
+        assert_eq!(parsed, legacy);
+    }
+
+    #[test]
     fn fully_resumed_sweep_reruns_nothing() {
         // Every (instance × rate) point is already present: the sweep
         // must return the carried points in order without binding a
@@ -763,10 +909,11 @@ mod tests {
         let existing: Vec<SweepPoint> = cfg
             .instances()
             .iter()
-            .flat_map(|&(policy, discipline)| {
+            .flat_map(|&(policy, discipline, eviction)| {
                 cfg.rates.iter().map(move |&rate| SweepPoint {
                     policy: policy.name().into(),
                     discipline: discipline_label(discipline).into(),
+                    eviction: eviction.name().into(),
                     offered_rate: rate,
                     ..sample_point()
                 })

@@ -170,6 +170,29 @@ pub fn server_exit_report(drained: bool, snap: &Snapshot) -> String {
             counter(snap, "ingest.reassembly_evictions"),
         )
         .finish();
+    let capacity = JsonObj::new()
+        .u64("evictions", counter(snap, "store.evictions"))
+        .u64("evicted_bytes", counter(snap, "store.evicted_bytes"))
+        .u64("expired_keys", counter(snap, "store.expired_keys"))
+        .u64(
+            "admission_rejects",
+            counter(snap, "store.admission_rejects"),
+        )
+        .u64(
+            "accounting_warnings",
+            counter(snap, "store.accounting_warnings"),
+        )
+        .u64("used_bytes", gauge(snap, "mempool.used_bytes") as u64)
+        .f64("occupancy", gauge(snap, "mempool.occupancy"), 6)
+        .u64(
+            "high_watermark_bytes",
+            gauge(snap, "mempool.high_watermark_bytes") as u64,
+        )
+        .u64(
+            "low_watermark_bytes",
+            gauge(snap, "mempool.low_watermark_bytes") as u64,
+        )
+        .finish();
     JsonObj::new()
         .bool("drained", drained)
         .u64("epochs", counter(snap, "engine.epochs"))
@@ -178,6 +201,7 @@ pub fn server_exit_report(drained: bool, snap: &Snapshot) -> String {
         .raw("transport", &transport)
         .raw("pool", &pool)
         .raw("ingest", &ingest)
+        .raw("capacity", &capacity)
         .raw("metrics", &snap.metrics_json())
         .finish()
 }
@@ -225,6 +249,11 @@ mod tests {
                 ("pool.hit_rate".into(), MetricValue::Gauge(1.0)),
                 ("store.puts".into(), MetricValue::Counter(42)),
                 ("ingest.put_copied_bytes".into(), MetricValue::Counter(999)),
+                ("store.evictions".into(), MetricValue::Counter(13)),
+                (
+                    "mempool.high_watermark_bytes".into(),
+                    MetricValue::Gauge(900.0),
+                ),
             ],
         );
         let doc = JsonValue::parse(&server_exit_report(true, &snap)).expect("valid JSON");
@@ -241,6 +270,10 @@ mod tests {
         assert_eq!(num(&["pool", "hits"]), 100);
         assert_eq!(num(&["ingest", "puts"]), 42);
         assert_eq!(num(&["ingest", "put_copied_bytes"]), 999);
+        // The capacity block is additive; legacy keys stay untouched.
+        assert_eq!(num(&["capacity", "evictions"]), 13);
+        assert_eq!(num(&["capacity", "high_watermark_bytes"]), 900);
+        assert_eq!(num(&["capacity", "expired_keys"]), 0);
         // The whole snapshot rides along under "metrics".
         assert_eq!(num(&["metrics", "ingest.put_copied_bytes", "value"]), 999);
     }

@@ -58,6 +58,7 @@ fn store_out_of_memory_is_reported_not_fatal() {
         items_per_partition: 64,
         mempool_bytes: 64 << 10, // 64 KiB budget
         max_value_bytes: 1 << 20,
+        capacity: Default::default(),
     });
     // Fill the pool.
     let mut stored = 0u64;

@@ -43,11 +43,15 @@ const DISCIPLINES: [&str; 7] = [
     "random",
 ];
 
+// NO_EVICTION first: classic points keep the historical resume key.
+const EVICTIONS: [&str; 3] = ["none", "clock", "size-aware-clock"];
+
 fn point_strategy() -> impl Strategy<Value = SweepPoint> {
     (
         (
             0usize..3,
             0usize..7,
+            0usize..3,
             (0u32..u32::MAX),
             any::<u64>(),
             any::<u64>(),
@@ -63,7 +67,7 @@ fn point_strategy() -> impl Strategy<Value = SweepPoint> {
     )
         .prop_map(
             |(
-                (policy_ix, discipline_ix, rate_mhz, clients, cores),
+                (policy_ix, discipline_ix, eviction_ix, rate_mhz, clients, cores),
                 (sent, completed, outstanding, errors),
                 (zero_loss, behind_us, tx_copied_bytes, reply_copied_bytes),
                 (latency_us, latency_small_us, service_latency_us, latency_large_us),
@@ -71,6 +75,7 @@ fn point_strategy() -> impl Strategy<Value = SweepPoint> {
                 SweepPoint {
                     policy: Policy::ALL[policy_ix].name().to_string(),
                     discipline: DISCIPLINES[discipline_ix].to_string(),
+                    eviction: EVICTIONS[eviction_ix].to_string(),
                     // Rates at the writer's 0.1 precision stay exact.
                     offered_rate: f64::from(rate_mhz) / 10.0,
                     duration_s: 2.5,
@@ -111,6 +116,7 @@ proptest! {
         // Integer, boolean, and string fields are exact.
         prop_assert_eq!(&parsed.policy, &point.policy);
         prop_assert_eq!(&parsed.discipline, &point.discipline);
+        prop_assert_eq!(&parsed.eviction, &point.eviction);
         prop_assert_eq!(parsed.clients, point.clients);
         prop_assert_eq!(parsed.cores, point.cores);
         prop_assert_eq!(parsed.sent, point.sent);
