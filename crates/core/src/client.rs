@@ -62,17 +62,71 @@ pub struct Completion {
 /// to the client (§4.1); this is the optional timeout-and-retry flavor
 /// `minos-loadgen --retry-timeout-ms` enables. Latency is always
 /// measured from the request's scheduled arrival (service latency from
-/// its *first* transmission), never from a retry, and requests that
-/// exhaust their retry budget stay outstanding, so loss accounting
-/// remains honest: the zero-loss reporting mode is simply "no retry
-/// policy".
+/// its *first* transmission), never from a retry.
+///
+/// The per-attempt timeout grows exponentially (`timeout ×
+/// backoff^retries`, capped at `max_timeout`) with a deterministic
+/// per-request jitter in `[1.0, 1.25)`, so a loss burst doesn't
+/// resynchronize every straggler into one retransmit storm. A request
+/// that exhausts its budget and times out once more is *abandoned* and
+/// counted in [`ClientTotals::timed_out`] — explicit loss, never a
+/// silent histogram hole (`sent == completed + outstanding +
+/// timed_out` always holds). The zero-loss reporting mode is simply
+/// "no retry policy".
 #[derive(Clone, Copy, Debug)]
 pub struct RetryPolicy {
-    /// How long a request may stay unanswered before it is resent.
+    /// How long the first attempt may stay unanswered before it is
+    /// resent.
     pub timeout: Duration,
-    /// Maximum resends per request; afterwards the request is left to
-    /// the loss accounting.
+    /// Maximum resends per request; afterwards one final timeout moves
+    /// the request to [`ClientTotals::timed_out`].
     pub max_retries: u32,
+    /// Timeout multiplier per retry (exponential backoff; `1.0` = flat).
+    pub backoff: f64,
+    /// Upper bound on the backed-off per-attempt timeout.
+    pub max_timeout: Duration,
+}
+
+impl RetryPolicy {
+    /// A policy with the given first-attempt timeout and retry budget,
+    /// doubling per retry up to `8 × timeout`.
+    pub fn new(timeout: Duration, max_retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            timeout,
+            max_retries,
+            backoff: 2.0,
+            max_timeout: timeout.saturating_mul(8),
+        }
+    }
+}
+
+/// Hedged-request policy ("tail-tolerant" duplicate requests): once a
+/// request has waited longer than an adaptive delay — the client's own
+/// observed service-latency `percentile`, clamped to `[min_delay,
+/// max_delay]` — a duplicate is sent to a *different* RX queue and the
+/// first reply wins. The hedge never touches the schedule or
+/// first-transmission clocks, so latency accounting stays
+/// coordinated-omission-honest; the losing reply is counted
+/// ([`ClientTotals::wasted_replies`]) and its buffer dropped.
+#[derive(Clone, Copy, Debug)]
+pub struct HedgePolicy {
+    /// Service-latency percentile the hedge delay adapts to.
+    pub percentile: f64,
+    /// Floor for the adaptive delay (hedge no sooner than this).
+    pub min_delay: Duration,
+    /// Cap for the adaptive delay; also the delay used until enough
+    /// samples exist to estimate the percentile.
+    pub max_delay: Duration,
+}
+
+impl Default for HedgePolicy {
+    fn default() -> Self {
+        HedgePolicy {
+            percentile: 99.0,
+            min_delay: Duration::from_micros(500),
+            max_delay: Duration::from_millis(100),
+        }
+    }
 }
 
 struct Pending {
@@ -88,10 +142,14 @@ struct Pending {
     retries: u32,
     key: u64,
     large: bool,
-    /// Encoded request frame and target queue, kept only when a retry
-    /// policy is active (cloning a frame is an `O(1)` refcount bump per
-    /// segment, not a value copy).
-    resend: Option<(TxFrame, u16)>,
+    /// The request message and its original target queue, kept only
+    /// when a retry or hedging policy is active (a [`Message`] clone is
+    /// an `O(1)` refcount bump on the value bytes, not a value copy;
+    /// re-encoding on the rare resend path is what lets the hedge copy
+    /// carry its marker bit).
+    resend: Option<(Message, u16)>,
+    /// Queue the hedge duplicate was sent to, once one was.
+    hedge_queue: Option<u16>,
 }
 
 /// Client-side totals.
@@ -108,13 +166,31 @@ pub struct ClientTotals {
     pub errors: u64,
     /// Requests re-sent by the retry policy.
     pub retransmits: u64,
+    /// Requests abandoned after exhausting the retry budget — explicit
+    /// loss that would otherwise vanish from the histograms
+    /// (`sent == completed + outstanding + timed_out`).
+    pub timed_out: u64,
+    /// Hedge duplicates sent.
+    pub hedges_sent: u64,
+    /// Requests whose *hedge* reply arrived first.
+    pub hedge_wins: u64,
+    /// Duplicate or late replies discarded after the request was
+    /// already completed or abandoned — hedge losers and post-timeout
+    /// stragglers (their buffers are dropped on the spot).
+    pub wasted_replies: u64,
+    /// `Overloaded` replies: the server shed the request at placement
+    /// time; the client backs off hedges and stretches retry timeouts
+    /// for a short window after each one.
+    pub overloaded: u64,
 }
 
 impl ClientTotals {
-    /// Requests with no reply yet. Non-zero at the end of a run means
-    /// packet loss — the paper's methodology discards such runs.
+    /// Requests still awaiting a reply (abandoned requests are counted
+    /// in [`ClientTotals::timed_out`], not here). Non-zero at the end
+    /// of a run means unresolved packet loss — the paper's methodology
+    /// discards such runs; so does a non-zero `timed_out`.
     pub fn outstanding(&self) -> u64 {
-        self.sent - self.completed
+        self.sent - self.completed - self.timed_out
     }
 }
 
@@ -212,9 +288,38 @@ pub struct Client {
     totals: ClientTotals,
     client_id: u16,
     retry: Option<RetryPolicy>,
-    /// Next time (ns) the pending map is scanned for due retransmits;
-    /// scanning every poll would be O(pending) per packet.
+    hedge: Option<HedgePolicy>,
+    /// Next time (ns) the pending map is scanned for due retransmits
+    /// and hedges; scanning every poll would be O(pending) per packet.
     next_retry_scan_ns: u64,
+    /// End of the current overload-backoff window: while `now` is below
+    /// it, hedges are suppressed and retry timeouts doubled. Armed by
+    /// every [`ReplyStatus::Overloaded`] reply.
+    backoff_until_ns: u64,
+    /// Recently completed-or-abandoned request ids that may still have
+    /// a duplicate reply in flight (hedged, retried, or timed out), so
+    /// a late reply counts as [`ClientTotals::wasted_replies`] instead
+    /// of polluting `unmatched`. Bounded FIFO ring.
+    dup_ring: std::collections::VecDeque<u64>,
+    dup_set: std::collections::HashSet<u64>,
+}
+
+/// Capacity of the duplicate-reply recognition ring.
+const DUP_RING_CAP: usize = 4096;
+
+/// How long one `Overloaded` reply suppresses hedging and stretches
+/// retry timeouts.
+const OVERLOAD_BACKOFF_NS: u64 = 2_000_000;
+
+/// Service-latency samples required before the hedge delay trusts the
+/// percentile estimate; below this the policy's `max_delay` is used.
+const HEDGE_WARMUP_SAMPLES: u64 = 64;
+
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl Client {
@@ -274,7 +379,11 @@ impl Client {
             totals: ClientTotals::default(),
             client_id,
             retry: None,
+            hedge: None,
             next_retry_scan_ns: 0,
+            backoff_until_ns: 0,
+            dup_ring: std::collections::VecDeque::new(),
+            dup_set: std::collections::HashSet::new(),
         }
     }
 
@@ -301,7 +410,30 @@ impl Client {
     /// measurement mode, where any loss must surface in the report.
     pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
         assert!(!policy.timeout.is_zero(), "retry timeout must be positive");
+        assert!(policy.backoff >= 1.0, "retry backoff must be >= 1.0");
+        assert!(
+            policy.max_timeout >= policy.timeout,
+            "max_timeout below the base timeout"
+        );
         self.retry = Some(policy);
+        self
+    }
+
+    /// Enables hedged requests (see [`HedgePolicy`]). Hedges duplicate
+    /// only small (single-class) requests — the tail the paper
+    /// protects; re-streaming a multi-megabyte PUT to recover its tail
+    /// would do the opposite. Requires at least two target queues
+    /// (hedges go to a *different* queue by construction).
+    pub fn with_hedging(mut self, policy: HedgePolicy) -> Self {
+        assert!(
+            !policy.max_delay.is_zero(),
+            "hedge max_delay must be positive"
+        );
+        assert!(
+            (1.0..=100.0).contains(&policy.percentile),
+            "hedge percentile out of range"
+        );
+        self.hedge = Some(policy);
         self
     }
 
@@ -486,10 +618,16 @@ impl Client {
         let msg = Message {
             client_id: self.client_id,
             request_id,
-            client_ts_ns: now,
+            // The low timestamp bit is the hedge marker: originals are
+            // always even, the hedge duplicate flips it to odd, and the
+            // server echoes the timestamp verbatim — so the client can
+            // tell exactly which copy's reply won, no matter which
+            // server core the executing side handed the request to.
+            client_ts_ns: now & !1,
             body,
         };
         let frame = msg.encode_frame();
+        let keep = self.retry.is_some() || self.hedge.is_some();
         self.pending.insert(
             request_id,
             Pending {
@@ -499,7 +637,8 @@ impl Client {
                 retries: 0,
                 key,
                 large,
-                resend: self.retry.map(|_| (frame.clone(), queue)),
+                resend: keep.then_some((msg, queue)),
+                hedge_queue: None,
             },
         );
         self.totals.sent += 1;
@@ -531,40 +670,164 @@ impl Client {
         let _ = self.transport.tx_frames(0, &mut burst);
     }
 
-    /// Resends every pending request whose retry timer expired. Called
-    /// from [`Client::poll`]; scans at most every `timeout / 4`.
-    fn retransmit_due(&mut self) {
-        let Some(policy) = self.retry else { return };
+    /// The jittered, backed-off timeout for attempt number `retries` of
+    /// request `id`: `timeout × backoff^retries` capped at
+    /// `max_timeout`, times a deterministic per-(request, attempt)
+    /// jitter in `[1.0, 1.25)`, doubled inside an overload-backoff
+    /// window.
+    fn retry_timeout_ns(&self, policy: &RetryPolicy, id: u64, retries: u32, now: u64) -> u64 {
+        let base = policy.timeout.as_nanos() as f64;
+        let cap = policy.max_timeout.as_nanos() as f64;
+        let mut t = (base * policy.backoff.powi(retries as i32)).min(cap);
+        let h = mix64(id ^ (u64::from(retries) << 48) ^ 0x7edc_a11e);
+        t *= 1.0 + ((h >> 11) as f64 / (1u64 << 53) as f64) * 0.25;
+        if now < self.backoff_until_ns {
+            t *= 2.0;
+        }
+        t as u64
+    }
+
+    /// The adaptive hedge delay: the observed service-latency
+    /// percentile clamped to the policy's bounds, or the effective cap
+    /// until enough samples exist.
+    ///
+    /// When a retry policy is also active, the cap tightens to half its
+    /// first-attempt timeout. The ladder only works hedge-first: under
+    /// loss the observed service percentile is dominated by the
+    /// retransmit path itself, so an uncapped adaptive delay settles
+    /// *above* the retry timeout and hedges stop firing — the
+    /// feedback loop would disable exactly the mechanism that breaks
+    /// it.
+    fn hedge_delay_ns(&self, policy: &HedgePolicy) -> u64 {
+        let min = policy.min_delay.as_nanos() as u64;
+        let mut max = policy.max_delay.as_nanos() as u64;
+        if let Some(retry) = &self.retry {
+            max = max.min((retry.timeout.as_nanos() as u64 / 2).max(1));
+        }
+        if self.service_latency.total() < HEDGE_WARMUP_SAMPLES {
+            return max;
+        }
+        self.service_latency
+            .percentile_ns(policy.percentile)
+            .unwrap_or(max)
+            .clamp(min.min(max), max)
+    }
+
+    /// Remembers a completed-or-abandoned request id that may still
+    /// have a duplicate reply in flight.
+    fn remember_duplicate(&mut self, id: u64) {
+        if self.dup_set.insert(id) {
+            self.dup_ring.push_back(id);
+            if self.dup_ring.len() > DUP_RING_CAP {
+                if let Some(old) = self.dup_ring.pop_front() {
+                    self.dup_set.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Scans the pending map: resends requests whose (backed-off,
+    /// jittered) retry timer expired, abandons requests that exhausted
+    /// their budget (explicit [`ClientTotals::timed_out`] loss), and
+    /// sends hedge duplicates for small requests stuck past the
+    /// adaptive hedge delay. Called from [`Client::poll`]; scan cadence
+    /// is a quarter of the shortest active timer. Neither a retry nor a
+    /// hedge ever touches `sched_ns`/`first_tx_ns` — the latency clocks
+    /// stay coordinated-omission-honest.
+    fn scan_pending(&mut self) {
+        if self.retry.is_none() && self.hedge.is_none() {
+            return;
+        }
         let now = self.now_ns();
         if now < self.next_retry_scan_ns {
             return;
         }
-        let timeout_ns = policy.timeout.as_nanos() as u64;
-        self.next_retry_scan_ns = now + (timeout_ns / 4).max(1);
-        let due: Vec<u64> = self
-            .pending
-            .iter()
-            .filter(|(_, p)| {
-                p.resend.is_some()
-                    && p.retries < policy.max_retries
-                    && now.saturating_sub(p.last_tx_ns) >= timeout_ns
-            })
-            .map(|(id, _)| *id)
-            .collect();
-        for id in due {
-            let (frame, queue) = self.pending[&id]
-                .resend
-                .clone()
-                .expect("filtered on resend presence");
-            // Re-fragmenting draws a fresh msg id, so stale fragments of
-            // the original transmission can never merge with the retry
-            // in the server's reassembler.
-            self.transmit(&frame, queue);
-            let sent_at = self.now_ns();
-            let p = self.pending.get_mut(&id).expect("still pending");
-            p.retries += 1;
-            p.last_tx_ns = sent_at;
-            self.totals.retransmits += 1;
+        let hedge_delay_ns = self.hedge.map(|h| self.hedge_delay_ns(&h));
+        let mut interval = u64::MAX;
+        if let Some(policy) = self.retry {
+            interval = interval.min((policy.timeout.as_nanos() as u64) / 4);
+        }
+        if let Some(d) = hedge_delay_ns {
+            interval = interval.min(d / 4);
+        }
+        self.next_retry_scan_ns = now + interval.max(1);
+
+        // Retries and timeouts.
+        if let Some(policy) = self.retry {
+            let mut due = Vec::new();
+            let mut expired = Vec::new();
+            for (&id, p) in &self.pending {
+                if p.resend.is_none() {
+                    continue;
+                }
+                let t = self.retry_timeout_ns(&policy, id, p.retries, now);
+                if now.saturating_sub(p.last_tx_ns) < t {
+                    continue;
+                }
+                if p.retries < policy.max_retries {
+                    due.push(id);
+                } else {
+                    expired.push(id);
+                }
+            }
+            for id in due {
+                let (msg, queue) = self.pending[&id]
+                    .resend
+                    .clone()
+                    .expect("filtered on resend presence");
+                // Re-encoding + re-fragmenting draws a fresh msg id, so
+                // stale fragments of the original transmission can never
+                // merge with the retry in the server's reassembler.
+                let frame = msg.encode_frame();
+                self.transmit(&frame, queue);
+                let sent_at = self.now_ns();
+                let p = self.pending.get_mut(&id).expect("still pending");
+                p.retries += 1;
+                p.last_tx_ns = sent_at;
+                self.totals.retransmits += 1;
+            }
+            for id in expired {
+                // Out of budget: the request is abandoned and becomes
+                // explicit loss — it must not linger in `outstanding`
+                // (that would stall drains forever) nor silently vanish.
+                self.pending.remove(&id);
+                self.totals.timed_out += 1;
+                self.remember_duplicate(id);
+            }
+        }
+
+        // Hedges: one duplicate per request, small class only, to a
+        // different queue, suppressed inside an overload-backoff window.
+        if let (Some(delay), true) = (hedge_delay_ns, now >= self.backoff_until_ns) {
+            let span = self.target_queues.len() as u16;
+            if span > 1 {
+                let due: Vec<u64> = self
+                    .pending
+                    .iter()
+                    .filter(|(_, p)| {
+                        p.resend.is_some()
+                            && p.hedge_queue.is_none()
+                            && !p.large
+                            && now.saturating_sub(p.first_tx_ns) >= delay
+                    })
+                    .map(|(id, _)| *id)
+                    .collect();
+                for id in due {
+                    let (msg, queue) = self.pending[&id]
+                        .resend
+                        .clone()
+                        .expect("filtered on resend presence");
+                    let hq =
+                        self.target_queues.start + ((queue - self.target_queues.start + 1) % span);
+                    let mut hedge_msg = msg;
+                    hedge_msg.client_ts_ns |= 1;
+                    let frame = hedge_msg.encode_frame();
+                    self.transmit(&frame, hq);
+                    let p = self.pending.get_mut(&id).expect("still pending");
+                    p.hedge_queue = Some(hq);
+                    self.totals.hedges_sent += 1;
+                }
+            }
         }
     }
 
@@ -624,7 +887,7 @@ impl Client {
             }
         }
         self.advance_reassembly_round();
-        self.retransmit_due();
+        self.scan_pending();
         out
     }
 
@@ -654,7 +917,13 @@ impl Client {
 
     fn complete(&mut self, msg: Message) -> Option<Completion> {
         let Some(pending) = self.pending.remove(&msg.request_id) else {
-            self.totals.unmatched += 1;
+            // A hedge loser or post-timeout straggler: counted and its
+            // buffer dropped — distinct from truly inexplicable replies.
+            if self.dup_set.contains(&msg.request_id) {
+                self.totals.wasted_replies += 1;
+            } else {
+                self.totals.unmatched += 1;
+            }
             return None;
         };
         let now = self.now_ns();
@@ -669,9 +938,26 @@ impl Client {
                 return None;
             }
         };
+        if pending.hedge_queue.is_some() {
+            // The echoed timestamp's low bit says which copy this reply
+            // answers; the loser's reply (if it ever arrives) will be
+            // counted as wasted via the duplicate ring.
+            if msg.client_ts_ns & 1 == 1 {
+                self.totals.hedge_wins += 1;
+            }
+            self.remember_duplicate(msg.request_id);
+        } else if pending.retries > 0 {
+            self.remember_duplicate(msg.request_id);
+        }
         self.totals.completed += 1;
         if status != ReplyStatus::Ok {
             self.totals.errors += 1;
+        }
+        if status == ReplyStatus::Overloaded {
+            // The shed valve spoke: suppress hedges and stretch retry
+            // timeouts for a beat instead of piling on.
+            self.totals.overloaded += 1;
+            self.backoff_until_ns = now + OVERLOAD_BACKOFF_NS;
         }
         self.latency.record_ns(latency_ns);
         self.service_latency.record_ns(service_ns);
@@ -740,6 +1026,16 @@ impl Client {
     /// `client.reply_copied_bytes`.
     pub fn reply_copied_bytes(&self) -> u64 {
         self.reply_copied_bytes
+    }
+
+    /// Requests currently tracked in the pending table. The counter
+    /// identity `sent == completed + outstanding + timed_out` is only
+    /// trustworthy if [`ClientTotals::outstanding`] (pure counter
+    /// arithmetic) agrees with this (the actual table size); the loadgen
+    /// report cross-checks the two and raises `accounting_warnings`
+    /// when they diverge.
+    pub fn pending_len(&self) -> u64 {
+        self.pending.len() as u64
     }
 
     /// Totals snapshot.

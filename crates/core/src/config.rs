@@ -77,6 +77,16 @@ pub struct MinosConfig {
     /// the size-aware discipline deliberately violates the paper's
     /// small/large isolation (that is the experiment).
     pub steal: bool,
+    /// Overload shed watermark, in queued requests. When a placement
+    /// targets a software queue already holding at least this many
+    /// entries, *large* requests are shed with an immediate
+    /// [`minos_wire::message::ReplyStatus::Overloaded`] reply instead
+    /// of being enqueued — the size-aware insight inverted: under
+    /// overload, protect the small-class tail first (one shed large
+    /// request frees service time for thousands of small ones). `0`
+    /// (the default) disables the valve. Sheds are counted in
+    /// `dispatch.sheds`.
+    pub shed_watermark: usize,
 }
 
 impl Default for MinosConfig {
@@ -95,6 +105,7 @@ impl Default for MinosConfig {
             discard_quota_per_source: 8,
             discipline: DisciplineKind::SizeAware,
             steal: false,
+            shed_watermark: 0,
         }
     }
 }
@@ -126,6 +137,9 @@ impl MinosConfig {
         if self.discard_quota_per_source == 0 {
             return Err("discard_quota_per_source must be positive".into());
         }
+        if self.shed_watermark > self.soft_queue_capacity {
+            return Err("shed_watermark above soft_queue_capacity would never fire".into());
+        }
         Ok(())
     }
 }
@@ -146,6 +160,7 @@ mod tests {
         assert_eq!(c.cost_fn, CostFn::Packets);
         assert_eq!(c.discipline, DisciplineKind::SizeAware);
         assert!(!c.steal);
+        assert_eq!(c.shed_watermark, 0, "shedding is opt-in");
         assert!(c.validate().is_ok());
     }
 

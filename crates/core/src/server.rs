@@ -250,6 +250,10 @@ struct Shared<T: Transport> {
     /// software queue (`dispatch.steals`; only moves when
     /// [`MinosConfig::steal`] is on).
     steal_picks: Counter,
+    /// Large requests shed with an `Overloaded` reply because their
+    /// target queue sat past [`MinosConfig::shed_watermark`]
+    /// (`dispatch.sheds`; only moves when the watermark is set).
+    sheds: Counter,
     epoch_deadline_ns: AtomicU64,
     /// Per-core reply message-id counters (fragment reassembly keys).
     msg_ids: Vec<AtomicU64>,
@@ -425,6 +429,7 @@ impl<T: Transport + 'static> MinosServer<T> {
             queue_picks: registry.counter("dispatch.queue_picks"),
             shared_picks: registry.counter("dispatch.shared_picks"),
             steal_picks: registry.counter("dispatch.steals"),
+            sheds: registry.counter("dispatch.sheds"),
             epoch_deadline_ns: AtomicU64::new(config.minos.epoch_ns),
             msg_ids: (0..n).map(|_| AtomicU64::new(0)).collect(),
             flow_pins: FlowPins::new(4096),
@@ -936,7 +941,7 @@ fn stream_put_fragment<T: Transport>(
             let mut rd = payload;
             if let Some(fh) = FragHeader::decode(&mut rd) {
                 if fh.index == 0 {
-                    if let Some(reply) = rejected_put_reply(&rd) {
+                    if let Some(reply) = rejected_put_reply(&rd, ReplyStatus::OutOfMemory) {
                         send_reply(shared, core, reply_to, &reply);
                     }
                 }
@@ -1017,17 +1022,39 @@ fn process_rx_packet<T: Transport>(
         // core (or this core itself when the threshold sits above the
         // size — a heavily large-skewed workload).
         let src = pkt.source_endpoint();
+        let watermark = shared.config.shed_watermark;
         let target = shared.flow_pins.pin(src, fh.msg_id, fh.count, || {
             let depths = SoftQueueDepths(&shared.soft_queues);
-            shared.discipline.place_fragment(&PlaceCtx {
+            let t = shared.discipline.place_fragment(&PlaceCtx {
                 rx_core: core,
                 n_cores: shared.config.n_cores,
                 key: fragment_key(src, fh.msg_id),
                 size: Some(item_size),
                 plan,
                 depths: &depths,
-            })
+            });
+            // The shed valve, decided once per message at pin time so
+            // every fragment of a shed PUT is dropped consistently: a
+            // multi-fragment message is by construction large, exactly
+            // what degrades first under overload.
+            if watermark > 0 && t != core && shared.soft_queues[t].len() >= watermark {
+                SHED_TARGET
+            } else {
+                t
+            }
         });
+        if target == SHED_TARGET {
+            // Every fragment of the shed message lands here via the pin;
+            // the one carrying the application header answers
+            // `Overloaded` (the client backs off), the rest just drop.
+            if fh.index == 0 {
+                shared.sheds.inc();
+                if let Some(reply) = rejected_put_reply(&rd, ReplyStatus::Overloaded) {
+                    send_reply(shared, core, endpoint_of(&pkt), &reply);
+                }
+            }
+            return;
+        }
         if target == core {
             // Large work executing on the RX-draining core itself
             // (standby mode, or a large-skewed threshold): still
@@ -1133,7 +1160,9 @@ fn handle_message_size_aware<T: Transport>(
                     }
                     placement => {
                         drop(value);
-                        enqueue_placed(shared, core, placement, req);
+                        // A handed-off request is large by definition
+                        // under size-aware sharding: sheddable.
+                        enqueue_placed(shared, core, placement, req, true);
                     }
                 }
             }
@@ -1146,7 +1175,7 @@ fn handle_message_size_aware<T: Transport>(
                     execute_and_reply(shared, core, req);
                     record_small(shared);
                 }
-                placement => enqueue_placed(shared, core, placement, req),
+                placement => enqueue_placed(shared, core, placement, req, true),
             }
         }
         Body::Delete { .. } => {
@@ -1213,25 +1242,60 @@ fn handle_message_by_key<T: Transport>(
             };
             shared.telemetry[core].record(class, wait, clock.now_ns().saturating_sub(t0));
         }
-        placement => enqueue_placed(shared, core, placement, req),
+        placement => {
+            // Non-size-aware disciplines don't classify to place, but
+            // the shed valve still needs to know large from small:
+            // consult the advisory plan's threshold where the size is
+            // knowable without a lookup (PUTs; GETs/DELETEs pass).
+            let sheddable = size.is_some_and(|s| s >= plan.decision.threshold);
+            enqueue_placed(shared, core, placement, req, sheddable);
+        }
     }
 }
+
+/// The [`FlowPins`] target marking a multi-fragment message shed by the
+/// overload valve: every fragment observing it is dropped, fragment 0
+/// answers `Overloaded`.
+const SHED_TARGET: usize = usize::MAX;
 
 /// Pushes a placed request onto its target queue — a peer core's
 /// software queue or the shared cFCFS queue — with the pick counters
 /// and tail-drop accounting. `Placement::Local` is the caller's job
 /// (the two paths reply with different state in hand).
+///
+/// `sheddable` marks requests the overload valve may refuse: large
+/// ones, per the size-aware insight inverted — under overload the
+/// small-class tail is protected first, so a queue sitting past
+/// [`MinosConfig::shed_watermark`] sheds the large request with an
+/// immediate [`ReplyStatus::Overloaded`] reply (an error, not an ack:
+/// nothing executes, nothing is stored) instead of deepening the
+/// backlog until tail-drop loses it silently.
 fn enqueue_placed<T: Transport>(
     shared: &Shared<T>,
     core: usize,
     placement: Placement,
     req: ServerRequest,
+    sheddable: bool,
 ) {
     let (queue, pick) = match placement {
         Placement::Core(target) => (&shared.soft_queues[target], &shared.queue_picks),
         Placement::Shared => (&shared.shared_queue, &shared.shared_picks),
         Placement::Local => unreachable!("local placement executes inline"),
     };
+    let watermark = shared.config.shed_watermark;
+    if sheddable && watermark > 0 {
+        // The shared queue serves all cores and is sized n× a software
+        // queue; its watermark scales the same way.
+        let limit = match placement {
+            Placement::Shared => watermark * shared.config.n_cores,
+            _ => watermark,
+        };
+        if queue.len() >= limit {
+            shared.sheds.inc();
+            reply_direct(shared, core, &req, ReplyStatus::Overloaded, None);
+            return;
+        }
+    }
     pick.inc();
     if queue.push(Handoff::Request(req)).is_err() {
         shared.soft_drops.inc();

@@ -30,6 +30,11 @@
 //! * [`testport`] — PID-salted port-range allocation for test suites
 //!   binding `SO_REUSEPORT` sockets, so concurrent test processes on
 //!   one machine cannot cross-deliver through shared ports.
+//! * [`FaultTransport`] — a chaos wrapper over any backend injecting
+//!   deterministic, seeded faults (drop, burst loss, duplication,
+//!   reordering, delay, queue blackhole) per [`FaultProfile`], with
+//!   `fault.*` metrics; drives the chaos e2e suite and the
+//!   `--fault-profile` flag of every binary.
 //!
 //! The primary send method is [`Transport::tx_frames`]: scatter-gather
 //! [`minos_wire::TxPacket`]s whose header regions and refcounted value
@@ -42,6 +47,7 @@
 
 pub mod affinity;
 pub mod batch;
+mod fault;
 pub mod metrics;
 pub mod pool;
 mod sys;
@@ -50,6 +56,7 @@ mod transport;
 mod udp;
 mod virt;
 
+pub use fault::{DirectionFaults, FaultProfile, FaultStats, FaultTransport};
 pub use pool::{BufferPool, PoolStats, PooledBuf};
 pub use transport::{Transport, TransportStats};
 pub use udp::{endpoint_for, UdpConfig, UdpIoStats, UdpTransport, DEFAULT_SYSCALL_BATCH};

@@ -141,10 +141,7 @@ fn retry_mode_converges_to_zero_loss_under_the_same_pressure() {
     );
     preload(&transport, QUEUES, KEYS);
 
-    let policy = RetryPolicy {
-        timeout: Duration::from_millis(50),
-        max_retries: 1_000,
-    };
+    let policy = RetryPolicy::new(Duration::from_millis(50), 1_000);
     let mut client = udp_client(&transport, QUEUES, 2, 1, Some(policy));
     blast_unpolled(&mut client, N, KEYS);
 
@@ -184,10 +181,7 @@ fn many_client_threads_converge_against_a_multi_queue_server() {
 
     // Small client buffers + unpaced sending forces buffer pressure;
     // the retry policy must still converge every thread to zero loss.
-    let policy = RetryPolicy {
-        timeout: Duration::from_millis(100),
-        max_retries: 1_000,
-    };
+    let policy = RetryPolicy::new(Duration::from_millis(100), 1_000);
     let reports: Vec<(u64, u64, u64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..CLIENTS)
             .map(|c| {

@@ -61,6 +61,12 @@ pub enum ReplyStatus {
     NotFound = 1,
     /// PUT failed because the store is out of memory.
     OutOfMemory = 2,
+    /// The server shed this request at placement time because a queue
+    /// sat past its overload watermark. Nothing was executed or stored;
+    /// the client should back off before retrying. Large requests are
+    /// shed first — the size-aware insight inverted to protect the
+    /// small-class tail under overload.
+    Overloaded = 3,
 }
 
 impl ReplyStatus {
@@ -69,6 +75,7 @@ impl ReplyStatus {
             0 => ReplyStatus::Ok,
             1 => ReplyStatus::NotFound,
             2 => ReplyStatus::OutOfMemory,
+            3 => ReplyStatus::Overloaded,
             _ => return None,
         })
     }
@@ -481,6 +488,18 @@ mod tests {
         assert_eq!(streamed, Message::decode(enc).unwrap());
         // A value shorter than the header claims is rejected.
         assert!(Message::decode_streamed(&header, Bytes::from(vec![0u8; 776])).is_none());
+    }
+
+    #[test]
+    fn overloaded_status_roundtrips() {
+        let req = sample_put(16);
+        let rep = req.reply(ReplyStatus::Overloaded, None);
+        let enc = rep.encode();
+        assert_eq!(enc[1], 3, "Overloaded is status code 3 on the wire");
+        match Message::decode(enc).unwrap().body {
+            Body::PutReply { status, .. } => assert_eq!(status, ReplyStatus::Overloaded),
+            other => panic!("unexpected body {other:?}"),
+        }
     }
 
     #[test]

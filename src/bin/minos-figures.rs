@@ -20,12 +20,15 @@
 //!               [--duration SECS] [--keys N] [--large-keys N]
 //!               [--profile default|write] [--p-large FRAC] [--s-large BYTES]
 //!               [--sho-handoff N] [--seed S] [--base-port P]
+//!               [--fault-profile SPEC] [--hedge]
 //!               [--out FILE] [--resume]
 //! ```
 
+use minos::core::client::RetryPolicy;
 use minos::core::dispatch::DisciplineKind;
 use minos::figures::{run_sweep_resuming, ChurnSweepSpec, Policy, SweepConfig, SweepPoint};
 use minos::kv::EvictionPolicy;
+use minos::net::FaultProfile;
 use minos::obs::JsonValue;
 use minos::workload::{profiles, DEFAULT_PROFILE};
 use std::time::Duration;
@@ -68,11 +71,30 @@ OPTIONS:
     --churn-value-min B   smallest churn value in bytes (default 64)
     --churn-value-max B   largest churn value in bytes (default 4096)
     --churn-ttl-ms MS     TTL stamped on every churn PUT (default 0)
+    --fault-profile SPEC  chaos mode: wrap every measured client's
+                          transport in a deterministic fault injector,
+                          e.g. 'drop=0.01,reorder=8,seed=42' (the
+                          preload stays clean). Enables client retries
+                          (25 ms x8 unless --retry-timeout-ms overrides)
+                          so injected drops surface as retries and
+                          explicit timed_out loss; the spec is recorded
+                          in each point and in its --resume key
+    --hedge               hedged requests on the measured clients: a
+                          small request unanswered past the adaptive
+                          hedge delay is duplicated to another RX
+                          queue, first reply wins (needs --cores >= 2)
+    --retry-timeout-ms MS client retry timeout (default: off; 25 with
+                          --fault-profile)
+    --max-retries N       client retry budget (default 8)
     --out FILE            also write the sweep as a JSON array to FILE
-    --resume              skip (policy, discipline, eviction, rate)
-                          points already present in --out and carry them
-                          into the new file, so an interrupted sweep
-                          continues where it stopped
+    --resume              skip (policy, discipline, eviction, fault,
+                          hedging, rate) points already present in --out
+                          and carry them into the new file; points from
+                          outside this invocation's enumeration survive
+                          verbatim, so an interrupted sweep continues
+                          where it stopped and chained variant runs
+                          (e.g. hedging off, then on) accumulate into
+                          one figure
     -h, --help            this help
 ";
 
@@ -88,6 +110,8 @@ fn parse() -> Result<(SweepConfig, Option<String>, bool), String> {
     let mut churn_value_min = 64u64;
     let mut churn_value_max = 4096u64;
     let mut churn_ttl_ms = 0u64;
+    let mut retry_timeout_ms: Option<u64> = None;
+    let mut max_retries = 8u32;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
@@ -215,6 +239,24 @@ fn parse() -> Result<(SweepConfig, Option<String>, bool), String> {
                     .parse()
                     .map_err(|e| format!("--churn-ttl-ms: {e}"))?
             }
+            "--fault-profile" => {
+                let spec = value("--fault-profile")?;
+                FaultProfile::parse(&spec).map_err(|e| format!("--fault-profile: {e}"))?;
+                cfg.fault_profile = Some(spec);
+            }
+            "--hedge" => cfg.hedge = true,
+            "--retry-timeout-ms" => {
+                retry_timeout_ms = Some(
+                    value("--retry-timeout-ms")?
+                        .parse()
+                        .map_err(|e| format!("--retry-timeout-ms: {e}"))?,
+                )
+            }
+            "--max-retries" => {
+                max_retries = value("--max-retries")?
+                    .parse()
+                    .map_err(|e| format!("--max-retries: {e}"))?
+            }
             "--out" => out = Some(value("--out")?),
             "--resume" => resume = true,
             "-h" | "--help" => {
@@ -241,6 +283,19 @@ fn parse() -> Result<(SweepConfig, Option<String>, bool), String> {
             return Err("--s-large must be positive".into());
         }
         cfg.profile.large_max = s;
+    }
+    if cfg.hedge && cfg.cores < 2 {
+        return Err("--hedge needs --cores >= 2 (the hedge copy goes to another queue)".into());
+    }
+    // Under fault injection retries default on: without them every
+    // injected drop voids the point's zero-loss verdict instead of
+    // surfacing as a retransmit (or an explicit timed_out loss).
+    let retry_ms = retry_timeout_ms.or(cfg.fault_profile.is_some().then_some(25));
+    if let Some(ms) = retry_ms {
+        if ms == 0 {
+            return Err("--retry-timeout-ms must be positive".into());
+        }
+        cfg.retry = Some(RetryPolicy::new(Duration::from_millis(ms), max_retries));
     }
     match churn_mem {
         Some(mempool_bytes) => {
@@ -315,6 +370,13 @@ fn main() {
         cfg.keys,
         cfg.large_keys,
     );
+    if let Some(spec) = &cfg.fault_profile {
+        eprintln!(
+            "minos-figures: chaos mode — fault profile '{spec}', hedging {}, retry {:?}",
+            if cfg.hedge { "on" } else { "off" },
+            cfg.retry.map(|r| r.timeout),
+        );
+    }
     if let Some(churn) = &cfg.churn {
         eprintln!(
             "minos-figures: churn mode — {} byte mempool, values {}..{} B, ttl {} ms, evictions {}",
@@ -338,8 +400,22 @@ fn main() {
     });
 
     if let Some(path) = out {
-        let body: Vec<String> = points
+        // Union semantics on write: finished points from the existing
+        // file that this invocation did not enumerate (a different
+        // hedging mode, fault profile, or discipline set) are carried
+        // through verbatim, existing-first. That is what lets a figure
+        // accumulate across chained --resume invocations — the
+        // committed BENCH_fig_hedging.json protocol runs hedging off,
+        // then on, into the same file.
+        let fresh: std::collections::HashSet<String> = points.iter().map(|p| p.key()).collect();
+        let carried: Vec<&SweepPoint> = existing
             .iter()
+            .filter(|p| !fresh.contains(&p.key()))
+            .collect();
+        let body: Vec<String> = carried
+            .iter()
+            .copied()
+            .chain(points.iter())
             .map(|p| format!("  {}", p.to_json()))
             .collect();
         let doc = format!("[\n{}\n]\n", body.join(",\n"));
@@ -347,6 +423,10 @@ fn main() {
             eprintln!("error: cannot write {path}: {e}");
             std::process::exit(1);
         }
-        eprintln!("minos-figures: wrote {} points to {path}", points.len());
+        eprintln!(
+            "minos-figures: wrote {} points to {path} ({} carried from outside this sweep)",
+            body.len(),
+            carried.len()
+        );
     }
 }

@@ -33,12 +33,16 @@
 //!               [--profile default|write] [--p-large FRAC]
 //!               [--keys N] [--large-keys N]
 //!               [--seed S] [--no-preload] [--retry-timeout-ms MS]
-//!               [--max-retries N] [--pin BASECPU] [--sockbuf BYTES]
+//!               [--max-retries N] [--hedge] [--fault-profile SPEC]
+//!               [--pin BASECPU] [--sockbuf BYTES]
 //!               [--batch N] [--json]
 //! ```
 
-use minos::core::client::{Client, ClientTotals, RetryPolicy};
-use minos::net::{endpoint_for, Transport, TransportStats, UdpConfig, UdpIoStats, UdpTransport};
+use minos::core::client::{Client, ClientTotals, HedgePolicy, RetryPolicy};
+use minos::net::{
+    endpoint_for, FaultProfile, FaultStats, FaultTransport, Transport, TransportStats, UdpConfig,
+    UdpIoStats, UdpTransport,
+};
 use minos::obs::{MetricsRegistry, Snapshot};
 use minos::report::{self, JsonObj};
 use minos::stats::{LatencyHistogram, Quantiles};
@@ -65,6 +69,8 @@ struct Args {
     churn: Option<ChurnConfig>,
     preload: bool,
     retry: Option<RetryPolicy>,
+    hedge: Option<HedgePolicy>,
+    fault: Option<FaultProfile>,
     pin_base: Option<usize>,
     sockbuf: usize,
     batch: usize,
@@ -92,6 +98,10 @@ OPTIONS:
     --p-large FRAC         override the profile's large-request fraction
                            p_L (0..1), e.g. 0.02 for a fragmented-PUT
                            heavy run
+    --s-large BYTES        override the profile's max large value size
+                           s_L (default 500000). Under --fault-profile a
+                           smaller s_L keeps per-reply fragment counts
+                           low enough that the retry budget converges
     --keys N               dataset size in keys (default 100000)
     --large-keys N         number of large keys (default 100)
     --seed S               RNG seed (default 42)
@@ -110,8 +120,29 @@ OPTIONS:
                            never expires)
     --no-preload           skip the PUT preload phase
     --retry-timeout-ms MS  resend a request unanswered for MS ms (default
-                           off: the paper's strict zero-loss mode)
+                           off: the paper's strict zero-loss mode). The
+                           timeout backs off exponentially (jittered, x2
+                           per retry, capped at 8x); a request that
+                           exhausts its budget is counted as timed_out —
+                           explicit loss, never silent
     --max-retries N        resend budget per request (default 8)
+    --hedge                hedged requests: a small request unanswered
+                           past the adaptive hedge delay (the p99 of
+                           observed service latency) is duplicated to
+                           another RX queue; first reply wins, the
+                           loser is counted in wasted_replies. Hedges
+                           never touch the open-loop schedule clock
+    --hedge-percentile P   service-latency percentile driving the hedge
+                           delay (default 99)
+    --hedge-min-delay-us N floor on the hedge delay (default 500)
+    --hedge-max-delay-us N cap on the hedge delay, also used until
+                           enough samples accumulate (default 100000)
+    --fault-profile SPEC   wrap each measured client's transport in a
+                           deterministic fault injector, e.g.
+                           'drop=0.01,dup=0.001,reorder=8,seed=42'
+                           (rx./tx. prefixes scope a direction). The
+                           preload path stays clean; injected faults
+                           are reported under \"fault\"
     --pin BASECPU          pin client thread c to cpu BASECPU+c
                            (sched_setaffinity; best-effort)
     --sockbuf BYTES        client socket buffer size (default 4 MiB)
@@ -143,6 +174,8 @@ fn parse_args() -> Result<Args, String> {
         churn: None,
         preload: true,
         retry: None,
+        hedge: None,
+        fault: None,
         pin_base: None,
         sockbuf: 4 << 20,
         batch: minos::net::DEFAULT_SYSCALL_BATCH,
@@ -151,7 +184,10 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut retry_timeout_ms = 0u64;
     let mut max_retries = 8u32;
+    let mut hedge = false;
+    let mut hedge_policy = HedgePolicy::default();
     let mut p_large_override: Option<f64> = None;
+    let mut s_large_override: Option<u64> = None;
     let mut churn = false;
     let mut churn_value_min = 64u64;
     let mut churn_value_max = 4096u64;
@@ -204,6 +240,13 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--p-large: {e}"))?,
                 )
             }
+            "--s-large" => {
+                s_large_override = Some(
+                    value("--s-large")?
+                        .parse()
+                        .map_err(|e| format!("--s-large: {e}"))?,
+                )
+            }
             "--keys" => {
                 args.keys = value("--keys")?
                     .parse()
@@ -245,6 +288,32 @@ fn parse_args() -> Result<Args, String> {
                 max_retries = value("--max-retries")?
                     .parse()
                     .map_err(|e| format!("--max-retries: {e}"))?
+            }
+            "--hedge" => hedge = true,
+            "--hedge-percentile" => {
+                hedge_policy.percentile = value("--hedge-percentile")?
+                    .parse()
+                    .map_err(|e| format!("--hedge-percentile: {e}"))?
+            }
+            "--hedge-min-delay-us" => {
+                hedge_policy.min_delay = Duration::from_micros(
+                    value("--hedge-min-delay-us")?
+                        .parse()
+                        .map_err(|e| format!("--hedge-min-delay-us: {e}"))?,
+                )
+            }
+            "--hedge-max-delay-us" => {
+                hedge_policy.max_delay = Duration::from_micros(
+                    value("--hedge-max-delay-us")?
+                        .parse()
+                        .map_err(|e| format!("--hedge-max-delay-us: {e}"))?,
+                )
+            }
+            "--fault-profile" => {
+                args.fault = Some(
+                    FaultProfile::parse(&value("--fault-profile")?)
+                        .map_err(|e| format!("--fault-profile: {e}"))?,
+                )
             }
             "--pin" => {
                 args.pin_base = Some(value("--pin")?.parse().map_err(|e| format!("--pin: {e}"))?)
@@ -289,11 +358,31 @@ fn parse_args() -> Result<Args, String> {
         }
         args.profile.p_large = p;
     }
+    if let Some(s) = s_large_override {
+        if s == 0 {
+            return Err("--s-large must be positive".into());
+        }
+        args.profile.large_max = s;
+    }
     if retry_timeout_ms > 0 {
-        args.retry = Some(RetryPolicy {
-            timeout: Duration::from_millis(retry_timeout_ms),
+        args.retry = Some(RetryPolicy::new(
+            Duration::from_millis(retry_timeout_ms),
             max_retries,
-        });
+        ));
+    }
+    if hedge {
+        if !(1.0..=100.0).contains(&hedge_policy.percentile) {
+            return Err("--hedge-percentile must be in [1, 100]".into());
+        }
+        if hedge_policy.max_delay.is_zero() || hedge_policy.min_delay > hedge_policy.max_delay {
+            return Err(
+                "hedge delays need 0 < --hedge-min-delay-us <= --hedge-max-delay-us".into(),
+            );
+        }
+        if args.queues < 2 {
+            return Err("--hedge needs >= 2 queues (the hedge copy goes to another queue)".into());
+        }
+        args.hedge = Some(hedge_policy);
     }
     if churn {
         if churn_value_min == 0 || churn_value_min > churn_value_max {
@@ -315,7 +404,20 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn make_client(args: &Args, client_id: u16) -> (Arc<UdpTransport>, Client) {
+/// Builds one client. `measured` clients get the chaos treatment —
+/// their transport is wrapped in a [`FaultTransport`] when
+/// `--fault-profile` is set and hedging is armed when `--hedge` is set;
+/// the preload client always runs on the clean path (faults are a
+/// property of the measured run, not of dataset construction). The
+/// typed [`UdpTransport`] is returned alongside for `io_stats`, and the
+/// fault layer (when present) for its injection counters.
+type FaultLayer = Option<Arc<FaultTransport<UdpTransport>>>;
+
+fn make_client(
+    args: &Args,
+    client_id: u16,
+    measured: bool,
+) -> (Arc<UdpTransport>, FaultLayer, Client) {
     let config = UdpConfig {
         socket_buffer_bytes: args.sockbuf,
         batch: args.batch,
@@ -334,8 +436,16 @@ fn make_client(args: &Args, client_id: u16) -> (Arc<UdpTransport>, Client) {
     };
     let endpoint = transport.local_endpoint(0);
     let server = endpoint_for(args.target_ip, args.target_port);
+    let (dyn_transport, fault): (Arc<dyn Transport>, FaultLayer) =
+        match args.fault.filter(|_| measured) {
+            Some(profile) => {
+                let ft = Arc::new(FaultTransport::new(Arc::clone(&transport), profile));
+                (Arc::clone(&ft) as Arc<dyn Transport>, Some(ft))
+            }
+            None => (Arc::clone(&transport) as Arc<dyn Transport>, None),
+        };
     let mut client = Client::with_transport(
-        Arc::clone(&transport) as Arc<dyn Transport>,
+        dyn_transport,
         endpoint,
         server,
         args.queues,
@@ -345,7 +455,12 @@ fn make_client(args: &Args, client_id: u16) -> (Arc<UdpTransport>, Client) {
     if let Some(policy) = args.retry {
         client = client.with_retry(policy);
     }
-    (transport, client)
+    if measured {
+        if let Some(policy) = args.hedge {
+            client = client.with_hedging(policy);
+        }
+    }
+    (transport, fault, client)
 }
 
 /// The per-thread request source: the paper's access generator, or the
@@ -411,6 +526,12 @@ struct ClientReport {
     /// Value bytes copied while reassembling multi-fragment replies
     /// (exactly once per received large-GET value byte).
     reply_copied_bytes: u64,
+    /// Faults the injector planted on this client's transport (all
+    /// zero without `--fault-profile`).
+    fault: FaultStats,
+    /// Pending-table size after the drain — the independent check on
+    /// `totals.outstanding()`'s counter arithmetic.
+    pending_len: u64,
 }
 
 /// One client thread's measured run: open-loop injection at
@@ -425,7 +546,7 @@ fn run_client(args: &Args, client_idx: u16) -> ClientReport {
         }
     }
     // Client ids 1..=N (the preloader uses 99 + N).
-    let (transport, mut client) = make_client(args, 1 + client_idx);
+    let (transport, fault, mut client) = make_client(args, 1 + client_idx, true);
     let generator = make_generator(args);
 
     let rate = args.rate / f64::from(args.clients);
@@ -478,6 +599,18 @@ fn run_client(args: &Args, client_idx: u16) -> ClientReport {
     }
     let elapsed = start.elapsed();
     let drained = client.drain(Duration::from_secs(10));
+    if let Some(f) = &fault {
+        // Keep polling past the reorder quiescence grace so the
+        // injector's hold buffers flush (straggler duplicate/late
+        // replies) and their RX-pool slots return — the report's pool
+        // gauge must distinguish a leak from a still-armed hold.
+        let grace = Duration::from_micros(f.profile().reorder_hold_us * 2 + 5_000);
+        let flush_deadline = Instant::now() + grace;
+        while Instant::now() < flush_deadline {
+            client.poll();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
     let reassembly_evictions = client.reassembly_evictions();
     ClientReport {
         sent,
@@ -496,11 +629,14 @@ fn run_client(args: &Args, client_idx: u16) -> ClientReport {
         put_value_bytes,
         reassembly_evictions,
         reply_copied_bytes: client.reply_copied_bytes(),
+        fault: fault.map(|f| f.fault_stats()).unwrap_or_default(),
+        pending_len: client.pending_len(),
     }
 }
 
 fn preload(args: &Args, dataset: &Dataset) {
-    let (_preload_transport, mut preload_client) = make_client(args, 99 + args.clients);
+    let (_preload_transport, _no_faults, mut preload_client) =
+        make_client(args, 99 + args.clients, false);
     let t0 = Instant::now();
     let no_replies = |client: &Client| -> ! {
         eprintln!(
@@ -574,13 +710,30 @@ fn main() {
         args.profile.get_ratio * 100.0,
         match args.retry {
             Some(p) => format!(
-                ", retry {}ms x{}",
+                ", retry {}ms x{}{}",
                 p.timeout.as_millis(),
-                p.max_retries
+                p.max_retries,
+                if args.hedge.is_some() { " + hedging" } else { "" },
             ),
+            None if args.hedge.is_some() => ", hedging".into(),
             None => ", zero-loss mode".into(),
         },
     );
+    if let Some(p) = &args.fault {
+        human!(
+            args,
+            "fault injection:  drop={}/{} dup={}/{} reorder<={}/{} delay<={}us/{}us (rx/tx), seed {}",
+            p.rx.drop,
+            p.tx.drop,
+            p.rx.dup,
+            p.tx.dup,
+            p.rx.reorder,
+            p.tx.reorder,
+            p.rx.delay_us,
+            p.tx.delay_us,
+            p.seed,
+        );
+    }
 
     if let Some(cfg) = &args.churn {
         let ws = ChurnGenerator::new(*cfg).working_set_bytes();
@@ -628,6 +781,13 @@ fn main() {
     let mut errors = 0u64;
     let mut retransmits = 0u64;
     let mut outstanding = 0u64;
+    let mut timed_out = 0u64;
+    let mut hedges_sent = 0u64;
+    let mut hedge_wins = 0u64;
+    let mut wasted_replies = 0u64;
+    let mut overloaded = 0u64;
+    let mut fault = FaultStats::default();
+    let mut accounting_warnings = 0u64;
     let mut behind_max = Duration::ZERO;
     let mut elapsed = Duration::ZERO;
     let mut tx_packets = 0u64;
@@ -656,6 +816,32 @@ fn main() {
         errors += r.totals.errors;
         retransmits += r.totals.retransmits;
         outstanding += r.totals.outstanding();
+        timed_out += r.totals.timed_out;
+        hedges_sent += r.totals.hedges_sent;
+        hedge_wins += r.totals.hedge_wins;
+        wasted_replies += r.totals.wasted_replies;
+        overloaded += r.totals.overloaded;
+        fault.absorb(&r.fault);
+        // The accounting identity, checked with *independent* counters:
+        // requests this loop scheduled must equal what the client
+        // transmitted, and the derived outstanding() must equal the
+        // actual pending-table size. Together they pin
+        // sent == completed + outstanding + timed_out to reality.
+        if r.sent != r.totals.sent {
+            eprintln!(
+                "loadgen: accounting warning: scheduled {} requests but client counted {} sent",
+                r.sent, r.totals.sent,
+            );
+            accounting_warnings += 1;
+        }
+        if r.totals.outstanding() != r.pending_len {
+            eprintln!(
+                "loadgen: accounting warning: outstanding() = {} but pending table holds {}",
+                r.totals.outstanding(),
+                r.pending_len,
+            );
+            accounting_warnings += 1;
+        }
         behind_max = behind_max.max(r.behind_max);
         elapsed = elapsed.max(r.elapsed);
         tx_packets += r.stats.tx_packets;
@@ -676,7 +862,10 @@ fn main() {
         reassembly_evictions += r.reassembly_evictions;
         reply_copied_bytes += r.reply_copied_bytes;
     }
-    let zero_loss = all_drained && outstanding == 0;
+    // A timed-out request is an explicit loss: it was abandoned after
+    // its retry budget, so a run that timed anything out is not
+    // zero-loss even though the drain terminated cleanly.
+    let zero_loss = all_drained && outstanding == 0 && timed_out == 0;
     let pool_hit_rate = minos::net::pool::hit_rate(pool_hits, pool_misses);
 
     human!(args, "");
@@ -700,7 +889,43 @@ fn main() {
         "sent/completed:   {sent} / {completed} ({errors} errors)"
     );
     if args.retry.is_some() {
-        human!(args, "retransmits:      {retransmits}");
+        human!(
+            args,
+            "retransmits:      {retransmits} ({timed_out} timed out past the retry budget)"
+        );
+    }
+    if args.hedge.is_some() {
+        human!(
+            args,
+            "hedging:          {hedges_sent} hedges sent, {hedge_wins} won, {wasted_replies} wasted replies"
+        );
+    }
+    if overloaded > 0 {
+        human!(
+            args,
+            "overloaded:       {overloaded} requests shed by the server (client backed off)"
+        );
+    }
+    if args.fault.is_some() {
+        human!(
+            args,
+            "fault injection:  {} events (rx: {} dropped, {} dup'd, {} reordered, {} delayed; tx: {} dropped, {} dup'd, {} reordered, {} delayed)",
+            fault.total(),
+            fault.rx_dropped,
+            fault.rx_duplicated,
+            fault.rx_reordered,
+            fault.rx_delayed,
+            fault.tx_dropped,
+            fault.tx_duplicated,
+            fault.tx_reordered,
+            fault.tx_delayed,
+        );
+    }
+    if accounting_warnings > 0 {
+        human!(
+            args,
+            "accounting:       {accounting_warnings} WARNINGS — counters and tables disagree, treat this run as suspect"
+        );
     }
     if args.clients > 1 {
         for (c, r) in reports.iter().enumerate() {
@@ -793,7 +1018,7 @@ fn main() {
     } else {
         human!(
             args,
-            "zero-loss:        FAIL ({outstanding} requests lost) — per §5.4 this run's numbers should be discarded"
+            "zero-loss:        FAIL ({outstanding} outstanding, {timed_out} timed out) — per §5.4 this run's numbers should be discarded"
         );
     }
 
@@ -810,6 +1035,13 @@ fn main() {
                     errors,
                     retransmits,
                     outstanding,
+                    timed_out,
+                    hedges_sent,
+                    hedge_wins,
+                    wasted_replies,
+                    overloaded,
+                    fault,
+                    accounting_warnings,
                     elapsed,
                     behind_max,
                     tx_packets,
@@ -849,6 +1081,13 @@ struct JsonTotals {
     errors: u64,
     retransmits: u64,
     outstanding: u64,
+    timed_out: u64,
+    hedges_sent: u64,
+    hedge_wins: u64,
+    wasted_replies: u64,
+    overloaded: u64,
+    fault: FaultStats,
+    accounting_warnings: u64,
     elapsed: Duration,
     behind_max: Duration,
     tx_packets: u64,
@@ -912,6 +1151,13 @@ fn metrics_json(t: &JsonTotals, pool_hit_rate: f64) -> String {
     reg.counter("client.errors").add(t.errors);
     reg.counter("client.retransmits").add(t.retransmits);
     reg.counter("client.outstanding").add(t.outstanding);
+    reg.counter("client.timed_out").add(t.timed_out);
+    reg.counter("client.hedges_sent").add(t.hedges_sent);
+    reg.counter("client.hedge_wins").add(t.hedge_wins);
+    reg.counter("client.wasted_replies").add(t.wasted_replies);
+    reg.counter("client.overloaded").add(t.overloaded);
+    reg.counter("client.accounting_warnings")
+        .add(t.accounting_warnings);
     reg.counter("client.puts_sent").add(t.puts_sent);
     reg.counter("client.put_value_bytes").add(t.put_value_bytes);
     reg.counter("client.reassembly_evictions")
@@ -991,6 +1237,21 @@ fn json_report(args: &Args, reports: &[ClientReport], t: JsonTotals, server_stat
         .u64("reassembly_evictions", t.reassembly_evictions)
         .u64("reply_copied_bytes", t.reply_copied_bytes)
         .finish();
+    let fault = match &args.fault {
+        None => "null".to_string(),
+        Some(_) => JsonObj::new()
+            .u64("rx_dropped", t.fault.rx_dropped)
+            .u64("rx_duplicated", t.fault.rx_duplicated)
+            .u64("rx_reordered", t.fault.rx_reordered)
+            .u64("rx_delayed", t.fault.rx_delayed)
+            .u64("rx_blackholed", t.fault.rx_blackholed)
+            .u64("tx_dropped", t.fault.tx_dropped)
+            .u64("tx_duplicated", t.fault.tx_duplicated)
+            .u64("tx_reordered", t.fault.tx_reordered)
+            .u64("tx_delayed", t.fault.tx_delayed)
+            .u64("total", t.fault.total())
+            .finish(),
+    };
     let churn = match &args.churn {
         None => "null".to_string(),
         Some(cfg) => JsonObj::new()
@@ -1020,6 +1281,13 @@ fn json_report(args: &Args, reports: &[ClientReport], t: JsonTotals, server_stat
         .u64("errors", t.errors)
         .u64("retransmits", t.retransmits)
         .u64("outstanding", t.outstanding)
+        .u64("timed_out", t.timed_out)
+        .bool("hedging", args.hedge.is_some())
+        .u64("hedges_sent", t.hedges_sent)
+        .u64("hedge_wins", t.hedge_wins)
+        .u64("wasted_replies", t.wasted_replies)
+        .u64("overloaded", t.overloaded)
+        .u64("accounting_warnings", t.accounting_warnings)
         .u64("puts_sent", t.puts_sent)
         .u64("put_value_bytes", t.put_value_bytes)
         .bool("zero_loss", t.zero_loss)
@@ -1033,6 +1301,7 @@ fn json_report(args: &Args, reports: &[ClientReport], t: JsonTotals, server_stat
         .raw("coalescing", &coalescing)
         .raw("pool", &pool)
         .raw("client", &client)
+        .raw("fault", &fault)
         .raw("churn", &churn)
         .raw("metrics", &metrics_json(&t, pool_hit_rate))
         .raw("server_stats", server_stats)

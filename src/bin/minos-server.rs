@@ -9,6 +9,7 @@
 //! minos-server [--cores N] [--bind IP] [--port BASE] [--items N]
 //!              [--mem BYTES] [--threshold dynamic|BYTES]
 //!              [--discipline NAME] [--steal]
+//!              [--shed-watermark N] [--fault-profile SPEC]
 //!              [--duration SECS] [--batch N] [--sockbuf BYTES]
 //!              [--pin BASECPU] [--json]
 //! ```
@@ -33,7 +34,7 @@ use minos::core::config::ThresholdMode;
 use minos::core::dispatch::DisciplineKind;
 use minos::core::server::{MinosServer, ServerConfig};
 use minos::kv::{CapacityConfig, EvictionPolicy};
-use minos::net::{Transport, UdpConfig, UdpTransport};
+use minos::net::{FaultProfile, FaultTransport, Transport, UdpConfig, UdpTransport};
 use minos::report;
 use std::io::Write;
 use std::net::Ipv4Addr;
@@ -54,6 +55,8 @@ struct Args {
     threshold: ThresholdMode,
     discipline: DisciplineKind,
     steal: bool,
+    shed_watermark: usize,
+    fault: FaultProfile,
     duration: Option<Duration>,
     batch: usize,
     sockbuf: usize,
@@ -125,6 +128,19 @@ OPTIONS:
                        dfcfs, jsq, round-robin, random
     --steal            ZygOS-style work stealing: an idle core pops one
                        request from the longest peer software queue
+    --shed-watermark N overload valve: when a placement targets a
+                       software queue already holding >= N requests,
+                       *large* requests are answered Overloaded instead
+                       of enqueued (small-class tail protection under
+                       overload; counted in dispatch.sheds). 0 = off
+                       (default)
+    --fault-profile SPEC
+                       wrap the transport in a deterministic fault
+                       injector, e.g. 'drop=0.01,dup=0.001,reorder=8,
+                       delay_us=200,seed=42'; prefix keys with rx. or
+                       tx. to scope a direction, add blackhole=Q to
+                       swallow one RX queue. Injected faults are
+                       counted under fault.*
     --duration SECS    exit after SECS instead of waiting for Ctrl-C
     --batch N          max datagrams per recvmmsg/sendmmsg syscall
                        (default 32; 1 = one syscall per datagram)
@@ -156,6 +172,8 @@ fn parse_args() -> Result<Args, String> {
         threshold: ThresholdMode::Dynamic,
         discipline: DisciplineKind::SizeAware,
         steal: false,
+        shed_watermark: 0,
+        fault: FaultProfile::default(),
         duration: None,
         batch: minos::net::DEFAULT_SYSCALL_BATCH,
         sockbuf: 4 << 20,
@@ -229,6 +247,15 @@ fn parse_args() -> Result<Args, String> {
                 })?;
             }
             "--steal" => args.steal = true,
+            "--shed-watermark" => {
+                args.shed_watermark = value("--shed-watermark")?
+                    .parse()
+                    .map_err(|e| format!("--shed-watermark: {e}"))?
+            }
+            "--fault-profile" => {
+                args.fault = FaultProfile::parse(&value("--fault-profile")?)
+                    .map_err(|e| format!("--fault-profile: {e}"))?
+            }
             "--duration" => {
                 args.duration = Some(Duration::from_secs_f64(
                     value("--duration")?
@@ -352,6 +379,7 @@ fn main() {
     config.minos.threshold_mode = args.threshold;
     config.minos.discipline = args.discipline;
     config.minos.steal = args.steal;
+    config.minos.shed_watermark = args.shed_watermark;
     config.minos.epoch_ns = 1_000_000_000; // the paper's 1 s epochs
     config.store =
         minos::kv::StoreConfig::for_items(args.cores * 4, args.items, args.mempool_bytes);
@@ -365,6 +393,10 @@ fn main() {
     config.pin_cpus = args
         .pin_base
         .map(|base| (base..base + args.cores).collect());
+    if let Err(e) = config.minos.validate() {
+        eprintln!("error: {e}\n\n{USAGE}");
+        std::process::exit(2);
+    }
 
     human!(
         args,
@@ -398,6 +430,28 @@ fn main() {
             },
         );
     }
+    if args.shed_watermark > 0 {
+        human!(
+            args,
+            "overload shedding: large requests answered Overloaded past {} queued per core",
+            args.shed_watermark,
+        );
+    }
+    if !args.fault.is_noop() {
+        human!(
+            args,
+            "fault injection: rx drop={} dup={} reorder<={} delay<={}us, tx drop={} dup={} reorder<={} delay<={}us, seed {}",
+            args.fault.rx.drop,
+            args.fault.rx.dup,
+            args.fault.rx.reorder,
+            args.fault.rx.delay_us,
+            args.fault.tx.drop,
+            args.fault.tx.dup,
+            args.fault.tx.reorder,
+            args.fault.tx.delay_us,
+            args.fault.seed,
+        );
+    }
     human!(args, "press Ctrl-C to drain and exit");
 
     let mut stats_sink = match StatsSink::open(&args) {
@@ -409,7 +463,12 @@ fn main() {
     };
 
     signal::install();
-    let mut server = MinosServer::start_with_transport(config, Arc::clone(&transport));
+    // The server always runs behind the fault layer; with the default
+    // (no-fault) profile it is a pure passthrough, and with
+    // `--fault-profile` the injected faults surface as `fault.*` in the
+    // registry via the transport collector.
+    let faulted = Arc::new(FaultTransport::new(Arc::clone(&transport), args.fault));
+    let mut server = MinosServer::start_with_transport(config, faulted);
     let registry = server.registry();
 
     let started = Instant::now();

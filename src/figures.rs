@@ -22,11 +22,11 @@
 use crate::baselines::common::BaselineConfig;
 use crate::baselines::hkh::HkhServer;
 use crate::baselines::sho::ShoServer;
-use crate::core::client::Client;
+use crate::core::client::{Client, HedgePolicy, RetryPolicy};
 use crate::core::dispatch::DisciplineKind;
 use crate::core::server::{MinosServer, ServerConfig};
 use crate::kv::{CapacityConfig, EvictionPolicy};
-use crate::net::{endpoint_for, Transport, UdpConfig, UdpTransport};
+use crate::net::{endpoint_for, FaultProfile, FaultTransport, Transport, UdpConfig, UdpTransport};
 use crate::obs::JsonValue;
 use crate::report::{quantiles_json, JsonObj};
 use crate::stats::{LatencyHistogram, Quantiles};
@@ -118,6 +118,21 @@ pub struct SweepConfig {
     /// working set outgrowing `mempool_bytes`) to one Minos instance
     /// per configured eviction policy instead of the paper profile.
     pub churn: Option<ChurnSweepSpec>,
+    /// Chaos mode: a [`FaultProfile`] grammar string (see
+    /// [`FaultProfile::parse`]). When set, every *measured* client's
+    /// transport is wrapped in a deterministic fault injector (the
+    /// preload stays clean) and the spec is recorded in each point —
+    /// pair it with [`SweepConfig::retry`] so injected drops surface as
+    /// retries and bounded `timed_out` loss instead of voiding every
+    /// point's zero-loss verdict.
+    pub fault_profile: Option<String>,
+    /// Hedged requests on measured clients: a small request unanswered
+    /// past the adaptive hedge delay is duplicated to another RX queue,
+    /// first reply wins. The dial the hedging figure flips.
+    pub hedge: bool,
+    /// Client-side retry policy for measured clients (typically set
+    /// together with `fault_profile`).
+    pub retry: Option<RetryPolicy>,
 }
 
 /// The churn-sweep dials: how tight the mempool is and which eviction
@@ -173,10 +188,18 @@ impl SweepConfig {
             base_port,
             drain_timeout: Duration::from_secs(5),
             churn: None,
+            fault_profile: None,
+            hedge: false,
+            retry: None,
         }
     }
 
     fn validate(&self) {
+        if let Some(spec) = &self.fault_profile {
+            if let Err(e) = FaultProfile::parse(spec) {
+                panic!("fault_profile {spec:?}: {e}");
+            }
+        }
         assert!(!self.policies.is_empty(), "at least one policy");
         assert!(!self.rates.is_empty(), "at least one rate");
         assert!(!self.disciplines.is_empty(), "at least one discipline");
@@ -240,6 +263,10 @@ pub const BUILTIN_DISCIPLINE: &str = "builtin";
 /// parse default for pre-capacity sweep files.
 pub const NO_EVICTION: &str = "none";
 
+/// The fault-profile label of a clean-transport sweep point, and the
+/// parse default for pre-chaos sweep files.
+pub const NO_FAULTS: &str = "none";
+
 fn discipline_label(discipline: Option<DisciplineKind>) -> &'static str {
     discipline
         .map(DisciplineKind::name)
@@ -258,11 +285,33 @@ pub fn point_key(policy: &str, discipline: &str, offered_rate: f64) -> String {
 /// same engine and rate stay distinct under `--resume`. Classic points
 /// (`eviction == "none"`) keep their historical key unchanged.
 pub fn point_key_ev(policy: &str, discipline: &str, eviction: &str, offered_rate: f64) -> String {
-    if eviction == NO_EVICTION {
-        format!("{policy}/{discipline}@{offered_rate:.1}")
-    } else {
-        format!("{policy}/{discipline}+{eviction}@{offered_rate:.1}")
+    point_key_chaos(policy, discipline, eviction, NO_FAULTS, false, offered_rate)
+}
+
+/// [`point_key_ev`] with the chaos dimensions: fault-injected points
+/// append `+fault:{spec}` and hedged points `+hedge`, so the
+/// fault × hedging grid of one engine and rate stays distinct under
+/// `--resume`. Clean, unhedged points keep their historical key
+/// unchanged.
+pub fn point_key_chaos(
+    policy: &str,
+    discipline: &str,
+    eviction: &str,
+    fault_profile: &str,
+    hedging: bool,
+    offered_rate: f64,
+) -> String {
+    let mut tags = String::new();
+    if eviction != NO_EVICTION {
+        tags.push_str(&format!("+{eviction}"));
     }
+    if fault_profile != NO_FAULTS {
+        tags.push_str(&format!("+fault:{fault_profile}"));
+    }
+    if hedging {
+        tags.push_str("+hedge");
+    }
+    format!("{policy}/{discipline}{tags}@{offered_rate:.1}")
 }
 
 /// One measured `(policy, offered rate)` point — the JSON record schema
@@ -291,8 +340,24 @@ pub struct SweepPoint {
     pub completed: u64,
     /// Requests never answered — packet loss.
     pub outstanding: u64,
+    /// Requests abandoned after exhausting their retry budget —
+    /// explicit loss under fault injection (0 on clean sweeps).
+    pub timed_out: u64,
     /// Error replies (NotFound, OutOfMemory, ...).
     pub errors: u64,
+    /// The fault-profile grammar string this point ran under
+    /// ([`NO_FAULTS`] for a clean transport).
+    pub fault_profile: String,
+    /// Whether hedged requests were armed on the measured clients.
+    pub hedging: bool,
+    /// Hedge copies transmitted.
+    pub hedges_sent: u64,
+    /// Completions where the hedge copy's reply arrived first.
+    pub hedge_wins: u64,
+    /// Client accounting-identity violations (schedule count vs client
+    /// transmit count, derived outstanding vs pending-table size).
+    /// Anything nonzero voids the point.
+    pub accounting_warnings: u64,
     /// Completions per second of measured window.
     pub achieved_rate: f64,
     /// `outstanding / sent` (0 when nothing was sent).
@@ -337,7 +402,13 @@ impl SweepPoint {
             .u64("sent", self.sent)
             .u64("completed", self.completed)
             .u64("outstanding", self.outstanding)
+            .u64("timed_out", self.timed_out)
             .u64("errors", self.errors)
+            .str("fault_profile", &self.fault_profile)
+            .bool("hedging", self.hedging)
+            .u64("hedges_sent", self.hedges_sent)
+            .u64("hedge_wins", self.hedge_wins)
+            .u64("accounting_warnings", self.accounting_warnings)
             .f64("achieved_rate", self.achieved_rate, 1)
             .f64("loss_rate", self.loss_rate, 6)
             .bool("zero_loss", self.zero_loss)
@@ -386,7 +457,20 @@ impl SweepPoint {
             sent: u64_of("sent")?,
             completed: u64_of("completed")?,
             outstanding: u64_of("outstanding")?,
+            // Pre-chaos sweep files (PRs 7–10) have none of the fault /
+            // hedging / accounting fields; their points read back as
+            // clean, unhedged, warning-free runs.
+            timed_out: u64_of("timed_out").unwrap_or(0),
             errors: u64_of("errors")?,
+            fault_profile: v
+                .get("fault_profile")
+                .and_then(|x| x.as_str())
+                .unwrap_or(NO_FAULTS)
+                .to_string(),
+            hedging: bool_of("hedging").unwrap_or(false),
+            hedges_sent: u64_of("hedges_sent").unwrap_or(0),
+            hedge_wins: u64_of("hedge_wins").unwrap_or(0),
+            accounting_warnings: u64_of("accounting_warnings").unwrap_or(0),
             achieved_rate: f64_of("achieved_rate")?,
             loss_rate: f64_of("loss_rate")?,
             zero_loss: bool_of("zero_loss")?,
@@ -400,12 +484,14 @@ impl SweepPoint {
         })
     }
 
-    /// This point's [`point_key_ev`] — its identity under `--resume`.
+    /// This point's [`point_key_chaos`] — its identity under `--resume`.
     pub fn key(&self) -> String {
-        point_key_ev(
+        point_key_chaos(
             &self.policy,
             &self.discipline,
             &self.eviction,
+            &self.fault_profile,
+            self.hedging,
             self.offered_rate,
         )
     }
@@ -508,11 +594,15 @@ impl RunningServer {
 /// Binds a fresh ephemeral-port UDP client aimed at `server_port`'s
 /// queue-0, restricted to the queues `policy` allows clients to target.
 /// The transport rides along for statistics (the client owns a clone).
+/// `measured` clients get the chaos treatment — the fault wrap, retry
+/// policy, and hedging the config asks for; the preload always runs
+/// clean.
 fn bind_client(
     cfg: &SweepConfig,
     policy: Policy,
     server_port: u16,
     client_id: u16,
+    measured: bool,
 ) -> (Arc<UdpTransport>, Client) {
     let udp = UdpConfig {
         pool_slots: 8192,
@@ -521,25 +611,41 @@ fn bind_client(
     let transport = Arc::new(UdpTransport::bind_client_with(udp).expect("bind client socket"));
     let endpoint = transport.local_endpoint(0);
     let server = endpoint_for(Ipv4Addr::LOCALHOST, server_port);
+    let dyn_transport: Arc<dyn Transport> = match cfg.fault_profile.as_deref().filter(|_| measured)
+    {
+        Some(spec) => {
+            let profile = FaultProfile::parse(spec).expect("validated at sweep start");
+            Arc::new(FaultTransport::new(Arc::clone(&transport), profile))
+        }
+        None => Arc::clone(&transport) as Arc<dyn Transport>,
+    };
     let client = Client::with_transport(
-        Arc::clone(&transport) as Arc<dyn Transport>,
+        dyn_transport,
         endpoint,
         server,
         cfg.cores as u16,
         client_id,
         cfg.seed ^ u64::from(client_id),
     );
-    let client = match policy {
+    let mut client = match policy {
         // SHO's contract: requests enter only through dispatch cores.
         Policy::Sho => client.with_target_queues(0..cfg.sho_handoff as u16),
         Policy::Minos | Policy::Hkh => client,
     };
+    if measured {
+        if let Some(retry) = cfg.retry {
+            client = client.with_retry(retry);
+        }
+        if cfg.hedge {
+            client = client.with_hedging(HedgePolicy::default());
+        }
+    }
     (transport, client)
 }
 
 /// PUTs every dataset key at its profiled size so measured GETs hit.
 fn preload(cfg: &SweepConfig, policy: Policy, server_port: u16, dataset: &Dataset) {
-    let (_transport, mut client) = bind_client(cfg, policy, server_port, 99);
+    let (_transport, mut client) = bind_client(cfg, policy, server_port, 99, false);
     for key in 0..cfg.keys {
         let size = dataset.size_of(key) as usize;
         let value = vec![(key % 251) as u8; size];
@@ -570,7 +676,11 @@ struct PointReport {
     sent: u64,
     completed: u64,
     outstanding: u64,
+    timed_out: u64,
     errors: u64,
+    hedges_sent: u64,
+    hedge_wins: u64,
+    accounting_warnings: u64,
     behind_max_ns: u64,
     latency: LatencyHistogram,
     latency_small: LatencyHistogram,
@@ -591,7 +701,7 @@ fn run_point_client(
     rate: f64,
     barrier: &Barrier,
 ) -> PointReport {
-    let (transport, mut client) = bind_client(cfg, policy, server_port, 1 + client_idx);
+    let (transport, mut client) = bind_client(cfg, policy, server_port, 1 + client_idx, true);
     enum Generator {
         Access(AccessGenerator),
         Churn(ChurnGenerator),
@@ -650,11 +760,25 @@ fn run_point_client(
     }
     client.drain(cfg.drain_timeout);
     let totals = client.totals();
+    // The accounting identity, cross-checked with independent counters:
+    // what this loop scheduled vs what the client transmitted, and the
+    // derived outstanding() vs the actual pending-table size.
+    let mut accounting_warnings = 0u64;
+    if sent != totals.sent {
+        accounting_warnings += 1;
+    }
+    if totals.outstanding() != client.pending_len() {
+        accounting_warnings += 1;
+    }
     PointReport {
         sent,
         completed: totals.completed,
         outstanding: totals.outstanding(),
+        timed_out: totals.timed_out,
         errors: totals.errors,
+        hedges_sent: totals.hedges_sent,
+        hedge_wins: totals.hedge_wins,
+        accounting_warnings,
         behind_max_ns,
         latency: client.latency().clone(),
         latency_small: client.latency_small().clone(),
@@ -690,8 +814,9 @@ pub fn run_sweep_resuming(
     for (ii, &(policy, discipline, eviction)) in instances.iter().enumerate() {
         let label = discipline_label(discipline);
         let ev_label = eviction.name();
+        let fault_label = cfg.fault_profile.as_deref().unwrap_or(NO_FAULTS);
         let carried = |rate: f64| {
-            let key = point_key_ev(policy.name(), label, ev_label, rate);
+            let key = point_key_chaos(policy.name(), label, ev_label, fault_label, cfg.hedge, rate);
             existing.iter().find(|p| p.key() == key).cloned()
         };
         if cfg.rates.iter().all(|&r| carried(r).is_some()) {
@@ -743,6 +868,8 @@ pub fn run_sweep_resuming(
             let mut latency_large = LatencyHistogram::new();
             let mut service_latency = LatencyHistogram::new();
             let (mut sent, mut completed, mut outstanding, mut errors) = (0u64, 0u64, 0u64, 0u64);
+            let (mut timed_out, mut hedges_sent, mut hedge_wins) = (0u64, 0u64, 0u64);
+            let mut accounting_warnings = 0u64;
             let mut behind_max_ns = 0u64;
             let mut tx_copied = 0u64;
             let mut reply_copied = 0u64;
@@ -754,7 +881,11 @@ pub fn run_sweep_resuming(
                 sent += r.sent;
                 completed += r.completed;
                 outstanding += r.outstanding;
+                timed_out += r.timed_out;
                 errors += r.errors;
+                hedges_sent += r.hedges_sent;
+                hedge_wins += r.hedge_wins;
+                accounting_warnings += r.accounting_warnings;
                 behind_max_ns = behind_max_ns.max(r.behind_max_ns);
                 tx_copied += r.tx_copied_bytes;
                 reply_copied += r.reply_copied_bytes;
@@ -772,14 +903,24 @@ pub fn run_sweep_resuming(
                 sent,
                 completed,
                 outstanding,
+                timed_out,
                 errors,
+                fault_profile: fault_label.to_string(),
+                hedging: cfg.hedge,
+                hedges_sent,
+                hedge_wins,
+                accounting_warnings,
                 achieved_rate: completed as f64 / cfg.duration.as_secs_f64().max(f64::MIN_POSITIVE),
+                // A timed-out request is explicit loss: it was
+                // abandoned after its retry budget, so it counts
+                // against the §5.4 verdict exactly like a never-
+                // answered one.
                 loss_rate: if sent > 0 {
-                    outstanding as f64 / sent as f64
+                    (outstanding + timed_out) as f64 / sent as f64
                 } else {
                     0.0
                 },
-                zero_loss: outstanding == 0,
+                zero_loss: outstanding == 0 && timed_out == 0,
                 behind_max_us: behind_max_ns as f64 / 1e3,
                 latency_us: latency.quantiles(),
                 latency_small_us: latency_small.quantiles(),
@@ -816,7 +957,13 @@ mod tests {
             sent: 100_000,
             completed: 99_990,
             outstanding: 10,
+            timed_out: 0,
             errors: 3,
+            fault_profile: NO_FAULTS.into(),
+            hedging: false,
+            hedges_sent: 0,
+            hedge_wins: 0,
+            accounting_warnings: 0,
             achieved_rate: 19_998.0,
             loss_rate: 0.0001,
             zero_loss: false,
@@ -895,6 +1042,41 @@ mod tests {
         assert!(!json.contains("eviction"));
         let parsed = SweepPoint::parse(&JsonValue::parse(&json).unwrap()).unwrap();
         assert_eq!(parsed, legacy);
+    }
+
+    #[test]
+    fn chaos_points_get_distinct_keys_and_parse_tolerantly() {
+        // A fault-injected, hedged point must not collide with the
+        // clean run of the same (policy, discipline, rate) under
+        // --resume, and must round-trip through JSON.
+        let mut p = sample_point();
+        p.fault_profile = "drop=0.01,reorder=8,seed=42".into();
+        p.hedging = true;
+        p.timed_out = 2;
+        p.hedges_sent = 150;
+        p.hedge_wins = 40;
+        assert_eq!(
+            p.key(),
+            "minos/size-aware+fault:drop=0.01,reorder=8,seed=42+hedge@20000.0"
+        );
+        assert_ne!(p.key(), sample_point().key());
+        let round = SweepPoint::parse(&JsonValue::parse(&p.to_json()).unwrap()).unwrap();
+        assert_eq!(round, p);
+        // Pre-chaos sweep files have none of the fields: they read back
+        // as clean, unhedged runs with an unchanged key.
+        let legacy = sample_point();
+        let json = legacy
+            .to_json()
+            .replace("\"timed_out\":0,", "")
+            .replace("\"fault_profile\":\"none\",", "")
+            .replace("\"hedging\":false,", "")
+            .replace("\"hedges_sent\":0,", "")
+            .replace("\"hedge_wins\":0,", "")
+            .replace("\"accounting_warnings\":0,", "");
+        assert!(!json.contains("fault_profile") && !json.contains("hedg"));
+        let parsed = SweepPoint::parse(&JsonValue::parse(&json).unwrap()).unwrap();
+        assert_eq!(parsed, legacy);
+        assert_eq!(parsed.key(), legacy.key());
     }
 
     #[test]

@@ -46,6 +46,13 @@ const DISCIPLINES: [&str; 7] = [
 // NO_EVICTION first: classic points keep the historical resume key.
 const EVICTIONS: [&str; 3] = ["none", "clock", "size-aware-clock"];
 
+// NO_FAULTS first: clean points keep the historical resume key.
+const FAULTS: [&str; 3] = [
+    "none",
+    "drop=0.01,reorder=8,seed=42",
+    "drop=0.02,dup=0.005,delay=200,seed=7",
+];
+
 fn point_strategy() -> impl Strategy<Value = SweepPoint> {
     (
         (
@@ -64,6 +71,14 @@ fn point_strategy() -> impl Strategy<Value = SweepPoint> {
             quantiles_strategy(),
             quantiles_strategy(),
         ),
+        (
+            0usize..3,
+            any::<bool>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
     )
         .prop_map(
             |(
@@ -71,6 +86,7 @@ fn point_strategy() -> impl Strategy<Value = SweepPoint> {
                 (sent, completed, outstanding, errors),
                 (zero_loss, behind_us, tx_copied_bytes, reply_copied_bytes),
                 (latency_us, latency_small_us, service_latency_us, latency_large_us),
+                (fault_ix, hedging, timed_out, hedges_sent, hedge_wins, accounting_warnings),
             )| {
                 SweepPoint {
                     policy: Policy::ALL[policy_ix].name().to_string(),
@@ -99,6 +115,12 @@ fn point_strategy() -> impl Strategy<Value = SweepPoint> {
                     latency_large_us,
                     tx_copied_bytes,
                     reply_copied_bytes,
+                    timed_out,
+                    fault_profile: FAULTS[fault_ix].to_string(),
+                    hedging,
+                    hedges_sent,
+                    hedge_wins,
+                    accounting_warnings,
                 }
             },
         )

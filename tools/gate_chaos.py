@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""CI gate for the chaos pass: correctness under an adversarial
+network.
+
+Reads the ``minos-loadgen --fault-profile ... --hedge --json`` report
+(and optionally the ``minos-server --json`` exit report) and asserts
+the chaos contract:
+
+* **zero lost acknowledged writes** — the run drained with nothing
+  outstanding and nothing timed out (``zero_loss``; a timed-out
+  retransmit budget is explicit loss, never silence);
+* the fault injector demonstrably ran (``fault.total > 0``) — a gate
+  that passes because nothing was injected proves nothing;
+* hedging demonstrably recovered work: hedges fired and at least one
+  hedge copy beat its original (``hedge_wins > 0``);
+* the client's counter identity held against its pending table the
+  whole run (``accounting_warnings == 0``);
+* pools stayed bounded through drops, dups, and reorders: zero leaked
+  client RX buffers, and zero value bytes copied on the TX path;
+* (with a server report) the server side leaked nothing either.
+
+Exit codes: 0 — all gates hold; 1 — a gate failed or a report is
+malformed.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    lg_path = sys.argv[1] if len(sys.argv) > 1 else "loadgen-chaos.json"
+    srv_path = sys.argv[2] if len(sys.argv) > 2 else None
+    lg = json.load(open(lg_path))
+
+    failures = []
+
+    def gate(ok, msg):
+        if not ok:
+            failures.append(msg)
+
+    gate(
+        lg["zero_loss"],
+        f"lost-write gate: {lg['outstanding']} outstanding, "
+        f"{lg['timed_out']} timed out",
+    )
+
+    fault = lg.get("fault")
+    gate(fault is not None, "loadgen did not run with --fault-profile")
+    if fault is not None:
+        gate(fault["total"] > 0, "injection gate: the fault injector never fired")
+
+    gate(lg["hedging"], "loadgen did not run with --hedge")
+    gate(lg["hedges_sent"] > 0, "hedge gate: no hedges fired under loss")
+    gate(
+        lg["hedge_wins"] > 0,
+        f"hedge gate: {lg['hedges_sent']} hedges sent but none won",
+    )
+
+    warnings = lg["accounting_warnings"]
+    gate(warnings == 0, f"accounting gate: {warnings} cross-check warnings")
+
+    out = lg["pool"]["outstanding"]
+    gate(out == 0, f"client pool gate: {out} buffers leaked")
+    copied = lg["transport"]["tx_copied_bytes"]
+    gate(copied == 0, f"zero-copy TX gate: {copied} bytes copied")
+
+    if srv_path is not None:
+        srv = json.load(open(srv_path))
+        srv_out = srv["pool"]["outstanding"]
+        gate(srv_out == 0, f"server pool gate: {srv_out} buffers leaked")
+        srv_copied = srv["transport"]["tx_copied_bytes"]
+        gate(srv_copied == 0, f"server zero-copy gate: {srv_copied} bytes copied")
+
+    if failures:
+        for f in failures:
+            print(f"chaos gate FAILED: {f}")
+        return 1
+    print(
+        f"chaos gates passed: {fault['total']} faults injected, "
+        f"{lg['retransmits']} retransmits, {lg['hedges_sent']} hedges "
+        f"({lg['hedge_wins']} wins, {lg['wasted_replies']} wasted replies), "
+        f"0 lost acked writes, 0 accounting warnings, 0 leaked buffers, "
+        f"0 tx bytes copied"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
